@@ -1,0 +1,59 @@
+"""Benchmark: LLA vs oracle vs slicing across random workload families.
+
+Quantifies §7's qualitative comparison: on provisioned random workloads,
+LLA must track the centralized oracle within a small gap while the
+capacity-blind slicing heuristics leave utility on the table.
+"""
+
+import pytest
+
+from repro.analysis.comparison import sweep_random_workloads
+from repro.workloads.generator import GeneratorConfig
+
+
+@pytest.mark.benchmark(group="baseline-sweep")
+def test_sweep_provisioned_workloads(benchmark):
+    report = benchmark.pedantic(sweep_random_workloads, rounds=1, iterations=1)
+
+    lla = report.stats["lla"]
+    oracle = report.stats["centralized"]
+    assert lla.feasibility_rate == 1.0
+    assert report.lla_matches_oracle(tol=2.0), report.lla_oracle_gaps
+    # Optimization buys utility over the best slicing heuristic on
+    # average (the margin is workload-dependent; it must not be negative).
+    assert report.mean_optimization_margin() >= -0.5
+
+    print()
+    for name, stats in report.stats.items():
+        print(f"  {name:22s} mean utility {stats.mean_utility:10.2f}  "
+              f"feasible {stats.feasibility_rate:.0%}")
+    print(f"  LLA-oracle gaps: "
+          + ", ".join(f"{g:+.2f}" for g in report.lla_oracle_gaps))
+    print(f"  mean optimization margin over best slicing: "
+          f"{report.mean_optimization_margin():.2f}")
+
+
+@pytest.mark.benchmark(group="baseline-sweep")
+def test_sweep_tight_workloads(benchmark):
+    """Near-saturation (provisioning 0.95): slicing starts violating
+    capacity while LLA stays feasible."""
+    def run():
+        return sweep_random_workloads(
+            seeds=range(4),
+            config=GeneratorConfig(
+                n_tasks=5, n_resources=6, max_subtasks=5,
+                provisioning=0.95,
+            ),
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.stats["lla"].feasibility_rate == 1.0
+    slicing_rates = [
+        report.stats[name].feasibility_rate
+        for name in ("even-slicing", "proportional-slicing", "bst-slicing")
+    ]
+    assert min(slicing_rates) <= report.stats["lla"].feasibility_rate
+    print()
+    for name, stats in report.stats.items():
+        print(f"  {name:22s} feasible {stats.feasibility_rate:.0%}  "
+              f"mean utility {stats.mean_utility:10.2f}")

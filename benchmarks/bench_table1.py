@@ -1,0 +1,48 @@
+"""Benchmark + reproduction assertions for Table 1.
+
+Regenerates the paper's Table 1 rows (converged per-subtask latencies,
+critical paths) and asserts the paper's quantitative claims:
+
+* convergence on the base workload;
+* every critical path within 1% below its critical time;
+* every resource within 1% of full availability (the workload saturates);
+* per-subtask latencies in the same range as the paper's (the exact values
+  depend on the reconstructed Figure 4 topology).
+"""
+
+import pytest
+
+from repro.experiments.table1 import run_table1
+from repro.workloads.paper import TABLE1_LATENCIES
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_reproduction(benchmark):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+
+    assert result.converged, "LLA must converge on the base workload"
+
+    # Critical paths: within 1% below the critical time, never above.
+    for task, margin in result.critical_path_margins().items():
+        assert -1e-4 <= margin <= 0.01, (
+            f"task {task}: critical-path margin {margin:.4f} outside the "
+            "paper's <1% band"
+        )
+
+    # Resource saturation: the workload was built to be close to congestion.
+    for resource, load in result.resource_loads.items():
+        assert 0.99 <= load <= 1.01, (
+            f"resource {resource}: load {load:.4f} not near saturation"
+        )
+
+    # Latency scale: same range as the paper's Table 1 (min/max within 2x).
+    ours = result.latencies
+    for subtask, paper_lat in TABLE1_LATENCIES.items():
+        assert 0.4 * paper_lat <= ours[subtask] <= 2.5 * paper_lat, (
+            f"{subtask}: latency {ours[subtask]:.2f} far from the paper's "
+            f"{paper_lat:.2f}"
+        )
+
+    print()
+    print(result.render())
+    print(f"utility={result.utility:.3f} iterations={result.iterations}")

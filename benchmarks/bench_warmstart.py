@@ -1,0 +1,58 @@
+"""Benchmark: warm-start price initialization (ours).
+
+Measures the convergence speedup from initializing resource prices at
+their locally-estimable equilibrium values (see
+:mod:`repro.core.warmstart`) instead of a flat 1.0:
+
+* on the saturated base workload the estimate ignores the active path
+  prices, so it is a head start, not the answer;
+* on the overprovisioned Figure 6 workloads it must not hurt.
+"""
+
+import pytest
+
+from repro.analysis.trace import settling_iteration
+from repro.core.optimizer import LLAConfig, LLAOptimizer
+from repro.workloads.paper import base_workload, scaled_workload
+
+
+def _settle(warm: bool, taskset_factory, iterations=2500):
+    taskset = taskset_factory()
+    config = LLAConfig(max_iterations=iterations, warm_start=warm,
+                       stop_on_convergence=False)
+    result = LLAOptimizer(taskset, config).run()
+    settle = settling_iteration(result.utility_trace(), band=1.0)
+    return result, settle
+
+
+@pytest.mark.benchmark(group="warmstart")
+def test_warm_start_on_saturated_workload(benchmark):
+    def run():
+        return _settle(True, base_workload), _settle(False, base_workload)
+
+    (warm, warm_settle), (cold, cold_settle) = \
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    # Same optimum either way.
+    assert warm.utility == pytest.approx(cold.utility, abs=1.0)
+    # Warm start settles no later than cold (usually much earlier).
+    if warm_settle is not None and cold_settle is not None:
+        assert warm_settle <= cold_settle + 50
+    print()
+    print(f"  saturated: warm settles at {warm_settle}, "
+          f"cold at {cold_settle}")
+
+
+@pytest.mark.benchmark(group="warmstart")
+def test_warm_start_on_overprovisioned_workload(benchmark):
+    def factory():
+        return scaled_workload(2, critical_time_factor=20.0)
+
+    def run():
+        return _settle(True, factory, 800), _settle(False, factory, 800)
+
+    (warm, warm_settle), (cold, cold_settle) = \
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    assert warm.utility == pytest.approx(cold.utility, rel=0.01)
+    print()
+    print(f"  overprovisioned: warm settles at {warm_settle}, "
+          f"cold at {cold_settle}")

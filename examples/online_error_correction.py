@@ -1,0 +1,51 @@
+"""Online model-error correction on a live system (Section 6).
+
+A compact rerun of the paper's prototype experiment: four tasks over three
+share-scheduled CPUs, the optimizer holding shares derived from the
+worst-case model until error correction is switched on, at which point it
+discovers the model's pessimism and re-allocates — the fast tasks descend
+to their minimum rate share (0.2) and the slow tasks absorb the surplus
+(0.25), the Figure 8 trajectory.
+"""
+
+from repro.core import LLAConfig
+from repro.sim.closedloop import ClosedLoopRuntime
+from repro.workloads import prototype_workload
+from repro.workloads.paper import PROTOTYPE_FAST_MIN_SHARE
+
+
+def main() -> None:
+    taskset = prototype_workload()
+    runtime = ClosedLoopRuntime(
+        taskset,
+        window=2000.0,           # 2 s sampling windows
+        model="gps",
+        seed=7,
+        optimizer_config=LLAConfig(max_iterations=3000),
+    )
+
+    print("phase A: pure worst-case model (no correction)")
+    for _ in range(5):
+        record = runtime.run_epoch()
+        print(f"  t={record.time / 1000.0:5.1f}s  "
+              f"fast share {record.shares['fast1_s0']:.3f}  "
+              f"slow share {record.shares['slow1_s0']:.3f}")
+
+    print("\nphase B: error correction enabled (the paper's t=277 moment)")
+    runtime.enable_correction()
+    for _ in range(18):
+        record = runtime.run_epoch()
+        print(f"  t={record.time / 1000.0:5.1f}s  "
+              f"fast share {record.shares['fast1_s0']:.3f}  "
+              f"slow share {record.shares['slow1_s0']:.3f}  "
+              f"smoothed error {record.smoothed_errors['fast1_s0']:+.1f} ms")
+
+    final = runtime.history[-1]
+    print(f"\nfast tasks ended at {final.shares['fast1_s0']:.3f} "
+          f"(minimum rate share = {PROTOTYPE_FAST_MIN_SHARE}); "
+          f"slow tasks at {final.shares['slow1_s0']:.3f} "
+          "(paper: 0.20 / 0.25)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Regenerate every figure's data series as CSV files.
+
+No plotting dependency is assumed; each CSV has one column per series and
+one row per iteration/epoch, ready for any plotting tool:
+
+    python scripts/make_figures.py [output_dir]
+
+Produces: fig5.csv, fig6.csv, fig7_utility.csv, fig7_shares.csv,
+fig8_shares.csv, fig8_errors.csv.
+"""
+
+import sys
+from pathlib import Path
+
+from repro.analysis.reporting import series_to_csv
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("figures")
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    print("fig5 (step sizes)...")
+    fig5 = run_fig5()
+    (out_dir / "fig5.csv").write_text(series_to_csv({
+        "iteration": list(range(1, fig5.iterations + 1)),
+        **{label: s.utilities for label, s in fig5.series.items()},
+    }))
+
+    print("fig6 (task-count scaling)...")
+    fig6 = run_fig6()
+    (out_dir / "fig6.csv").write_text(series_to_csv({
+        "iteration": list(range(1, 501)),
+        **{f"{n}_tasks": p.utilities for n, p in sorted(fig6.points.items())},
+    }))
+
+    print("fig7 (schedulability)...")
+    fig7 = run_fig7()
+    (out_dir / "fig7_utility.csv").write_text(series_to_csv({
+        "iteration": list(range(1, fig7.iterations + 1)),
+        "utility": fig7.utilities,
+    }))
+    (out_dir / "fig7_shares.csv").write_text(series_to_csv({
+        "iteration": list(range(1, fig7.iterations + 1)),
+        **{r: trace for r, trace in sorted(fig7.share_sums.items())},
+    }))
+
+    print("fig8 (error correction)...")
+    fig8 = run_fig8()
+    epochs = list(range(1, len(fig8.fast_share_trace) + 1))
+    (out_dir / "fig8_shares.csv").write_text(series_to_csv({
+        "epoch": epochs,
+        "fast_share": fig8.fast_share_trace,
+        "slow_share": fig8.slow_share_trace,
+    }))
+    (out_dir / "fig8_errors.csv").write_text(series_to_csv({
+        "epoch": epochs,
+        "fast_smoothed_error": fig8.fast_error_trace,
+    }))
+
+    print(f"wrote {len(list(out_dir.glob('*.csv')))} CSV files to {out_dir}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro: reproduction of LLA — Lagrangian Latency Assignment (ICDCS 2008).
+
+Quickstart::
+
+    from repro import base_workload, LLAOptimizer, LLAConfig
+
+    taskset = base_workload()
+    result = LLAOptimizer(taskset, LLAConfig(max_iterations=1000)).run()
+    print(result.converged, result.utility)
+"""
+
+from repro.core import (
+    ErrorCorrector,
+    LLAConfig,
+    LLAOptimizer,
+    OptimizationResult,
+)
+from repro.model import (
+    Resource,
+    Subtask,
+    SubtaskGraph,
+    Task,
+    TaskSet,
+)
+from repro.workloads import (
+    base_workload,
+    prototype_workload,
+    scaled_workload,
+    unschedulable_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LLAOptimizer",
+    "LLAConfig",
+    "OptimizationResult",
+    "ErrorCorrector",
+    "Task",
+    "Subtask",
+    "TaskSet",
+    "SubtaskGraph",
+    "Resource",
+    "base_workload",
+    "scaled_workload",
+    "unschedulable_workload",
+    "prototype_workload",
+    "__version__",
+]

@@ -1,0 +1,186 @@
+"""Admission control layered on LLA (Section 3.2).
+
+The paper scopes admission control out ("we assume any admission control
+is layered on top of our approach") — this module is that layer.  An
+:class:`AdmissionController` holds the currently admitted task set and
+evaluates each arriving task by *hypothetically* adding it and running the
+LLA schedulability test (Section 5.4): admit when the combined workload
+converges feasibly, reject otherwise.  Rejection leaves the running
+system untouched — the test runs on a copy of the state (LLA is
+stateless given a task set, so "copy" just means a fresh optimizer).
+
+Two admission modes:
+
+* ``strict`` — the combined workload must classify SCHEDULABLE;
+* ``utility`` — additionally require that admitting the task does not
+  decrease the *incumbent* tasks' aggregate utility by more than
+  ``max_utility_loss`` (protects important running tasks from dilution
+  by low-value arrivals, using the same utility currency the optimizer
+  maximizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.schedulability import (
+    SchedulabilityAnalyzer,
+    SchedulabilityReport,
+)
+from repro.core.optimizer import LLAConfig, LLAOptimizer
+from repro.errors import ModelError
+from repro.model.resources import Resource
+from repro.model.task import Task, TaskSet
+
+__all__ = ["AdmissionDecision", "AdmissionController"]
+
+
+@dataclass
+class AdmissionDecision:
+    """Outcome of one admission test."""
+
+    task: str
+    admitted: bool
+    reason: str
+    report: Optional[SchedulabilityReport] = None
+    incumbent_utility_before: float = 0.0
+    incumbent_utility_after: float = 0.0
+
+    @property
+    def incumbent_utility_loss(self) -> float:
+        return self.incumbent_utility_before - self.incumbent_utility_after
+
+
+class AdmissionController:
+    """Online task admission using LLA as the schedulability oracle."""
+
+    def __init__(
+        self,
+        resources: List[Resource],
+        mode: str = "strict",
+        max_utility_loss: float = 0.0,
+        analyzer: Optional[SchedulabilityAnalyzer] = None,
+        optimizer_config: Optional[LLAConfig] = None,
+    ):
+        if mode not in ("strict", "utility"):
+            raise ModelError(f"unknown admission mode {mode!r}")
+        self.resources = list(resources)
+        self.mode = mode
+        self.max_utility_loss = float(max_utility_loss)
+        self.analyzer = analyzer or SchedulabilityAnalyzer(iterations=800)
+        self.optimizer_config = optimizer_config or LLAConfig(
+            max_iterations=1500
+        )
+        self.admitted: List[Task] = []
+        self.decisions: List[AdmissionDecision] = []
+        self._current_latencies: Dict[str, float] = {}
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def taskset(self) -> Optional[TaskSet]:
+        """The currently admitted workload (``None`` when empty)."""
+        if not self.admitted:
+            return None
+        return TaskSet(self.admitted, self.resources)
+
+    @property
+    def latencies(self) -> Dict[str, float]:
+        """The optimized allocation for the admitted workload."""
+        return dict(self._current_latencies)
+
+    def incumbent_utility(self) -> float:
+        ts = self.taskset
+        if ts is None or not self._current_latencies:
+            return 0.0
+        return ts.total_utility(self._current_latencies)
+
+    # -- admission ----------------------------------------------------------------
+
+    def offer(self, task: Task) -> AdmissionDecision:
+        """Test a task for admission; admit it if the policy allows."""
+        if any(t.name == task.name for t in self.admitted):
+            decision = AdmissionDecision(
+                task=task.name, admitted=False,
+                reason=f"task {task.name!r} already admitted",
+            )
+            self.decisions.append(decision)
+            return decision
+
+        candidate_tasks = self.admitted + [task]
+        try:
+            candidate = TaskSet(candidate_tasks, self.resources)
+        except ModelError as exc:
+            decision = AdmissionDecision(
+                task=task.name, admitted=False,
+                reason=f"structurally invalid: {exc}",
+            )
+            self.decisions.append(decision)
+            return decision
+
+        report = self.analyzer.analyze(candidate)
+        if not report.schedulable:
+            decision = AdmissionDecision(
+                task=task.name, admitted=False,
+                reason="combined workload not schedulable: "
+                       + report.summary(),
+                report=report,
+            )
+            self.decisions.append(decision)
+            return decision
+
+        before = self.incumbent_utility()
+        result = LLAOptimizer(candidate, self.optimizer_config).run()
+        incumbents = [t for t in candidate.tasks if t.name != task.name]
+        after = sum(t.utility_value(result.latencies) for t in incumbents)
+
+        if self.mode == "utility" and self.admitted and \
+                before - after > self.max_utility_loss:
+            decision = AdmissionDecision(
+                task=task.name, admitted=False,
+                reason=(
+                    f"incumbent utility would drop {before - after:.2f} "
+                    f"(> allowed {self.max_utility_loss:.2f})"
+                ),
+                report=report,
+                incumbent_utility_before=before,
+                incumbent_utility_after=after,
+            )
+            self.decisions.append(decision)
+            return decision
+
+        self.admitted.append(task)
+        self._current_latencies = dict(result.latencies)
+        decision = AdmissionDecision(
+            task=task.name, admitted=True,
+            reason="schedulable" if self.mode == "strict" else
+                   f"schedulable, incumbent loss {before - after:.2f}",
+            report=report,
+            incumbent_utility_before=before,
+            incumbent_utility_after=after,
+        )
+        self.decisions.append(decision)
+        return decision
+
+    def withdraw(self, task_name: str) -> bool:
+        """Remove an admitted task (completed or cancelled); re-optimizes
+        the remaining workload.  Returns whether the task was present."""
+        remaining = [t for t in self.admitted if t.name != task_name]
+        if len(remaining) == len(self.admitted):
+            return False
+        self.admitted = remaining
+        if self.admitted:
+            ts = TaskSet(self.admitted, self.resources)
+            result = LLAOptimizer(ts, self.optimizer_config).run()
+            self._current_latencies = dict(result.latencies)
+        else:
+            self._current_latencies = {}
+        return True
+
+    def admission_rate(self) -> float:
+        """Fraction of offers admitted so far."""
+        if not self.decisions:
+            return 0.0
+        admitted = sum(1 for d in self.decisions if d.admitted)
+        return admitted / len(self.decisions)

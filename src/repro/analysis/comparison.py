@@ -1,0 +1,125 @@
+"""Cross-workload algorithm comparison harness.
+
+The paper compares LLA qualitatively against the deadline-slicing family
+(§7); this harness quantifies the comparison across workload families:
+for each generated workload it runs LLA, the centralized oracle and the
+three slicing heuristics, and aggregates utility gaps and feasibility
+rates.  Used by ``benchmarks/bench_baseline_sweep.py`` to produce the
+"who wins, by how much, where" table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.baselines.centralized import solve_centralized
+from repro.baselines.slicing import (
+    bst_slicing,
+    evaluate_assignment,
+    even_slicing,
+    proportional_slicing,
+)
+from repro.core.optimizer import LLAConfig, LLAOptimizer
+from repro.model.task import TaskSet
+from repro.workloads.generator import GeneratorConfig, random_workload
+
+__all__ = ["AlgorithmStats", "ComparisonReport", "compare_algorithms",
+           "sweep_random_workloads"]
+
+_SLICERS: Dict[str, Callable[[TaskSet], Dict[str, float]]] = {
+    "even-slicing": even_slicing,
+    "proportional-slicing": proportional_slicing,
+    "bst-slicing": bst_slicing,
+}
+
+
+@dataclass
+class AlgorithmStats:
+    """Aggregated outcomes of one algorithm over a workload sweep."""
+
+    name: str
+    utilities: List[float] = field(default_factory=list)
+    feasible_count: int = 0
+    runs: int = 0
+
+    def record(self, utility: float, feasible: bool) -> None:
+        self.utilities.append(utility)
+        self.feasible_count += int(feasible)
+        self.runs += 1
+
+    @property
+    def mean_utility(self) -> float:
+        return sum(self.utilities) / len(self.utilities) \
+            if self.utilities else float("nan")
+
+    @property
+    def feasibility_rate(self) -> float:
+        return self.feasible_count / self.runs if self.runs else 0.0
+
+
+@dataclass
+class ComparisonReport:
+    """Sweep outcome: per-algorithm stats plus per-workload gaps."""
+
+    stats: Dict[str, AlgorithmStats]
+    #: LLA utility minus oracle utility per workload (≈ 0 is perfect).
+    lla_oracle_gaps: List[float]
+    #: oracle utility minus best slicing utility per workload (≥ 0 means
+    #: optimization buys something structurally).
+    optimization_margins: List[float]
+
+    def lla_matches_oracle(self, tol: float = 1.0) -> bool:
+        return all(abs(g) <= tol for g in self.lla_oracle_gaps)
+
+    def mean_optimization_margin(self) -> float:
+        if not self.optimization_margins:
+            return 0.0
+        return sum(self.optimization_margins) / len(self.optimization_margins)
+
+
+def compare_algorithms(taskset: TaskSet,
+                       max_iterations: int = 1500) -> Dict[str, object]:
+    """All algorithms on one workload → ``{name: AssignmentScore}``."""
+    scores: Dict[str, object] = {}
+    lla = LLAOptimizer(taskset, LLAConfig(max_iterations=max_iterations)).run()
+    scores["lla"] = evaluate_assignment(taskset, lla.latencies)
+    oracle = solve_centralized(taskset)
+    scores["centralized"] = evaluate_assignment(taskset, oracle.latencies)
+    for name, slicer in _SLICERS.items():
+        scores[name] = evaluate_assignment(taskset, slicer(taskset))
+    return scores
+
+
+def sweep_random_workloads(
+    seeds=range(6),
+    config: Optional[GeneratorConfig] = None,
+    max_iterations: int = 1200,
+) -> ComparisonReport:
+    """Run the comparison over a family of random provisioned workloads."""
+    config = config or GeneratorConfig(
+        n_tasks=4, n_resources=6, max_subtasks=5, provisioning=0.8
+    )
+    stats = {
+        name: AlgorithmStats(name)
+        for name in ["lla", "centralized", *_SLICERS]
+    }
+    gaps: List[float] = []
+    margins: List[float] = []
+    for seed in seeds:
+        taskset = random_workload(config, seed=seed)
+        scores = compare_algorithms(taskset, max_iterations=max_iterations)
+        for name, score in scores.items():
+            # Slight hover infeasibility of dual iterates is not a miss.
+            feasible = score.feasible or score.max_load <= 1.01
+            stats[name].record(score.utility, feasible)
+        gaps.append(scores["lla"].utility - scores["centralized"].utility)
+        best_slicing = max(
+            scores[name].utility for name in _SLICERS
+        )
+        margins.append(scores["centralized"].utility - best_slicing)
+    return ComparisonReport(
+        stats=stats,
+        lla_oracle_gaps=gaps,
+        optimization_margins=margins,
+    )

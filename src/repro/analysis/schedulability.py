@@ -1,0 +1,129 @@
+"""Schedulability testing via LLA (Section 5.4).
+
+The paper observes LLA doubles as a schedulability test: on an
+unschedulable workload the utilities and shares never converge, and —
+decisively — the critical-path latencies sit far above the critical times.
+Figure 7's six-task workload shows dampening oscillations that *look* like
+slow convergence, but its critical paths run 1.75–2.41× the constraints.
+
+:class:`SchedulabilityAnalyzer` packages that procedure: run LLA for a
+budget of iterations, then report (a) utility oscillation over the tail,
+(b) feasibility of the final iterate, and (c) the per-task ratio of
+critical-path latency to critical time — the paper's own tie-breaker
+between "slowly converging" and "infeasible".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.optimizer import LLAConfig, LLAOptimizer
+from repro.model.task import TaskSet
+
+__all__ = ["SchedulabilityReport", "SchedulabilityAnalyzer"]
+
+
+@dataclass
+class SchedulabilityReport:
+    """Outcome of the LLA schedulability test."""
+
+    schedulable: bool
+    iterations: int
+    utility_oscillation: float
+    feasible_final: bool
+    critical_path_ratios: Dict[str, float]
+    resource_load_ratios: Dict[str, float]
+    max_ratio: float
+    min_ratio: float
+    max_load_ratio: float
+    final_utility: float
+
+    def summary(self) -> str:
+        verdict = "SCHEDULABLE" if self.schedulable else "UNSCHEDULABLE"
+        ratios = ", ".join(
+            f"{t}: {r:.2f}x" for t, r in sorted(self.critical_path_ratios.items())
+        )
+        return (
+            f"{verdict} after {self.iterations} iterations "
+            f"(tail oscillation {self.utility_oscillation:.4f}, "
+            f"max load {self.max_load_ratio:.2f}x availability, "
+            f"critical-path/critical-time ratios: {ratios})"
+        )
+
+
+class SchedulabilityAnalyzer:
+    """Runs the Section 5.4 procedure on a task set.
+
+    The default budget of 2000 iterations comfortably covers the paper's
+    workloads (the slowest, the Section 6 prototype, needs ≈1800 to settle
+    inside the oscillation tolerance); callers screening many cheap
+    workloads can lower it, accepting false UNSCHEDULABLE verdicts for
+    slow-converging feasible workloads.
+    """
+
+    def __init__(self, iterations: int = 2000, tail_fraction: float = 0.3,
+                 oscillation_tol: float = 0.02, ratio_tol: float = 1.05,
+                 config: Optional[LLAConfig] = None):
+        if not 0.0 < tail_fraction <= 1.0:
+            raise ValueError(
+                f"tail_fraction must be in (0, 1], got {tail_fraction!r}"
+            )
+        self.iterations = int(iterations)
+        self.tail_fraction = float(tail_fraction)
+        self.oscillation_tol = float(oscillation_tol)
+        self.ratio_tol = float(ratio_tol)
+        self.config = config
+
+    def analyze(self, taskset: TaskSet) -> SchedulabilityReport:
+        """Run LLA and classify the workload.
+
+        A workload is reported schedulable when the utility's tail
+        oscillation (relative spread over the last ``tail_fraction`` of
+        the trace) is below ``oscillation_tol`` *and* every task's
+        critical path ends within ``ratio_tol`` of its critical time.
+        """
+        config = self.config or LLAConfig(
+            max_iterations=self.iterations,
+            record_history=True,
+            stop_on_convergence=False,
+        )
+        optimizer = LLAOptimizer(taskset, config)
+        result = optimizer.run(self.iterations)
+
+        trace = np.array(result.utility_trace())
+        tail = trace[int(len(trace) * (1.0 - self.tail_fraction)):]
+        scale = max(1.0, float(np.max(np.abs(tail)))) if tail.size else 1.0
+        oscillation = float(tail.max() - tail.min()) / scale if tail.size else 0.0
+
+        ratios = {
+            task.name:
+                task.critical_path(result.latencies)[1] / task.critical_time
+            for task in taskset.tasks
+        }
+        load_ratios = {
+            rname: load / taskset.resources[rname].availability
+            for rname, load in
+            taskset.resource_loads(result.latencies).items()
+        }
+        feasible = taskset.is_feasible(result.latencies, tol=1e-2)
+        schedulable = (
+            oscillation <= self.oscillation_tol
+            and max(ratios.values()) <= self.ratio_tol
+            and max(load_ratios.values()) <= self.ratio_tol
+            and feasible
+        )
+        return SchedulabilityReport(
+            schedulable=schedulable,
+            iterations=result.iterations,
+            utility_oscillation=oscillation,
+            feasible_final=feasible,
+            critical_path_ratios=ratios,
+            resource_load_ratios=load_ratios,
+            max_ratio=max(ratios.values()),
+            min_ratio=min(ratios.values()),
+            max_load_ratio=max(load_ratios.values()),
+            final_utility=result.utility,
+        )

@@ -1,0 +1,118 @@
+"""Convergence-trace diagnostics.
+
+The experiment drivers and tests repeatedly ask the same questions of a
+utility trace — when did it settle, how hard does it oscillate, how far is
+it from a reference — and of a full iteration history — how much are the
+prices still moving, how long were constraints violated.  This module
+centralizes those measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.state import IterationRecord
+
+__all__ = [
+    "settling_iteration",
+    "tail_oscillation",
+    "distance_to_reference",
+    "price_movement",
+    "violation_duration",
+    "TraceSummary",
+    "summarize_trace",
+]
+
+
+def settling_iteration(values: Sequence[float], band: float = 0.5,
+                       relative: bool = False) -> Optional[int]:
+    """First index after which the series stays within ``band`` of its
+    final value (absolute, or relative to the final value's magnitude)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return None
+    final = arr[-1]
+    tolerance = band * max(abs(final), 1e-12) if relative else band
+    inside = np.abs(arr - final) <= tolerance
+    # The last index at which the series was OUTSIDE the band, plus one.
+    outside = np.nonzero(~inside)[0]
+    if outside.size == 0:
+        return 0
+    first = int(outside[-1]) + 1
+    # The final sample is trivially within band of itself; settling needs
+    # at least one confirming sample after the entry point.
+    return first if first < arr.size - 1 else None
+
+
+def tail_oscillation(values: Sequence[float], window: int = 100) -> float:
+    """Peak-to-peak spread over the last ``window`` entries."""
+    arr = np.asarray(values[-window:], dtype=float)
+    if arr.size == 0:
+        return 0.0
+    return float(arr.max() - arr.min())
+
+
+def distance_to_reference(values: Sequence[float], reference: float) -> float:
+    """|final value − reference|."""
+    if not len(values):
+        return float("inf")
+    return abs(float(values[-1]) - reference)
+
+
+def price_movement(history: Sequence[IterationRecord],
+                   window: int = 20) -> float:
+    """Mean absolute per-iteration resource-price change over the last
+    ``window`` iterations — near zero once the dual has converged."""
+    if len(history) < 2:
+        return 0.0
+    recent = list(history[-(window + 1):])
+    deltas = []
+    for prev, cur in zip(recent, recent[1:]):
+        for rname, price in cur.resource_prices.items():
+            deltas.append(abs(price - prev.resource_prices.get(rname, 0.0)))
+    return float(np.mean(deltas)) if deltas else 0.0
+
+
+def violation_duration(history: Sequence[IterationRecord]) -> int:
+    """Number of iterations with at least one congested resource or path."""
+    return sum(
+        1 for rec in history
+        if rec.congested_resources or rec.congested_paths
+    )
+
+
+@dataclass
+class TraceSummary:
+    """One-line characterization of an optimization run."""
+
+    iterations: int
+    final_utility: float
+    settling: Optional[int]
+    oscillation: float
+    price_drift: float
+    violated_iterations: int
+
+    def converged_cleanly(self, oscillation_tol: float = 1.0,
+                          drift_tol: float = 0.1) -> bool:
+        return (
+            self.settling is not None
+            and self.oscillation <= oscillation_tol
+            and self.price_drift <= drift_tol
+        )
+
+
+def summarize_trace(history: Sequence[IterationRecord],
+                    band: float = 0.5) -> TraceSummary:
+    """Compute all diagnostics for an iteration history."""
+    utilities = [rec.utility for rec in history]
+    return TraceSummary(
+        iterations=len(history),
+        final_utility=utilities[-1] if utilities else float("nan"),
+        settling=settling_iteration(utilities, band=band),
+        oscillation=tail_oscillation(utilities),
+        price_drift=price_movement(history),
+        violated_iterations=violation_duration(history),
+    )

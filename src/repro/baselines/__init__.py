@@ -1,0 +1,26 @@
+"""Baseline latency-assignment algorithms for comparison with LLA.
+
+* :func:`~repro.baselines.centralized.solve_centralized` — the omniscient
+  SLSQP reference optimum;
+* deadline-slicing heuristics (:mod:`repro.baselines.slicing`): even,
+  cost-proportional and BST-style greedy laxity distribution.
+"""
+
+from repro.baselines.centralized import CentralizedSolution, solve_centralized
+from repro.baselines.slicing import (
+    AssignmentScore,
+    bst_slicing,
+    evaluate_assignment,
+    even_slicing,
+    proportional_slicing,
+)
+
+__all__ = [
+    "solve_centralized",
+    "CentralizedSolution",
+    "even_slicing",
+    "proportional_slicing",
+    "bst_slicing",
+    "evaluate_assignment",
+    "AssignmentScore",
+]

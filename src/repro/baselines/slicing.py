@@ -1,0 +1,155 @@
+"""Deadline-slicing baselines (the Section 7 "deadline slicing" family).
+
+These algorithms assign each subtask a slice of its task's end-to-end
+deadline using only structural information — no prices, no utilities, no
+resource feedback.  They are offline, one-shot, and (as the paper argues)
+cannot account for resource capacity or task importance.  Three classic
+strategies are implemented:
+
+* :func:`even_slicing` — Bettati & Liu's equal division: every subtask on a
+  path receives an equal fraction of the critical time.  For DAGs the
+  binding division uses the longest (by hop count) path through the
+  subtask.
+* :func:`proportional_slicing` — Kao & Garcia-Molina's SLACK-style rule:
+  the deadline is divided proportionally to each subtask's execution cost,
+  so expensive subtasks receive proportionally more budget.
+* :func:`bst_slicing` — a greedy minimum-laxity pass in the spirit of
+  Di Natale & Stankovic's BST: repeatedly find the path whose unassigned
+  subtasks have the least laxity, distribute that path's remaining budget
+  evenly among them, and fix those assignments.
+
+Each returns a full latency assignment; :func:`evaluate_assignment` scores
+any assignment with the paper's own metrics (utility, feasibility, loads)
+so benches can compare the baselines against LLA on equal terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.errors import OptimizationError
+from repro.model.task import Task, TaskSet
+
+__all__ = [
+    "even_slicing",
+    "proportional_slicing",
+    "bst_slicing",
+    "AssignmentScore",
+    "evaluate_assignment",
+]
+
+
+def _cost(taskset: TaskSet, task: Task, subtask: str) -> float:
+    """Execution cost (WCET + lag) used for proportional division."""
+    sub = task.subtask(subtask)
+    return sub.exec_time + taskset.resources[sub.resource].lag
+
+
+def even_slicing(taskset: TaskSet) -> Dict[str, float]:
+    """Equal division of the critical time along each path.
+
+    A subtask lying on several paths takes the *smallest* slice any of its
+    paths implies (hop count of the longest path through it), which keeps
+    every path within its deadline.
+    """
+    latencies: Dict[str, float] = {}
+    for task in taskset.tasks:
+        hops: Dict[str, int] = {}
+        for path in task.graph.paths:
+            for s in path:
+                hops[s] = max(hops.get(s, 0), len(path))
+        for s in task.subtask_names:
+            latencies[s] = task.critical_time / hops[s]
+    return latencies
+
+
+def proportional_slicing(taskset: TaskSet) -> Dict[str, float]:
+    """Cost-proportional division of the critical time.
+
+    Each subtask's slice is ``C_i × cost_s / (path cost)``, using the
+    maximum-cost path through the subtask so that every path stays within
+    its deadline.
+    """
+    latencies: Dict[str, float] = {}
+    for task in taskset.tasks:
+        fraction: Dict[str, float] = {}
+        for path in task.graph.paths:
+            path_cost = sum(_cost(taskset, task, s) for s in path)
+            if path_cost <= 0.0:
+                raise OptimizationError(
+                    f"task {task.name!r} has a zero-cost path"
+                )
+            for s in path:
+                f = _cost(taskset, task, s) / path_cost
+                fraction[s] = min(fraction.get(s, 1.0), f)
+        for s in task.subtask_names:
+            latencies[s] = task.critical_time * fraction[s]
+    return latencies
+
+
+def bst_slicing(taskset: TaskSet) -> Dict[str, float]:
+    """Greedy minimum-laxity slicing (BST-style).
+
+    Per task: while any subtask is unassigned, pick the root-to-leaf path
+    with the least *laxity per unassigned subtask* — laxity being the
+    critical time minus the cost of the whole path and minus the latency
+    already fixed for its assigned subtasks — and grant each unassigned
+    subtask on it its cost plus an even split of the laxity.
+    """
+    latencies: Dict[str, float] = {}
+    for task in taskset.tasks:
+        assigned: Dict[str, float] = {}
+        paths: List[Tuple[str, ...]] = list(task.graph.paths)
+        while len(assigned) < len(task.subtask_names):
+            best = None
+            best_key = None
+            for path in paths:
+                unassigned = [s for s in path if s not in assigned]
+                if not unassigned:
+                    continue
+                fixed = sum(assigned[s] for s in path if s in assigned)
+                cost = sum(_cost(taskset, task, s) for s in unassigned)
+                laxity = task.critical_time - fixed - cost
+                key = laxity / len(unassigned)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = (path, unassigned, laxity)
+            if best is None:
+                break
+            _path, unassigned, laxity = best
+            bonus = max(laxity, 0.0) / len(unassigned)
+            for s in unassigned:
+                assigned[s] = _cost(taskset, task, s) + bonus
+        latencies.update(assigned)
+    return latencies
+
+
+@dataclass
+class AssignmentScore:
+    """Quality metrics of a latency assignment, LLA's own yardsticks."""
+
+    utility: float
+    feasible: bool
+    resource_loads: Dict[str, float]
+    max_load: float
+    critical_paths: Dict[str, float]
+    violations: List[str]
+
+
+def evaluate_assignment(taskset: TaskSet,
+                        latencies: Mapping[str, float]) -> AssignmentScore:
+    """Score any latency assignment with utility/feasibility/load metrics."""
+    loads = taskset.resource_loads(latencies)
+    violations = taskset.constraint_violations(latencies)
+    return AssignmentScore(
+        utility=taskset.total_utility(latencies),
+        feasible=not violations,
+        resource_loads=loads,
+        max_load=max(loads.values()) if loads else 0.0,
+        critical_paths={
+            task.name: task.critical_path(latencies)[1]
+            for task in taskset.tasks
+        },
+        violations=violations,
+    )

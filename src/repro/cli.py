@@ -1,0 +1,150 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``experiment {table1,fig5,…,ablations,adaptation,percentiles}`` — run a
+  paper experiment driver and print its report;
+* ``optimize <workload.json>`` — load a serialized workload, run LLA, and
+  print the converged allocation (optionally write it as JSON);
+* ``check <workload.json>`` — run the schedulability test on a workload;
+* ``export-workload {base,scaled,unschedulable,prototype} [-o FILE]`` —
+  serialize one of the paper's workloads for editing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.schedulability import SchedulabilityAnalyzer
+from repro.core.optimizer import LLAConfig, LLAOptimizer
+from repro.model.serialize import taskset_from_json, taskset_to_json
+from repro.workloads.paper import (
+    base_workload,
+    prototype_workload,
+    scaled_workload,
+    unschedulable_workload,
+)
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = (
+    "table1", "fig5", "fig6", "fig7", "fig8", "ablations", "adaptation",
+    "percentiles",
+)
+_WORKLOADS = {
+    "base": base_workload,
+    "scaled": lambda: scaled_workload(2),
+    "unschedulable": unschedulable_workload,
+    "prototype": prototype_workload,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LLA — Lagrangian Latency Assignment (ICDCS 2008 "
+                    "reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("experiment", help="run a paper experiment")
+    exp.add_argument("name", choices=_EXPERIMENTS)
+
+    opt = sub.add_parser("optimize", help="optimize a workload JSON file")
+    opt.add_argument("workload", help="path to a serialized workload")
+    opt.add_argument("--iterations", type=int, default=1500)
+    opt.add_argument("--warm-start", action="store_true")
+    opt.add_argument("-o", "--output",
+                     help="write the allocation as JSON to this file")
+
+    chk = sub.add_parser("check", help="schedulability-test a workload")
+    chk.add_argument("workload", help="path to a serialized workload")
+    chk.add_argument("--iterations", type=int, default=2000)
+
+    exp_w = sub.add_parser("export-workload",
+                           help="serialize a built-in workload")
+    exp_w.add_argument("name", choices=sorted(_WORKLOADS))
+    exp_w.add_argument("-o", "--output", help="output file (default stdout)")
+
+    return parser
+
+
+def _load_taskset(path: str):
+    try:
+        with open(path) as handle:
+            return taskset_from_json(handle.read())
+    except OSError as exc:
+        raise SystemExit(f"cannot read {path!r}: {exc}")
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    module.main()
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    taskset = _load_taskset(args.workload)
+    config = LLAConfig(max_iterations=args.iterations,
+                       warm_start=args.warm_start)
+    result = LLAOptimizer(taskset, config).run()
+    print(f"converged: {result.converged} after {result.iterations} "
+          f"iterations; utility {result.utility:.3f}")
+    for task in taskset.tasks:
+        _, crit = task.critical_path(result.latencies)
+        print(f"  {task.name}: critical path {crit:.2f} / "
+              f"{task.critical_time:.2f}")
+    if args.output:
+        allocation = {
+            "latencies": result.latencies,
+            "shares": {
+                name: taskset.share_function(name).share(lat)
+                for name, lat in result.latencies.items()
+            },
+            "utility": result.utility,
+            "converged": result.converged,
+        }
+        with open(args.output, "w") as handle:
+            json.dump(allocation, handle, indent=2)
+        print(f"allocation written to {args.output}")
+    return 0 if result.converged else 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    taskset = _load_taskset(args.workload)
+    report = SchedulabilityAnalyzer(iterations=args.iterations).analyze(
+        taskset
+    )
+    print(report.summary())
+    return 0 if report.schedulable else 1
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    text = taskset_to_json(_WORKLOADS[args.name]())
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"workload written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "experiment": _cmd_experiment,
+        "optimize": _cmd_optimize,
+        "check": _cmd_check,
+        "export-workload": _cmd_export,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Convergence detection for the LLA iteration.
+
+The paper stops its prototype optimizer "until the utility improvement from
+the previous iteration is below 1%" (Section 6.4) and, for batch use,
+"stopping it after it converges" (Section 4.4).  Detecting convergence of a
+dual-ascent method purely from the utility trace is fragile — Figure 7 shows
+slowly-dampening oscillations that *look* convergent but correspond to an
+infeasible workload — so the detector here combines:
+
+* **utility stability**: relative utility change below ``utility_tol`` for
+  ``window`` consecutive iterations; and
+* **feasibility**: no resource or path constraint violated beyond
+  ``feasibility_tol`` (the paper's own Section 5.4 argument for telling
+  slow convergence apart from unschedulability).
+
+Feasibility checking can be disabled to mimic a naive utility-only stop,
+which the schedulability experiments use to demonstrate the failure mode.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Mapping, Optional
+
+from repro.model.task import TaskSet
+
+__all__ = ["ConvergenceDetector"]
+
+
+class ConvergenceDetector:
+    """Sliding-window convergence test over the LLA iteration."""
+
+    def __init__(
+        self,
+        taskset: TaskSet,
+        utility_tol: float = 1e-4,
+        window: int = 10,
+        feasibility_tol: float = 1e-3,
+        require_feasible: bool = True,
+    ):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window!r}")
+        if utility_tol <= 0.0:
+            raise ValueError(f"utility_tol must be positive, got {utility_tol!r}")
+        self.taskset = taskset
+        self.utility_tol = float(utility_tol)
+        self.window = int(window)
+        self.feasibility_tol = float(feasibility_tol)
+        self.require_feasible = bool(require_feasible)
+        self._recent: Deque[float] = deque(maxlen=window + 1)
+        self._last_latencies: Optional[Mapping[str, float]] = None
+
+    def reset(self) -> None:
+        self._recent.clear()
+        self._last_latencies = None
+
+    def observe(self, utility: float, latencies: Mapping[str, float]) -> None:
+        """Record one iteration's outcome."""
+        self._recent.append(float(utility))
+        self._last_latencies = dict(latencies)
+
+    def utility_stable(self) -> bool:
+        """Relative utility change below tolerance across the window."""
+        if len(self._recent) <= self.window:
+            return False
+        values = list(self._recent)
+        scale = max(1.0, max(abs(v) for v in values))
+        spread = max(values) - min(values)
+        return spread / scale <= self.utility_tol
+
+    def feasible(self) -> bool:
+        """Current iterate satisfies Eqs. 3–4 within tolerance."""
+        if self._last_latencies is None:
+            return False
+        return self.taskset.is_feasible(
+            self._last_latencies, tol=self.feasibility_tol
+        )
+
+    def converged(self) -> bool:
+        if not self.utility_stable():
+            return False
+        if self.require_feasible and not self.feasible():
+            return False
+        return True

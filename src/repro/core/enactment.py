@@ -1,0 +1,115 @@
+"""Enactment policies: when to push new allocations into the system.
+
+Section 4.4: "LLA runs continuously … however, new allocations are
+computed and enacted only when significant changes occur", and the
+prototype (§6.4) re-runs the optimizer once a minute after the utility
+stabilizes, enacting when the improvement exceeds 1%.  Enactment is not
+free in a real system (scheduler reconfiguration, churn), so the policy
+deciding *when* the optimizer's current iterate becomes the system's
+shares is a first-class knob.
+
+Three policies:
+
+* :class:`AlwaysEnact` — push every epoch (what a simulation study does);
+* :class:`ThresholdEnactment` — push only when some share moved by more
+  than a relative threshold since the last enactment (the paper's
+  "significant changes" rule);
+* :class:`PeriodicEnactment` — push every N epochs regardless (the
+  prototype's once-a-minute steady-state mode), optionally combined with
+  the threshold via ``ThresholdEnactment(…, max_interval=N)``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Mapping, Optional
+
+from repro.errors import OptimizationError
+
+__all__ = ["EnactmentPolicy", "AlwaysEnact", "ThresholdEnactment",
+           "PeriodicEnactment"]
+
+
+class EnactmentPolicy(ABC):
+    """Decides whether a newly computed share map should be enacted."""
+
+    @abstractmethod
+    def should_enact(self, shares: Mapping[str, float]) -> bool:
+        """Whether to push ``shares`` now.  Called once per epoch."""
+
+    def notify_enacted(self, shares: Mapping[str, float]) -> None:
+        """Called after the shares were actually pushed."""
+
+
+class AlwaysEnact(EnactmentPolicy):
+    """Enact every epoch."""
+
+    def should_enact(self, shares: Mapping[str, float]) -> bool:
+        return True
+
+
+class ThresholdEnactment(EnactmentPolicy):
+    """Enact when any share moved more than ``threshold`` (relative)
+    since the last enactment — the §4.4 "significant changes" rule.
+
+    ``max_interval`` bounds staleness: after that many consecutive
+    skipped epochs the policy enacts regardless (0 disables the bound).
+    """
+
+    def __init__(self, threshold: float = 0.02, max_interval: int = 0):
+        if threshold <= 0.0:
+            raise OptimizationError(
+                f"threshold must be positive, got {threshold!r}"
+            )
+        if max_interval < 0:
+            raise OptimizationError(
+                f"max_interval must be >= 0, got {max_interval!r}"
+            )
+        self.threshold = float(threshold)
+        self.max_interval = int(max_interval)
+        self._last_enacted: Optional[Dict[str, float]] = None
+        self._skipped = 0
+        self.enactments = 0
+        self.skips = 0
+
+    def should_enact(self, shares: Mapping[str, float]) -> bool:
+        if self._last_enacted is None:
+            return True
+        if self.max_interval and self._skipped >= self.max_interval:
+            return True
+        for name, share in shares.items():
+            previous = self._last_enacted.get(name)
+            if previous is None:
+                return True
+            scale = max(abs(previous), 1e-9)
+            if abs(share - previous) / scale > self.threshold:
+                return True
+        self._skipped += 1
+        self.skips += 1
+        return False
+
+    def notify_enacted(self, shares: Mapping[str, float]) -> None:
+        self._last_enacted = dict(shares)
+        self._skipped = 0
+        self.enactments += 1
+
+
+class PeriodicEnactment(EnactmentPolicy):
+    """Enact every ``interval`` epochs (the first epoch always enacts)."""
+
+    def __init__(self, interval: int = 5):
+        if interval < 1:
+            raise OptimizationError(
+                f"interval must be >= 1, got {interval!r}"
+            )
+        self.interval = int(interval)
+        self._epoch = 0
+        self.enactments = 0
+
+    def should_enact(self, shares: Mapping[str, float]) -> bool:
+        due = self._epoch % self.interval == 0
+        self._epoch += 1
+        return due
+
+    def notify_enacted(self, shares: Mapping[str, float]) -> None:
+        self.enactments += 1

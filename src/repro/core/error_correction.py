@@ -1,0 +1,182 @@
+"""Online model-error correction (Section 6.3).
+
+The share model of Eq. 10 is worst-case: it assumes each job waits the full
+scheduling lag and that the release times of subtasks sharing a resource are
+synchronized adversarially.  In a live system that rarely happens, so the
+model *over-predicts* latency and the optimizer over-allocates share.
+
+The paper's correction is deliberately simple:
+
+* periodically sample observed job latencies per subtask;
+* keep a high percentile of the samples (above the 90th in the prototype)
+  as the "observed" latency — still conservative, but empirical;
+* form the additive error ``e = observed − predicted``;
+* exponentially smooth ``e`` and fold it into the share model, so the share
+  needed for target latency ``lat`` becomes ``share(lat − ê)``
+  (see :class:`repro.model.share.CorrectedShare`).
+
+The corrected model feeds back into the optimizer, which then discovers it
+can meet the same critical times with less share (Figure 8's −23 % / +32 %
+reallocation between fast and slow subtasks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import OptimizationError
+from repro.model.share import CorrectedShare
+from repro.model.task import TaskSet
+
+__all__ = ["ErrorSample", "ErrorCorrector"]
+
+
+@dataclass
+class ErrorSample:
+    """One correction observation for a subtask."""
+
+    subtask: str
+    predicted: float
+    observed: float
+
+    @property
+    def error(self) -> float:
+        return self.observed - self.predicted
+
+
+@dataclass
+class _SubtaskErrorState:
+    smoothed: float = 0.0
+    initialized: bool = False
+    history: List[float] = field(default_factory=list)
+
+
+class ErrorCorrector:
+    """Additive error estimation with exponential smoothing.
+
+    Parameters
+    ----------
+    taskset:
+        The workload whose share functions the corrector rewrites in place
+        (each raw share function is wrapped in a
+        :class:`~repro.model.share.CorrectedShare` on first update).
+    alpha:
+        Exponential smoothing weight for new error observations; the
+        prototype used heavy smoothing, so the default is 0.2.
+    percentile:
+        The latency percentile taken over each batch of observed samples
+        (the paper uses "greater than 90th percentile"; default 95).
+    max_abs_correction:
+        Optional absolute clamp on ``|ê|`` for noisy or adversarial
+        samples.  ``None`` (the default, and the paper's behaviour) applies
+        the smoothed error unclamped — a *negative* error (the model
+        over-predicts, the common case) can never break the corrected
+        model's domain since ``lat − ê > lat > 0``, and a positive error
+        shifts the model's minimum latency up with it.
+    """
+
+    def __init__(self, taskset: TaskSet, alpha: float = 0.2,
+                 percentile: float = 95.0,
+                 max_abs_correction: Optional[float] = None):
+        if not 0.0 < alpha <= 1.0:
+            raise OptimizationError(f"alpha must be in (0, 1], got {alpha!r}")
+        if not 0.0 < percentile <= 100.0:
+            raise OptimizationError(
+                f"percentile must be in (0, 100], got {percentile!r}"
+            )
+        if max_abs_correction is not None and max_abs_correction <= 0.0:
+            raise OptimizationError(
+                f"max_abs_correction must be positive, got {max_abs_correction!r}"
+            )
+        self.taskset = taskset
+        self.alpha = float(alpha)
+        self.percentile = float(percentile)
+        self.max_abs_correction = (
+            float(max_abs_correction) if max_abs_correction is not None
+            else None
+        )
+        self._state: Dict[str, _SubtaskErrorState] = {
+            name: _SubtaskErrorState() for name in taskset.subtask_names
+        }
+
+    # -- observation ------------------------------------------------------------
+
+    def observe_batch(self, subtask: str, predicted: float,
+                      observed_latencies: Iterable[float]) -> Optional[float]:
+        """Fold a batch of observed job latencies into the error estimate.
+
+        Takes the configured high percentile of the batch as the observed
+        latency, forms the additive error against ``predicted``, and
+        exponentially smooths it.  Returns the new smoothed error, or
+        ``None`` when the batch was empty.
+        """
+        samples = np.asarray(list(observed_latencies), dtype=float)
+        if samples.size == 0:
+            return None
+        observed = float(np.percentile(samples, self.percentile))
+        return self.observe(ErrorSample(subtask, predicted, observed))
+
+    def observe(self, sample: ErrorSample) -> float:
+        """Fold one (already percentile-reduced) sample into the estimate."""
+        state = self._require_state(sample.subtask)
+        if state.initialized:
+            state.smoothed = (
+                (1.0 - self.alpha) * state.smoothed + self.alpha * sample.error
+            )
+        else:
+            state.smoothed = sample.error
+            state.initialized = True
+        state.history.append(sample.error)
+        return state.smoothed
+
+    # -- application -------------------------------------------------------------
+
+    def error(self, subtask: str) -> float:
+        """Current smoothed additive error for a subtask (0 until observed)."""
+        return self._require_state(subtask).smoothed
+
+    def raw_errors(self, subtask: str) -> List[float]:
+        """Unsmoothed error observations, in arrival order (Figure 8's
+        fluctuating error line)."""
+        return list(self._require_state(subtask).history)
+
+    def apply(self, subtask: str) -> float:
+        """Install the current error estimate into the task set's share model.
+
+        Wraps the subtask's raw share function in a
+        :class:`~repro.model.share.CorrectedShare` (idempotently) and sets
+        its error to the clamped smoothed estimate.  Returns the applied
+        error value.
+        """
+        state = self._require_state(subtask)
+        share_fn = self.taskset.share_function(subtask)
+        if isinstance(share_fn, CorrectedShare):
+            corrected = share_fn
+        else:
+            corrected = CorrectedShare(share_fn, 0.0)
+            self.taskset.set_share_function(subtask, corrected)
+
+        applied = state.smoothed
+        if self.max_abs_correction is not None:
+            applied = float(np.clip(
+                applied, -self.max_abs_correction, self.max_abs_correction
+            ))
+        corrected.set_error(applied)
+        return applied
+
+    def apply_all(self) -> Dict[str, float]:
+        """Apply every initialized estimate; returns ``{subtask: error}``."""
+        applied: Dict[str, float] = {}
+        for name, state in self._state.items():
+            if state.initialized:
+                applied[name] = self.apply(name)
+        return applied
+
+    def _require_state(self, subtask: str) -> _SubtaskErrorState:
+        try:
+            return self._state[subtask]
+        except KeyError:
+            raise OptimizationError(f"unknown subtask {subtask!r}")

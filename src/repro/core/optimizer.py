@@ -1,0 +1,291 @@
+"""The LLA optimizer: iterative latency allocation + price computation.
+
+This is the in-process ("centralized execution of the distributed
+algorithm") form of LLA used for the simulation experiments of Section 5.
+Each iteration performs exactly what the paper's two algorithm boxes
+describe, in order:
+
+1. every task controller receives the current resource prices, updates its
+   path prices (Eq. 9), and computes new subtask latencies from the
+   Lagrangian stationarity condition (Eq. 7);
+2. every resource receives the new latencies of the subtasks it hosts and
+   updates its price (Eq. 8);
+3. the step-size policy observes which resources/paths are congested (the
+   adaptive heuristic of Section 5.2).
+
+The message-passing form with explicit controller/resource agents lives in
+:mod:`repro.distributed`; it produces identical iterates under a lossless
+synchronous bus (asserted by integration tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.errors import OptimizationError
+from repro.core.allocation import LatencyAllocator
+from repro.core.convergence import ConvergenceDetector
+from repro.core.prices import PathPriceUpdater, ResourcePriceUpdater
+from repro.core.state import IterationRecord, OptimizationResult, PathKey
+from repro.core.stepsize import AdaptiveStepSize, FixedStepSize, StepSizePolicy
+from repro.model.task import TaskSet
+from repro.model.utility import check_concavity
+
+__all__ = ["LLAConfig", "LLAOptimizer"]
+
+
+@dataclass
+class LLAConfig:
+    """Tunables of an LLA run.
+
+    Defaults reproduce the paper's best configuration: adaptive step sizes
+    starting at γ = 1, initial resource price 1, initial path price 0.
+
+    Attributes
+    ----------
+    max_iterations:
+        Iteration budget (Section 5 runs use 100–1500).
+    step_policy:
+        A :class:`~repro.core.stepsize.StepSizePolicy`, or ``None`` to build
+        the paper's adaptive policy with ``initial_gamma``.
+    initial_gamma:
+        Starting γ for the default adaptive policy.
+    initial_resource_price / initial_path_price:
+        Dual-variable initialization.
+    utility_tol / convergence_window / feasibility_tol / require_feasible:
+        Convergence detector settings (see
+        :class:`~repro.core.convergence.ConvergenceDetector`).
+    congestion_tol:
+        Slack below which a constraint still counts as satisfied when
+        classifying congestion for the adaptive heuristic.
+    record_history:
+        Keep an :class:`~repro.core.state.IterationRecord` per iteration.
+    strict:
+        Verify utility concavity on ``(0, C_i)`` before running.
+    max_latency_factor:
+        Upper latency clamp as a multiple of the critical time.
+    stop_on_convergence:
+        When ``False``, always run the full iteration budget (used by the
+        figure drivers, which want fixed-length traces).
+    warm_start:
+        Initialize each resource price at its locally-estimable
+        equilibrium value (see :mod:`repro.core.warmstart`) instead of
+        ``initial_resource_price``.  Exact in the overprovisioned regime;
+        a large head start elsewhere.
+    """
+
+    max_iterations: int = 500
+    step_policy: Optional[StepSizePolicy] = None
+    initial_gamma: float = 1.0
+    initial_resource_price: float = 1.0
+    initial_path_price: float = 0.0
+    utility_tol: float = 1e-4
+    convergence_window: int = 10
+    feasibility_tol: float = 1e-2
+    require_feasible: bool = True
+    congestion_tol: float = 1e-9
+    record_history: bool = True
+    strict: bool = False
+    max_latency_factor: float = 1.0
+    stop_on_convergence: bool = True
+    warm_start: bool = False
+
+    def build_step_policy(self, taskset: TaskSet) -> StepSizePolicy:
+        if self.step_policy is not None:
+            return self.step_policy
+        return AdaptiveStepSize(taskset, initial_gamma=self.initial_gamma)
+
+    @staticmethod
+    def fixed(gamma: float, **kwargs) -> "LLAConfig":
+        """Convenience: a config with a fixed step size (Figure 5's γ runs)."""
+        return LLAConfig(step_policy=FixedStepSize(gamma), **kwargs)
+
+
+class LLAOptimizer:
+    """Runs LLA on a :class:`~repro.model.task.TaskSet`.
+
+    The optimizer owns the dual state (prices) and the last primal iterate
+    (latencies).  :meth:`run` executes a batch of iterations;
+    :meth:`step` executes one, so callers that interleave optimization with
+    a running system (the Section 6 prototype pattern) can drive it
+    manually.
+    """
+
+    def __init__(self, taskset: TaskSet, config: Optional[LLAConfig] = None,
+                 on_iteration: Optional[Callable[[IterationRecord], None]] = None):
+        self.taskset = taskset
+        self.config = config or LLAConfig()
+        self.on_iteration = on_iteration
+        if self.config.max_iterations < 1:
+            raise OptimizationError(
+                f"max_iterations must be >= 1, got {self.config.max_iterations!r}"
+            )
+        if self.config.strict:
+            self._check_utilities()
+
+        self.step_policy = self.config.build_step_policy(taskset)
+        self.resource_prices = ResourcePriceUpdater(
+            taskset, initial_price=self.config.initial_resource_price
+        )
+        self.path_prices: Dict[str, PathPriceUpdater] = {
+            task.name: PathPriceUpdater(
+                task, initial_price=self.config.initial_path_price
+            )
+            for task in taskset.tasks
+        }
+        self.allocators: Dict[str, LatencyAllocator] = {
+            task.name: LatencyAllocator(
+                taskset, task, max_latency_factor=self.config.max_latency_factor
+            )
+            for task in taskset.tasks
+        }
+        self.detector = ConvergenceDetector(
+            taskset,
+            utility_tol=self.config.utility_tol,
+            window=self.config.convergence_window,
+            feasibility_tol=self.config.feasibility_tol,
+            require_feasible=self.config.require_feasible,
+        )
+        self.iteration = 0
+        self.latencies: Dict[str, float] = self._initial_latencies()
+        if self.config.warm_start:
+            from repro.core.warmstart import apply_warm_start
+            apply_warm_start(self)
+
+    def _check_utilities(self) -> None:
+        for task in self.taskset.tasks:
+            if not task.utility.is_elastic():
+                continue
+            lo = 1e-6 * task.critical_time
+            if not check_concavity(task.utility, lo, task.critical_time):
+                raise OptimizationError(
+                    f"task {task.name!r} has a non-concave utility; "
+                    "LLA's convergence guarantee does not apply "
+                    "(pass strict=False to run anyway)"
+                )
+
+    def _initial_latencies(self) -> Dict[str, float]:
+        """Primal initialization: one allocation pass at the initial prices."""
+        latencies: Dict[str, float] = {}
+        for task in self.taskset.tasks:
+            latencies.update(
+                self.allocators[task.name].allocate(
+                    self.resource_prices.prices,
+                    self.path_prices[task.name].prices,
+                )
+            )
+        return latencies
+
+    def refresh_model(self) -> None:
+        """Re-read share functions after an external model change.
+
+        Error correction swaps share functions on the task set; allocator
+        latency bounds cache ``min_latency`` and must be recomputed.
+        """
+        for allocator in self.allocators.values():
+            allocator.refresh_bounds()
+
+    # -- iteration ---------------------------------------------------------------
+
+    def step(self) -> IterationRecord:
+        """One full LLA iteration; returns its record."""
+        config = self.config
+
+        # (1) Task controllers: update path prices from the previous
+        # latencies, then allocate new latencies (the paper's Latency
+        # Allocation box, steps 1–4).
+        new_latencies: Dict[str, float] = {}
+        all_path_prices: Dict[PathKey, float] = {}
+        for task in self.taskset.tasks:
+            updater = self.path_prices[task.name]
+            updater.update(self.latencies, self.step_policy)
+            all_path_prices.update(updater.prices)
+            new_latencies.update(
+                self.allocators[task.name].allocate(
+                    self.resource_prices.prices,
+                    updater.prices,
+                    current=self.latencies,
+                )
+            )
+        self.latencies = new_latencies
+
+        # (2) Resources: update prices from the new latencies (the paper's
+        # Resource Price Computation box).
+        self.resource_prices.update(self.latencies, self.step_policy)
+
+        # (3) Congestion classification feeds the adaptive step-size
+        # heuristic (Section 5.2).
+        loads = self.taskset.resource_loads(self.latencies)
+        congested_resources = self.resource_prices.congested(
+            loads, tol=config.congestion_tol
+        )
+        congested_paths: tuple = ()
+        for task in self.taskset.tasks:
+            congested_paths += self.path_prices[task.name].congested(
+                self.latencies, tol=config.congestion_tol
+            )
+        self.step_policy.observe(congested_resources, congested_paths)
+
+        utility = self.taskset.total_utility(self.latencies)
+        self.detector.observe(utility, self.latencies)
+        self.iteration += 1
+
+        record = IterationRecord(
+            iteration=self.iteration,
+            utility=utility,
+            latencies=dict(self.latencies),
+            resource_prices=dict(self.resource_prices.prices),
+            path_prices=all_path_prices,
+            resource_loads=loads,
+            congested_resources=congested_resources,
+            congested_paths=congested_paths,
+            critical_paths={
+                task.name: task.critical_path(self.latencies)[1]
+                for task in self.taskset.tasks
+            },
+        )
+        if self.on_iteration is not None:
+            self.on_iteration(record)
+        return record
+
+    def run(self, max_iterations: Optional[int] = None) -> OptimizationResult:
+        """Run until convergence or the iteration budget is exhausted."""
+        budget = max_iterations or self.config.max_iterations
+        history = []
+        converged = False
+        for _ in range(budget):
+            record = self.step()
+            if self.config.record_history:
+                history.append(record)
+            if self.config.stop_on_convergence and self.detector.converged():
+                converged = True
+                break
+        if not converged and self.detector.converged():
+            converged = True
+        return OptimizationResult(
+            converged=converged,
+            iterations=self.iteration,
+            latencies=dict(self.latencies),
+            utility=self.taskset.total_utility(self.latencies),
+            resource_prices=dict(self.resource_prices.prices),
+            path_prices={
+                key: price
+                for updater in self.path_prices.values()
+                for key, price in updater.prices.items()
+            },
+            history=history,
+        )
+
+    def reset(self) -> None:
+        """Restore initial prices, step sizes and latencies."""
+        self.resource_prices.reset()
+        for updater in self.path_prices.values():
+            updater.reset()
+        self.step_policy.reset()
+        self.detector.reset()
+        self.iteration = 0
+        self.latencies = self._initial_latencies()
+        if self.config.warm_start:
+            from repro.core.warmstart import apply_warm_start
+            apply_warm_start(self)

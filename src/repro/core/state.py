@@ -1,0 +1,88 @@
+"""Optimizer state containers shared across LLA components.
+
+The dual-decomposition state is deliberately plain data — dictionaries keyed
+by subtask / resource / path identifiers — so the same structures serve the
+in-process optimizer (:mod:`repro.core.optimizer`), the message-passing
+distributed runtime (:mod:`repro.distributed`), and test assertions.
+
+Paths are identified by :class:`PathKey` — the owning task name plus the
+path's index into :attr:`SubtaskGraph.paths` — which is hashable, compact
+and stable across iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, NamedTuple, Tuple
+
+__all__ = ["PathKey", "IterationRecord", "OptimizationResult"]
+
+
+class PathKey(NamedTuple):
+    """Stable identifier of a root-to-leaf path: ``(task name, path index)``."""
+
+    task: str
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.task}#p{self.index}"
+
+
+@dataclass
+class IterationRecord:
+    """Everything observable about one LLA iteration.
+
+    Captured by the optimizer after each latency-allocation + price-update
+    round; the experiment drivers build the paper's figures directly from a
+    list of these.
+    """
+
+    iteration: int
+    utility: float
+    latencies: Dict[str, float]
+    resource_prices: Dict[str, float]
+    path_prices: Dict[PathKey, float]
+    resource_loads: Dict[str, float]
+    congested_resources: Tuple[str, ...]
+    congested_paths: Tuple[PathKey, ...]
+    critical_paths: Dict[str, float]
+
+    def max_load(self) -> float:
+        """Largest per-resource share sum this iteration."""
+        return max(self.resource_loads.values()) if self.resource_loads else 0.0
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of an LLA run.
+
+    Attributes
+    ----------
+    converged:
+        Whether the convergence criterion fired before the iteration budget
+        ran out.
+    iterations:
+        Number of iterations actually executed.
+    latencies:
+        Final per-subtask latency assignment.
+    utility:
+        Final total utility ``Σ U_i``.
+    history:
+        Per-iteration records (empty if recording was disabled).
+    """
+
+    converged: bool
+    iterations: int
+    latencies: Dict[str, float]
+    utility: float
+    resource_prices: Dict[str, float] = field(default_factory=dict)
+    path_prices: Dict[PathKey, float] = field(default_factory=dict)
+    history: List[IterationRecord] = field(default_factory=list)
+
+    def utility_trace(self) -> List[float]:
+        """Utility value per iteration (the y-axis of Figures 5–7)."""
+        return [rec.utility for rec in self.history]
+
+    def load_trace(self, resource: str) -> List[float]:
+        """Share-sum trajectory of one resource (Figure 7's dashed lines)."""
+        return [rec.resource_loads[resource] for rec in self.history]

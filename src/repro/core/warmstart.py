@@ -1,0 +1,76 @@
+"""Warm-start price initialization for LLA.
+
+The paper leaves the dual-variable initialization unspecified (its Figure 5
+runs evidently start cold — the long γ=1 climb).  A resource can however
+estimate its own equilibrium price *locally*: at a saturated optimum with
+inactive path constraints, every subtask on resource ``r`` satisfies the
+stationarity condition
+
+    μ_r · cost_s / lat_s² = w_s         ⇒   lat_s = sqrt(μ_r · cost_s / w_s)
+
+and the capacity constraint binds:
+
+    Σ_s cost_s / lat_s = B_r            ⇒   sqrt(μ_r) = Σ_s sqrt(cost_s · w_s) / B_r
+
+The estimate needs only the hosted subtasks' costs and weights — data the
+resource receives in the first protocol round anyway — so it is exact for
+saturated resources with λ = 0 (e.g. the Figure 6 regime, where it makes
+convergence instant) and a useful starting point otherwise.
+
+Only defined for the hyperbolic share model with linear utilities; other
+configurations fall back to the default initialization.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.model.share import CorrectedShare, HyperbolicShare
+from repro.model.task import TaskSet
+from repro.model.utility import LinearUtility
+
+__all__ = ["warm_start_resource_prices", "apply_warm_start"]
+
+
+def warm_start_resource_prices(taskset: TaskSet,
+                               default: float = 1.0) -> Dict[str, float]:
+    """Per-resource equilibrium price estimates.
+
+    Resources hosting any subtask whose share/utility model falls outside
+    the closed form get the ``default`` price.
+    """
+    prices: Dict[str, float] = {}
+    for rname, resource in taskset.resources.items():
+        total = 0.0
+        estimable = True
+        for task, sub in taskset.subtasks_on(rname):
+            share_fn = taskset.share_function(sub.name)
+            if isinstance(share_fn, CorrectedShare):
+                share_fn = share_fn.base
+            utility = task.utility
+            if not isinstance(share_fn, HyperbolicShare) or \
+                    not isinstance(utility, LinearUtility):
+                estimable = False
+                break
+            weight = task.weight(sub.name) * utility.slope
+            total += math.sqrt(share_fn.cost * weight)
+        if estimable and total > 0.0:
+            prices[rname] = (total / resource.availability) ** 2
+        else:
+            prices[rname] = float(default)
+    return prices
+
+
+def apply_warm_start(optimizer) -> Dict[str, float]:
+    """Install warm-start prices into an :class:`LLAOptimizer` in place.
+
+    Returns the applied price map.  Also refreshes the primal iterate so
+    the first iteration's path prices see warm-start-consistent latencies.
+    """
+    prices = warm_start_resource_prices(
+        optimizer.taskset, default=optimizer.config.initial_resource_price
+    )
+    optimizer.resource_prices.prices.update(prices)
+    optimizer.latencies = optimizer._initial_latencies()
+    return prices

@@ -1,0 +1,43 @@
+"""Distributed (message-passing) execution of LLA (Section 4.1).
+
+Task controllers and resource agents exchange prices and latencies over a
+simulated control network with configurable delay, jitter, loss and
+partitions.
+"""
+
+from repro.distributed.activation import (
+    ActivationSchedule,
+    EveryRound,
+    PeriodicActivation,
+    RandomActivation,
+)
+from repro.distributed.closedloop import (
+    DistributedClosedLoop,
+    DistributedEpochRecord,
+)
+from repro.distributed.agents import (
+    LocalGamma,
+    ResourceAgent,
+    TaskControllerAgent,
+)
+from repro.distributed.messages import Envelope, LatencyMessage, PriceMessage
+from repro.distributed.network import MessageBus
+from repro.distributed.runtime import DistributedConfig, DistributedLLARuntime
+
+__all__ = [
+    "DistributedLLARuntime",
+    "DistributedConfig",
+    "MessageBus",
+    "ResourceAgent",
+    "TaskControllerAgent",
+    "LocalGamma",
+    "Envelope",
+    "PriceMessage",
+    "LatencyMessage",
+    "ActivationSchedule",
+    "EveryRound",
+    "PeriodicActivation",
+    "RandomActivation",
+    "DistributedClosedLoop",
+    "DistributedEpochRecord",
+]

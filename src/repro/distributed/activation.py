@@ -1,0 +1,102 @@
+"""Agent activation schedules: asynchronous execution of LLA.
+
+The synchronous round model (every controller, then every resource, every
+round) is an idealization.  Real deployments are asynchronous: agents run
+on their own timers, at different speeds, occasionally late.  Dual
+gradient methods are known to tolerate this — prices simply move on stale
+information — and Low & Lapsley's framework (which the paper builds on)
+proves convergence for bounded asynchrony.
+
+An :class:`ActivationSchedule` decides, per round, which agents act.
+Skipped agents neither recompute nor send; their last messages stay in
+force at the receivers.
+
+* :class:`EveryRound` — the synchronous ideal;
+* :class:`PeriodicActivation` — each agent acts every ``period`` rounds,
+  with per-agent phase offsets (e.g. slow controllers vs fast resources);
+* :class:`RandomActivation` — each agent independently acts with
+  probability ``p`` per round (bounded asynchrony in expectation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import DistributedError
+
+__all__ = [
+    "ActivationSchedule",
+    "EveryRound",
+    "PeriodicActivation",
+    "RandomActivation",
+]
+
+
+class ActivationSchedule:
+    """Decides which agents act in a given round."""
+
+    def is_active(self, agent: str, round_number: int) -> bool:
+        raise NotImplementedError
+
+
+class EveryRound(ActivationSchedule):
+    """The synchronous ideal: every agent acts every round."""
+
+    def is_active(self, agent: str, round_number: int) -> bool:
+        return True
+
+
+class PeriodicActivation(ActivationSchedule):
+    """Each agent acts every ``period`` rounds.
+
+    ``periods`` maps agent names (``"controller:T1"``, ``"resource:r0"``)
+    to their individual periods; unlisted agents use ``default_period``.
+    Phases are derived from the agent name so distinct agents desynchronize
+    deterministically.
+    """
+
+    def __init__(self, default_period: int = 1,
+                 periods: Optional[Dict[str, int]] = None):
+        if default_period < 1:
+            raise DistributedError(
+                f"default_period must be >= 1, got {default_period!r}"
+            )
+        self.default_period = int(default_period)
+        self.periods = dict(periods or {})
+        for agent, period in self.periods.items():
+            if period < 1:
+                raise DistributedError(
+                    f"period for {agent!r} must be >= 1, got {period!r}"
+                )
+
+    def is_active(self, agent: str, round_number: int) -> bool:
+        period = self.periods.get(agent, self.default_period)
+        phase = hash(agent) % period
+        return round_number % period == phase
+
+
+class RandomActivation(ActivationSchedule):
+    """Each agent independently acts with probability ``p`` per round."""
+
+    def __init__(self, probability: float = 0.5, seed: int = 0):
+        if not 0.0 < probability <= 1.0:
+            raise DistributedError(
+                f"probability must be in (0, 1], got {probability!r}"
+            )
+        self.probability = float(probability)
+        self._rng = np.random.default_rng(seed)
+        # Cache decisions so repeated queries within a round agree.
+        self._round: int = -1
+        self._decisions: Dict[str, bool] = {}
+
+    def is_active(self, agent: str, round_number: int) -> bool:
+        if round_number != self._round:
+            self._round = round_number
+            self._decisions = {}
+        if agent not in self._decisions:
+            self._decisions[agent] = bool(
+                self._rng.random() < self.probability
+            )
+        return self._decisions[agent]

@@ -1,0 +1,208 @@
+"""The distributed LLA agents: task controllers and resource price agents.
+
+Section 4.1: "a task controller for each task in the system … determines the
+resource share and latencies for all subtasks that belong to the task", and
+each resource "computes a price value and sends it to the controllers of the
+tasks that have subtasks executing at the resource" (prices for links are
+computed by one of the link's endpoints — here simply by the link's agent).
+
+Each agent holds only local state plus its last-received view of the remote
+state, and exchanges :mod:`repro.distributed.messages` over a
+:class:`~repro.distributed.network.MessageBus`.  Under a zero-delay lossless
+bus with fixed step sizes, the runtime's iterates match the in-process
+:class:`~repro.core.optimizer.LLAOptimizer` exactly (integration-tested).
+
+Step-size adaptation is local, as it must be in a real deployment: a
+resource doubles its own γ while it observes congestion; a controller
+doubles a path's γ while any resource the path traverses reported a
+congestion bit in its last price message.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import DistributedError
+from repro.core.allocation import LatencyAllocator
+from repro.core.prices import update_path_price, update_resource_price
+from repro.core.state import PathKey
+from repro.distributed.messages import Envelope, LatencyMessage, PriceMessage
+from repro.distributed.network import MessageBus
+from repro.model.task import Task, TaskSet
+
+__all__ = ["ResourceAgent", "TaskControllerAgent", "LocalGamma"]
+
+
+class LocalGamma:
+    """Per-agent multiplicative step-size state (the adaptive heuristic,
+    localized).  ``adapt=False`` freezes it at ``initial`` (fixed policy)."""
+
+    def __init__(self, initial: float = 1.0, growth: float = 2.0,
+                 max_gamma: float = 8.0, adapt: bool = True):
+        if initial <= 0.0:
+            raise DistributedError(f"gamma must be positive, got {initial!r}")
+        self.initial = float(initial)
+        self.growth = float(growth)
+        self.max_gamma = float(max_gamma)
+        self.adapt = bool(adapt)
+        self.value = self.initial
+
+    def observe(self, congested: bool) -> float:
+        if not self.adapt:
+            return self.value
+        if congested:
+            self.value = min(self.value * self.growth, self.max_gamma)
+        else:
+            self.value = self.initial
+        return self.value
+
+
+class ResourceAgent:
+    """Owns one resource's price ``μ_r`` (the Resource Price Computation box).
+
+    Keeps the most recent latency heard for every subtask hosted on the
+    resource; missing or stale entries simply persist — exactly the
+    behaviour of a real system under message loss.
+    """
+
+    def __init__(self, taskset: TaskSet, resource_name: str, bus: MessageBus,
+                 initial_price: float = 1.0,
+                 gamma: Optional[LocalGamma] = None):
+        self.taskset = taskset
+        self.resource = taskset.resources[resource_name]
+        self.name = f"resource:{resource_name}"
+        self.bus = bus
+        self.price = float(initial_price)
+        self.gamma = gamma or LocalGamma()
+        self.paused = False
+        # Which controllers to notify: tasks with subtasks executing here.
+        self._controllers = sorted({
+            task.name for task, _sub in taskset.subtasks_on(resource_name)
+        })
+        self._hosted = [sub.name for _t, sub in taskset.subtasks_on(resource_name)]
+        self.latencies: Dict[str, float] = {}
+        self.congested = False
+
+    def receive(self, envelopes: Iterable[Envelope]) -> None:
+        for env in envelopes:
+            payload = env.payload
+            if isinstance(payload, LatencyMessage):
+                if payload.subtask in set(self._hosted):
+                    self.latencies[payload.subtask] = payload.latency
+
+    def load(self) -> Optional[float]:
+        """Share sum from the latest heard latencies (``None`` until every
+        hosted subtask has reported at least once)."""
+        total = 0.0
+        for name in self._hosted:
+            if name not in self.latencies:
+                return None
+            total += self.taskset.share_function(name).share(self.latencies[name])
+        return total
+
+    def act(self, iteration: int) -> None:
+        """Update ``μ_r`` (Eq. 8) and broadcast the price + congestion bit."""
+        if self.paused:
+            return
+        load = self.load()
+        if load is not None:
+            self.congested = load > self.resource.availability + 1e-9
+            gamma = self.gamma.observe(self.congested)
+            self.price = update_resource_price(
+                self.price, gamma, self.resource.availability, load
+            )
+        for controller in self._controllers:
+            self.bus.send(
+                self.name,
+                f"controller:{controller}",
+                PriceMessage(
+                    resource=self.resource.name,
+                    price=self.price,
+                    congested=self.congested,
+                    iteration=iteration,
+                ),
+            )
+
+
+class TaskControllerAgent:
+    """Owns one task's path prices and latencies (the Latency Allocation box).
+
+    The controller knows its own task's structure and latencies perfectly
+    (they are local state); its view of resource prices is whatever the
+    last received :class:`PriceMessage` said.
+    """
+
+    def __init__(self, taskset: TaskSet, task: Task, bus: MessageBus,
+                 initial_resource_price: float = 1.0,
+                 initial_path_price: float = 0.0,
+                 gamma_factory=None, max_latency_factor: float = 1.0):
+        self.taskset = taskset
+        self.task = task
+        self.name = f"controller:{task.name}"
+        self.bus = bus
+        self.allocator = LatencyAllocator(
+            taskset, task, max_latency_factor=max_latency_factor
+        )
+        gamma_factory = gamma_factory or (lambda: LocalGamma())
+        # Local view of μ_r for resources this task uses, seeded at the
+        # protocol's initial price so round 0 matches the centralized run.
+        self.resource_prices: Dict[str, float] = {
+            sub.resource: float(initial_resource_price)
+            for sub in task.subtasks
+        }
+        self.path_prices: Dict[PathKey, float] = {
+            PathKey(task.name, i): float(initial_path_price)
+            for i in range(len(task.graph.paths))
+        }
+        self._path_gammas: Dict[PathKey, LocalGamma] = {
+            key: gamma_factory() for key in self.path_prices
+        }
+        # Congestion bits heard from resources, by resource name.
+        self._congested_resources: Dict[str, bool] = {}
+        # Resources traversed by each path (for the adaptive heuristic).
+        resource_of = {s.name: s.resource for s in task.subtasks}
+        self._path_resources: Dict[PathKey, frozenset] = {
+            PathKey(task.name, i): frozenset(resource_of[s] for s in path)
+            for i, path in enumerate(task.graph.paths)
+        }
+        self.latencies: Dict[str, float] = self.allocator.allocate(
+            self.resource_prices, self.path_prices
+        )
+        self.paused = False
+
+    def receive(self, envelopes: Iterable[Envelope]) -> None:
+        for env in envelopes:
+            payload = env.payload
+            if isinstance(payload, PriceMessage):
+                self.resource_prices[payload.resource] = payload.price
+                self._congested_resources[payload.resource] = payload.congested
+
+    def act(self, iteration: int) -> None:
+        """Update λ_p (Eq. 9), allocate latencies (Eq. 7), send them out."""
+        if self.paused:
+            return
+        for i, path in enumerate(self.task.graph.paths):
+            key = PathKey(self.task.name, i)
+            path_congested = any(
+                self._congested_resources.get(r, False)
+                for r in self._path_resources[key]
+            )
+            gamma = self._path_gammas[key].observe(path_congested)
+            lat = self.task.graph.path_latency(path, self.latencies)
+            self.path_prices[key] = update_path_price(
+                self.path_prices[key], gamma, lat, self.task.critical_time
+            )
+        self.latencies = self.allocator.allocate(
+            self.resource_prices, self.path_prices, current=self.latencies
+        )
+        for sub in self.task.subtasks:
+            self.bus.send(
+                self.name,
+                f"resource:{sub.resource}",
+                LatencyMessage(
+                    task=self.task.name,
+                    subtask=sub.name,
+                    latency=self.latencies[sub.name],
+                    iteration=iteration,
+                ),
+            )

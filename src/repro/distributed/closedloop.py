@@ -1,0 +1,162 @@
+"""Distributed closed loop: message-passing LLA driving a live system.
+
+The in-process closed loop (:mod:`repro.sim.closedloop`) couples the
+centralized optimizer to the simulator; this module completes the paper's
+architecture by coupling the *distributed* runtime instead — per-task
+controllers and per-resource price agents exchanging messages over a
+(faultable) control network, enacting shares on the simulated system and
+correcting the model from its measurements.
+
+Per epoch:
+
+1. the system executes the workload for one sampling window;
+2. each subtask's observed latencies update its additive model error
+   (§6.3) — in deployment each task controller corrects its own subtasks;
+   the corrected share functions live on the shared task set, and every
+   controller's allocator refreshes its cached bounds;
+3. the control plane runs ``rounds_per_epoch`` protocol rounds (through
+   whatever loss/delay/asynchrony the bus is configured with);
+4. the controllers' current latencies are converted to shares through the
+   corrected model and enacted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.error_correction import ErrorCorrector
+from repro.distributed.runtime import DistributedConfig, DistributedLLARuntime
+from repro.errors import SimulationError
+from repro.model.share import CorrectedShare
+from repro.model.task import TaskSet
+from repro.sim.system import SimulatedSystem
+
+__all__ = ["DistributedEpochRecord", "DistributedClosedLoop"]
+
+
+@dataclass
+class DistributedEpochRecord:
+    """Observable state at the end of one distributed control epoch."""
+
+    epoch: int
+    time: float
+    correction_enabled: bool
+    shares: Dict[str, float]
+    smoothed_errors: Dict[str, float]
+    rounds_completed: int
+    messages_sent: int
+    messages_dropped: int
+    utility: float = 0.0
+
+
+class DistributedClosedLoop:
+    """Couples :class:`DistributedLLARuntime` to a simulated system."""
+
+    def __init__(
+        self,
+        taskset: TaskSet,
+        window: float = 2000.0,
+        rounds_per_epoch: int = 400,
+        model: str = "gps",
+        seed: int = 0,
+        runtime_config: Optional[DistributedConfig] = None,
+        corrector: Optional[ErrorCorrector] = None,
+        warmup_rounds: int = 3000,
+    ):
+        if window <= 0.0:
+            raise SimulationError(f"window must be positive, got {window!r}")
+        self.taskset = taskset
+        self.window = float(window)
+        self.rounds_per_epoch = int(rounds_per_epoch)
+        self.correction_enabled = False
+        self.corrector = corrector or ErrorCorrector(taskset)
+        self.runtime = DistributedLLARuntime(
+            taskset,
+            runtime_config or DistributedConfig(record_history=False),
+        )
+        # Converge the control plane before the system starts.
+        for _ in range(warmup_rounds):
+            self.runtime.step()
+        self._base_model = {
+            name: taskset.share_function(name)
+            for name in taskset.subtask_names
+        }
+        self.system = SimulatedSystem(
+            taskset, self._current_shares(), model=model, seed=seed
+        )
+        self.epoch = 0
+        self.history: List[DistributedEpochRecord] = []
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _current_shares(self) -> Dict[str, float]:
+        latencies = self.runtime.global_latencies()
+        return {
+            name: self.taskset.share_function(name).share(lat)
+            for name, lat in latencies.items()
+        }
+
+    def _base_prediction(self, subtask: str) -> float:
+        share = self.system.current_share(subtask)
+        fn = self._base_model[subtask]
+        if isinstance(fn, CorrectedShare):
+            fn = fn.base
+        return fn.latency_for_share(share)
+
+    def enable_correction(self) -> None:
+        self.correction_enabled = True
+
+    # -- the loop -------------------------------------------------------------------
+
+    def run_epoch(self) -> DistributedEpochRecord:
+        self.epoch += 1
+        sent_before = self.runtime.bus.sent
+        dropped_before = self.runtime.bus.dropped
+
+        self.system.run_for(self.window)
+
+        if self.correction_enabled:
+            for name in self.taskset.subtask_names:
+                samples = self.system.recorder.drain_jobs(name)
+                if not samples:
+                    continue
+                predicted = self._base_prediction(name)
+                self.corrector.observe_batch(name, predicted, samples)
+            self.corrector.apply_all()
+            # Each controller refreshes the latency bounds its allocator
+            # derives from the (now corrected) share model.
+            for controller in self.runtime.controllers.values():
+                controller.allocator.refresh_bounds()
+        else:
+            for name in self.taskset.subtask_names:
+                self.system.recorder.drain_jobs(name)
+
+        for _ in range(self.rounds_per_epoch):
+            self.runtime.step()
+
+        shares = self._current_shares()
+        self.system.enact_shares(shares)
+        latencies = self.runtime.global_latencies()
+        record = DistributedEpochRecord(
+            epoch=self.epoch,
+            time=self.system.engine.now,
+            correction_enabled=self.correction_enabled,
+            shares=shares,
+            smoothed_errors={
+                name: self.corrector.error(name)
+                for name in self.taskset.subtask_names
+            },
+            rounds_completed=self.runtime.round,
+            messages_sent=self.runtime.bus.sent - sent_before,
+            messages_dropped=self.runtime.bus.dropped - dropped_before,
+            utility=self.taskset.total_utility(latencies),
+        )
+        self.history.append(record)
+        return record
+
+    def run_epochs(self, count: int) -> List[DistributedEpochRecord]:
+        return [self.run_epoch() for _ in range(count)]
+
+    def share_trace(self, subtask: str) -> List[float]:
+        return [rec.shares[subtask] for rec in self.history]

@@ -1,0 +1,61 @@
+"""Message types exchanged by the distributed LLA agents (Section 4.1).
+
+The protocol is exactly the paper's:
+
+* each **resource** computes a price and sends it to the controllers of
+  tasks that have subtasks executing at the resource
+  (:class:`PriceMessage`, which also carries the resource's congestion bit
+  so controllers can apply the adaptive step-size heuristic to the paths
+  traversing a congested resource);
+* each **task controller** computes new latencies and sends each subtask's
+  latency to the resource where that subtask executes
+  (:class:`LatencyMessage`).
+
+Messages are immutable; the bus owns delivery timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = ["PriceMessage", "LatencyMessage", "Envelope", "Payload"]
+
+
+@dataclass(frozen=True)
+class PriceMessage:
+    """Resource → controller: the resource's current price ``μ_r``.
+
+    ``congested`` carries the resource's local congestion observation
+    (share sum above availability), which controllers use to double the
+    step sizes of paths traversing the resource (Section 5.2's heuristic).
+    """
+
+    resource: str
+    price: float
+    congested: bool
+    iteration: int
+
+
+@dataclass(frozen=True)
+class LatencyMessage:
+    """Controller → resource: one subtask's newly computed latency."""
+
+    task: str
+    subtask: str
+    latency: float
+    iteration: int
+
+
+Payload = Union[PriceMessage, LatencyMessage]
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A payload in flight: sender, receiver and delivery round."""
+
+    sender: str
+    receiver: str
+    payload: Payload
+    send_round: int
+    deliver_round: int

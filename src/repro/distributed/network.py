@@ -1,0 +1,127 @@
+"""A simulated message bus for the distributed LLA agents.
+
+Supports the failure modes a real control plane sees:
+
+* **delay** — a fixed number of rounds plus an optional random extra delay,
+  so agents act on stale prices/latencies;
+* **loss** — i.i.d. message drops with a configured probability;
+* **partitions** — pairs of agents that temporarily cannot exchange
+  messages.
+
+Delivery is deterministic given the seed: the bus holds every in-flight
+:class:`~repro.distributed.messages.Envelope` in a round-indexed queue and
+hands each agent its due messages at the start of a round, in send order.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import DistributedError
+from repro.distributed.messages import Envelope, Payload
+
+__all__ = ["MessageBus"]
+
+
+class MessageBus:
+    """Round-based message transport between named agents.
+
+    Parameters
+    ----------
+    delay:
+        Base delivery delay in rounds (0 = delivered at the start of the
+        next phase of the same round, the synchronous ideal).
+    jitter:
+        Maximum extra delay in rounds, drawn uniformly from
+        ``{0, …, jitter}`` per message.
+    loss_probability:
+        Probability that any individual message is silently dropped.
+    seed:
+        RNG seed; the bus is the only source of randomness in the runtime.
+    """
+
+    def __init__(self, delay: int = 0, jitter: int = 0,
+                 loss_probability: float = 0.0, seed: int = 0):
+        if delay < 0:
+            raise DistributedError(f"delay must be >= 0, got {delay!r}")
+        if jitter < 0:
+            raise DistributedError(f"jitter must be >= 0, got {jitter!r}")
+        if not 0.0 <= loss_probability < 1.0:
+            raise DistributedError(
+                f"loss_probability must be in [0, 1), got {loss_probability!r}"
+            )
+        self.delay = int(delay)
+        self.jitter = int(jitter)
+        self.loss_probability = float(loss_probability)
+        self._rng = np.random.default_rng(seed)
+        self._queue: Dict[int, List[Envelope]] = defaultdict(list)
+        self._partitions: Set[Tuple[str, str]] = set()
+        self.round = 0
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+
+    # -- faults ------------------------------------------------------------------
+
+    def partition(self, a: str, b: str) -> None:
+        """Sever the (bidirectional) link between two agents."""
+        self._partitions.add((a, b))
+        self._partitions.add((b, a))
+
+    def heal(self, a: str, b: str) -> None:
+        """Restore a severed link."""
+        self._partitions.discard((a, b))
+        self._partitions.discard((b, a))
+
+    def _is_partitioned(self, a: str, b: str) -> bool:
+        return (a, b) in self._partitions
+
+    # -- transport ---------------------------------------------------------------
+
+    def send(self, sender: str, receiver: str, payload: Payload) -> Optional[Envelope]:
+        """Enqueue a message; returns the envelope, or ``None`` if dropped."""
+        self.sent += 1
+        if self._is_partitioned(sender, receiver):
+            self.dropped += 1
+            return None
+        if self.loss_probability > 0.0 and \
+                self._rng.random() < self.loss_probability:
+            self.dropped += 1
+            return None
+        extra = int(self._rng.integers(0, self.jitter + 1)) if self.jitter else 0
+        deliver_round = self.round + self.delay + extra
+        envelope = Envelope(
+            sender=sender,
+            receiver=receiver,
+            payload=payload,
+            send_round=self.round,
+            deliver_round=deliver_round,
+        )
+        self._queue[deliver_round].append(envelope)
+        return envelope
+
+    def deliver(self, receiver: str) -> List[Envelope]:
+        """All messages due for ``receiver`` at the current round."""
+        due = self._queue.get(self.round, [])
+        mine = [env for env in due if env.receiver == receiver]
+        if mine:
+            self._queue[self.round] = [
+                env for env in due if env.receiver != receiver
+            ]
+            self.delivered += len(mine)
+        return mine
+
+    def advance(self) -> None:
+        """Move to the next round (undelivered past messages carry over)."""
+        leftovers = self._queue.pop(self.round, [])
+        self.round += 1
+        if leftovers:
+            # Messages nobody collected stay deliverable next round.
+            self._queue[self.round] = leftovers + self._queue.get(self.round, [])
+
+    def pending(self) -> int:
+        """Number of in-flight messages."""
+        return sum(len(v) for v in self._queue.values())

@@ -1,0 +1,192 @@
+"""The distributed LLA runtime: agents + bus + round loop.
+
+One *round* is one iteration of the paper's distributed algorithm:
+
+1. controllers collect due price messages, update path prices, allocate
+   latencies and send them to the resources (Latency Allocation box);
+2. resources collect due latency messages, update their prices and send
+   them (with congestion bits) back to the controllers (Resource Price
+   Computation box).
+
+With a zero-delay, lossless bus and fixed step sizes this sequence is
+bit-for-bit the in-process :class:`~repro.core.optimizer.LLAOptimizer`
+iteration; with delays, jitter, drops or partitions it shows how the
+protocol degrades (it keeps converging under moderate loss — prices simply
+move on stale information, which the dual-gradient iteration tolerates).
+
+Utility/feasibility are measured by an omniscient observer (this module) —
+the agents themselves never see global state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.state import IterationRecord, OptimizationResult, PathKey
+from repro.distributed.activation import ActivationSchedule, EveryRound
+from repro.distributed.agents import (
+    LocalGamma,
+    ResourceAgent,
+    TaskControllerAgent,
+)
+from repro.distributed.network import MessageBus
+from repro.model.task import TaskSet
+
+__all__ = ["DistributedConfig", "DistributedLLARuntime"]
+
+
+@dataclass
+class DistributedConfig:
+    """Runtime tunables (bus faults + protocol constants)."""
+
+    rounds: int = 500
+    delay: int = 0
+    jitter: int = 0
+    loss_probability: float = 0.0
+    seed: int = 0
+    initial_resource_price: float = 1.0
+    initial_path_price: float = 0.0
+    initial_gamma: float = 1.0
+    adaptive: bool = True
+    max_gamma: float = 8.0
+    max_latency_factor: float = 1.0
+    record_history: bool = True
+    #: Which agents act each round; None = the synchronous ideal.
+    activation: Optional[ActivationSchedule] = None
+
+
+class DistributedLLARuntime:
+    """Message-passing execution of LLA over a simulated control network."""
+
+    def __init__(self, taskset: TaskSet,
+                 config: Optional[DistributedConfig] = None,
+                 on_round: Optional[Callable[[IterationRecord], None]] = None):
+        self.taskset = taskset
+        self.config = config or DistributedConfig()
+        self.on_round = on_round
+        cfg = self.config
+        self.bus = MessageBus(
+            delay=cfg.delay,
+            jitter=cfg.jitter,
+            loss_probability=cfg.loss_probability,
+            seed=cfg.seed,
+        )
+
+        def gamma_factory() -> LocalGamma:
+            return LocalGamma(
+                initial=cfg.initial_gamma,
+                max_gamma=cfg.max_gamma,
+                adapt=cfg.adaptive,
+            )
+
+        self.controllers: Dict[str, TaskControllerAgent] = {
+            task.name: TaskControllerAgent(
+                taskset,
+                task,
+                self.bus,
+                initial_resource_price=cfg.initial_resource_price,
+                initial_path_price=cfg.initial_path_price,
+                gamma_factory=gamma_factory,
+                max_latency_factor=cfg.max_latency_factor,
+            )
+            for task in taskset.tasks
+        }
+        self.resources: Dict[str, ResourceAgent] = {
+            rname: ResourceAgent(
+                taskset,
+                rname,
+                self.bus,
+                initial_price=cfg.initial_resource_price,
+                gamma=gamma_factory(),
+            )
+            for rname in taskset.resources
+        }
+        self.activation = cfg.activation or EveryRound()
+        self.round = 0
+        self.history: List[IterationRecord] = []
+
+    # -- observation ----------------------------------------------------------
+
+    def global_latencies(self) -> Dict[str, float]:
+        """Omniscient snapshot of every controller's current latencies."""
+        latencies: Dict[str, float] = {}
+        for controller in self.controllers.values():
+            latencies.update(controller.latencies)
+        return latencies
+
+    def _snapshot(self) -> IterationRecord:
+        latencies = self.global_latencies()
+        loads = self.taskset.resource_loads(latencies)
+        congested_resources = tuple(
+            r for r, load in loads.items()
+            if load > self.taskset.resources[r].availability + 1e-9
+        )
+        congested_paths: tuple = ()
+        path_prices: Dict[PathKey, float] = {}
+        for controller in self.controllers.values():
+            path_prices.update(controller.path_prices)
+            task = controller.task
+            for i, path in enumerate(task.graph.paths):
+                if task.graph.path_latency(path, latencies) > \
+                        task.critical_time + 1e-9:
+                    congested_paths += (PathKey(task.name, i),)
+        return IterationRecord(
+            iteration=self.round,
+            utility=self.taskset.total_utility(latencies),
+            latencies=latencies,
+            resource_prices={
+                r: agent.price for r, agent in self.resources.items()
+            },
+            path_prices=path_prices,
+            resource_loads=loads,
+            congested_resources=congested_resources,
+            congested_paths=congested_paths,
+            critical_paths={
+                task.name: task.critical_path(latencies)[1]
+                for task in self.taskset.tasks
+            },
+        )
+
+    # -- execution -------------------------------------------------------------
+
+    def step(self) -> IterationRecord:
+        """One protocol round (controller phase, then resource phase)."""
+        self.round += 1
+        for controller in self.controllers.values():
+            controller.receive(self.bus.deliver(controller.name))
+            if self.activation.is_active(controller.name, self.round):
+                controller.act(self.round)
+        for agent in self.resources.values():
+            agent.receive(self.bus.deliver(agent.name))
+            if self.activation.is_active(agent.name, self.round):
+                agent.act(self.round)
+        self.bus.advance()
+        record = self._snapshot()
+        if self.on_round is not None:
+            self.on_round(record)
+        return record
+
+    def run(self, rounds: Optional[int] = None) -> OptimizationResult:
+        """Run a fixed number of rounds; returns the final global view."""
+        budget = rounds or self.config.rounds
+        for _ in range(budget):
+            record = self.step()
+            if self.config.record_history:
+                self.history.append(record)
+        latencies = self.global_latencies()
+        return OptimizationResult(
+            converged=self.taskset.is_feasible(latencies, tol=1e-2),
+            iterations=self.round,
+            latencies=latencies,
+            utility=self.taskset.total_utility(latencies),
+            resource_prices={
+                r: agent.price for r, agent in self.resources.items()
+            },
+            path_prices={
+                key: price
+                for controller in self.controllers.values()
+                for key, price in controller.path_prices.items()
+            },
+            history=self.history,
+        )

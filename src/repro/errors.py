@@ -1,0 +1,54 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while still
+being able to discriminate finer-grained failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ModelError(ReproError):
+    """A task, subtask graph, utility or share specification is invalid."""
+
+
+class GraphError(ModelError):
+    """A subtask graph violates a structural requirement (acyclicity,
+    unique root, connectivity, or dangling subtask references)."""
+
+
+class UtilityError(ModelError):
+    """A utility function is queried outside its valid domain, or its
+    specification violates the concavity/monotonicity requirements."""
+
+
+class ShareError(ModelError):
+    """A share function is queried with a non-positive latency or asked to
+    produce an infeasible share."""
+
+
+class OptimizationError(ReproError):
+    """The LLA optimizer was configured inconsistently or encountered a
+    numerically unrecoverable state."""
+
+
+class ConvergenceError(OptimizationError):
+    """Raised by strict-mode runs when the optimizer fails to converge
+    within the allotted iteration budget."""
+
+
+class InfeasibleWorkloadError(OptimizationError):
+    """The workload is not schedulable on the given resources (detected
+    either a priori or via the LLA schedulability test)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven into an invalid state."""
+
+
+class DistributedError(ReproError):
+    """A distributed-runtime agent or the message bus failed."""

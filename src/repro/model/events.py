@@ -1,0 +1,214 @@
+"""Triggering events: arrival patterns that release task instances.
+
+Section 2: tasks are dispatched in response to *triggering events* — signals
+with an arrival pattern and optional data.  The arrival pattern is part of
+the task specification (or measured at runtime) and feeds both the
+schedulability math (minimum rate share = rate × WCET) and the discrete-event
+simulator's dispatcher.
+
+Three patterns cover the paper's experiments and its motivation:
+
+* :class:`PeriodicEvent` — the simulation (100 ms period) and prototype
+  (40/s and 10/s) workloads;
+* :class:`PoissonEvent` — memoryless arrivals for open-loop workloads;
+* :class:`BurstyEvent` — a two-state (on/off) modulated process capturing
+  the paper's "bursty arrivals" generalization where jobs of a subtask can
+  be released without waiting for previous jobs to finish.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = [
+    "TriggeringEvent",
+    "PeriodicEvent",
+    "PoissonEvent",
+    "BurstyEvent",
+]
+
+
+class TriggeringEvent(ABC):
+    """An arrival process generating task release times."""
+
+    @abstractmethod
+    def mean_rate(self) -> float:
+        """Long-run arrivals per unit time (used for rate-share math)."""
+
+    @abstractmethod
+    def arrivals(self, horizon: float,
+                 rng: Optional[np.random.Generator] = None) -> List[float]:
+        """Release times in ``[0, horizon)``, sorted ascending.
+
+        Deterministic processes ignore ``rng``; stochastic ones require it
+        (callers own seeding so experiments stay reproducible).
+        """
+
+    def iter_arrivals(self, horizon: float,
+                      rng: Optional[np.random.Generator] = None
+                      ) -> Iterator[float]:
+        """Iterator variant of :meth:`arrivals`."""
+        return iter(self.arrivals(horizon, rng))
+
+    @abstractmethod
+    def stream(self, rng: Optional[np.random.Generator] = None
+               ) -> Iterator[float]:
+        """Infinite, incrementally-consumable arrival stream.
+
+        Unlike :meth:`arrivals`, a stream can be advanced lazily as a
+        simulation extends its horizon without regenerating (and thus
+        re-randomizing) earlier arrivals.
+        """
+
+
+class PeriodicEvent(TriggeringEvent):
+    """Constant-rate releases every ``period`` time units, starting at
+    ``phase``."""
+
+    def __init__(self, period: float, phase: float = 0.0):
+        if period <= 0.0:
+            raise ModelError(f"period must be positive, got {period!r}")
+        if phase < 0.0:
+            raise ModelError(f"phase must be non-negative, got {phase!r}")
+        self.period = float(period)
+        self.phase = float(phase)
+
+    def mean_rate(self) -> float:
+        return 1.0 / self.period
+
+    def arrivals(self, horizon: float,
+                 rng: Optional[np.random.Generator] = None) -> List[float]:
+        if horizon <= self.phase:
+            return []
+        count = int(math.ceil((horizon - self.phase) / self.period))
+        times = [self.phase + i * self.period for i in range(count)]
+        return [t for t in times if t < horizon]
+
+    def stream(self, rng: Optional[np.random.Generator] = None
+               ) -> Iterator[float]:
+        def generate() -> Iterator[float]:
+            i = 0
+            while True:
+                yield self.phase + i * self.period
+                i += 1
+        return generate()
+
+    def __repr__(self) -> str:
+        return f"PeriodicEvent(period={self.period}, phase={self.phase})"
+
+
+class PoissonEvent(TriggeringEvent):
+    """Memoryless arrivals at mean rate ``rate``."""
+
+    def __init__(self, rate: float):
+        if rate <= 0.0:
+            raise ModelError(f"rate must be positive, got {rate!r}")
+        self.rate = float(rate)
+
+    def mean_rate(self) -> float:
+        return self.rate
+
+    def arrivals(self, horizon: float,
+                 rng: Optional[np.random.Generator] = None) -> List[float]:
+        if rng is None:
+            raise ModelError("PoissonEvent.arrivals requires an rng")
+        times: List[float] = []
+        t = rng.exponential(1.0 / self.rate)
+        while t < horizon:
+            times.append(t)
+            t += rng.exponential(1.0 / self.rate)
+        return times
+
+    def stream(self, rng: Optional[np.random.Generator] = None
+               ) -> Iterator[float]:
+        if rng is None:
+            raise ModelError("PoissonEvent.stream requires an rng")
+
+        def generate() -> Iterator[float]:
+            t = 0.0
+            while True:
+                t += rng.exponential(1.0 / self.rate)
+                yield t
+        return generate()
+
+    def __repr__(self) -> str:
+        return f"PoissonEvent(rate={self.rate})"
+
+
+class BurstyEvent(TriggeringEvent):
+    """Two-state Markov-modulated arrivals (on/off bursts).
+
+    While *on*, arrivals are Poisson at ``burst_rate``; while *off*, none
+    occur.  Sojourn times in each state are exponential with means
+    ``mean_on`` and ``mean_off``.  Models the paper's observation that
+    communication is triggered by real-world events and arrives in bursts.
+    """
+
+    def __init__(self, burst_rate: float, mean_on: float, mean_off: float):
+        if burst_rate <= 0.0:
+            raise ModelError(f"burst_rate must be positive, got {burst_rate!r}")
+        if mean_on <= 0.0 or mean_off <= 0.0:
+            raise ModelError(
+                f"mean_on/mean_off must be positive, got "
+                f"{mean_on!r}/{mean_off!r}"
+            )
+        self.burst_rate = float(burst_rate)
+        self.mean_on = float(mean_on)
+        self.mean_off = float(mean_off)
+
+    def mean_rate(self) -> float:
+        duty_cycle = self.mean_on / (self.mean_on + self.mean_off)
+        return self.burst_rate * duty_cycle
+
+    def arrivals(self, horizon: float,
+                 rng: Optional[np.random.Generator] = None) -> List[float]:
+        if rng is None:
+            raise ModelError("BurstyEvent.arrivals requires an rng")
+        times: List[float] = []
+        t = 0.0
+        on = True
+        while t < horizon:
+            if on:
+                end = t + rng.exponential(self.mean_on)
+                arrival = t + rng.exponential(1.0 / self.burst_rate)
+                while arrival < min(end, horizon):
+                    times.append(arrival)
+                    arrival += rng.exponential(1.0 / self.burst_rate)
+                t = end
+            else:
+                t += rng.exponential(self.mean_off)
+            on = not on
+        return times
+
+    def stream(self, rng: Optional[np.random.Generator] = None
+               ) -> Iterator[float]:
+        if rng is None:
+            raise ModelError("BurstyEvent.stream requires an rng")
+
+        def generate() -> Iterator[float]:
+            t = 0.0
+            on = True
+            while True:
+                if on:
+                    end = t + rng.exponential(self.mean_on)
+                    arrival = t + rng.exponential(1.0 / self.burst_rate)
+                    while arrival < end:
+                        yield arrival
+                        arrival += rng.exponential(1.0 / self.burst_rate)
+                    t = end
+                else:
+                    t += rng.exponential(self.mean_off)
+                on = not on
+        return generate()
+
+    def __repr__(self) -> str:
+        return (
+            f"BurstyEvent(burst_rate={self.burst_rate}, "
+            f"mean_on={self.mean_on}, mean_off={self.mean_off})"
+        )

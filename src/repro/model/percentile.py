@@ -1,0 +1,94 @@
+"""Latency-percentile composition (Section 2.1).
+
+The paper supports utility computed from a chosen percentile of individual
+latencies instead of the worst case.  Its key observation: for two subtasks
+``a`` and ``b`` with the same number of released jobs, the sum of their
+``p``-th percentile latency bounds ``lat_a^p + lat_b^p`` bounds the
+``p²/100``-th percentile of the path latency — percentiles *compose
+multiplicatively* along a path (treating per-subtask tail events as
+independent).  Consequently, to compute utility at the task's ``p``-th
+percentile over a path of length ``n``, each subtask must use its
+
+    q = p^(1/n) × 100^((n-1)/n)
+
+percentile bound, so that ``(q/100)^n = p/100``.
+
+These helpers are pure math on percentile values; the simulator's metrics
+module produces empirical percentile estimates to plug into them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ModelError
+
+__all__ = [
+    "compose_percentiles",
+    "subtask_percentile",
+    "path_percentile",
+    "per_subtask_percentiles",
+]
+
+
+def _check_percentile(p: float, name: str = "percentile") -> None:
+    if not 0.0 < p <= 100.0:
+        raise ModelError(f"{name} must be in (0, 100], got {p!r}")
+
+
+def compose_percentiles(p_a: float, p_b: float) -> float:
+    """Percentile guaranteed for the sum of two per-subtask bounds.
+
+    The paper's example: two ``p``-th percentile bounds sum to a
+    ``p²/100``-th percentile bound.  Generalized to distinct percentiles:
+    ``p_a × p_b / 100``.
+    """
+    _check_percentile(p_a, "p_a")
+    _check_percentile(p_b, "p_b")
+    return p_a * p_b / 100.0
+
+
+def path_percentile(per_subtask: Sequence[float]) -> float:
+    """Percentile guaranteed for a path from its subtasks' percentiles.
+
+    Folds :func:`compose_percentiles` along the path: the product of the
+    per-subtask quantile fractions.
+    """
+    if not per_subtask:
+        raise ModelError("path must contain at least one subtask percentile")
+    result = 100.0
+    for p in per_subtask:
+        result = compose_percentiles(result, p)
+    return result
+
+
+def subtask_percentile(task_percentile: float, path_length: int) -> float:
+    """Per-subtask percentile achieving a task percentile over a path.
+
+    The paper's formula ``p^(1/n) × 100^((n-1)/n)``: the unique uniform
+    per-subtask percentile ``q`` with ``(q/100)^n = p/100``.
+    """
+    _check_percentile(task_percentile, "task_percentile")
+    if path_length < 1:
+        raise ModelError(f"path_length must be >= 1, got {path_length!r}")
+    n = float(path_length)
+    q = (task_percentile ** (1.0 / n)) * (100.0 ** ((n - 1.0) / n))
+    # Floating-point pow can land a hair above 100 for p = 100.
+    return min(q, 100.0)
+
+
+def per_subtask_percentiles(task_percentile: float,
+                            path_lengths: Sequence[int]) -> dict:
+    """Per-path-length subtask percentiles for a task with unequal paths.
+
+    Section 2.1 notes that if path lengths are not identical, separate
+    latency (percentile) functions must be used depending on the path.
+    Returns ``{path_length: per-subtask percentile}`` for each distinct
+    length, so a subtask on an ``n``-long path uses the ``n`` entry.
+    """
+    if not path_lengths:
+        raise ModelError("need at least one path length")
+    return {
+        n: subtask_percentile(task_percentile, n)
+        for n in sorted(set(path_lengths))
+    }

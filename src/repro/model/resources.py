@@ -1,0 +1,73 @@
+"""Resources: nodes (CPU) and links (network bandwidth).
+
+Section 3.1: every resource is characterized by a share function family (one
+instance per subtask, built from the subtask's WCET and the resource's lag)
+and an availability value ``B_r ∈ [0, 1]`` — the fraction of the resource
+available to the competing tasks.  Anything reserved for other consumers
+(the paper's Metronome garbage collector takes 0.1 in Section 6.2) is simply
+excluded from ``B_r``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ModelError
+
+__all__ = ["ResourceKind", "Resource"]
+
+
+class ResourceKind(enum.Enum):
+    """What the resource physically is.
+
+    The optimizer treats CPU and network identically (the paper's point:
+    computation and communication are modeled uniformly as subtasks); the
+    kind only matters for reporting and for which simulator component
+    services the jobs.
+    """
+
+    CPU = "cpu"
+    LINK = "link"
+
+
+@dataclass(frozen=True)
+class Resource:
+    """A schedulable resource with proportional-share semantics.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier, e.g. ``"cpu0"`` or ``"link-3-4"``.
+    kind:
+        :class:`ResourceKind` — CPU or network link.
+    availability:
+        ``B_r``: fraction of the resource available to the optimized tasks.
+    lag:
+        ``l_r``: scheduling lag in the same time unit as WCETs (ms in the
+        paper).  Captures PS quantization: a job may wait up to the lag
+        before its share starts being delivered.
+    """
+
+    name: str
+    kind: ResourceKind = ResourceKind.CPU
+    availability: float = 1.0
+    lag: float = 1.0
+    metadata: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("resource name must be non-empty")
+        if not 0.0 < self.availability <= 1.0:
+            raise ModelError(
+                f"availability must be in (0, 1], got {self.availability!r} "
+                f"for resource {self.name!r}"
+            )
+        if self.lag < 0.0:
+            raise ModelError(
+                f"lag must be non-negative, got {self.lag!r} "
+                f"for resource {self.name!r}"
+            )
+
+    def __str__(self) -> str:
+        return self.name

@@ -1,0 +1,192 @@
+"""Share functions: the latency ↔ resource-share model.
+
+Section 4.4 (Eq. 10) models the share a subtask needs on a proportional-share
+(PS) scheduled resource to achieve worst-case latency ``lat`` as::
+
+    share_r(s, lat) = (c_s + l_r) / lat
+
+where ``c_s`` is the subtask's worst-case execution time and ``l_r`` is the
+resource's scheduling lag.  The paper requires share functions to be strictly
+convex and continuously differentiable in latency (Section 4.2): increasing
+latency yields diminishing returns in freed share.
+
+This module provides the paper's hyperbolic form plus a power-law
+generalization used in ablations, behind a common abstract interface so the
+optimizer never special-cases a particular shape.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import ShareError
+
+__all__ = [
+    "ShareFunction",
+    "HyperbolicShare",
+    "PowerLawShare",
+    "CorrectedShare",
+]
+
+
+class ShareFunction(ABC):
+    """Maps a target worst-case latency to the PS share that achieves it.
+
+    Implementations must be strictly convex, strictly decreasing and
+    continuously differentiable in latency on ``(min_latency, inf)``.
+    """
+
+    @abstractmethod
+    def share(self, latency: float) -> float:
+        """Share in ``[0, 1]``-ish range needed to achieve ``latency``.
+
+        Values above 1 indicate the latency is unachievable even with the
+        whole resource; callers clamp against availability.
+        """
+
+    @abstractmethod
+    def dshare_dlat(self, latency: float) -> float:
+        """Derivative of :meth:`share` with respect to latency (negative)."""
+
+    @abstractmethod
+    def latency_for_share(self, share: float) -> float:
+        """Inverse map: the latency achieved when granted ``share``."""
+
+    @abstractmethod
+    def min_latency(self, availability: float) -> float:
+        """Smallest achievable latency given resource ``availability``."""
+
+    def _require_positive_latency(self, latency: float) -> None:
+        if latency <= 0.0:
+            raise ShareError(f"share function queried at latency {latency!r}")
+
+
+class HyperbolicShare(ShareFunction):
+    """The paper's Eq. 10: ``share(lat) = (c + l) / lat``.
+
+    ``cost = c_s + l_r`` aggregates the worst-case execution time and the PS
+    scheduling lag; both are fixed, so share varies only with latency.
+    """
+
+    def __init__(self, exec_time: float, lag: float):
+        if exec_time <= 0.0:
+            raise ShareError(f"exec_time must be positive, got {exec_time}")
+        if lag < 0.0:
+            raise ShareError(f"lag must be non-negative, got {lag}")
+        self.exec_time = float(exec_time)
+        self.lag = float(lag)
+        self.cost = self.exec_time + self.lag
+
+    def share(self, latency: float) -> float:
+        self._require_positive_latency(latency)
+        return self.cost / latency
+
+    def dshare_dlat(self, latency: float) -> float:
+        self._require_positive_latency(latency)
+        return -self.cost / (latency * latency)
+
+    def latency_for_share(self, share: float) -> float:
+        if share <= 0.0:
+            raise ShareError(f"cannot achieve any latency with share {share!r}")
+        return self.cost / share
+
+    def min_latency(self, availability: float) -> float:
+        if availability <= 0.0:
+            raise ShareError(
+                f"availability must be positive, got {availability!r}"
+            )
+        return self.cost / availability
+
+    def __repr__(self) -> str:
+        return f"HyperbolicShare(exec_time={self.exec_time}, lag={self.lag})"
+
+
+class PowerLawShare(ShareFunction):
+    """Generalized share model ``share(lat) = cost / lat**alpha``.
+
+    ``alpha = 1`` recovers :class:`HyperbolicShare`.  ``alpha > 1`` models
+    resources where small latency targets are disproportionately expensive
+    (e.g. schedulers with quantization effects); used by the ablation
+    benches to probe LLA's sensitivity to the share model.
+    """
+
+    def __init__(self, cost: float, alpha: float = 1.0):
+        if cost <= 0.0:
+            raise ShareError(f"cost must be positive, got {cost}")
+        if alpha <= 0.0:
+            raise ShareError(f"alpha must be positive, got {alpha}")
+        self.cost = float(cost)
+        self.alpha = float(alpha)
+
+    def share(self, latency: float) -> float:
+        self._require_positive_latency(latency)
+        return self.cost / latency ** self.alpha
+
+    def dshare_dlat(self, latency: float) -> float:
+        self._require_positive_latency(latency)
+        return -self.alpha * self.cost / latency ** (self.alpha + 1.0)
+
+    def latency_for_share(self, share: float) -> float:
+        if share <= 0.0:
+            raise ShareError(f"cannot achieve any latency with share {share!r}")
+        return (self.cost / share) ** (1.0 / self.alpha)
+
+    def min_latency(self, availability: float) -> float:
+        if availability <= 0.0:
+            raise ShareError(
+                f"availability must be positive, got {availability!r}"
+            )
+        return (self.cost / availability) ** (1.0 / self.alpha)
+
+    def __repr__(self) -> str:
+        return f"PowerLawShare(cost={self.cost}, alpha={self.alpha})"
+
+
+class CorrectedShare(ShareFunction):
+    """A share function adjusted by an additive latency-error estimate.
+
+    Section 6.3's online model error correction observes that the raw model
+    over-predicts latency (job releases of subtasks sharing a resource are
+    not synchronized, so the worst-case lag rarely materializes).  With a
+    smoothed additive error estimate ``e`` (observed − predicted, typically
+    negative), the corrected prediction for a granted share ``σ`` is
+    ``base.latency_for_share(σ) + e``; inverting, the share needed to
+    *actually* achieve ``lat`` is ``base.share(lat - e)``.
+
+    The correction preserves convexity and monotonicity as long as
+    ``lat - e`` stays positive, which the optimizer's latency clamps ensure.
+    """
+
+    def __init__(self, base: ShareFunction, error: float = 0.0):
+        self.base = base
+        self.error = float(error)
+
+    def set_error(self, error: float) -> None:
+        """Update the additive error estimate (called by the corrector)."""
+        self.error = float(error)
+
+    def _model_latency(self, latency: float) -> float:
+        model_lat = latency - self.error
+        if model_lat <= 0.0:
+            raise ShareError(
+                f"corrected latency {latency!r} with error {self.error!r} "
+                "maps to a non-positive model latency"
+            )
+        return model_lat
+
+    def share(self, latency: float) -> float:
+        self._require_positive_latency(latency)
+        return self.base.share(self._model_latency(latency))
+
+    def dshare_dlat(self, latency: float) -> float:
+        self._require_positive_latency(latency)
+        return self.base.dshare_dlat(self._model_latency(latency))
+
+    def latency_for_share(self, share: float) -> float:
+        return self.base.latency_for_share(share) + self.error
+
+    def min_latency(self, availability: float) -> float:
+        return self.base.min_latency(availability) + max(self.error, 0.0)
+
+    def __repr__(self) -> str:
+        return f"CorrectedShare(base={self.base!r}, error={self.error})"

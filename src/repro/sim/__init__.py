@@ -1,0 +1,27 @@
+"""Discrete-event simulation substrate (the Section 6 prototype, simulated).
+
+* :class:`~repro.sim.engine.SimulationEngine` — event loop;
+* :class:`~repro.sim.resources.GPSResource` /
+  :class:`~repro.sim.resources.QuantumResource` — proportional-share
+  resource models (fluid GPS, surplus-fair quanta);
+* :class:`~repro.sim.system.SimulatedSystem` — workload execution with
+  precedence-respecting job dispatch and latency metrics.
+"""
+
+from repro.sim.engine import EventHandle, SimulationEngine
+from repro.sim.jobs import Job, JobSet
+from repro.sim.metrics import LatencyRecorder
+from repro.sim.resources import FlowState, GPSResource, QuantumResource
+from repro.sim.system import SimulatedSystem
+
+__all__ = [
+    "SimulationEngine",
+    "EventHandle",
+    "Job",
+    "JobSet",
+    "LatencyRecorder",
+    "GPSResource",
+    "QuantumResource",
+    "FlowState",
+    "SimulatedSystem",
+]

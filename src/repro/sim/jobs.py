@@ -1,0 +1,126 @@
+"""Job and job-set lifecycle objects (Section 2's terminology).
+
+A *job* is one released instance of a subtask; a *job set* is the set of
+jobs corresponding to one task release (one instance of the subtask graph).
+Job sets track which jobs have completed so the dispatcher can release
+successors when all predecessors of a subtask are done, and compute the
+end-to-end latency (dispatch of the root to completion of all end
+subtasks) when the last job finishes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, Set
+
+from repro.errors import SimulationError
+from repro.model.task import Task
+
+__all__ = ["Job", "JobSet"]
+
+_job_ids = itertools.count()
+
+
+class Job:
+    """One released instance of a subtask."""
+
+    __slots__ = (
+        "job_id", "subtask", "job_set", "demand",
+        "release_time", "start_time", "finish_time",
+        "service_received",
+    )
+
+    def __init__(self, subtask: str, job_set: "JobSet", demand: float,
+                 release_time: float):
+        if demand <= 0.0:
+            raise SimulationError(
+                f"job demand must be positive, got {demand!r}"
+            )
+        self.job_id = next(_job_ids)
+        self.subtask = subtask
+        self.job_set = job_set
+        self.demand = float(demand)          # remaining work at release
+        self.release_time = float(release_time)
+        self.start_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+        self.service_received = 0.0
+
+    @property
+    def remaining(self) -> float:
+        return max(0.0, self.demand - self.service_received)
+
+    @property
+    def done(self) -> bool:
+        return self.finish_time is not None
+
+    @property
+    def latency(self) -> float:
+        """Response time: release to completion."""
+        if self.finish_time is None:
+            raise SimulationError(
+                f"job {self.job_id} ({self.subtask}) has not finished"
+            )
+        return self.finish_time - self.release_time
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else f"rem={self.remaining:.3f}"
+        return f"Job(#{self.job_id} {self.subtask} {state})"
+
+
+class JobSet:
+    """One task release: an in-flight instance of the subtask graph."""
+
+    __slots__ = (
+        "task", "instance", "release_time",
+        "completed", "finish_time",
+    )
+
+    def __init__(self, task: Task, instance: int, release_time: float):
+        self.task = task
+        self.instance = int(instance)
+        self.release_time = float(release_time)
+        self.completed: Set[str] = set()
+        self.finish_time: Optional[float] = None
+
+    def mark_completed(self, subtask: str, time: float) -> None:
+        """Record a job completion; stamps the job-set finish time when the
+        last subtask of the graph completes."""
+        if subtask in self.completed:
+            raise SimulationError(
+                f"subtask {subtask!r} completed twice in job set "
+                f"{self.task.name}#{self.instance}"
+            )
+        if subtask not in self.task.graph:
+            raise SimulationError(
+                f"subtask {subtask!r} does not belong to task {self.task.name!r}"
+            )
+        self.completed.add(subtask)
+        if len(self.completed) == len(self.task.graph):
+            self.finish_time = time
+
+    def ready_successors(self, subtask: str) -> Set[str]:
+        """Successors of ``subtask`` whose predecessors are now all done."""
+        ready = set()
+        for succ in self.task.graph.successors(subtask):
+            if all(p in self.completed
+                   for p in self.task.graph.predecessors(succ)):
+                ready.add(succ)
+        return ready
+
+    @property
+    def done(self) -> bool:
+        return self.finish_time is not None
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency: release of the root to completion of all
+        end subtasks."""
+        if self.finish_time is None:
+            raise SimulationError(
+                f"job set {self.task.name}#{self.instance} has not finished"
+            )
+        return self.finish_time - self.release_time
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else f"{len(self.completed)}/{len(self.task.graph)}"
+        return f"JobSet({self.task.name}#{self.instance} {state})"

@@ -1,0 +1,86 @@
+"""Measurement: per-subtask job latencies and per-task job-set latencies.
+
+The recorder is what the online error corrector (Section 6.3) samples from:
+it keeps raw job latencies per subtask so callers can take arbitrary
+percentiles ("high percentile samples, greater than 90th, were used"), and
+job-set end-to-end latencies per task for SLA/utility accounting.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["LatencyRecorder"]
+
+
+class LatencyRecorder:
+    """Accumulates job and job-set latencies with windowed draining."""
+
+    def __init__(self) -> None:
+        self._job_latencies: Dict[str, List[float]] = defaultdict(list)
+        self._jobset_latencies: Dict[str, List[float]] = defaultdict(list)
+        self.jobs_recorded = 0
+        self.jobsets_recorded = 0
+
+    # -- recording ---------------------------------------------------------------
+
+    def record_job(self, subtask: str, latency: float) -> None:
+        if latency < 0.0:
+            raise SimulationError(f"negative job latency {latency!r}")
+        self._job_latencies[subtask].append(latency)
+        self.jobs_recorded += 1
+
+    def record_jobset(self, task: str, latency: float) -> None:
+        if latency < 0.0:
+            raise SimulationError(f"negative job-set latency {latency!r}")
+        self._jobset_latencies[task].append(latency)
+        self.jobsets_recorded += 1
+
+    # -- queries -----------------------------------------------------------------
+
+    def job_latencies(self, subtask: str) -> List[float]:
+        return list(self._job_latencies.get(subtask, []))
+
+    def jobset_latencies(self, task: str) -> List[float]:
+        return list(self._jobset_latencies.get(task, []))
+
+    def job_count(self, subtask: str) -> int:
+        return len(self._job_latencies.get(subtask, []))
+
+    def job_percentile(self, subtask: str, percentile: float) -> Optional[float]:
+        """Empirical percentile of a subtask's job latencies (``None`` when
+        no samples exist)."""
+        samples = self._job_latencies.get(subtask)
+        if not samples:
+            return None
+        return float(np.percentile(samples, percentile))
+
+    def jobset_percentile(self, task: str, percentile: float) -> Optional[float]:
+        samples = self._jobset_latencies.get(task)
+        if not samples:
+            return None
+        return float(np.percentile(samples, percentile))
+
+    def jobset_miss_rate(self, task: str, critical_time: float) -> Optional[float]:
+        """Fraction of job sets exceeding the critical time."""
+        samples = self._jobset_latencies.get(task)
+        if not samples:
+            return None
+        misses = sum(1 for lat in samples if lat > critical_time)
+        return misses / len(samples)
+
+    # -- windowing ----------------------------------------------------------------
+
+    def drain_jobs(self, subtask: str) -> List[float]:
+        """Return and clear a subtask's samples (one correction window)."""
+        samples = self._job_latencies.pop(subtask, [])
+        return samples
+
+    def clear(self) -> None:
+        self._job_latencies.clear()
+        self._jobset_latencies.clear()

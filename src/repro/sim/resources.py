@@ -1,0 +1,322 @@
+"""Proportional-share resource simulators.
+
+Two fidelity levels of the same abstraction — a resource serving per-subtask
+*flows*, each with an assigned share, jobs FIFO within their flow:
+
+* :class:`GPSResource` — fluid Generalized Processor Sharing.  Active flows
+  receive service simultaneously at rates proportional to their shares,
+  renormalized over the active set (work-conserving, like the PS
+  schedulers the paper assumes).  Exact and fast: completions are computed
+  analytically between state changes.
+
+* :class:`QuantumResource` — a quantized approximation of Surplus Fair
+  Scheduling (Chandra et al., the scheduler inside the paper's
+  IBM-RTLinux kernel).  Service is dispensed in fixed quanta to the active
+  flow with the smallest weighted virtual time; new arrivals join at the
+  current virtual time.  Quantization introduces exactly the kind of
+  scheduling lag the share model's ``l_r`` term over-approximates, which
+  is what makes Section 6.3's error correction profitable.
+
+Background consumers (the paper's Metronome GC with its fixed 0.1 share)
+are modeled as a permanent phantom flow that participates in the weight
+normalization but never completes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable, Deque, Dict, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import EventHandle, SimulationEngine
+from repro.sim.jobs import Job
+
+__all__ = ["FlowState", "GPSResource", "QuantumResource"]
+
+#: Completion events run before same-time arrivals (engine priority).
+_COMPLETION_PRIORITY = -1
+
+#: Minimum effective weight, so a zero-share flow still drains (a real PS
+#: scheduler never literally starves a runnable flow).
+_MIN_WEIGHT = 1e-6
+
+#: Work units below which a job counts as finished.  Must be large enough
+#: that the implied completion delay (epsilon / rate) stays above the
+#: float64 ULP of the simulation clock, or a completion event could
+#: reschedule at an identical timestamp forever.  1e-9 ms of work is nine
+#: orders of magnitude below any WCET in the paper and keeps the engine
+#: sound for clocks up to ~1e7 ms.
+_WORK_EPSILON = 1e-9
+
+
+class FlowState:
+    """One subtask's backlog and share on a resource."""
+
+    __slots__ = ("subtask", "weight", "queue", "virtual_start")
+
+    def __init__(self, subtask: str, weight: float):
+        self.subtask = subtask
+        self.weight = max(float(weight), _MIN_WEIGHT)
+        self.queue: Deque[Job] = deque()
+        # Quantum scheduler bookkeeping: normalized service received.
+        self.virtual_start = 0.0
+
+    @property
+    def active(self) -> bool:
+        return bool(self.queue)
+
+    @property
+    def head(self) -> Job:
+        return self.queue[0]
+
+
+class _BaseResource:
+    """Common flow management for both resource models."""
+
+    def __init__(self, name: str, engine: SimulationEngine,
+                 capacity: float = 1.0, background_weight: float = 0.0,
+                 on_complete: Optional[Callable[[Job], None]] = None):
+        if capacity <= 0.0:
+            raise SimulationError(f"capacity must be positive, got {capacity!r}")
+        if background_weight < 0.0:
+            raise SimulationError(
+                f"background_weight must be >= 0, got {background_weight!r}"
+            )
+        self.name = name
+        self.engine = engine
+        self.capacity = float(capacity)
+        self.background_weight = float(background_weight)
+        self.on_complete = on_complete
+        self.flows: Dict[str, FlowState] = {}
+        self.busy_time = 0.0
+        self.completed_jobs = 0
+
+    def add_flow(self, subtask: str, share: float) -> None:
+        """Register a subtask flow with its assigned share."""
+        if subtask in self.flows:
+            raise SimulationError(
+                f"flow {subtask!r} already exists on resource {self.name!r}"
+            )
+        self.flows[subtask] = FlowState(subtask, share)
+
+    def set_share(self, subtask: str, share: float) -> None:
+        """Re-enact a share assignment (takes effect immediately)."""
+        flow = self._require_flow(subtask)
+        self._before_state_change()
+        flow.weight = max(float(share), _MIN_WEIGHT)
+        self._after_state_change()
+
+    def set_background(self, weight: float) -> None:
+        """Change the background (phantom) consumer's weight at run time.
+
+        Models interference the optimizer does not know about — a noisy
+        co-located tenant, a garbage collector under pressure.  Takes
+        effect immediately for all in-flight jobs.
+        """
+        if weight < 0.0:
+            raise SimulationError(
+                f"background weight must be >= 0, got {weight!r}"
+            )
+        self._before_state_change()
+        self.background_weight = float(weight)
+        self._after_state_change()
+
+    def submit(self, job: Job) -> None:
+        """Enqueue a job on its subtask's flow."""
+        flow = self._require_flow(job.subtask)
+        self._before_state_change()
+        self._on_enqueue(flow, job)
+        flow.queue.append(job)
+        if job.start_time is None and len(flow.queue) == 1:
+            job.start_time = self.engine.now
+        self._after_state_change()
+
+    def backlog(self, subtask: str) -> int:
+        """Jobs queued (including in service) for a subtask."""
+        return len(self._require_flow(subtask).queue)
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` the resource spent serving jobs."""
+        if elapsed <= 0.0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+    def _require_flow(self, subtask: str) -> FlowState:
+        try:
+            return self.flows[subtask]
+        except KeyError:
+            raise SimulationError(
+                f"no flow {subtask!r} on resource {self.name!r}"
+            )
+
+    def _finish(self, flow: FlowState, job: Job) -> None:
+        job.finish_time = self.engine.now
+        job.service_received = job.demand
+        flow.queue.popleft()
+        if flow.queue:
+            flow.head.start_time = self.engine.now
+        self.completed_jobs += 1
+        if self.on_complete is not None:
+            self.on_complete(job)
+
+    # Hooks for subclasses.
+    def _before_state_change(self) -> None: ...
+    def _after_state_change(self) -> None: ...
+    def _on_enqueue(self, flow: FlowState, job: Job) -> None: ...
+
+
+class GPSResource(_BaseResource):
+    """Fluid work-conserving proportional sharing.
+
+    Between state changes (arrival, completion, share update), each active
+    flow's head job receives service at
+
+        rate_f = capacity × w_f / (Σ_active w + background_weight)
+
+    The implementation advances service lazily: whenever the state changes,
+    all heads are credited for the elapsed interval at the rates that held,
+    and the next completion event is recomputed.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._last_update = self.engine.now
+        self._rates: Dict[str, float] = {}
+        self._completion: Optional[EventHandle] = None
+
+    def _active_flows(self):
+        return [f for f in self.flows.values() if f.active]
+
+    def _compute_rates(self) -> None:
+        active = self._active_flows()
+        total = sum(f.weight for f in active) + self.background_weight
+        self._rates = {}
+        if not active or total <= 0.0:
+            return
+        for flow in active:
+            self._rates[flow.subtask] = self.capacity * flow.weight / total
+
+    def _before_state_change(self) -> None:
+        """Credit service for the interval since the last state change."""
+        now = self.engine.now
+        dt = now - self._last_update
+        if dt > 0.0:
+            active = self._active_flows()
+            if active:
+                self.busy_time += dt
+            for flow in active:
+                rate = self._rates.get(flow.subtask, 0.0)
+                flow.head.service_received = min(
+                    flow.head.demand, flow.head.service_received + rate * dt
+                )
+        self._last_update = now
+
+    def _after_state_change(self) -> None:
+        """Recompute rates and the next completion event."""
+        self._compute_rates()
+        if self._completion is not None:
+            self._completion.cancel()
+            self._completion = None
+        soonest: Optional[float] = None
+        for flow in self._active_flows():
+            rate = self._rates.get(flow.subtask, 0.0)
+            if rate <= 0.0:
+                continue
+            eta = flow.head.remaining / rate
+            if soonest is None or eta < soonest:
+                soonest = eta
+        if soonest is not None:
+            self._completion = self.engine.schedule_in(
+                max(soonest, 0.0), self._complete_due, _COMPLETION_PRIORITY
+            )
+
+    def _complete_due(self) -> None:
+        """Completion event: finish every job that has drained."""
+        self._before_state_change()
+        for flow in self._active_flows():
+            # Fluid completions can tie; finish all fully-served heads.
+            while flow.active and flow.head.remaining <= _WORK_EPSILON:
+                self._finish(flow, flow.head)
+        self._after_state_change()
+
+
+class QuantumResource(_BaseResource):
+    """Quantum-based surplus-fair scheduling approximation.
+
+    Every ``quantum`` time units the scheduler picks the active flow with
+    the smallest virtual time (service received divided by weight, offset
+    so arrivals join at the current virtual floor — the start-time rule
+    that keeps a returning flow from monopolizing the resource) and serves
+    its head job exclusively for the quantum (or until the job finishes).
+
+    The background flow is an always-active phantom: when the lottery picks
+    it, the resource idles for the quantum (GC running).
+    """
+
+    _BACKGROUND = "__background__"
+
+    def __init__(self, *args, quantum: float = 1.0, **kwargs):
+        super().__init__(*args, **kwargs)
+        if quantum <= 0.0:
+            raise SimulationError(f"quantum must be positive, got {quantum!r}")
+        self.quantum = float(quantum)
+        self._bg_virtual = 0.0
+        self._tick_scheduled = False
+
+    def _on_enqueue(self, flow: FlowState, job: Job) -> None:
+        if not flow.active:
+            # Start-time rule: join at the current virtual floor.
+            flow.virtual_start = max(flow.virtual_start, self._virtual_floor())
+
+    def _virtual_floor(self) -> float:
+        virtuals = [f.virtual_start for f in self.flows.values() if f.active]
+        if self.background_weight > 0.0:
+            virtuals.append(self._bg_virtual)
+        return min(virtuals) if virtuals else 0.0
+
+    def _after_state_change(self) -> None:
+        if not self._tick_scheduled and any(
+                f.active for f in self.flows.values()):
+            self._tick_scheduled = True
+            self.engine.schedule_in(0.0, self._tick, _COMPLETION_PRIORITY)
+
+    def _tick(self) -> None:
+        """Serve one quantum to the most-deserving flow."""
+        self._tick_scheduled = False
+        active = [f for f in self.flows.values() if f.active]
+        if not active:
+            return
+
+        candidates = [(f.virtual_start, f.subtask) for f in active]
+        if self.background_weight > 0.0:
+            candidates.append((self._bg_virtual, self._BACKGROUND))
+        _virtual, chosen = min(candidates)
+
+        if chosen == self._BACKGROUND:
+            # GC takes the quantum; the resource is busy but no job advances.
+            self._bg_virtual += self.quantum / self.background_weight
+            self.busy_time += self.quantum
+            self.engine.schedule_in(self.quantum, self._resume_tick,
+                                    _COMPLETION_PRIORITY)
+            return
+
+        flow = self.flows[chosen]
+        job = flow.head
+        service = min(self.quantum * self.capacity, job.remaining)
+        duration = service / self.capacity
+        flow.virtual_start += service / flow.weight
+        self.busy_time += duration
+
+        def finish_quantum() -> None:
+            job.service_received += service
+            if job.remaining <= _WORK_EPSILON:
+                self._finish(flow, job)
+            self._tick_scheduled = False
+            self._after_state_change()
+
+        self._tick_scheduled = True
+        self.engine.schedule_in(duration, finish_quantum, _COMPLETION_PRIORITY)
+
+    def _resume_tick(self) -> None:
+        self._after_state_change()

@@ -1,0 +1,226 @@
+"""The simulated distributed system: resources + dispatcher + metrics.
+
+This is the reproduction's stand-in for the paper's Section 6 prototype
+(RTSJ JVM on IBM-RTLinux with share-scheduled CPUs).  It wires a
+:class:`~repro.model.task.TaskSet` to proportional-share resource
+simulators, releases job sets from each task's triggering event, enforces
+the subtask-graph precedence, and records latencies.
+
+The optimizer interacts with the system exactly as it would with the real
+prototype: it *enacts* shares (:meth:`SimulatedSystem.enact_shares`) and
+*samples* observed latencies (via :attr:`recorder`), nothing else.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.model.task import Task, TaskSet
+from repro.sim.engine import SimulationEngine
+from repro.sim.jobs import Job, JobSet
+from repro.sim.metrics import LatencyRecorder
+from repro.sim.resources import GPSResource, QuantumResource, _BaseResource
+
+__all__ = ["SimulatedSystem"]
+
+#: Arrival events run after same-time completions (engine priority).
+_ARRIVAL_PRIORITY = 1
+
+
+class SimulatedSystem:
+    """A running instance of the workload on simulated resources.
+
+    Parameters
+    ----------
+    taskset:
+        The workload.  Each resource's ``1 − availability`` becomes a
+        background (phantom) flow weight — the paper's GC reservation.
+    shares:
+        Initial share per subtask (typically from an LLA allocation).
+    model:
+        ``"gps"`` for fluid proportional sharing, ``"quantum"`` for the
+        surplus-fair quantum scheduler.
+    quantum:
+        Quantum length for the ``"quantum"`` model (ms).
+    exec_time_factor:
+        Optional per-job demand scaling: a callable ``rng → factor`` in
+        ``(0, 1]`` applied to the WCET (real jobs rarely consume their
+        worst case).  ``None`` means every job runs exactly its WCET.
+    seed:
+        Seed for arrival processes and demand randomization.
+    """
+
+    def __init__(
+        self,
+        taskset: TaskSet,
+        shares: Mapping[str, float],
+        model: str = "gps",
+        quantum: float = 1.0,
+        exec_time_factor: Optional[Callable[[np.random.Generator], float]] = None,
+        seed: int = 0,
+    ):
+        self.taskset = taskset
+        self.engine = SimulationEngine()
+        self.recorder = LatencyRecorder()
+        self.rng = np.random.default_rng(seed)
+        self.exec_time_factor = exec_time_factor
+        self.resources: Dict[str, _BaseResource] = {}
+        self._instances: Dict[str, int] = {t.name: 0 for t in taskset.tasks}
+        self._horizon_scheduled = 0.0
+        self._streams: Dict[str, object] = {}
+        self._pending_arrival: Dict[str, float] = {}
+
+        for rname, resource in taskset.resources.items():
+            background = 1.0 - resource.availability
+            if model == "gps":
+                sim = GPSResource(
+                    rname, self.engine, capacity=1.0,
+                    background_weight=background,
+                    on_complete=self._job_completed,
+                )
+            elif model == "quantum":
+                sim = QuantumResource(
+                    rname, self.engine, capacity=1.0,
+                    background_weight=background,
+                    on_complete=self._job_completed,
+                    quantum=quantum,
+                )
+            else:
+                raise SimulationError(
+                    f"unknown resource model {model!r}; "
+                    "expected 'gps' or 'quantum'"
+                )
+            self.resources[rname] = sim
+
+        for task in taskset.tasks:
+            for sub in task.subtasks:
+                if sub.name not in shares:
+                    raise SimulationError(
+                        f"no share assigned for subtask {sub.name!r}"
+                    )
+                self.resources[sub.resource].add_flow(
+                    sub.name, shares[sub.name]
+                )
+
+        self._subtask_exec = {
+            sub.name: sub.exec_time
+            for task in taskset.tasks for sub in task.subtasks
+        }
+        self._subtask_resource = {
+            sub.name: sub.resource
+            for task in taskset.tasks for sub in task.subtasks
+        }
+
+    # -- share enactment ------------------------------------------------------------
+
+    def enact_shares(self, shares: Mapping[str, float]) -> None:
+        """Apply a new share assignment (the optimizer's actuation path)."""
+        for subtask, share in shares.items():
+            resource = self._subtask_resource.get(subtask)
+            if resource is None:
+                raise SimulationError(f"unknown subtask {subtask!r}")
+            self.resources[resource].set_share(subtask, share)
+
+    def current_share(self, subtask: str) -> float:
+        resource = self._subtask_resource[subtask]
+        return self.resources[resource].flows[subtask].weight
+
+    def inject_interference(self, resource_name: str,
+                            extra_weight: float) -> None:
+        """Add background interference to one resource, *without* telling
+        the optimizer (its model still believes the configured
+        availability).  ``extra_weight`` stacks on the reservation implied
+        by ``1 − availability``; 0 removes the interference."""
+        if resource_name not in self.resources:
+            raise SimulationError(f"unknown resource {resource_name!r}")
+        base = 1.0 - self.taskset.resources[resource_name].availability
+        self.resources[resource_name].set_background(base + extra_weight)
+
+    # -- workload release -------------------------------------------------------------
+
+    def _demand(self, subtask: str) -> float:
+        demand = self._subtask_exec[subtask]
+        if self.exec_time_factor is not None:
+            factor = self.exec_time_factor(self.rng)
+            if not 0.0 < factor <= 1.0:
+                raise SimulationError(
+                    f"exec_time_factor produced {factor!r}, expected (0, 1]"
+                )
+            demand *= factor
+        return demand
+
+    def _release_job(self, job_set: JobSet, subtask: str) -> None:
+        job = Job(
+            subtask=subtask,
+            job_set=job_set,
+            demand=self._demand(subtask),
+            release_time=self.engine.now,
+        )
+        resource = self._subtask_resource[subtask]
+        self.resources[resource].submit(job)
+
+    def _release_jobset(self, task: Task) -> None:
+        self._instances[task.name] += 1
+        job_set = JobSet(task, self._instances[task.name], self.engine.now)
+        self._release_job(job_set, task.graph.root)
+
+    def _job_completed(self, job: Job) -> None:
+        self.recorder.record_job(job.subtask, job.latency)
+        job_set: JobSet = job.job_set
+        job_set.mark_completed(job.subtask, self.engine.now)
+        if job_set.done:
+            self.recorder.record_jobset(job_set.task.name, job_set.latency)
+        else:
+            for succ in job_set.ready_successors(job.subtask):
+                self._release_job(job_set, succ)
+
+    def _schedule_arrivals(self, until: float) -> None:
+        """Pre-schedule trigger arrivals in ``[scheduled_so_far, until)``.
+
+        Each task owns an infinite arrival stream that is advanced lazily,
+        so extending the horizon never re-randomizes earlier arrivals.
+        """
+        for task in self.taskset.tasks:
+            if task.trigger is None:
+                continue
+            if task.name not in self._streams:
+                self._streams[task.name] = task.trigger.stream(self.rng)
+                self._pending_arrival[task.name] = next(
+                    self._streams[task.name]
+                )
+            t = self._pending_arrival[task.name]
+            while t < until:
+                if t >= self.engine.now:
+                    self.engine.schedule(
+                        t,
+                        (lambda tk=task: self._release_jobset(tk)),
+                        _ARRIVAL_PRIORITY,
+                    )
+                t = next(self._streams[task.name])
+            self._pending_arrival[task.name] = t
+        self._horizon_scheduled = until
+
+    # -- execution ----------------------------------------------------------------------
+
+    def run_until(self, horizon: float) -> None:
+        """Advance the simulation to absolute virtual time ``horizon``."""
+        if horizon > self._horizon_scheduled:
+            self._schedule_arrivals(horizon)
+        self.engine.run_until(horizon)
+
+    def run_for(self, duration: float) -> None:
+        """Advance the simulation by ``duration`` time units."""
+        self.run_until(self.engine.now + duration)
+
+    # -- observation -----------------------------------------------------------------------
+
+    def utilizations(self) -> Dict[str, float]:
+        """Busy fraction per resource since the start of the run."""
+        elapsed = self.engine.now
+        return {
+            rname: sim.utilization(elapsed)
+            for rname, sim in self.resources.items()
+        }

@@ -1,0 +1,27 @@
+"""Workloads: the paper's experimental task sets plus a random generator."""
+
+from repro.workloads.paper import (
+    TABLE1_CRITICAL_PATHS,
+    TABLE1_CRITICAL_TIMES,
+    TABLE1_LATENCIES,
+    TABLE1_SUBTASKS,
+    base_workload,
+    prototype_workload,
+    scaled_workload,
+    unschedulable_workload,
+)
+
+__all__ = [
+    "base_workload",
+    "scaled_workload",
+    "unschedulable_workload",
+    "prototype_workload",
+    "TABLE1_SUBTASKS",
+    "TABLE1_LATENCIES",
+    "TABLE1_CRITICAL_TIMES",
+    "TABLE1_CRITICAL_PATHS",
+]
+
+from repro.workloads.generator import GeneratorConfig, random_graph, random_workload
+
+__all__ += ["GeneratorConfig", "random_workload", "random_graph"]

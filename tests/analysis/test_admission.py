@@ -1,0 +1,110 @@
+"""Tests for the admission-control layer."""
+
+import pytest
+
+from repro.analysis.admission import AdmissionController
+from repro.analysis.schedulability import SchedulabilityAnalyzer
+from repro.errors import ModelError
+from repro.model.events import PeriodicEvent
+from repro.model.graph import SubtaskGraph
+from repro.model.resources import Resource
+from repro.model.task import Subtask, Task
+from repro.model.utility import LinearUtility
+
+RESOURCES = [Resource(name=f"r{i}", availability=1.0, lag=1.0)
+             for i in range(3)]
+
+
+def chain_task(name: str, exec_time: float, critical_time: float,
+               slope: float = 1.0) -> Task:
+    names = [f"{name}_{i}" for i in range(3)]
+    return Task(
+        name=name,
+        subtasks=[Subtask(names[i], f"r{i}", exec_time) for i in range(3)],
+        graph=SubtaskGraph.chain(names),
+        critical_time=critical_time,
+        utility=LinearUtility(critical_time, k=2.0, slope=slope),
+        trigger=PeriodicEvent(100.0),
+    )
+
+
+def controller(**kwargs) -> AdmissionController:
+    return AdmissionController(
+        RESOURCES,
+        analyzer=SchedulabilityAnalyzer(iterations=500),
+        **kwargs,
+    )
+
+
+class TestStrictAdmission:
+    def test_first_task_admitted(self):
+        ctrl = controller()
+        decision = ctrl.offer(chain_task("t1", 2.0, 40.0))
+        assert decision.admitted
+        assert len(ctrl.admitted) == 1
+        assert ctrl.latencies     # allocation computed
+
+    def test_schedulable_second_task_admitted(self):
+        ctrl = controller()
+        assert ctrl.offer(chain_task("t1", 2.0, 60.0)).admitted
+        assert ctrl.offer(chain_task("t2", 2.0, 60.0)).admitted
+        assert ctrl.taskset is not None
+        assert len(ctrl.taskset.tasks) == 2
+
+    def test_overloading_task_rejected(self):
+        ctrl = controller()
+        assert ctrl.offer(chain_task("t1", 2.0, 12.0)).admitted
+        # A second task with the same tight deadline cannot fit: each
+        # needs ~3/4 of every resource (cost 3, per-stage budget 4).
+        decision = ctrl.offer(chain_task("t2", 2.0, 12.0))
+        assert not decision.admitted
+        assert "not schedulable" in decision.reason
+        # The incumbent workload is untouched.
+        assert [t.name for t in ctrl.admitted] == ["t1"]
+
+    def test_duplicate_name_rejected(self):
+        ctrl = controller()
+        ctrl.offer(chain_task("t1", 2.0, 40.0))
+        decision = ctrl.offer(chain_task("t1", 1.0, 50.0))
+        assert not decision.admitted
+        assert "already admitted" in decision.reason
+
+    def test_withdraw_reoptimizes(self):
+        ctrl = controller()
+        ctrl.offer(chain_task("t1", 2.0, 60.0))
+        ctrl.offer(chain_task("t2", 2.0, 60.0))
+        with_two = dict(ctrl.latencies)
+        assert ctrl.withdraw("t2")
+        assert [t.name for t in ctrl.admitted] == ["t1"]
+        # t1's latencies shrink once t2's pressure disappears.
+        for name in ("t1_0", "t1_1", "t1_2"):
+            assert ctrl.latencies[name] <= with_two[name] + 1e-9
+        assert not ctrl.withdraw("ghost")
+
+    def test_admission_rate(self):
+        ctrl = controller()
+        ctrl.offer(chain_task("t1", 2.0, 12.0))
+        ctrl.offer(chain_task("t2", 2.0, 12.0))
+        assert ctrl.admission_rate() == pytest.approx(0.5)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ModelError):
+            AdmissionController(RESOURCES, mode="optimistic")
+
+
+class TestUtilityMode:
+    def test_low_value_task_rejected_on_dilution(self):
+        # Incumbent: important task with slack.  Arrival: schedulable but
+        # drags the incumbent's latency allocation enough to breach the
+        # allowed loss.
+        ctrl = controller(mode="utility", max_utility_loss=0.5)
+        assert ctrl.offer(chain_task("vip", 2.0, 40.0, slope=3.0)).admitted
+        decision = ctrl.offer(chain_task("bulk", 4.0, 40.0, slope=1.0))
+        assert not decision.admitted
+        assert "utility would drop" in decision.reason
+        assert decision.incumbent_utility_loss > 0.5
+
+    def test_generous_budget_admits(self):
+        ctrl = controller(mode="utility", max_utility_loss=1000.0)
+        assert ctrl.offer(chain_task("vip", 2.0, 40.0, slope=3.0)).admitted
+        assert ctrl.offer(chain_task("bulk", 4.0, 40.0, slope=1.0)).admitted

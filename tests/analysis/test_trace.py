@@ -1,0 +1,74 @@
+"""Tests for convergence-trace diagnostics."""
+
+import pytest
+
+from repro.analysis.trace import (
+    distance_to_reference,
+    price_movement,
+    settling_iteration,
+    summarize_trace,
+    tail_oscillation,
+    violation_duration,
+)
+from repro.core.optimizer import LLAConfig, LLAOptimizer
+from repro.workloads.paper import base_workload
+
+
+class TestScalarMetrics:
+    def test_settling_simple(self):
+        values = [10.0, 5.0, 2.0, 1.0, 1.1, 0.9, 1.0]
+        assert settling_iteration(values, band=0.5) == 3
+
+    def test_settling_never(self):
+        values = [1.0, 2.0, 1.0, 2.0, 10.0]
+        assert settling_iteration(values, band=0.5) is None
+
+    def test_settling_immediately(self):
+        assert settling_iteration([5.0, 5.0, 5.0], band=0.5) == 0
+
+    def test_settling_relative(self):
+        values = [2000.0, 1010.0, 1000.0]
+        assert settling_iteration(values, band=0.02, relative=True) == 1
+
+    def test_settling_empty(self):
+        assert settling_iteration([], band=1.0) is None
+
+    def test_tail_oscillation(self):
+        values = [0.0] * 50 + [1.0, 3.0, 2.0]
+        assert tail_oscillation(values, window=3) == pytest.approx(2.0)
+
+    def test_distance_to_reference(self):
+        assert distance_to_reference([1.0, 2.0, 3.0], 5.0) == 2.0
+        assert distance_to_reference([], 5.0) == float("inf")
+
+
+class TestHistoryMetrics:
+    @pytest.fixture(scope="class")
+    def history(self):
+        ts = base_workload()
+        result = LLAOptimizer(
+            ts, LLAConfig(max_iterations=200, stop_on_convergence=False)
+        ).run()
+        return result.history
+
+    def test_price_movement_positive_early(self, history):
+        early = price_movement(history[:30])
+        assert early > 0.0
+
+    def test_violation_duration_counts(self, history):
+        count = violation_duration(history)
+        assert 0 < count <= len(history)
+
+    def test_summary(self, history):
+        summary = summarize_trace(history)
+        assert summary.iterations == len(history)
+        assert summary.final_utility == pytest.approx(history[-1].utility)
+        assert summary.oscillation >= 0.0
+        assert summary.price_drift >= 0.0
+
+    def test_converged_run_summary_clean(self):
+        ts = base_workload()
+        result = LLAOptimizer(ts, LLAConfig(max_iterations=1500)).run()
+        summary = summarize_trace(result.history)
+        assert summary.converged_cleanly(oscillation_tol=30.0,
+                                         drift_tol=5.0)

@@ -1,0 +1,49 @@
+"""Tests for the centralized SLSQP reference solver."""
+
+import pytest
+
+from repro.baselines.centralized import solve_centralized
+from repro.core.optimizer import LLAConfig, LLAOptimizer
+from tests.conftest import make_chain_taskset
+
+
+class TestCentralized:
+    def test_solves_base_workload(self, base_ts):
+        solution = solve_centralized(base_ts)
+        assert solution.success
+        assert base_ts.is_feasible(solution.latencies, tol=1e-6)
+
+    def test_saturates_resources_at_optimum(self, base_ts):
+        solution = solve_centralized(base_ts)
+        loads = base_ts.resource_loads(solution.latencies)
+        for load in loads.values():
+            assert load == pytest.approx(1.0, abs=1e-3)
+
+    def test_warm_start_agrees_with_cold(self, base_ts):
+        cold = solve_centralized(base_ts)
+        lla = LLAOptimizer(base_ts, LLAConfig(max_iterations=800)).run()
+        warm = solve_centralized(base_ts, x0=lla.latencies)
+        assert warm.utility == pytest.approx(cold.utility, abs=0.1)
+
+    def test_chain_task(self):
+        ts = make_chain_taskset()
+        solution = solve_centralized(ts)
+        assert solution.success
+        # Dedicated unit resources: utility wants small latencies; each
+        # subtask should sit at its minimum latency (cost/B = 3).
+        for lat in solution.latencies.values():
+            assert lat == pytest.approx(3.0, abs=1e-3)
+
+    def test_critical_paths_property(self, base_ts):
+        solution = solve_centralized(base_ts)
+        crits = solution.critical_paths(base_ts)
+        for task in base_ts.tasks:
+            assert crits[task.name] <= task.critical_time + 1e-6
+
+    def test_respects_rate_share_bound(self):
+        # Large critical time: the rate bound (75ms) binds before the
+        # deadline does.
+        ts = make_chain_taskset(critical_time=500.0, period=50.0)
+        solution = solve_centralized(ts)
+        for lat in solution.latencies.values():
+            assert lat <= 75.0 + 1e-6

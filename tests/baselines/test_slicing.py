@@ -1,0 +1,97 @@
+"""Tests for the deadline-slicing baselines."""
+
+import pytest
+
+from repro.baselines.slicing import (
+    bst_slicing,
+    evaluate_assignment,
+    even_slicing,
+    proportional_slicing,
+)
+from tests.conftest import make_chain_taskset, make_diamond_taskset
+
+ALL_SLICERS = [even_slicing, proportional_slicing, bst_slicing]
+
+
+class TestPathBudgets:
+    @pytest.mark.parametrize("slicer", ALL_SLICERS)
+    def test_paths_within_critical_time_chain(self, slicer):
+        ts = make_chain_taskset()
+        latencies = slicer(ts)
+        task = ts.tasks[0]
+        for path in task.graph.paths:
+            total = task.graph.path_latency(path, latencies)
+            assert total <= task.critical_time + 1e-9
+
+    @pytest.mark.parametrize("slicer", ALL_SLICERS)
+    def test_paths_within_critical_time_diamond(self, slicer):
+        ts = make_diamond_taskset()
+        latencies = slicer(ts)
+        task = ts.tasks[0]
+        for path in task.graph.paths:
+            total = task.graph.path_latency(path, latencies)
+            assert total <= task.critical_time + 1e-9
+
+    @pytest.mark.parametrize("slicer", ALL_SLICERS)
+    def test_paths_within_critical_time_base_workload(self, slicer, base_ts):
+        latencies = slicer(base_ts)
+        for task in base_ts.tasks:
+            _, crit = task.critical_path(latencies)
+            assert crit <= task.critical_time + 1e-9
+
+    @pytest.mark.parametrize("slicer", ALL_SLICERS)
+    def test_all_subtasks_assigned(self, slicer, base_ts):
+        latencies = slicer(base_ts)
+        assert set(latencies) == set(base_ts.subtask_names)
+        assert all(v > 0.0 for v in latencies.values())
+
+
+class TestEvenSlicing:
+    def test_chain_divides_equally(self):
+        ts = make_chain_taskset(n_subtasks=3, critical_time=30.0)
+        latencies = even_slicing(ts)
+        assert all(v == pytest.approx(10.0) for v in latencies.values())
+
+    def test_diamond_uses_longest_path(self):
+        ts = make_diamond_taskset(critical_time=30.0)
+        latencies = even_slicing(ts)
+        # Longest path has 3 hops: everyone gets C/3.
+        assert all(v == pytest.approx(10.0) for v in latencies.values())
+
+
+class TestProportionalSlicing:
+    def test_chain_proportional_to_cost(self):
+        ts = make_chain_taskset(n_subtasks=3, exec_time=2.0,
+                                critical_time=30.0, lag=1.0)
+        latencies = proportional_slicing(ts)
+        # Equal costs: equal slices of 10 each.
+        assert all(v == pytest.approx(10.0) for v in latencies.values())
+
+    def test_expensive_subtask_gets_more(self, base_ts):
+        latencies = proportional_slicing(base_ts)
+        # Within task 3 (a chain), T25 is irrelevant; compare T31 (3ms)
+        # and T32 (2ms): the costlier subtask gets the bigger slice.
+        assert latencies["T31"] > latencies["T32"]
+
+
+class TestBstSlicing:
+    def test_slice_at_least_cost(self, base_ts):
+        latencies = bst_slicing(base_ts)
+        for task in base_ts.tasks:
+            for sub in task.subtasks:
+                cost = sub.exec_time + base_ts.resources[sub.resource].lag
+                assert latencies[sub.name] >= cost - 1e-9
+
+
+class TestEvaluateAssignment:
+    def test_score_fields(self, base_ts):
+        score = evaluate_assignment(base_ts, even_slicing(base_ts))
+        assert set(score.resource_loads) == set(base_ts.resources)
+        assert score.max_load == max(score.resource_loads.values())
+        assert isinstance(score.feasible, bool)
+        assert (score.violations == []) == score.feasible
+
+    def test_feasible_assignment_scores_feasible(self):
+        ts = make_chain_taskset()
+        score = evaluate_assignment(ts, even_slicing(ts))
+        assert score.feasible

@@ -1,0 +1,87 @@
+"""Shared fixtures: canonical task sets used across the test suite."""
+
+import pytest
+
+from repro.model.events import PeriodicEvent
+from repro.model.graph import SubtaskGraph
+from repro.model.resources import Resource
+from repro.model.task import Subtask, Task, TaskSet
+from repro.model.utility import LinearUtility
+from repro.workloads.paper import base_workload, prototype_workload
+
+
+@pytest.fixture
+def base_ts() -> TaskSet:
+    """The paper's three-task Table 1 workload."""
+    return base_workload()
+
+
+@pytest.fixture
+def proto_ts() -> TaskSet:
+    """The paper's Section 6 prototype workload."""
+    return prototype_workload()
+
+
+def make_chain_taskset(
+    n_subtasks: int = 3,
+    exec_time: float = 2.0,
+    critical_time: float = 30.0,
+    availability: float = 1.0,
+    lag: float = 1.0,
+    period: float = 50.0,
+    variant: str = "path-weighted",
+    k: float = 2.0,
+) -> TaskSet:
+    """A single chain task on dedicated resources — the smallest useful
+    workload for unit tests."""
+    names = [f"s{i}" for i in range(n_subtasks)]
+    subtasks = [
+        Subtask(name=names[i], resource=f"r{i}", exec_time=exec_time)
+        for i in range(n_subtasks)
+    ]
+    resources = [
+        Resource(name=f"r{i}", availability=availability, lag=lag)
+        for i in range(n_subtasks)
+    ]
+    task = Task(
+        name="chain",
+        subtasks=subtasks,
+        graph=SubtaskGraph.chain(names),
+        critical_time=critical_time,
+        utility=LinearUtility(critical_time, k=k),
+        variant=variant,
+        trigger=PeriodicEvent(period),
+    )
+    return TaskSet([task], resources)
+
+
+@pytest.fixture
+def chain_ts() -> TaskSet:
+    return make_chain_taskset()
+
+
+def make_diamond_taskset(critical_time: float = 40.0) -> TaskSet:
+    """One diamond-shaped task (root → two branches → join)."""
+    names = ["root", "left", "right", "join"]
+    edges = [("root", "left"), ("root", "right"),
+             ("left", "join"), ("right", "join")]
+    subtasks = [
+        Subtask(name=n, resource=f"r_{n}", exec_time=2.0 + i)
+        for i, n in enumerate(names)
+    ]
+    resources = [Resource(name=f"r_{n}", availability=1.0, lag=1.0)
+                 for n in names]
+    task = Task(
+        name="diamond",
+        subtasks=subtasks,
+        graph=SubtaskGraph(names, edges),
+        critical_time=critical_time,
+        utility=LinearUtility(critical_time),
+        trigger=PeriodicEvent(100.0),
+    )
+    return TaskSet([task], resources)
+
+
+@pytest.fixture
+def diamond_ts() -> TaskSet:
+    return make_diamond_taskset()

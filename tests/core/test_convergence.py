@@ -1,0 +1,71 @@
+"""Unit tests for the convergence detector."""
+
+import pytest
+
+from repro.core.convergence import ConvergenceDetector
+
+
+def feasible_latencies(ts):
+    """9 ms per subtask is feasible for the dedicated-resource chain
+    fixture (path 27 ≤ 30, loads 3/9 = 0.33)."""
+    return {n: 9.0 for n in ts.subtask_names}
+
+
+class TestConvergenceDetector:
+    def test_not_converged_before_window_fills(self, chain_ts):
+        det = ConvergenceDetector(chain_ts, window=5)
+        for _ in range(5):
+            det.observe(10.0, feasible_latencies(chain_ts))
+        assert not det.converged()   # needs window+1 observations
+        det.observe(10.0, feasible_latencies(chain_ts))
+        assert det.converged()
+
+    def test_detects_stability(self, chain_ts):
+        det = ConvergenceDetector(chain_ts, window=3, utility_tol=1e-3)
+        for _ in range(10):
+            det.observe(100.0, feasible_latencies(chain_ts))
+        assert det.utility_stable()
+
+    def test_rejects_drift(self, chain_ts):
+        det = ConvergenceDetector(chain_ts, window=3, utility_tol=1e-3)
+        for i in range(10):
+            det.observe(100.0 + i, feasible_latencies(chain_ts))
+        assert not det.utility_stable()
+
+    def test_relative_tolerance_scales(self, chain_ts):
+        # Spread 0.5 on a value of 10000 is relatively tiny.
+        det = ConvergenceDetector(chain_ts, window=3, utility_tol=1e-3)
+        values = [10000.0, 10000.5, 10000.0, 10000.4, 10000.1]
+        for v in values:
+            det.observe(v, feasible_latencies(chain_ts))
+        assert det.utility_stable()
+
+    def test_requires_feasibility(self, base_ts):
+        det = ConvergenceDetector(base_ts, window=2)
+        infeasible = {n: 0.1 for n in base_ts.subtask_names}
+        for _ in range(6):
+            det.observe(10.0, infeasible)
+        assert det.utility_stable()
+        assert not det.feasible()
+        assert not det.converged()
+
+    def test_feasibility_check_optional(self, base_ts):
+        det = ConvergenceDetector(base_ts, window=2, require_feasible=False)
+        infeasible = {n: 0.1 for n in base_ts.subtask_names}
+        for _ in range(6):
+            det.observe(10.0, infeasible)
+        assert det.converged()
+
+    def test_reset(self, chain_ts):
+        det = ConvergenceDetector(chain_ts, window=2)
+        for _ in range(6):
+            det.observe(10.0, feasible_latencies(chain_ts))
+        assert det.converged()
+        det.reset()
+        assert not det.converged()
+
+    def test_rejects_bad_params(self, base_ts):
+        with pytest.raises(ValueError):
+            ConvergenceDetector(base_ts, window=0)
+        with pytest.raises(ValueError):
+            ConvergenceDetector(base_ts, utility_tol=0.0)

@@ -1,0 +1,96 @@
+"""Tests for enactment policies (Section 4.4's "enact on significant
+change" behaviour)."""
+
+import pytest
+
+from repro.core.enactment import (
+    AlwaysEnact,
+    PeriodicEnactment,
+    ThresholdEnactment,
+)
+from repro.errors import OptimizationError
+
+
+class TestAlwaysEnact:
+    def test_always_true(self):
+        policy = AlwaysEnact()
+        for _ in range(5):
+            assert policy.should_enact({"s": 0.5})
+
+
+class TestThresholdEnactment:
+    def test_first_call_enacts(self):
+        policy = ThresholdEnactment(threshold=0.05)
+        assert policy.should_enact({"s": 0.5})
+        policy.notify_enacted({"s": 0.5})
+
+    def test_small_change_skipped(self):
+        policy = ThresholdEnactment(threshold=0.05)
+        policy.notify_enacted({"s": 0.5})
+        assert not policy.should_enact({"s": 0.51})   # 2% < 5%
+        assert policy.skips == 1
+
+    def test_large_change_enacts(self):
+        policy = ThresholdEnactment(threshold=0.05)
+        policy.notify_enacted({"s": 0.5})
+        assert policy.should_enact({"s": 0.56})       # 12% > 5%
+
+    def test_new_subtask_forces_enactment(self):
+        policy = ThresholdEnactment(threshold=0.05)
+        policy.notify_enacted({"s": 0.5})
+        assert policy.should_enact({"s": 0.5, "t": 0.2})
+
+    def test_max_interval_bounds_staleness(self):
+        policy = ThresholdEnactment(threshold=0.5, max_interval=3)
+        policy.notify_enacted({"s": 0.5})
+        for _ in range(3):
+            assert not policy.should_enact({"s": 0.5})
+        assert policy.should_enact({"s": 0.5})        # staleness bound hit
+
+    def test_counters(self):
+        policy = ThresholdEnactment(threshold=0.05)
+        policy.notify_enacted({"s": 0.5})
+        policy.should_enact({"s": 0.5})
+        policy.should_enact({"s": 0.9})
+        policy.notify_enacted({"s": 0.9})
+        assert policy.enactments == 2
+        assert policy.skips == 1
+
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            ThresholdEnactment(threshold=0.0)
+        with pytest.raises(OptimizationError):
+            ThresholdEnactment(max_interval=-1)
+
+
+class TestPeriodicEnactment:
+    def test_period(self):
+        policy = PeriodicEnactment(interval=3)
+        decisions = [policy.should_enact({}) for _ in range(7)]
+        assert decisions == [True, False, False, True, False, False, True]
+
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            PeriodicEnactment(interval=0)
+
+
+class TestClosedLoopIntegration:
+    def test_threshold_policy_reduces_enactments(self):
+        from repro.core.optimizer import LLAConfig
+        from repro.sim.closedloop import ClosedLoopRuntime
+        from repro.workloads.paper import prototype_workload
+
+        policy = ThresholdEnactment(threshold=0.05)
+        runtime = ClosedLoopRuntime(
+            prototype_workload(), window=500.0, seed=5,
+            optimizer_config=LLAConfig(max_iterations=2000),
+            optimizer_steps_per_epoch=100,
+            enactment=policy,
+        )
+        runtime.run_epochs(6)   # no correction: shares barely move
+        skipped = sum(1 for rec in runtime.history if not rec.enacted)
+        assert skipped >= 4
+        # With correction on, shares move and enactments resume.
+        runtime.enable_correction()
+        runtime.run_epochs(3)
+        assert any(rec.enacted for rec in runtime.history[-3:])

@@ -1,0 +1,118 @@
+"""Unit tests for online model-error correction (Section 6.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.error_correction import ErrorCorrector, ErrorSample
+from repro.errors import OptimizationError
+from repro.model.share import CorrectedShare
+from tests.conftest import make_chain_taskset
+
+
+class TestObservation:
+    def test_first_sample_initializes(self):
+        ts = make_chain_taskset()
+        corrector = ErrorCorrector(ts, alpha=0.2)
+        err = corrector.observe(ErrorSample("s0", predicted=35.0, observed=17.5))
+        assert err == pytest.approx(-17.5)
+        assert corrector.error("s0") == pytest.approx(-17.5)
+
+    def test_exponential_smoothing(self):
+        ts = make_chain_taskset()
+        corrector = ErrorCorrector(ts, alpha=0.5)
+        corrector.observe(ErrorSample("s0", 30.0, 20.0))   # error -10
+        corrector.observe(ErrorSample("s0", 30.0, 30.0))   # error 0
+        assert corrector.error("s0") == pytest.approx(-5.0)
+
+    def test_batch_uses_high_percentile(self):
+        ts = make_chain_taskset()
+        corrector = ErrorCorrector(ts, percentile=95.0)
+        samples = list(np.linspace(10.0, 20.0, 101))
+        corrector.observe_batch("s0", predicted=30.0,
+                                observed_latencies=samples)
+        # 95th percentile of 10..20 is 19.5: error = -10.5.
+        assert corrector.error("s0") == pytest.approx(-10.5)
+
+    def test_empty_batch_is_noop(self):
+        ts = make_chain_taskset()
+        corrector = ErrorCorrector(ts)
+        assert corrector.observe_batch("s0", 30.0, []) is None
+        assert corrector.error("s0") == 0.0
+
+    def test_raw_error_history(self):
+        ts = make_chain_taskset()
+        corrector = ErrorCorrector(ts)
+        corrector.observe(ErrorSample("s0", 30.0, 25.0))
+        corrector.observe(ErrorSample("s0", 30.0, 28.0))
+        assert corrector.raw_errors("s0") == [-5.0, -2.0]
+
+    def test_unknown_subtask_rejected(self):
+        ts = make_chain_taskset()
+        corrector = ErrorCorrector(ts)
+        with pytest.raises(OptimizationError):
+            corrector.observe(ErrorSample("ghost", 1.0, 1.0))
+
+
+class TestApplication:
+    def test_apply_wraps_share_function(self):
+        ts = make_chain_taskset()
+        corrector = ErrorCorrector(ts)
+        corrector.observe(ErrorSample("s0", 30.0, 20.0))
+        applied = corrector.apply("s0")
+        assert applied == pytest.approx(-10.0)
+        fn = ts.share_function("s0")
+        assert isinstance(fn, CorrectedShare)
+        assert fn.error == pytest.approx(-10.0)
+
+    def test_apply_is_idempotent_wrap(self):
+        ts = make_chain_taskset()
+        corrector = ErrorCorrector(ts)
+        corrector.observe(ErrorSample("s0", 30.0, 20.0))
+        corrector.apply("s0")
+        first = ts.share_function("s0")
+        corrector.observe(ErrorSample("s0", 30.0, 25.0))
+        corrector.apply("s0")
+        assert ts.share_function("s0") is first   # same wrapper, new error
+
+    def test_apply_all_touches_only_initialized(self):
+        ts = make_chain_taskset()
+        corrector = ErrorCorrector(ts)
+        corrector.observe(ErrorSample("s1", 30.0, 22.0))
+        applied = corrector.apply_all()
+        assert set(applied) == {"s1"}
+        assert not isinstance(ts.share_function("s0"), CorrectedShare)
+
+    def test_optional_clamp(self):
+        ts = make_chain_taskset()
+        corrector = ErrorCorrector(ts, max_abs_correction=5.0)
+        corrector.observe(ErrorSample("s0", 40.0, 10.0))   # error -30
+        applied = corrector.apply("s0")
+        assert applied == -5.0
+
+    def test_corrected_model_lowers_required_share(self):
+        ts = make_chain_taskset()
+        raw = ts.share_function("s0")
+        raw_share = raw.share(10.0)
+        corrector = ErrorCorrector(ts)
+        corrector.observe(ErrorSample("s0", 30.0, 20.0))
+        corrector.apply("s0")
+        assert ts.share_function("s0").share(10.0) < raw_share
+
+
+class TestValidation:
+    def test_rejects_bad_alpha(self):
+        ts = make_chain_taskset()
+        with pytest.raises(OptimizationError):
+            ErrorCorrector(ts, alpha=0.0)
+        with pytest.raises(OptimizationError):
+            ErrorCorrector(ts, alpha=1.5)
+
+    def test_rejects_bad_percentile(self):
+        ts = make_chain_taskset()
+        with pytest.raises(OptimizationError):
+            ErrorCorrector(ts, percentile=0.0)
+
+    def test_rejects_bad_clamp(self):
+        ts = make_chain_taskset()
+        with pytest.raises(OptimizationError):
+            ErrorCorrector(ts, max_abs_correction=0.0)

@@ -1,0 +1,107 @@
+"""Behavioural tests for inelastic (hard real-time) tasks in LLA.
+
+Section 3.2 / Figure 2: inelastic tasks "constrain resources, but do not
+allow trade-offs between benefit and utilization" — under LLA they should
+claim exactly the allocation needed to meet their deadline (their paths
+end *at* the critical time, not below it), leaving every remaining drop of
+capacity to the elastic tasks.
+"""
+
+import pytest
+
+from repro.core.optimizer import LLAConfig, LLAOptimizer
+from repro.model.events import PeriodicEvent
+from repro.model.graph import SubtaskGraph
+from repro.model.resources import Resource
+from repro.model.task import Subtask, Task, TaskSet
+from repro.model.utility import InelasticUtility, LinearUtility
+
+
+def mixed_taskset(elastic_slope: float = 1.0) -> TaskSet:
+    """One inelastic and one elastic chain sharing three resources."""
+    resources = [Resource(name=f"r{i}", availability=1.0, lag=1.0)
+                 for i in range(3)]
+
+    hard_names = [f"hard_{i}" for i in range(3)]
+    hard = Task(
+        name="hard",
+        subtasks=[Subtask(hard_names[i], f"r{i}", exec_time=2.0)
+                  for i in range(3)],
+        graph=SubtaskGraph.chain(hard_names),
+        critical_time=30.0,
+        utility=InelasticUtility(30.0, u_max=10.0),
+        trigger=PeriodicEvent(100.0),
+    )
+    soft_names = [f"soft_{i}" for i in range(3)]
+    soft = Task(
+        name="soft",
+        subtasks=[Subtask(soft_names[i], f"r{i}", exec_time=3.0)
+                  for i in range(3)],
+        graph=SubtaskGraph.chain(soft_names),
+        critical_time=90.0,
+        utility=LinearUtility(90.0, k=2.0, slope=elastic_slope),
+        trigger=PeriodicEvent(100.0),
+    )
+    return TaskSet([hard, soft], resources)
+
+
+@pytest.fixture(scope="module")
+def solved():
+    ts = mixed_taskset()
+    result = LLAOptimizer(ts, LLAConfig(max_iterations=2500)).run()
+    return ts, result
+
+
+class TestInelasticBehaviour:
+    def test_converges_feasibly(self, solved):
+        ts, result = solved
+        assert ts.is_feasible(result.latencies, tol=1e-2)
+
+    def test_inelastic_rides_its_deadline(self, solved):
+        """No marginal benefit below the deadline: the hard task takes
+        exactly its critical time, no more share than needed."""
+        ts, result = solved
+        _, crit = ts.task("hard").critical_path(result.latencies)
+        assert crit == pytest.approx(30.0, rel=0.02)
+
+    def test_elastic_soaks_remaining_capacity(self, solved):
+        ts, result = solved
+        loads = ts.resource_loads(result.latencies)
+        for load in loads.values():
+            assert load == pytest.approx(1.0, abs=0.02)
+
+    def test_elastic_below_its_deadline(self, solved):
+        """The elastic task trades: it ends well below its own deadline
+        because latency still buys it utility."""
+        ts, result = solved
+        _, crit = ts.task("soft").critical_path(result.latencies)
+        assert crit < 0.95 * 90.0
+
+    def test_inelastic_allocation_insensitive_to_elastic_importance(self):
+        """Scaling the elastic task's slope must not move the inelastic
+        task's allocation — it is constraint-driven, not price-driven.
+
+        Uses a fixed γ = 0.3 for both slopes: adaptive doubling can lock
+        this geometry into a limit cycle at some slopes (the step-size
+        sensitivity the Figure 5 reproduction documents), and comparing
+        across configurations needs one policy that converges for both."""
+        from repro.core.stepsize import FixedStepSize
+
+        def hard_latencies(slope):
+            ts = mixed_taskset(elastic_slope=slope)
+            result = LLAOptimizer(
+                ts,
+                LLAConfig(step_policy=FixedStepSize(0.3),
+                          max_iterations=8000),
+            ).run()
+            assert result.converged
+            return [result.latencies[f"hard_{i}"] for i in range(3)]
+
+        gentle = hard_latencies(1.0)
+        fierce = hard_latencies(5.0)
+        assert sum(gentle) == pytest.approx(sum(fierce), rel=0.02)
+
+    def test_inelastic_utility_constant_while_met(self, solved):
+        ts, result = solved
+        hard = ts.task("hard")
+        assert hard.utility_value(result.latencies) == pytest.approx(10.0)

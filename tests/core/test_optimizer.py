@@ -1,0 +1,146 @@
+"""Integration-grade unit tests for the LLA optimizer."""
+
+import pytest
+
+from repro.baselines.centralized import solve_centralized
+from repro.core.optimizer import LLAConfig, LLAOptimizer
+from repro.core.stepsize import FixedStepSize
+from repro.errors import OptimizationError
+from repro.model.utility import ExponentialUtility
+from tests.conftest import make_chain_taskset
+
+
+class TestConvergence:
+    def test_base_workload_converges(self, base_ts):
+        result = LLAOptimizer(base_ts, LLAConfig(max_iterations=1500)).run()
+        assert result.converged
+        assert base_ts.is_feasible(result.latencies, tol=1e-2)
+
+    def test_matches_centralized_optimum(self, base_ts):
+        result = LLAOptimizer(base_ts, LLAConfig(max_iterations=1500)).run()
+        oracle = solve_centralized(base_ts)
+        assert result.utility == pytest.approx(oracle.utility, abs=0.5)
+
+    def test_critical_paths_bind(self, base_ts):
+        # The saturated workload pins every task at its critical time.
+        result = LLAOptimizer(base_ts, LLAConfig(max_iterations=1500)).run()
+        for task in base_ts.tasks:
+            _, crit = task.critical_path(result.latencies)
+            assert crit == pytest.approx(task.critical_time, rel=0.01)
+
+    def test_single_chain_task(self):
+        ts = make_chain_taskset()
+        result = LLAOptimizer(ts, LLAConfig(max_iterations=800)).run()
+        assert result.converged
+        assert ts.is_feasible(result.latencies, tol=1e-2)
+
+    def test_prices_stay_nonnegative(self, base_ts):
+        opt = LLAOptimizer(base_ts, LLAConfig(max_iterations=100,
+                                              stop_on_convergence=False))
+        result = opt.run()
+        for record in result.history:
+            assert all(v >= 0.0 for v in record.resource_prices.values())
+            assert all(v >= 0.0 for v in record.path_prices.values())
+
+    def test_latencies_within_bounds_every_iteration(self, base_ts):
+        opt = LLAOptimizer(base_ts, LLAConfig(max_iterations=100,
+                                              stop_on_convergence=False))
+        result = opt.run()
+        for record in result.history:
+            for task in base_ts.tasks:
+                for sub in task.subtasks:
+                    lat = record.latencies[sub.name]
+                    assert lat > 0.0
+                    assert lat <= task.critical_time + 1e-9
+
+
+class TestMechanics:
+    def test_history_recorded(self, base_ts):
+        result = LLAOptimizer(
+            base_ts, LLAConfig(max_iterations=20, stop_on_convergence=False)
+        ).run()
+        assert len(result.history) == 20
+        assert result.history[0].iteration == 1
+        assert len(result.utility_trace()) == 20
+
+    def test_history_disabled(self, base_ts):
+        result = LLAOptimizer(
+            base_ts,
+            LLAConfig(max_iterations=20, record_history=False,
+                      stop_on_convergence=False),
+        ).run()
+        assert result.history == []
+
+    def test_on_iteration_callback(self, base_ts):
+        seen = []
+        opt = LLAOptimizer(
+            base_ts,
+            LLAConfig(max_iterations=5, stop_on_convergence=False),
+            on_iteration=seen.append,
+        )
+        opt.run()
+        assert [r.iteration for r in seen] == [1, 2, 3, 4, 5]
+
+    def test_step_returns_record(self, base_ts):
+        opt = LLAOptimizer(base_ts, LLAConfig())
+        record = opt.step()
+        assert record.iteration == 1
+        assert set(record.latencies) == set(base_ts.subtask_names)
+        assert set(record.resource_loads) == set(base_ts.resources)
+
+    def test_reset_restores_initial_state(self, base_ts):
+        opt = LLAOptimizer(base_ts, LLAConfig(max_iterations=50,
+                                              stop_on_convergence=False))
+        initial = dict(opt.latencies)
+        opt.run()
+        opt.reset()
+        assert opt.iteration == 0
+        assert opt.latencies == pytest.approx(initial)
+        assert all(
+            v == opt.config.initial_resource_price
+            for v in opt.resource_prices.prices.values()
+        )
+
+    def test_deterministic(self, base_ts):
+        from repro.workloads.paper import base_workload
+        r1 = LLAOptimizer(base_workload(), LLAConfig(max_iterations=100)).run()
+        r2 = LLAOptimizer(base_workload(), LLAConfig(max_iterations=100)).run()
+        assert r1.latencies == pytest.approx(r2.latencies)
+
+    def test_load_trace(self, base_ts):
+        result = LLAOptimizer(
+            base_ts, LLAConfig(max_iterations=10, stop_on_convergence=False)
+        ).run()
+        trace = result.load_trace("r0")
+        assert len(trace) == 10
+
+
+class TestConfig:
+    def test_rejects_zero_iterations(self, base_ts):
+        with pytest.raises(OptimizationError):
+            LLAOptimizer(base_ts, LLAConfig(max_iterations=0))
+
+    def test_fixed_factory(self):
+        config = LLAConfig.fixed(0.5, max_iterations=10)
+        assert isinstance(config.step_policy, FixedStepSize)
+        assert config.max_iterations == 10
+
+    def test_strict_rejects_nonconcave_utility(self):
+        ts = make_chain_taskset()
+        ts.tasks[0].utility = ExponentialUtility(ts.tasks[0].critical_time)
+        with pytest.raises(OptimizationError, match="non-concave"):
+            LLAOptimizer(ts, LLAConfig(strict=True))
+
+    def test_non_strict_allows_nonconcave(self):
+        ts = make_chain_taskset()
+        ts.tasks[0].utility = ExponentialUtility(ts.tasks[0].critical_time)
+        LLAOptimizer(ts, LLAConfig(strict=False))  # must not raise
+
+    def test_refresh_model_after_share_swap(self, base_ts):
+        from repro.model.share import CorrectedShare
+        opt = LLAOptimizer(base_ts, LLAConfig())
+        base = base_ts.share_function("T11")
+        base_ts.set_share_function("T11", CorrectedShare(base, error=2.0))
+        opt.refresh_model()
+        lo, _hi = opt.allocators["T1"]._bounds["T11"]
+        assert lo == pytest.approx(base.min_latency(1.0) + 2.0)

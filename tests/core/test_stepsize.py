@@ -1,0 +1,90 @@
+"""Unit tests for step-size policies (Section 5.2's heuristic)."""
+
+import pytest
+
+from repro.core.state import PathKey
+from repro.core.stepsize import AdaptiveStepSize, FixedStepSize
+from repro.errors import OptimizationError
+
+
+class TestFixedStepSize:
+    def test_uniform(self):
+        policy = FixedStepSize(2.5)
+        assert policy.resource_gamma("anything") == 2.5
+        assert policy.path_gamma(PathKey("t", 0)) == 2.5
+
+    def test_split_gammas(self):
+        policy = FixedStepSize(1.0, path_gamma=0.01)
+        assert policy.resource_gamma("r") == 1.0
+        assert policy.path_gamma(PathKey("t", 0)) == 0.01
+
+    def test_observe_is_noop(self):
+        policy = FixedStepSize(1.0)
+        policy.observe(["r0"], [PathKey("t", 0)])
+        assert policy.resource_gamma("r0") == 1.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(OptimizationError):
+            FixedStepSize(0.0)
+        with pytest.raises(OptimizationError):
+            FixedStepSize(1.0, path_gamma=-1.0)
+
+
+class TestAdaptiveStepSize:
+    def test_initial_gamma(self, base_ts):
+        policy = AdaptiveStepSize(base_ts, initial_gamma=1.0)
+        assert policy.resource_gamma("r0") == 1.0
+
+    def test_doubles_while_congested(self, base_ts):
+        policy = AdaptiveStepSize(base_ts, initial_gamma=1.0, max_gamma=64.0)
+        for expected in (2.0, 4.0, 8.0):
+            policy.observe(["r0"], [])
+            assert policy.resource_gamma("r0") == expected
+
+    def test_caps_at_max_gamma(self, base_ts):
+        policy = AdaptiveStepSize(base_ts, initial_gamma=1.0, max_gamma=4.0)
+        for _ in range(10):
+            policy.observe(["r0"], [])
+        assert policy.resource_gamma("r0") == 4.0
+
+    def test_reverts_when_uncongested(self, base_ts):
+        policy = AdaptiveStepSize(base_ts, initial_gamma=1.0)
+        policy.observe(["r0"], [])
+        policy.observe(["r0"], [])
+        assert policy.resource_gamma("r0") == 4.0
+        policy.observe([], [])
+        assert policy.resource_gamma("r0") == 1.0
+
+    def test_paths_through_congested_resource_double(self, base_ts):
+        policy = AdaptiveStepSize(base_ts, initial_gamma=1.0)
+        # r3 hosts T14 (task 1) and T27 (task 2).
+        policy.observe(["r3"], [])
+        t1_paths_via_r3 = [
+            PathKey("T1", i)
+            for i in base_ts.task("T1").graph.paths_through("T14")
+        ]
+        for key in t1_paths_via_r3:
+            assert policy.path_gamma(key) == 2.0
+        # A path not crossing r3 keeps its initial gamma: T3 is a chain on
+        # r0,r1,r2,r4,r6,r7.
+        assert policy.path_gamma(PathKey("T3", 0)) == 1.0
+
+    def test_unaffected_resources_keep_initial(self, base_ts):
+        policy = AdaptiveStepSize(base_ts, initial_gamma=1.0)
+        policy.observe(["r0"], [])
+        assert policy.resource_gamma("r1") == 1.0
+
+    def test_reset(self, base_ts):
+        policy = AdaptiveStepSize(base_ts, initial_gamma=1.0)
+        policy.observe(["r0", "r1"], [])
+        policy.reset()
+        assert policy.resource_gamma("r0") == 1.0
+        assert all(
+            policy.path_gamma(k) == 1.0 for k in policy._path_gamma
+        )
+
+    def test_rejects_bad_params(self, base_ts):
+        with pytest.raises(OptimizationError):
+            AdaptiveStepSize(base_ts, initial_gamma=0.0)
+        with pytest.raises(OptimizationError):
+            AdaptiveStepSize(base_ts, growth=1.0)

@@ -1,0 +1,79 @@
+"""Tests for warm-start price initialization."""
+
+import math
+
+import pytest
+
+from repro.core.optimizer import LLAConfig, LLAOptimizer
+from repro.core.warmstart import (
+    apply_warm_start,
+    warm_start_resource_prices,
+)
+from repro.model.utility import LogUtility
+from repro.workloads.paper import base_workload, scaled_workload
+from tests.conftest import make_chain_taskset
+
+
+class TestEstimate:
+    def test_formula_on_chain(self):
+        ts = make_chain_taskset(n_subtasks=3, exec_time=2.0, lag=1.0)
+        prices = warm_start_resource_prices(ts)
+        # One subtask per resource, cost 3, weight 1: sqrt(mu) = sqrt(3)/1.
+        for rname in ts.resources:
+            assert prices[rname] == pytest.approx(3.0)
+
+    def test_accounts_for_weights_and_slope(self, base_ts):
+        prices = warm_start_resource_prices(base_ts)
+        # r0 hosts T11 (cost 3, weight 4), T21 (cost 3, weight 3),
+        # T31 (cost 4, weight 1).
+        expected = (
+            math.sqrt(3.0 * 4) + math.sqrt(3.0 * 3) + math.sqrt(4.0 * 1)
+        ) ** 2
+        assert prices["r0"] == pytest.approx(expected)
+
+    def test_falls_back_for_nonlinear_utility(self):
+        ts = make_chain_taskset()
+        ts.tasks[0].utility = LogUtility(ts.tasks[0].critical_time)
+        prices = warm_start_resource_prices(ts, default=7.0)
+        assert all(v == 7.0 for v in prices.values())
+
+
+class TestIntegration:
+    def test_apply_updates_optimizer(self, base_ts):
+        opt = LLAOptimizer(base_ts, LLAConfig())
+        applied = apply_warm_start(opt)
+        assert opt.resource_prices.prices == applied
+        assert applied["r0"] > 1.0
+
+    def test_config_flag(self, base_ts):
+        opt = LLAOptimizer(base_ts, LLAConfig(warm_start=True))
+        cold = warm_start_resource_prices(base_ts)
+        assert opt.resource_prices.prices == pytest.approx(cold)
+
+    def test_warm_start_speeds_up_overprovisioned_convergence(self):
+        # In the Figure 6 regime the estimate is not exact (latencies pin
+        # at the rate bound, not at saturation) but the head start still
+        # dominates a cold start.
+        def iterations_to_converge(warm):
+            ts = scaled_workload(2, critical_time_factor=20.0)
+            config = LLAConfig(max_iterations=2000, warm_start=warm)
+            return LLAOptimizer(ts, config).run().iterations
+
+        assert iterations_to_converge(True) <= iterations_to_converge(False)
+
+    def test_warm_start_reaches_same_optimum(self, base_ts):
+        from repro.workloads.paper import base_workload
+        cold = LLAOptimizer(base_workload(),
+                            LLAConfig(max_iterations=2500)).run()
+        warm = LLAOptimizer(base_workload(),
+                            LLAConfig(max_iterations=2500,
+                                      warm_start=True)).run()
+        assert warm.utility == pytest.approx(cold.utility, abs=0.5)
+
+    def test_reset_reapplies_warm_start(self, base_ts):
+        opt = LLAOptimizer(base_ts, LLAConfig(warm_start=True,
+                                              max_iterations=50))
+        initial = dict(opt.resource_prices.prices)
+        opt.run(20)
+        opt.reset()
+        assert opt.resource_prices.prices == pytest.approx(initial)

@@ -1,0 +1,83 @@
+"""Tests for asynchronous agent activation."""
+
+import pytest
+
+from repro.distributed import (
+    DistributedConfig,
+    DistributedLLARuntime,
+    EveryRound,
+    PeriodicActivation,
+    RandomActivation,
+)
+from repro.errors import DistributedError
+from repro.workloads.paper import base_workload
+
+
+class TestSchedules:
+    def test_every_round(self):
+        schedule = EveryRound()
+        assert all(schedule.is_active("x", r) for r in range(10))
+
+    def test_periodic_respects_period(self):
+        schedule = PeriodicActivation(default_period=3)
+        active = [r for r in range(12) if schedule.is_active("a", r)]
+        assert len(active) == 4
+        assert all(b - a == 3 for a, b in zip(active, active[1:]))
+
+    def test_periodic_per_agent_override(self):
+        schedule = PeriodicActivation(
+            default_period=1, periods={"slow": 4}
+        )
+        assert all(schedule.is_active("fast", r) for r in range(8))
+        slow_rounds = [r for r in range(16) if schedule.is_active("slow", r)]
+        assert len(slow_rounds) == 4
+
+    def test_random_activation_rate(self):
+        schedule = RandomActivation(probability=0.3, seed=3)
+        active = sum(
+            1 for r in range(2000) if schedule.is_active("a", r)
+        )
+        assert active == pytest.approx(600, rel=0.15)
+
+    def test_random_decision_stable_within_round(self):
+        schedule = RandomActivation(probability=0.5, seed=1)
+        first = schedule.is_active("a", 7)
+        assert all(schedule.is_active("a", 7) == first for _ in range(5))
+
+    def test_validation(self):
+        with pytest.raises(DistributedError):
+            PeriodicActivation(default_period=0)
+        with pytest.raises(DistributedError):
+            PeriodicActivation(periods={"a": 0})
+        with pytest.raises(DistributedError):
+            RandomActivation(probability=0.0)
+
+
+class TestAsynchronousConvergence:
+    def test_random_half_rate_converges(self):
+        ts = base_workload()
+        result = DistributedLLARuntime(
+            ts,
+            DistributedConfig(
+                rounds=3000,
+                activation=RandomActivation(probability=0.5, seed=1),
+            ),
+        ).run()
+        assert ts.is_feasible(result.latencies, tol=1e-2)
+        assert result.utility == pytest.approx(-79.7, abs=1.0)
+
+    def test_heterogeneous_rates_converge(self):
+        # A slow controller and a slow resource amid full-rate peers.
+        ts = base_workload()
+        result = DistributedLLARuntime(
+            ts,
+            DistributedConfig(
+                rounds=3000,
+                activation=PeriodicActivation(
+                    default_period=1,
+                    periods={"controller:T1": 3, "resource:r4": 2},
+                ),
+            ),
+        ).run()
+        assert ts.is_feasible(result.latencies, tol=1e-2)
+        assert result.utility == pytest.approx(-79.7, abs=1.0)

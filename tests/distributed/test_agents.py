@@ -1,0 +1,121 @@
+"""Direct unit tests for the distributed agents (message-level behaviour)."""
+
+import pytest
+
+from repro.core.state import PathKey
+from repro.distributed.agents import ResourceAgent, TaskControllerAgent
+from repro.distributed.messages import Envelope, LatencyMessage, PriceMessage
+from repro.distributed.network import MessageBus
+from repro.workloads.paper import base_workload
+
+
+def envelope(payload, receiver="x"):
+    return Envelope(sender="test", receiver=receiver, payload=payload,
+                    send_round=0, deliver_round=0)
+
+
+class TestResourceAgent:
+    def test_ignores_foreign_subtask_latency(self, base_ts):
+        bus = MessageBus()
+        agent = ResourceAgent(base_ts, "r0", bus)
+        # T12 runs on r1, not r0: the message must be ignored.
+        agent.receive([envelope(
+            LatencyMessage(task="T1", subtask="T12", latency=5.0,
+                           iteration=1)
+        )])
+        assert "T12" not in agent.latencies
+
+    def test_load_none_until_all_report(self, base_ts):
+        bus = MessageBus()
+        agent = ResourceAgent(base_ts, "r0", bus)
+        # r0 hosts T11, T21, T31.
+        agent.receive([envelope(
+            LatencyMessage(task="T1", subtask="T11", latency=10.0,
+                           iteration=1)
+        )])
+        assert agent.load() is None
+        for name, task in (("T21", "T2"), ("T31", "T3")):
+            agent.receive([envelope(
+                LatencyMessage(task=task, subtask=name, latency=10.0,
+                               iteration=1)
+            )])
+        assert agent.load() == pytest.approx((3 + 3 + 4) / 10.0)
+
+    def test_act_without_data_broadcasts_price_unchanged(self, base_ts):
+        bus = MessageBus()
+        agent = ResourceAgent(base_ts, "r0", bus, initial_price=2.5)
+        agent.act(1)
+        assert agent.price == 2.5          # no latencies heard: no update
+        assert bus.sent == 3               # one message per hosted task
+
+    def test_congestion_bit_in_price_message(self, base_ts):
+        bus = MessageBus()
+        agent = ResourceAgent(base_ts, "r0", bus)
+        for name, task in (("T11", "T1"), ("T21", "T2"), ("T31", "T3")):
+            agent.receive([envelope(
+                LatencyMessage(task=task, subtask=name, latency=2.0,
+                               iteration=1)
+            )])
+        agent.act(1)
+        assert agent.congested                # load = 10/2 = 5 >> 1
+        delivered = bus.deliver("controller:T1")
+        assert len(delivered) == 1
+        assert delivered[0].payload.congested is True
+
+
+class TestTaskControllerAgent:
+    def test_initial_latencies_cover_task(self, base_ts):
+        bus = MessageBus()
+        controller = TaskControllerAgent(base_ts, base_ts.task("T1"), bus)
+        assert set(controller.latencies) == set(
+            base_ts.task("T1").subtask_names
+        )
+
+    def test_price_message_updates_view(self, base_ts):
+        bus = MessageBus()
+        controller = TaskControllerAgent(base_ts, base_ts.task("T1"), bus)
+        controller.receive([envelope(
+            PriceMessage(resource="r0", price=42.0, congested=True,
+                         iteration=3)
+        )])
+        assert controller.resource_prices["r0"] == 42.0
+        assert controller._congested_resources["r0"] is True
+
+    def test_act_sends_one_latency_per_subtask(self, base_ts):
+        bus = MessageBus()
+        task = base_ts.task("T1")
+        controller = TaskControllerAgent(base_ts, task, bus)
+        controller.act(1)
+        assert bus.sent == len(task.subtasks)
+        delivered = bus.deliver("resource:r0")
+        assert len(delivered) == 1
+        assert delivered[0].payload.subtask == "T11"
+
+    def test_congested_resource_doubles_its_paths_gamma(self, base_ts):
+        bus = MessageBus()
+        task = base_ts.task("T1")
+        controller = TaskControllerAgent(base_ts, task, bus)
+        controller.receive([envelope(
+            PriceMessage(resource="r3", price=1.0, congested=True,
+                         iteration=1)
+        )])
+        controller.act(1)
+        via_r3 = [
+            PathKey("T1", i) for i in task.graph.paths_through("T14")
+        ]
+        not_via_r3 = [
+            key for key in controller.path_prices if key not in via_r3
+        ]
+        for key in via_r3:
+            assert controller._path_gammas[key].value == 2.0
+        for key in not_via_r3:
+            assert controller._path_gammas[key].value == 1.0
+
+    def test_paused_controller_is_silent(self, base_ts):
+        bus = MessageBus()
+        controller = TaskControllerAgent(base_ts, base_ts.task("T1"), bus)
+        controller.paused = True
+        before = dict(controller.latencies)
+        controller.act(1)
+        assert bus.sent == 0
+        assert controller.latencies == before

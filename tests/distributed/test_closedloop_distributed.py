@@ -1,0 +1,86 @@
+"""Tests for the distributed closed loop (message-passing LLA + simulator)."""
+
+import pytest
+
+from repro.distributed import (
+    DistributedClosedLoop,
+    DistributedConfig,
+    DistributedLLARuntime,
+    TaskControllerAgent,
+)
+from repro.errors import SimulationError
+from repro.workloads.paper import (
+    PROTOTYPE_FAST_MIN_SHARE,
+    base_workload,
+    prototype_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def lossy_loop():
+    ts = prototype_workload()
+    loop = DistributedClosedLoop(
+        ts, window=1500.0, rounds_per_epoch=300, seed=7,
+        runtime_config=DistributedConfig(
+            record_history=False, loss_probability=0.05, seed=3
+        ),
+    )
+    loop.run_epochs(3)
+    loop.enable_correction()
+    loop.run_epochs(18)
+    return loop
+
+
+class TestDistributedClosedLoop:
+    def test_figure8_endpoint_over_lossy_bus(self, lossy_loop):
+        final = lossy_loop.history[-1]
+        assert final.shares["fast1_s0"] == pytest.approx(
+            PROTOTYPE_FAST_MIN_SHARE, abs=0.01
+        )
+        assert final.shares["slow1_s0"] == pytest.approx(0.25, abs=0.01)
+
+    def test_correction_flag_recorded(self, lossy_loop):
+        assert not lossy_loop.history[0].correction_enabled
+        assert lossy_loop.history[-1].correction_enabled
+
+    def test_messages_flow_and_drop(self, lossy_loop):
+        final = lossy_loop.history[-1]
+        assert final.messages_sent > 0
+        total_dropped = sum(r.messages_dropped for r in lossy_loop.history)
+        assert total_dropped > 0   # the bus really is lossy
+
+    def test_share_trace_shape(self, lossy_loop):
+        trace = lossy_loop.share_trace("slow1_s0")
+        assert len(trace) == len(lossy_loop.history)
+        assert trace[-1] > trace[0]   # slow tasks gained the surplus
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(SimulationError):
+            DistributedClosedLoop(prototype_workload(), window=0.0,
+                                  warmup_rounds=1)
+
+
+class TestControllerRestart:
+    def test_controller_crash_and_restart_reconverges(self):
+        """A controller losing all state (crash) re-initializes its path
+        prices and latencies; the protocol re-converges around it."""
+        ts = base_workload()
+        runtime = DistributedLLARuntime(
+            ts, DistributedConfig(record_history=False)
+        )
+        for _ in range(1500):
+            runtime.step()
+        utility_before = ts.total_utility(runtime.global_latencies())
+
+        # Crash: replace T1's controller with a fresh instance (λ = 0,
+        # price view reset to the protocol's initial value).
+        runtime.controllers["T1"] = TaskControllerAgent(
+            ts, ts.task("T1"), runtime.bus
+        )
+        for _ in range(2000):
+            runtime.step()
+        latencies = runtime.global_latencies()
+        assert ts.is_feasible(latencies, tol=1e-2)
+        assert ts.total_utility(latencies) == pytest.approx(
+            utility_before, abs=1.0
+        )

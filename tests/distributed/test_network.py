@@ -1,0 +1,118 @@
+"""Unit tests for the simulated message bus."""
+
+import pytest
+
+from repro.distributed.messages import LatencyMessage, PriceMessage
+from repro.distributed.network import MessageBus
+from repro.errors import DistributedError
+
+
+def msg(i=0):
+    return LatencyMessage(task="t", subtask="s", latency=1.0, iteration=i)
+
+
+class TestDelivery:
+    def test_zero_delay_same_round(self):
+        bus = MessageBus(delay=0)
+        bus.send("a", "b", msg())
+        delivered = bus.deliver("b")
+        assert len(delivered) == 1
+        assert delivered[0].payload == msg()
+
+    def test_delay_defers_delivery(self):
+        bus = MessageBus(delay=2)
+        bus.send("a", "b", msg())
+        assert bus.deliver("b") == []
+        bus.advance()
+        assert bus.deliver("b") == []
+        bus.advance()
+        assert len(bus.deliver("b")) == 1
+
+    def test_delivery_is_per_receiver(self):
+        bus = MessageBus()
+        bus.send("a", "b", msg(1))
+        bus.send("a", "c", msg(2))
+        assert len(bus.deliver("b")) == 1
+        assert len(bus.deliver("c")) == 1
+        assert bus.deliver("b") == []
+
+    def test_undelivered_messages_carry_over(self):
+        bus = MessageBus()
+        bus.send("a", "b", msg())
+        bus.advance()   # nobody collected
+        assert len(bus.deliver("b")) == 1
+
+    def test_send_order_preserved(self):
+        bus = MessageBus()
+        for i in range(5):
+            bus.send("a", "b", msg(i))
+        iterations = [env.payload.iteration for env in bus.deliver("b")]
+        assert iterations == [0, 1, 2, 3, 4]
+
+    def test_counters(self):
+        bus = MessageBus()
+        bus.send("a", "b", msg())
+        bus.send("a", "c", msg())
+        bus.deliver("b")
+        assert bus.sent == 2
+        assert bus.delivered == 1
+        assert bus.pending() == 1
+
+
+class TestFaults:
+    def test_loss_probability(self):
+        bus = MessageBus(loss_probability=0.5, seed=1)
+        for _ in range(1000):
+            bus.send("a", "b", msg())
+        assert 380 <= bus.dropped <= 620
+
+    def test_lossless_by_default(self):
+        bus = MessageBus()
+        for _ in range(100):
+            bus.send("a", "b", msg())
+        assert bus.dropped == 0
+
+    def test_partition_drops(self):
+        bus = MessageBus()
+        bus.partition("a", "b")
+        assert bus.send("a", "b", msg()) is None
+        assert bus.send("b", "a", msg()) is None
+        assert bus.dropped == 2
+        # Unrelated pairs unaffected.
+        assert bus.send("a", "c", msg()) is not None
+
+    def test_heal_restores(self):
+        bus = MessageBus()
+        bus.partition("a", "b")
+        bus.heal("a", "b")
+        assert bus.send("a", "b", msg()) is not None
+
+    def test_jitter_bounded(self):
+        bus = MessageBus(delay=1, jitter=3, seed=7)
+        deliveries = []
+        for _ in range(200):
+            env = bus.send("a", "b", msg())
+            deliveries.append(env.deliver_round - env.send_round)
+        assert min(deliveries) >= 1
+        assert max(deliveries) <= 4
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            bus = MessageBus(loss_probability=0.3, jitter=2, seed=seed)
+            outcome = []
+            for _ in range(50):
+                env = bus.send("a", "b", msg())
+                outcome.append(None if env is None else env.deliver_round)
+            return outcome
+        assert run(9) == run(9)
+        assert run(9) != run(10)
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(DistributedError):
+            MessageBus(delay=-1)
+        with pytest.raises(DistributedError):
+            MessageBus(jitter=-1)
+        with pytest.raises(DistributedError):
+            MessageBus(loss_probability=1.0)

@@ -1,0 +1,123 @@
+"""Integration tests for the distributed LLA runtime (Section 4.1)."""
+
+import pytest
+
+from repro.core.optimizer import LLAConfig, LLAOptimizer
+from repro.core.stepsize import FixedStepSize
+from repro.distributed import (
+    DistributedConfig,
+    DistributedLLARuntime,
+    LocalGamma,
+)
+from repro.workloads.paper import base_workload
+
+
+class TestEquivalence:
+    def test_matches_centralized_under_ideal_bus(self):
+        """Zero delay, no loss, fixed γ: the message-passing runtime must
+        produce bit-for-bit the in-process optimizer's iterates."""
+        central = LLAOptimizer(
+            base_workload(),
+            LLAConfig(step_policy=FixedStepSize(1.0), max_iterations=100,
+                      stop_on_convergence=False),
+        ).run()
+        distributed = DistributedLLARuntime(
+            base_workload(),
+            DistributedConfig(rounds=100, adaptive=False),
+        ).run()
+        for name, lat in central.latencies.items():
+            assert distributed.latencies[name] == pytest.approx(lat, abs=1e-12)
+        for rname, price in central.resource_prices.items():
+            assert distributed.resource_prices[rname] == \
+                pytest.approx(price, abs=1e-12)
+
+    def test_adaptive_converges_to_optimum(self):
+        ts = base_workload()
+        result = DistributedLLARuntime(
+            ts, DistributedConfig(rounds=1500, adaptive=True)
+        ).run()
+        assert result.converged
+        assert ts.is_feasible(result.latencies, tol=1e-2)
+        for task in ts.tasks:
+            _, crit = task.critical_path(result.latencies)
+            assert crit == pytest.approx(task.critical_time, rel=0.02)
+
+
+class TestFaultTolerance:
+    def test_converges_under_message_loss(self):
+        ts = base_workload()
+        result = DistributedLLARuntime(
+            ts,
+            DistributedConfig(rounds=1500, loss_probability=0.1, seed=3),
+        ).run()
+        assert ts.is_feasible(result.latencies, tol=1e-2)
+
+    def test_converges_under_delay_and_jitter(self):
+        ts = base_workload()
+        result = DistributedLLARuntime(
+            ts,
+            DistributedConfig(rounds=1500, delay=2, jitter=2, seed=5),
+        ).run()
+        assert ts.is_feasible(result.latencies, tol=1e-2)
+
+    def test_recovers_from_partition(self):
+        ts = base_workload()
+        runtime = DistributedLLARuntime(ts, DistributedConfig(rounds=1500))
+        # Partition T1's controller from r0 for the first 200 rounds.
+        runtime.bus.partition("controller:T1", "resource:r0")
+        for _ in range(200):
+            runtime.step()
+        runtime.bus.heal("controller:T1", "resource:r0")
+        result = runtime.run(1300)
+        assert ts.is_feasible(result.latencies, tol=1e-2)
+
+    def test_paused_resource_agent_freezes_price(self):
+        ts = base_workload()
+        runtime = DistributedLLARuntime(ts, DistributedConfig(rounds=10))
+        runtime.step()
+        frozen = runtime.resources["r0"].price
+        runtime.resources["r0"].paused = True
+        for _ in range(5):
+            runtime.step()
+        assert runtime.resources["r0"].price == frozen
+
+
+class TestAgents:
+    def test_resource_agent_waits_for_all_latencies(self):
+        ts = base_workload()
+        runtime = DistributedLLARuntime(ts, DistributedConfig())
+        agent = runtime.resources["r0"]
+        assert agent.load() is None     # nothing heard yet
+        runtime.step()
+        assert agent.load() is not None
+
+    def test_controller_tracks_only_own_resources(self):
+        ts = base_workload()
+        runtime = DistributedLLARuntime(ts, DistributedConfig())
+        controller = runtime.controllers["T1"]
+        used = {s.resource for s in ts.task("T1").subtasks}
+        assert set(controller.resource_prices) == used
+
+    def test_history_recorded(self):
+        ts = base_workload()
+        runtime = DistributedLLARuntime(
+            ts, DistributedConfig(rounds=20, record_history=True)
+        )
+        result = runtime.run()
+        assert len(result.history) == 20
+        assert result.history[5].iteration == 6
+
+
+class TestLocalGamma:
+    def test_adaptive_doubling_and_reset(self):
+        gamma = LocalGamma(initial=1.0, max_gamma=8.0)
+        assert gamma.observe(True) == 2.0
+        assert gamma.observe(True) == 4.0
+        assert gamma.observe(True) == 8.0
+        assert gamma.observe(True) == 8.0   # capped
+        assert gamma.observe(False) == 1.0  # reverts
+
+    def test_frozen_when_adapt_off(self):
+        gamma = LocalGamma(initial=2.0, adapt=False)
+        assert gamma.observe(True) == 2.0
+        assert gamma.observe(False) == 2.0

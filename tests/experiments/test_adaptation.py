@@ -1,0 +1,88 @@
+"""Smoke tests for the adaptation drivers (small budgets)."""
+
+import pytest
+
+from repro.experiments.adaptation import (
+    run_resource_variation,
+    run_workload_variation,
+)
+from repro.workloads.paper import base_workload
+
+
+class TestResourceVariation:
+    def test_phases_progress(self):
+        result = run_resource_variation(iterations_per_phase=1200)
+        assert [p.label for p in result.phases] == \
+            ["baseline", "degraded", "recovered"]
+        assert result.baseline.feasible
+        assert result.degraded.utility < result.baseline.utility
+
+    def test_set_availability_visible_to_running_optimizer(self):
+        ts = base_workload()
+        assert ts.resources["r4"].availability == 1.0
+        ts.set_availability("r4", 0.5)
+        assert ts.resources["r4"].availability == 0.5
+        # Loads are judged against the new availability immediately.
+        lat = {n: 20.0 for n in ts.subtask_names}
+        violations = ts.constraint_violations(lat)
+        assert any("r4" in v for v in violations)
+
+    def test_set_availability_unknown_resource(self):
+        from repro.errors import ModelError
+        ts = base_workload()
+        with pytest.raises(ModelError):
+            ts.set_availability("ghost", 0.5)
+
+
+class TestWorkloadVariation:
+    def test_warm_matches_cold(self):
+        result = run_workload_variation(iterations_per_phase=1500)
+        assert result.newcomer_absorbed()
+        assert result.matches_cold_start(tol=2.0)
+        assert result.after.utility > result.before.utility
+
+
+class TestUndetectedInterference:
+    def test_correction_defends_deadline(self):
+        from repro.experiments.adaptation import run_undetected_interference
+
+        result = run_undetected_interference(
+            warmup_epochs=6, interference_epochs=8, window=1500.0
+        )
+        assert result.correction_reacted(), (
+            f"error {result.fast_error_before:.1f} -> "
+            f"{result.fast_error_during:.1f}, share "
+            f"{result.fast_share_before:.3f} -> "
+            f"{result.fast_share_during:.3f}"
+        )
+        assert result.adaptation_helps(), (
+            f"adaptive p99 {result.fast_p99_adaptive:.1f} vs frozen "
+            f"{result.fast_p99_frozen:.1f}"
+        )
+
+    def test_inject_interference_slows_service(self):
+        from repro.sim.system import SimulatedSystem
+        from repro.workloads.paper import prototype_workload
+
+        ts = prototype_workload()
+        shares = {n: 0.2 for n in ts.subtask_names}
+        system = SimulatedSystem(ts, shares, seed=9)
+        system.run_for(2000.0)
+        clean = system.recorder.job_percentile("fast1_s0", 95)
+        system.recorder.clear()
+        for rname in ts.resources:
+            system.inject_interference(rname, 0.5)
+        system.run_for(2000.0)
+        noisy = system.recorder.job_percentile("fast1_s0", 95)
+        assert noisy > clean
+
+    def test_inject_interference_validates_resource(self):
+        import pytest as _pytest
+        from repro.errors import SimulationError
+        from repro.sim.system import SimulatedSystem
+        from repro.workloads.paper import prototype_workload
+
+        ts = prototype_workload()
+        system = SimulatedSystem(ts, {n: 0.2 for n in ts.subtask_names})
+        with _pytest.raises(SimulationError):
+            system.inject_interference("ghost", 0.1)

@@ -1,0 +1,80 @@
+"""Smoke tests for the experiment drivers (small budgets).
+
+The full-budget reproduction assertions live in ``benchmarks/``; these
+verify the drivers' plumbing — result shapes, traces, derived metrics —
+at a fraction of the cost.
+"""
+
+import pytest
+
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.table1 import run_table1
+
+
+class TestTable1Driver:
+    def test_result_shape(self):
+        result = run_table1(max_iterations=1200)
+        assert result.converged
+        assert len(result.latencies) == 21
+        assert set(result.critical_paths) == {"T1", "T2", "T3"}
+        margins = result.critical_path_margins()
+        assert all(-0.01 <= m <= 0.05 for m in margins.values())
+
+    def test_render(self):
+        result = run_table1(max_iterations=1200)
+        text = result.render()
+        assert "TASK T1" in text and "Paper lat." in text
+
+
+class TestFig5Driver:
+    def test_series_and_lengths(self):
+        result = run_fig5(iterations=60)
+        assert set(result.series) == \
+            {"gamma=0.1", "gamma=1", "gamma=10", "adaptive"}
+        for series in result.series.values():
+            assert len(series.utilities) == 60
+
+    def test_metrics_computable(self):
+        result = run_fig5(iterations=60)
+        for series in result.series.values():
+            assert series.tail_oscillation(window=20) >= 0.0
+            series.settling_iteration()   # must not raise
+
+
+class TestFig6Driver:
+    def test_points(self):
+        result = run_fig6(copies=(1, 2), iterations=80)
+        assert set(result.points) == {3, 6}
+        for point in result.points.values():
+            assert len(point.utilities) == 80
+            assert point.feasible
+
+    def test_linearity_metric(self):
+        result = run_fig6(copies=(1, 2, 4), iterations=80)
+        assert 0.0 <= result.utility_linearity() <= 1.0
+
+
+class TestFig7Driver:
+    def test_equal_gamma_run(self):
+        result = run_fig7(iterations=60)
+        assert not result.feasible
+        assert result.violates_constraints()
+        assert set(result.share_sums) == {f"r{i}" for i in range(8)}
+        assert len(result.utilities) == 60
+
+    def test_steered_ray(self):
+        result = run_fig7(iterations=60, path_gamma_divisor=500.0)
+        assert result.max_critical_path_ratio > 1.0
+
+
+class TestFig8Driver:
+    def test_small_run_moves_shares(self):
+        result = run_fig8(epochs_before=2, epochs_after=5, window=500.0)
+        assert result.correction_epoch == 2
+        assert len(result.fast_share_trace) == 7
+        assert result.fast_share_after < result.fast_share_before
+        assert result.slow_share_after > result.slow_share_before
+        assert result.fast_error_trace[-1] < 0.0

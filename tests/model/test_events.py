@@ -1,0 +1,113 @@
+"""Unit tests for triggering events (arrival processes)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.model.events import BurstyEvent, PeriodicEvent, PoissonEvent
+
+
+class TestPeriodicEvent:
+    def test_arrivals(self):
+        ev = PeriodicEvent(period=100.0)
+        assert ev.arrivals(350.0) == [0.0, 100.0, 200.0, 300.0]
+
+    def test_phase(self):
+        ev = PeriodicEvent(period=100.0, phase=30.0)
+        assert ev.arrivals(250.0) == [30.0, 130.0, 230.0]
+
+    def test_horizon_before_phase(self):
+        ev = PeriodicEvent(period=10.0, phase=50.0)
+        assert ev.arrivals(20.0) == []
+
+    def test_mean_rate(self):
+        assert PeriodicEvent(period=25.0).mean_rate() == pytest.approx(0.04)
+
+    def test_stream_matches_arrivals(self):
+        ev = PeriodicEvent(period=100.0, phase=10.0)
+        stream = ev.stream()
+        streamed = [next(stream) for _ in range(4)]
+        assert streamed == ev.arrivals(350.0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ModelError):
+            PeriodicEvent(period=0.0)
+        with pytest.raises(ModelError):
+            PeriodicEvent(period=1.0, phase=-1.0)
+
+
+class TestPoissonEvent:
+    def test_mean_rate(self):
+        assert PoissonEvent(rate=0.04).mean_rate() == pytest.approx(0.04)
+
+    def test_arrivals_require_rng(self):
+        with pytest.raises(ModelError):
+            PoissonEvent(rate=1.0).arrivals(10.0)
+        with pytest.raises(ModelError):
+            PoissonEvent(rate=1.0).stream()
+
+    def test_empirical_rate(self):
+        rng = np.random.default_rng(0)
+        ev = PoissonEvent(rate=0.5)
+        arrivals = ev.arrivals(20000.0, rng)
+        assert len(arrivals) == pytest.approx(10000, rel=0.05)
+
+    def test_sorted_and_within_horizon(self):
+        rng = np.random.default_rng(1)
+        arrivals = PoissonEvent(rate=1.0).arrivals(100.0, rng)
+        assert arrivals == sorted(arrivals)
+        assert all(0.0 < t < 100.0 for t in arrivals)
+
+    def test_stream_is_incremental(self):
+        rng = np.random.default_rng(2)
+        stream = PoissonEvent(rate=1.0).stream(rng)
+        values = [next(stream) for _ in range(100)]
+        assert values == sorted(values)
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ModelError):
+            PoissonEvent(rate=0.0)
+
+
+class TestBurstyEvent:
+    def test_mean_rate_duty_cycle(self):
+        ev = BurstyEvent(burst_rate=2.0, mean_on=10.0, mean_off=30.0)
+        assert ev.mean_rate() == pytest.approx(0.5)
+
+    def test_empirical_rate(self):
+        rng = np.random.default_rng(3)
+        ev = BurstyEvent(burst_rate=1.0, mean_on=50.0, mean_off=50.0)
+        arrivals = ev.arrivals(100000.0, rng)
+        assert len(arrivals) == pytest.approx(50000, rel=0.1)
+
+    def test_burstiness_exceeds_poisson(self):
+        # The variance of per-window counts should exceed Poisson's
+        # (index of dispersion > 1).
+        rng = np.random.default_rng(4)
+        ev = BurstyEvent(burst_rate=5.0, mean_on=20.0, mean_off=80.0)
+        arrivals = np.array(ev.arrivals(50000.0, rng))
+        counts, _ = np.histogram(arrivals, bins=np.arange(0, 50001, 100))
+        dispersion = counts.var() / max(counts.mean(), 1e-9)
+        assert dispersion > 1.5
+
+    def test_sorted(self):
+        rng = np.random.default_rng(5)
+        ev = BurstyEvent(burst_rate=2.0, mean_on=10.0, mean_off=10.0)
+        arrivals = ev.arrivals(1000.0, rng)
+        assert arrivals == sorted(arrivals)
+
+    def test_stream_sorted(self):
+        rng = np.random.default_rng(6)
+        stream = BurstyEvent(burst_rate=2.0, mean_on=10.0,
+                             mean_off=10.0).stream(rng)
+        values = [next(stream) for _ in range(200)]
+        assert values == sorted(values)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ModelError):
+            BurstyEvent(burst_rate=0.0, mean_on=1.0, mean_off=1.0)
+        with pytest.raises(ModelError):
+            BurstyEvent(burst_rate=1.0, mean_on=0.0, mean_off=1.0)
+        with pytest.raises(ModelError):
+            BurstyEvent(burst_rate=1.0, mean_on=1.0, mean_off=1.0).arrivals(10.0)

@@ -1,0 +1,140 @@
+"""Unit tests for subtask graphs (Section 2's DAG model)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.model.graph import SubtaskGraph
+
+
+def diamond() -> SubtaskGraph:
+    return SubtaskGraph(
+        ["a", "b", "c", "d"],
+        [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")],
+    )
+
+
+class TestConstruction:
+    def test_chain(self):
+        g = SubtaskGraph.chain(["x", "y", "z"])
+        assert g.root == "x"
+        assert g.leaves == ("z",)
+        assert g.paths == (("x", "y", "z"),)
+
+    def test_single(self):
+        g = SubtaskGraph.single("only")
+        assert g.root == "only"
+        assert g.leaves == ("only",)
+        assert g.paths == (("only",),)
+
+    def test_rejects_empty(self):
+        with pytest.raises(GraphError):
+            SubtaskGraph([], [])
+
+    def test_rejects_cycle(self):
+        with pytest.raises(GraphError, match="cycle"):
+            SubtaskGraph(["a", "b"], [("a", "b"), ("b", "a")])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            SubtaskGraph(["a"], [("a", "a")])
+
+    def test_rejects_multiple_roots(self):
+        with pytest.raises(GraphError, match="unique root"):
+            SubtaskGraph(["a", "b", "c"], [("a", "c"), ("b", "c")])
+
+    def test_rejects_unknown_edge_endpoint(self):
+        with pytest.raises(GraphError, match="unknown subtask"):
+            SubtaskGraph(["a"], [("a", "ghost")])
+
+    def test_deduplicates_edges(self):
+        g = SubtaskGraph(["a", "b"], [("a", "b"), ("a", "b")])
+        assert g.edges == (("a", "b"),)
+
+    def test_unreachable_detected(self):
+        # b→c is a separate component from root a … wait, b has no
+        # predecessor either, so this trips the unique-root check instead;
+        # build one with an extra root-like node feeding nothing reachable.
+        with pytest.raises(GraphError):
+            SubtaskGraph(["a", "b", "c"], [("b", "c")])
+
+
+class TestPaths:
+    def test_diamond_paths(self):
+        g = diamond()
+        assert set(g.paths) == {("a", "b", "d"), ("a", "c", "d")}
+
+    def test_path_weights_diamond(self):
+        g = diamond()
+        weights = g.path_weights()
+        assert weights == {"a": 2, "b": 1, "c": 1, "d": 2}
+
+    def test_path_weights_match_enumeration(self):
+        g = diamond()
+        for node in g.nodes:
+            assert g.path_weights()[node] == len(g.paths_through(node))
+
+    def test_paths_through(self):
+        g = diamond()
+        assert set(g.paths_through("a")) == {0, 1}
+        assert len(g.paths_through("b")) == 1
+
+    def test_topological_order_respects_edges(self):
+        g = diamond()
+        order = g.topological_order()
+        position = {n: i for i, n in enumerate(order)}
+        for before, after in g.edges:
+            assert position[before] < position[after]
+
+
+class TestCriticalPath:
+    def test_chain_latency(self):
+        g = SubtaskGraph.chain(["x", "y", "z"])
+        lat = {"x": 1.0, "y": 2.0, "z": 3.0}
+        path, total = g.critical_path(lat)
+        assert path == ("x", "y", "z")
+        assert total == pytest.approx(6.0)
+
+    def test_diamond_picks_heavier_branch(self):
+        g = diamond()
+        lat = {"a": 1.0, "b": 10.0, "c": 2.0, "d": 1.0}
+        path, total = g.critical_path(lat)
+        assert path == ("a", "b", "d")
+        assert total == pytest.approx(12.0)
+
+    def test_critical_path_equals_max_over_paths(self):
+        g = diamond()
+        lat = {"a": 3.0, "b": 1.5, "c": 4.5, "d": 2.0}
+        _, total = g.critical_path(lat)
+        assert total == pytest.approx(
+            max(g.path_latency(p, lat) for p in g.paths)
+        )
+
+    def test_missing_latency_raises(self):
+        g = diamond()
+        with pytest.raises(GraphError, match="latency missing"):
+            g.critical_path({"a": 1.0})
+
+    def test_path_latency_missing_raises(self):
+        g = diamond()
+        with pytest.raises(GraphError, match="latency missing"):
+            g.path_latency(("a", "b", "d"), {"a": 1.0})
+
+
+class TestQueries:
+    def test_successors_predecessors(self):
+        g = diamond()
+        assert set(g.successors("a")) == {"b", "c"}
+        assert set(g.predecessors("d")) == {"b", "c"}
+        assert g.predecessors("a") == ()
+
+    def test_contains_and_len(self):
+        g = diamond()
+        assert "a" in g and "ghost" not in g
+        assert len(g) == 4
+
+    def test_unknown_node_raises(self):
+        g = diamond()
+        with pytest.raises(GraphError):
+            g.successors("ghost")
+        with pytest.raises(GraphError):
+            g.paths_through("ghost")

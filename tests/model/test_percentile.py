@@ -1,0 +1,83 @@
+"""Unit tests for latency-percentile composition (Section 2.1)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.percentile import (
+    compose_percentiles,
+    path_percentile,
+    per_subtask_percentiles,
+    subtask_percentile,
+)
+
+
+class TestCompose:
+    def test_paper_example(self):
+        # Two p-th percentile bounds sum to a p^2/100 percentile bound.
+        assert compose_percentiles(90.0, 90.0) == pytest.approx(81.0)
+
+    def test_with_worst_case(self):
+        # Composing with a worst-case (100th) bound changes nothing.
+        assert compose_percentiles(95.0, 100.0) == pytest.approx(95.0)
+
+    def test_commutative(self):
+        assert compose_percentiles(80.0, 95.0) == \
+            pytest.approx(compose_percentiles(95.0, 80.0))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ModelError):
+            compose_percentiles(0.0, 50.0)
+        with pytest.raises(ModelError):
+            compose_percentiles(50.0, 150.0)
+
+
+class TestPathPercentile:
+    def test_single_subtask(self):
+        assert path_percentile([97.0]) == pytest.approx(97.0)
+
+    def test_three_equal(self):
+        assert path_percentile([90.0] * 3) == pytest.approx(72.9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            path_percentile([])
+
+
+class TestSubtaskPercentile:
+    def test_paper_formula(self):
+        # q = p^(1/n) * 100^((n-1)/n)
+        q = subtask_percentile(81.0, 2)
+        assert q == pytest.approx(90.0)
+
+    def test_roundtrip_with_path(self):
+        for p in (50.0, 90.0, 99.0):
+            for n in (1, 2, 3, 5, 8):
+                q = subtask_percentile(p, n)
+                assert path_percentile([q] * n) == pytest.approx(p)
+
+    def test_worst_case_stays_worst_case(self):
+        assert subtask_percentile(100.0, 4) == pytest.approx(100.0)
+
+    def test_monotone_in_path_length(self):
+        # Longer paths need higher per-subtask percentiles.
+        qs = [subtask_percentile(90.0, n) for n in (1, 2, 4, 8)]
+        assert qs == sorted(qs)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ModelError):
+            subtask_percentile(0.0, 2)
+        with pytest.raises(ModelError):
+            subtask_percentile(90.0, 0)
+
+
+class TestPerSubtaskPercentiles:
+    def test_unequal_paths(self):
+        # Section 2.1: separate functions per path length.
+        table = per_subtask_percentiles(90.0, [2, 3, 3, 5])
+        assert set(table) == {2, 3, 5}
+        for n, q in table.items():
+            assert path_percentile([q] * n) == pytest.approx(90.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            per_subtask_percentiles(90.0, [])

@@ -1,0 +1,45 @@
+"""Unit tests for resource definitions."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.resources import Resource, ResourceKind
+
+
+class TestResource:
+    def test_defaults(self):
+        r = Resource(name="cpu0")
+        assert r.kind is ResourceKind.CPU
+        assert r.availability == 1.0
+        assert r.lag == 1.0
+
+    def test_link_kind(self):
+        r = Resource(name="lnk", kind=ResourceKind.LINK)
+        assert r.kind is ResourceKind.LINK
+
+    def test_partial_availability(self):
+        r = Resource(name="cpu0", availability=0.9, lag=5.0)
+        assert r.availability == 0.9
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ModelError):
+            Resource(name="")
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.5])
+    def test_rejects_bad_availability(self, bad):
+        with pytest.raises(ModelError):
+            Resource(name="r", availability=bad)
+
+    def test_rejects_negative_lag(self):
+        with pytest.raises(ModelError):
+            Resource(name="r", lag=-1.0)
+
+    def test_hashable_and_str(self):
+        r = Resource(name="r0")
+        assert str(r) == "r0"
+        assert {r: 1}[r] == 1
+
+    def test_metadata_not_in_equality(self):
+        a = Resource(name="r0", metadata={"rack": 1})
+        b = Resource(name="r0", metadata={"rack": 2})
+        assert a == b

@@ -1,0 +1,127 @@
+"""Tests for workload (de)serialization."""
+
+import pytest
+
+from repro.core.optimizer import LLAConfig, LLAOptimizer
+from repro.errors import ModelError
+from repro.model.serialize import (
+    taskset_from_dict,
+    taskset_from_json,
+    taskset_to_dict,
+    taskset_to_json,
+)
+from repro.model.share import PowerLawShare
+from repro.model.task import Subtask, Task, TaskSet
+from repro.model.graph import SubtaskGraph
+from repro.model.resources import Resource
+from repro.model.utility import (
+    ExponentialUtility,
+    InelasticUtility,
+    LogUtility,
+    QuadraticUtility,
+)
+from repro.workloads.paper import base_workload, prototype_workload
+
+
+def assert_equivalent(a: TaskSet, b: TaskSet) -> None:
+    assert {t.name for t in a.tasks} == {t.name for t in b.tasks}
+    assert set(a.resources) == set(b.resources)
+    for rname in a.resources:
+        ra, rb = a.resources[rname], b.resources[rname]
+        assert (ra.kind, ra.availability, ra.lag) == \
+            (rb.kind, rb.availability, rb.lag)
+    for task_a in a.tasks:
+        task_b = b.task(task_a.name)
+        assert task_a.subtask_names == task_b.subtask_names
+        assert task_a.graph.edges == task_b.graph.edges
+        assert task_a.critical_time == task_b.critical_time
+        assert task_a.variant == task_b.variant
+        assert task_a.weights == task_b.weights
+        for name in task_a.subtask_names:
+            sa, sb = task_a.subtask(name), task_b.subtask(name)
+            assert (sa.resource, sa.exec_time, sa.percentile) == \
+                (sb.resource, sb.exec_time, sb.percentile)
+
+
+class TestRoundTrip:
+    def test_base_workload(self):
+        original = base_workload()
+        restored = taskset_from_dict(taskset_to_dict(original))
+        assert_equivalent(original, restored)
+
+    def test_prototype_workload(self):
+        original = prototype_workload()
+        restored = taskset_from_json(taskset_to_json(original))
+        assert_equivalent(original, restored)
+
+    def test_optimization_identical_after_roundtrip(self):
+        original = base_workload()
+        restored = taskset_from_json(taskset_to_json(original))
+        r1 = LLAOptimizer(original, LLAConfig(max_iterations=200)).run()
+        r2 = LLAOptimizer(restored, LLAConfig(max_iterations=200)).run()
+        assert r1.latencies == pytest.approx(r2.latencies)
+
+    @pytest.mark.parametrize("utility_factory", [
+        lambda C: LogUtility(C),
+        lambda C: QuadraticUtility(C),
+        lambda C: ExponentialUtility(C),
+        lambda C: InelasticUtility(C, u_max=3.0),
+    ])
+    def test_all_utility_families(self, utility_factory):
+        task = Task(
+            "t",
+            [Subtask("s", "r0", 2.0)],
+            SubtaskGraph.single("s"),
+            critical_time=30.0,
+            utility=utility_factory(30.0),
+        )
+        ts = TaskSet([task], [Resource("r0")])
+        restored = taskset_from_dict(taskset_to_dict(ts))
+        orig_u = ts.tasks[0].utility
+        rest_u = restored.tasks[0].utility
+        assert type(orig_u) is type(rest_u)
+        for lat in (1.0, 10.0, 29.0):
+            assert orig_u.value(lat) == pytest.approx(rest_u.value(lat))
+
+
+class TestCustomShareFunctions:
+    def test_flagged_and_replaced_by_default_model(self):
+        task = Task(
+            "t",
+            [Subtask("s", "r0", 2.0,
+                     share_function=PowerLawShare(cost=4.0, alpha=2.0))],
+            SubtaskGraph.single("s"),
+            critical_time=30.0,
+            utility=LogUtility(30.0),
+        )
+        ts = TaskSet([task], [Resource("r0", lag=1.0)])
+        data = taskset_to_dict(ts)
+        assert data["custom_share_functions_dropped"] == ["s"]
+        restored = taskset_from_dict(data)
+        # The restored model is the paper's default.
+        assert restored.share_function("s").share(6.0) == \
+            pytest.approx(0.5)
+
+
+class TestErrors:
+    def test_unknown_format_version(self):
+        data = taskset_to_dict(base_workload())
+        data["format_version"] = 99
+        with pytest.raises(ModelError, match="format version"):
+            taskset_from_dict(data)
+
+    def test_invalid_json(self):
+        with pytest.raises(ModelError, match="invalid workload JSON"):
+            taskset_from_json("{not json")
+
+    def test_unknown_utility_type(self):
+        data = taskset_to_dict(base_workload())
+        data["tasks"][0]["utility"] = {"type": "mystery"}
+        with pytest.raises(ModelError, match="unknown utility"):
+            taskset_from_dict(data)
+
+    def test_unknown_trigger_type(self):
+        data = taskset_to_dict(base_workload())
+        data["tasks"][0]["trigger"] = {"type": "cron"}
+        with pytest.raises(ModelError, match="unknown trigger"):
+            taskset_from_dict(data)

@@ -1,0 +1,129 @@
+"""Unit tests for share functions (Eq. 10 and generalizations)."""
+
+import pytest
+
+from repro.errors import ShareError
+from repro.model.share import CorrectedShare, HyperbolicShare, PowerLawShare
+
+
+class TestHyperbolicShare:
+    def test_paper_formula(self):
+        # share = (c + l) / lat
+        fn = HyperbolicShare(exec_time=5.0, lag=5.0)
+        assert fn.share(35.0) == pytest.approx(10.0 / 35.0)
+
+    def test_inverse_roundtrip(self):
+        fn = HyperbolicShare(exec_time=3.0, lag=1.0)
+        for lat in (1.0, 7.5, 42.0, 500.0):
+            assert fn.latency_for_share(fn.share(lat)) == pytest.approx(lat)
+
+    def test_derivative_negative_and_matches_numeric(self):
+        fn = HyperbolicShare(exec_time=4.0, lag=1.0)
+        lat, h = 12.0, 1e-6
+        numeric = (fn.share(lat + h) - fn.share(lat - h)) / (2 * h)
+        assert fn.dshare_dlat(lat) < 0.0
+        assert fn.dshare_dlat(lat) == pytest.approx(numeric, rel=1e-5)
+
+    def test_min_latency(self):
+        fn = HyperbolicShare(exec_time=4.0, lag=1.0)
+        # At full availability the smallest latency equals the cost.
+        assert fn.min_latency(1.0) == pytest.approx(5.0)
+        assert fn.min_latency(0.5) == pytest.approx(10.0)
+
+    def test_strict_convexity(self):
+        fn = HyperbolicShare(exec_time=2.0, lag=1.0)
+        a, b = 5.0, 20.0
+        midpoint = fn.share((a + b) / 2.0)
+        chord = (fn.share(a) + fn.share(b)) / 2.0
+        assert midpoint < chord
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ShareError):
+            HyperbolicShare(exec_time=0.0, lag=1.0)
+        with pytest.raises(ShareError):
+            HyperbolicShare(exec_time=1.0, lag=-0.5)
+        fn = HyperbolicShare(exec_time=1.0, lag=1.0)
+        with pytest.raises(ShareError):
+            fn.share(0.0)
+        with pytest.raises(ShareError):
+            fn.latency_for_share(0.0)
+        with pytest.raises(ShareError):
+            fn.min_latency(0.0)
+
+
+class TestPowerLawShare:
+    def test_alpha_one_matches_hyperbolic(self):
+        power = PowerLawShare(cost=6.0, alpha=1.0)
+        hyper = HyperbolicShare(exec_time=5.0, lag=1.0)
+        for lat in (2.0, 10.0, 60.0):
+            assert power.share(lat) == pytest.approx(hyper.share(lat))
+
+    def test_inverse_roundtrip(self):
+        fn = PowerLawShare(cost=4.0, alpha=1.7)
+        for lat in (0.5, 3.0, 25.0):
+            assert fn.latency_for_share(fn.share(lat)) == pytest.approx(lat)
+
+    def test_derivative_matches_numeric(self):
+        fn = PowerLawShare(cost=3.0, alpha=2.0)
+        lat, h = 8.0, 1e-6
+        numeric = (fn.share(lat + h) - fn.share(lat - h)) / (2 * h)
+        assert fn.dshare_dlat(lat) == pytest.approx(numeric, rel=1e-5)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ShareError):
+            PowerLawShare(cost=1.0, alpha=0.0)
+
+
+class TestCorrectedShare:
+    def test_zero_error_is_identity(self):
+        base = HyperbolicShare(exec_time=5.0, lag=5.0)
+        corrected = CorrectedShare(base, error=0.0)
+        assert corrected.share(35.0) == pytest.approx(base.share(35.0))
+        assert corrected.latency_for_share(0.2) == \
+            pytest.approx(base.latency_for_share(0.2))
+
+    def test_negative_error_lowers_share(self):
+        # Model over-predicts (observed < predicted): the same target
+        # latency needs less share after correction.
+        base = HyperbolicShare(exec_time=5.0, lag=5.0)
+        corrected = CorrectedShare(base, error=-17.5)
+        assert corrected.share(35.0) < base.share(35.0)
+        assert corrected.share(35.0) == pytest.approx(10.0 / 52.5)
+
+    def test_positive_error_raises_share(self):
+        base = HyperbolicShare(exec_time=5.0, lag=5.0)
+        corrected = CorrectedShare(base, error=5.0)
+        assert corrected.share(35.0) > base.share(35.0)
+
+    def test_inverse_shifts_by_error(self):
+        base = HyperbolicShare(exec_time=5.0, lag=5.0)
+        corrected = CorrectedShare(base, error=-17.5)
+        assert corrected.latency_for_share(0.2) == pytest.approx(50.0 - 17.5)
+
+    def test_inverse_roundtrip(self):
+        base = HyperbolicShare(exec_time=3.0, lag=2.0)
+        corrected = CorrectedShare(base, error=-4.0)
+        for lat in (2.0, 10.0, 80.0):
+            share = corrected.share(lat)
+            assert corrected.latency_for_share(share) == pytest.approx(lat)
+
+    def test_domain_guard(self):
+        base = HyperbolicShare(exec_time=5.0, lag=5.0)
+        corrected = CorrectedShare(base, error=10.0)
+        # lat - error <= 0 must be rejected, not return nonsense.
+        with pytest.raises(ShareError):
+            corrected.share(10.0)
+
+    def test_positive_error_shifts_min_latency(self):
+        base = HyperbolicShare(exec_time=5.0, lag=5.0)
+        assert CorrectedShare(base, error=3.0).min_latency(1.0) == \
+            pytest.approx(13.0)
+        # Negative error does not lower the floor below the base model.
+        assert CorrectedShare(base, error=-3.0).min_latency(1.0) == \
+            pytest.approx(10.0)
+
+    def test_set_error(self):
+        base = HyperbolicShare(exec_time=5.0, lag=5.0)
+        corrected = CorrectedShare(base)
+        corrected.set_error(-2.0)
+        assert corrected.error == -2.0

@@ -1,0 +1,217 @@
+"""Unit tests for tasks and task sets (Sections 2–3 structure rules)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.graph import SubtaskGraph
+from repro.model.resources import Resource
+from repro.model.share import PowerLawShare
+from repro.model.task import Subtask, Task, TaskSet
+from repro.model.utility import LinearUtility
+
+
+def simple_task(variant="path-weighted", name="t") -> Task:
+    names = ["a", "b", "c", "d"]
+    edges = [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+    subtasks = [
+        Subtask(name=n, resource=f"r{i}", exec_time=2.0)
+        for i, n in enumerate(names)
+    ]
+    return Task(
+        name=name,
+        subtasks=subtasks,
+        graph=SubtaskGraph(names, edges),
+        critical_time=40.0,
+        utility=LinearUtility(40.0),
+        variant=variant,
+    )
+
+
+def resources(n=4):
+    return [Resource(name=f"r{i}", availability=1.0, lag=1.0)
+            for i in range(n)]
+
+
+class TestSubtask:
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            Subtask(name="", resource="r0", exec_time=1.0)
+        with pytest.raises(ModelError):
+            Subtask(name="s", resource="", exec_time=1.0)
+        with pytest.raises(ModelError):
+            Subtask(name="s", resource="r0", exec_time=0.0)
+        with pytest.raises(ModelError):
+            Subtask(name="s", resource="r0", exec_time=1.0, percentile=0.0)
+        with pytest.raises(ModelError):
+            Subtask(name="s", resource="r0", exec_time=1.0, percentile=101.0)
+
+    def test_worst_case_default_percentile(self):
+        sub = Subtask(name="s", resource="r0", exec_time=1.0)
+        assert sub.percentile == 100.0
+
+
+class TestTask:
+    def test_path_weighted_weights(self):
+        task = simple_task("path-weighted")
+        assert task.weight("a") == 2.0
+        assert task.weight("b") == 1.0
+        assert task.weight("d") == 2.0
+
+    def test_sum_weights(self):
+        task = simple_task("sum")
+        assert all(task.weight(n) == 1.0 for n in task.subtask_names)
+
+    def test_aggregated_latency(self):
+        task = simple_task("path-weighted")
+        lat = {"a": 1.0, "b": 2.0, "c": 3.0, "d": 4.0}
+        assert task.aggregated_latency(lat) == pytest.approx(
+            2 * 1.0 + 2.0 + 3.0 + 2 * 4.0
+        )
+
+    def test_utility_gradient_chain_rule(self):
+        task = simple_task("path-weighted")
+        lat = {"a": 1.0, "b": 2.0, "c": 3.0, "d": 4.0}
+        grad = task.utility_gradient(lat)
+        # Linear utility with slope 1: gradient = -w_s.
+        assert grad["a"] == pytest.approx(-2.0)
+        assert grad["b"] == pytest.approx(-1.0)
+
+    def test_meets_critical_time(self):
+        task = simple_task()
+        ok = {"a": 5.0, "b": 5.0, "c": 5.0, "d": 5.0}
+        late = {"a": 20.0, "b": 20.0, "c": 5.0, "d": 20.0}
+        assert task.meets_critical_time(ok)
+        assert not task.meets_critical_time(late)
+
+    def test_rejects_unknown_variant(self):
+        with pytest.raises(ModelError, match="variant"):
+            simple_task(variant="nonsense")
+
+    def test_rejects_graph_mismatch(self):
+        subtasks = [Subtask(name="a", resource="r0", exec_time=1.0)]
+        graph = SubtaskGraph.chain(["a", "b"])
+        with pytest.raises(ModelError, match="mismatch"):
+            Task("t", subtasks, graph, 10.0, LinearUtility(10.0))
+
+    def test_rejects_duplicate_subtask_names(self):
+        subtasks = [
+            Subtask(name="a", resource="r0", exec_time=1.0),
+            Subtask(name="a", resource="r1", exec_time=1.0),
+        ]
+        with pytest.raises(ModelError, match="duplicate"):
+            Task("t", subtasks, SubtaskGraph.single("a"), 10.0,
+                 LinearUtility(10.0))
+
+    def test_unknown_subtask_lookup(self):
+        task = simple_task()
+        with pytest.raises(ModelError):
+            task.subtask("ghost")
+        with pytest.raises(ModelError):
+            task.weight("ghost")
+
+
+class TestTaskSet:
+    def test_basic_construction(self):
+        ts = TaskSet([simple_task()], resources())
+        assert len(ts) == 1
+        assert len(ts.all_subtasks) == 4
+
+    def test_rejects_shared_resource_within_task(self):
+        names = ["a", "b"]
+        subtasks = [
+            Subtask(name="a", resource="r0", exec_time=1.0),
+            Subtask(name="b", resource="r0", exec_time=1.0),
+        ]
+        task = Task("t", subtasks, SubtaskGraph.chain(names), 10.0,
+                    LinearUtility(10.0))
+        with pytest.raises(ModelError, match="two subtasks on resource"):
+            TaskSet([task], resources(1))
+        # ... unless explicitly allowed.
+        ts = TaskSet([task], resources(1), allow_shared_resources=True)
+        assert len(ts.subtasks_on("r0")) == 2
+
+    def test_rejects_unknown_resource(self):
+        task = simple_task()
+        with pytest.raises(ModelError, match="unknown resource"):
+            TaskSet([task], resources(2))
+
+    def test_rejects_duplicate_task_names(self):
+        with pytest.raises(ModelError, match="duplicate task names"):
+            TaskSet([simple_task(name="t"), simple_task(name="t")],
+                    resources())
+
+    def test_rejects_cross_task_subtask_collision(self):
+        with pytest.raises(ModelError, match="multiple tasks"):
+            TaskSet([simple_task(name="t1"), simple_task(name="t2")],
+                    resources())
+
+    def test_owner_and_resource_indexes(self):
+        ts = TaskSet([simple_task()], resources())
+        assert ts.owner_of("a").name == "t"
+        on_r0 = ts.subtasks_on("r0")
+        assert len(on_r0) == 1 and on_r0[0][1].name == "a"
+
+    def test_default_share_function_uses_resource_lag(self):
+        ts = TaskSet([simple_task()], resources())
+        fn = ts.share_function("a")
+        # exec 2.0 + lag 1.0
+        assert fn.share(6.0) == pytest.approx(0.5)
+
+    def test_custom_share_function_preserved(self):
+        custom = PowerLawShare(cost=4.0, alpha=2.0)
+        names = ["a"]
+        task = Task(
+            "t",
+            [Subtask(name="a", resource="r0", exec_time=1.0,
+                     share_function=custom)],
+            SubtaskGraph.single("a"),
+            10.0,
+            LinearUtility(10.0),
+        )
+        ts = TaskSet([task], resources(1))
+        assert ts.share_function("a") is custom
+
+    def test_total_utility_sums_tasks(self):
+        t1, t2 = simple_task(name="t1"), simple_task(name="t2")
+        # Rename t2 subtasks to avoid collision.
+        names = ["e", "f", "g", "h"]
+        edges = [("e", "f"), ("e", "g"), ("f", "h"), ("g", "h")]
+        t2 = Task(
+            "t2",
+            [Subtask(name=n, resource=f"r{i}", exec_time=2.0)
+             for i, n in enumerate(names)],
+            SubtaskGraph(names, edges),
+            40.0,
+            LinearUtility(40.0),
+        )
+        ts = TaskSet([t1, t2], resources())
+        lat = {n: 5.0 for n in ts.subtask_names}
+        assert ts.total_utility(lat) == pytest.approx(
+            t1.utility_value(lat) + t2.utility_value(lat)
+        )
+
+    def test_resource_load(self):
+        ts = TaskSet([simple_task()], resources())
+        lat = {n: 6.0 for n in ts.subtask_names}
+        assert ts.resource_load("r0", lat) == pytest.approx(0.5)
+
+    def test_constraint_violations_reported(self):
+        ts = TaskSet([simple_task()], resources())
+        # Tiny latencies -> shares explode -> resource violations.
+        tight = {n: 1.0 for n in ts.subtask_names}
+        problems = ts.constraint_violations(tight)
+        assert any("overloaded" in p for p in problems)
+        # Huge latencies -> path violations.
+        slow = {n: 50.0 for n in ts.subtask_names}
+        problems = ts.constraint_violations(slow)
+        assert any("critical time" in p for p in problems)
+
+    def test_is_feasible(self):
+        ts = TaskSet([simple_task()], resources())
+        good = {n: 12.0 for n in ts.subtask_names}
+        assert ts.is_feasible(good)
+
+    def test_set_share_function_validates_name(self):
+        ts = TaskSet([simple_task()], resources())
+        with pytest.raises(ModelError):
+            ts.set_share_function("ghost", PowerLawShare(cost=1.0))

@@ -1,0 +1,142 @@
+"""Tests for the network-topology deployment layer."""
+
+import pytest
+
+from repro.core.optimizer import LLAConfig, LLAOptimizer
+from repro.errors import ModelError
+from repro.model.events import PeriodicEvent
+from repro.model.resources import ResourceKind
+from repro.model.topology import ComputeStage, NetworkTopology
+from repro.model.utility import LinearUtility
+
+
+def line3() -> NetworkTopology:
+    return NetworkTopology.line(["a", "b", "c"])
+
+
+class TestConstruction:
+    def test_line(self):
+        topo = line3()
+        assert topo.graph.number_of_nodes() == 3
+        assert topo.graph.number_of_edges() == 2
+
+    def test_star(self):
+        topo = NetworkTopology.star("hub", ["l1", "l2", "l3"])
+        assert topo.graph.number_of_edges() == 3
+        assert topo.route("l1", "l2") == [("l1", "hub"), ("hub", "l2")]
+
+    def test_duplicate_node_rejected(self):
+        topo = line3()
+        with pytest.raises(ModelError):
+            topo.add_node("a")
+
+    def test_duplicate_link_rejected(self):
+        topo = line3()
+        with pytest.raises(ModelError):
+            topo.add_link("a", "b")
+
+    def test_link_to_unknown_node_rejected(self):
+        topo = line3()
+        with pytest.raises(ModelError):
+            topo.add_link("a", "ghost")
+
+    def test_no_route(self):
+        topo = NetworkTopology()
+        topo.add_node("x")
+        topo.add_node("y")
+        with pytest.raises(ModelError):
+            topo.route("x", "y")
+
+
+class TestResources:
+    def test_one_resource_per_node_and_link(self):
+        topo = line3()
+        resources = topo.resources()
+        names = {r.name for r in resources}
+        assert names == {"cpu:a", "cpu:b", "cpu:c",
+                         "link:a-b", "link:b-c"}
+        kinds = {r.name: r.kind for r in resources}
+        assert kinds["cpu:a"] is ResourceKind.CPU
+        assert kinds["link:a-b"] is ResourceKind.LINK
+
+    def test_link_name_order_independent(self):
+        assert NetworkTopology.link_resource_name("z", "a") == \
+            NetworkTopology.link_resource_name("a", "z")
+
+
+class TestDeployment:
+    def test_pipeline_generates_link_subtasks(self):
+        topo = line3()
+        task = topo.deploy_pipeline(
+            "flow",
+            [ComputeStage("src", "a", exec_time=2.0, transfer_time=1.0),
+             ComputeStage("dst", "c", exec_time=3.0)],
+            critical_time=60.0,
+            utility=LinearUtility(60.0),
+            trigger=PeriodicEvent(100.0),
+        )
+        # a -> c crosses two links: 2 compute + 2 transfer subtasks.
+        assert len(task.subtasks) == 4
+        resources = [s.resource for s in task.subtasks]
+        assert resources == ["cpu:a", "link:a-b", "link:b-c", "cpu:c"]
+        # Chain precedence in deployment order.
+        assert len(task.graph.paths) == 1
+
+    def test_colocated_stages_rejected(self):
+        # Two stages on the same node would need the same CPU twice —
+        # rejected by the paper's one-resource-per-task rule, with a
+        # message telling the user to restructure.
+        topo = line3()
+        with pytest.raises(ModelError, match="may not visit the same"):
+            topo.deploy_pipeline(
+                "local",
+                [ComputeStage("one", "a", exec_time=1.0),
+                 ComputeStage("two", "a", exec_time=1.0)],
+                critical_time=60.0,
+                utility=LinearUtility(60.0),
+            )
+
+    def test_unknown_node_rejected(self):
+        topo = line3()
+        with pytest.raises(ModelError):
+            topo.deploy_pipeline(
+                "bad",
+                [ComputeStage("s", "ghost", exec_time=1.0)],
+                critical_time=10.0,
+                utility=LinearUtility(10.0),
+            )
+
+    def test_empty_pipeline_rejected(self):
+        topo = line3()
+        with pytest.raises(ModelError):
+            topo.deploy_pipeline("empty", [], 10.0, LinearUtility(10.0))
+
+    def test_build_taskset_requires_deployments(self):
+        with pytest.raises(ModelError):
+            line3().build_taskset()
+
+
+class TestEndToEnd:
+    def test_shared_link_contention_optimized(self):
+        """Two pipelines crossing the same physical link: LLA must split
+        the link's bandwidth between them."""
+        topo = NetworkTopology.star("hub", ["s1", "s2", "sink"])
+        for i, src in enumerate(("s1", "s2")):
+            topo.deploy_pipeline(
+                f"flow{i}",
+                [ComputeStage("produce", src, exec_time=2.0,
+                              transfer_time=3.0),
+                 ComputeStage("consume", "sink", exec_time=2.0)],
+                critical_time=50.0,
+                utility=LinearUtility(50.0),
+                trigger=PeriodicEvent(100.0),
+            )
+        ts = topo.build_taskset()
+        # Both flows traverse link hub-sink.
+        shared = ts.subtasks_on("link:hub-sink")
+        assert len(shared) == 2
+
+        result = LLAOptimizer(ts, LLAConfig(max_iterations=1000)).run()
+        assert ts.is_feasible(result.latencies, tol=1e-2)
+        load = ts.resource_load("link:hub-sink", result.latencies)
+        assert load == pytest.approx(1.0, abs=0.02)   # saturated & split

@@ -1,0 +1,80 @@
+"""Property-based tests for LLA invariants on random workloads."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.optimizer import LLAConfig, LLAOptimizer
+from repro.core.prices import update_path_price, update_resource_price
+from repro.workloads.generator import GeneratorConfig, random_workload
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_random_provisioned_workloads_converge_feasibly(seed):
+    """Any generator-provisioned workload must converge to a feasible
+    allocation — the generator guarantees one exists."""
+    ts = random_workload(
+        GeneratorConfig(n_tasks=3, n_resources=5, max_subtasks=5,
+                        provisioning=0.7),
+        seed=seed,
+    )
+    result = LLAOptimizer(ts, LLAConfig(max_iterations=1200)).run()
+    assert ts.is_feasible(result.latencies, tol=2e-2), (
+        ts.constraint_violations(result.latencies)[:3]
+    )
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=6, deadline=None)
+def test_iterates_respect_invariants(seed):
+    """Every iterate keeps prices non-negative and latencies positive and
+    within the critical-time clamp."""
+    ts = random_workload(
+        GeneratorConfig(n_tasks=2, n_resources=4, max_subtasks=4,
+                        provisioning=0.7),
+        seed=seed,
+    )
+    opt = LLAOptimizer(
+        ts, LLAConfig(max_iterations=60, stop_on_convergence=False)
+    )
+    result = opt.run()
+    for record in result.history:
+        assert all(v >= 0.0 for v in record.resource_prices.values())
+        assert all(v >= 0.0 for v in record.path_prices.values())
+        for task in ts.tasks:
+            for sub in task.subtasks:
+                lat = record.latencies[sub.name]
+                assert 0.0 < lat <= task.critical_time + 1e-9
+
+
+@given(
+    price=st.floats(min_value=0.0, max_value=1e6),
+    gamma=st.floats(min_value=1e-6, max_value=1e3),
+    availability=st.floats(min_value=0.05, max_value=1.0),
+    load=st.floats(min_value=0.0, max_value=10.0),
+)
+@settings(max_examples=200, deadline=None)
+def test_resource_price_update_properties(price, gamma, availability, load):
+    new = update_resource_price(price, gamma, availability, load)
+    assert new >= 0.0
+    if load > availability:
+        assert new >= price   # congestion never lowers the price
+    if load < availability:
+        assert new <= price   # slack never raises it
+
+
+@given(
+    price=st.floats(min_value=0.0, max_value=1e6),
+    gamma=st.floats(min_value=1e-6, max_value=1e3),
+    lat=st.floats(min_value=0.0, max_value=1e4),
+    critical=st.floats(min_value=0.1, max_value=1e3),
+)
+@settings(max_examples=200, deadline=None)
+def test_path_price_update_properties(price, gamma, lat, critical):
+    new = update_path_price(price, gamma, lat, critical)
+    assert new >= 0.0
+    if lat > critical:
+        assert new >= price
+    if lat < critical:
+        assert new <= price

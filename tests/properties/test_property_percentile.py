@@ -1,0 +1,51 @@
+"""Property-based tests for percentile composition (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.percentile import (
+    compose_percentiles,
+    path_percentile,
+    subtask_percentile,
+)
+
+percentiles = st.floats(min_value=1.0, max_value=100.0)
+
+
+@given(p=percentiles, q=percentiles)
+@settings(max_examples=150, deadline=None)
+def test_composition_never_exceeds_inputs(p, q):
+    composed = compose_percentiles(p, q)
+    assert composed <= min(p, q) + 1e-9
+    assert composed > 0.0
+
+
+@given(p=percentiles, q=percentiles, r=percentiles)
+@settings(max_examples=100, deadline=None)
+def test_composition_associative(p, q, r):
+    left = compose_percentiles(compose_percentiles(p, q), r)
+    right = compose_percentiles(p, compose_percentiles(q, r))
+    assert left == pytest.approx(right, rel=1e-12)
+
+
+@given(p=percentiles, n=st.integers(min_value=1, max_value=12))
+@settings(max_examples=150, deadline=None)
+def test_subtask_percentile_roundtrip(p, n):
+    q = subtask_percentile(p, n)
+    assert 0.0 < q <= 100.0
+    assert path_percentile([q] * n) == pytest.approx(p, rel=1e-9)
+
+
+@given(p=percentiles, n=st.integers(min_value=1, max_value=11))
+@settings(max_examples=100, deadline=None)
+def test_subtask_percentile_monotone_in_length(p, n):
+    assert subtask_percentile(p, n + 1) >= subtask_percentile(p, n) - 1e-12
+
+
+@given(ps=st.lists(percentiles, min_size=1, max_size=8))
+@settings(max_examples=100, deadline=None)
+def test_path_percentile_order_independent(ps):
+    forward = path_percentile(ps)
+    backward = path_percentile(list(reversed(ps)))
+    assert forward == pytest.approx(backward, rel=1e-9)

@@ -1,0 +1,41 @@
+"""Property-based round-trip tests for workload serialization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.optimizer import LLAConfig, LLAOptimizer
+from repro.model.serialize import taskset_from_json, taskset_to_json
+from repro.workloads.generator import GeneratorConfig, random_workload
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_random_workload_roundtrip_structure(seed):
+    original = random_workload(
+        GeneratorConfig(n_tasks=3, n_resources=5, max_subtasks=5),
+        seed=seed,
+    )
+    restored = taskset_from_json(taskset_to_json(original))
+    assert restored.subtask_names == original.subtask_names
+    assert set(restored.resources) == set(original.resources)
+    for task in original.tasks:
+        twin = restored.task(task.name)
+        assert twin.graph.paths == task.graph.paths
+        assert twin.weights == task.weights
+        assert twin.critical_time == task.critical_time
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=5, deadline=None)
+def test_random_workload_roundtrip_optimization(seed):
+    """Optimizing the restored workload gives bit-identical latencies —
+    the serialization preserves everything the optimizer reads."""
+    original = random_workload(
+        GeneratorConfig(n_tasks=2, n_resources=4, max_subtasks=4),
+        seed=seed,
+    )
+    restored = taskset_from_json(taskset_to_json(original))
+    r1 = LLAOptimizer(original, LLAConfig(max_iterations=150)).run()
+    r2 = LLAOptimizer(restored, LLAConfig(max_iterations=150)).run()
+    assert r1.latencies == pytest.approx(r2.latencies)

@@ -1,0 +1,80 @@
+"""Property-based tests for share functions (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.share import CorrectedShare, HyperbolicShare, PowerLawShare
+
+positive = st.floats(min_value=0.01, max_value=1e3)
+latencies = st.floats(min_value=0.01, max_value=1e4)
+
+
+@given(exec_time=positive, lag=st.floats(min_value=0.0, max_value=100.0),
+       lat=latencies)
+@settings(max_examples=150, deadline=None)
+def test_hyperbolic_inverse_roundtrip(exec_time, lag, lat):
+    fn = HyperbolicShare(exec_time=exec_time, lag=lag)
+    assert fn.latency_for_share(fn.share(lat)) == pytest.approx(lat, rel=1e-9)
+
+
+@given(cost=positive, alpha=st.floats(min_value=0.2, max_value=4.0),
+       lat=latencies)
+@settings(max_examples=150, deadline=None)
+def test_powerlaw_inverse_roundtrip(cost, alpha, lat):
+    fn = PowerLawShare(cost=cost, alpha=alpha)
+    assert fn.latency_for_share(fn.share(lat)) == pytest.approx(lat, rel=1e-6)
+
+
+@given(cost=positive, alpha=st.floats(min_value=0.2, max_value=4.0),
+       a=latencies, b=latencies)
+@settings(max_examples=150, deadline=None)
+def test_share_strictly_decreasing(cost, alpha, a, b):
+    fn = PowerLawShare(cost=cost, alpha=alpha)
+    lo, hi = sorted((a, b))
+    if hi > lo * (1 + 1e-9):
+        assert fn.share(hi) < fn.share(lo)
+
+
+@given(cost=positive, alpha=st.floats(min_value=0.2, max_value=4.0),
+       a=latencies, b=latencies)
+@settings(max_examples=150, deadline=None)
+def test_share_convex(cost, alpha, a, b):
+    fn = PowerLawShare(cost=cost, alpha=alpha)
+    mid = (a + b) / 2.0
+    chord = (fn.share(a) + fn.share(b)) / 2.0
+    assert fn.share(mid) <= chord * (1 + 1e-9)
+
+
+@given(cost=positive, alpha=st.floats(min_value=0.2, max_value=4.0),
+       lat=latencies)
+@settings(max_examples=100, deadline=None)
+def test_derivative_sign_and_magnitude(cost, alpha, lat):
+    fn = PowerLawShare(cost=cost, alpha=alpha)
+    d = fn.dshare_dlat(lat)
+    assert d < 0.0
+    h = lat * 1e-6
+    numeric = (fn.share(lat + h) - fn.share(lat - h)) / (2 * h)
+    assert d == pytest.approx(numeric, rel=1e-3)
+
+
+@given(exec_time=positive, lag=st.floats(min_value=0.0, max_value=50.0),
+       error=st.floats(min_value=-50.0, max_value=50.0), lat=latencies)
+@settings(max_examples=150, deadline=None)
+def test_corrected_share_consistency(exec_time, lag, error, lat):
+    base = HyperbolicShare(exec_time=exec_time, lag=lag)
+    corrected = CorrectedShare(base, error=error)
+    if lat - error > 1e-9:
+        share = corrected.share(lat)
+        assert share == pytest.approx(base.share(lat - error), rel=1e-9)
+        assert corrected.latency_for_share(share) == \
+            pytest.approx(lat, rel=1e-6, abs=1e-6)
+
+
+@given(availability=st.floats(min_value=0.05, max_value=1.0),
+       exec_time=positive, lag=st.floats(min_value=0.0, max_value=50.0))
+@settings(max_examples=100, deadline=None)
+def test_min_latency_saturates_availability(availability, exec_time, lag):
+    fn = HyperbolicShare(exec_time=exec_time, lag=lag)
+    lo = fn.min_latency(availability)
+    assert fn.share(lo) == pytest.approx(availability, rel=1e-9)

@@ -1,0 +1,71 @@
+"""Integration tests for the closed-loop runtime (Section 6's pattern)."""
+
+import pytest
+
+from repro.core.optimizer import LLAConfig
+from repro.errors import SimulationError
+from repro.sim.closedloop import ClosedLoopRuntime
+from repro.workloads.paper import (
+    PROTOTYPE_FAST_MIN_SHARE,
+    prototype_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def short_run():
+    """A short closed-loop run shared by several assertions."""
+    ts = prototype_workload()
+    runtime = ClosedLoopRuntime(
+        ts, window=1000.0, seed=11,
+        optimizer_config=LLAConfig(max_iterations=2500),
+        optimizer_steps_per_epoch=300,
+    )
+    runtime.run_epochs(2)
+    runtime.enable_correction()
+    runtime.run_epochs(8)
+    return runtime
+
+
+class TestClosedLoop:
+    def test_epoch_records(self, short_run):
+        assert len(short_run.history) == 10
+        assert short_run.history[0].epoch == 1
+        assert not short_run.history[0].correction_enabled
+        assert short_run.history[-1].correction_enabled
+
+    def test_pre_correction_shares_stable(self, short_run):
+        # The optimizer keeps running between epochs, so the dual hover
+        # moves shares by a sliver; nothing material before correction.
+        fast = short_run.share_trace("fast1_s0")
+        assert fast[0] == pytest.approx(fast[1], rel=1e-2)
+
+    def test_correction_reduces_fast_share(self, short_run):
+        fast = short_run.share_trace("fast1_s0")
+        assert fast[-1] < fast[0] - 0.02
+
+    def test_correction_raises_slow_share(self, short_run):
+        slow = short_run.share_trace("slow1_s0")
+        assert slow[-1] > slow[0] + 0.02
+
+    def test_errors_negative(self, short_run):
+        # The worst-case model over-predicts, so errors are negative.
+        errors = short_run.error_trace("fast1_s0")
+        assert errors[-1] < -5.0
+
+    def test_fast_share_never_below_rate_share(self, short_run):
+        for share in short_run.share_trace("fast1_s0"):
+            assert share >= PROTOTYPE_FAST_MIN_SHARE - 1e-6
+
+    def test_loads_respect_availability(self, short_run):
+        ts = short_run.taskset
+        final = short_run.history[-1]
+        for rname in ts.resources:
+            load = sum(
+                final.shares[sub.name]
+                for _t, sub in ts.subtasks_on(rname)
+            )
+            assert load <= 0.9 + 0.02
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(SimulationError):
+            ClosedLoopRuntime(prototype_workload(), window=0.0)

@@ -1,0 +1,108 @@
+"""Unit tests for the discrete-event engine."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimulationEngine
+
+
+class TestScheduling:
+    def test_time_order(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(3.0, lambda: fired.append("c"))
+        engine.schedule(1.0, lambda: fired.append("a"))
+        engine.schedule(2.0, lambda: fired.append("b"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_priority_breaks_same_time_ties(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append("low"), priority=1)
+        engine.schedule(1.0, lambda: fired.append("high"), priority=-1)
+        engine.run()
+        assert fired == ["high", "low"]
+
+    def test_seq_breaks_remaining_ties(self):
+        engine = SimulationEngine()
+        fired = []
+        for i in range(5):
+            engine.schedule(1.0, lambda i=i: fired.append(i))
+        engine.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_schedule_in(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(5.0, lambda: engine.schedule_in(
+            2.0, lambda: fired.append(engine.now)))
+        engine.run()
+        assert fired == [7.0]
+
+    def test_rejects_past_and_nonfinite(self):
+        engine = SimulationEngine()
+        engine.now = 10.0
+        with pytest.raises(SimulationError):
+            engine.schedule(5.0, lambda: None)
+        with pytest.raises(SimulationError):
+            engine.schedule(math.inf, lambda: None)
+        with pytest.raises(SimulationError):
+            engine.schedule(math.nan, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        engine = SimulationEngine()
+        fired = []
+        handle = engine.schedule(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        engine.run()
+        assert fired == []
+        assert engine.processed == 0
+
+    def test_peek_skips_cancelled(self):
+        engine = SimulationEngine()
+        h1 = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        h1.cancel()
+        assert engine.peek_time() == 2.0
+
+
+class TestRunUntil:
+    def test_stops_at_horizon(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(5.0, lambda: fired.append(5))
+        engine.run_until(3.0)
+        assert fired == [1]
+        assert engine.now == 3.0
+        engine.run_until(10.0)
+        assert fired == [1, 5]
+
+    def test_clock_reaches_horizon_without_events(self):
+        engine = SimulationEngine()
+        engine.run_until(42.0)
+        assert engine.now == 42.0
+
+    def test_rejects_backwards_horizon(self):
+        engine = SimulationEngine()
+        engine.run_until(10.0)
+        with pytest.raises(SimulationError):
+            engine.run_until(5.0)
+
+    def test_events_scheduled_during_run(self):
+        engine = SimulationEngine()
+        fired = []
+
+        def cascade():
+            fired.append(engine.now)
+            if engine.now < 5.0:
+                engine.schedule_in(1.0, cascade)
+
+        engine.schedule(1.0, cascade)
+        engine.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0, 4.0, 5.0]

@@ -1,0 +1,86 @@
+"""Unit tests for job / job-set lifecycle."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.model.graph import SubtaskGraph
+from repro.model.task import Subtask, Task
+from repro.model.utility import LinearUtility
+from repro.sim.jobs import Job, JobSet
+
+
+def diamond_task() -> Task:
+    names = ["a", "b", "c", "d"]
+    edges = [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+    return Task(
+        "t",
+        [Subtask(name=n, resource=f"r{i}", exec_time=1.0)
+         for i, n in enumerate(names)],
+        SubtaskGraph(names, edges),
+        100.0,
+        LinearUtility(100.0),
+    )
+
+
+class TestJob:
+    def test_lifecycle(self):
+        js = JobSet(diamond_task(), 1, 0.0)
+        job = Job("a", js, demand=5.0, release_time=2.0)
+        assert not job.done
+        assert job.remaining == 5.0
+        job.service_received = 5.0
+        job.finish_time = 9.0
+        assert job.done
+        assert job.latency == pytest.approx(7.0)
+
+    def test_latency_before_finish_raises(self):
+        js = JobSet(diamond_task(), 1, 0.0)
+        job = Job("a", js, demand=1.0, release_time=0.0)
+        with pytest.raises(SimulationError):
+            _ = job.latency
+
+    def test_rejects_nonpositive_demand(self):
+        js = JobSet(diamond_task(), 1, 0.0)
+        with pytest.raises(SimulationError):
+            Job("a", js, demand=0.0, release_time=0.0)
+
+    def test_remaining_clamps_at_zero(self):
+        js = JobSet(diamond_task(), 1, 0.0)
+        job = Job("a", js, demand=1.0, release_time=0.0)
+        job.service_received = 2.0
+        assert job.remaining == 0.0
+
+
+class TestJobSet:
+    def test_ready_successors_respect_join(self):
+        js = JobSet(diamond_task(), 1, 0.0)
+        js.mark_completed("a", 1.0)
+        assert js.ready_successors("a") == {"b", "c"}
+        js.mark_completed("b", 2.0)
+        # d needs both b and c.
+        assert js.ready_successors("b") == set()
+        js.mark_completed("c", 3.0)
+        assert js.ready_successors("c") == {"d"}
+
+    def test_done_and_latency(self):
+        js = JobSet(diamond_task(), 1, 10.0)
+        for name, t in (("a", 11.0), ("b", 12.0), ("c", 13.0), ("d", 15.0)):
+            js.mark_completed(name, t)
+        assert js.done
+        assert js.latency == pytest.approx(5.0)
+
+    def test_double_completion_rejected(self):
+        js = JobSet(diamond_task(), 1, 0.0)
+        js.mark_completed("a", 1.0)
+        with pytest.raises(SimulationError):
+            js.mark_completed("a", 2.0)
+
+    def test_unknown_subtask_rejected(self):
+        js = JobSet(diamond_task(), 1, 0.0)
+        with pytest.raises(SimulationError):
+            js.mark_completed("ghost", 1.0)
+
+    def test_latency_before_done_raises(self):
+        js = JobSet(diamond_task(), 1, 0.0)
+        with pytest.raises(SimulationError):
+            _ = js.latency

@@ -1,0 +1,59 @@
+"""Unit tests for the latency recorder."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.metrics import LatencyRecorder
+
+
+class TestRecorder:
+    def test_counts(self):
+        rec = LatencyRecorder()
+        rec.record_job("a", 1.0)
+        rec.record_job("a", 2.0)
+        rec.record_jobset("t", 5.0)
+        assert rec.job_count("a") == 2
+        assert rec.jobs_recorded == 2
+        assert rec.jobsets_recorded == 1
+
+    def test_percentiles(self):
+        rec = LatencyRecorder()
+        for v in range(1, 101):
+            rec.record_job("a", float(v))
+        assert rec.job_percentile("a", 50) == pytest.approx(50.5)
+        assert rec.job_percentile("a", 95) == pytest.approx(95.05)
+
+    def test_percentile_none_without_samples(self):
+        rec = LatencyRecorder()
+        assert rec.job_percentile("ghost", 95) is None
+        assert rec.jobset_percentile("ghost", 95) is None
+
+    def test_miss_rate(self):
+        rec = LatencyRecorder()
+        for v in (10.0, 20.0, 30.0, 40.0):
+            rec.record_jobset("t", v)
+        assert rec.jobset_miss_rate("t", 25.0) == pytest.approx(0.5)
+        assert rec.jobset_miss_rate("ghost", 25.0) is None
+
+    def test_drain_clears(self):
+        rec = LatencyRecorder()
+        rec.record_job("a", 1.0)
+        samples = rec.drain_jobs("a")
+        assert samples == [1.0]
+        assert rec.job_count("a") == 0
+        assert rec.drain_jobs("a") == []
+
+    def test_rejects_negative_latency(self):
+        rec = LatencyRecorder()
+        with pytest.raises(SimulationError):
+            rec.record_job("a", -1.0)
+        with pytest.raises(SimulationError):
+            rec.record_jobset("t", -1.0)
+
+    def test_clear(self):
+        rec = LatencyRecorder()
+        rec.record_job("a", 1.0)
+        rec.record_jobset("t", 1.0)
+        rec.clear()
+        assert rec.job_count("a") == 0
+        assert rec.jobset_latencies("t") == []

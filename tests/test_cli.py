@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "table1"])
+        assert args.name == "table1"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestExportAndRoundTrip:
+    def test_export_to_file(self, tmp_path, capsys):
+        path = tmp_path / "wl.json"
+        code = main(["export-workload", "base", "-o", str(path)])
+        assert code == 0
+        data = json.loads(path.read_text())
+        assert len(data["tasks"]) == 3
+
+    def test_export_to_stdout(self, capsys):
+        code = main(["export-workload", "prototype"])
+        assert code == 0
+        out = capsys.readouterr().out
+        data = json.loads(out)
+        assert len(data["tasks"]) == 4
+
+
+class TestOptimize:
+    def test_optimize_schedulable(self, tmp_path, capsys):
+        wl = tmp_path / "wl.json"
+        main(["export-workload", "base", "-o", str(wl)])
+        capsys.readouterr()
+        alloc = tmp_path / "alloc.json"
+        code = main(["optimize", str(wl), "--warm-start",
+                     "-o", str(alloc)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "converged: True" in out
+        payload = json.loads(alloc.read_text())
+        assert set(payload) == {"latencies", "shares", "utility",
+                                "converged"}
+        assert len(payload["latencies"]) == 21
+
+    def test_missing_file(self):
+        with pytest.raises(SystemExit):
+            main(["optimize", "/nonexistent/workload.json"])
+
+
+class TestCheck:
+    def test_schedulable_exit_zero(self, tmp_path, capsys):
+        wl = tmp_path / "wl.json"
+        main(["export-workload", "base", "-o", str(wl)])
+        assert main(["check", str(wl)]) == 0
+        assert "SCHEDULABLE" in capsys.readouterr().out
+
+    def test_unschedulable_exit_one(self, tmp_path, capsys):
+        wl = tmp_path / "wl.json"
+        main(["export-workload", "unschedulable", "-o", str(wl)])
+        assert main(["check", str(wl), "--iterations", "400"]) == 1
+        assert "UNSCHEDULABLE" in capsys.readouterr().out

@@ -1,0 +1,44 @@
+"""Smoke tests for the example scripts.
+
+Every example must import cleanly (catching API drift), and the quick
+ones are executed end to end.  The long-running examples are exercised
+through the same library paths by the experiment benches, so running
+their mains here would only duplicate minutes of work.
+"""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.fixture(autouse=True)
+def _examples_on_path():
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    yield
+    sys.path.remove(str(EXAMPLES_DIR))
+
+
+def test_examples_discovered():
+    assert len(ALL_EXAMPLES) >= 6
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_imports(name):
+    module = importlib.import_module(name)
+    assert callable(getattr(module, "main", None)), (
+        f"example {name} must expose a main()"
+    )
+
+
+def test_quickstart_runs(capsys):
+    module = importlib.import_module("quickstart")
+    module.main()
+    out = capsys.readouterr().out
+    assert "converged: True" in out
+    assert "TASK T1" in out
+    assert "critical path" in out

@@ -1,0 +1,90 @@
+"""End-to-end integration: every library layer in one flow.
+
+Builds a deployment on a network topology, round-trips it through JSON,
+optimizes it with both the in-process optimizer and the distributed
+runtime, enacts the allocation on the discrete-event simulator, and
+verifies the observed behaviour honours the optimized budgets.
+"""
+
+import pytest
+
+from repro.core.optimizer import LLAConfig, LLAOptimizer
+from repro.distributed import DistributedConfig, DistributedLLARuntime
+from repro.model.events import PeriodicEvent
+from repro.model.serialize import taskset_from_json, taskset_to_json
+from repro.model.topology import ComputeStage, NetworkTopology
+from repro.model.utility import LinearUtility
+from repro.sim.system import SimulatedSystem
+
+
+@pytest.fixture(scope="module")
+def deployed_taskset():
+    """Two pipelines over a 4-node line topology sharing its middle links."""
+    topo = NetworkTopology.line(["edge", "agg", "core", "store"],
+                                cpu_availability=0.9,
+                                link_availability=0.9)
+    topo.deploy_pipeline(
+        "ingest",
+        [ComputeStage("capture", "edge", exec_time=2.0, transfer_time=1.5),
+         ComputeStage("aggregate", "agg", exec_time=3.0, transfer_time=2.0),
+         ComputeStage("persist", "store", exec_time=2.5)],
+        critical_time=80.0,
+        utility=LinearUtility(80.0, k=2.0, slope=2.0),
+        trigger=PeriodicEvent(50.0),
+    )
+    topo.deploy_pipeline(
+        "report",
+        [ComputeStage("scan", "store", exec_time=4.0, transfer_time=2.0),
+         ComputeStage("render", "core", exec_time=3.0)],
+        critical_time=150.0,
+        utility=LinearUtility(150.0, k=2.0),
+        trigger=PeriodicEvent(100.0),
+    )
+    return topo.build_taskset()
+
+
+class TestFullPipeline:
+    def test_serialization_roundtrip(self, deployed_taskset):
+        restored = taskset_from_json(taskset_to_json(deployed_taskset))
+        assert restored.subtask_names == deployed_taskset.subtask_names
+        r1 = LLAOptimizer(deployed_taskset,
+                          LLAConfig(max_iterations=300)).run()
+        r2 = LLAOptimizer(restored, LLAConfig(max_iterations=300)).run()
+        assert r1.latencies == pytest.approx(r2.latencies)
+
+    def test_centralized_and_distributed_agree(self, deployed_taskset):
+        restored = taskset_from_json(taskset_to_json(deployed_taskset))
+        central = LLAOptimizer(
+            deployed_taskset, LLAConfig(max_iterations=1500)
+        ).run()
+        distributed = DistributedLLARuntime(
+            restored, DistributedConfig(rounds=1500)
+        ).run()
+        assert central.utility == pytest.approx(distributed.utility,
+                                                abs=1.0)
+
+    def test_simulated_execution_honours_budgets(self, deployed_taskset):
+        result = LLAOptimizer(
+            deployed_taskset, LLAConfig(max_iterations=1500)
+        ).run()
+        assert deployed_taskset.is_feasible(result.latencies, tol=1e-2)
+        shares = {
+            name: deployed_taskset.share_function(name).share(lat)
+            for name, lat in result.latencies.items()
+        }
+        system = SimulatedSystem(deployed_taskset, shares, seed=17)
+        system.run_for(30_000.0)
+        # The worst-case model is conservative: observed end-to-end p99
+        # must come in under each task's critical time.
+        for task in deployed_taskset.tasks:
+            p99 = system.recorder.jobset_percentile(task.name, 99)
+            assert p99 is not None
+            assert p99 <= task.critical_time, (
+                f"{task.name}: p99 {p99:.1f} > C {task.critical_time}"
+            )
+
+    def test_shared_link_priced_between_pipelines(self, deployed_taskset):
+        # Both pipelines cross link agg-core and link core-store.
+        crossers = deployed_taskset.subtasks_on("link:core-store")
+        owners = {task.name for task, _sub in crossers}
+        assert owners == {"ingest", "report"}

@@ -1,0 +1,83 @@
+"""Closing the loop on Table 1: execute the optimized allocation.
+
+The paper's Section 5 evaluates the *optimizer* in simulation but never
+executes the resulting allocation.  This test does: the converged Table 1
+latency assignment is converted to shares, enacted on the discrete-event
+simulator (all 21 subtasks across the 8 CPU/link resources, periodic
+100 ms releases), and the *observed* behaviour is checked against the
+model's promises:
+
+* every job-set (end-to-end) latency stays within its critical time —
+  the worst-case model is an upper bound on reality;
+* per-subtask observed worst cases stay within the allocated budgets;
+* no queue grows without bound (the rate-share arithmetic holds).
+"""
+
+import pytest
+
+from repro.core.optimizer import LLAConfig, LLAOptimizer
+from repro.sim.system import SimulatedSystem
+from repro.workloads.paper import base_workload
+
+
+@pytest.fixture(scope="module")
+def executed():
+    taskset = base_workload()
+    result = LLAOptimizer(taskset, LLAConfig(max_iterations=1500)).run()
+    assert result.converged
+    shares = {
+        name: taskset.share_function(name).share(lat)
+        for name, lat in result.latencies.items()
+    }
+    system = SimulatedSystem(taskset, shares, model="gps", seed=31)
+    system.run_for(20_000.0)   # 200 task releases
+    return taskset, result, system
+
+
+class TestTable1Execution:
+    def test_all_jobsets_complete(self, executed):
+        _ts, _result, system = executed
+        # 3 tasks × 200 releases, minus at most a few in flight at the end.
+        assert system.recorder.jobsets_recorded >= 3 * 195
+
+    def test_every_task_meets_its_critical_time(self, executed):
+        ts, _result, system = executed
+        for task in ts.tasks:
+            miss = system.recorder.jobset_miss_rate(
+                task.name, task.critical_time
+            )
+            assert miss == 0.0, (
+                f"{task.name}: {100 * miss:.2f}% of job sets missed "
+                f"C={task.critical_time}"
+            )
+
+    def test_observed_worst_case_within_budget(self, executed):
+        ts, result, system = executed
+        for name in ts.subtask_names:
+            observed_max = max(system.recorder.job_latencies(name))
+            assert observed_max <= result.latencies[name] + 1e-6, (
+                f"{name}: observed {observed_max:.2f} ms exceeds the "
+                f"allocated budget {result.latencies[name]:.2f} ms"
+            )
+
+    def test_no_unbounded_backlog(self, executed):
+        ts, _result, system = executed
+        for name in ts.subtask_names:
+            resource = ts.owner_of(name).subtask(name).resource
+            assert system.resources[resource].backlog(name) <= 2
+
+    def test_quantum_model_also_meets_deadlines(self):
+        taskset = base_workload()
+        result = LLAOptimizer(taskset, LLAConfig(max_iterations=1500)).run()
+        shares = {
+            name: taskset.share_function(name).share(lat)
+            for name, lat in result.latencies.items()
+        }
+        system = SimulatedSystem(taskset, shares, model="quantum",
+                                 quantum=0.5, seed=31)
+        system.run_for(8_000.0)
+        for task in taskset.tasks:
+            miss = system.recorder.jobset_miss_rate(
+                task.name, task.critical_time
+            )
+            assert miss == 0.0

@@ -1,0 +1,91 @@
+"""Tests for the random workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.slicing import evaluate_assignment, even_slicing
+from repro.errors import ModelError
+from repro.workloads.generator import (
+    GeneratorConfig,
+    random_graph,
+    random_workload,
+)
+
+
+class TestRandomGraph:
+    def test_chain(self):
+        rng = np.random.default_rng(0)
+        g = random_graph(["a", "b", "c"], "chain", rng)
+        assert g.paths == (("a", "b", "c"),)
+
+    def test_tree_single_root(self):
+        rng = np.random.default_rng(1)
+        g = random_graph([f"n{i}" for i in range(8)], "tree", rng)
+        assert g.root == "n0"
+        assert len(g.leaves) >= 1
+
+    def test_diamond(self):
+        rng = np.random.default_rng(2)
+        g = random_graph(["a", "b", "c", "d"], "diamond", rng)
+        assert g.root == "a"
+        assert g.leaves == ("d",)
+        assert len(g.paths) == 2
+
+    def test_layered_valid(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            g = random_graph([f"n{i}" for i in range(6)], "layered", rng)
+            assert len(g) == 6   # DAG validation happened in constructor
+
+    def test_single_node(self):
+        rng = np.random.default_rng(4)
+        g = random_graph(["solo"], "tree", rng)
+        assert g.paths == (("solo",),)
+
+    def test_unknown_shape(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(ModelError):
+            random_graph(["a", "b"], "mobius", rng)
+
+
+class TestRandomWorkload:
+    def test_structure_valid(self):
+        ts = random_workload(GeneratorConfig(n_tasks=5, n_resources=7),
+                             seed=0)
+        assert len(ts.tasks) == 5
+        assert len(ts.resources) == 7
+
+    def test_deterministic_per_seed(self):
+        a = random_workload(seed=3)
+        b = random_workload(seed=3)
+        assert a.subtask_names == b.subtask_names
+        for name in a.subtask_names:
+            assert a.owner_of(name).subtask(name).exec_time == \
+                b.owner_of(name).subtask(name).exec_time
+
+    def test_different_seeds_differ(self):
+        a = random_workload(seed=1)
+        b = random_workload(seed=2)
+        exec_a = [a.owner_of(n).subtask(n).exec_time for n in a.subtask_names]
+        exec_b = [b.owner_of(n).subtask(n).exec_time for n in b.subtask_names[:len(exec_a)]]
+        assert exec_a != exec_b
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_provisioning_guarantees_feasibility(self, seed):
+        """The generator's contract: even slicing must be feasible."""
+        ts = random_workload(
+            GeneratorConfig(n_tasks=4, n_resources=6, provisioning=0.8),
+            seed=seed,
+        )
+        score = evaluate_assignment(ts, even_slicing(ts))
+        assert score.feasible, score.violations
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            GeneratorConfig(n_tasks=0).validate()
+        with pytest.raises(ModelError):
+            GeneratorConfig(min_subtasks=5, max_subtasks=3).validate()
+        with pytest.raises(ModelError):
+            GeneratorConfig(max_subtasks=10, n_resources=6).validate()
+        with pytest.raises(ModelError):
+            GeneratorConfig(shapes=("pentagon",)).validate()

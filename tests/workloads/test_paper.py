@@ -1,0 +1,212 @@
+"""Tests for the paper's workloads, including the Table 1 calibration."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.workloads.paper import (
+    PROTOTYPE_FAST_MIN_SHARE,
+    PROTOTYPE_SLOW_MIN_SHARE,
+    TABLE1_CRITICAL_PATHS,
+    TABLE1_CRITICAL_TIMES,
+    TABLE1_LATENCIES,
+    TABLE1_SUBTASKS,
+    base_workload,
+    prototype_workload,
+    scaled_workload,
+    unschedulable_workload,
+)
+
+
+class TestCalibration:
+    def test_paper_latencies_saturate_every_resource(self):
+        """The DESIGN.md discovery: at the paper's reported optimum,
+        Σ (c_s + 1)/lat_s ≈ 1.000 on all eight resources — this pins
+        lag = 1 ms and B_r = 1."""
+        ts = base_workload()
+        loads = ts.resource_loads(TABLE1_LATENCIES)
+        for rname, load in loads.items():
+            assert load == pytest.approx(1.0, abs=0.01), (
+                f"{rname}: load {load:.4f} — calibration broken"
+            )
+
+    def test_task3_chain_sums_to_paper_critical_path(self):
+        """Task 3's six latencies sum to exactly the reported 52.8 ms —
+        the structural evidence that it is a chain."""
+        total = sum(
+            TABLE1_LATENCIES[n] for n in TABLE1_SUBTASKS if n.startswith("T3")
+        )
+        assert total == pytest.approx(TABLE1_CRITICAL_PATHS["T3"], abs=0.05)
+
+    def test_paper_critical_paths_within_one_percent(self):
+        """The paper's claim about its own Table 1 numbers."""
+        ts = base_workload()
+        for task in ts.tasks:
+            if task.name != "T3":
+                continue   # only T3's exact topology is confirmed
+            _, crit = task.critical_path(TABLE1_LATENCIES)
+            assert crit <= task.critical_time
+            assert crit >= 0.99 * task.critical_time
+
+
+class TestBaseWorkload:
+    def test_structure(self):
+        ts = base_workload()
+        assert len(ts.tasks) == 3
+        assert len(ts.all_subtasks) == 21
+        assert len(ts.resources) == 8
+
+    def test_exec_times_match_table(self):
+        ts = base_workload()
+        for name, (ridx, exec_time) in TABLE1_SUBTASKS.items():
+            task = ts.owner_of(name)
+            sub = task.subtask(name)
+            assert sub.exec_time == exec_time
+            assert sub.resource == f"r{ridx}"
+
+    def test_critical_times(self):
+        ts = base_workload()
+        for task in ts.tasks:
+            assert task.critical_time == TABLE1_CRITICAL_TIMES[task.name]
+
+    def test_all_tasks_periodic_100ms(self):
+        ts = base_workload()
+        for task in ts.tasks:
+            assert task.trigger.mean_rate() == pytest.approx(0.01)
+
+    def test_task3_is_chain(self):
+        ts = base_workload()
+        t3 = ts.task("T3")
+        assert len(t3.graph.paths) == 1
+        assert len(t3.graph.paths[0]) == 6
+
+    def test_sum_variant(self):
+        ts = base_workload(variant="sum")
+        for task in ts.tasks:
+            assert all(w == 1.0 for w in task.weights.values())
+
+
+class TestScaledWorkload:
+    def test_copies_structure(self):
+        ts = scaled_workload(2)
+        assert len(ts.tasks) == 6
+        assert len(ts.resources) == 8    # same resources, more contention
+
+    def test_clones_share_resources(self):
+        ts = scaled_workload(2)
+        original = ts.task("T1").subtask("T11")
+        clone = ts.task("T1c1").subtask("T11c1")
+        assert original.resource == clone.resource
+        assert original.exec_time == clone.exec_time
+
+    def test_critical_time_scaling(self):
+        ts = scaled_workload(1, critical_time_factor=6.0)
+        assert ts.task("T1").critical_time == pytest.approx(270.0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ModelError):
+            scaled_workload(0)
+        with pytest.raises(ModelError):
+            scaled_workload(1, critical_time_factor=0.0)
+
+
+class TestUnschedulableWorkload:
+    def test_unscaled_critical_times(self):
+        ts = unschedulable_workload()
+        assert ts.task("T1").critical_time == 45.0
+        assert len(ts.tasks) == 6
+
+    def test_genuinely_unschedulable(self):
+        """Infeasibility certificate: minimize the maximum resource load
+        over all latency assignments satisfying the path constraints (a
+        convex program).  The minimum comes out near 2× the availability,
+        so no feasible assignment exists — Figure 7's premise."""
+        import numpy as np
+        from scipy import optimize
+
+        ts = unschedulable_workload()
+        names = list(ts.subtask_names)
+        idx = {n: i for i, n in enumerate(names)}
+        cost = {}
+        for task in ts.tasks:
+            for sub in task.subtasks:
+                cost[sub.name] = sub.exec_time + \
+                    ts.resources[sub.resource].lag
+
+        constraints = []
+        for rname in ts.resources:
+            members = [
+                (idx[s.name], cost[s.name])
+                for _t, s in ts.subtasks_on(rname)
+            ]
+
+            def load_slack(x, members=members):
+                return x[-1] - sum(c / x[i] for i, c in members)
+
+            constraints.append({"type": "ineq", "fun": load_slack})
+        for task in ts.tasks:
+            for path in task.graph.paths:
+                ids = [idx[s] for s in path]
+                critical = task.critical_time
+
+                def path_slack(x, ids=ids, critical=critical):
+                    return critical - sum(x[i] for i in ids)
+
+                constraints.append({"type": "ineq", "fun": path_slack})
+
+        n = len(names)
+        lo = np.array([cost[nm] for nm in names] + [0.0])
+        hi = np.array([200.0] * n + [10.0])
+        x0 = np.array([cost[nm] * 2 for nm in names] + [3.0])
+        result = optimize.minimize(
+            lambda x: x[-1], x0, constraints=constraints,
+            bounds=list(zip(lo, hi)), method="SLSQP",
+            options={"maxiter": 500, "ftol": 1e-9},
+        )
+        assert result.success
+        min_max_load = result.x[-1]
+        assert min_max_load > 1.5, (
+            f"workload unexpectedly near-schedulable: {min_max_load:.2f}"
+        )
+
+
+
+class TestPrototypeWorkload:
+    def test_structure(self):
+        ts = prototype_workload()
+        assert len(ts.tasks) == 4
+        assert len(ts.resources) == 3
+        for task in ts.tasks:
+            assert len(task.subtasks) == 3
+            assert len(task.graph.paths) == 1   # linear dependence
+        # Every CPU hosts one subtask of every task.
+        for rname in ts.resources:
+            assert len(ts.subtasks_on(rname)) == 4
+
+    def test_paper_parameters(self):
+        ts = prototype_workload()
+        fast = ts.task("fast1")
+        slow = ts.task("slow1")
+        assert fast.critical_time == 105.0
+        assert slow.critical_time == 800.0
+        assert fast.subtasks[0].exec_time == 5.0
+        assert slow.subtasks[0].exec_time == 13.0
+        assert fast.trigger.mean_rate() == pytest.approx(0.04)
+        assert slow.trigger.mean_rate() == pytest.approx(0.01)
+
+    def test_min_rate_shares(self):
+        # Section 6.2's arithmetic: 0.2 fast, 0.13 slow, sum 0.66/CPU.
+        assert PROTOTYPE_FAST_MIN_SHARE == pytest.approx(0.2)
+        assert PROTOTYPE_SLOW_MIN_SHARE == pytest.approx(0.13)
+        total = 2 * PROTOTYPE_FAST_MIN_SHARE + 2 * PROTOTYPE_SLOW_MIN_SHARE
+        assert total == pytest.approx(0.66)
+
+    def test_gc_reservation(self):
+        ts = prototype_workload()
+        for resource in ts.resources.values():
+            assert resource.availability == pytest.approx(0.9)
+            assert resource.lag == 5.0
+
+    def test_utility_is_negative_latency(self):
+        ts = prototype_workload()
+        fn = ts.task("fast1").utility
+        assert fn.value(35.0) == pytest.approx(-35.0)
