@@ -1,0 +1,71 @@
+"""Machine-readable benchmark results, built on the telemetry registry.
+
+Each ``bench_<name>.py`` module gets its own
+:class:`~repro.telemetry.MetricsRegistry`; the conftest hooks record a
+wall-clock timer per test plus the pytest-benchmark statistics
+(mean seconds, ops/sec) when available, and bench modules record
+domain results (final utility, throughput) explicitly via
+:func:`record_value`.  At session end every module registry is dumped to
+``BENCH_<name>.json`` so the repo's performance trajectory is diffable
+from one PR to the next.
+
+The output directory defaults to the directory holding this file and can
+be overridden with the ``BENCH_RESULTS_DIR`` environment variable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict
+
+from repro.telemetry import MetricsRegistry
+
+_registries: Dict[str, MetricsRegistry] = {}
+
+
+def bench_name(module_file: str) -> str:
+    """``.../bench_micro.py`` → ``micro``."""
+    stem = Path(module_file).stem
+    return stem[len("bench_"):] if stem.startswith("bench_") else stem
+
+
+def registry_for(name: str) -> MetricsRegistry:
+    """Get-or-create the per-bench-module registry."""
+    registry = _registries.get(name)
+    if registry is None:
+        registry = _registries[name] = MetricsRegistry()
+    return registry
+
+
+def record_value(name: str, metric: str, value: float) -> None:
+    """Record one scalar result (a gauge) for bench module ``name``."""
+    registry_for(name).gauge(metric).set(value)
+
+
+def results_dir() -> Path:
+    return Path(os.environ.get("BENCH_RESULTS_DIR",
+                               Path(__file__).resolve().parent))
+
+
+def write_reports() -> list:
+    """Dump every module registry to ``BENCH_<name>.json``; returns paths."""
+    out_dir = results_dir()
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, registry in sorted(_registries.items()):
+        if not len(registry):
+            continue
+        payload = {
+            "bench": name,
+            "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "metrics": registry.snapshot(),
+        }
+        path = out_dir / f"BENCH_{name}.json"
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        written.append(str(path))
+    return written

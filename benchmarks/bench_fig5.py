@@ -11,7 +11,10 @@ adaptive) and asserts the paper's qualitative shape:
 
 import pytest
 
+import _report
 from repro.experiments.fig5 import run_fig5
+
+_BENCH = _report.bench_name(__file__)
 
 
 @pytest.mark.benchmark(group="fig5")
@@ -35,5 +38,11 @@ def test_fig5_step_sizes(benchmark):
 
     print()
     for label, series in result.series.items():
+        _report.record_value(
+            _BENCH, f"final_utility.{label}", series.utilities[-1]
+        )
+        _report.record_value(
+            _BENCH, f"oscillation.{label}", series.tail_oscillation()
+        )
         print(f"  {label:>10s}: final {series.utilities[-1]:9.2f} "
               f"oscillation {series.tail_oscillation():8.2f}")

@@ -9,10 +9,13 @@ Section 6.4 — the optimizer step must be microseconds-scale per subtask.
 
 import pytest
 
+import _report
 from repro.core.optimizer import LLAConfig, LLAOptimizer
 from repro.distributed import DistributedConfig, DistributedLLARuntime
 from repro.sim import SimulatedSystem
 from repro.workloads.paper import base_workload, prototype_workload, scaled_workload
+
+_BENCH = _report.bench_name(__file__)
 
 
 @pytest.mark.benchmark(group="micro")
@@ -65,6 +68,7 @@ def test_simulator_throughput_gps(benchmark):
         return system.recorder.jobs_recorded
 
     jobs = benchmark(run_one_second)
+    _report.record_value(_BENCH, "gps_jobs_per_simulated_second", jobs)
     assert jobs > 250
 
 
@@ -80,4 +84,5 @@ def test_simulator_throughput_quantum(benchmark):
         return system.recorder.jobs_recorded
 
     jobs = benchmark(run_one_second)
+    _report.record_value(_BENCH, "quantum_jobs_per_simulated_second", jobs)
     assert jobs > 250

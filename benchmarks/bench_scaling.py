@@ -12,8 +12,11 @@ import time
 
 import pytest
 
+import _report
 from repro.core.optimizer import LLAConfig, LLAOptimizer
 from repro.workloads.generator import GeneratorConfig, random_workload
+
+_BENCH = _report.bench_name(__file__)
 
 
 def _mean_iteration_cost(n_tasks: int, n_resources: int,
@@ -53,5 +56,8 @@ def test_iteration_cost_scales_linearly(benchmark):
     )
     print()
     for (cost, n) in points:
+        _report.record_value(
+            _BENCH, f"iterations_per_sec.{n}_subtasks", 1.0 / cost
+        )
         print(f"  {n:3d} subtasks: {1e6 * cost:7.1f} us/iteration "
               f"({1e6 * cost / n:.2f} us/subtask)")

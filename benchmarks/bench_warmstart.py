@@ -11,9 +11,12 @@ their locally-estimable equilibrium values (see
 
 import pytest
 
+import _report
 from repro.analysis.trace import settling_iteration
 from repro.core.optimizer import LLAConfig, LLAOptimizer
 from repro.workloads.paper import base_workload, scaled_workload
+
+_BENCH = _report.bench_name(__file__)
 
 
 def _settle(warm: bool, taskset_factory, iterations=2500):
@@ -37,6 +40,12 @@ def test_warm_start_on_saturated_workload(benchmark):
     # Warm start settles no later than cold (usually much earlier).
     if warm_settle is not None and cold_settle is not None:
         assert warm_settle <= cold_settle + 50
+    _report.record_value(_BENCH, "final_utility.warm_saturated", warm.utility)
+    _report.record_value(_BENCH, "final_utility.cold_saturated", cold.utility)
+    if warm_settle is not None:
+        _report.record_value(_BENCH, "settling.warm_saturated", warm_settle)
+    if cold_settle is not None:
+        _report.record_value(_BENCH, "settling.cold_saturated", cold_settle)
     print()
     print(f"  saturated: warm settles at {warm_settle}, "
           f"cold at {cold_settle}")

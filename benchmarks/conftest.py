@@ -1,0 +1,58 @@
+"""Benchmark-session hooks: telemetry-backed machine-readable results.
+
+Every test in ``bench_*.py`` gets a wall-clock timer recorded into its
+module's registry; when the test used the pytest-benchmark fixture, the
+calibrated statistics (mean seconds per round, ops/sec) are recorded too.
+At session end the per-module registries are written out as
+``BENCH_<name>.json`` next to the bench files (see ``_report.py``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+import _report
+
+
+def _bench_module(item) -> str:
+    return _report.bench_name(str(item.fspath))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    started = time.perf_counter()
+    yield
+    elapsed = time.perf_counter() - started
+    _report.registry_for(_bench_module(item)).timer(
+        f"{item.name}.wall_seconds", "end-to-end test wall time"
+    ).observe(elapsed)
+
+
+def pytest_runtest_teardown(item, nextitem):
+    fixture = getattr(item, "funcargs", {}).get("benchmark")
+    stats_holder = getattr(fixture, "stats", None)
+    stats = getattr(stats_holder, "stats", None)
+    if stats is None:
+        return
+    registry = _report.registry_for(_bench_module(item))
+    mean = getattr(stats, "mean", None)
+    if mean:
+        registry.gauge(
+            f"{item.name}.mean_seconds", "mean seconds per benchmark round"
+        ).set(mean)
+        registry.gauge(
+            f"{item.name}.ops_per_sec", "benchmark rounds per second"
+        ).set(1.0 / mean)
+    rounds = getattr(stats, "rounds", None) or len(getattr(stats, "data", ()))
+    if rounds:
+        registry.gauge(f"{item.name}.rounds", "measured rounds").set(rounds)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    written = _report.write_reports()
+    if written:
+        print("\nbenchmark reports written:")
+        for path in written:
+            print(f"  {path}")

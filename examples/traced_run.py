@@ -1,0 +1,68 @@
+"""Telemetry walkthrough: trace an LLA run, then replay it offline.
+
+Runs the Table 1 workload with a :class:`~repro.telemetry.Telemetry`
+context attached, so the optimizer emits a JSONL event trace and fills a
+metrics registry while it works.  Then demonstrates the other half of
+the layer: loading the trace back from disk — no optimizer required —
+and recovering the exact same convergence summary the live run would
+report.
+
+Run with::
+
+    python examples/traced_run.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import LLAConfig, LLAOptimizer, base_workload
+from repro.analysis import summarize_trace
+from repro.telemetry import (
+    Telemetry,
+    event_counts,
+    read_trace,
+    summarize_trace_file,
+)
+
+
+def main() -> None:
+    trace_path = Path(tempfile.mkdtemp()) / "run.jsonl"
+
+    # 1. A traced run: metrics on, events streamed to a JSONL file.
+    telemetry = Telemetry.to_file(trace_path)
+    optimizer = LLAOptimizer(
+        base_workload(),
+        LLAConfig(max_iterations=1500, warm_start=True),
+        telemetry=telemetry,
+    )
+    result = optimizer.run()
+    telemetry.close()
+    print(f"converged: {result.converged} after {result.iterations} "
+          f"iterations, utility {result.utility:.2f}")
+    print(f"trace written to {trace_path}")
+    print()
+
+    # 2. The registry accumulated profiling data alongside the trace.
+    snapshot = telemetry.registry.snapshot()
+    iter_timer = snapshot["lla.iteration_seconds"]
+    print(f"iterations timed: {iter_timer['count']}, "
+          f"mean {1e6 * iter_timer['mean']:.1f} us, "
+          f"p99 {1e6 * iter_timer['p99']:.1f} us")
+    print()
+
+    # 3. Replay: the file alone reproduces the live run's summary.
+    events = read_trace(trace_path)
+    print("event counts:")
+    for kind, count in sorted(event_counts(events).items()):
+        print(f"  {kind:>18s}: {count}")
+    print()
+
+    replayed = summarize_trace_file(trace_path)
+    live = summarize_trace(result.history)
+    print(f"replayed summary == live summary: {replayed == live}")
+    print(f"  settling iteration: {replayed.settling}")
+    print(f"  final utility:      {replayed.final_utility:.2f}")
+
+
+if __name__ == "__main__":
+    main()

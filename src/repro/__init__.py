@@ -22,6 +22,11 @@ from repro.model import (
     Task,
     TaskSet,
 )
+from repro.telemetry import (
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+)
 from repro.workloads import (
     base_workload,
     prototype_workload,
@@ -41,6 +46,9 @@ __all__ = [
     "TaskSet",
     "SubtaskGraph",
     "Resource",
+    "Telemetry",
+    "MetricsRegistry",
+    "Tracer",
     "base_workload",
     "scaled_workload",
     "unschedulable_workload",

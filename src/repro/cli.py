@@ -5,10 +5,15 @@ Commands:
 * ``experiment {table1,fig5,…,ablations,adaptation,percentiles}`` — run a
   paper experiment driver and print its report;
 * ``optimize <workload.json>`` — load a serialized workload, run LLA, and
-  print the converged allocation (optionally write it as JSON);
+  print the converged allocation (optionally write it as JSON); with
+  ``--trace FILE`` the run also writes a JSONL telemetry trace;
 * ``check <workload.json>`` — run the schedulability test on a workload;
 * ``export-workload {base,scaled,unschedulable,prototype} [-o FILE]`` —
-  serialize one of the paper's workloads for editing.
+  serialize one of the paper's workloads for editing;
+* ``trace <run.jsonl>`` — replay a JSONL telemetry trace into the
+  convergence diagnostics of :mod:`repro.analysis.trace`;
+* ``stats <run.jsonl>`` — event counts and the final metrics snapshot of
+  a JSONL telemetry trace.
 """
 
 from __future__ import annotations
@@ -20,7 +25,9 @@ from typing import List, Optional
 
 from repro.analysis.schedulability import SchedulabilityAnalyzer
 from repro.core.optimizer import LLAConfig, LLAOptimizer
+from repro.errors import TelemetryError
 from repro.model.serialize import taskset_from_json, taskset_to_json
+from repro.telemetry import Telemetry, event_counts, read_trace
 from repro.workloads.paper import (
     base_workload,
     prototype_workload,
@@ -59,6 +66,8 @@ def build_parser() -> argparse.ArgumentParser:
     opt.add_argument("--warm-start", action="store_true")
     opt.add_argument("-o", "--output",
                      help="write the allocation as JSON to this file")
+    opt.add_argument("--trace",
+                     help="write a JSONL telemetry trace to this file")
 
     chk = sub.add_parser("check", help="schedulability-test a workload")
     chk.add_argument("workload", help="path to a serialized workload")
@@ -68,6 +77,16 @@ def build_parser() -> argparse.ArgumentParser:
                            help="serialize a built-in workload")
     exp_w.add_argument("name", choices=sorted(_WORKLOADS))
     exp_w.add_argument("-o", "--output", help="output file (default stdout)")
+
+    trc = sub.add_parser("trace",
+                         help="summarize a JSONL telemetry trace")
+    trc.add_argument("tracefile", help="path to a JSONL trace")
+    trc.add_argument("--band", type=float, default=0.5,
+                     help="settling band around the final utility")
+
+    sts = sub.add_parser("stats",
+                         help="event counts + metrics of a JSONL trace")
+    sts.add_argument("tracefile", help="path to a JSONL trace")
 
     return parser
 
@@ -92,7 +111,14 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     taskset = _load_taskset(args.workload)
     config = LLAConfig(max_iterations=args.iterations,
                        warm_start=args.warm_start)
-    result = LLAOptimizer(taskset, config).run()
+    telemetry = Telemetry.to_file(args.trace) if args.trace else None
+    try:
+        result = LLAOptimizer(taskset, config, telemetry=telemetry).run()
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+    if args.trace:
+        print(f"trace written to {args.trace}")
     print(f"converged: {result.converged} after {result.iterations} "
           f"iterations; utility {result.utility:.3f}")
     for task in taskset.tasks:
@@ -135,6 +161,61 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_trace(path: str):
+    try:
+        return read_trace(path)
+    except OSError as exc:
+        raise SystemExit(f"cannot read {path!r}: {exc}")
+    except TelemetryError as exc:
+        raise SystemExit(f"bad trace {path!r}: {exc}")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.analysis.trace import summarize_trace
+    from repro.telemetry import records_from_trace
+
+    records = records_from_trace(_load_trace(args.tracefile))
+    if not records:
+        raise SystemExit(
+            f"no iteration events in {args.tracefile!r}; was the run traced?"
+        )
+    summary = summarize_trace(records, band=args.band)
+    settling = "-" if summary.settling is None else str(summary.settling)
+    print(f"iterations:          {summary.iterations}")
+    print(f"final utility:       {summary.final_utility:.6f}")
+    print(f"settling iteration:  {settling}")
+    print(f"tail oscillation:    {summary.oscillation:.6f}")
+    print(f"price drift:         {summary.price_drift:.6f}")
+    print(f"violated iterations: {summary.violated_iterations}")
+    print(f"converged cleanly:   {summary.converged_cleanly()}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    events = _load_trace(args.tracefile)
+    if not events:
+        raise SystemExit(f"empty trace {args.tracefile!r}")
+    print(f"{len(events)} events:")
+    for kind, count in event_counts(events).items():
+        print(f"  {kind:<20s} {count}")
+    finished = [ev for ev in events if ev.kind == "run_finished"]
+    if finished:
+        data = finished[-1].data
+        print(f"run: runtime={data.get('runtime')} "
+              f"converged={data.get('converged')} "
+              f"iterations={data.get('iterations')} "
+              f"utility={data.get('utility')}")
+    snapshots = [ev for ev in events if ev.kind == "metrics_snapshot"]
+    if snapshots:
+        print("metrics:")
+        for name, snap in sorted(snapshots[-1].data["metrics"].items()):
+            fields = ", ".join(
+                f"{k}={v}" for k, v in snap.items() if k != "type"
+            )
+            print(f"  {name} ({snap['type']}): {fields}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -142,6 +223,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "optimize": _cmd_optimize,
         "check": _cmd_check,
         "export-workload": _cmd_export,
+        "trace": _cmd_trace,
+        "stats": _cmd_stats,
     }
     return handlers[args.command](args)
 

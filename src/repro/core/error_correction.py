@@ -30,6 +30,7 @@ import numpy as np
 from repro.errors import OptimizationError
 from repro.model.share import CorrectedShare
 from repro.model.task import TaskSet
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["ErrorSample", "ErrorCorrector"]
 
@@ -80,7 +81,8 @@ class ErrorCorrector:
 
     def __init__(self, taskset: TaskSet, alpha: float = 0.2,
                  percentile: float = 95.0,
-                 max_abs_correction: Optional[float] = None):
+                 max_abs_correction: Optional[float] = None,
+                 telemetry: Optional[Telemetry] = None):
         if not 0.0 < alpha <= 1.0:
             raise OptimizationError(f"alpha must be in (0, 1], got {alpha!r}")
         if not 0.0 < percentile <= 100.0:
@@ -98,6 +100,7 @@ class ErrorCorrector:
             float(max_abs_correction) if max_abs_correction is not None
             else None
         )
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._state: Dict[str, _SubtaskErrorState] = {
             name: _SubtaskErrorState() for name in taskset.subtask_names
         }
@@ -165,6 +168,20 @@ class ErrorCorrector:
                 applied, -self.max_abs_correction, self.max_abs_correction
             ))
         corrected.set_error(applied)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.registry.counter(
+                "correction.applied_total",
+                "model-error corrections installed",
+            ).inc()
+            tel.registry.histogram(
+                "correction.magnitude",
+                "absolute applied model-error correction",
+                max_samples=4096,
+            ).observe(abs(applied))
+            if tel.tracer.enabled:
+                tel.tracer.emit("correction_applied", subtask=subtask,
+                                error=float(applied))
         return applied
 
     def apply_all(self) -> Dict[str, float]:

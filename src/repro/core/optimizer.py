@@ -20,6 +20,8 @@ synchronous bus (asserted by integration tests).
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
@@ -31,8 +33,11 @@ from repro.core.state import IterationRecord, OptimizationResult, PathKey
 from repro.core.stepsize import AdaptiveStepSize, FixedStepSize, StepSizePolicy
 from repro.model.task import TaskSet
 from repro.model.utility import check_concavity
+from repro.telemetry import NULL_TELEMETRY, Telemetry, encode_record
 
 __all__ = ["LLAConfig", "LLAOptimizer"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -113,10 +118,14 @@ class LLAOptimizer:
     """
 
     def __init__(self, taskset: TaskSet, config: Optional[LLAConfig] = None,
-                 on_iteration: Optional[Callable[[IterationRecord], None]] = None):
+                 on_iteration: Optional[Callable[[IterationRecord], None]] = None,
+                 telemetry: Optional[Telemetry] = None):
         self.taskset = taskset
         self.config = config or LLAConfig()
         self.on_iteration = on_iteration
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._metrics: Optional[Dict[str, object]] = None
+        self._prev_congested: Optional[tuple] = None
         if self.config.max_iterations < 1:
             raise OptimizationError(
                 f"max_iterations must be >= 1, got {self.config.max_iterations!r}"
@@ -189,8 +198,17 @@ class LLAOptimizer:
     # -- iteration ---------------------------------------------------------------
 
     def step(self) -> IterationRecord:
-        """One full LLA iteration; returns its record."""
+        """One full LLA iteration; returns its record.
+
+        Telemetry never influences the iterates: instrumentation only reads
+        optimizer state, so a traced run is bit-identical to an untraced
+        one (asserted by a regression test).
+        """
         config = self.config
+        instrumented = self.telemetry.enabled
+        if instrumented:
+            started = time.perf_counter()
+            prev_prices = dict(self.resource_prices.prices)
 
         # (1) Task controllers: update path prices from the previous
         # latencies, then allocate new latencies (the paper's Latency
@@ -245,17 +263,100 @@ class LLAOptimizer:
                 for task in self.taskset.tasks
             },
         )
+        if instrumented:
+            self._observe_iteration(
+                record, prev_prices, time.perf_counter() - started
+            )
         if self.on_iteration is not None:
             self.on_iteration(record)
         return record
 
+    def _observe_iteration(self, record: IterationRecord,
+                           prev_prices: Dict[str, float],
+                           duration: float) -> None:
+        """Feed one iteration into the metrics registry and the tracer."""
+        if self._metrics is None:
+            registry = self.telemetry.registry
+            self._metrics = {
+                "iterations": registry.counter(
+                    "lla.iterations_total", "LLA iterations executed"),
+                "timer": registry.timer(
+                    "lla.iteration_seconds", "wall time per LLA iteration",
+                    max_samples=4096),
+                "utility": registry.gauge(
+                    "lla.utility", "total utility at the last iterate"),
+                "price_drift": registry.gauge(
+                    "lla.price_drift",
+                    "mean |Δμ_r| over the last iteration"),
+                "congested_resources": registry.counter(
+                    "lla.congested_resources_total",
+                    "congested-resource observations (resource-iterations)"),
+                "congested_paths": registry.counter(
+                    "lla.congested_paths_total",
+                    "congested-path observations (path-iterations)"),
+            }
+        m = self._metrics
+        deltas = [
+            abs(price - prev_prices.get(rname, 0.0))
+            for rname, price in record.resource_prices.items()
+        ]
+        drift = sum(deltas) / len(deltas) if deltas else 0.0
+        m["iterations"].inc()
+        m["timer"].observe(duration)
+        m["utility"].set(record.utility)
+        m["price_drift"].set(drift)
+        m["congested_resources"].inc(len(record.congested_resources))
+        m["congested_paths"].inc(len(record.congested_paths))
+
+        tracer = self.telemetry.tracer
+        if tracer.enabled:
+            tracer.emit("iteration", duration_s=duration,
+                        **encode_record(record))
+            if drift > 0.0:
+                tracer.emit(
+                    "price_update", iteration=record.iteration,
+                    mean_abs_delta=drift, max_abs_delta=max(deltas),
+                )
+            congested = (
+                frozenset(record.congested_resources),
+                frozenset(record.congested_paths),
+            )
+            if self._prev_congested is not None and \
+                    congested != self._prev_congested:
+                prev_r, prev_p = self._prev_congested
+                tracer.emit(
+                    "congestion_flip", iteration=record.iteration,
+                    resources_entered=sorted(congested[0] - prev_r),
+                    resources_left=sorted(prev_r - congested[0]),
+                    paths_entered=sorted(str(k) for k in congested[1] - prev_p),
+                    paths_left=sorted(str(k) for k in prev_p - congested[1]),
+                )
+            self._prev_congested = congested
+
     def run(self, max_iterations: Optional[int] = None) -> OptimizationResult:
         """Run until convergence or the iteration budget is exhausted."""
         budget = max_iterations or self.config.max_iterations
+        tracer = self.telemetry.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "run_started", runtime="optimizer",
+                starting_iteration=self.iteration, budget=budget,
+                tasks=len(self.taskset.tasks),
+                subtasks=len(self.taskset.subtask_names),
+                resources=len(self.taskset.resources),
+            )
+        debug = logger.isEnabledFor(logging.DEBUG)
         history = []
         converged = False
         for _ in range(budget):
             record = self.step()
+            if debug:
+                logger.debug(
+                    "iteration %d: utility %.6f, %d congested resources, "
+                    "%d congested paths", record.iteration, record.utility,
+                    len(record.congested_resources),
+                    len(record.congested_paths),
+                )
             if self.config.record_history:
                 history.append(record)
             if self.config.stop_on_convergence and self.detector.converged():
@@ -263,11 +364,29 @@ class LLAOptimizer:
                 break
         if not converged and self.detector.converged():
             converged = True
+        final_utility = self.taskset.total_utility(self.latencies)
+        if converged:
+            if tracer.enabled:
+                tracer.emit("convergence", iteration=self.iteration,
+                            utility=float(final_utility))
+        elif self.config.stop_on_convergence:
+            logger.warning(
+                "LLA did not converge within %d iterations "
+                "(utility %.6f at iteration %d)",
+                budget, final_utility, self.iteration,
+            )
+        if tracer.enabled:
+            tracer.emit("run_finished", runtime="optimizer",
+                        converged=converged, iterations=self.iteration,
+                        utility=float(final_utility))
+            if self.telemetry.registry.enabled:
+                tracer.emit("metrics_snapshot",
+                            metrics=self.telemetry.registry.snapshot())
         return OptimizationResult(
             converged=converged,
             iterations=self.iteration,
             latencies=dict(self.latencies),
-            utility=self.taskset.total_utility(self.latencies),
+            utility=final_utility,
             resource_prices=dict(self.resource_prices.prices),
             path_prices={
                 key: price
@@ -284,6 +403,7 @@ class LLAOptimizer:
             updater.reset()
         self.step_policy.reset()
         self.detector.reset()
+        self._prev_congested = None
         self.iteration = 0
         self.latencies = self._initial_latencies()
         if self.config.warm_start:

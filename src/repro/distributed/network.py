@@ -15,6 +15,7 @@ hands each agent its due messages at the start of a round, in send order.
 
 from __future__ import annotations
 
+import logging
 from collections import defaultdict
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -22,8 +23,11 @@ import numpy as np
 
 from repro.errors import DistributedError
 from repro.distributed.messages import Envelope, Payload
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["MessageBus"]
+
+logger = logging.getLogger(__name__)
 
 
 class MessageBus:
@@ -44,7 +48,8 @@ class MessageBus:
     """
 
     def __init__(self, delay: int = 0, jitter: int = 0,
-                 loss_probability: float = 0.0, seed: int = 0):
+                 loss_probability: float = 0.0, seed: int = 0,
+                 telemetry: Optional[Telemetry] = None):
         if delay < 0:
             raise DistributedError(f"delay must be >= 0, got {delay!r}")
         if jitter < 0:
@@ -63,18 +68,28 @@ class MessageBus:
         self.sent = 0
         self.delivered = 0
         self.dropped = 0
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._per_agent_sent: Dict[str, object] = {}
 
     # -- faults ------------------------------------------------------------------
 
     def partition(self, a: str, b: str) -> None:
         """Sever the (bidirectional) link between two agents."""
+        logger.warning("bus partition: %s <-/-> %s (round %d)",
+                       a, b, self.round)
         self._partitions.add((a, b))
         self._partitions.add((b, a))
+        if self.telemetry.tracer.enabled:
+            self.telemetry.tracer.emit("partition", a=a, b=b,
+                                       round=self.round)
 
     def heal(self, a: str, b: str) -> None:
         """Restore a severed link."""
+        logger.info("bus heal: %s <-> %s (round %d)", a, b, self.round)
         self._partitions.discard((a, b))
         self._partitions.discard((b, a))
+        if self.telemetry.tracer.enabled:
+            self.telemetry.tracer.emit("heal", a=a, b=b, round=self.round)
 
     def _is_partitioned(self, a: str, b: str) -> bool:
         return (a, b) in self._partitions
@@ -84,12 +99,20 @@ class MessageBus:
     def send(self, sender: str, receiver: str, payload: Payload) -> Optional[Envelope]:
         """Enqueue a message; returns the envelope, or ``None`` if dropped."""
         self.sent += 1
+        tel = self.telemetry
+        instrumented = tel.enabled
+        if instrumented:
+            self._count_send(sender)
         if self._is_partitioned(sender, receiver):
             self.dropped += 1
+            if instrumented:
+                self._count_drop(sender, receiver, payload, "partition")
             return None
         if self.loss_probability > 0.0 and \
                 self._rng.random() < self.loss_probability:
             self.dropped += 1
+            if instrumented:
+                self._count_drop(sender, receiver, payload, "loss")
             return None
         extra = int(self._rng.integers(0, self.jitter + 1)) if self.jitter else 0
         deliver_round = self.round + self.delay + extra
@@ -101,7 +124,50 @@ class MessageBus:
             deliver_round=deliver_round,
         )
         self._queue[deliver_round].append(envelope)
+        if instrumented:
+            if deliver_round > self.round:
+                tel.registry.counter(
+                    "bus.delayed_total",
+                    "messages queued past their send round",
+                ).inc()
+            tracer = tel.tracer
+            if tracer.enabled:
+                tracer.emit(
+                    "message_sent", sender=sender, receiver=receiver,
+                    payload=type(payload).__name__, send_round=self.round,
+                    deliver_round=deliver_round,
+                )
+                if deliver_round > self.round:
+                    tracer.emit(
+                        "message_delayed", sender=sender, receiver=receiver,
+                        payload=type(payload).__name__,
+                        delay_rounds=deliver_round - self.round,
+                    )
         return envelope
+
+    def _count_send(self, sender: str) -> None:
+        registry = self.telemetry.registry
+        registry.counter("bus.sent_total", "messages offered to the bus").inc()
+        counter = self._per_agent_sent.get(sender)
+        if counter is None:
+            counter = registry.counter(
+                f"bus.sent.{sender}", f"messages sent by agent {sender}"
+            )
+            self._per_agent_sent[sender] = counter
+        counter.inc()
+
+    def _count_drop(self, sender: str, receiver: str, payload: Payload,
+                    reason: str) -> None:
+        tel = self.telemetry
+        tel.registry.counter(
+            "bus.dropped_total", "messages dropped (loss or partition)"
+        ).inc()
+        if tel.tracer.enabled:
+            tel.tracer.emit(
+                "message_dropped", sender=sender, receiver=receiver,
+                payload=type(payload).__name__, reason=reason,
+                send_round=self.round,
+            )
 
     def deliver(self, receiver: str) -> List[Envelope]:
         """All messages due for ``receiver`` at the current round."""
@@ -112,6 +178,10 @@ class MessageBus:
                 env for env in due if env.receiver != receiver
             ]
             self.delivered += len(mine)
+            if self.telemetry.enabled:
+                self.telemetry.registry.counter(
+                    "bus.delivered_total", "messages handed to receivers"
+                ).inc(len(mine))
         return mine
 
     def advance(self) -> None:

@@ -20,6 +20,8 @@ the agents themselves never see global state.
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -30,10 +32,14 @@ from repro.distributed.agents import (
     ResourceAgent,
     TaskControllerAgent,
 )
+from repro.distributed.messages import PriceMessage
 from repro.distributed.network import MessageBus
 from repro.model.task import TaskSet
+from repro.telemetry import NULL_TELEMETRY, Telemetry, encode_record
 
 __all__ = ["DistributedConfig", "DistributedLLARuntime"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -61,16 +67,19 @@ class DistributedLLARuntime:
 
     def __init__(self, taskset: TaskSet,
                  config: Optional[DistributedConfig] = None,
-                 on_round: Optional[Callable[[IterationRecord], None]] = None):
+                 on_round: Optional[Callable[[IterationRecord], None]] = None,
+                 telemetry: Optional[Telemetry] = None):
         self.taskset = taskset
         self.config = config or DistributedConfig()
         self.on_round = on_round
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         cfg = self.config
         self.bus = MessageBus(
             delay=cfg.delay,
             jitter=cfg.jitter,
             loss_probability=cfg.loss_probability,
             seed=cfg.seed,
+            telemetry=telemetry,
         )
 
         def gamma_factory() -> LocalGamma:
@@ -105,6 +114,11 @@ class DistributedLLARuntime:
         self.activation = cfg.activation or EveryRound()
         self.round = 0
         self.history: List[IterationRecord] = []
+        # Price-staleness tracking: the round each controller last received
+        # a price message, for the dist.price_staleness_max gauge.
+        self._last_price_round: Dict[str, int] = {
+            agent.name: 0 for agent in self.controllers.values()
+        }
 
     # -- observation ----------------------------------------------------------
 
@@ -152,9 +166,17 @@ class DistributedLLARuntime:
 
     def step(self) -> IterationRecord:
         """One protocol round (controller phase, then resource phase)."""
+        instrumented = self.telemetry.enabled
+        if instrumented:
+            started = time.perf_counter()
         self.round += 1
         for controller in self.controllers.values():
-            controller.receive(self.bus.deliver(controller.name))
+            messages = self.bus.deliver(controller.name)
+            controller.receive(messages)
+            if instrumented and any(
+                    isinstance(env.payload, PriceMessage)
+                    for env in messages):
+                self._last_price_round[controller.name] = self.round
             if self.activation.is_active(controller.name, self.round):
                 controller.act(self.round)
         for agent in self.resources.values():
@@ -163,23 +185,84 @@ class DistributedLLARuntime:
                 agent.act(self.round)
         self.bus.advance()
         record = self._snapshot()
+        if instrumented:
+            self._observe_round(record, time.perf_counter() - started)
         if self.on_round is not None:
             self.on_round(record)
         return record
 
+    def _observe_round(self, record: IterationRecord,
+                       duration: float) -> None:
+        registry = self.telemetry.registry
+        registry.counter(
+            "dist.rounds_total", "protocol rounds executed").inc()
+        registry.timer(
+            "dist.round_seconds", "wall time per protocol round",
+            max_samples=4096,
+        ).observe(duration)
+        registry.gauge(
+            "dist.utility", "total utility at the last round").set(
+                record.utility)
+        staleness = max(
+            (self.round - last for last in self._last_price_round.values()),
+            default=0,
+        )
+        registry.gauge(
+            "dist.price_staleness_max",
+            "rounds since the most price-starved controller heard a price",
+        ).set(staleness)
+        if self.telemetry.tracer.enabled:
+            self.telemetry.tracer.emit(
+                "iteration", duration_s=duration, **encode_record(record))
+
     def run(self, rounds: Optional[int] = None) -> OptimizationResult:
         """Run a fixed number of rounds; returns the final global view."""
         budget = rounds or self.config.rounds
+        tracer = self.telemetry.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "run_started", runtime="distributed",
+                starting_round=self.round, budget=budget,
+                controllers=len(self.controllers),
+                resources=len(self.resources),
+                delay=self.bus.delay, jitter=self.bus.jitter,
+                loss_probability=self.bus.loss_probability,
+            )
+        debug = logger.isEnabledFor(logging.DEBUG)
         for _ in range(budget):
             record = self.step()
+            if debug:
+                logger.debug(
+                    "round %d: utility %.6f, %d in-flight messages, "
+                    "%d dropped", self.round, record.utility,
+                    self.bus.pending(), self.bus.dropped,
+                )
             if self.config.record_history:
                 self.history.append(record)
         latencies = self.global_latencies()
+        converged = self.taskset.is_feasible(latencies, tol=1e-2)
+        utility = self.taskset.total_utility(latencies)
+        if not converged:
+            logger.warning(
+                "distributed run ended infeasible after %d rounds "
+                "(utility %.6f, %d messages dropped)",
+                self.round, utility, self.bus.dropped,
+            )
+        if tracer.enabled:
+            tracer.emit(
+                "run_finished", runtime="distributed", converged=converged,
+                iterations=self.round, utility=float(utility),
+                sent=self.bus.sent, delivered=self.bus.delivered,
+                dropped=self.bus.dropped,
+            )
+            if self.telemetry.registry.enabled:
+                tracer.emit("metrics_snapshot",
+                            metrics=self.telemetry.registry.snapshot())
         return OptimizationResult(
-            converged=self.taskset.is_feasible(latencies, tol=1e-2),
+            converged=converged,
             iterations=self.round,
             latencies=latencies,
-            utility=self.taskset.total_utility(latencies),
+            utility=utility,
             resource_prices={
                 r: agent.price for r, agent in self.resources.items()
             },

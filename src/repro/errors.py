@@ -52,3 +52,8 @@ class SimulationError(ReproError):
 
 class DistributedError(ReproError):
     """A distributed-runtime agent or the message bus failed."""
+
+
+class TelemetryError(ReproError):
+    """A telemetry metric or trace sink was used inconsistently (kind
+    mismatch on a registered metric name, emit after close, …)."""

@@ -17,6 +17,8 @@ per-subtask enacted shares and the (raw and smoothed) error values.
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -27,8 +29,11 @@ from repro.errors import SimulationError
 from repro.model.share import CorrectedShare
 from repro.model.task import TaskSet
 from repro.sim.system import SimulatedSystem
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["EpochRecord", "ClosedLoopRuntime"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -62,17 +67,23 @@ class ClosedLoopRuntime:
         optimizer_steps_per_epoch: int = 400,
         exec_time_factor=None,
         enactment: Optional[EnactmentPolicy] = None,
+        recorder_max_samples: Optional[int] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         if window <= 0.0:
             raise SimulationError(f"window must be positive, got {window!r}")
         self.taskset = taskset
         self.window = float(window)
         self.correction_enabled = False
-        self.corrector = corrector or ErrorCorrector(taskset)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.corrector = corrector or ErrorCorrector(
+            taskset, telemetry=telemetry
+        )
         self.enactment = enactment or AlwaysEnact()
         self.optimizer = LLAOptimizer(
             taskset,
             optimizer_config or LLAConfig(max_iterations=2000),
+            telemetry=telemetry,
         )
         self.optimizer_steps_per_epoch = int(optimizer_steps_per_epoch)
         # Remember the raw (uncorrected) model per subtask: error is always
@@ -91,6 +102,8 @@ class ClosedLoopRuntime:
             quantum=quantum,
             seed=seed,
             exec_time_factor=exec_time_factor,
+            recorder_max_samples=recorder_max_samples,
+            telemetry=telemetry,
         )
         self.epoch = 0
         self.history: List[EpochRecord] = []
@@ -122,6 +135,9 @@ class ClosedLoopRuntime:
 
     def run_epoch(self) -> EpochRecord:
         """One control epoch: simulate a window, correct, re-optimize, enact."""
+        instrumented = self.telemetry.enabled
+        if instrumented:
+            started = time.perf_counter()
         self.epoch += 1
         self.system.run_for(self.window)
 
@@ -177,6 +193,27 @@ class ClosedLoopRuntime:
             utility=self.taskset.total_utility(self.latencies),
         )
         self.history.append(record)
+        logger.debug(
+            "epoch %d (t=%.1f): utility %.6f, enacted=%s, "
+            "correction=%s, %d corrections observed",
+            record.epoch, record.time, record.utility, record.enacted,
+            record.correction_enabled, len(raw_errors),
+        )
+        if instrumented:
+            registry = self.telemetry.registry
+            registry.counter(
+                "loop.epochs_total", "closed-loop control epochs").inc()
+            registry.timer(
+                "loop.epoch_seconds", "wall time per control epoch",
+                max_samples=4096,
+            ).observe(time.perf_counter() - started)
+            if self.telemetry.tracer.enabled:
+                self.telemetry.tracer.emit(
+                    "epoch", epoch=record.epoch, time=record.time,
+                    utility=float(record.utility), enacted=record.enacted,
+                    correction_enabled=record.correction_enabled,
+                    corrections=len(raw_errors),
+                )
         return record
 
     def run_epochs(self, count: int) -> List[EpochRecord]:

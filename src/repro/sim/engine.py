@@ -19,6 +19,7 @@ import math
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["EventHandle", "SimulationEngine"]
 
@@ -43,11 +44,13 @@ class EventHandle:
 class SimulationEngine:
     """Event loop with a virtual clock."""
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry: Optional[Telemetry] = None) -> None:
         self.now = 0.0
         self._heap: List[Tuple[float, int, int, EventHandle]] = []
         self._seq = itertools.count()
         self.processed = 0
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._events_counter = None
 
     def schedule(self, time: float, callback: Callable[[], None],
                  priority: int = 0) -> EventHandle:
@@ -85,6 +88,12 @@ class SimulationEngine:
             self.now = time
             handle.callback()
             self.processed += 1
+            if self.telemetry.enabled:
+                if self._events_counter is None:
+                    self._events_counter = self.telemetry.registry.counter(
+                        "sim.events_total", "simulation events processed"
+                    )
+                self._events_counter.inc()
             return True
         return False
 

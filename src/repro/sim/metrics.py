@@ -4,70 +4,125 @@ The recorder is what the online error corrector (Section 6.3) samples from:
 it keeps raw job latencies per subtask so callers can take arbitrary
 percentiles ("high percentile samples, greater than 90th, were used"), and
 job-set end-to-end latencies per task for SLA/utility accounting.
+
+Long closed-loop runs must not grow without bound, so the recorder takes an
+optional ``max_samples``: each per-subtask / per-task series becomes a tail
+window (ring buffer of the most recent samples), which is exactly what the
+percentile-based corrector wants — recent behaviour, O(1) memory.  Evicted
+samples are counted (:attr:`jobs_dropped` / :attr:`jobsets_dropped`) and,
+when a :class:`~repro.telemetry.Telemetry` is attached, exported through
+its registry as ``sim.recorder.jobs_dropped_total`` /
+``sim.recorder.jobsets_dropped_total``.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, List, Optional
+from collections import defaultdict, deque
+from typing import Deque, Dict, List, Optional
 
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["LatencyRecorder"]
 
 
 class LatencyRecorder:
-    """Accumulates job and job-set latencies with windowed draining."""
+    """Accumulates job and job-set latencies with windowed draining.
 
-    def __init__(self) -> None:
-        self._job_latencies: Dict[str, List[float]] = defaultdict(list)
-        self._jobset_latencies: Dict[str, List[float]] = defaultdict(list)
+    Parameters
+    ----------
+    max_samples:
+        Optional cap per series.  ``None`` (the default) retains every
+        sample, matching the original unbounded behaviour; with a cap, the
+        oldest samples are evicted ring-buffer style and counted as
+        dropped.
+    telemetry:
+        Optional telemetry context for the dropped-sample counters.
+    """
+
+    def __init__(self, max_samples: Optional[int] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
+        if max_samples is not None and max_samples < 1:
+            raise SimulationError(
+                f"max_samples must be >= 1, got {max_samples!r}"
+            )
+        self.max_samples = max_samples
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+
+        def _series() -> Deque[float]:
+            return deque(maxlen=max_samples)
+
+        self._job_latencies: Dict[str, Deque[float]] = defaultdict(_series)
+        self._jobset_latencies: Dict[str, Deque[float]] = defaultdict(_series)
         self.jobs_recorded = 0
         self.jobsets_recorded = 0
+        self.jobs_dropped = 0
+        self.jobsets_dropped = 0
 
     # -- recording ---------------------------------------------------------------
 
     def record_job(self, subtask: str, latency: float) -> None:
         if latency < 0.0:
             raise SimulationError(f"negative job latency {latency!r}")
-        self._job_latencies[subtask].append(latency)
+        series = self._job_latencies[subtask]
+        if series.maxlen is not None and len(series) == series.maxlen:
+            self.jobs_dropped += 1
+            if self.telemetry.enabled:
+                self.telemetry.registry.counter(
+                    "sim.recorder.jobs_dropped_total",
+                    "job-latency samples evicted from the tail window",
+                ).inc()
+        series.append(latency)
         self.jobs_recorded += 1
 
     def record_jobset(self, task: str, latency: float) -> None:
         if latency < 0.0:
             raise SimulationError(f"negative job-set latency {latency!r}")
-        self._jobset_latencies[task].append(latency)
+        series = self._jobset_latencies[task]
+        if series.maxlen is not None and len(series) == series.maxlen:
+            self.jobsets_dropped += 1
+            if self.telemetry.enabled:
+                self.telemetry.registry.counter(
+                    "sim.recorder.jobsets_dropped_total",
+                    "job-set latency samples evicted from the tail window",
+                ).inc()
+        series.append(latency)
         self.jobsets_recorded += 1
 
     # -- queries -----------------------------------------------------------------
 
     def job_latencies(self, subtask: str) -> List[float]:
-        return list(self._job_latencies.get(subtask, []))
+        return list(self._job_latencies.get(subtask, ()))
 
     def jobset_latencies(self, task: str) -> List[float]:
-        return list(self._jobset_latencies.get(task, []))
+        return list(self._jobset_latencies.get(task, ()))
 
     def job_count(self, subtask: str) -> int:
-        return len(self._job_latencies.get(subtask, []))
+        return len(self._job_latencies.get(subtask, ()))
+
+    @property
+    def dropped_samples(self) -> int:
+        """Total evictions across both series kinds."""
+        return self.jobs_dropped + self.jobsets_dropped
 
     def job_percentile(self, subtask: str, percentile: float) -> Optional[float]:
-        """Empirical percentile of a subtask's job latencies (``None`` when
-        no samples exist)."""
+        """Empirical percentile of a subtask's retained job latencies
+        (``None`` when no samples exist)."""
         samples = self._job_latencies.get(subtask)
         if not samples:
             return None
-        return float(np.percentile(samples, percentile))
+        return float(np.percentile(list(samples), percentile))
 
     def jobset_percentile(self, task: str, percentile: float) -> Optional[float]:
         samples = self._jobset_latencies.get(task)
         if not samples:
             return None
-        return float(np.percentile(samples, percentile))
+        return float(np.percentile(list(samples), percentile))
 
     def jobset_miss_rate(self, task: str, critical_time: float) -> Optional[float]:
-        """Fraction of job sets exceeding the critical time."""
+        """Fraction of retained job sets exceeding the critical time."""
         samples = self._jobset_latencies.get(task)
         if not samples:
             return None
@@ -78,8 +133,8 @@ class LatencyRecorder:
 
     def drain_jobs(self, subtask: str) -> List[float]:
         """Return and clear a subtask's samples (one correction window)."""
-        samples = self._job_latencies.pop(subtask, [])
-        return samples
+        samples = self._job_latencies.pop(subtask, ())
+        return list(samples)
 
     def clear(self) -> None:
         self._job_latencies.clear()

@@ -23,6 +23,7 @@ from repro.sim.engine import SimulationEngine
 from repro.sim.jobs import Job, JobSet
 from repro.sim.metrics import LatencyRecorder
 from repro.sim.resources import GPSResource, QuantumResource, _BaseResource
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["SimulatedSystem"]
 
@@ -51,6 +52,13 @@ class SimulatedSystem:
         worst case).  ``None`` means every job runs exactly its WCET.
     seed:
         Seed for arrival processes and demand randomization.
+    recorder_max_samples:
+        Optional per-series cap on the latency recorder (tail-window ring
+        buffer) so long closed-loop runs stay O(1) memory.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`: job/job-set latency
+        histograms, deadline-miss counters, per-resource queue-depth
+        gauges and event counts.
     """
 
     def __init__(
@@ -61,10 +69,18 @@ class SimulatedSystem:
         quantum: float = 1.0,
         exec_time_factor: Optional[Callable[[np.random.Generator], float]] = None,
         seed: int = 0,
+        recorder_max_samples: Optional[int] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.taskset = taskset
-        self.engine = SimulationEngine()
-        self.recorder = LatencyRecorder()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.engine = SimulationEngine(telemetry=telemetry)
+        self.recorder = LatencyRecorder(
+            max_samples=recorder_max_samples, telemetry=telemetry
+        )
+        self._critical_times = {
+            task.name: task.critical_time for task in taskset.tasks
+        }
         self.rng = np.random.default_rng(seed)
         self.exec_time_factor = exec_time_factor
         self.resources: Dict[str, _BaseResource] = {}
@@ -169,13 +185,51 @@ class SimulatedSystem:
 
     def _job_completed(self, job: Job) -> None:
         self.recorder.record_job(job.subtask, job.latency)
+        instrumented = self.telemetry.enabled
+        if instrumented:
+            self._observe_job(job)
         job_set: JobSet = job.job_set
         job_set.mark_completed(job.subtask, self.engine.now)
         if job_set.done:
             self.recorder.record_jobset(job_set.task.name, job_set.latency)
+            if instrumented:
+                self._observe_jobset(job_set)
         else:
             for succ in job_set.ready_successors(job.subtask):
                 self._release_job(job_set, succ)
+
+    def _observe_job(self, job: Job) -> None:
+        registry = self.telemetry.registry
+        registry.histogram(
+            "sim.job_latency_ms", "observed per-job latencies",
+            max_samples=8192,
+        ).observe(job.latency)
+        resource = self._subtask_resource[job.subtask]
+        depth = sum(
+            len(flow.queue)
+            for flow in self.resources[resource].flows.values()
+        )
+        registry.gauge(
+            f"sim.queue_depth.{resource}",
+            f"jobs queued on resource {resource}",
+        ).set(depth)
+
+    def _observe_jobset(self, job_set: JobSet) -> None:
+        registry = self.telemetry.registry
+        registry.histogram(
+            "sim.jobset_latency_ms", "observed end-to-end job-set latencies",
+            max_samples=8192,
+        ).observe(job_set.latency)
+        task = job_set.task.name
+        if job_set.latency > self._critical_times[task]:
+            registry.counter(
+                "sim.deadline_misses_total",
+                "job sets finishing past their critical time",
+            ).inc()
+            registry.counter(
+                f"sim.deadline_misses.{task}",
+                f"deadline misses of task {task}",
+            ).inc()
 
     def _schedule_arrivals(self, until: float) -> None:
         """Pre-schedule trigger arrivals in ``[scheduled_so_far, until)``.

@@ -1,0 +1,83 @@
+"""Unified telemetry: metrics registry, structured tracing, trace replay.
+
+Three pieces, designed to be threaded through every execution layer of the
+reproduction (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.telemetry.metrics` — counters, gauges, histograms with
+  percentile readout, and wall-clock timers, collected in a
+  :class:`MetricsRegistry` whose writes no-op when disabled;
+* :mod:`repro.telemetry.tracing` — a :class:`Tracer` emitting structured
+  :class:`TraceEvent` records (JSONL spans/events) to pluggable sinks;
+* :mod:`repro.telemetry.replay` — parse a JSONL trace back into
+  :class:`~repro.core.state.IterationRecord` objects and summarize it with
+  the existing :mod:`repro.analysis.trace` diagnostics.
+
+:class:`Telemetry` bundles one registry and one tracer; every instrumented
+constructor accepts ``telemetry=None`` meaning "fully off, near-zero cost".
+"""
+
+from repro.telemetry.hub import (
+    NULL_TELEMETRY,
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    default_registry,
+    set_default_registry,
+)
+from repro.telemetry.replay import (
+    decode_record,
+    encode_record,
+    event_counts,
+    records_from_trace,
+    records_from_trace_file,
+    summarize_trace_file,
+)
+from repro.telemetry.tracing import (
+    InMemorySink,
+    JsonlFileSink,
+    LoggingSink,
+    TraceEvent,
+    TraceSink,
+    Tracer,
+    iter_trace,
+    read_trace,
+)
+
+__all__ = [
+    # hub
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "get_telemetry",
+    "set_telemetry",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "default_registry",
+    "set_default_registry",
+    # tracing
+    "TraceEvent",
+    "TraceSink",
+    "InMemorySink",
+    "JsonlFileSink",
+    "LoggingSink",
+    "Tracer",
+    "read_trace",
+    "iter_trace",
+    # replay
+    "encode_record",
+    "decode_record",
+    "records_from_trace",
+    "records_from_trace_file",
+    "summarize_trace_file",
+    "event_counts",
+]

@@ -1,0 +1,94 @@
+"""The :class:`Telemetry` facade: one registry + one tracer per context.
+
+Every instrumented component (optimizer, bus, runtime, simulator) takes an
+optional ``telemetry`` argument.  ``None`` means :data:`NULL_TELEMETRY` — a
+permanently disabled instance whose every operation is a no-op — so the
+instrumentation can stay unconditional in the code while costing a single
+``enabled`` check per hot-path call site.
+
+Typical usage::
+
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry.to_file("run.jsonl")   # tracer → JSONL, metrics on
+    result = LLAOptimizer(taskset, config, telemetry=telemetry).run()
+    telemetry.close()                            # flush the sink
+    print(telemetry.registry.snapshot())
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.telemetry.metrics import MetricsRegistry, default_registry
+from repro.telemetry.tracing import JsonlFileSink, Tracer, TraceSink
+
+__all__ = ["Telemetry", "NULL_TELEMETRY", "get_telemetry", "set_telemetry"]
+
+
+class Telemetry:
+    """A metrics registry and an event tracer traveling together."""
+
+    __slots__ = ("registry", "tracer")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+
+    @property
+    def enabled(self) -> bool:
+        """True when either metrics collection or tracing is live."""
+        return self.registry.enabled or self.tracer.enabled
+
+    # -- constructors -------------------------------------------------------------
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        """A fresh, fully inert instance (enable later if wanted)."""
+        return cls(MetricsRegistry(enabled=False), Tracer())
+
+    @classmethod
+    def to_file(cls, path: str,
+                registry: Optional[MetricsRegistry] = None) -> "Telemetry":
+        """Metrics on, tracing into a JSONL file at ``path``."""
+        return cls(registry, Tracer([JsonlFileSink(path)]))
+
+    @classmethod
+    def in_memory(cls) -> "Telemetry":
+        """Metrics on, tracing into an in-memory sink (tests)."""
+        from repro.telemetry.tracing import InMemorySink
+        return cls(MetricsRegistry(), Tracer([InMemorySink()]))
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def add_sink(self, sink: TraceSink) -> TraceSink:
+        return self.tracer.add_sink(sink)
+
+    def close(self) -> None:
+        """Flush and close every trace sink."""
+        self.tracer.close()
+
+
+#: Shared inert instance used when a component gets ``telemetry=None``.
+#: Do not attach sinks or enable its registry — allocate a real
+#: :class:`Telemetry` instead.
+NULL_TELEMETRY = Telemetry(MetricsRegistry(enabled=False), Tracer())
+
+_process_telemetry: Optional[Telemetry] = None
+
+
+def get_telemetry() -> Telemetry:
+    """The process-global telemetry (wraps the default metrics registry)."""
+    global _process_telemetry
+    if _process_telemetry is None:
+        _process_telemetry = Telemetry(default_registry(), Tracer())
+    return _process_telemetry
+
+
+def set_telemetry(telemetry: Telemetry) -> Optional[Telemetry]:
+    """Replace the process-global telemetry; returns the previous one."""
+    global _process_telemetry
+    previous = _process_telemetry
+    _process_telemetry = telemetry
+    return previous

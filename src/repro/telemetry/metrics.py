@@ -1,0 +1,326 @@
+"""Metric primitives: counters, gauges, histograms and timers.
+
+The registry is the unit of collection: every metric belongs to exactly
+one :class:`MetricsRegistry`, is created lazily by name (get-or-create),
+and checks its registry's ``enabled`` flag on every write so a disabled
+registry costs one attribute read per operation — cheap enough to leave
+instrumentation permanently compiled into the hot paths.
+
+A process-global default registry (:func:`default_registry`) exists for
+code that wants ambient metrics without threading a registry through every
+constructor; library components, however, always take an explicit
+:class:`~repro.telemetry.hub.Telemetry` so tests can isolate collection.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import deque
+from typing import Deque, Dict, Iterator, Optional
+
+import numpy as np
+
+from repro.errors import TelemetryError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "default_registry",
+    "set_default_registry",
+]
+
+
+class _Metric:
+    """Common naming/ownership plumbing for all metric kinds."""
+
+    kind = "metric"
+    __slots__ = ("name", "description", "_registry")
+
+    def __init__(self, name: str, description: str = "",
+                 registry: Optional["MetricsRegistry"] = None):
+        if not name:
+            raise TelemetryError("metric name must be non-empty")
+        self.name = name
+        self.description = description
+        self._registry = registry
+
+    @property
+    def enabled(self) -> bool:
+        return self._registry is None or self._registry.enabled
+
+    def snapshot(self) -> Dict[str, object]:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """A monotonically increasing count (messages sent, iterations run)."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, description: str = "",
+                 registry: Optional["MetricsRegistry"] = None):
+        super().__init__(name, description, registry)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0.0:
+            raise TelemetryError(
+                f"counter {self.name!r} cannot decrease (inc {amount!r})"
+            )
+        if self.enabled:
+            self.value += amount
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"type": self.kind, "value": self.value}
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Gauge(_Metric):
+    """A point-in-time value (current utility, queue depth, staleness)."""
+
+    kind = "gauge"
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, description: str = "",
+                 registry: Optional["MetricsRegistry"] = None):
+        super().__init__(name, description, registry)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        if self.enabled:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if self.enabled:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        if self.enabled:
+            self.value -= amount
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"type": self.kind, "value": self.value}
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Histogram(_Metric):
+    """A distribution with percentile readout.
+
+    Running aggregates (count, sum, min, max) cover *every* observation;
+    percentiles are computed over the retained sample window.  With
+    ``max_samples`` set, retention is a tail window (a ring buffer of the
+    most recent observations) so long runs stay O(1) memory; the number of
+    evicted samples is reported as ``dropped``.
+    """
+
+    kind = "histogram"
+    __slots__ = ("max_samples", "_samples", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, description: str = "",
+                 registry: Optional["MetricsRegistry"] = None,
+                 max_samples: Optional[int] = None):
+        super().__init__(name, description, registry)
+        if max_samples is not None and max_samples < 1:
+            raise TelemetryError(
+                f"max_samples must be >= 1, got {max_samples!r}"
+            )
+        self.max_samples = max_samples
+        self._samples: Deque[float] = deque(maxlen=max_samples)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        if not self.enabled:
+            return
+        value = float(value)
+        self._samples.append(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def dropped(self) -> int:
+        """Observations evicted from the retained window."""
+        return self.count - len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, percentile: float) -> Optional[float]:
+        """Empirical percentile over the retained window (``None`` when
+        no samples have been observed)."""
+        if not self._samples:
+            return None
+        return float(np.percentile(list(self._samples), percentile))
+
+    def values(self) -> list:
+        """The retained sample window, oldest first."""
+        return list(self._samples)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "type": self.kind,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "p50": self.percentile(50.0),
+            "p90": self.percentile(90.0),
+            "p99": self.percentile(99.0),
+            "dropped": self.dropped,
+        }
+
+    def reset(self) -> None:
+        self._samples.clear()
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+
+class _TimerContext:
+    """Measures one wall-clock interval into a timer's histogram."""
+
+    __slots__ = ("_timer", "_start")
+
+    def __init__(self, timer: "Timer"):
+        self._timer = timer
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._timer.observe(time.perf_counter() - self._start)
+
+
+class Timer(Histogram):
+    """A histogram of wall-clock durations in seconds."""
+
+    kind = "timer"
+    __slots__ = ()
+
+    def time(self) -> _TimerContext:
+        """Context manager recording the elapsed wall time on exit."""
+        return _TimerContext(self)
+
+
+class MetricsRegistry:
+    """Named collection of metrics with a global enable switch.
+
+    Metrics are created on first access (get-or-create by name); asking
+    for an existing name with a different kind raises
+    :class:`~repro.errors.TelemetryError`.  Disabling the registry turns
+    every metric write into a no-op without detaching any handles.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self._metrics: Dict[str, _Metric] = {}
+        self.enabled = bool(enabled)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    # -- access ------------------------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, description: str, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is not None:
+            if not isinstance(metric, cls) or metric.kind != cls.kind:
+                raise TelemetryError(
+                    f"metric {name!r} already registered as "
+                    f"{metric.kind}, requested {cls.kind}"
+                )
+            return metric
+        metric = cls(name, description, registry=self, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        return self._get_or_create(Counter, name, description)
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, description)
+
+    def histogram(self, name: str, description: str = "",
+                  max_samples: Optional[int] = None) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, description, max_samples=max_samples
+        )
+
+    def timer(self, name: str, description: str = "",
+              max_samples: Optional[int] = None) -> Timer:
+        return self._get_or_create(
+            Timer, name, description, max_samples=max_samples
+        )
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> list:
+        return sorted(self._metrics)
+
+    def __iter__(self) -> Iterator[_Metric]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # -- readout -----------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-safe dump of every metric, sorted by name."""
+        return {
+            name: self._metrics[name].snapshot()
+            for name in sorted(self._metrics)
+        }
+
+    def reset(self) -> None:
+        """Zero every metric (handles stay valid)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def clear(self) -> None:
+        """Drop every metric (existing handles become orphans)."""
+        self._metrics.clear()
+
+
+_default_registry = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-global registry."""
+    return _default_registry
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the process-global registry; returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous

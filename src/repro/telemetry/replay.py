@@ -1,0 +1,123 @@
+"""Trace replay: JSONL events back into optimizer-native structures.
+
+``iteration`` events carry a complete, JSON-safe encoding of the
+:class:`~repro.core.state.IterationRecord` the run observed, so a trace
+file on disk can be replayed into the exact same
+:class:`~repro.analysis.trace.TraceSummary` the in-process history would
+produce — the property the ``repro trace`` CLI command and the round-trip
+tests rely on.
+
+Encoding notes: :class:`~repro.core.state.PathKey` tuples become
+``[task, index]`` JSON arrays (as dict keys they appear flattened into a
+``[task, index, value]`` triple list), and every float passes through
+``repr``-exact JSON so values survive the round trip bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, TYPE_CHECKING
+
+from repro.core.state import IterationRecord, PathKey
+from repro.errors import TelemetryError
+from repro.telemetry.tracing import TraceEvent, read_trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.trace import TraceSummary
+
+__all__ = [
+    "encode_record",
+    "decode_record",
+    "records_from_trace",
+    "records_from_trace_file",
+    "summarize_trace_file",
+    "event_counts",
+]
+
+
+def encode_record(record: IterationRecord) -> Dict[str, Any]:
+    """JSON-safe dict encoding of one iteration record."""
+    return {
+        "iteration": int(record.iteration),
+        "utility": float(record.utility),
+        "latencies": {k: float(v) for k, v in record.latencies.items()},
+        "resource_prices": {
+            k: float(v) for k, v in record.resource_prices.items()
+        },
+        "path_prices": [
+            [key.task, int(key.index), float(price)]
+            for key, price in record.path_prices.items()
+        ],
+        "resource_loads": {
+            k: float(v) for k, v in record.resource_loads.items()
+        },
+        "congested_resources": list(record.congested_resources),
+        "congested_paths": [
+            [key.task, int(key.index)] for key in record.congested_paths
+        ],
+        "critical_paths": {
+            k: float(v) for k, v in record.critical_paths.items()
+        },
+    }
+
+
+def decode_record(data: Dict[str, Any]) -> IterationRecord:
+    """Inverse of :func:`encode_record`."""
+    try:
+        return IterationRecord(
+            iteration=int(data["iteration"]),
+            utility=float(data["utility"]),
+            latencies=dict(data["latencies"]),
+            resource_prices=dict(data["resource_prices"]),
+            path_prices={
+                PathKey(task, int(index)): price
+                for task, index, price in data["path_prices"]
+            },
+            resource_loads=dict(data["resource_loads"]),
+            congested_resources=tuple(data["congested_resources"]),
+            congested_paths=tuple(
+                PathKey(task, int(index))
+                for task, index in data["congested_paths"]
+            ),
+            critical_paths=dict(data["critical_paths"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TelemetryError(f"malformed iteration event: {exc}") from exc
+
+
+def records_from_trace(
+    events: Iterable[TraceEvent],
+) -> List[IterationRecord]:
+    """Rebuild the iteration history carried by a stream of events."""
+    return [
+        decode_record(event.data)
+        for event in events
+        if event.kind == "iteration"
+    ]
+
+
+def records_from_trace_file(path: str) -> List[IterationRecord]:
+    return records_from_trace(read_trace(path))
+
+
+def summarize_trace_file(path: str, band: float = 0.5) -> "TraceSummary":
+    """Replay a JSONL trace file into a :class:`TraceSummary`.
+
+    Raises :class:`~repro.errors.TelemetryError` when the file holds no
+    ``iteration`` events (nothing to summarize).
+    """
+    # Imported lazily: repro.analysis pulls in the optimizer, which itself
+    # imports repro.telemetry (instrumentation) — eager import would cycle.
+    from repro.analysis.trace import summarize_trace
+
+    records = records_from_trace_file(path)
+    if not records:
+        raise TelemetryError(f"no iteration events in trace {path!r}")
+    return summarize_trace(records, band=band)
+
+
+def event_counts(events: Sequence[TraceEvent]) -> Dict[str, int]:
+    """``{kind: count}`` over a trace, sorted by kind."""
+    counts: Dict[str, int] = {}
+    for event in events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    return dict(sorted(counts.items()))

@@ -1,0 +1,227 @@
+"""Structured event tracing with pluggable sinks.
+
+A :class:`Tracer` turns instrumentation points into :class:`TraceEvent`
+records and fans them out to sinks.  The tracer with no sinks is a no-op
+(one attribute check per call site), so instrumented code never needs a
+"tracing on?" branch of its own.
+
+Event kinds emitted by the instrumented layers (see
+``docs/OBSERVABILITY.md`` for the full schema):
+
+========================  =====================================================
+kind                      emitted by
+========================  =====================================================
+``run_started``           optimizer / distributed runtime / closed loop
+``iteration``             one per LLA iteration or protocol round
+``price_update``          resource-price movement within an iteration
+``congestion_flip``       the congested resource/path set changed
+``convergence``           the convergence detector fired
+``run_finished``          end of a run (converged flag, final utility)
+``correction_applied``    §6.3 model-error correction installed
+``message_sent``          bus accepted an envelope
+``message_dropped``       bus dropped a message (loss or partition)
+``message_delayed``       bus queued a message beyond the current round
+``partition`` / ``heal``  bus link state changes
+``epoch``                 one closed-loop control epoch
+``metrics_snapshot``      registry dump at the end of a traced run
+========================  =====================================================
+
+The on-disk format is JSONL: one ``{"kind": ..., "ts": ..., "data": {...}}``
+object per line, readable back with :func:`read_trace`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import logging
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, Iterable, List, Optional, Union
+
+from repro.errors import TelemetryError
+
+__all__ = [
+    "TraceEvent",
+    "TraceSink",
+    "InMemorySink",
+    "JsonlFileSink",
+    "LoggingSink",
+    "Tracer",
+    "read_trace",
+    "iter_trace",
+]
+
+
+@dataclass
+class TraceEvent:
+    """One structured occurrence: a kind, a wall-clock stamp and a payload."""
+
+    kind: str
+    ts: float
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"kind": self.kind, "ts": self.ts, "data": self.data},
+            default=_jsonable,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEvent":
+        try:
+            raw = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TelemetryError(f"malformed trace line: {exc}") from exc
+        if not isinstance(raw, dict) or "kind" not in raw:
+            raise TelemetryError(f"not a trace event: {line[:80]!r}")
+        return cls(
+            kind=str(raw["kind"]),
+            ts=float(raw.get("ts", 0.0)),
+            data=dict(raw.get("data") or {}),
+        )
+
+
+def _jsonable(value: Any) -> Any:
+    """Last-resort JSON encoder: dataclasses, numpy scalars, then str."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return dataclasses.asdict(value)
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    if isinstance(value, (set, frozenset, tuple)):
+        return list(value)
+    return str(value)
+
+
+class TraceSink:
+    """Receives emitted events.  Subclasses override :meth:`emit`."""
+
+    def emit(self, event: TraceEvent) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+
+class InMemorySink(TraceSink):
+    """Collects events in a list (tests, interactive inspection)."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [ev for ev in self.events if ev.kind == kind]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class JsonlFileSink(TraceSink):
+    """Appends one JSON object per event to a file.
+
+    Accepts a path (opened/owned by the sink) or an open text handle
+    (borrowed; ``close()`` only flushes it).
+    """
+
+    def __init__(self, target: Union[str, "os.PathLike[str]", IO[str]],
+                 mode: str = "w"):
+        if isinstance(target, (str, os.PathLike)):
+            self._handle: IO[str] = open(target, mode)
+            self._owns_handle = True
+            self.path: Optional[str] = os.fspath(target)
+        else:
+            self._handle = target
+            self._owns_handle = False
+            self.path = getattr(target, "name", None)
+        self._closed = False
+
+    def emit(self, event: TraceEvent) -> None:
+        if self._closed:
+            raise TelemetryError(
+                f"emit on closed JSONL sink {self.path!r}"
+            )
+        self._handle.write(event.to_json() + "\n")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._handle.flush()
+        if self._owns_handle:
+            self._handle.close()
+        self._closed = True
+
+
+class LoggingSink(TraceSink):
+    """Bridges events into stdlib :mod:`logging`."""
+
+    def __init__(self, logger: Optional[logging.Logger] = None,
+                 level: int = logging.DEBUG):
+        self.logger = logger or logging.getLogger("repro.telemetry")
+        self.level = level
+
+    def emit(self, event: TraceEvent) -> None:
+        if self.logger.isEnabledFor(self.level):
+            self.logger.log(
+                self.level, "%s %s", event.kind,
+                json.dumps(event.data, default=_jsonable, sort_keys=True),
+            )
+
+
+class Tracer:
+    """Fans events out to zero or more sinks.
+
+    With no sinks attached, :attr:`enabled` is ``False`` and ``emit`` is
+    never called by well-behaved instrumentation (and is a cheap early
+    return if it is).
+    """
+
+    def __init__(self, sinks: Iterable[TraceSink] = ()):
+        self._sinks: List[TraceSink] = list(sinks)
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self._sinks)
+
+    @property
+    def sinks(self) -> List[TraceSink]:
+        return list(self._sinks)
+
+    def add_sink(self, sink: TraceSink) -> TraceSink:
+        self._sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink: TraceSink) -> None:
+        self._sinks.remove(sink)
+
+    def emit(self, kind: str, **data: Any) -> Optional[TraceEvent]:
+        """Build and dispatch one event; returns it (``None`` when off)."""
+        if not self._sinks:
+            return None
+        event = TraceEvent(kind=kind, ts=time.time(), data=data)
+        for sink in self._sinks:
+            sink.emit(event)
+        return event
+
+    def close(self) -> None:
+        """Close every sink and detach them."""
+        for sink in self._sinks:
+            sink.close()
+        self._sinks.clear()
+
+
+def iter_trace(path: str) -> Iterable[TraceEvent]:
+    """Stream events from a JSONL trace file (blank lines skipped)."""
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield TraceEvent.from_json(line)
+
+
+def read_trace(path: str) -> List[TraceEvent]:
+    """Load a whole JSONL trace file into memory."""
+    return list(iter_trace(path))

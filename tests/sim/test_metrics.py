@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.sim.metrics import LatencyRecorder
+from repro.telemetry import Telemetry
 
 
 class TestRecorder:
@@ -57,3 +58,48 @@ class TestRecorder:
         rec.clear()
         assert rec.job_count("a") == 0
         assert rec.jobset_latencies("t") == []
+
+
+class TestBoundedRecorder:
+    def test_unbounded_by_default(self):
+        rec = LatencyRecorder()
+        for v in range(10_000):
+            rec.record_job("a", float(v))
+        assert rec.job_count("a") == 10_000
+        assert rec.dropped_samples == 0
+
+    def test_ring_buffer_keeps_newest(self):
+        rec = LatencyRecorder(max_samples=5)
+        for v in range(1, 11):
+            rec.record_job("a", float(v))
+        assert rec.job_latencies("a") == [6.0, 7.0, 8.0, 9.0, 10.0]
+        assert rec.jobs_dropped == 5
+        assert rec.dropped_samples == 5
+
+    def test_jobset_cap_counted_separately(self):
+        rec = LatencyRecorder(max_samples=2)
+        for v in (1.0, 2.0, 3.0):
+            rec.record_jobset("t", v)
+        assert rec.jobset_latencies("t") == [2.0, 3.0]
+        assert rec.jobsets_dropped == 1
+        assert rec.jobs_dropped == 0
+
+    def test_percentile_over_retained_window(self):
+        rec = LatencyRecorder(max_samples=10)
+        for v in range(1, 101):
+            rec.record_job("a", float(v))
+        assert rec.job_percentile("a", 0) == pytest.approx(91.0)
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(SimulationError):
+            LatencyRecorder(max_samples=0)
+
+    def test_drop_counters_reach_registry(self):
+        telemetry = Telemetry.in_memory()
+        rec = LatencyRecorder(max_samples=2, telemetry=telemetry)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            rec.record_job("a", v)
+        rec.record_jobset("t", 1.0)
+        snap = telemetry.registry.snapshot()
+        assert snap["sim.recorder.jobs_dropped_total"]["value"] == 2.0
+        assert "sim.recorder.jobsets_dropped_total" not in snap

@@ -1,0 +1,162 @@
+"""Unit tests for the metrics registry."""
+
+import json
+import time
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import MetricsRegistry, default_registry, set_default_registry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits", "number of hits")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_rejects_negative_increment(self):
+        c = MetricsRegistry().counter("hits")
+        with pytest.raises(TelemetryError):
+            c.inc(-1.0)
+
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("hits") is reg.counter("hits")
+
+    def test_kind_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("hits")
+        with pytest.raises(TelemetryError):
+            reg.gauge("hits")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(10.0)
+        g.inc(2.0)
+        g.dec(5.0)
+        assert g.value == pytest.approx(7.0)
+
+
+class TestHistogram:
+    def test_running_stats(self):
+        h = MetricsRegistry().histogram("lat")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(10.0)
+        assert h.min == pytest.approx(1.0)
+        assert h.max == pytest.approx(4.0)
+        assert h.mean == pytest.approx(2.5)
+
+    def test_percentile(self):
+        h = MetricsRegistry().histogram("lat")
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.percentile(50) == pytest.approx(50.5)
+        assert h.percentile(99) == pytest.approx(99.01)
+
+    def test_empty_percentile_is_none(self):
+        h = MetricsRegistry().histogram("lat")
+        assert h.percentile(50) is None
+        assert h.mean == 0.0
+
+    def test_window_cap_keeps_running_stats_exact(self):
+        h = MetricsRegistry().histogram("lat", max_samples=10)
+        for v in range(1, 101):
+            h.observe(float(v))
+        # Running aggregates cover every observation ...
+        assert h.count == 100
+        assert h.sum == pytest.approx(5050.0)
+        assert h.min == pytest.approx(1.0)
+        # ... while percentiles see only the retained tail window.
+        assert h.dropped == 90
+        assert sorted(h.values()) == [float(v) for v in range(91, 101)]
+        assert h.percentile(0) == pytest.approx(91.0)
+
+    def test_rejects_bad_max_samples(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry().histogram("lat", max_samples=0)
+
+
+class TestTimer:
+    def test_context_manager_records_elapsed(self):
+        t = MetricsRegistry().timer("span")
+        with t.time():
+            time.sleep(0.01)
+        assert t.count == 1
+        # Generous bounds: sleep may overshoot, never undershoot.
+        assert 0.009 <= t.sum < 1.0
+
+    def test_observe_direct(self):
+        t = MetricsRegistry().timer("span")
+        t.observe(0.5)
+        assert t.mean == pytest.approx(0.5)
+
+
+class TestDisabledRegistry:
+    def test_writes_are_noops(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("hits")
+        g = reg.gauge("depth")
+        h = reg.histogram("lat")
+        t = reg.timer("span")
+        c.inc(5.0)
+        g.set(9.0)
+        h.observe(1.0)
+        with t.time():
+            pass
+        assert c.value == 0.0
+        assert g.value == 0.0
+        assert h.count == 0
+        assert t.count == 0
+
+    def test_enable_disable_toggle(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("hits")
+        c.inc()
+        reg.enable()
+        c.inc()
+        reg.disable()
+        c.inc()
+        assert c.value == 1.0
+
+
+class TestRegistry:
+    def test_snapshot_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(3.0)
+        reg.gauge("depth").set(1.5)
+        reg.histogram("lat").observe(2.0)
+        snap = reg.snapshot()
+        decoded = json.loads(json.dumps(snap))
+        assert decoded["hits"]["value"] == 3.0
+        assert decoded["lat"]["count"] == 1
+
+    def test_reset_zeroes_but_keeps_metrics(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits")
+        c.inc(4.0)
+        reg.reset()
+        assert c.value == 0.0
+        assert reg.counter("hits") is c
+
+    def test_clear_forgets_metrics(self):
+        reg = MetricsRegistry()
+        reg.counter("hits")
+        reg.clear()
+        assert len(reg) == 0
+
+    def test_default_registry_swap(self):
+        original = default_registry()
+        replacement = MetricsRegistry()
+        try:
+            set_default_registry(replacement)
+            assert default_registry() is replacement
+        finally:
+            set_default_registry(original)

@@ -1,0 +1,101 @@
+"""Unit tests for the structured event tracer and its sinks."""
+
+import logging
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    InMemorySink,
+    JsonlFileSink,
+    LoggingSink,
+    TraceEvent,
+    Tracer,
+    read_trace,
+)
+
+
+class TestTraceEvent:
+    def test_json_round_trip(self):
+        event = TraceEvent(kind="iteration", ts=1.5,
+                           data={"utility": 3.25, "paths": [[1, 2]]})
+        decoded = TraceEvent.from_json(event.to_json())
+        assert decoded == event
+
+    def test_repr_exact_floats_survive(self):
+        value = 0.1 + 0.2  # not representable exactly; must round-trip bitwise
+        event = TraceEvent(kind="x", ts=0.0, data={"v": value})
+        assert TraceEvent.from_json(event.to_json()).data["v"] == value
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(TelemetryError):
+            TraceEvent.from_json("not json at all {")
+        with pytest.raises(TelemetryError):
+            TraceEvent.from_json('{"missing": "fields"}')
+
+
+class TestTracer:
+    def test_no_sinks_is_disabled_noop(self):
+        tracer = Tracer()
+        assert not tracer.enabled
+        tracer.emit("iteration", utility=1.0)  # must not raise
+
+    def test_in_memory_sink_captures_events(self):
+        sink = InMemorySink()
+        tracer = Tracer([sink])
+        assert tracer.enabled
+        tracer.emit("run_started", runtime="optimizer")
+        tracer.emit("iteration", utility=2.0)
+        tracer.emit("iteration", utility=3.0)
+        assert [e.kind for e in sink.events] == \
+            ["run_started", "iteration", "iteration"]
+        assert [e.data["utility"] for e in sink.of_kind("iteration")] == \
+            [2.0, 3.0]
+
+    def test_add_remove_sink(self):
+        sink = InMemorySink()
+        tracer = Tracer()
+        tracer.add_sink(sink)
+        tracer.emit("x")
+        tracer.remove_sink(sink)
+        assert not tracer.enabled
+        tracer.emit("y")
+        assert [e.kind for e in sink.events] == ["x"]
+
+
+class TestJsonlFileSink:
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tracer = Tracer([JsonlFileSink(path)])
+        tracer.emit("run_started", runtime="optimizer", budget=100)
+        tracer.emit("iteration", utility=1.25)
+        tracer.close()
+        events = read_trace(path)
+        assert len(events) == 2
+        assert events[0].kind == "run_started"
+        assert events[0].data["budget"] == 100
+        assert events[1].data["utility"] == 1.25
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JsonlFileSink(tmp_path / "run.jsonl")
+        sink.close()
+        with pytest.raises(TelemetryError):
+            sink.emit(TraceEvent(kind="x", ts=0.0, data={}))
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tracer = Tracer([JsonlFileSink(path)])
+        tracer.emit("a")
+        tracer.close()
+        path.write_text(path.read_text() + "\n\n")
+        assert [e.kind for e in read_trace(path)] == ["a"]
+
+
+class TestLoggingSink:
+    def test_bridges_to_stdlib_logging(self, caplog):
+        logger = logging.getLogger("repro.test.tracebridge")
+        tracer = Tracer([LoggingSink(logger, level=logging.INFO)])
+        with caplog.at_level(logging.INFO, logger=logger.name):
+            tracer.emit("convergence", iteration=42)
+        assert any("convergence" in rec.message and "42" in rec.message
+                   for rec in caplog.records)

@@ -56,6 +56,47 @@ class TestOptimize:
             main(["optimize", "/nonexistent/workload.json"])
 
 
+class TestTraceCommands:
+    @pytest.fixture
+    def trace_file(self, tmp_path, capsys):
+        wl = tmp_path / "wl.json"
+        main(["export-workload", "base", "-o", str(wl)])
+        trace = tmp_path / "run.jsonl"
+        assert main(["optimize", str(wl), "--warm-start",
+                     "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        return trace
+
+    def test_optimize_writes_trace(self, trace_file):
+        lines = trace_file.read_text().splitlines()
+        assert len(lines) > 100
+        first = json.loads(lines[0])
+        assert first["kind"] == "run_started"
+
+    def test_trace_summarizes(self, trace_file, capsys):
+        assert main(["trace", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "iterations:" in out
+        assert "final utility:" in out
+        assert "converged cleanly:" in out
+
+    def test_stats_counts_events(self, trace_file, capsys):
+        assert main(["stats", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "iteration" in out
+        assert "run_finished" in out
+
+    def test_trace_missing_file(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "/nonexistent/run.jsonl"])
+
+    def test_trace_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not json\n")
+        with pytest.raises(SystemExit):
+            main(["trace", str(bad)])
+
+
 class TestCheck:
     def test_schedulable_exit_zero(self, tmp_path, capsys):
         wl = tmp_path / "wl.json"
