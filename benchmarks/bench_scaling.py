@@ -20,7 +20,8 @@ _BENCH = _report.bench_name(__file__)
 
 
 def _mean_iteration_cost(n_tasks: int, n_resources: int,
-                         iterations: int = 300) -> float:
+                         iterations: int = 300,
+                         backend: str = "scalar") -> float:
     taskset = random_workload(
         GeneratorConfig(
             n_tasks=n_tasks, n_resources=n_resources,
@@ -28,7 +29,9 @@ def _mean_iteration_cost(n_tasks: int, n_resources: int,
         ),
         seed=123,
     )
-    optimizer = LLAOptimizer(taskset, LLAConfig(record_history=False))
+    optimizer = LLAOptimizer(
+        taskset, LLAConfig(record_history=False, backend=backend)
+    )
     start = time.perf_counter()
     for _ in range(iterations):
         optimizer.step()
@@ -58,6 +61,28 @@ def test_iteration_cost_scales_linearly(benchmark):
     for (cost, n) in points:
         _report.record_value(
             _BENCH, f"iterations_per_sec.{n}_subtasks", 1.0 / cost
+        )
+        print(f"  {n:3d} subtasks: {1e6 * cost:7.1f} us/iteration "
+              f"({1e6 * cost / n:.2f} us/subtask)")
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_vectorized_iteration_cost(benchmark):
+    """Same sweep through the batched kernel — its per-subtask cost should
+    *fall* with size as the python-loop overhead amortizes (see
+    ``bench_vectorized`` for the head-to-head speedup gate)."""
+    def run():
+        return [
+            _mean_iteration_cost(2, 6, backend="vectorized"),
+            _mean_iteration_cost(8, 12, backend="vectorized"),
+            _mean_iteration_cost(16, 24, backend="vectorized"),
+        ]
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for (cost, n) in points:
+        _report.record_value(
+            _BENCH, f"iterations_per_sec.vectorized.{n}_subtasks", 1.0 / cost
         )
         print(f"  {n:3d} subtasks: {1e6 * cost:7.1f} us/iteration "
               f"({1e6 * cost / n:.2f} us/subtask)")

@@ -64,6 +64,10 @@ def build_parser() -> argparse.ArgumentParser:
     opt.add_argument("workload", help="path to a serialized workload")
     opt.add_argument("--iterations", type=int, default=1500)
     opt.add_argument("--warm-start", action="store_true")
+    opt.add_argument("--backend", choices=("scalar", "vectorized"),
+                     default="scalar",
+                     help="LLA iteration kernel (identical iterates; "
+                          "'vectorized' is faster on large workloads)")
     opt.add_argument("-o", "--output",
                      help="write the allocation as JSON to this file")
     opt.add_argument("--trace",
@@ -110,7 +114,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def _cmd_optimize(args: argparse.Namespace) -> int:
     taskset = _load_taskset(args.workload)
     config = LLAConfig(max_iterations=args.iterations,
-                       warm_start=args.warm_start)
+                       warm_start=args.warm_start,
+                       backend=args.backend)
     telemetry = Telemetry.to_file(args.trace) if args.trace else None
     try:
         result = LLAOptimizer(taskset, config, telemetry=telemetry).run()

@@ -37,16 +37,22 @@ class ConvergenceDetector:
         window: int = 10,
         feasibility_tol: float = 1e-3,
         require_feasible: bool = True,
+        utility_floor: float = 1e-6,
     ):
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window!r}")
         if utility_tol <= 0.0:
             raise ValueError(f"utility_tol must be positive, got {utility_tol!r}")
+        if utility_floor <= 0.0:
+            raise ValueError(
+                f"utility_floor must be positive, got {utility_floor!r}"
+            )
         self.taskset = taskset
         self.utility_tol = float(utility_tol)
         self.window = int(window)
         self.feasibility_tol = float(feasibility_tol)
         self.require_feasible = bool(require_feasible)
+        self.utility_floor = float(utility_floor)
         self._recent: Deque[float] = deque(maxlen=window + 1)
         self._last_latencies: Optional[Mapping[str, float]] = None
 
@@ -60,11 +66,19 @@ class ConvergenceDetector:
         self._last_latencies = dict(latencies)
 
     def utility_stable(self) -> bool:
-        """Relative utility change below tolerance across the window."""
+        """Relative utility change below tolerance across the window.
+
+        The spread is judged against the window's utility *magnitude*, with
+        ``utility_floor`` as an absolute lower bound on the scale: a run
+        whose utilities are legitimately tiny (|U| ≪ 1, e.g. heavily
+        discounted linear utilities) must still settle relative to its own
+        magnitude rather than to an absolute bar, while an identically-zero
+        trace is still recognized as stable without dividing by zero.
+        """
         if len(self._recent) <= self.window:
             return False
         values = list(self._recent)
-        scale = max(1.0, max(abs(v) for v in values))
+        scale = max(self.utility_floor, max(abs(v) for v in values))
         spread = max(values) - min(values)
         return spread / scale <= self.utility_tol
 

@@ -58,7 +58,8 @@ class LLAConfig:
         Starting γ for the default adaptive policy.
     initial_resource_price / initial_path_price:
         Dual-variable initialization.
-    utility_tol / convergence_window / feasibility_tol / require_feasible:
+    utility_tol / convergence_window / feasibility_tol / require_feasible /
+    utility_floor:
         Convergence detector settings (see
         :class:`~repro.core.convergence.ConvergenceDetector`).
     congestion_tol:
@@ -78,6 +79,13 @@ class LLAConfig:
         equilibrium value (see :mod:`repro.core.warmstart`) instead of
         ``initial_resource_price``.  Exact in the overprovisioned regime;
         a large head start elsewhere.
+    backend:
+        ``"scalar"`` (the reference per-subtask/per-path loops) or
+        ``"vectorized"`` (the batched numpy kernel of
+        :mod:`repro.core.vectorized`).  Both produce the same iterates and
+        the same :class:`~repro.core.state.IterationRecord` stream; the
+        vectorized backend requires the paper's closed-form model family
+        (power-law shares, linear or inelastic utilities).
     """
 
     max_iterations: int = 500
@@ -89,12 +97,14 @@ class LLAConfig:
     convergence_window: int = 10
     feasibility_tol: float = 1e-2
     require_feasible: bool = True
+    utility_floor: float = 1e-6
     congestion_tol: float = 1e-9
     record_history: bool = True
     strict: bool = False
     max_latency_factor: float = 1.0
     stop_on_convergence: bool = True
     warm_start: bool = False
+    backend: str = "scalar"
 
     def build_step_policy(self, taskset: TaskSet) -> StepSizePolicy:
         if self.step_policy is not None:
@@ -130,6 +140,11 @@ class LLAOptimizer:
             raise OptimizationError(
                 f"max_iterations must be >= 1, got {self.config.max_iterations!r}"
             )
+        if self.config.backend not in ("scalar", "vectorized"):
+            raise OptimizationError(
+                f"unknown backend {self.config.backend!r}; "
+                "expected 'scalar' or 'vectorized'"
+            )
         if self.config.strict:
             self._check_utilities()
 
@@ -155,7 +170,13 @@ class LLAOptimizer:
             window=self.config.convergence_window,
             feasibility_tol=self.config.feasibility_tol,
             require_feasible=self.config.require_feasible,
+            utility_floor=self.config.utility_floor,
         )
+        self._engine = None
+        if self.config.backend == "vectorized":
+            from repro.core.vectorized import VectorizedEngine
+            self._engine = VectorizedEngine(taskset, self.config,
+                                            self.step_policy)
         self.iteration = 0
         self.latencies: Dict[str, float] = self._initial_latencies()
         if self.config.warm_start:
@@ -176,6 +197,8 @@ class LLAOptimizer:
 
     def _initial_latencies(self) -> Dict[str, float]:
         """Primal initialization: one allocation pass at the initial prices."""
+        if self._engine is not None:
+            return self._engine.reallocate(self.resource_prices.prices)
         latencies: Dict[str, float] = {}
         for task in self.taskset.tasks:
             latencies.update(
@@ -189,11 +212,15 @@ class LLAOptimizer:
     def refresh_model(self) -> None:
         """Re-read share functions after an external model change.
 
-        Error correction swaps share functions on the task set; allocator
-        latency bounds cache ``min_latency`` and must be recomputed.
+        Error correction swaps share functions on the task set (and
+        resource availabilities may shift at run time); allocator latency
+        bounds cache ``min_latency`` and must be recomputed, and the
+        vectorized backend must recompile its model arrays.
         """
         for allocator in self.allocators.values():
             allocator.refresh_bounds()
+        if self._engine is not None:
+            self._engine.refresh_model()
 
     # -- iteration ---------------------------------------------------------------
 
@@ -202,13 +229,49 @@ class LLAOptimizer:
 
         Telemetry never influences the iterates: instrumentation only reads
         optimizer state, so a traced run is bit-identical to an untraced
-        one (asserted by a regression test).
+        one (asserted by a regression test).  Both backends flow through
+        here, so tracing, metrics and ``on_iteration`` behave identically.
         """
-        config = self.config
         instrumented = self.telemetry.enabled
         if instrumented:
             started = time.perf_counter()
             prev_prices = dict(self.resource_prices.prices)
+
+        if self._engine is not None:
+            record = self._vectorized_iteration()
+        else:
+            record = self._scalar_iteration()
+
+        if instrumented:
+            self._observe_iteration(
+                record, prev_prices, time.perf_counter() - started
+            )
+        if self.on_iteration is not None:
+            self.on_iteration(record)
+        return record
+
+    def _vectorized_iteration(self) -> IterationRecord:
+        """One iteration through the batched numpy kernel."""
+        out = self._engine.step()
+        self.latencies = out.latencies
+        self.resource_prices.prices = dict(out.resource_prices)
+        self.detector.observe(out.utility, out.latencies)
+        self.iteration += 1
+        return IterationRecord(
+            iteration=self.iteration,
+            utility=out.utility,
+            latencies=out.latencies,
+            resource_prices=out.resource_prices,
+            path_prices=out.path_prices,
+            resource_loads=out.resource_loads,
+            congested_resources=out.congested_resources,
+            congested_paths=out.congested_paths,
+            critical_paths=out.critical_paths,
+        )
+
+    def _scalar_iteration(self) -> IterationRecord:
+        """One iteration through the reference per-task/per-resource loops."""
+        config = self.config
 
         # (1) Task controllers: update path prices from the previous
         # latencies, then allocate new latencies (the paper's Latency
@@ -249,7 +312,7 @@ class LLAOptimizer:
         self.detector.observe(utility, self.latencies)
         self.iteration += 1
 
-        record = IterationRecord(
+        return IterationRecord(
             iteration=self.iteration,
             utility=utility,
             latencies=dict(self.latencies),
@@ -263,13 +326,6 @@ class LLAOptimizer:
                 for task in self.taskset.tasks
             },
         )
-        if instrumented:
-            self._observe_iteration(
-                record, prev_prices, time.perf_counter() - started
-            )
-        if self.on_iteration is not None:
-            self.on_iteration(record)
-        return record
 
     def _observe_iteration(self, record: IterationRecord,
                            prev_prices: Dict[str, float],
@@ -388,13 +444,19 @@ class LLAOptimizer:
             latencies=dict(self.latencies),
             utility=final_utility,
             resource_prices=dict(self.resource_prices.prices),
-            path_prices={
-                key: price
-                for updater in self.path_prices.values()
-                for key, price in updater.prices.items()
-            },
+            path_prices=self._collect_path_prices(),
             history=history,
         )
+
+    def _collect_path_prices(self) -> Dict[PathKey, float]:
+        """Current λ_p map, whichever backend owns the dual state."""
+        if self._engine is not None:
+            return self._engine.path_prices_dict()
+        return {
+            key: price
+            for updater in self.path_prices.values()
+            for key, price in updater.prices.items()
+        }
 
     def reset(self) -> None:
         """Restore initial prices, step sizes and latencies."""
@@ -402,6 +464,8 @@ class LLAOptimizer:
         for updater in self.path_prices.values():
             updater.reset()
         self.step_policy.reset()
+        if self._engine is not None:
+            self._engine.reset()
         self.detector.reset()
         self._prev_congested = None
         self.iteration = 0

@@ -19,8 +19,10 @@ zero.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Mapping, Tuple
 
+from repro.errors import OptimizationError
 from repro.core.state import PathKey
 from repro.core.stepsize import StepSizePolicy
 from repro.model.task import Task, TaskSet
@@ -50,7 +52,16 @@ def update_path_price(price: float, gamma: float, path_latency: float,
     The gradient component is the path's *relative slack*
     ``1 − Σ lat / C_i``: positive slack decays the price, a violated path
     (latency above the critical time) raises it.
+
+    The critical time must be positive and finite: zero would divide the
+    gradient away, ``inf``/``nan`` would silently freeze it at a constant
+    1.0 and the price would decay to zero regardless of the latency.
     """
+    if not (critical_time > 0.0 and math.isfinite(critical_time)):
+        raise OptimizationError(
+            "path price update needs a positive, finite critical time, "
+            f"got {critical_time!r}"
+        )
     return max(0.0, price - gamma * (1.0 - path_latency / critical_time))
 
 
@@ -106,6 +117,12 @@ class PathPriceUpdater:
         if initial_price < 0.0:
             raise ValueError(
                 f"initial path price must be non-negative, got {initial_price!r}"
+            )
+        if not (task.critical_time > 0.0 and math.isfinite(task.critical_time)):
+            raise OptimizationError(
+                f"task {task.name!r} has critical time "
+                f"{task.critical_time!r}; the Eq. 9 gradient needs a "
+                "positive, finite critical time"
             )
         self.task = task
         self.initial_price = float(initial_price)

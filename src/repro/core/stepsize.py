@@ -82,9 +82,23 @@ class AdaptiveStepSize(StepSizePolicy):
 
     While a resource stays congested its γ doubles every iteration (capped
     at ``max_gamma`` to keep the arithmetic finite); the γ of every path
-    that traverses the resource doubles with it.  The moment the resource
-    is uncongested, its γ — and the γ of its paths, unless another congested
-    resource still covers them — snaps back to ``initial_gamma``.
+    that traverses the resource doubles with it.  A path violating its own
+    critical-time constraint doubles too, even when no resource on it is
+    congested — path prices are driven by the same gradient-projection
+    update, so a stalled latency constraint needs the same acceleration as
+    a stalled capacity constraint.  The moment a trigger clears, the γ it
+    was sustaining snaps back to ``initial_gamma``.
+
+    The two path triggers keep *independent* doubling states, and
+    :meth:`path_gamma` serves the largest currently-active one.  The
+    isolation matters: a path's constraint typically first becomes violated
+    the instant its resources decongest (the price collapse lets latencies
+    jump), and if the direct violation inherited the γ already escalated by
+    several iterations of resource coverage, the very first Eq. 9 step
+    would be taken at ``max_gamma`` — large enough to slam latencies
+    between their clamps and lock the iteration into a limit cycle.
+    Starting each cause's escalation from ``initial_gamma`` keeps the first
+    corrective step small and only accelerates *persistent* stalls.
 
     The paper obtained its best results starting from γ = 1.
 
@@ -109,6 +123,8 @@ class AdaptiveStepSize(StepSizePolicy):
         self._paths_by_resource = self._index_paths(taskset)
         self._resource_gamma: Dict[str, float] = {}
         self._path_gamma: Dict[PathKey, float] = {}
+        self._cover_gamma: Dict[PathKey, float] = {}
+        self._direct_gamma: Dict[PathKey, float] = {}
         self.reset()
 
     @staticmethod
@@ -132,6 +148,8 @@ class AdaptiveStepSize(StepSizePolicy):
         for paths in self._paths_by_resource.values():
             all_paths.update(paths)
         self._path_gamma = {p: self.initial_gamma for p in all_paths}
+        self._cover_gamma = {p: self.initial_gamma for p in all_paths}
+        self._direct_gamma = {p: self.initial_gamma for p in all_paths}
 
     def resource_gamma(self, resource: str) -> float:
         return self._resource_gamma.get(resource, self.initial_gamma)
@@ -142,23 +160,40 @@ class AdaptiveStepSize(StepSizePolicy):
     def observe(self, congested_resources: Iterable[str],
                 congested_paths: Iterable[PathKey]) -> None:
         congested = set(congested_resources)
-        boosted_paths: Set[PathKey] = set()
+        direct = set(congested_paths)
+        covered: Set[PathKey] = set()
         for resource in self._paths_by_resource:
             if resource in congested:
                 self._resource_gamma[resource] = min(
                     self._resource_gamma[resource] * self.growth,
                     self.max_gamma,
                 )
-                boosted_paths.update(self._paths_by_resource[resource])
+                covered.update(self._paths_by_resource[resource])
             else:
                 self._resource_gamma[resource] = self.initial_gamma
         for path in self._path_gamma:
-            if path in boosted_paths:
-                self._path_gamma[path] = min(
-                    self._path_gamma[path] * self.growth, self.max_gamma
+            if path in covered:
+                self._cover_gamma[path] = min(
+                    self._cover_gamma[path] * self.growth, self.max_gamma
                 )
             else:
-                self._path_gamma[path] = self.initial_gamma
+                self._cover_gamma[path] = self.initial_gamma
+            if path in direct:
+                self._direct_gamma[path] = min(
+                    self._direct_gamma[path] * self.growth, self.max_gamma
+                )
+            else:
+                self._direct_gamma[path] = self.initial_gamma
+            # Serve the largest active escalation; neither trigger active
+            # means the step snaps back to the starting γ.
+            boosts = []
+            if path in covered:
+                boosts.append(self._cover_gamma[path])
+            if path in direct:
+                boosts.append(self._direct_gamma[path])
+            self._path_gamma[path] = (
+                max(boosts) if boosts else self.initial_gamma
+            )
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,340 @@
+"""Precompiled array structure of a :class:`~repro.model.task.TaskSet`.
+
+The vectorized LLA backend (:mod:`repro.core.vectorized`) needs the
+workload's *shape* — which subtask runs on which resource, which paths
+contain which subtasks, per-subtask model coefficients and latency bounds —
+as flat numpy arrays instead of the dict-of-dicts form the scalar code
+walks.  Compiling that shape once per run (and once more after every model
+mutation) is what turns the per-iteration cost from thousands of dict
+lookups and method dispatches into a handful of array operations.
+
+Layout conventions, chosen so that every batched reduction visits its
+operands in **exactly the same order as the scalar loops** (bitwise-equal
+partial sums, so the two backends produce identical iterates, not merely
+close ones):
+
+* subtasks are numbered globally in task order, then per-task declaration
+  order — the same order as :attr:`TaskSet.all_subtasks`;
+* resources are numbered in :attr:`TaskSet.resources` insertion order;
+* paths are numbered task-by-task in :attr:`SubtaskGraph.paths` order, so
+  each task's paths occupy one contiguous index range;
+* every float segment sum goes through ``np.bincount(ids, weights=...)``,
+  whose accumulation is a strictly sequential C loop in input order.
+  ``np.add.reduceat`` is deliberately avoided for floats: its inner
+  reduce uses unrolled/pairwise partial sums, which reassociate and drift
+  from the scalar loops by an ulp — enough to flip a congestion branch.
+
+Only the paper's closed-form model family compiles: power-law share
+functions (:class:`HyperbolicShare`, :class:`PowerLawShare`, optionally
+wrapped in one :class:`CorrectedShare`) and linear or inelastic utilities.
+Anything else raises :class:`~repro.errors.OptimizationError` at
+compile time — run those workloads on the scalar backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import OptimizationError
+from repro.core.state import PathKey
+from repro.model.share import CorrectedShare, HyperbolicShare, PowerLawShare
+from repro.model.task import TaskSet
+from repro.model.utility import InelasticUtility, LinearUtility
+
+__all__ = ["TaskSetStructure", "compile_structure"]
+
+#: Utility-kind codes in the per-task arrays.
+UTILITY_LINEAR = 0
+UTILITY_INELASTIC = 1
+
+
+@dataclass
+class TaskSetStructure:
+    """A :class:`TaskSet` compiled into flat numpy arrays.
+
+    Static shape data (orderings, incidence) is immutable after
+    compilation; model coefficients that can change at run time — share
+    parameters, latency bounds, availabilities — live in arrays refreshed
+    in place by :meth:`refresh_model`.
+    """
+
+    taskset: TaskSet
+    max_latency_factor: float
+
+    # -- orderings (static) -----------------------------------------------------
+    subtask_names: Tuple[str, ...] = ()
+    resource_names: Tuple[str, ...] = ()
+    task_names: Tuple[str, ...] = ()
+    path_keys: Tuple[PathKey, ...] = ()
+
+    # -- incidence (static) -----------------------------------------------------
+    #: resource index of each subtask, shape (S,)
+    sub_resource: np.ndarray = field(default=None)
+    #: task index of each subtask, shape (S,)
+    sub_task_ids: np.ndarray = field(default=None)
+    #: subtask indices flattened path-by-path (path order), shape (Σ|p|,)
+    path_sub_flat: np.ndarray = field(default=None)
+    #: owning path index of each ``path_sub_flat`` entry, shape (Σ|p|,)
+    path_ids_flat: np.ndarray = field(default=None)
+    #: path indices flattened subtask-by-subtask (ascending), shape (Σ,)
+    sub_path_flat: np.ndarray = field(default=None)
+    #: owning subtask index of each ``sub_path_flat`` entry, shape (Σ,)
+    sub_ids_flat: np.ndarray = field(default=None)
+    #: start offset of each task's path segment, shape (T,)
+    task_path_starts: np.ndarray = field(default=None)
+    #: whether path p traverses resource r, shape (P, R) bool
+    path_res_inc: np.ndarray = field(default=None)
+
+    # -- per-subtask model (refreshable) ----------------------------------------
+    #: aggregation weight w_s, shape (S,)
+    weights: np.ndarray = field(default=None)
+    #: w_s · slope_i — the utility component of the Eq. 7 pull, shape (S,)
+    pull_base: np.ndarray = field(default=None)
+    #: power-law exponent α_s, shape (S,)
+    alpha: np.ndarray = field(default=None)
+    #: power-law coefficient (c_s + l_r), shape (S,)
+    cost: np.ndarray = field(default=None)
+    #: additive correction error e_s (0 when uncorrected), shape (S,)
+    err: np.ndarray = field(default=None)
+    #: whether the base share is the hyperbolic special case, shape (S,) bool
+    hyper_mask: np.ndarray = field(default=None)
+    #: 1 / (α_s + 1) — the stationarity-solve exponent, shape (S,)
+    inv_exp: np.ndarray = field(default=None)
+    #: latency clamp bounds, shape (S,)
+    lo: np.ndarray = field(default=None)
+    hi: np.ndarray = field(default=None)
+
+    # -- per-resource / per-path / per-task model -------------------------------
+    #: availability B_r, shape (R,) (refreshable)
+    availability: np.ndarray = field(default=None)
+    #: critical time of the path's owning task, shape (P,)
+    path_crit: np.ndarray = field(default=None)
+    #: utility kind codes, shape (T,)
+    ut_kind: np.ndarray = field(default=None)
+    #: precomputed k_i · C_i for linear utilities, shape (T,)
+    ut_kc: np.ndarray = field(default=None)
+    #: linear slope, shape (T,)
+    ut_slope: np.ndarray = field(default=None)
+    #: inelastic step height u_max, shape (T,)
+    ut_umax: np.ndarray = field(default=None)
+    #: inelastic step edge (the utility's own critical time), shape (T,)
+    ut_crit: np.ndarray = field(default=None)
+
+    @property
+    def n_subtasks(self) -> int:
+        return len(self.subtask_names)
+
+    @property
+    def n_resources(self) -> int:
+        return len(self.resource_names)
+
+    @property
+    def n_paths(self) -> int:
+        return len(self.path_keys)
+
+    def refresh_model(self) -> None:
+        """Re-read the mutable model state from the task set.
+
+        Mirrors :meth:`LatencyAllocator.refresh_bounds` plus availability:
+        error correction swaps/retunes share functions and
+        :meth:`TaskSet.set_availability` replaces resources, so share
+        coefficients, latency clamps and B_r must all be recomputed.
+        """
+        _fill_model_arrays(self, self.taskset, self.max_latency_factor)
+
+
+def _unsupported(what: str) -> OptimizationError:
+    return OptimizationError(
+        f"backend='vectorized' does not support {what}; "
+        "use backend='scalar' for this workload"
+    )
+
+
+def _share_params(taskset: TaskSet, subtask_name: str):
+    """(alpha, cost, err, is_hyperbolic) of one subtask's share function."""
+    fn = taskset.share_function(subtask_name)
+    err = 0.0
+    base = fn
+    if isinstance(base, CorrectedShare):
+        err = base.error
+        base = base.base
+        if isinstance(base, CorrectedShare):
+            raise _unsupported(
+                f"nested CorrectedShare on subtask {subtask_name!r}"
+            )
+    if isinstance(base, HyperbolicShare):
+        return 1.0, base.cost, err, True
+    if isinstance(base, PowerLawShare):
+        return base.alpha, base.cost, err, False
+    raise _unsupported(
+        f"share function {type(base).__name__} on subtask {subtask_name!r}"
+    )
+
+
+def _fill_model_arrays(s: TaskSetStructure, taskset: TaskSet,
+                       max_latency_factor: float) -> None:
+    """(Re)compute the refreshable per-subtask/per-resource arrays."""
+    n = s.n_subtasks
+    alpha = np.empty(n)
+    cost = np.empty(n)
+    err = np.empty(n)
+    hyper = np.empty(n, dtype=bool)
+    lo = np.empty(n)
+    hi = np.empty(n)
+    i = 0
+    for task in taskset.tasks:
+        for sub in task.subtasks:
+            alpha[i], cost[i], err[i], hyper[i] = _share_params(
+                taskset, sub.name
+            )
+            # Identical bound logic to LatencyAllocator.refresh_bounds.
+            fn = taskset.share_function(sub.name)
+            avail = taskset.resources[sub.resource].availability
+            low = fn.min_latency(avail)
+            high = task.critical_time * max_latency_factor
+            if task.trigger is not None:
+                min_share = task.trigger.mean_rate() * sub.exec_time
+                if 0.0 < min_share < avail:
+                    high = min(high, fn.latency_for_share(min_share))
+            lo[i] = low
+            hi[i] = max(low, high)
+            i += 1
+    s.alpha = alpha
+    s.cost = cost
+    s.err = err
+    s.hyper_mask = hyper
+    s.inv_exp = 1.0 / (alpha + 1.0)
+    s.lo = lo
+    s.hi = hi
+    s.availability = np.array(
+        [taskset.resources[r].availability for r in s.resource_names]
+    )
+
+
+def compile_structure(taskset: TaskSet,
+                      max_latency_factor: float = 1.0) -> TaskSetStructure:
+    """Compile ``taskset`` for the vectorized kernel.
+
+    Raises :class:`~repro.errors.OptimizationError` when the workload falls
+    outside the closed-form model family (see module docstring).
+    """
+    tasks = taskset.tasks
+    resource_names = tuple(taskset.resources)
+    resource_index = {r: i for i, r in enumerate(resource_names)}
+
+    subtask_names = []
+    sub_resource = []
+    sub_task_ids = []
+    weights = []
+    pull_base = []
+    path_keys = []
+    path_crit = []
+    path_sub_flat = []
+    path_ids_flat = []
+    task_path_starts = []
+    sub_paths = []  # per-subtask list of global path indices, global order
+    ut_kind = []
+    ut_kc = []
+    ut_slope = []
+    ut_umax = []
+    ut_crit = []
+
+    sub_index = {}
+    for task in tasks:
+        utility = task.utility
+        if isinstance(utility, LinearUtility):
+            slope = utility.slope
+            ut_kind.append(UTILITY_LINEAR)
+            ut_kc.append(utility.k * utility.critical_time)
+            ut_slope.append(slope)
+            ut_umax.append(0.0)
+            ut_crit.append(0.0)
+        elif isinstance(utility, InelasticUtility):
+            # The scalar closed form treats inelastic tasks with zero
+            # utility pull; only the paper's step shape is representable.
+            slope = 0.0
+            ut_kind.append(UTILITY_INELASTIC)
+            ut_kc.append(0.0)
+            ut_slope.append(0.0)
+            ut_umax.append(utility.u_max)
+            ut_crit.append(utility.critical_time)
+        else:
+            raise _unsupported(
+                f"utility {type(utility).__name__} on task {task.name!r} "
+                "(needs the numeric per-task solver)"
+            )
+
+        task_idx = len(task_path_starts)
+        for sub in task.subtasks:
+            sub_index[sub.name] = len(subtask_names)
+            subtask_names.append(sub.name)
+            sub_resource.append(resource_index[sub.resource])
+            sub_task_ids.append(task_idx)
+            w = task.weight(sub.name)
+            weights.append(w)
+            pull_base.append(w * slope)
+            sub_paths.append([])
+
+        task_path_starts.append(len(path_keys))
+        for p_idx, path in enumerate(task.graph.paths):
+            global_path = len(path_keys)
+            path_keys.append(PathKey(task.name, p_idx))
+            path_crit.append(task.critical_time)
+            for name in path:
+                path_sub_flat.append(sub_index[name])
+                path_ids_flat.append(global_path)
+        # Subtask→path membership in the scalar allocator's order: for each
+        # subtask, graph.paths_through gives ascending local path indices.
+        base = task_path_starts[-1]
+        for sub in task.subtasks:
+            on_paths = task.graph.paths_through(sub.name)
+            if not on_paths:
+                # Cannot happen with a root-to-leaf path enumeration, but
+                # an empty reduceat segment would silently mis-sum.
+                raise _unsupported(
+                    f"subtask {sub.name!r} lying on no root-to-leaf path"
+                )
+            sub_paths[sub_index[sub.name]] = [base + i for i in on_paths]
+
+    structure = TaskSetStructure(
+        taskset=taskset,
+        max_latency_factor=float(max_latency_factor),
+        subtask_names=tuple(subtask_names),
+        resource_names=resource_names,
+        task_names=tuple(t.name for t in tasks),
+        path_keys=tuple(path_keys),
+    )
+
+    structure.sub_resource = np.asarray(sub_resource, dtype=np.intp)
+    structure.sub_task_ids = np.asarray(sub_task_ids, dtype=np.intp)
+    structure.path_sub_flat = np.asarray(path_sub_flat, dtype=np.intp)
+    structure.path_ids_flat = np.asarray(path_ids_flat, dtype=np.intp)
+    structure.task_path_starts = np.asarray(task_path_starts, dtype=np.intp)
+    structure.weights = np.asarray(weights)
+    structure.pull_base = np.asarray(pull_base)
+    structure.path_crit = np.asarray(path_crit)
+    structure.ut_kind = np.asarray(ut_kind, dtype=np.int8)
+    structure.ut_kc = np.asarray(ut_kc)
+    structure.ut_slope = np.asarray(ut_slope)
+    structure.ut_umax = np.asarray(ut_umax)
+    structure.ut_crit = np.asarray(ut_crit)
+
+    sub_path_flat = []
+    sub_ids_flat = []
+    for s_idx, paths in enumerate(sub_paths[: len(subtask_names)]):
+        sub_path_flat.extend(paths)
+        sub_ids_flat.extend([s_idx] * len(paths))
+    structure.sub_path_flat = np.asarray(sub_path_flat, dtype=np.intp)
+    structure.sub_ids_flat = np.asarray(sub_ids_flat, dtype=np.intp)
+
+    inc = np.zeros((len(path_keys), len(resource_names)), dtype=bool)
+    for s_idx, paths in enumerate(sub_paths[: len(subtask_names)]):
+        for p_idx in paths:
+            inc[p_idx, sub_resource[s_idx]] = True
+    structure.path_res_inc = inc
+
+    _fill_model_arrays(structure, taskset, structure.max_latency_factor)
+    return structure

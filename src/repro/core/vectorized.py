@@ -1,0 +1,327 @@
+"""Batched numpy kernel for the LLA iteration.
+
+``VectorizedEngine`` executes the exact iteration of
+:meth:`LLAOptimizer._scalar_iteration` — Eq. 9 path-price step from the old
+latencies, Eq. 7 closed-form allocation, Eq. 8 resource-price step,
+congestion classification, step-size feedback, utility — as whole-array
+operations over the structure precompiled by
+:mod:`repro.core.structure`.
+
+The two backends are *trajectory-identical*, not just approximately equal:
+every reduction is ordered like its scalar counterpart (see the structure
+module's layout notes), arithmetic uses the same expression shapes, and the
+free-resource / zero-pull special cases of
+:func:`~repro.core.allocation.stationary_latency` are reproduced as masks.
+That matters because the adaptive step-size heuristic branches on strict
+comparisons (``load > B_r + tol``): a one-ulp difference in a load flips a
+doubling decision and the runs diverge visibly.  Parity tests assert
+bitwise-equal traces over full figure runs.
+
+Step-size handling: :class:`FixedStepSize` folds to two scalars;
+:class:`AdaptiveStepSize` is re-implemented as array updates with
+engine-owned γ state (the policy object is bypassed — its dicts stay at
+their initial values); any other policy is driven through its public
+per-name interface, which preserves semantics at scalar-ish speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.errors import ShareError
+from repro.core.allocation import _PULL_FLOOR
+from repro.core.state import PathKey
+from repro.core.stepsize import AdaptiveStepSize, FixedStepSize, StepSizePolicy
+from repro.core.structure import TaskSetStructure, compile_structure
+from repro.model.task import TaskSet
+
+__all__ = ["VectorizedEngine", "EngineStep"]
+
+
+@dataclass
+class EngineStep:
+    """One iteration's outputs, materialized for the optimizer facade."""
+
+    utility: float
+    latencies: Dict[str, float]
+    resource_prices: Dict[str, float]
+    path_prices: Dict[PathKey, float]
+    resource_loads: Dict[str, float]
+    congested_resources: Tuple[str, ...]
+    congested_paths: Tuple[PathKey, ...]
+    critical_paths: Dict[str, float]
+
+
+class _FixedGammas:
+    """γ supplier for an exact :class:`FixedStepSize` (two constants)."""
+
+    def __init__(self, policy: FixedStepSize, structure: TaskSetStructure):
+        self._gr = policy.resource_gamma(structure.resource_names[0])
+        self._gp = policy.path_gamma(structure.path_keys[0])
+
+    def gammas(self):
+        return self._gr, self._gp
+
+    def observe(self, cong_r, cong_p, cong_r_names, cong_p_keys):
+        pass
+
+    def reset(self):
+        pass
+
+
+class _AdaptiveGammas:
+    """Array form of :meth:`AdaptiveStepSize.observe`.
+
+    Owns the γ vectors itself; the wrapped policy object is not consulted
+    per iteration (its dict state stays at the initial γ).
+    """
+
+    def __init__(self, policy: AdaptiveStepSize, structure: TaskSetStructure):
+        self._initial = policy.initial_gamma
+        self._growth = policy.growth
+        self._max = policy.max_gamma
+        self._inc = structure.path_res_inc
+        self._gr = np.full(structure.n_resources, self._initial)
+        self._gp = np.full(structure.n_paths, self._initial)
+        self._cover = np.full(structure.n_paths, self._initial)
+        self._direct = np.full(structure.n_paths, self._initial)
+
+    def gammas(self):
+        return self._gr, self._gp
+
+    def observe(self, cong_r, cong_p, cong_r_names, cong_p_keys):
+        self._gr = np.where(
+            cong_r, np.minimum(self._gr * self._growth, self._max),
+            self._initial,
+        )
+        # Two independent escalation states per path (resource coverage
+        # vs direct constraint violation); serve the largest active one.
+        covered = (self._inc & cong_r).any(axis=1)
+        self._cover = np.where(
+            covered, np.minimum(self._cover * self._growth, self._max),
+            self._initial,
+        )
+        self._direct = np.where(
+            cong_p, np.minimum(self._direct * self._growth, self._max),
+            self._initial,
+        )
+        active_max = np.maximum(
+            np.where(covered, self._cover, -np.inf),
+            np.where(cong_p, self._direct, -np.inf),
+        )
+        self._gp = np.where(covered | cong_p, active_max, self._initial)
+
+    def reset(self):
+        self._gr = np.full_like(self._gr, self._initial)
+        self._gp = np.full_like(self._gp, self._initial)
+        self._cover = np.full_like(self._cover, self._initial)
+        self._direct = np.full_like(self._direct, self._initial)
+
+
+class _GenericGammas:
+    """Fallback for custom policies: gather γ per name, feed observe()."""
+
+    def __init__(self, policy: StepSizePolicy, structure: TaskSetStructure):
+        self._policy = policy
+        self._structure = structure
+
+    def gammas(self):
+        s = self._structure
+        gr = np.array([self._policy.resource_gamma(r)
+                       for r in s.resource_names])
+        gp = np.array([self._policy.path_gamma(k) for k in s.path_keys])
+        return gr, gp
+
+    def observe(self, cong_r, cong_p, cong_r_names, cong_p_keys):
+        self._policy.observe(cong_r_names, cong_p_keys)
+
+    def reset(self):
+        # The optimizer already resets the policy object itself.
+        pass
+
+
+def _make_gammas(policy: StepSizePolicy, structure: TaskSetStructure):
+    # Exact types only: subclasses may override behaviour, so they take the
+    # generic (public-interface) route.
+    if type(policy) is FixedStepSize:
+        return _FixedGammas(policy, structure)
+    if type(policy) is AdaptiveStepSize:
+        return _AdaptiveGammas(policy, structure)
+    return _GenericGammas(policy, structure)
+
+
+class VectorizedEngine:
+    """Array-state LLA iteration over a compiled task set.
+
+    The engine owns the dual state (``μ`` per resource, ``λ`` per path) and
+    the primal iterate (latency per subtask) as float64 arrays; the
+    optimizer facade keeps its usual dict views from the materialized
+    :class:`EngineStep`.  Model mutations (error correction,
+    ``set_availability``) require :meth:`refresh_model`, same contract as
+    the scalar allocators' ``refresh_bounds``.
+    """
+
+    def __init__(self, taskset: TaskSet, config, policy: StepSizePolicy):
+        self.structure = compile_structure(
+            taskset, max_latency_factor=config.max_latency_factor
+        )
+        self.config = config
+        self._gammas = _make_gammas(policy, self.structure)
+        s = self.structure
+        self._mu = np.full(s.n_resources, float(config.initial_resource_price))
+        self._lam = np.full(s.n_paths, float(config.initial_path_price))
+        self._lat = self._allocate()
+
+    # -- allocation (Eq. 7) -----------------------------------------------------
+
+    def _allocate(self) -> np.ndarray:
+        """Closed-form stationarity solve + clamp at the current duals."""
+        s = self.structure
+        lam_sum = np.bincount(
+            s.sub_ids_flat, weights=self._lam[s.sub_path_flat],
+            minlength=s.n_subtasks,
+        )
+        pull = s.pull_base + lam_sum
+        price = self._mu[s.sub_resource]
+        free = price <= 0.0
+        slack = pull <= _PULL_FLOOR
+        with np.errstate(all="ignore"):
+            arg = price * s.alpha * s.cost / pull
+            if s.hyper_mask.all():
+                raw = np.sqrt(arg)
+            else:
+                raw = np.empty_like(arg)
+                np.sqrt(arg, out=raw, where=s.hyper_mask)
+                pw = ~s.hyper_mask
+                raw[pw] = arg[pw] ** s.inv_exp[pw]
+        lat = s.err + raw
+        # Same precedence as stationary_latency: a free resource wins over
+        # a zero pull, and both are applied before the correction offset is
+        # even considered (the scalar returns early).
+        lat = np.where(slack, np.inf, lat)
+        lat = np.where(free, 0.0, lat)
+        return np.clip(lat, s.lo, s.hi)
+
+    # -- load model (Eq. 3 LHS) -------------------------------------------------
+
+    def _loads(self, lat: np.ndarray) -> np.ndarray:
+        """Per-resource share sums at the given latencies."""
+        s = self.structure
+        model_lat = lat - s.err
+        if np.any(s.err != 0.0) and np.any(model_lat <= 0.0):
+            idx = int(np.argmax(model_lat <= 0.0))
+            raise ShareError(
+                f"corrected latency {lat[idx]!r} of subtask "
+                f"{s.subtask_names[idx]!r} with error {s.err[idx]!r} maps "
+                "to a non-positive model latency"
+            )
+        if s.hyper_mask.all():
+            shares = s.cost / model_lat
+        else:
+            shares = np.where(
+                s.hyper_mask,
+                s.cost / model_lat,
+                s.cost / model_lat ** s.alpha,
+            )
+        return np.bincount(
+            s.sub_resource, weights=shares, minlength=s.n_resources
+        )
+
+    # -- one iteration ----------------------------------------------------------
+
+    def step(self) -> EngineStep:
+        """One LLA iteration; mirrors ``_scalar_iteration`` phase by phase."""
+        s = self.structure
+        tol = self.config.congestion_tol
+        gr, gp = self._gammas.gammas()
+
+        # (1) Path prices from the *previous* latencies (Eq. 9), then the
+        # batched stationarity solve at old μ / new λ (Eq. 7).
+        path_lat = np.bincount(
+            s.path_ids_flat, weights=self._lat[s.path_sub_flat],
+            minlength=s.n_paths,
+        )
+        self._lam = np.maximum(
+            0.0, self._lam - gp * (1.0 - path_lat / s.path_crit)
+        )
+        lat = self._allocate()
+        self._lat = lat
+
+        # (2) Resource prices from the new latencies (Eq. 8).
+        loads = self._loads(lat)
+        self._mu = np.maximum(0.0, self._mu - gr * (s.availability - loads))
+
+        # (3) Congestion classification + step-size feedback.
+        cong_r = loads > s.availability + tol
+        path_lat_new = np.bincount(
+            s.path_ids_flat, weights=lat[s.path_sub_flat],
+            minlength=s.n_paths,
+        )
+        cong_p = path_lat_new > s.path_crit + tol
+        cong_r_names = tuple(
+            s.resource_names[i] for i in np.flatnonzero(cong_r)
+        )
+        cong_p_keys = tuple(s.path_keys[i] for i in np.flatnonzero(cong_p))
+        self._gammas.observe(cong_r, cong_p, cong_r_names, cong_p_keys)
+
+        # Utility (Eq. 2): per-task aggregated latency through the task's
+        # utility, summed in task order like TaskSet.total_utility.
+        agg = np.bincount(
+            s.sub_task_ids, weights=s.weights * lat,
+            minlength=len(s.task_names),
+        )
+        per_task = np.where(
+            s.ut_kind == 0,
+            s.ut_kc - s.ut_slope * agg,
+            np.where(agg <= s.ut_crit, s.ut_umax, 0.0),
+        )
+        utility = float(sum(per_task.tolist()))
+
+        # Critical-path latencies are observational (they feed records, not
+        # the iteration), computed as the max over the task's path sums.
+        crit = np.maximum.reduceat(path_lat_new, s.task_path_starts)
+
+        return EngineStep(
+            utility=utility,
+            latencies=dict(zip(s.subtask_names, lat.tolist())),
+            resource_prices=dict(zip(s.resource_names, self._mu.tolist())),
+            path_prices=dict(zip(s.path_keys, self._lam.tolist())),
+            resource_loads=dict(zip(s.resource_names, loads.tolist())),
+            congested_resources=cong_r_names,
+            congested_paths=cong_p_keys,
+            critical_paths=dict(zip(s.task_names, crit.tolist())),
+        )
+
+    # -- facade support ---------------------------------------------------------
+
+    def reallocate(self, resource_prices: Mapping[str, float]) -> Dict[str, float]:
+        """Adopt ``resource_prices`` as μ and redo the primal solve.
+
+        Serves both primal initialization and warm starts: the optimizer
+        mutates its price dict, then asks for fresh latencies; the engine
+        must keep iterating from the same μ afterwards.
+        """
+        s = self.structure
+        self._mu = np.array(
+            [resource_prices.get(r, 0.0) for r in s.resource_names]
+        )
+        self._lat = self._allocate()
+        return dict(zip(s.subtask_names, self._lat.tolist()))
+
+    def path_prices_dict(self) -> Dict[PathKey, float]:
+        return dict(zip(self.structure.path_keys, self._lam.tolist()))
+
+    def reset(self) -> None:
+        """Back to initial duals and step sizes (primal follows via
+        the optimizer's ``reallocate`` call)."""
+        self._mu.fill(float(self.config.initial_resource_price))
+        self._lam.fill(float(self.config.initial_path_price))
+        self._gammas.reset()
+        self._lat = self._allocate()
+
+    def refresh_model(self) -> None:
+        """Re-read mutable model state (share functions, availabilities)."""
+        self.structure.refresh_model()

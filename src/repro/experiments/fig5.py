@@ -97,8 +97,13 @@ class Fig5Result:
 
 def run_fig5(iterations: int = 500,
              gammas: Sequence[float] = (0.1, 1.0, 10.0),
-             variant: str = "path-weighted") -> Fig5Result:
-    """Run all Figure 5 configurations on fresh copies of the workload."""
+             variant: str = "path-weighted",
+             backend: str = "scalar") -> Fig5Result:
+    """Run all Figure 5 configurations on fresh copies of the workload.
+
+    ``backend`` selects the LLA iteration kernel; both produce identical
+    traces (see :mod:`repro.core.vectorized`).
+    """
     series: Dict[str, Fig5Series] = {}
     for gamma in gammas:
         taskset = base_workload(variant=variant)
@@ -106,6 +111,7 @@ def run_fig5(iterations: int = 500,
             step_policy=FixedStepSize(gamma),
             max_iterations=iterations,
             stop_on_convergence=False,
+            backend=backend,
         )
         result = LLAOptimizer(taskset, config).run()
         series[f"gamma={gamma:g}"] = Fig5Series(
@@ -116,6 +122,7 @@ def run_fig5(iterations: int = 500,
         step_policy=AdaptiveStepSize(taskset, initial_gamma=1.0),
         max_iterations=iterations,
         stop_on_convergence=False,
+        backend=backend,
     )
     result = LLAOptimizer(taskset, config).run()
     series["adaptive"] = Fig5Series(

@@ -16,6 +16,7 @@ of the paper validated at construction:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
@@ -90,9 +91,9 @@ class Task:
     ):
         if not name:
             raise ModelError("task name must be non-empty")
-        if critical_time <= 0.0:
+        if not (critical_time > 0.0 and math.isfinite(critical_time)):
             raise ModelError(
-                f"task {name!r} critical time must be positive, "
+                f"task {name!r} critical time must be positive and finite, "
                 f"got {critical_time!r}"
             )
         if variant not in UtilityVariant:

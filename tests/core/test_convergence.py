@@ -69,3 +69,43 @@ class TestConvergenceDetector:
             ConvergenceDetector(base_ts, window=0)
         with pytest.raises(ValueError):
             ConvergenceDetector(base_ts, utility_tol=0.0)
+        with pytest.raises(ValueError):
+            ConvergenceDetector(base_ts, utility_floor=0.0)
+
+
+class TestSmallUtilityScale:
+    """Regression: the stability scale used to be ``max(1.0, max|v|)``,
+    so any run whose utilities were much smaller than 1 looked "stable"
+    immediately — the absolute spread was tiny even while the trace was
+    still swinging by 50% of its own magnitude."""
+
+    def test_small_utilities_still_swinging_not_stable(self, chain_ts):
+        det = ConvergenceDetector(chain_ts, window=3, utility_tol=1e-3)
+        # |U| ~ 1e-4 with a 30% relative spread: with the old absolute
+        # scale of 1.0 the spread (6e-5) was far below tol and this
+        # wrongly converged.
+        for v in (1.0e-4, 1.3e-4, 0.9e-4, 1.2e-4, 1.1e-4):
+            det.observe(v, feasible_latencies(chain_ts))
+        assert not det.utility_stable()
+
+    def test_small_utilities_settled_are_stable(self, chain_ts):
+        det = ConvergenceDetector(chain_ts, window=3, utility_tol=1e-3)
+        for _ in range(6):
+            det.observe(1.0e-4, feasible_latencies(chain_ts))
+        assert det.utility_stable()
+
+    def test_identically_zero_trace_is_stable(self, chain_ts):
+        # The floor's other job: no division by zero on an all-zero trace.
+        det = ConvergenceDetector(chain_ts, window=3)
+        for _ in range(6):
+            det.observe(0.0, feasible_latencies(chain_ts))
+        assert det.utility_stable()
+
+    def test_floor_bounds_the_scale_from_below(self, chain_ts):
+        # Raising the floor above the trace magnitude re-enables the old
+        # absolute judgement for callers that want it.
+        det = ConvergenceDetector(chain_ts, window=3, utility_tol=1e-3,
+                                  utility_floor=1.0)
+        for v in (1.0e-4, 1.3e-4, 0.9e-4, 1.2e-4, 1.1e-4):
+            det.observe(v, feasible_latencies(chain_ts))
+        assert det.utility_stable()

@@ -1,7 +1,10 @@
 """Unit tests for the price updates (Eqs. 8–9, gradient projection)."""
 
+import math
+
 import pytest
 
+from repro.errors import OptimizationError
 from repro.core.prices import (
     PathPriceUpdater,
     ResourcePriceUpdater,
@@ -110,3 +113,33 @@ class TestPathPriceUpdater:
         up.prices[PathKey("T1", 0)] = 5.0
         up.reset()
         assert up.prices[PathKey("T1", 0)] == 0.0
+
+
+class TestDegenerateCriticalTime:
+    """Regression: Eq. 9's gradient divides by ``C_i``.  A zero critical
+    time used to crash with ZeroDivisionError deep in the update; an
+    infinite one silently froze the gradient at a constant −γ.  Both are
+    now rejected up front, at the update and at updater construction."""
+
+    @pytest.mark.parametrize("bad", [0.0, math.inf, -math.inf, math.nan])
+    def test_update_rejects_bad_critical_time(self, bad):
+        with pytest.raises(OptimizationError, match="critical time"):
+            update_path_price(price=1.0, gamma=1.0,
+                              path_latency=10.0, critical_time=bad)
+
+    @pytest.mark.parametrize("bad", [0.0, math.inf])
+    def test_updater_rejects_bad_task(self, base_ts, bad):
+        task = base_ts.task("T1")
+        # Task's own constructor validates, so corrupt the attribute the
+        # way a buggy runtime mutation would.
+        task.critical_time = bad
+        with pytest.raises(OptimizationError, match="T1"):
+            PathPriceUpdater(task)
+
+    def test_update_method_guarded_after_mutation(self, base_ts):
+        task = base_ts.task("T2")
+        up = PathPriceUpdater(task)
+        task.critical_time = 0.0
+        lat = {n: 1.0 for n in base_ts.subtask_names}
+        with pytest.raises(OptimizationError):
+            up.update(lat, FixedStepSize(1.0))

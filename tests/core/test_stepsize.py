@@ -88,3 +88,67 @@ class TestAdaptiveStepSize:
             AdaptiveStepSize(base_ts, initial_gamma=0.0)
         with pytest.raises(OptimizationError):
             AdaptiveStepSize(base_ts, growth=1.0)
+
+
+class TestDirectPathCongestion:
+    """Regression: a path violating its *own* critical-time constraint must
+    escalate its γ — observe() used to ignore ``congested_paths``
+    entirely, so latency constraints never got the Section 5.2 boost."""
+
+    def test_directly_congested_path_doubles(self, base_ts):
+        policy = AdaptiveStepSize(base_ts, initial_gamma=1.0)
+        key = PathKey("T3", 0)
+        for expected in (2.0, 4.0, 8.0):
+            policy.observe([], [key])
+            assert policy.path_gamma(key) == expected
+        # Other paths and all resources keep their initial γ.
+        assert policy.path_gamma(PathKey("T1", 0)) == 1.0
+        assert policy.resource_gamma("r0") == 1.0
+
+    def test_snaps_back_when_constraint_clears(self, base_ts):
+        policy = AdaptiveStepSize(base_ts, initial_gamma=1.0)
+        key = PathKey("T3", 0)
+        policy.observe([], [key])
+        policy.observe([], [key])
+        assert policy.path_gamma(key) == 4.0
+        policy.observe([], [])
+        assert policy.path_gamma(key) == 1.0
+
+    def test_caps_at_max_gamma(self, base_ts):
+        policy = AdaptiveStepSize(base_ts, initial_gamma=1.0, max_gamma=4.0)
+        key = PathKey("T3", 0)
+        for _ in range(10):
+            policy.observe([], [key])
+        assert policy.path_gamma(key) == 4.0
+
+    def test_direct_trigger_does_not_inherit_coverage_boost(self, base_ts):
+        """The two triggers escalate independently: a fresh direct
+        violation starts doubling from the initial γ even if resource
+        coverage had already escalated the path (inheriting the boosted γ
+        makes the first Eq. 9 step huge and locks limit cycles)."""
+        policy = AdaptiveStepSize(base_ts, initial_gamma=1.0)
+        key = PathKey("T3", 0)  # T3 is a chain through r0.
+        policy.observe(["r0"], [])
+        policy.observe(["r0"], [])
+        assert policy.path_gamma(key) == 4.0  # coverage escalation
+        # r0 decongests; now the path itself is violated for the first
+        # time: γ restarts at 2 rather than continuing from 4.
+        policy.observe([], [key])
+        assert policy.path_gamma(key) == 2.0
+
+    def test_both_triggers_serve_the_larger(self, base_ts):
+        policy = AdaptiveStepSize(base_ts, initial_gamma=1.0)
+        key = PathKey("T3", 0)
+        policy.observe(["r0"], [])
+        policy.observe(["r0"], [])          # coverage γ → 4
+        policy.observe(["r0"], [key])       # coverage γ → 8, direct γ → 2
+        assert policy.path_gamma(key) == 8.0
+
+    def test_reset_clears_direct_state(self, base_ts):
+        policy = AdaptiveStepSize(base_ts, initial_gamma=1.0)
+        key = PathKey("T3", 0)
+        policy.observe([], [key])
+        policy.reset()
+        assert policy.path_gamma(key) == 1.0
+        policy.observe([], [key])
+        assert policy.path_gamma(key) == 2.0

@@ -9,6 +9,7 @@ from repro.core.warmstart import (
     apply_warm_start,
     warm_start_resource_prices,
 )
+from repro.model.share import CorrectedShare, PowerLawShare
 from repro.model.utility import LogUtility
 from repro.workloads.paper import base_workload, scaled_workload
 from tests.conftest import make_chain_taskset
@@ -36,6 +37,25 @@ class TestEstimate:
         ts.tasks[0].utility = LogUtility(ts.tasks[0].critical_time)
         prices = warm_start_resource_prices(ts, default=7.0)
         assert all(v == 7.0 for v in prices.values())
+
+    def test_mixed_taskset_falls_back_per_resource(self):
+        """Only the resource hosting the out-of-closed-form subtask falls
+        back; resources whose subtasks all fit the formula keep their
+        estimates."""
+        ts = make_chain_taskset(n_subtasks=3, exec_time=2.0, lag=1.0)
+        ts.set_share_function("s1", PowerLawShare(cost=3.0, alpha=2.0))
+        prices = warm_start_resource_prices(ts, default=7.0)
+        assert prices["r0"] == pytest.approx(3.0)
+        assert prices["r1"] == 7.0   # power-law share: not estimable
+        assert prices["r2"] == pytest.approx(3.0)
+
+    def test_corrected_share_unwraps_to_base(self):
+        ts = make_chain_taskset(n_subtasks=2, exec_time=2.0, lag=1.0)
+        base = ts.share_function("s0")
+        ts.set_share_function("s0", CorrectedShare(base, error=-0.5))
+        prices = warm_start_resource_prices(ts, default=7.0)
+        # The correction offset does not change the equilibrium estimate.
+        assert prices["r0"] == pytest.approx(3.0)
 
 
 class TestIntegration:

@@ -103,3 +103,42 @@ class TestBoundedRecorder:
         snap = telemetry.registry.snapshot()
         assert snap["sim.recorder.jobs_dropped_total"]["value"] == 2.0
         assert "sim.recorder.jobsets_dropped_total" not in snap
+
+    def test_jobset_drop_counter_reaches_registry(self):
+        telemetry = Telemetry.in_memory()
+        rec = LatencyRecorder(max_samples=2, telemetry=telemetry)
+        for v in (1.0, 2.0, 3.0, 4.0, 5.0):
+            rec.record_jobset("t", v)
+        snap = telemetry.registry.snapshot()
+        assert snap["sim.recorder.jobsets_dropped_total"]["value"] == 3.0
+        # No job samples were evicted, so the job counter never registers.
+        assert "sim.recorder.jobs_dropped_total" not in snap
+        # Registry counters mirror the local attributes exactly.
+        assert rec.jobsets_dropped == 3
+        assert rec.jobs_dropped == 0
+
+    def test_drop_accounting_across_series(self):
+        """Evictions are per-series: two subtasks with independent windows
+        both feed the same counters."""
+        telemetry = Telemetry.in_memory()
+        rec = LatencyRecorder(max_samples=1, telemetry=telemetry)
+        rec.record_job("a", 1.0)
+        rec.record_job("a", 2.0)   # evicts a's sample
+        rec.record_job("b", 1.0)
+        rec.record_job("b", 2.0)   # evicts b's sample
+        rec.record_jobset("t", 1.0)
+        rec.record_jobset("t", 2.0)  # evicts t's sample
+        snap = telemetry.registry.snapshot()
+        assert snap["sim.recorder.jobs_dropped_total"]["value"] == 2.0
+        assert snap["sim.recorder.jobsets_dropped_total"]["value"] == 1.0
+        assert rec.dropped_samples == 3
+
+    def test_unbounded_recorder_never_counts(self):
+        telemetry = Telemetry.in_memory()
+        rec = LatencyRecorder(telemetry=telemetry)
+        for v in range(100):
+            rec.record_job("a", float(v))
+            rec.record_jobset("t", float(v))
+        snap = telemetry.registry.snapshot()
+        assert "sim.recorder.jobs_dropped_total" not in snap
+        assert "sim.recorder.jobsets_dropped_total" not in snap

@@ -55,6 +55,25 @@ class TestOptimize:
         with pytest.raises(SystemExit):
             main(["optimize", "/nonexistent/workload.json"])
 
+    def test_backend_flag(self, tmp_path, capsys):
+        wl = tmp_path / "wl.json"
+        main(["export-workload", "base", "-o", str(wl)])
+        capsys.readouterr()
+        outs = {}
+        for backend in ("scalar", "vectorized"):
+            code = main(["optimize", str(wl), "--warm-start",
+                         "--backend", backend])
+            assert code == 0
+            outs[backend] = capsys.readouterr().out
+        # Identical iterates ⇒ identical printed convergence report.
+        assert outs["vectorized"] == outs["scalar"]
+        assert "converged: True" in outs["scalar"]
+
+    def test_backend_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["optimize", "wl.json",
+                                       "--backend", "simd"])
+
 
 class TestTraceCommands:
     @pytest.fixture
