@@ -13,7 +13,10 @@ Commands:
 * ``trace <run.jsonl>`` — replay a JSONL telemetry trace into the
   convergence diagnostics of :mod:`repro.analysis.trace`;
 * ``stats <run.jsonl>`` — event counts and the final metrics snapshot of
-  a JSONL telemetry trace.
+  a JSONL telemetry trace;
+* ``chaos`` — run a scripted fault scenario (crash/restart, blackout)
+  against its fault-free twin and report dip depth, recovery time and
+  degraded-round safety; ``-o`` writes the report as a JSON artifact.
 """
 
 from __future__ import annotations
@@ -39,7 +42,7 @@ __all__ = ["main", "build_parser"]
 
 _EXPERIMENTS = (
     "table1", "fig5", "fig6", "fig7", "fig8", "ablations", "adaptation",
-    "percentiles",
+    "percentiles", "resilience",
 )
 _WORKLOADS = {
     "base": base_workload,
@@ -47,6 +50,7 @@ _WORKLOADS = {
     "unschedulable": unschedulable_workload,
     "prototype": prototype_workload,
 }
+_CHAOS_SCENARIOS = ("crash-restart", "crash-cold", "blackout", "all")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -91,6 +95,34 @@ def build_parser() -> argparse.ArgumentParser:
     sts = sub.add_parser("stats",
                          help="event counts + metrics of a JSONL trace")
     sts.add_argument("tracefile", help="path to a JSONL trace")
+
+    cha = sub.add_parser(
+        "chaos",
+        help="run a fault-injection scenario and report recovery",
+    )
+    cha.add_argument("--scenario", choices=sorted(_CHAOS_SCENARIOS),
+                     default="all",
+                     help="which fault scenario to run (default: all)")
+    cha.add_argument("--rounds", type=int, default=1200,
+                     help="protocol rounds per run")
+    cha.add_argument("--fault-at", type=int, default=400,
+                     help="round at which the fault starts")
+    cha.add_argument("--outage", type=int, default=50,
+                     help="fault duration in rounds")
+    cha.add_argument("--agent", default="resource:r0",
+                     help="agent to crash (crash scenarios)")
+    cha.add_argument("--seed", type=int, default=0)
+    cha.add_argument("--staleness-limit", type=int, default=10,
+                     help="rounds before a controller degrades on stale "
+                          "prices")
+    cha.add_argument("--quick", action="store_true",
+                     help="small-budget smoke configuration "
+                          "(500 rounds, fault at 150 for 30)")
+    cha.add_argument("--traces", action="store_true",
+                     help="include per-round utility traces in the JSON "
+                          "report")
+    cha.add_argument("-o", "--output",
+                     help="write the chaos report as JSON to this file")
 
     return parser
 
@@ -221,6 +253,56 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments.resilience import (
+        run_blackout_recovery,
+        run_crash_recovery,
+    )
+
+    rounds, fault_at, outage = args.rounds, args.fault_at, args.outage
+    if args.quick:
+        rounds, fault_at, outage = 500, 150, 30
+
+    def crash(warm: bool):
+        return run_crash_recovery(
+            agent=args.agent, rounds=rounds, crash_at=fault_at,
+            outage=outage, warm=warm, seed=args.seed,
+            staleness_limit=args.staleness_limit,
+        )
+
+    def blackout():
+        return run_blackout_recovery(
+            rounds=rounds, start=fault_at, duration=outage, seed=args.seed,
+            staleness_limit=args.staleness_limit,
+        )
+
+    runners = {
+        "crash-restart": lambda: [crash(True)],
+        "crash-cold": lambda: [crash(False)],
+        "blackout": lambda: [blackout()],
+        "all": lambda: [crash(True), crash(False), blackout()],
+    }
+    reports = runners[args.scenario]()
+    for report in reports:
+        print(report.summary())
+    healthy = all(r.recovered() and r.degradation_safe() for r in reports)
+    print(f"healthy: {healthy}")
+    if args.output:
+        payload = {
+            "experiment": "resilience",
+            "rounds": rounds,
+            "seed": args.seed,
+            "staleness_limit": args.staleness_limit,
+            "healthy": healthy,
+            "reports": [r.to_dict(include_traces=args.traces)
+                        for r in reports],
+        }
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"chaos report written to {args.output}")
+    return 0 if healthy else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -230,6 +312,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "export-workload": _cmd_export,
         "trace": _cmd_trace,
         "stats": _cmd_stats,
+        "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)
 

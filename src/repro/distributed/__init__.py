@@ -2,7 +2,10 @@
 
 Task controllers and resource agents exchange prices and latencies over a
 simulated control network with configurable delay, jitter, loss and
-partitions.
+partitions, plus a chaos subsystem (:mod:`repro.distributed.faults`)
+scripting crashes/restarts, loss bursts, duplication/reordering and
+capacity shocks, with checkpoint-based warm recovery and staleness-bound
+graceful degradation.
 """
 
 from repro.distributed.activation import (
@@ -10,6 +13,17 @@ from repro.distributed.activation import (
     EveryRound,
     PeriodicActivation,
     RandomActivation,
+)
+from repro.distributed.checkpoint import Checkpoint, CheckpointStore
+from repro.distributed.faults import (
+    CapacityShock,
+    CrashWindow,
+    DuplicationWindow,
+    FaultInjector,
+    FaultPlan,
+    LossBurst,
+    PartitionWindow,
+    ReorderWindow,
 )
 from repro.distributed.closedloop import (
     DistributedClosedLoop,
@@ -40,4 +54,14 @@ __all__ = [
     "RandomActivation",
     "DistributedClosedLoop",
     "DistributedEpochRecord",
+    "FaultPlan",
+    "FaultInjector",
+    "CrashWindow",
+    "PartitionWindow",
+    "LossBurst",
+    "DuplicationWindow",
+    "ReorderWindow",
+    "CapacityShock",
+    "Checkpoint",
+    "CheckpointStore",
 ]

@@ -1,0 +1,84 @@
+"""Agent checkpointing for crash/restart recovery.
+
+A restarted agent has two options (§4.4's "running continuously" mode
+meets fault tolerance):
+
+* **warm restart** — resume from the last checkpointed dual state (prices,
+  step sizes, last latencies).  Dual-gradient iterations are
+  self-correcting, so a slightly stale checkpoint merely costs a few
+  rounds of re-convergence;
+* **cold restart** — fall back to the configured initial prices, exactly
+  as if the agent had just been deployed.
+
+The store is deliberately simple: a versioned in-memory snapshot per
+agent.  Snapshots are deep-copied on both save and load so a restored
+agent can never alias live state, and each save records the round it was
+taken at so restart telemetry can report checkpoint age.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.errors import DistributedError
+
+__all__ = ["Checkpoint", "CheckpointStore"]
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One agent snapshot: the round it was taken at plus opaque state."""
+
+    agent: str
+    round: int
+    state: Dict[str, Any]
+
+
+class CheckpointStore:
+    """Keeps the most recent :class:`Checkpoint` per agent."""
+
+    def __init__(self) -> None:
+        self._checkpoints: Dict[str, Checkpoint] = {}
+        self.saves = 0
+        self.loads = 0
+
+    def save(self, agent: str, round_number: int,
+             state: Dict[str, Any]) -> Checkpoint:
+        """Snapshot ``state`` for ``agent`` (replaces any older snapshot)."""
+        if round_number < 0:
+            raise DistributedError(
+                f"checkpoint round must be >= 0, got {round_number!r}"
+            )
+        checkpoint = Checkpoint(
+            agent=agent, round=round_number, state=copy.deepcopy(state)
+        )
+        self._checkpoints[agent] = checkpoint
+        self.saves += 1
+        return checkpoint
+
+    def load(self, agent: str) -> Optional[Checkpoint]:
+        """The latest snapshot for ``agent`` (state deep-copied), or
+        ``None`` when the agent has never been checkpointed."""
+        checkpoint = self._checkpoints.get(agent)
+        if checkpoint is None:
+            return None
+        self.loads += 1
+        return Checkpoint(
+            agent=checkpoint.agent,
+            round=checkpoint.round,
+            state=copy.deepcopy(checkpoint.state),
+        )
+
+    def has(self, agent: str) -> bool:
+        return agent in self._checkpoints
+
+    def drop(self, agent: str) -> None:
+        self._checkpoints.pop(agent, None)
+
+    def clear(self) -> None:
+        self._checkpoints.clear()
+
+    def __len__(self) -> int:
+        return len(self._checkpoints)

@@ -1,0 +1,370 @@
+"""Declarative fault plans for the distributed LLA runtime (chaos testing).
+
+The paper's claim is that LLA keeps converging *online* while the system
+changes underneath it (§4–§6): prices move on stale information, model
+error is corrected from measurements, and workload/resource variation is
+absorbed by the continuously-running optimization.  The message bus
+already models benign transport faults (delay, i.i.d. loss, static
+partitions); this module scripts the *malign* ones — agents crashing and
+restarting, partitions that open and heal on a schedule, loss bursts and
+full blackouts, duplicated and reordered messages, and resource capacity
+shocks — as deterministic, seed-reproducible scenarios.
+
+A :class:`FaultPlan` is pure data: a validated set of fault windows keyed
+by protocol round.  The :class:`FaultInjector` binds a plan to a running
+:class:`~repro.distributed.runtime.DistributedLLARuntime` and applies the
+due actions at the start of each round, so the whole trajectory (including
+every RNG draw on the bus) is a pure function of ``(seed, plan)``.
+
+Round convention: all rounds are the runtime's 1-based round numbers, and
+an action fires at the *start* of its round (before the controller phase).
+A window ``start=100, end=150`` is therefore active during rounds
+100..149 and cleared at the start of round 150.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import DistributedError
+
+__all__ = [
+    "CrashWindow",
+    "PartitionWindow",
+    "LossBurst",
+    "DuplicationWindow",
+    "ReorderWindow",
+    "CapacityShock",
+    "FaultPlan",
+    "FaultInjector",
+]
+
+
+def _require_round(value: int, label: str) -> int:
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise DistributedError(
+            f"{label} must be a round number >= 1, got {value!r}"
+        )
+    return value
+
+
+def _require_window(start: int, end: Optional[int], label: str) -> None:
+    _require_round(start, f"{label}.start")
+    if end is not None and _require_round(end, f"{label}.end") <= start:
+        raise DistributedError(
+            f"{label} must end after it starts, got [{start}, {end})"
+        )
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """Crash ``agent`` at round ``at``; restart it at ``restart_at``.
+
+    ``restart_at=None`` means the agent stays down for the rest of the
+    run.  ``warm=True`` restores the last checkpointed state from the
+    runtime's :class:`~repro.distributed.checkpoint.CheckpointStore`
+    (falling back to a cold restart when no checkpoint exists yet);
+    ``warm=False`` forces a cold restart from the configured initials.
+    """
+
+    agent: str
+    at: int
+    restart_at: Optional[int] = None
+    warm: bool = True
+
+    def __post_init__(self):
+        _require_window(self.at, self.restart_at, f"crash({self.agent})")
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """Sever the ``a`` ↔ ``b`` link during ``[start, end)``; auto-heal at
+    ``end`` (``end=None`` = never heals)."""
+
+    a: str
+    b: str
+    start: int
+    end: Optional[int] = None
+
+    def __post_init__(self):
+        _require_window(self.start, self.end,
+                        f"partition({self.a}, {self.b})")
+
+
+@dataclass(frozen=True)
+class LossBurst:
+    """Override the bus loss probability during ``[start, end)``.
+
+    ``probability=1.0`` is a full blackout: every message sent during the
+    window is dropped.  The bus's configured base probability is restored
+    at ``end``.
+    """
+
+    start: int
+    end: int
+    probability: float = 1.0
+
+    def __post_init__(self):
+        _require_window(self.start, self.end, "loss burst")
+        if not 0.0 <= self.probability <= 1.0 or \
+                not math.isfinite(self.probability):
+            raise DistributedError(
+                f"loss burst probability must be in [0, 1], "
+                f"got {self.probability!r}"
+            )
+
+
+@dataclass(frozen=True)
+class DuplicationWindow:
+    """Duplicate each sent message with ``probability`` during
+    ``[start, end)``.
+
+    The duplicate carries the original's sequence number, so a
+    deduplicating bus delivers it at most once — the window verifies that
+    replayed messages cannot double-apply price steps.
+    """
+
+    start: int
+    end: int
+    probability: float = 0.5
+
+    def __post_init__(self):
+        _require_window(self.start, self.end, "duplication window")
+        if not 0.0 < self.probability <= 1.0 or \
+                not math.isfinite(self.probability):
+            raise DistributedError(
+                f"duplication probability must be in (0, 1], "
+                f"got {self.probability!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ReorderWindow:
+    """Shuffle each receiver's per-round delivery order during
+    ``[start, end)`` (deterministically, from the bus RNG)."""
+
+    start: int
+    end: int
+
+    def __post_init__(self):
+        _require_window(self.start, self.end, "reorder window")
+
+
+@dataclass(frozen=True)
+class CapacityShock:
+    """Scale ``resource``'s availability by ``factor`` at round ``at``;
+    restore the original availability at ``restore_at`` (``None`` =
+    permanent)."""
+
+    resource: str
+    at: int
+    factor: float
+    restore_at: Optional[int] = None
+
+    def __post_init__(self):
+        _require_window(self.at, self.restore_at,
+                        f"capacity shock({self.resource})")
+        if not 0.0 < self.factor or not math.isfinite(self.factor):
+            raise DistributedError(
+                f"capacity shock factor must be positive and finite, "
+                f"got {self.factor!r}"
+            )
+
+
+def _no_overlap(spans, label: str) -> None:
+    """``spans`` is an iterable of (start, end-or-None) round pairs."""
+    ordered = sorted(
+        (start, end if end is not None else math.inf) for start, end in spans
+    )
+    for (s1, e1), (s2, _e2) in zip(ordered, ordered[1:]):
+        if s2 < e1:
+            raise DistributedError(
+                f"{label} windows overlap: [{s1}, {e1}) and start {s2}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic chaos scenario: validated fault windows by round.
+
+    All sequences are normalized to tuples so plans are hashable and safe
+    to share.  Windows of the same kind on the same subject may not
+    overlap (overlap would make restore order ambiguous); crash windows of
+    the same agent may not overlap either.
+    """
+
+    crashes: Tuple[CrashWindow, ...] = ()
+    partitions: Tuple[PartitionWindow, ...] = ()
+    loss_bursts: Tuple[LossBurst, ...] = ()
+    duplications: Tuple[DuplicationWindow, ...] = ()
+    reorders: Tuple[ReorderWindow, ...] = ()
+    capacity_shocks: Tuple[CapacityShock, ...] = ()
+
+    def __post_init__(self):
+        for f in fields(self):
+            object.__setattr__(self, f.name, tuple(getattr(self, f.name)))
+        by_agent: Dict[str, List[Tuple[int, Optional[int]]]] = {}
+        for crash in self.crashes:
+            by_agent.setdefault(crash.agent, []).append(
+                (crash.at, crash.restart_at)
+            )
+        for agent, spans in by_agent.items():
+            _no_overlap(spans, f"crash({agent})")
+        _no_overlap([(w.start, w.end) for w in self.loss_bursts],
+                    "loss burst")
+        _no_overlap([(w.start, w.end) for w in self.duplications],
+                    "duplication")
+        _no_overlap([(w.start, w.end) for w in self.reorders], "reorder")
+        by_resource: Dict[str, List[Tuple[int, Optional[int]]]] = {}
+        for shock in self.capacity_shocks:
+            by_resource.setdefault(shock.resource, []).append(
+                (shock.at, shock.restore_at)
+            )
+        for resource, spans in by_resource.items():
+            _no_overlap(spans, f"capacity shock({resource})")
+
+    def is_empty(self) -> bool:
+        return not any(getattr(self, f.name) for f in fields(self))
+
+    def agents(self) -> Tuple[str, ...]:
+        """Every agent name the plan references."""
+        names = {c.agent for c in self.crashes}
+        for p in self.partitions:
+            names.update((p.a, p.b))
+        return tuple(sorted(names))
+
+    def resources(self) -> Tuple[str, ...]:
+        """Every resource name the plan references."""
+        return tuple(sorted({s.resource for s in self.capacity_shocks}))
+
+    def last_round(self) -> int:
+        """The latest round at which the plan still does anything."""
+        latest = 0
+        for crash in self.crashes:
+            latest = max(latest, crash.restart_at or crash.at)
+        for part in self.partitions:
+            latest = max(latest, part.end or part.start)
+        for window in (self.loss_bursts + self.duplications + self.reorders):
+            latest = max(latest, window.end)
+        for shock in self.capacity_shocks:
+            latest = max(latest, shock.restore_at or shock.at)
+        return latest
+
+
+@dataclass
+class _Actions:
+    """Everything a single round triggers, precomputed."""
+
+    crashes: List[CrashWindow] = field(default_factory=list)
+    restarts: List[CrashWindow] = field(default_factory=list)
+    partitions: List[PartitionWindow] = field(default_factory=list)
+    heals: List[PartitionWindow] = field(default_factory=list)
+    burst_starts: List[LossBurst] = field(default_factory=list)
+    burst_ends: List[LossBurst] = field(default_factory=list)
+    dup_starts: List[DuplicationWindow] = field(default_factory=list)
+    dup_ends: List[DuplicationWindow] = field(default_factory=list)
+    reorder_starts: List[ReorderWindow] = field(default_factory=list)
+    reorder_ends: List[ReorderWindow] = field(default_factory=list)
+    shocks: List[CapacityShock] = field(default_factory=list)
+    shock_restores: List[CapacityShock] = field(default_factory=list)
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to a runtime, round by round.
+
+    Validates every referenced agent and resource against the runtime at
+    construction, then indexes the plan by round so :meth:`apply` is an
+    O(1) dictionary probe on quiet rounds.
+    """
+
+    def __init__(self, plan: FaultPlan, runtime) -> None:
+        self.plan = plan
+        self.runtime = runtime
+        known_agents = set(runtime.agent_names())
+        for name in plan.agents():
+            if name not in known_agents:
+                raise DistributedError(
+                    f"fault plan references unknown agent {name!r}; "
+                    f"known agents: {sorted(known_agents)}"
+                )
+        for rname in plan.resources():
+            if rname not in runtime.taskset.resources:
+                raise DistributedError(
+                    f"fault plan references unknown resource {rname!r}"
+                )
+        self._by_round: Dict[int, _Actions] = {}
+        for crash in plan.crashes:
+            self._at(crash.at).crashes.append(crash)
+            if crash.restart_at is not None:
+                self._at(crash.restart_at).restarts.append(crash)
+        for part in plan.partitions:
+            self._at(part.start).partitions.append(part)
+            if part.end is not None:
+                self._at(part.end).heals.append(part)
+        for burst in plan.loss_bursts:
+            self._at(burst.start).burst_starts.append(burst)
+            self._at(burst.end).burst_ends.append(burst)
+        for dup in plan.duplications:
+            self._at(dup.start).dup_starts.append(dup)
+            self._at(dup.end).dup_ends.append(dup)
+        for reorder in plan.reorders:
+            self._at(reorder.start).reorder_starts.append(reorder)
+            self._at(reorder.end).reorder_ends.append(reorder)
+        for shock in plan.capacity_shocks:
+            self._at(shock.at).shocks.append(shock)
+            if shock.restore_at is not None:
+                self._at(shock.restore_at).shock_restores.append(shock)
+        self._base_loss: Optional[float] = None
+        self._base_availability: Dict[str, float] = {}
+
+    def _at(self, round_number: int) -> _Actions:
+        actions = self._by_round.get(round_number)
+        if actions is None:
+            actions = self._by_round[round_number] = _Actions()
+        return actions
+
+    # -- actuation ---------------------------------------------------------------
+
+    def apply(self, round_number: int) -> None:
+        """Fire every action scheduled for ``round_number``."""
+        actions = self._by_round.get(round_number)
+        if actions is None:
+            return
+        runtime, bus = self.runtime, self.runtime.bus
+        # Restores first so back-to-back windows hand over cleanly.
+        for burst in actions.burst_ends:
+            bus.set_loss_probability(self._base_loss)
+            self._base_loss = None
+        for _dup in actions.dup_ends:
+            bus.duplication_probability = 0.0
+        for _reorder in actions.reorder_ends:
+            bus.reorder = False
+        for shock in actions.shock_restores:
+            runtime.set_resource_availability(
+                shock.resource, self._base_availability.pop(shock.resource)
+            )
+        for part in actions.heals:
+            bus.heal(part.a, part.b)
+        for crash in actions.restarts:
+            runtime.restart_agent(crash.agent, warm=crash.warm)
+        # Then this round's new faults.
+        for crash in actions.crashes:
+            runtime.crash_agent(crash.agent)
+        for part in actions.partitions:
+            bus.partition(part.a, part.b)
+        for burst in actions.burst_starts:
+            self._base_loss = bus.loss_probability
+            bus.set_loss_probability(burst.probability)
+        for dup in actions.dup_starts:
+            bus.duplication_probability = dup.probability
+        for _reorder in actions.reorder_starts:
+            bus.reorder = True
+        for shock in actions.shocks:
+            self._base_availability[shock.resource] = \
+                runtime.taskset.resources[shock.resource].availability
+            runtime.set_resource_availability(
+                shock.resource,
+                self._base_availability[shock.resource] * shock.factor,
+            )

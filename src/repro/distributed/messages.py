@@ -17,7 +17,7 @@ Messages are immutable; the bus owns delivery timing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import Optional, Union
 
 __all__ = ["PriceMessage", "LatencyMessage", "Envelope", "Payload"]
 
@@ -52,10 +52,19 @@ Payload = Union[PriceMessage, LatencyMessage]
 
 @dataclass(frozen=True)
 class Envelope:
-    """A payload in flight: sender, receiver and delivery round."""
+    """A payload in flight: sender, receiver and delivery round.
+
+    ``seq`` is a bus-unique sequence number shared by every copy of the
+    same logical message (a duplicated/replayed message carries its
+    original's ``seq``), which is what delivery-time deduplication keys
+    on.  ``ttl`` bounds the message's deliverable age in rounds (``None``
+    = never expires).
+    """
 
     sender: str
     receiver: str
     payload: Payload
     send_round: int
     deliver_round: int
+    seq: int = 0
+    ttl: Optional[int] = None

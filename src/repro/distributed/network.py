@@ -4,18 +4,31 @@ Supports the failure modes a real control plane sees:
 
 * **delay** — a fixed number of rounds plus an optional random extra delay,
   so agents act on stale prices/latencies;
-* **loss** — i.i.d. message drops with a configured probability;
+* **loss** — i.i.d. message drops with a configured probability
+  (``1.0`` = a full blackout);
 * **partitions** — pairs of agents that temporarily cannot exchange
-  messages.
+  messages;
+* **duplication** — a sent message is occasionally enqueued twice (same
+  sequence number), modelling at-least-once transports and replays;
+* **reordering** — a receiver's due messages are shuffled instead of
+  arriving in send order;
+* **expiry** — messages older than ``message_ttl`` rounds are discarded at
+  delivery time, so a restarted agent is not flooded with stale state.
+
+Replay safety: every envelope carries a bus-unique sequence number, and a
+deduplicating bus delivers each sequence number to a receiver at most once
+— duplicated or replayed messages can never double-apply a price step.
 
 Delivery is deterministic given the seed: the bus holds every in-flight
 :class:`~repro.distributed.messages.Envelope` in a round-indexed queue and
-hands each agent its due messages at the start of a round, in send order.
+hands each agent its due messages at the start of a round, in send order
+(or in a seed-determined shuffle while reordering is active).
 """
 
 from __future__ import annotations
 
 import logging
+import math
 from collections import defaultdict
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -43,38 +56,116 @@ class MessageBus:
         ``{0, …, jitter}`` per message.
     loss_probability:
         Probability that any individual message is silently dropped.
+        ``1.0`` is a legitimate configuration (a full blackout: every
+        message is dropped), used by chaos scenarios.
     seed:
         RNG seed; the bus is the only source of randomness in the runtime.
+    message_ttl:
+        Maximum age in rounds a message stays deliverable; older messages
+        expire at delivery time (``None`` = never expire).
+    dedup:
+        Deliver each envelope sequence number to a receiver at most once
+        (protects against duplication/replay; no effect on unique sends).
+
+    Agents may be declared up front with :meth:`register`; once any agent
+    is registered, :meth:`partition`/:meth:`heal` reject unknown names
+    (an unregistered bus stays permissive for ad-hoc use in tests).
     """
 
     def __init__(self, delay: int = 0, jitter: int = 0,
                  loss_probability: float = 0.0, seed: int = 0,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 message_ttl: Optional[int] = None,
+                 dedup: bool = True):
         if delay < 0:
             raise DistributedError(f"delay must be >= 0, got {delay!r}")
         if jitter < 0:
             raise DistributedError(f"jitter must be >= 0, got {jitter!r}")
-        if not 0.0 <= loss_probability < 1.0:
+        if message_ttl is not None and message_ttl < 0:
             raise DistributedError(
-                f"loss_probability must be in [0, 1), got {loss_probability!r}"
+                f"message_ttl must be >= 0, got {message_ttl!r}"
             )
         self.delay = int(delay)
         self.jitter = int(jitter)
-        self.loss_probability = float(loss_probability)
+        self.loss_probability = self._check_probability(loss_probability)
+        self.message_ttl = message_ttl
+        self.dedup = bool(dedup)
         self._rng = np.random.default_rng(seed)
         self._queue: Dict[int, List[Envelope]] = defaultdict(list)
         self._partitions: Set[Tuple[str, str]] = set()
+        self._agents: Set[str] = set()
         self.round = 0
         self.sent = 0
         self.delivered = 0
         self.dropped = 0
+        self.expired = 0
+        self.duplicated = 0
+        self.deduplicated = 0
+        self._seq = 0
+        self._duplication_probability = 0.0
+        self.reorder = False
+        # Per-receiver seen sequence numbers; populated only once
+        # duplication has ever been switched on (otherwise every sequence
+        # number is unique and the set would be pure overhead).
+        self._seen: Dict[str, Set[int]] = {}
+        self._track_seen = False
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._per_agent_sent: Dict[str, object] = {}
 
-    # -- faults ------------------------------------------------------------------
+    @staticmethod
+    def _check_probability(value: float) -> float:
+        if not 0.0 <= value <= 1.0 or not math.isfinite(value):
+            raise DistributedError(
+                f"loss_probability must be in [0, 1], got {value!r}"
+            )
+        return float(value)
+
+    # -- topology ----------------------------------------------------------------
+
+    def register(self, *names: str) -> None:
+        """Declare agent names; enables name validation on faults."""
+        for name in names:
+            if not name:
+                raise DistributedError("agent name must be non-empty")
+            self._agents.add(name)
+
+    @property
+    def agents(self) -> Set[str]:
+        """Registered agent names (empty = permissive ad-hoc mode)."""
+        return set(self._agents)
+
+    def _check_agent(self, name: str, operation: str) -> None:
+        if self._agents and name not in self._agents:
+            raise DistributedError(
+                f"{operation}: unknown agent {name!r}; registered agents: "
+                f"{sorted(self._agents)}"
+            )
+
+    # -- fault knobs -------------------------------------------------------------
+
+    @property
+    def duplication_probability(self) -> float:
+        """Probability that a sent message is enqueued twice."""
+        return self._duplication_probability
+
+    @duplication_probability.setter
+    def duplication_probability(self, value: float) -> None:
+        if not 0.0 <= value <= 1.0 or not math.isfinite(value):
+            raise DistributedError(
+                f"duplication_probability must be in [0, 1], got {value!r}"
+            )
+        self._duplication_probability = float(value)
+        if value > 0.0:
+            self._track_seen = True
+
+    def set_loss_probability(self, value: float) -> None:
+        """Change the drop probability mid-run (chaos loss bursts)."""
+        self.loss_probability = self._check_probability(value)
 
     def partition(self, a: str, b: str) -> None:
         """Sever the (bidirectional) link between two agents."""
+        self._check_agent(a, "partition")
+        self._check_agent(b, "partition")
         logger.warning("bus partition: %s <-/-> %s (round %d)",
                        a, b, self.round)
         self._partitions.add((a, b))
@@ -85,6 +176,8 @@ class MessageBus:
 
     def heal(self, a: str, b: str) -> None:
         """Restore a severed link."""
+        self._check_agent(a, "heal")
+        self._check_agent(b, "heal")
         logger.info("bus heal: %s <-> %s (round %d)", a, b, self.round)
         self._partitions.discard((a, b))
         self._partitions.discard((b, a))
@@ -109,21 +202,28 @@ class MessageBus:
                 self._count_drop(sender, receiver, payload, "partition")
             return None
         if self.loss_probability > 0.0 and \
-                self._rng.random() < self.loss_probability:
+                (self.loss_probability >= 1.0
+                 or self._rng.random() < self.loss_probability):
             self.dropped += 1
             if instrumented:
                 self._count_drop(sender, receiver, payload, "loss")
             return None
         extra = int(self._rng.integers(0, self.jitter + 1)) if self.jitter else 0
         deliver_round = self.round + self.delay + extra
+        self._seq += 1
         envelope = Envelope(
             sender=sender,
             receiver=receiver,
             payload=payload,
             send_round=self.round,
             deliver_round=deliver_round,
+            seq=self._seq,
+            ttl=self.message_ttl,
         )
         self._queue[deliver_round].append(envelope)
+        if self._duplication_probability > 0.0 and \
+                self._rng.random() < self._duplication_probability:
+            self._enqueue_duplicate(envelope)
         if instrumented:
             if deliver_round > self.round:
                 tel.registry.counter(
@@ -144,6 +244,33 @@ class MessageBus:
                         delay_rounds=deliver_round - self.round,
                     )
         return envelope
+
+    def _enqueue_duplicate(self, original: Envelope) -> None:
+        """Enqueue a replay of ``original`` (same seq; own jittered lag)."""
+        extra = int(self._rng.integers(0, self.jitter + 1)) if self.jitter else 0
+        deliver_round = self.round + self.delay + extra
+        duplicate = Envelope(
+            sender=original.sender,
+            receiver=original.receiver,
+            payload=original.payload,
+            send_round=original.send_round,
+            deliver_round=deliver_round,
+            seq=original.seq,
+            ttl=original.ttl,
+        )
+        self._queue[deliver_round].append(duplicate)
+        self.duplicated += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.registry.counter(
+                "bus.duplicated_total", "messages enqueued twice"
+            ).inc()
+            if tel.tracer.enabled:
+                tel.tracer.emit(
+                    "message_duplicated", sender=original.sender,
+                    receiver=original.receiver, seq=original.seq,
+                    send_round=original.send_round,
+                )
 
     def _count_send(self, sender: str) -> None:
         registry = self.telemetry.registry
@@ -169,20 +296,89 @@ class MessageBus:
                 send_round=self.round,
             )
 
+    def _is_expired(self, env: Envelope) -> bool:
+        return env.ttl is not None and (self.round - env.send_round) > env.ttl
+
     def deliver(self, receiver: str) -> List[Envelope]:
-        """All messages due for ``receiver`` at the current round."""
+        """All messages due for ``receiver`` at the current round.
+
+        Expired envelopes (older than their TTL) and duplicate sequence
+        numbers are filtered here — the receiver only ever sees fresh,
+        at-most-once traffic.
+        """
         due = self._queue.get(self.round, [])
         mine = [env for env in due if env.receiver == receiver]
-        if mine:
-            self._queue[self.round] = [
-                env for env in due if env.receiver != receiver
-            ]
-            self.delivered += len(mine)
-            if self.telemetry.enabled:
-                self.telemetry.registry.counter(
-                    "bus.delivered_total", "messages handed to receivers"
-                ).inc(len(mine))
-        return mine
+        if not mine:
+            return mine
+        self._queue[self.round] = [
+            env for env in due if env.receiver != receiver
+        ]
+        fresh: List[Envelope] = []
+        for env in mine:
+            if self._is_expired(env):
+                self.expired += 1
+                self._count_expired(env)
+                continue
+            if self.dedup and self._track_seen:
+                seen = self._seen.setdefault(receiver, set())
+                if env.seq in seen:
+                    self.deduplicated += 1
+                    self._count_dedup(env)
+                    continue
+                seen.add(env.seq)
+            fresh.append(env)
+        if self.reorder and len(fresh) > 1:
+            order = self._rng.permutation(len(fresh))
+            fresh = [fresh[i] for i in order]
+        self.delivered += len(fresh)
+        if fresh and self.telemetry.enabled:
+            self.telemetry.registry.counter(
+                "bus.delivered_total", "messages handed to receivers"
+            ).inc(len(fresh))
+        return fresh
+
+    def _count_expired(self, env: Envelope) -> None:
+        tel = self.telemetry
+        if not tel.enabled:
+            return
+        tel.registry.counter(
+            "bus.expired_total", "messages discarded past their TTL"
+        ).inc()
+        if tel.tracer.enabled:
+            tel.tracer.emit(
+                "message_expired", sender=env.sender, receiver=env.receiver,
+                seq=env.seq, age=self.round - env.send_round,
+            )
+
+    def _count_dedup(self, env: Envelope) -> None:
+        tel = self.telemetry
+        if not tel.enabled:
+            return
+        tel.registry.counter(
+            "bus.deduplicated_total",
+            "duplicate deliveries suppressed",
+        ).inc()
+        if tel.tracer.enabled:
+            tel.tracer.emit(
+                "message_deduplicated", sender=env.sender,
+                receiver=env.receiver, seq=env.seq,
+            )
+
+    def purge(self, receiver: str, reason: str = "crash") -> int:
+        """Discard every message due for ``receiver`` this round (used
+        while the receiver is crashed); returns the number discarded."""
+        due = self._queue.get(self.round, [])
+        mine = [env for env in due if env.receiver == receiver]
+        if not mine:
+            return 0
+        self._queue[self.round] = [
+            env for env in due if env.receiver != receiver
+        ]
+        self.dropped += len(mine)
+        if self.telemetry.enabled:
+            for env in mine:
+                self._count_drop(env.sender, receiver, env.payload, reason)
+        return len(mine)
 
     def advance(self) -> None:
         """Move to the next round (undelivered past messages carry over)."""

@@ -32,8 +32,11 @@ from repro.distributed.agents import (
     ResourceAgent,
     TaskControllerAgent,
 )
+from repro.distributed.checkpoint import CheckpointStore
+from repro.distributed.faults import FaultInjector, FaultPlan
 from repro.distributed.messages import PriceMessage
 from repro.distributed.network import MessageBus
+from repro.errors import DistributedError
 from repro.model.task import TaskSet
 from repro.telemetry import NULL_TELEMETRY, Telemetry, encode_record
 
@@ -60,6 +63,19 @@ class DistributedConfig:
     record_history: bool = True
     #: Which agents act each round; None = the synchronous ideal.
     activation: Optional[ActivationSchedule] = None
+    #: Scripted chaos scenario applied round by round; None = fault-free.
+    fault_plan: Optional[FaultPlan] = None
+    #: Controllers freeze dual updates and fall back to their last
+    #: critical-time-feasible assignment once their newest resource price
+    #: is older than this many rounds; None disables the detector.
+    staleness_limit: Optional[int] = None
+    #: Checkpoint every agent's state every this many rounds (for warm
+    #: restarts after a crash); 0 disables checkpointing.
+    checkpoint_interval: int = 25
+    #: Bus-level envelope TTL in rounds (None = messages never expire).
+    message_ttl: Optional[int] = None
+    #: Suppress duplicate deliveries of the same envelope sequence number.
+    dedup: bool = True
 
 
 class DistributedLLARuntime:
@@ -80,6 +96,8 @@ class DistributedLLARuntime:
             loss_probability=cfg.loss_probability,
             seed=cfg.seed,
             telemetry=telemetry,
+            message_ttl=cfg.message_ttl,
+            dedup=cfg.dedup,
         )
 
         def gamma_factory() -> LocalGamma:
@@ -98,6 +116,7 @@ class DistributedLLARuntime:
                 initial_path_price=cfg.initial_path_price,
                 gamma_factory=gamma_factory,
                 max_latency_factor=cfg.max_latency_factor,
+                staleness_limit=cfg.staleness_limit,
             )
             for task in taskset.tasks
         }
@@ -111,14 +130,132 @@ class DistributedLLARuntime:
             )
             for rname in taskset.resources
         }
+        self.bus.register(*self.agent_names())
+        self.checkpoints = CheckpointStore()
+        self.injector = (
+            FaultInjector(cfg.fault_plan, self)
+            if cfg.fault_plan is not None and not cfg.fault_plan.is_empty()
+            else None
+        )
         self.activation = cfg.activation or EveryRound()
         self.round = 0
         self.history: List[IterationRecord] = []
+        self.crash_dropped = 0
         # Price-staleness tracking: the round each controller last received
         # a price message, for the dist.price_staleness_max gauge.
         self._last_price_round: Dict[str, int] = {
             agent.name: 0 for agent in self.controllers.values()
         }
+
+    # -- agent directory --------------------------------------------------------
+
+    def agent_names(self):
+        """Every agent name, controllers then resources."""
+        return (
+            [agent.name for agent in self.controllers.values()]
+            + [agent.name for agent in self.resources.values()]
+        )
+
+    def agent(self, name: str):
+        """Resolve ``"controller:T"``/``"resource:r"`` to its agent."""
+        kind, _, subject = name.partition(":")
+        if kind == "controller" and subject in self.controllers:
+            return self.controllers[subject]
+        if kind == "resource" and subject in self.resources:
+            return self.resources[subject]
+        raise DistributedError(
+            f"unknown agent {name!r}; known agents: "
+            f"{sorted(self.agent_names())}"
+        )
+
+    # -- faults ------------------------------------------------------------------
+
+    def crash_agent(self, name: str) -> None:
+        """Take an agent down: it stops receiving, acting and sending;
+        messages addressed to it are dropped until it restarts."""
+        agent = self.agent(name)
+        if agent.crashed:
+            raise DistributedError(f"agent {name!r} is already crashed")
+        agent.crashed = True
+        logger.warning("agent crash: %s (round %d)", name, self.round)
+        if self.telemetry.enabled:
+            self.telemetry.registry.counter(
+                "dist.agent_crashes_total", "agent crash events"
+            ).inc()
+            self.telemetry.registry.gauge(
+                "dist.crashed_agents", "agents currently down"
+            ).inc()
+            if self.telemetry.tracer.enabled:
+                self.telemetry.tracer.emit(
+                    "agent_crash", agent=name, round=self.round
+                )
+
+    def restart_agent(self, name: str, warm: bool = True) -> None:
+        """Bring a crashed agent back, warm (from its last checkpoint,
+        when one exists) or cold (from the configured initials)."""
+        agent = self.agent(name)
+        if not agent.crashed:
+            raise DistributedError(f"agent {name!r} is not crashed")
+        checkpoint = self.checkpoints.load(name) if warm else None
+        if checkpoint is not None:
+            agent.restore_checkpoint(checkpoint.state)
+        else:
+            agent.cold_restart()
+        agent.crashed = False
+        logger.info(
+            "agent restart: %s (round %d, %s)", name, self.round,
+            f"warm from round {checkpoint.round}" if checkpoint is not None
+            else "cold",
+        )
+        if self.telemetry.enabled:
+            self.telemetry.registry.counter(
+                "dist.agent_restarts_total", "agent restart events"
+            ).inc()
+            self.telemetry.registry.gauge(
+                "dist.crashed_agents", "agents currently down"
+            ).dec()
+            if self.telemetry.tracer.enabled:
+                self.telemetry.tracer.emit(
+                    "agent_restart", agent=name, round=self.round,
+                    warm=checkpoint is not None,
+                    checkpoint_round=(
+                        checkpoint.round if checkpoint is not None else None
+                    ),
+                )
+
+    def set_resource_availability(self, resource: str, value: float) -> None:
+        """Apply a capacity shock: change ``B_r`` live and refresh every
+        controller's allocation bounds to the new model."""
+        self.taskset.set_availability(resource, value)
+        for controller in self.controllers.values():
+            controller.allocator.refresh_bounds()
+        logger.warning("capacity shock: %s availability -> %.6g (round %d)",
+                       resource, value, self.round)
+        if self.telemetry.tracer.enabled:
+            self.telemetry.tracer.emit(
+                "capacity_shock", resource=resource,
+                availability=float(value), round=self.round,
+            )
+
+    def crashed_agents(self):
+        """Names of agents currently down."""
+        return [
+            name for name in self.agent_names() if self.agent(name).crashed
+        ]
+
+    def degraded_controllers(self):
+        """Names of controllers currently in graceful degradation."""
+        return [
+            agent.name for agent in self.controllers.values()
+            if agent.degraded
+        ]
+
+    def _checkpoint_all(self) -> None:
+        for name in self.agent_names():
+            agent = self.agent(name)
+            if not agent.crashed:
+                self.checkpoints.save(name, self.round,
+                                      agent.to_checkpoint())
 
     # -- observation ----------------------------------------------------------
 
@@ -165,12 +302,23 @@ class DistributedLLARuntime:
     # -- execution -------------------------------------------------------------
 
     def step(self) -> IterationRecord:
-        """One protocol round (controller phase, then resource phase)."""
+        """One protocol round (controller phase, then resource phase).
+
+        Scripted faults fire at the start of the round; crashed agents
+        neither receive nor act, and their due messages are discarded.
+        """
         instrumented = self.telemetry.enabled
         if instrumented:
             started = time.perf_counter()
         self.round += 1
+        if self.injector is not None:
+            self.injector.apply(self.round)
+        newly_degraded = []
         for controller in self.controllers.values():
+            if controller.crashed:
+                self.crash_dropped += self.bus.purge(controller.name)
+                continue
+            was_degraded = controller.degraded
             messages = self.bus.deliver(controller.name)
             controller.receive(messages)
             if instrumented and any(
@@ -179,17 +327,53 @@ class DistributedLLARuntime:
                 self._last_price_round[controller.name] = self.round
             if self.activation.is_active(controller.name, self.round):
                 controller.act(self.round)
+            if controller.degraded and not was_degraded:
+                newly_degraded.append(controller)
         for agent in self.resources.values():
+            if agent.crashed:
+                self.crash_dropped += self.bus.purge(agent.name)
+                continue
             agent.receive(self.bus.deliver(agent.name))
             if self.activation.is_active(agent.name, self.round):
                 agent.act(self.round)
         self.bus.advance()
+        if self.config.checkpoint_interval > 0 and \
+                self.round % self.config.checkpoint_interval == 0:
+            self._checkpoint_all()
         record = self._snapshot()
         if instrumented:
             self._observe_round(record, time.perf_counter() - started)
+            self._observe_degradation(newly_degraded)
         if self.on_round is not None:
             self.on_round(record)
         return record
+
+    def _observe_degradation(self, newly_degraded) -> None:
+        registry = self.telemetry.registry
+        tracer = self.telemetry.tracer
+        for controller in newly_degraded:
+            logger.warning(
+                "controller %s degraded: newest price is %d rounds old "
+                "(limit %d), freezing on last feasible assignment (round %d)",
+                controller.name, controller.staleness(),
+                controller.staleness_limit, self.round,
+            )
+            if tracer.enabled:
+                tracer.emit(
+                    "staleness_violation", agent=controller.name,
+                    staleness=controller.staleness(),
+                    limit=controller.staleness_limit, round=self.round,
+                )
+        degraded = self.degraded_controllers()
+        if degraded:
+            registry.counter(
+                "dist.degraded_rounds_total",
+                "controller-rounds spent in graceful degradation",
+            ).inc(len(degraded))
+        registry.gauge(
+            "dist.degraded_controllers",
+            "controllers currently running degraded",
+        ).set(len(degraded))
 
     def _observe_round(self, record: IterationRecord,
                        duration: float) -> None:
@@ -227,6 +411,8 @@ class DistributedLLARuntime:
                 resources=len(self.resources),
                 delay=self.bus.delay, jitter=self.bus.jitter,
                 loss_probability=self.bus.loss_probability,
+                fault_plan=self.injector is not None,
+                staleness_limit=self.config.staleness_limit,
             )
         debug = logger.isEnabledFor(logging.DEBUG)
         for _ in range(budget):
@@ -253,7 +439,9 @@ class DistributedLLARuntime:
                 "run_finished", runtime="distributed", converged=converged,
                 iterations=self.round, utility=float(utility),
                 sent=self.bus.sent, delivered=self.bus.delivered,
-                dropped=self.bus.dropped,
+                dropped=self.bus.dropped, expired=self.bus.expired,
+                deduplicated=self.bus.deduplicated,
+                crash_dropped=self.crash_dropped,
             )
             if self.telemetry.registry.enabled:
                 tracer.emit("metrics_snapshot",

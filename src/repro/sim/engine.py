@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import logging
 import math
 from typing import Callable, List, Optional, Tuple
 
@@ -22,6 +23,8 @@ from repro.errors import SimulationError
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["EventHandle", "SimulationEngine"]
+
+logger = logging.getLogger(__name__)
 
 
 class EventHandle:
@@ -80,13 +83,32 @@ class SimulationEngine:
         return self._heap[0][0] if self._heap else None
 
     def step(self) -> bool:
-        """Run the next live event; ``False`` when none remain."""
+        """Run the next live event; ``False`` when none remain.
+
+        A callback that raises is never silently discarded: the failure is
+        logged with its event context, counted in the
+        ``sim.callback_errors_total`` telemetry counter, and re-raised —
+        an event that dies mid-simulation would otherwise corrupt the
+        virtual timeline invisibly.
+        """
         while self._heap:
             time, _prio, _seq, handle = heapq.heappop(self._heap)
             if handle.cancelled:
                 continue
             self.now = time
-            handle.callback()
+            try:
+                handle.callback()
+            except Exception:
+                if self.telemetry.enabled:
+                    self.telemetry.registry.counter(
+                        "sim.callback_errors_total",
+                        "event callbacks that raised",
+                    ).inc()
+                logger.exception(
+                    "event callback failed at t=%s (seq %d, priority %d)",
+                    time, handle.seq, handle.priority,
+                )
+                raise
             self.processed += 1
             if self.telemetry.enabled:
                 if self._events_counter is None:

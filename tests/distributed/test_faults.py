@@ -1,0 +1,396 @@
+"""Tests for the chaos subsystem: fault plans, crash/restart recovery,
+checkpointing, staleness degradation, and fault-run determinism."""
+
+import pytest
+
+from repro.distributed import (
+    CapacityShock,
+    CheckpointStore,
+    CrashWindow,
+    DistributedConfig,
+    DistributedLLARuntime,
+    DuplicationWindow,
+    FaultPlan,
+    LossBurst,
+    PartitionWindow,
+    ReorderWindow,
+)
+from repro.errors import DistributedError
+from repro.telemetry import Telemetry
+from repro.workloads.paper import base_workload
+
+
+def make_runtime(plan=None, rounds=100, seed=0, telemetry=None, **kwargs):
+    config = DistributedConfig(
+        rounds=rounds, seed=seed, fault_plan=plan, **kwargs
+    )
+    return DistributedLLARuntime(base_workload(), config,
+                                 telemetry=telemetry)
+
+
+class TestFaultPlanValidation:
+    def test_empty_plan(self):
+        assert FaultPlan().is_empty()
+        assert FaultPlan().last_round() == 0
+
+    def test_lists_normalized_to_tuples(self):
+        plan = FaultPlan(crashes=[CrashWindow("resource:r0", at=5)])
+        assert isinstance(plan.crashes, tuple)
+
+    def test_rejects_bad_rounds(self):
+        with pytest.raises(DistributedError):
+            CrashWindow("resource:r0", at=0)
+        with pytest.raises(DistributedError):
+            CrashWindow("resource:r0", at=10, restart_at=10)
+        with pytest.raises(DistributedError):
+            PartitionWindow("a", "b", start=5, end=3)
+        with pytest.raises(DistributedError):
+            LossBurst(start=1, end=5, probability=1.5)
+        with pytest.raises(DistributedError):
+            DuplicationWindow(start=1, end=5, probability=0.0)
+        with pytest.raises(DistributedError):
+            CapacityShock("r0", at=1, factor=0.0)
+
+    def test_blackout_burst_is_legal(self):
+        burst = LossBurst(start=10, end=20, probability=1.0)
+        assert burst.probability == 1.0
+
+    def test_rejects_overlapping_windows(self):
+        with pytest.raises(DistributedError):
+            FaultPlan(crashes=(
+                CrashWindow("resource:r0", at=5, restart_at=20),
+                CrashWindow("resource:r0", at=10, restart_at=30),
+            ))
+        with pytest.raises(DistributedError):
+            FaultPlan(loss_bursts=(
+                LossBurst(start=5, end=20),
+                LossBurst(start=10, end=30),
+            ))
+        # Same rounds on different subjects are fine.
+        FaultPlan(crashes=(
+            CrashWindow("resource:r0", at=5, restart_at=20),
+            CrashWindow("resource:r1", at=5, restart_at=20),
+        ))
+
+    def test_last_round(self):
+        plan = FaultPlan(
+            crashes=(CrashWindow("resource:r0", at=5, restart_at=20),),
+            loss_bursts=(LossBurst(start=30, end=40),),
+        )
+        assert plan.last_round() == 40
+
+    def test_injector_rejects_unknown_names(self):
+        with pytest.raises(DistributedError):
+            make_runtime(FaultPlan(crashes=(
+                CrashWindow("resource:ghost", at=5),
+            )))
+        with pytest.raises(DistributedError):
+            make_runtime(FaultPlan(capacity_shocks=(
+                CapacityShock("ghost", at=5, factor=0.5),
+            )))
+
+
+class TestCheckpointStore:
+    def test_save_load_roundtrip(self):
+        store = CheckpointStore()
+        store.save("a", 10, {"x": [1, 2]})
+        checkpoint = store.load("a")
+        assert checkpoint.round == 10
+        assert checkpoint.state == {"x": [1, 2]}
+
+    def test_load_is_isolated_copy(self):
+        store = CheckpointStore()
+        state = {"x": [1, 2]}
+        store.save("a", 1, state)
+        state["x"].append(3)                      # mutate after save
+        loaded = store.load("a")
+        assert loaded.state == {"x": [1, 2]}
+        loaded.state["x"].append(9)               # mutate after load
+        assert store.load("a").state == {"x": [1, 2]}
+
+    def test_missing_agent(self):
+        assert CheckpointStore().load("nobody") is None
+
+    def test_rejects_negative_round(self):
+        with pytest.raises(DistributedError):
+            CheckpointStore().save("a", -1, {})
+
+
+class TestCrashRestart:
+    def test_crashed_agent_freezes_and_drops_messages(self):
+        runtime = make_runtime()
+        for _ in range(10):
+            runtime.step()
+        runtime.crash_agent("resource:r0")
+        frozen_price = runtime.resources["r0"].price
+        dropped_before = runtime.crash_dropped
+        for _ in range(5):
+            runtime.step()
+        assert runtime.resources["r0"].price == frozen_price
+        assert runtime.crash_dropped > dropped_before
+        assert runtime.crashed_agents() == ["resource:r0"]
+
+    def test_double_crash_rejected(self):
+        runtime = make_runtime()
+        runtime.crash_agent("resource:r0")
+        with pytest.raises(DistributedError):
+            runtime.crash_agent("resource:r0")
+        with pytest.raises(DistributedError):
+            runtime.restart_agent("resource:r1")
+
+    def test_warm_restart_resumes_from_checkpoint(self):
+        runtime = make_runtime(checkpoint_interval=10)
+        for _ in range(20):
+            runtime.step()
+        checkpointed_price = runtime.checkpoints.load("resource:r0") \
+            .state["price"]
+        runtime.crash_agent("resource:r0")
+        runtime.step()
+        runtime.restart_agent("resource:r0", warm=True)
+        assert runtime.resources["r0"].price == checkpointed_price
+
+    def test_cold_restart_returns_to_initials(self):
+        runtime = make_runtime(checkpoint_interval=10)
+        for _ in range(20):
+            runtime.step()
+        runtime.crash_agent("resource:r0")
+        runtime.restart_agent("resource:r0", warm=False)
+        agent = runtime.resources["r0"]
+        assert agent.price == agent.initial_price
+        assert agent.latencies == {}
+
+    def test_warm_restart_without_checkpoint_falls_back_to_cold(self):
+        runtime = make_runtime(checkpoint_interval=0)
+        for _ in range(5):
+            runtime.step()
+        runtime.crash_agent("controller:T1")
+        runtime.restart_agent("controller:T1", warm=True)
+        controller = runtime.controllers["T1"]
+        assert all(p == runtime.config.initial_resource_price
+                   for p in controller.resource_prices.values())
+
+    def test_controller_crash_restart_recovers(self):
+        runtime = make_runtime(rounds=1500, checkpoint_interval=25)
+        plan_free = None
+        del plan_free
+        for _ in range(400):
+            runtime.step()
+        runtime.crash_agent("controller:T1")
+        for _ in range(30):
+            runtime.step()
+        runtime.restart_agent("controller:T1", warm=True)
+        result = runtime.run(1000)
+        assert runtime.taskset.is_feasible(result.latencies, tol=1e-2)
+
+    def test_crash_telemetry(self):
+        telemetry = Telemetry.in_memory()
+        runtime = make_runtime(telemetry=telemetry)
+        runtime.step()
+        runtime.crash_agent("resource:r0")
+        runtime.step()
+        runtime.restart_agent("resource:r0")
+        kinds = [ev.kind for ev in telemetry.tracer.sinks[0].events]
+        assert "agent_crash" in kinds
+        assert "agent_restart" in kinds
+        snapshot = telemetry.registry.snapshot()
+        assert snapshot["dist.agent_crashes_total"]["value"] == 1
+        assert snapshot["dist.agent_restarts_total"]["value"] == 1
+
+
+class TestStalenessDegradation:
+    def test_degrades_when_price_source_crashes(self):
+        runtime = make_runtime(staleness_limit=5)
+        for _ in range(50):
+            runtime.step()
+        runtime.crash_agent("resource:r0")
+        for _ in range(10):
+            runtime.step()
+        degraded = runtime.degraded_controllers()
+        assert degraded     # every task uses r0 in the base workload
+        controller = runtime.controllers["T1"]
+        assert controller.degraded
+        assert controller.staleness() > 5
+
+    def test_degraded_controller_freezes_dual_state(self):
+        runtime = make_runtime(staleness_limit=5)
+        for _ in range(50):
+            runtime.step()
+        runtime.crash_agent("resource:r0")
+        for _ in range(7):
+            runtime.step()
+        controller = runtime.controllers["T1"]
+        assert controller.degraded
+        frozen_paths = dict(controller.path_prices)
+        frozen_lat = dict(controller.latencies)
+        runtime.step()
+        assert controller.path_prices == frozen_paths
+        assert controller.latencies == frozen_lat
+
+    def test_degraded_assignment_is_feasible(self):
+        runtime = make_runtime(staleness_limit=5)
+        for _ in range(300):
+            runtime.step()
+        runtime.crash_agent("resource:r0")
+        for _ in range(20):
+            runtime.step()
+        for controller in runtime.controllers.values():
+            if not controller.degraded:
+                continue
+            task = controller.task
+            for path in task.graph.paths:
+                lat = task.graph.path_latency(path, controller.latencies)
+                assert lat <= task.critical_time + 1e-9
+
+    def test_recovers_after_restart(self):
+        runtime = make_runtime(rounds=1500, staleness_limit=5,
+                               checkpoint_interval=25)
+        for _ in range(300):
+            runtime.step()
+        runtime.crash_agent("resource:r0")
+        for _ in range(50):
+            runtime.step()
+        assert runtime.degraded_controllers()
+        runtime.restart_agent("resource:r0", warm=True)
+        for _ in range(20):
+            runtime.step()
+        assert not runtime.degraded_controllers()
+
+    def test_no_detector_without_limit(self):
+        runtime = make_runtime()
+        for _ in range(20):
+            runtime.step()
+        runtime.crash_agent("resource:r0")
+        for _ in range(30):
+            runtime.step()
+        assert not runtime.degraded_controllers()
+
+    def test_staleness_limit_validated(self):
+        with pytest.raises(DistributedError):
+            make_runtime(staleness_limit=0)
+
+
+class TestCapacityShock:
+    def test_shock_applies_and_restores(self):
+        plan = FaultPlan(capacity_shocks=(
+            CapacityShock("r0", at=10, factor=0.5, restore_at=20),
+        ))
+        runtime = make_runtime(plan)
+        original = runtime.taskset.resources["r0"].availability
+        for _ in range(10):
+            runtime.step()
+        assert runtime.taskset.resources["r0"].availability == \
+            pytest.approx(original * 0.5)
+        for _ in range(10):
+            runtime.step()
+        assert runtime.taskset.resources["r0"].availability == \
+            pytest.approx(original)
+
+    def test_converges_through_shock(self):
+        plan = FaultPlan(capacity_shocks=(
+            CapacityShock("r0", at=100, factor=0.8, restore_at=300),
+        ))
+        runtime = make_runtime(plan, rounds=1500)
+        result = runtime.run()
+        assert runtime.taskset.is_feasible(result.latencies, tol=1e-2)
+
+
+class TestScriptedScenario:
+    """The ISSUE acceptance scenario: a resource agent down for 50 rounds
+    mid-run, warm restart, full recovery, safety during degradation."""
+
+    PLAN = FaultPlan(crashes=(
+        CrashWindow("resource:r0", at=400, restart_at=450, warm=True),
+    ))
+
+    def run_with_plan(self, plan, rounds=1200, seed=0):
+        runtime = make_runtime(plan, rounds=rounds, seed=seed,
+                               staleness_limit=10, checkpoint_interval=25,
+                               record_history=True)
+        violations = 0
+        for _ in range(rounds):
+            record = runtime.step()
+            runtime.history.append(record)
+            degraded_tasks = {
+                name.split(":", 1)[1]
+                for name in runtime.degraded_controllers()
+            }
+            if degraded_tasks and any(
+                    key.task in degraded_tasks
+                    for key in record.congested_paths):
+                violations += 1
+        return runtime, violations
+
+    def test_recovery_within_one_percent_and_safe(self):
+        baseline, _ = self.run_with_plan(None)
+        faulted, violations = self.run_with_plan(self.PLAN)
+        base_utility = baseline.history[-1].utility
+        fault_utility = faulted.history[-1].utility
+        assert violations == 0
+        assert abs(fault_utility - base_utility) <= \
+            0.01 * abs(base_utility)
+        assert faulted.taskset.is_feasible(
+            faulted.global_latencies(), tol=1e-2
+        )
+
+    def test_trajectory_deterministic_given_seed(self):
+        first, _ = self.run_with_plan(self.PLAN, rounds=600, seed=7)
+        second, _ = self.run_with_plan(self.PLAN, rounds=600, seed=7)
+        assert len(first.history) == len(second.history)
+        for a, b in zip(first.history, second.history):
+            assert a.utility == b.utility           # bitwise, not approx
+            assert a.latencies == b.latencies
+            assert a.resource_prices == b.resource_prices
+            assert a.path_prices == b.path_prices
+
+    def test_different_seed_diverges(self):
+        plan = FaultPlan(
+            crashes=self.PLAN.crashes,
+            loss_bursts=(LossBurst(start=100, end=150, probability=0.4),),
+        )
+        first, _ = self.run_with_plan(plan, rounds=300, seed=7)
+        second, _ = self.run_with_plan(plan, rounds=300, seed=8)
+        assert any(a.utility != b.utility
+                   for a, b in zip(first.history, second.history))
+
+
+class TestFaultDeterminism:
+    """Satellite: same seed + same FaultPlan => bitwise-identical history,
+    across crash/restart boundaries, jittered delivery, partition/heal
+    windows, duplication and reordering."""
+
+    PLAN = FaultPlan(
+        crashes=(CrashWindow("resource:r1", at=60, restart_at=90),),
+        partitions=(PartitionWindow("controller:T1", "resource:r0",
+                                    start=30, end=70),),
+        loss_bursts=(LossBurst(start=100, end=120, probability=0.3),),
+        duplications=(DuplicationWindow(start=125, end=150,
+                                        probability=0.5),),
+        reorders=(ReorderWindow(start=10, end=160),),
+    )
+
+    def run_history(self, seed):
+        runtime = make_runtime(self.PLAN, rounds=200, seed=seed, jitter=2,
+                               staleness_limit=15, checkpoint_interval=20,
+                               message_ttl=25)
+        return [runtime.step() for _ in range(200)], runtime
+
+    def test_bitwise_identical_history(self):
+        first, bus_a = self.run_history(seed=3)
+        second, bus_b = self.run_history(seed=3)
+        for a, b in zip(first, second):
+            assert a.utility == b.utility
+            assert a.latencies == b.latencies
+            assert a.resource_prices == b.resource_prices
+            assert a.path_prices == b.path_prices
+            assert a.congested_resources == b.congested_resources
+        assert bus_a.bus.sent == bus_b.bus.sent
+        assert bus_a.bus.dropped == bus_b.bus.dropped
+        assert bus_a.bus.duplicated == bus_b.bus.duplicated
+        assert bus_a.bus.deduplicated == bus_b.bus.deduplicated
+        assert bus_a.bus.expired == bus_b.bus.expired
+
+    def test_still_converges_after_chaos(self):
+        runtime = make_runtime(self.PLAN, rounds=1500, seed=3,
+                               staleness_limit=15, checkpoint_interval=20)
+        result = runtime.run()
+        assert runtime.taskset.is_feasible(result.latencies, tol=1e-2)

@@ -108,6 +108,161 @@ class TestFaults:
         assert run(9) != run(10)
 
 
+class TestBlackout:
+    def test_full_blackout_is_legal(self):
+        bus = MessageBus(loss_probability=1.0)
+        for _ in range(50):
+            assert bus.send("a", "b", msg()) is None
+        assert bus.dropped == 50
+        assert bus.deliver("b") == []
+
+    def test_blackout_lifts_when_probability_restored(self):
+        bus = MessageBus()
+        bus.set_loss_probability(1.0)
+        assert bus.send("a", "b", msg()) is None
+        bus.set_loss_probability(0.0)
+        assert bus.send("a", "b", msg()) is not None
+
+    def test_set_loss_probability_validates(self):
+        bus = MessageBus()
+        with pytest.raises(DistributedError):
+            bus.set_loss_probability(1.5)
+        with pytest.raises(DistributedError):
+            bus.set_loss_probability(-0.1)
+
+
+class TestRegistration:
+    def test_unregistered_bus_is_permissive(self):
+        bus = MessageBus()
+        bus.partition("a", "b")     # ad-hoc names allowed
+        bus.heal("a", "b")
+
+    def test_partition_rejects_unknown_agent(self):
+        bus = MessageBus()
+        bus.register("a", "b")
+        with pytest.raises(DistributedError):
+            bus.partition("a", "ghost")
+        with pytest.raises(DistributedError):
+            bus.partition("ghost", "b")
+
+    def test_heal_rejects_unknown_agent(self):
+        bus = MessageBus()
+        bus.register("a", "b")
+        with pytest.raises(DistributedError):
+            bus.heal("a", "ghost")
+
+    def test_registered_names_accepted(self):
+        bus = MessageBus()
+        bus.register("a", "b")
+        bus.partition("a", "b")
+        assert bus.send("a", "b", msg()) is None
+        bus.heal("a", "b")
+        assert bus.send("a", "b", msg()) is not None
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(DistributedError):
+            MessageBus().register("")
+
+
+class TestTTL:
+    def test_expired_messages_discarded(self):
+        bus = MessageBus(message_ttl=1)
+        bus.send("a", "b", msg())
+        bus.advance()
+        bus.advance()   # age 2 > ttl 1
+        assert bus.deliver("b") == []
+        assert bus.expired == 1
+
+    def test_fresh_messages_survive_ttl(self):
+        bus = MessageBus(message_ttl=2)
+        bus.send("a", "b", msg())
+        bus.advance()
+        assert len(bus.deliver("b")) == 1
+
+    def test_ttl_validation(self):
+        with pytest.raises(DistributedError):
+            MessageBus(message_ttl=-1)
+
+
+class TestDuplicationAndDedup:
+    def test_duplicates_share_seq_and_are_deduplicated(self):
+        bus = MessageBus(seed=3)
+        bus.duplication_probability = 1.0
+        env = bus.send("a", "b", msg())
+        assert bus.duplicated == 1
+        delivered = bus.deliver("b")
+        assert len(delivered) == 1          # duplicate suppressed
+        assert delivered[0].seq == env.seq
+        assert bus.deduplicated == 1
+
+    def test_dedup_off_delivers_both_copies(self):
+        bus = MessageBus(seed=3, dedup=False)
+        bus.duplication_probability = 1.0
+        bus.send("a", "b", msg())
+        assert len(bus.deliver("b")) == 2
+
+    def test_duplicate_across_rounds_suppressed(self):
+        bus = MessageBus(seed=5, jitter=1)
+        bus.duplication_probability = 1.0
+        # With jitter the copies can land on different rounds; across
+        # several sends every second copy must still be suppressed.
+        for _ in range(20):
+            bus.send("a", "b", msg())
+        got = len(bus.deliver("b"))
+        for _ in range(5):
+            bus.advance()
+            got += len(bus.deliver("b"))
+        assert got == 20
+        assert bus.deduplicated == 20
+
+    def test_duplication_probability_validated(self):
+        bus = MessageBus()
+        with pytest.raises(DistributedError):
+            bus.duplication_probability = 1.5
+
+    def test_unique_seq_per_send(self):
+        bus = MessageBus()
+        seqs = {bus.send("a", "b", msg(i)).seq for i in range(10)}
+        assert len(seqs) == 10
+
+
+class TestReordering:
+    def test_reorder_shuffles_deterministically(self):
+        def run(seed):
+            bus = MessageBus(seed=seed)
+            bus.reorder = True
+            for i in range(8):
+                bus.send("a", "b", msg(i))
+            return [env.payload.iteration for env in bus.deliver("b")]
+
+        first, second = run(4), run(4)
+        assert first == second                      # deterministic
+        assert sorted(first) == list(range(8))      # nothing lost
+        assert run(4) != run(12) or run(4) != run(29)   # some seed shuffles
+
+    def test_reorder_off_preserves_send_order(self):
+        bus = MessageBus(seed=4)
+        for i in range(8):
+            bus.send("a", "b", msg(i))
+        order = [env.payload.iteration for env in bus.deliver("b")]
+        assert order == list(range(8))
+
+
+class TestPurge:
+    def test_purge_discards_due_messages(self):
+        bus = MessageBus()
+        bus.send("a", "b", msg())
+        bus.send("a", "c", msg())
+        assert bus.purge("b") == 1
+        assert bus.deliver("b") == []
+        assert len(bus.deliver("c")) == 1
+        assert bus.dropped == 1
+
+    def test_purge_empty_is_noop(self):
+        bus = MessageBus()
+        assert bus.purge("b") == 0
+
+
 class TestValidation:
     def test_rejects_bad_params(self):
         with pytest.raises(DistributedError):
@@ -115,4 +270,6 @@ class TestValidation:
         with pytest.raises(DistributedError):
             MessageBus(jitter=-1)
         with pytest.raises(DistributedError):
-            MessageBus(loss_probability=1.0)
+            MessageBus(loss_probability=1.1)
+        with pytest.raises(DistributedError):
+            MessageBus(loss_probability=-0.1)

@@ -1,0 +1,124 @@
+"""Tests for the resilience (chaos recovery) experiment driver."""
+
+import pytest
+
+from repro.experiments.resilience import (
+    RECOVERY_BAND,
+    ResilienceReport,
+    blackout_plan,
+    crash_restart_plan,
+    run_scenario,
+)
+
+
+def make_report(**overrides):
+    defaults = dict(
+        scenario="test",
+        rounds=100,
+        fault_free_utility=100.0,
+        final_utility=99.8,
+        fault_start=40,
+        repair_round=50,
+        dip_depth=3.0,
+        recovery_round=60,
+        degraded_rounds=10,
+        degraded_violations=0,
+        crashes=1,
+        messages_dropped=5,
+    )
+    defaults.update(overrides)
+    return ResilienceReport(**defaults)
+
+
+class TestReport:
+    def test_recovery_time(self):
+        assert make_report().recovery_time == 10
+        assert make_report(recovery_round=None).recovery_time is None
+        assert make_report(recovery_round=45).recovery_time == 0
+
+    def test_recovered_band(self):
+        assert make_report(final_utility=99.01).recovered()
+        assert not make_report(final_utility=98.9).recovered()
+        assert RECOVERY_BAND == 0.01
+
+    def test_degradation_safe(self):
+        assert make_report().degradation_safe()
+        assert not make_report(degraded_violations=2).degradation_safe()
+
+    def test_to_dict_traces_optional(self):
+        report = make_report(utility_trace=[1.0], baseline_trace=[1.0])
+        assert "utility_trace" not in report.to_dict()
+        full = report.to_dict(include_traces=True)
+        assert full["utility_trace"] == [1.0]
+        assert full["recovered"] is True
+
+    def test_summary_mentions_outcome(self):
+        text = make_report().summary()
+        assert "recovered: True" in text
+        assert "recovery 10 rounds" in text
+
+
+class TestPlans:
+    def test_crash_restart_plan(self):
+        plan = crash_restart_plan("resource:r1", crash_at=10, outage=5)
+        (crash,) = plan.crashes
+        assert crash.agent == "resource:r1"
+        assert crash.at == 10
+        assert crash.restart_at == 15
+        assert crash.warm
+
+    def test_blackout_plan_is_total(self):
+        plan = blackout_plan(start=10, duration=5)
+        (burst,) = plan.loss_bursts
+        assert burst.probability == 1.0
+        assert burst.end == 15
+
+
+class TestRunScenario:
+    @pytest.fixture(scope="class")
+    def crash_report(self):
+        return run_scenario(
+            crash_restart_plan("resource:r0", crash_at=150, outage=30),
+            scenario="crash",
+            rounds=500,
+            seed=0,
+        )
+
+    def test_crash_recovers(self, crash_report):
+        assert crash_report.recovered()
+        assert crash_report.degradation_safe()
+        assert crash_report.degraded_rounds > 0
+        assert crash_report.recovery_time is not None
+
+    def test_fault_bounds(self, crash_report):
+        assert crash_report.fault_start == 150
+        assert crash_report.repair_round == 180
+        assert crash_report.messages_dropped > 0
+
+    def test_traces_cover_every_round(self, crash_report):
+        assert len(crash_report.utility_trace) == 500
+        assert len(crash_report.baseline_trace) == 500
+        # Before the fault both trajectories are identical (same seed).
+        assert (crash_report.utility_trace[:149]
+                == crash_report.baseline_trace[:149])
+
+    def test_deterministic(self, crash_report):
+        again = run_scenario(
+            crash_restart_plan("resource:r0", crash_at=150, outage=30),
+            scenario="crash",
+            rounds=500,
+            seed=0,
+        )
+        assert again.utility_trace == crash_report.utility_trace
+        assert again.dip_depth == crash_report.dip_depth
+        assert again.recovery_round == crash_report.recovery_round
+
+    def test_blackout_recovers(self):
+        report = run_scenario(
+            blackout_plan(start=150, duration=20),
+            scenario="blackout",
+            rounds=500,
+            seed=0,
+        )
+        assert report.recovered()
+        assert report.degradation_safe()

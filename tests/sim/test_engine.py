@@ -71,6 +71,38 @@ class TestCancellation:
         assert engine.peek_time() == 2.0
 
 
+class TestCallbackFailures:
+    def test_failure_logged_counted_and_reraised(self, caplog):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry.in_memory()
+        engine = SimulationEngine(telemetry=telemetry)
+
+        def boom():
+            raise ValueError("kaput")
+
+        engine.schedule(1.0, boom)
+        with caplog.at_level("ERROR", logger="repro.sim.engine"):
+            with pytest.raises(ValueError, match="kaput"):
+                engine.run()
+        snapshot = telemetry.registry.snapshot()
+        assert snapshot["sim.callback_errors_total"]["value"] == 1
+        assert any("event callback failed" in rec.message
+                   for rec in caplog.records)
+        # The failed event is not counted as processed.
+        assert engine.processed == 0
+
+    def test_failure_reraised_without_telemetry(self):
+        engine = SimulationEngine()
+
+        def boom():
+            raise RuntimeError("no telemetry")
+
+        engine.schedule(1.0, boom)
+        with pytest.raises(RuntimeError, match="no telemetry"):
+            engine.run()
+
+
 class TestRunUntil:
     def test_stops_at_horizon(self):
         engine = SimulationEngine()

@@ -144,7 +144,7 @@ class TestDistributedTracing:
         )
         with caplog.at_level(logging.WARNING,
                              logger="repro.distributed.network"):
-            runtime.bus.partition("T1", "R1")
+            runtime.bus.partition("controller:T1", "resource:r0")
         kinds = [e.kind for e in telemetry.tracer.sinks[0].events]
         assert "partition" in kinds
         assert any("partition" in rec.getMessage()

@@ -116,6 +116,36 @@ class TestTraceCommands:
             main(["trace", str(bad)])
 
 
+class TestChaos:
+    def test_quick_scenario_healthy(self, tmp_path, capsys):
+        report = tmp_path / "chaos.json"
+        code = main(["chaos", "--scenario", "crash-restart", "--quick",
+                     "-o", str(report)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "healthy: True" in out
+        payload = json.loads(report.read_text())
+        assert payload["experiment"] == "resilience"
+        assert payload["healthy"] is True
+        (entry,) = payload["reports"]
+        assert entry["recovered"] is True
+        assert entry["degradation_safe"] is True
+        assert "utility_trace" not in entry      # traces are opt-in
+
+    def test_traces_flag_includes_trajectories(self, tmp_path, capsys):
+        report = tmp_path / "chaos.json"
+        code = main(["chaos", "--scenario", "blackout", "--quick",
+                     "--traces", "-o", str(report)])
+        assert code == 0
+        capsys.readouterr()
+        (entry,) = json.loads(report.read_text())["reports"]
+        assert len(entry["utility_trace"]) == 500
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--scenario", "meteor"])
+
+
 class TestCheck:
     def test_schedulable_exit_zero(self, tmp_path, capsys):
         wl = tmp_path / "wl.json"
