@@ -27,9 +27,9 @@ def test_sweep_provisioned_workloads(benchmark):
     for name, stats in report.stats.items():
         print(f"  {name:22s} mean utility {stats.mean_utility:10.2f}  "
               f"feasible {stats.feasibility_rate:.0%}")
-    print(f"  LLA-oracle gaps: "
+    print("  LLA-oracle gaps: "
           + ", ".join(f"{g:+.2f}" for g in report.lla_oracle_gaps))
-    print(f"  mean optimization margin over best slicing: "
+    print("  mean optimization margin over best slicing: "
           f"{report.mean_optimization_margin():.2f}")
 
 

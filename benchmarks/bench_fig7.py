@@ -49,7 +49,7 @@ def test_fig7_unschedulable_paper_ray(benchmark):
         f"{result.max_critical_path_ratio:.2f}x (paper: 1.75-2.41x)"
     )
     print()
-    print(f"  paper ray: critical-path ratios "
+    print("  paper ray: critical-path ratios "
           + ", ".join(f"{t}={r:.2f}x" for t, r in
                       sorted(result.critical_path_ratios.items())))
 

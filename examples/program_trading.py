@@ -21,8 +21,6 @@ discrete-event simulator with bursty market-data arrivals and reports the
 observed end-to-end latency percentiles against each deadline.
 """
 
-import numpy as np
-
 from repro.core import LLAConfig, LLAOptimizer
 from repro.model import (
     BurstyEvent,

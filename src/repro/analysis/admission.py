@@ -21,8 +21,8 @@ Two admission modes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.analysis.schedulability import (
     SchedulabilityAnalyzer,

@@ -9,7 +9,7 @@ can compare side by side with the paper.
 from __future__ import annotations
 
 import io
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Iterable, List, Mapping, Optional, Sequence
 
 from repro.model.task import TaskSet
 

@@ -16,7 +16,11 @@ Commands:
   a JSONL telemetry trace;
 * ``chaos`` — run a scripted fault scenario (crash/restart, blackout)
   against its fault-free twin and report dip depth, recovery time and
-  degraded-round safety; ``-o`` writes the report as a JSON artifact.
+  degraded-round safety; ``-o`` writes the report as a JSON artifact;
+* ``lint [paths…]`` — run the :mod:`repro.statan` invariant linter
+  (determinism, agent-locality, telemetry and config rules) over the
+  given files/directories; text/JSON/SARIF reports, non-zero exit on
+  findings (the CI gate).
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from repro.analysis.schedulability import SchedulabilityAnalyzer
 from repro.core.optimizer import LLAConfig, LLAOptimizer
 from repro.errors import TelemetryError
 from repro.model.serialize import taskset_from_json, taskset_to_json
+from repro.statan.cli import add_lint_arguments, run_lint
 from repro.telemetry import Telemetry, event_counts, read_trace
 from repro.workloads.paper import (
     base_workload,
@@ -124,6 +129,12 @@ def build_parser() -> argparse.ArgumentParser:
     cha.add_argument("-o", "--output",
                      help="write the chaos report as JSON to this file")
 
+    lnt = sub.add_parser(
+        "lint",
+        help="run the statan invariant linter (text/JSON/SARIF reports)",
+    )
+    add_lint_arguments(lnt)
+
     return parser
 
 
@@ -132,7 +143,7 @@ def _load_taskset(path: str):
         with open(path) as handle:
             return taskset_from_json(handle.read())
     except OSError as exc:
-        raise SystemExit(f"cannot read {path!r}: {exc}")
+        raise SystemExit(f"cannot read {path!r}: {exc}") from exc
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -202,9 +213,9 @@ def _load_trace(path: str):
     try:
         return read_trace(path)
     except OSError as exc:
-        raise SystemExit(f"cannot read {path!r}: {exc}")
+        raise SystemExit(f"cannot read {path!r}: {exc}") from exc
     except TelemetryError as exc:
-        raise SystemExit(f"bad trace {path!r}: {exc}")
+        raise SystemExit(f"bad trace {path!r}: {exc}") from exc
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -313,6 +324,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "stats": _cmd_stats,
         "chaos": _cmd_chaos,
+        "lint": run_lint,
     }
     return handlers[args.command](args)
 

@@ -101,7 +101,7 @@ class LatencyAllocator:
     """
 
     def __init__(self, taskset: TaskSet, task: Task,
-                 max_latency_factor: float = 1.0):
+                 max_latency_factor: float = 1.0) -> None:
         self.taskset = taskset
         self.task = task
         self._names = task.subtask_names

@@ -38,7 +38,7 @@ class ConvergenceDetector:
         feasibility_tol: float = 1e-3,
         require_feasible: bool = True,
         utility_floor: float = 1e-6,
-    ):
+    ) -> None:
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window!r}")
         if utility_tol <= 0.0:

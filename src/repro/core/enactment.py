@@ -56,7 +56,7 @@ class ThresholdEnactment(EnactmentPolicy):
     skipped epochs the policy enacts regardless (0 disables the bound).
     """
 
-    def __init__(self, threshold: float = 0.02, max_interval: int = 0):
+    def __init__(self, threshold: float = 0.02, max_interval: int = 0) -> None:
         if threshold <= 0.0:
             raise OptimizationError(
                 f"threshold must be positive, got {threshold!r}"
@@ -97,7 +97,7 @@ class ThresholdEnactment(EnactmentPolicy):
 class PeriodicEnactment(EnactmentPolicy):
     """Enact every ``interval`` epochs (the first epoch always enacts)."""
 
-    def __init__(self, interval: int = 5):
+    def __init__(self, interval: int = 5) -> None:
         if interval < 1:
             raise OptimizationError(
                 f"interval must be >= 1, got {interval!r}"

@@ -23,7 +23,7 @@ reallocation between fast and slow subtasks).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -82,7 +82,7 @@ class ErrorCorrector:
     def __init__(self, taskset: TaskSet, alpha: float = 0.2,
                  percentile: float = 95.0,
                  max_abs_correction: Optional[float] = None,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None) -> None:
         if not 0.0 < alpha <= 1.0:
             raise OptimizationError(f"alpha must be in (0, 1], got {alpha!r}")
         if not 0.0 < percentile <= 100.0:
@@ -195,5 +195,7 @@ class ErrorCorrector:
     def _require_state(self, subtask: str) -> _SubtaskErrorState:
         try:
             return self._state[subtask]
-        except KeyError:
-            raise OptimizationError(f"unknown subtask {subtask!r}")
+        except KeyError as exc:
+            raise OptimizationError(
+                f"unknown subtask {subtask!r}"
+            ) from exc

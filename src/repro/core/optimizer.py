@@ -22,8 +22,13 @@ from __future__ import annotations
 
 import logging
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING, Any, Callable, Dict, FrozenSet, Optional, Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.core.vectorized import VectorizedEngine
 
 from repro.errors import OptimizationError
 from repro.core.allocation import LatencyAllocator
@@ -106,13 +111,57 @@ class LLAConfig:
     warm_start: bool = False
     backend: str = "scalar"
 
+    def __post_init__(self) -> None:
+        """Reject inconsistent knobs at construction (REP008): a bad
+        budget or tolerance caught here would otherwise surface hundreds
+        of iterations later as a spurious non-convergence."""
+        if self.max_iterations < 1:
+            raise OptimizationError(
+                f"max_iterations must be >= 1, got {self.max_iterations!r}"
+            )
+        if self.backend not in ("scalar", "vectorized"):
+            raise OptimizationError(
+                f"unknown backend {self.backend!r}; "
+                "expected 'scalar' or 'vectorized'"
+            )
+        if self.initial_gamma <= 0.0:
+            raise OptimizationError(
+                f"initial_gamma must be positive, got {self.initial_gamma!r}"
+            )
+        if self.utility_tol <= 0.0:
+            raise OptimizationError(
+                f"utility_tol must be positive, got {self.utility_tol!r}"
+            )
+        if self.convergence_window < 1:
+            raise OptimizationError(
+                f"convergence_window must be >= 1, "
+                f"got {self.convergence_window!r}"
+            )
+        if self.feasibility_tol < 0.0:
+            raise OptimizationError(
+                f"feasibility_tol must be >= 0, got {self.feasibility_tol!r}"
+            )
+        if self.utility_floor <= 0.0:
+            raise OptimizationError(
+                f"utility_floor must be positive, got {self.utility_floor!r}"
+            )
+        if self.congestion_tol < 0.0:
+            raise OptimizationError(
+                f"congestion_tol must be >= 0, got {self.congestion_tol!r}"
+            )
+        if self.max_latency_factor < 1.0:
+            raise OptimizationError(
+                f"max_latency_factor must be >= 1, "
+                f"got {self.max_latency_factor!r}"
+            )
+
     def build_step_policy(self, taskset: TaskSet) -> StepSizePolicy:
         if self.step_policy is not None:
             return self.step_policy
         return AdaptiveStepSize(taskset, initial_gamma=self.initial_gamma)
 
     @staticmethod
-    def fixed(gamma: float, **kwargs) -> "LLAConfig":
+    def fixed(gamma: float, **kwargs: Any) -> "LLAConfig":
         """Convenience: a config with a fixed step size (Figure 5's γ runs)."""
         return LLAConfig(step_policy=FixedStepSize(gamma), **kwargs)
 
@@ -129,22 +178,15 @@ class LLAOptimizer:
 
     def __init__(self, taskset: TaskSet, config: Optional[LLAConfig] = None,
                  on_iteration: Optional[Callable[[IterationRecord], None]] = None,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.taskset = taskset
         self.config = config or LLAConfig()
         self.on_iteration = on_iteration
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
-        self._metrics: Optional[Dict[str, object]] = None
-        self._prev_congested: Optional[tuple] = None
-        if self.config.max_iterations < 1:
-            raise OptimizationError(
-                f"max_iterations must be >= 1, got {self.config.max_iterations!r}"
-            )
-        if self.config.backend not in ("scalar", "vectorized"):
-            raise OptimizationError(
-                f"unknown backend {self.config.backend!r}; "
-                "expected 'scalar' or 'vectorized'"
-            )
+        self._metrics: Optional[Dict[str, Any]] = None
+        self._prev_congested: Optional[
+            Tuple[FrozenSet[str], FrozenSet[PathKey]]
+        ] = None
         if self.config.strict:
             self._check_utilities()
 
@@ -172,12 +214,18 @@ class LLAOptimizer:
             require_feasible=self.config.require_feasible,
             utility_floor=self.config.utility_floor,
         )
-        self._engine = None
+        self._engine: Optional["VectorizedEngine"] = None
         if self.config.backend == "vectorized":
             from repro.core.vectorized import VectorizedEngine
             self._engine = VectorizedEngine(taskset, self.config,
                                             self.step_policy)
         self.iteration = 0
+        # Trace timestamps follow the iteration counter (the optimizer's
+        # virtual clock) so identical runs write identical event streams,
+        # unless the caller injected a clock of their own.
+        tracer = self.telemetry.tracer
+        if tracer.enabled and not tracer.clock_injected:
+            tracer.set_clock(lambda: float(self.iteration))
         self.latencies: Dict[str, float] = self._initial_latencies()
         if self.config.warm_start:
             from repro.core.warmstart import apply_warm_start
@@ -301,7 +349,7 @@ class LLAOptimizer:
         congested_resources = self.resource_prices.congested(
             loads, tol=config.congestion_tol
         )
-        congested_paths: tuple = ()
+        congested_paths: Tuple[PathKey, ...] = ()
         for task in self.taskset.tasks:
             congested_paths += self.path_prices[task.name].congested(
                 self.latencies, tol=config.congestion_tol

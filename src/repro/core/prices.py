@@ -74,7 +74,7 @@ class ResourcePriceUpdater:
     task controllers.
     """
 
-    def __init__(self, taskset: TaskSet, initial_price: float = 1.0):
+    def __init__(self, taskset: TaskSet, initial_price: float = 1.0) -> None:
         if initial_price < 0.0:
             raise ValueError(
                 f"initial resource price must be non-negative, got {initial_price!r}"
@@ -113,7 +113,7 @@ class ResourcePriceUpdater:
 class PathPriceUpdater:
     """Per-path price state for one task (held by its controller)."""
 
-    def __init__(self, task: Task, initial_price: float = 0.0):
+    def __init__(self, task: Task, initial_price: float = 0.0) -> None:
         if initial_price < 0.0:
             raise ValueError(
                 f"initial path price must be non-negative, got {initial_price!r}"

@@ -17,7 +17,7 @@ and the distributed agents are policy-agnostic.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Iterable, Mapping, Set, Tuple
+from typing import Dict, Iterable, Set, Tuple
 
 from repro.errors import OptimizationError
 from repro.core.state import PathKey
@@ -57,7 +57,7 @@ class FixedStepSize(StepSizePolicy):
     for ablations.
     """
 
-    def __init__(self, gamma: float, path_gamma: float | None = None):
+    def __init__(self, gamma: float, path_gamma: float | None = None) -> None:
         if gamma <= 0.0:
             raise OptimizationError(f"step size must be positive, got {gamma!r}")
         self._gamma = float(gamma)
@@ -110,7 +110,7 @@ class AdaptiveStepSize(StepSizePolicy):
     """
 
     def __init__(self, taskset: TaskSet, initial_gamma: float = 1.0,
-                 growth: float = 2.0, max_gamma: float = 8.0):
+                 growth: float = 2.0, max_gamma: float = 8.0) -> None:
         if initial_gamma <= 0.0:
             raise OptimizationError(
                 f"initial step size must be positive, got {initial_gamma!r}"

@@ -153,7 +153,8 @@ def _unsupported(what: str) -> OptimizationError:
     )
 
 
-def _share_params(taskset: TaskSet, subtask_name: str):
+def _share_params(taskset: TaskSet,
+                  subtask_name: str) -> Tuple[float, float, float, bool]:
     """(alpha, cost, err, is_hyperbolic) of one subtask's share function."""
     fn = taskset.share_function(subtask_name)
     err = 0.0

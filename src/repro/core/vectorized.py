@@ -27,7 +27,7 @@ per-name interface, which preserves semantics at scalar-ish speed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Tuple
+from typing import TYPE_CHECKING, Dict, Mapping, Tuple, Union
 
 import numpy as np
 
@@ -38,7 +38,13 @@ from repro.core.stepsize import AdaptiveStepSize, FixedStepSize, StepSizePolicy
 from repro.core.structure import TaskSetStructure, compile_structure
 from repro.model.task import TaskSet
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.core.optimizer import LLAConfig
+
 __all__ = ["VectorizedEngine", "EngineStep"]
+
+#: γ suppliers return either two scalars (fixed policy) or two arrays.
+GammaPair = Tuple[Union[float, np.ndarray], Union[float, np.ndarray]]
 
 
 @dataclass
@@ -58,17 +64,19 @@ class EngineStep:
 class _FixedGammas:
     """γ supplier for an exact :class:`FixedStepSize` (two constants)."""
 
-    def __init__(self, policy: FixedStepSize, structure: TaskSetStructure):
+    def __init__(self, policy: FixedStepSize, structure: TaskSetStructure) -> None:
         self._gr = policy.resource_gamma(structure.resource_names[0])
         self._gp = policy.path_gamma(structure.path_keys[0])
 
-    def gammas(self):
+    def gammas(self) -> GammaPair:
         return self._gr, self._gp
 
-    def observe(self, cong_r, cong_p, cong_r_names, cong_p_keys):
+    def observe(self, cong_r: np.ndarray, cong_p: np.ndarray,
+                cong_r_names: Tuple[str, ...],
+                cong_p_keys: Tuple[PathKey, ...]) -> None:
         pass
 
-    def reset(self):
+    def reset(self) -> None:
         pass
 
 
@@ -79,7 +87,7 @@ class _AdaptiveGammas:
     per iteration (its dict state stays at the initial γ).
     """
 
-    def __init__(self, policy: AdaptiveStepSize, structure: TaskSetStructure):
+    def __init__(self, policy: AdaptiveStepSize, structure: TaskSetStructure) -> None:
         self._initial = policy.initial_gamma
         self._growth = policy.growth
         self._max = policy.max_gamma
@@ -89,10 +97,12 @@ class _AdaptiveGammas:
         self._cover = np.full(structure.n_paths, self._initial)
         self._direct = np.full(structure.n_paths, self._initial)
 
-    def gammas(self):
+    def gammas(self) -> GammaPair:
         return self._gr, self._gp
 
-    def observe(self, cong_r, cong_p, cong_r_names, cong_p_keys):
+    def observe(self, cong_r: np.ndarray, cong_p: np.ndarray,
+                cong_r_names: Tuple[str, ...],
+                cong_p_keys: Tuple[PathKey, ...]) -> None:
         self._gr = np.where(
             cong_r, np.minimum(self._gr * self._growth, self._max),
             self._initial,
@@ -114,7 +124,7 @@ class _AdaptiveGammas:
         )
         self._gp = np.where(covered | cong_p, active_max, self._initial)
 
-    def reset(self):
+    def reset(self) -> None:
         self._gr = np.full_like(self._gr, self._initial)
         self._gp = np.full_like(self._gp, self._initial)
         self._cover = np.full_like(self._cover, self._initial)
@@ -124,26 +134,30 @@ class _AdaptiveGammas:
 class _GenericGammas:
     """Fallback for custom policies: gather γ per name, feed observe()."""
 
-    def __init__(self, policy: StepSizePolicy, structure: TaskSetStructure):
+    def __init__(self, policy: StepSizePolicy, structure: TaskSetStructure) -> None:
         self._policy = policy
         self._structure = structure
 
-    def gammas(self):
+    def gammas(self) -> GammaPair:
         s = self._structure
         gr = np.array([self._policy.resource_gamma(r)
                        for r in s.resource_names])
         gp = np.array([self._policy.path_gamma(k) for k in s.path_keys])
         return gr, gp
 
-    def observe(self, cong_r, cong_p, cong_r_names, cong_p_keys):
+    def observe(self, cong_r: np.ndarray, cong_p: np.ndarray,
+                cong_r_names: Tuple[str, ...],
+                cong_p_keys: Tuple[PathKey, ...]) -> None:
         self._policy.observe(cong_r_names, cong_p_keys)
 
-    def reset(self):
+    def reset(self) -> None:
         # The optimizer already resets the policy object itself.
         pass
 
 
-def _make_gammas(policy: StepSizePolicy, structure: TaskSetStructure):
+def _make_gammas(
+    policy: StepSizePolicy, structure: TaskSetStructure,
+) -> Union["_FixedGammas", "_AdaptiveGammas", "_GenericGammas"]:
     # Exact types only: subclasses may override behaviour, so they take the
     # generic (public-interface) route.
     if type(policy) is FixedStepSize:
@@ -164,7 +178,8 @@ class VectorizedEngine:
     the scalar allocators' ``refresh_bounds``.
     """
 
-    def __init__(self, taskset: TaskSet, config, policy: StepSizePolicy):
+    def __init__(self, taskset: TaskSet, config: "LLAConfig",
+                 policy: StepSizePolicy) -> None:
         self.structure = compile_structure(
             taskset, max_latency_factor=config.max_latency_factor
         )

@@ -24,11 +24,14 @@ configurations fall back to the default initialization.
 from __future__ import annotations
 
 import math
-from typing import Dict
+from typing import TYPE_CHECKING, Dict
 
 from repro.model.share import CorrectedShare, HyperbolicShare
 from repro.model.task import TaskSet
 from repro.model.utility import LinearUtility
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.core.optimizer import LLAOptimizer
 
 __all__ = ["warm_start_resource_prices", "apply_warm_start"]
 
@@ -62,7 +65,7 @@ def warm_start_resource_prices(taskset: TaskSet,
     return prices
 
 
-def apply_warm_start(optimizer) -> Dict[str, float]:
+def apply_warm_start(optimizer: "LLAOptimizer") -> Dict[str, float]:
     """Install warm-start prices into an :class:`LLAOptimizer` in place.
 
     Returns the applied price map.  Also refreshes the primal iterate so

@@ -22,7 +22,7 @@ Per epoch:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.error_correction import ErrorCorrector

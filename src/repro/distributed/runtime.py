@@ -77,6 +77,50 @@ class DistributedConfig:
     #: Suppress duplicate deliveries of the same envelope sequence number.
     dedup: bool = True
 
+    def __post_init__(self) -> None:
+        """Reject inconsistent knobs at construction (REP008)."""
+        if self.rounds < 1:
+            raise DistributedError(
+                f"rounds must be >= 1, got {self.rounds!r}"
+            )
+        if self.delay < 0 or self.jitter < 0:
+            raise DistributedError(
+                f"delay/jitter must be >= 0, got "
+                f"{self.delay!r}/{self.jitter!r}"
+            )
+        if not 0.0 <= self.loss_probability <= 1.0:
+            raise DistributedError(
+                f"loss_probability must be in [0, 1], "
+                f"got {self.loss_probability!r}"
+            )
+        if self.initial_gamma <= 0.0:
+            raise DistributedError(
+                f"initial_gamma must be positive, got {self.initial_gamma!r}"
+            )
+        if self.max_gamma < self.initial_gamma:
+            raise DistributedError(
+                f"max_gamma {self.max_gamma!r} below initial_gamma "
+                f"{self.initial_gamma!r}"
+            )
+        if self.max_latency_factor < 1.0:
+            raise DistributedError(
+                f"max_latency_factor must be >= 1, "
+                f"got {self.max_latency_factor!r}"
+            )
+        if self.staleness_limit is not None and self.staleness_limit < 1:
+            raise DistributedError(
+                f"staleness_limit must be >= 1, got {self.staleness_limit!r}"
+            )
+        if self.checkpoint_interval < 0:
+            raise DistributedError(
+                f"checkpoint_interval must be >= 0, "
+                f"got {self.checkpoint_interval!r}"
+            )
+        if self.message_ttl is not None and self.message_ttl < 1:
+            raise DistributedError(
+                f"message_ttl must be >= 1, got {self.message_ttl!r}"
+            )
+
 
 class DistributedLLARuntime:
     """Message-passing execution of LLA over a simulated control network."""
@@ -89,6 +133,11 @@ class DistributedLLARuntime:
         self.config = config or DistributedConfig()
         self.on_round = on_round
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        # Trace timestamps follow the protocol round so identical runs
+        # write identical traces (unless the caller injected a clock).
+        tracer = self.telemetry.tracer
+        if tracer.enabled and not tracer.clock_injected:
+            tracer.set_clock(lambda: float(self.round))
         cfg = self.config
         self.bus = MessageBus(
             delay=cfg.delay,

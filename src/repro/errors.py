@@ -57,3 +57,8 @@ class DistributedError(ReproError):
 class TelemetryError(ReproError):
     """A telemetry metric or trace sink was used inconsistently (kind
     mismatch on a registered metric name, emit after close, …)."""
+
+
+class StaticAnalysisError(ReproError):
+    """The statan linter was misused (unknown rule id, unreadable target,
+    malformed suppression directive)."""

@@ -28,7 +28,7 @@ from repro.model.events import PeriodicEvent
 from repro.model.graph import SubtaskGraph
 from repro.model.task import Subtask, Task, TaskSet
 from repro.model.utility import LinearUtility
-from repro.workloads.paper import base_workload, scaled_workload
+from repro.workloads.paper import scaled_workload
 
 __all__ = [
     "AdaptationPhase",

@@ -24,7 +24,7 @@ additive error correction.  Paper claims checked:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 import numpy as np
 
@@ -32,7 +32,6 @@ from repro.core.optimizer import LLAConfig
 from repro.sim.closedloop import ClosedLoopRuntime, EpochRecord
 from repro.workloads.paper import (
     PROTOTYPE_FAST_MIN_SHARE,
-    PROTOTYPE_SLOW_MIN_SHARE,
     prototype_workload,
 )
 

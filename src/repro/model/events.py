@@ -71,7 +71,7 @@ class PeriodicEvent(TriggeringEvent):
     """Constant-rate releases every ``period`` time units, starting at
     ``phase``."""
 
-    def __init__(self, period: float, phase: float = 0.0):
+    def __init__(self, period: float, phase: float = 0.0) -> None:
         if period <= 0.0:
             raise ModelError(f"period must be positive, got {period!r}")
         if phase < 0.0:
@@ -106,7 +106,7 @@ class PeriodicEvent(TriggeringEvent):
 class PoissonEvent(TriggeringEvent):
     """Memoryless arrivals at mean rate ``rate``."""
 
-    def __init__(self, rate: float):
+    def __init__(self, rate: float) -> None:
         if rate <= 0.0:
             raise ModelError(f"rate must be positive, got {rate!r}")
         self.rate = float(rate)
@@ -150,7 +150,7 @@ class BurstyEvent(TriggeringEvent):
     communication is triggered by real-world events and arrives in bursts.
     """
 
-    def __init__(self, burst_rate: float, mean_on: float, mean_off: float):
+    def __init__(self, burst_rate: float, mean_on: float, mean_off: float) -> None:
         if burst_rate <= 0.0:
             raise ModelError(f"burst_rate must be positive, got {burst_rate!r}")
         if mean_on <= 0.0 or mean_off <= 0.0:

@@ -36,7 +36,7 @@ class SubtaskGraph:
     A single isolated node is a valid graph (root == leaf, one path).
     """
 
-    def __init__(self, nodes: Iterable[str], edges: Iterable[Tuple[str, str]]):
+    def __init__(self, nodes: Iterable[str], edges: Iterable[Tuple[str, str]]) -> None:
         self._nodes: List[str] = list(dict.fromkeys(nodes))
         if not self._nodes:
             raise GraphError("subtask graph must contain at least one node")
@@ -200,7 +200,9 @@ class SubtaskGraph:
         try:
             return sum(latencies[s] for s in path)
         except KeyError as exc:
-            raise GraphError(f"latency missing for subtask {exc.args[0]!r}")
+            raise GraphError(
+                f"latency missing for subtask {exc.args[0]!r}"
+            ) from exc
 
     def critical_path(
         self, latencies: Mapping[str, float]

@@ -19,7 +19,7 @@ module produces empirical percentile estimates to plug into them.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Sequence
 
 from repro.errors import ModelError
 
@@ -78,7 +78,7 @@ def subtask_percentile(task_percentile: float, path_length: int) -> float:
 
 
 def per_subtask_percentiles(task_percentile: float,
-                            path_lengths: Sequence[int]) -> dict:
+                            path_lengths: Sequence[int]) -> Dict[int, float]:
     """Per-path-length subtask percentiles for a task with unequal paths.
 
     Section 2.1 notes that if path lengths are not identical, separate

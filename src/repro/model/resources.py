@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Any, Dict
 
 from repro.errors import ModelError
 
@@ -53,7 +54,9 @@ class Resource:
     kind: ResourceKind = ResourceKind.CPU
     availability: float = 1.0
     lag: float = 1.0
-    metadata: dict = field(default_factory=dict, compare=False, hash=False)
+    metadata: Dict[str, Any] = field(
+        default_factory=dict, compare=False, hash=False
+    )
 
     def __post_init__(self) -> None:
         if not self.name:

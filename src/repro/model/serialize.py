@@ -224,5 +224,5 @@ def taskset_from_json(text: str) -> TaskSet:
     try:
         data = json.loads(text)
     except json.JSONDecodeError as exc:
-        raise ModelError(f"invalid workload JSON: {exc}")
+        raise ModelError(f"invalid workload JSON: {exc}") from exc
     return taskset_from_dict(data)

@@ -68,7 +68,7 @@ class HyperbolicShare(ShareFunction):
     scheduling lag; both are fixed, so share varies only with latency.
     """
 
-    def __init__(self, exec_time: float, lag: float):
+    def __init__(self, exec_time: float, lag: float) -> None:
         if exec_time <= 0.0:
             raise ShareError(f"exec_time must be positive, got {exec_time}")
         if lag < 0.0:
@@ -110,7 +110,7 @@ class PowerLawShare(ShareFunction):
     benches to probe LLA's sensitivity to the share model.
     """
 
-    def __init__(self, cost: float, alpha: float = 1.0):
+    def __init__(self, cost: float, alpha: float = 1.0) -> None:
         if cost <= 0.0:
             raise ShareError(f"cost must be positive, got {cost}")
         if alpha <= 0.0:
@@ -157,7 +157,7 @@ class CorrectedShare(ShareFunction):
     ``lat - e`` stays positive, which the optimizer's latency clamps ensure.
     """
 
-    def __init__(self, base: ShareFunction, error: float = 0.0):
+    def __init__(self, base: ShareFunction, error: float = 0.0) -> None:
         self.base = base
         self.error = float(error)
 

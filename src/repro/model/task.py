@@ -88,7 +88,7 @@ class Task:
         utility: UtilityFunction,
         variant: str = "path-weighted",
         trigger: Optional[TriggeringEvent] = None,
-    ):
+    ) -> None:
         if not name:
             raise ModelError("task name must be non-empty")
         if not (critical_time > 0.0 and math.isfinite(critical_time)):
@@ -135,8 +135,10 @@ class Task:
     def subtask(self, name: str) -> Subtask:
         try:
             return self._by_name[name]
-        except KeyError:
-            raise ModelError(f"task {self.name!r} has no subtask {name!r}")
+        except KeyError as exc:
+            raise ModelError(
+                f"task {self.name!r} has no subtask {name!r}"
+            ) from exc
 
     @property
     def subtask_names(self) -> Tuple[str, ...]:
@@ -146,10 +148,10 @@ class Task:
         """Aggregation weight ``w_s`` of the subtask (Section 3.2)."""
         try:
             return self._weights[subtask_name]
-        except KeyError:
+        except KeyError as exc:
             raise ModelError(
                 f"task {self.name!r} has no subtask {subtask_name!r}"
-            )
+            ) from exc
 
     @property
     def weights(self) -> Dict[str, float]:
@@ -200,7 +202,7 @@ class TaskSet:
         tasks: Iterable[Task],
         resources: Iterable[Resource],
         allow_shared_resources: bool = False,
-    ):
+    ) -> None:
         self.tasks: Tuple[Task, ...] = tuple(tasks)
         self.resources: Dict[str, Resource] = {}
         for resource in resources:
@@ -257,29 +259,35 @@ class TaskSet:
     def task(self, name: str) -> Task:
         try:
             return self._task_by_name[name]
-        except KeyError:
-            raise ModelError(f"no task named {name!r}")
+        except KeyError as exc:
+            raise ModelError(f"no task named {name!r}") from exc
 
     def owner_of(self, subtask_name: str) -> Task:
         """The task a subtask belongs to."""
         try:
             return self._subtask_owner[subtask_name]
-        except KeyError:
-            raise ModelError(f"no subtask named {subtask_name!r}")
+        except KeyError as exc:
+            raise ModelError(
+                f"no subtask named {subtask_name!r}"
+            ) from exc
 
     def subtasks_on(self, resource_name: str) -> Tuple[Tuple[Task, Subtask], ...]:
         """All ``(task, subtask)`` pairs competing for a resource."""
         try:
             return tuple(self._subtasks_on[resource_name])
-        except KeyError:
-            raise ModelError(f"no resource named {resource_name!r}")
+        except KeyError as exc:
+            raise ModelError(
+                f"no resource named {resource_name!r}"
+            ) from exc
 
     def share_function(self, subtask_name: str) -> ShareFunction:
         """The share model for a subtask (custom or paper-default)."""
         try:
             return self._share_functions[subtask_name]
-        except KeyError:
-            raise ModelError(f"no subtask named {subtask_name!r}")
+        except KeyError as exc:
+            raise ModelError(
+                f"no subtask named {subtask_name!r}"
+            ) from exc
 
     def set_share_function(self, subtask_name: str, fn: ShareFunction) -> None:
         """Replace a subtask's share model (used by error correction)."""

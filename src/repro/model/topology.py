@@ -24,7 +24,7 @@ exactly the program-trading bandwidth story of the paper's introduction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
@@ -64,7 +64,7 @@ class NetworkTopology:
     """A physical deployment target: CPU nodes joined by bandwidth links."""
 
     def __init__(self, cpu_availability: float = 1.0, cpu_lag: float = 1.0,
-                 link_availability: float = 1.0, link_lag: float = 0.5):
+                 link_availability: float = 1.0, link_lag: float = 0.5) -> None:
         self.graph = nx.Graph()
         self.cpu_availability = float(cpu_availability)
         self.cpu_lag = float(cpu_lag)
@@ -102,7 +102,7 @@ class NetworkTopology:
         )
 
     @classmethod
-    def line(cls, nodes: Sequence[str], **kwargs) -> "NetworkTopology":
+    def line(cls, nodes: Sequence[str], **kwargs: Any) -> "NetworkTopology":
         """A linear chain of nodes."""
         topo = cls(**kwargs)
         for n in nodes:
@@ -112,7 +112,8 @@ class NetworkTopology:
         return topo
 
     @classmethod
-    def star(cls, hub: str, leaves: Sequence[str], **kwargs) -> "NetworkTopology":
+    def star(cls, hub: str, leaves: Sequence[str],
+             **kwargs: Any) -> "NetworkTopology":
         """A hub-and-spoke topology."""
         topo = cls(**kwargs)
         topo.add_node(hub)
@@ -155,10 +156,12 @@ class NetworkTopology:
         """Shortest-path route between two nodes, as link endpoints."""
         try:
             path = nx.shortest_path(self.graph, src, dst)
-        except nx.NetworkXNoPath:
-            raise ModelError(f"no route from {src!r} to {dst!r}")
+        except nx.NetworkXNoPath as exc:
+            raise ModelError(
+                f"no route from {src!r} to {dst!r}"
+            ) from exc
         except nx.NodeNotFound as exc:
-            raise ModelError(str(exc))
+            raise ModelError(str(exc)) from exc
         return list(zip(path, path[1:]))
 
     # -- deployment -----------------------------------------------------------------
@@ -194,7 +197,8 @@ class NetworkTopology:
         order: List[str] = []
         used_resources: Dict[str, str] = {}
 
-        def add_subtask(sub_name: str, resource: str, exec_time: float):
+        def add_subtask(sub_name: str, resource: str,
+                        exec_time: float) -> None:
             if resource in used_resources:
                 raise ModelError(
                     f"pipeline {name!r}: resource {resource!r} used by both "

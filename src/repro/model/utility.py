@@ -83,7 +83,7 @@ class LinearUtility(UtilityFunction):
     decay rate: ``f(lat) = k*C - slope*lat``.
     """
 
-    def __init__(self, critical_time: float, k: float = 2.0, slope: float = 1.0):
+    def __init__(self, critical_time: float, k: float = 2.0, slope: float = 1.0) -> None:
         if critical_time <= 0.0:
             raise UtilityError(f"critical time must be positive, got {critical_time}")
         if k < 0.0:
@@ -122,7 +122,7 @@ class LogUtility(UtilityFunction):
     """
 
     def __init__(self, critical_time: float, scale: float = 1.0,
-                 softness: float | None = None):
+                 softness: float | None = None) -> None:
         if critical_time <= 0.0:
             raise UtilityError(f"critical time must be positive, got {critical_time}")
         if scale <= 0.0:
@@ -169,7 +169,7 @@ class QuadraticUtility(UtilityFunction):
     """
 
     def __init__(self, critical_time: float, u_max: float | None = None,
-                 a: float | None = None):
+                 a: float | None = None) -> None:
         if critical_time <= 0.0:
             raise UtilityError(f"critical time must be positive, got {critical_time}")
         self.critical_time = float(critical_time)
@@ -203,7 +203,7 @@ class ExponentialUtility(UtilityFunction):
     """
 
     def __init__(self, critical_time: float, u_max: float = 1.0,
-                 tau: float | None = None):
+                 tau: float | None = None) -> None:
         if critical_time <= 0.0:
             raise UtilityError(f"critical time must be positive, got {critical_time}")
         self.critical_time = float(critical_time)
@@ -237,7 +237,7 @@ class InelasticUtility(UtilityFunction):
     marginal pull on latency below it.
     """
 
-    def __init__(self, critical_time: float, u_max: float = 1.0):
+    def __init__(self, critical_time: float, u_max: float = 1.0) -> None:
         if critical_time <= 0.0:
             raise UtilityError(f"critical time must be positive, got {critical_time}")
         if u_max < 0.0:

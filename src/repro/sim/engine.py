@@ -54,6 +54,11 @@ class SimulationEngine:
         self.processed = 0
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._events_counter = None
+        # Trace timestamps follow the virtual clock so identical runs
+        # write identical traces (unless the caller injected a clock).
+        tracer = self.telemetry.tracer
+        if tracer.enabled and not tracer.clock_injected:
+            tracer.set_clock(lambda: self.now)
 
     def schedule(self, time: float, callback: Callable[[], None],
                  priority: int = 0) -> EventHandle:

@@ -11,7 +11,7 @@ subtasks) when the last job finishes.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Optional, Set
+from typing import Optional, Set
 
 from repro.errors import SimulationError
 from repro.model.task import Task

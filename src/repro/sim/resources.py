@@ -24,7 +24,6 @@ normalization but never completes.
 
 from __future__ import annotations
 
-import math
 from collections import deque
 from typing import Callable, Deque, Dict, Optional
 
@@ -145,10 +144,10 @@ class _BaseResource:
     def _require_flow(self, subtask: str) -> FlowState:
         try:
             return self.flows[subtask]
-        except KeyError:
+        except KeyError as exc:
             raise SimulationError(
                 f"no flow {subtask!r} on resource {self.name!r}"
-            )
+            ) from exc
 
     def _finish(self, flow: FlowState, job: Job) -> None:
         job.finish_time = self.engine.now

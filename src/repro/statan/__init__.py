@@ -1,0 +1,35 @@
+"""``repro.statan`` — the repo's own AST-based invariant linter.
+
+The runtime test suite proves the repo's load-bearing guarantees
+(bitwise-identical scalar/vectorized trajectories, seed-reproducible
+chaos runs, agent-local protocol state) *after the fact*; this package
+enforces the coding invariants behind those guarantees *before*
+execution, in the spirit of static schedulability analysis for
+distributed real-time programs (Kermia, arXiv:1301.4800) and of
+sanitizer/race-detector tooling for numeric stacks.
+
+Entry points:
+
+* ``python -m repro lint [paths…]`` — the CLI gate (wired into CI);
+* :func:`repro.statan.engine.lint_paths` — library API;
+* :data:`repro.statan.rules.ALL_RULES` — the rule catalog (REP001…).
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalog with rationale and
+the suppression policy (``# statan: disable=RULE -- justification``).
+"""
+
+from repro.statan.findings import Finding, Severity
+from repro.statan.engine import LintResult, lint_file, lint_paths, lint_source
+from repro.statan.rules import ALL_RULES, Rule, get_rules
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "LintResult",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "ALL_RULES",
+    "Rule",
+    "get_rules",
+]

@@ -1,0 +1,96 @@
+"""``repro lint`` — the command-line face of the statan gate.
+
+Exit codes: 0 clean, 1 findings, 2 usage error.  Suppression growth is
+visible in diffs by construction: every waiver must carry an inline
+justification, so there is no side-channel allowlist to audit.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.errors import StaticAnalysisError
+from repro.statan.engine import lint_paths
+from repro.statan.reporters import FORMATS, render
+from repro.statan.rules import ALL_RULES
+
+__all__ = ["add_lint_arguments", "run_lint", "main"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=FORMATS, default="text", dest="fmt",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "-o", "--output",
+        help="write the report to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="also print suppressed findings (text format)",
+    )
+
+
+def _list_rules() -> str:
+    lines: List[str] = []
+    for rule in ALL_RULES:
+        scopes = ", ".join(rule.scopes) if rule.scopes else "all linted paths"
+        lines.append(f"{rule.rule_id}  {rule.name}")
+        lines.append(f"    scope: {scopes}")
+        lines.append(f"    {rule.rationale}")
+    return "\n".join(lines)
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    select = args.select.split(",") if args.select else None
+    try:
+        result, files = lint_paths(args.paths, select=select)
+    except StaticAnalysisError as exc:
+        print(f"repro lint: {exc}")
+        return 2
+    report = render(result, files, args.fmt)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"lint report written to {args.output}")
+        if args.fmt == "text" and result.findings:
+            # Keep failures visible in CI logs even when redirected.
+            for finding in result.findings:
+                print(finding.render())
+    else:
+        print(report)
+    if args.show_suppressed and args.fmt == "text" and result.suppressed:
+        print("suppressed:")
+        for finding in result.suppressed:
+            print(f"  {finding.render()}")
+    return 0 if result.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="statan — AST invariant linter for the LLA stack",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

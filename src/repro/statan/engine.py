@@ -1,0 +1,155 @@
+"""The linting engine: discovery, parsing, rule dispatch, suppression.
+
+The engine is deliberately dependency-free (stdlib ``ast`` + the rule
+catalog) so the gate can run in any environment the library itself runs
+in — including CI containers without third-party linters installed.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import StaticAnalysisError
+from repro.statan.findings import Finding, Severity
+from repro.statan.rules import FileContext, Rule, get_rules
+from repro.statan.suppress import apply_suppressions, parse_suppressions
+
+__all__ = ["LintResult", "lint_source", "lint_file", "lint_paths",
+           "PARSE_ERROR"]
+
+#: Rule id reported for files the parser rejects.
+PARSE_ERROR = "STA000"
+
+
+def _order(finding: Finding) -> Tuple[str, int, int, str]:
+    return (finding.relpath, finding.line, finding.col, finding.rule_id)
+
+
+@dataclass
+class LintResult:
+    """Outcome of one engine run over any number of files."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def extend(self, other: "LintResult") -> None:
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+        self.files_checked += other.files_checked
+
+    def sort(self) -> None:
+        self.findings.sort(key=_order)
+        self.suppressed.sort(key=_order)
+
+
+def package_relpath(path: str) -> str:
+    """Normalize a filesystem path to the package-rooted posix form used
+    for rule scoping: ``src/repro/core/x.py`` → ``repro/core/x.py``.
+    Paths without a ``repro`` segment are kept as given (posix-ified)."""
+    parts = os.path.normpath(path).replace(os.sep, "/").split("/")
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    return "/".join(parts)
+
+
+def lint_source(
+    source: str,
+    relpath: str,
+    *,
+    path: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintResult:
+    """Lint one in-memory module; ``relpath`` drives rule scoping."""
+    path = path if path is not None else relpath
+    active = list(rules) if rules is not None else get_rules()
+    result = LintResult(files_checked=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except (SyntaxError, ValueError) as exc:
+        result.findings.append(Finding(
+            rule_id=PARSE_ERROR,
+            message=f"cannot parse: {exc}",
+            path=path, relpath=relpath,
+            line=getattr(exc, "lineno", None) or 1,
+            severity=Severity.ERROR,
+        ))
+        return result
+
+    ctx = FileContext(path=path, relpath=relpath, source=source, tree=tree)
+    raw: List[Finding] = []
+    for rule in active:
+        if rule.applies_to(relpath):
+            raw.extend(rule.check(ctx))
+
+    suppressions, directive_problems = parse_suppressions(
+        source, path, relpath
+    )
+    kept, suppressed = apply_suppressions(raw, suppressions)
+    result.findings.extend(directive_problems)
+    result.findings.extend(kept)
+    result.suppressed.extend(suppressed)
+    result.sort()
+    return result
+
+
+def lint_file(
+    path: str,
+    *,
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintResult:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as exc:
+        raise StaticAnalysisError(f"cannot read {path!r}: {exc}") from exc
+    return lint_source(
+        source, package_relpath(path), path=path, rules=rules
+    )
+
+
+def discover(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if d != "__pycache__" and not d.startswith(".")
+                )
+                found.extend(
+                    os.path.join(dirpath, name)
+                    for name in sorted(filenames) if name.endswith(".py")
+                )
+        elif os.path.isfile(path):
+            found.append(path)
+        else:
+            raise StaticAnalysisError(f"no such file or directory: {path!r}")
+    return found
+
+
+def lint_paths(
+    paths: Iterable[str],
+    *,
+    select: Optional[Iterable[str]] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> Tuple[LintResult, List[str]]:
+    """Lint files and directories; returns (result, files-checked)."""
+    if rules is None:
+        rules = get_rules(select)
+    elif select is not None:
+        raise StaticAnalysisError("pass either `rules` or `select`, not both")
+    files = discover(paths)
+    result = LintResult()
+    for file_path in files:
+        result.extend(lint_file(file_path, rules=rules))
+    result.sort()
+    return result, files

@@ -1,0 +1,66 @@
+"""The :class:`Finding` record every rule emits."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+class Severity(enum.Enum):
+    """How a finding gates the build.
+
+    Every shipped rule is an ``ERROR`` today — a violated invariant is a
+    latent reproducibility bug, not a style nit — but the level travels
+    with the finding so reporters (and SARIF consumers) can distinguish
+    future advisory rules without a format change.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is the file as given to the engine; ``relpath`` is the
+    package-rooted posix path (``repro/core/optimizer.py``) used for rule
+    scoping, stable across checkouts and what reporters should print.
+    """
+
+    rule_id: str
+    message: str
+    path: str
+    relpath: str
+    line: int
+    col: int = 0
+    severity: Severity = Severity.ERROR
+    #: Free-form extras (e.g. the offending symbol) for machine consumers.
+    data: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def render(self) -> str:
+        return (
+            f"{self.location()}: {self.rule_id} [{self.severity}] "
+            f"{self.message}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "rule": self.rule_id,
+            "message": self.message,
+            "path": self.path,
+            "relpath": self.relpath,
+            "line": self.line,
+            "col": self.col,
+            "severity": str(self.severity),
+        }
+        if self.data:
+            payload["data"] = dict(self.data)
+        return payload

@@ -1,0 +1,104 @@
+"""Finding reporters: human text, machine JSON, and SARIF 2.1.0.
+
+SARIF is the interchange format GitHub code scanning and most IDE
+annotators ingest; emitting it from a bespoke linter costs ~50 lines and
+makes the gate's output first-class everywhere standard tooling looks.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.errors import StaticAnalysisError
+from repro.statan.engine import LintResult
+from repro.statan.rules import ALL_RULES
+
+__all__ = ["render_text", "render_json", "render_sarif", "render",
+           "FORMATS"]
+
+FORMATS = ("text", "json", "sarif")
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_text(result: LintResult, files: Sequence[str]) -> str:
+    lines: List[str] = [finding.render() for finding in result.findings]
+    summary = (
+        f"{len(result.findings)} finding(s) in {result.files_checked} "
+        f"file(s); {len(result.suppressed)} suppressed"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult, files: Sequence[str]) -> str:
+    payload: Dict[str, Any] = {
+        "tool": "repro.statan",
+        "files_checked": result.files_checked,
+        "findings": [finding.to_dict() for finding in result.findings],
+        "suppressed": [finding.to_dict() for finding in result.suppressed],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(result: LintResult, files: Sequence[str]) -> str:
+    rule_meta = [
+        {
+            "id": rule.rule_id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.name},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in ALL_RULES
+    ]
+    results = [
+        {
+            "ruleId": finding.rule_id,
+            "level": str(finding.severity),
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.relpath},
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                },
+            }],
+        }
+        for finding in result.findings
+    ]
+    sarif = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro.statan",
+                    "informationUri":
+                        "https://example.invalid/docs/STATIC_ANALYSIS.md",
+                    "rules": rule_meta,
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(sarif, indent=2, sort_keys=True)
+
+
+def render(result: LintResult, files: Sequence[str], fmt: str) -> str:
+    if fmt == "text":
+        return render_text(result, files)
+    if fmt == "json":
+        return render_json(result, files)
+    if fmt == "sarif":
+        return render_sarif(result, files)
+    raise StaticAnalysisError(
+        f"unknown report format {fmt!r}; expected one of {FORMATS}"
+    )

@@ -1,0 +1,160 @@
+"""Rule framework and catalog.
+
+A rule is an :class:`ast` inspection scoped to part of the tree: it
+receives one parsed :class:`FileContext` and yields
+:class:`~repro.statan.findings.Finding` records.  Rules are stateless
+across files; anything remembered between ``check`` calls is a bug.
+
+Scoping: each rule declares ``scopes`` — package-rooted posix prefixes
+(``repro/core/``).  An empty tuple means the rule applies everywhere the
+engine is pointed at.  ``tests/`` and fixture files are simply never
+handed to the engine by the CI gate, so rules don't special-case them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import StaticAnalysisError
+from repro.statan.findings import Finding, Severity
+
+__all__ = [
+    "FileContext",
+    "Rule",
+    "ALL_RULES",
+    "get_rules",
+    "rule_ids",
+    "StaticAnalysisError",
+]
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may look at for one file."""
+
+    path: str
+    relpath: str
+    source: str
+    tree: ast.Module
+
+    #: Module-alias maps harvested once per file by the engine:
+    #: ``import numpy as np`` → ``{"np": "numpy"}``;
+    #: ``from time import time as now`` → ``{"now": "time.time"}``.
+    module_aliases: Optional[Dict[str, str]] = None
+    imported_names: Optional[Dict[str, str]] = None
+
+    def __post_init__(self) -> None:
+        if self.module_aliases is None or self.imported_names is None:
+            self.module_aliases = {}
+            self.imported_names = {}
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        self.module_aliases[alias.asname or alias.name] = alias.name
+                elif isinstance(node, ast.ImportFrom) and node.module:
+                    for alias in node.names:
+                        if alias.name == "*":
+                            continue
+                        self.imported_names[alias.asname or alias.name] = (
+                            f"{node.module}.{alias.name}"
+                        )
+
+    def qualified_name(self, node: ast.AST) -> Optional[str]:
+        """Resolve ``np.random.normal`` → ``numpy.random.normal`` using the
+        file's imports; ``None`` when the expression isn't a plain dotted
+        name rooted at an import."""
+        parts: List[str] = []
+        cursor = node
+        while isinstance(cursor, ast.Attribute):
+            parts.append(cursor.attr)
+            cursor = cursor.value
+        if not isinstance(cursor, ast.Name):
+            return None
+        root = cursor.id
+        if root in self.module_aliases:
+            parts.append(self.module_aliases[root])
+        elif root in self.imported_names:
+            parts.append(self.imported_names[root])
+        else:
+            parts.append(root)
+        return ".".join(reversed(parts))
+
+
+class Rule:
+    """Base class: subclasses set the class attributes and implement
+    :meth:`check`."""
+
+    #: Stable identifier (``REP001``); suppression comments use it.
+    rule_id: str = ""
+    #: Short human name (``unseeded-randomness``).
+    name: str = ""
+    #: One-paragraph rationale tied to the repo invariant it protects.
+    rationale: str = ""
+    #: Package-rooted path prefixes the rule applies to; empty = all.
+    scopes: Tuple[str, ...] = ()
+    severity: Severity = Severity.ERROR
+
+    def applies_to(self, relpath: str) -> bool:
+        if not self.scopes:
+            return True
+        return any(relpath.startswith(scope) for scope in self.scopes)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str,
+                **data: object) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            message=message,
+            path=ctx.path,
+            relpath=ctx.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            severity=self.severity,
+            data=dict(data),
+        )
+
+
+def _build_catalog() -> "List[Rule]":
+    from repro.statan.rules.determinism import UnseededRandomness, WallClock
+    from repro.statan.rules.exceptions import SwallowedException
+    from repro.statan.rules.distributed import CrossAgentAccess
+    from repro.statan.rules.numerics import FloatEquality, MutableDefault
+    from repro.statan.rules.telemetry import AdHocTelemetry
+    from repro.statan.rules.configs import ConfigValidation
+
+    return [
+        UnseededRandomness(),
+        WallClock(),
+        SwallowedException(),
+        CrossAgentAccess(),
+        FloatEquality(),
+        MutableDefault(),
+        AdHocTelemetry(),
+        ConfigValidation(),
+    ]
+
+
+#: The shipped catalog, ordered by rule id.
+ALL_RULES: List[Rule] = sorted(_build_catalog(), key=lambda r: r.rule_id)
+
+
+def rule_ids() -> List[str]:
+    return [rule.rule_id for rule in ALL_RULES]
+
+
+def get_rules(select: Optional[Iterable[str]] = None) -> List[Rule]:
+    """The catalog, optionally narrowed to ``select`` ids (order kept)."""
+    if select is None:
+        return list(ALL_RULES)
+    wanted: Sequence[str] = [s.strip().upper() for s in select if s.strip()]
+    known = {rule.rule_id: rule for rule in ALL_RULES}
+    unknown = [s for s in wanted if s not in known]
+    if unknown:
+        raise StaticAnalysisError(
+            f"unknown rule id(s) {unknown!r}; known: {sorted(known)}"
+        )
+    return [known[s] for s in dict.fromkeys(wanted)]

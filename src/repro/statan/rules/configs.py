@@ -1,0 +1,58 @@
+"""REP008 — public dataclass configs validate themselves on construction."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.statan.findings import Finding
+from repro.statan.rules import FileContext, Rule
+
+__all__ = ["ConfigValidation"]
+
+
+def _is_dataclass_decorator(node: ast.AST) -> bool:
+    target = node.func if isinstance(node, ast.Call) else node
+    if isinstance(target, ast.Name):
+        return target.id == "dataclass"
+    if isinstance(target, ast.Attribute):
+        return target.attr == "dataclass"
+    return False
+
+
+class ConfigValidation(Rule):
+    """REP008: ``@dataclass class *Config`` must define ``__post_init__``."""
+
+    rule_id = "REP008"
+    name = "unvalidated-config"
+    rationale = (
+        "Config dataclasses are the public API surface: a bad knob "
+        "(negative iteration budget, loss probability above 1) that "
+        "isn't rejected at construction surfaces hundreds of iterations "
+        "later as a numeric anomaly that looks like an algorithm bug. "
+        "`__post_init__` is the one place dataclasses can centralize "
+        "constructor-time validation."
+    )
+    scopes = ()  # everywhere
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not node.name.endswith("Config") or node.name.startswith("_"):
+                continue
+            if not any(_is_dataclass_decorator(d) for d in node.decorator_list):
+                continue
+            has_post_init = any(
+                isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and item.name == "__post_init__"
+                for item in node.body
+            )
+            if not has_post_init:
+                yield self.finding(
+                    ctx, node,
+                    f"public dataclass config `{node.name}` has no "
+                    "`__post_init__`; validate its fields at "
+                    "construction time",
+                    cls=node.name,
+                )

@@ -1,0 +1,127 @@
+"""REP001/REP002 — determinism rules.
+
+The repo's headline guarantees (bitwise scalar/vectorized parity,
+seed-reproducible chaos runs, trace replay == live equality) all reduce
+to two source-level invariants: every random draw flows from an injected
+seeded generator, and no deterministic path reads the wall clock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.statan.findings import Finding
+from repro.statan.rules import FileContext, Rule
+
+__all__ = ["UnseededRandomness", "WallClock"]
+
+#: ``numpy.random`` members that *construct* seeded state rather than
+#: draw from the hidden global generator — these are the sanctioned way
+#: to get randomness.
+_SEEDED_CONSTRUCTORS = frozenset({
+    "default_rng", "Generator", "SeedSequence", "PCG64", "PCG64DXSM",
+    "MT19937", "Philox", "SFC64", "BitGenerator",
+})
+
+#: Wall-clock reads that poison replayability.  ``time.perf_counter`` /
+#: ``time.monotonic`` stay legal: they feed *duration* metrics
+#: (profiling), never event timestamps or control decisions.
+_WALL_CLOCK = frozenset({
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+
+class UnseededRandomness(Rule):
+    """REP001: randomness must come from an injected, seeded generator."""
+
+    rule_id = "REP001"
+    name = "unseeded-randomness"
+    rationale = (
+        "Draws from the process-global `random` module or the legacy "
+        "`numpy.random.*` functions bypass the injected "
+        "`numpy.random.Generator` seeds, so two runs with the same seed "
+        "diverge — breaking seed-reproducible experiments and the "
+        "scalar/vectorized parity gate."
+    )
+    scopes = ("repro/core/", "repro/sim/", "repro/distributed/",
+              "repro/workloads/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = ctx.qualified_name(node.func)
+            if qual is None:
+                continue
+            if qual.startswith("random."):
+                yield self.finding(
+                    ctx, node,
+                    f"call to `{qual}` draws from the global stdlib RNG; "
+                    "inject a seeded `numpy.random.Generator` instead",
+                    symbol=qual,
+                )
+            elif qual.startswith("numpy.random."):
+                member = qual.split(".", 2)[2].split(".", 1)[0]
+                if member not in _SEEDED_CONSTRUCTORS:
+                    yield self.finding(
+                        ctx, node,
+                        f"call to `{qual}` uses numpy's hidden global RNG; "
+                        "draw from an injected `numpy.random.Generator` "
+                        "(`default_rng(seed)`) instead",
+                        symbol=qual,
+                    )
+
+
+class WallClock(Rule):
+    """REP002: deterministic paths must not read the wall clock."""
+
+    rule_id = "REP002"
+    name = "wall-clock-read"
+    rationale = (
+        "Wall-clock reads make trace replay diverge from the live run and "
+        "leak host timing into simulated timelines; deterministic code "
+        "must take the sim clock or an injected clock callable. "
+        "`time.perf_counter`/`time.monotonic` remain legal for duration "
+        "profiling."
+    )
+    scopes = ("repro/core/", "repro/sim/", "repro/distributed/",
+              "repro/workloads/", "repro/telemetry/")
+
+    def _is_wall_clock(self, ctx: FileContext, node: ast.AST) -> Tuple[bool, str]:
+        qual = ctx.qualified_name(node)
+        if qual is None:
+            return False, ""
+        return qual in _WALL_CLOCK, qual
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        # Flag *references*, not just calls: stashing `time.time` as a
+        # default clock is the same leak one indirection later.
+        flagged_calls = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                hit, qual = self._is_wall_clock(ctx, node.func)
+                if hit:
+                    flagged_calls.add(id(node.func))
+                    yield self.finding(
+                        ctx, node,
+                        f"wall-clock call `{qual}()` in a deterministic "
+                        "path; use the sim clock or an injected clock",
+                        symbol=qual,
+                    )
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Attribute, ast.Name)) and \
+                    id(node) not in flagged_calls:
+                hit, qual = self._is_wall_clock(ctx, node)
+                if hit:
+                    yield self.finding(
+                        ctx, node,
+                        f"reference to wall clock `{qual}`; pass an "
+                        "injectable clock callable instead",
+                        symbol=qual,
+                    )

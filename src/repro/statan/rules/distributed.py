@@ -1,0 +1,130 @@
+"""REP004 — agent-locality: a lightweight race detector for the protocol.
+
+Section 4.1's decomposition only holds if every agent computes from its
+*own* state plus what arrived in messages.  Reaching across the bus into
+another agent's attributes is the simulated-protocol equivalent of a
+data race: it works under the synchronous in-process scheduler and
+silently breaks under real distribution, message loss, or chaos
+scenarios.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.statan.findings import Finding
+from repro.statan.rules import FileContext, Rule
+
+__all__ = ["CrossAgentAccess"]
+
+#: Attribute/registry names whose lookup yields *another* agent object.
+_AGENT_REGISTRIES = frozenset({"agents", "controllers", "resource_agents"})
+_AGENT_LOOKUPS = frozenset({"agent", "get_agent", "lookup_agent", "peer"})
+
+#: Parameters that legitimately carry cross-agent data: the message
+#: payloads themselves.
+_MESSAGE_PARAMS = ("envelope", "message", "msg", "payload")
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    while isinstance(node, (ast.Attribute, ast.Subscript, ast.Call)):
+        node = node.func if isinstance(node, ast.Call) else node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _is_agent_lookup(node: ast.AST) -> bool:
+    """``<x>.agents[...]``, ``<x>.agents.get(...)``, ``<x>.get_agent(...)``."""
+    if isinstance(node, ast.Subscript):
+        value = node.value
+        if isinstance(value, ast.Attribute) and value.attr in _AGENT_REGISTRIES:
+            return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in _AGENT_LOOKUPS:
+                return True
+            if func.attr == "get" and isinstance(func.value, ast.Attribute) \
+                    and func.value.attr in _AGENT_REGISTRIES:
+                return True
+    return False
+
+
+class CrossAgentAccess(Rule):
+    """REP004: agent methods touch only ``self`` state and message payloads."""
+
+    rule_id = "REP004"
+    name = "cross-agent-access"
+    rationale = (
+        "Message handlers that read or mutate another agent's attributes "
+        "only work because the simulator runs agents in-process; under "
+        "real distribution that state lives on another node. Detecting "
+        "registry lookups (`*.agents[...]`) and writes through foreign "
+        "objects keeps the protocol honestly message-passing, so chaos "
+        "and loss scenarios exercise the same code a deployment would run."
+    )
+    scopes = ("repro/distributed/",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for cls in ast.walk(ctx.tree):
+            if isinstance(cls, ast.ClassDef) and cls.name.endswith("Agent"):
+                for item in cls.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        yield from self._check_method(ctx, item)
+
+    def _check_method(self, ctx: FileContext,
+                      method: ast.FunctionDef) -> Iterator[Finding]:
+        args = method.args
+        params: List[str] = [a.arg for a in
+                             args.posonlyargs + args.args + args.kwonlyargs]
+        foreign_params: Set[str] = {
+            p for p in params[1:]  # skip self
+            if not any(tag in p.lower() for tag in _MESSAGE_PARAMS)
+        }
+        #: Local names bound to a foreign agent via a registry lookup.
+        foreign_locals: Dict[str, int] = {}
+
+        for node in ast.walk(method):
+            if isinstance(node, ast.Assign) and _is_agent_lookup(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        foreign_locals[target.id] = node.lineno
+
+        for node in ast.walk(method):
+            # Direct chained access: self.bus.agents["x"].price
+            if isinstance(node, ast.Attribute) and _is_agent_lookup(node.value):
+                yield self.finding(
+                    ctx, node,
+                    f"`{method.name}` reaches into another agent's "
+                    f"`.{node.attr}` via a registry lookup; agents may "
+                    "only use `self` state and message payloads",
+                    method=method.name, attribute=node.attr,
+                )
+            # Access through a local bound to a looked-up agent.
+            elif isinstance(node, ast.Attribute) and \
+                    isinstance(node.value, ast.Name) and \
+                    node.value.id in foreign_locals:
+                yield self.finding(
+                    ctx, node,
+                    f"`{method.name}` touches `.{node.attr}` of agent "
+                    f"`{node.value.id}` looked up from a registry "
+                    f"(line {foreign_locals[node.value.id]}); communicate "
+                    "via the bus instead",
+                    method=method.name, attribute=node.attr,
+                )
+            # Mutation through a non-message parameter.
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Attribute):
+                        root = _root_name(target.value)
+                        if root in foreign_params:
+                            yield self.finding(
+                                ctx, target,
+                                f"`{method.name}` writes "
+                                f"`{root}.{target.attr}`: mutating a "
+                                "parameter that is not `self` or a "
+                                "message payload crosses agent state",
+                                method=method.name, attribute=target.attr,
+                            )

@@ -1,0 +1,69 @@
+"""REP003 — no silently swallowed broad exceptions."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.statan.findings import Finding
+from repro.statan.rules import FileContext, Rule
+
+__all__ = ["SwallowedException"]
+
+_BROAD = frozenset({"Exception", "BaseException"})
+_LOG_METHODS = frozenset({
+    "debug", "info", "warning", "error", "exception", "critical", "log",
+})
+
+
+def _is_broad_handler(handler: ast.ExceptHandler) -> bool:
+    """Bare ``except:``, ``except Exception``, or a tuple containing one."""
+    node = handler.type
+    if node is None:
+        return True
+    candidates = node.elts if isinstance(node, ast.Tuple) else [node]
+    for cand in candidates:
+        if isinstance(cand, ast.Name) and cand.id in _BROAD:
+            return True
+        if isinstance(cand, ast.Attribute) and cand.attr in _BROAD:
+            return True
+    return False
+
+
+def _handler_recovers(handler: ast.ExceptHandler) -> bool:
+    """True when the body re-raises or logs the failure."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr in _LOG_METHODS:
+            return True
+    return False
+
+
+class SwallowedException(Rule):
+    """REP003: broad handlers must log and/or re-raise, never swallow."""
+
+    rule_id = "REP003"
+    name = "swallowed-exception"
+    rationale = (
+        "A broad `except Exception` that neither logs nor re-raises hides "
+        "mid-simulation failures, silently corrupting the virtual timeline "
+        "(the sim engine's callback guard logs *and* re-raises for exactly "
+        "this reason). Narrow handlers remain free to recover quietly."
+    )
+    scopes = ()  # everywhere
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _is_broad_handler(node) and not _handler_recovers(node):
+                caught = "bare except" if node.type is None else \
+                    "except over Exception/BaseException"
+                yield self.finding(
+                    ctx, node,
+                    f"{caught} swallows the failure; log it and/or "
+                    "re-raise (or narrow the exception type)",
+                )

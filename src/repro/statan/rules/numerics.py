@@ -1,0 +1,125 @@
+"""REP005/REP006 — numeric-kernel hygiene rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.statan.findings import Finding
+from repro.statan.rules import FileContext, Rule
+
+__all__ = ["FloatEquality", "MutableDefault"]
+
+_ARITH = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Pow,
+          ast.Mod)
+
+
+def _contains_float_literal(node: ast.AST) -> bool:
+    return any(
+        isinstance(sub, ast.Constant) and isinstance(sub.value, float)
+        for sub in ast.walk(node)
+    )
+
+
+def _is_computed(node: ast.AST) -> bool:
+    """An expression whose float value went through arithmetic or a call —
+    i.e. one subject to rounding, not an exact stored sentinel."""
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _ARITH):
+        return True
+    if isinstance(node, ast.UnaryOp):
+        return _is_computed(node.operand)
+    return isinstance(node, ast.Call)
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp):
+        return _is_float_literal(node.operand)
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+class FloatEquality(Rule):
+    """REP005: no ``==``/``!=`` between computed floats in numeric kernels."""
+
+    rule_id = "REP005"
+    name = "float-equality"
+    rationale = (
+        "Exact equality on a value that went through arithmetic compares "
+        "rounding noise, so the branch flips between backends and "
+        "platforms — the exact failure mode the scalar/vectorized parity "
+        "gate exists to catch. Comparing a *stored* value against a "
+        "sentinel literal (`err != 0.0` where `err` is assigned, never "
+        "accumulated) stays legal; use `math.isclose`/tolerances for "
+        "computed quantities."
+    )
+    scopes = ("repro/core/", "repro/model/", "repro/sim/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                pair = (left, right)
+                computed = [o for o in pair if _is_computed(o)]
+                if not computed:
+                    continue
+                floaty = (
+                    any(_is_float_literal(o) for o in pair)
+                    or any(_contains_float_literal(o) for o in computed)
+                )
+                if floaty:
+                    yield self.finding(
+                        ctx, node,
+                        "exact float comparison against a computed value; "
+                        "use a tolerance (`math.isclose`, `abs(a-b) <= "
+                        "tol`) — exact equality flips with rounding",
+                    )
+
+
+class MutableDefault(Rule):
+    """REP006: no mutable default arguments."""
+
+    rule_id = "REP006"
+    name = "mutable-default-argument"
+    rationale = (
+        "A mutable default is created once at import and shared by every "
+        "call, so state leaks across runs of what should be independent, "
+        "reproducible experiments. Default to `None` and allocate inside "
+        "the function."
+    )
+    scopes = ()  # everywhere
+
+    _MUTABLE_CALLS = frozenset({
+        "list", "dict", "set", "bytearray", "deque", "defaultdict",
+        "OrderedDict", "Counter",
+    })
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        ctx, default,
+                        f"mutable default argument in `{node.name}`; use "
+                        "`None` and allocate per call",
+                        function=node.name,
+                    )
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else ""
+            )
+            return name in self._MUTABLE_CALLS
+        return False

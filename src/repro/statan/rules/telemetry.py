@@ -1,0 +1,67 @@
+"""REP007 — telemetry flows through the hub, never ad-hoc plumbing."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.statan.findings import Finding
+from repro.statan.rules import FileContext, Rule
+
+__all__ = ["AdHocTelemetry"]
+
+#: Primitives only the hub (``repro.telemetry``) may construct directly.
+#: Everything else receives a :class:`repro.telemetry.Telemetry` facade
+#: (or uses its ``to_file``/``in_memory``/``disabled`` constructors).
+_PRIMITIVES = frozenset({
+    "Tracer", "MetricsRegistry", "JsonlFileSink", "LoggingSink",
+})
+_QUALIFIED_PREFIXES = (
+    "repro.telemetry.tracing.", "repro.telemetry.metrics.",
+    "repro.telemetry.",
+)
+
+
+class AdHocTelemetry(Rule):
+    """REP007: instrumented code emits via the Telemetry facade."""
+
+    rule_id = "REP007"
+    name = "ad-hoc-telemetry"
+    rationale = (
+        "Metrics/trace sinks constructed outside the hub don't share the "
+        "run's registry or sinks, so their events are invisible to "
+        "`repro trace`/`repro stats` and to the replay==live equality "
+        "check. Components take a `Telemetry` facade; only the hub wires "
+        "primitives together. (`InMemorySink` stays legal: it is the "
+        "documented capture device for assertions and interactive use.)"
+    )
+    scopes = ()  # everywhere outside the hub itself
+
+    def applies_to(self, relpath: str) -> bool:
+        return not relpath.startswith("repro/telemetry/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = ctx.qualified_name(node.func)
+            if qual is None:
+                continue
+            base = qual.rsplit(".", 1)[-1]
+            if base not in _PRIMITIVES:
+                continue
+            if qual == base and base not in ctx.imported_names:
+                # A locally defined class that happens to share the name.
+                continue
+            origin = ctx.imported_names.get(base, qual)
+            if origin.startswith(_QUALIFIED_PREFIXES) or \
+                    qual.startswith(_QUALIFIED_PREFIXES):
+                yield self.finding(
+                    ctx, node,
+                    f"direct construction of telemetry primitive "
+                    f"`{base}`; use the `Telemetry` facade "
+                    "(`Telemetry.to_file(...)`, `telemetry.registry`, "
+                    "`telemetry.add_sink(...)`) so events share the "
+                    "run's hub",
+                    symbol=base,
+                )

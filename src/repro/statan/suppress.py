@@ -1,0 +1,123 @@
+"""Inline suppression directives.
+
+Syntax (one per physical line, in a comment)::
+
+    risky_call()  # statan: disable=REP002 -- replay never sees this path
+
+* ``disable=`` takes a comma-separated list of rule ids.
+* The ``--`` justification is **mandatory**: an unjustified suppression
+  is itself reported (``STA002``), so every waiver carries its reason in
+  the diff forever.
+* Malformed directives (no ``disable=``, empty id list) report
+  ``STA001`` rather than being silently ignored — a typo must not turn
+  a real violation invisible.
+
+Suppressions apply to findings on the same physical line.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.statan.findings import Finding, Severity
+
+__all__ = ["Suppression", "parse_suppressions", "apply_suppressions",
+           "STA_MALFORMED", "STA_UNJUSTIFIED"]
+
+STA_MALFORMED = "STA001"
+STA_UNJUSTIFIED = "STA002"
+
+_DIRECTIVE = re.compile(r"#\s*statan:\s*(?P<body>.*)$")
+_DISABLE = re.compile(
+    r"disable\s*=\s*(?P<ids>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s*--\s*(?P<why>.*))?$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# statan: disable=...`` directive."""
+
+    line: int
+    rule_ids: Tuple[str, ...]
+    justification: str
+
+
+def parse_suppressions(
+    source: str, path: str, relpath: str,
+) -> Tuple[Dict[int, Suppression], List[Finding]]:
+    """Extract directives from comments; malformed ones become findings."""
+    suppressions: Dict[int, Suppression] = {}
+    problems: List[Finding] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # The engine reports unparsable files separately; nothing to do.
+        return {}, []
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE.search(tok.string)
+        if match is None:
+            continue
+        line = tok.start[0]
+        body = match.group("body").strip()
+        disable = _DISABLE.match(body)
+        if disable is None:
+            problems.append(Finding(
+                rule_id=STA_MALFORMED,
+                message=(
+                    f"malformed statan directive {tok.string.strip()!r}; "
+                    "expected `# statan: disable=RULE[,RULE...] -- "
+                    "justification`"
+                ),
+                path=path, relpath=relpath, line=line, col=tok.start[1],
+                severity=Severity.ERROR,
+            ))
+            continue
+        ids = tuple(
+            part.strip().upper()
+            for part in disable.group("ids").split(",") if part.strip()
+        )
+        why = (disable.group("why") or "").strip()
+        if not ids:
+            problems.append(Finding(
+                rule_id=STA_MALFORMED,
+                message="statan directive disables no rules",
+                path=path, relpath=relpath, line=line, col=tok.start[1],
+                severity=Severity.ERROR,
+            ))
+            continue
+        if not why:
+            problems.append(Finding(
+                rule_id=STA_UNJUSTIFIED,
+                message=(
+                    f"suppression of {', '.join(ids)} has no justification; "
+                    "append `-- <reason>` (the waiver must explain itself)"
+                ),
+                path=path, relpath=relpath, line=line, col=tok.start[1],
+                severity=Severity.ERROR,
+            ))
+            continue
+        suppressions[line] = Suppression(line, ids, why)
+    return suppressions, problems
+
+
+def apply_suppressions(
+    findings: List[Finding],
+    suppressions: Dict[int, Suppression],
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (kept, suppressed) using same-line directives."""
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        directive = suppressions.get(finding.line)
+        if directive is not None and finding.rule_id in directive.rule_ids:
+            suppressed.append(finding)
+        else:
+            kept.append(finding)
+    return kept, suppressed

@@ -18,7 +18,7 @@ Typical usage::
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.telemetry.metrics import MetricsRegistry, default_registry
 from repro.telemetry.tracing import JsonlFileSink, Tracer, TraceSink
@@ -32,7 +32,7 @@ class Telemetry:
     __slots__ = ("registry", "tracer")
 
     def __init__(self, registry: Optional[MetricsRegistry] = None,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
 
@@ -50,20 +50,29 @@ class Telemetry:
 
     @classmethod
     def to_file(cls, path: str,
-                registry: Optional[MetricsRegistry] = None) -> "Telemetry":
-        """Metrics on, tracing into a JSONL file at ``path``."""
-        return cls(registry, Tracer([JsonlFileSink(path)]))
+                registry: Optional[MetricsRegistry] = None,
+                clock: Optional[Callable[[], float]] = None) -> "Telemetry":
+        """Metrics on, tracing into a JSONL file at ``path``.
+
+        ``clock`` injects the event-timestamp source (deterministic runs
+        pass their virtual clock; default is wall time)."""
+        return cls(registry, Tracer([JsonlFileSink(path)], clock=clock))
 
     @classmethod
-    def in_memory(cls) -> "Telemetry":
+    def in_memory(cls,
+                  clock: Optional[Callable[[], float]] = None) -> "Telemetry":
         """Metrics on, tracing into an in-memory sink (tests)."""
         from repro.telemetry.tracing import InMemorySink
-        return cls(MetricsRegistry(), Tracer([InMemorySink()]))
+        return cls(MetricsRegistry(), Tracer([InMemorySink()], clock=clock))
 
     # -- lifecycle ----------------------------------------------------------------
 
     def add_sink(self, sink: TraceSink) -> TraceSink:
         return self.tracer.add_sink(sink)
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        """Install the trace-timestamp source (see :class:`Tracer`)."""
+        self.tracer.set_clock(clock)
 
     def close(self) -> None:
         """Flush and close every trace sink."""

@@ -17,7 +17,7 @@ from __future__ import annotations
 import math
 import time
 from collections import deque
-from typing import Deque, Dict, Iterator, Optional
+from typing import Any, Deque, Dict, Iterator, List, Optional, Type, TypeVar
 
 import numpy as np
 
@@ -41,7 +41,7 @@ class _Metric:
     __slots__ = ("name", "description", "_registry")
 
     def __init__(self, name: str, description: str = "",
-                 registry: Optional["MetricsRegistry"] = None):
+                 registry: Optional["MetricsRegistry"] = None) -> None:
         if not name:
             raise TelemetryError("metric name must be non-empty")
         self.name = name
@@ -59,6 +59,9 @@ class _Metric:
         raise NotImplementedError
 
 
+_MetricT = TypeVar("_MetricT", bound=_Metric)
+
+
 class Counter(_Metric):
     """A monotonically increasing count (messages sent, iterations run)."""
 
@@ -66,7 +69,7 @@ class Counter(_Metric):
     __slots__ = ("value",)
 
     def __init__(self, name: str, description: str = "",
-                 registry: Optional["MetricsRegistry"] = None):
+                 registry: Optional["MetricsRegistry"] = None) -> None:
         super().__init__(name, description, registry)
         self.value = 0.0
 
@@ -92,7 +95,7 @@ class Gauge(_Metric):
     __slots__ = ("value",)
 
     def __init__(self, name: str, description: str = "",
-                 registry: Optional["MetricsRegistry"] = None):
+                 registry: Optional["MetricsRegistry"] = None) -> None:
         super().__init__(name, description, registry)
         self.value = 0.0
 
@@ -130,7 +133,7 @@ class Histogram(_Metric):
 
     def __init__(self, name: str, description: str = "",
                  registry: Optional["MetricsRegistry"] = None,
-                 max_samples: Optional[int] = None):
+                 max_samples: Optional[int] = None) -> None:
         super().__init__(name, description, registry)
         if max_samples is not None and max_samples < 1:
             raise TelemetryError(
@@ -171,7 +174,7 @@ class Histogram(_Metric):
             return None
         return float(np.percentile(list(self._samples), percentile))
 
-    def values(self) -> list:
+    def values(self) -> List[float]:
         """The retained sample window, oldest first."""
         return list(self._samples)
 
@@ -202,7 +205,7 @@ class _TimerContext:
 
     __slots__ = ("_timer", "_start")
 
-    def __init__(self, timer: "Timer"):
+    def __init__(self, timer: "Timer") -> None:
         self._timer = timer
         self._start = 0.0
 
@@ -210,7 +213,7 @@ class _TimerContext:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self._timer.observe(time.perf_counter() - self._start)
 
 
@@ -234,7 +237,7 @@ class MetricsRegistry:
     every metric write into a no-op without detaching any handles.
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True) -> None:
         self._metrics: Dict[str, _Metric] = {}
         self.enabled = bool(enabled)
 
@@ -248,7 +251,8 @@ class MetricsRegistry:
 
     # -- access ------------------------------------------------------------------
 
-    def _get_or_create(self, cls, name: str, description: str, **kwargs):
+    def _get_or_create(self, cls: Type[_MetricT], name: str,
+                       description: str, **kwargs: Any) -> _MetricT:
         metric = self._metrics.get(name)
         if metric is not None:
             if not isinstance(metric, cls) or metric.kind != cls.kind:
@@ -282,7 +286,7 @@ class MetricsRegistry:
     def get(self, name: str) -> Optional[_Metric]:
         return self._metrics.get(name)
 
-    def names(self) -> list:
+    def names(self) -> List[str]:
         return sorted(self._metrics)
 
     def __iter__(self) -> Iterator[_Metric]:

@@ -38,7 +38,7 @@ import logging
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, IO, Iterable, List, Optional, Union
+from typing import Any, Callable, Dict, IO, Iterable, List, Optional, Union
 
 from repro.errors import TelemetryError
 
@@ -128,7 +128,7 @@ class JsonlFileSink(TraceSink):
     """
 
     def __init__(self, target: Union[str, "os.PathLike[str]", IO[str]],
-                 mode: str = "w"):
+                 mode: str = "w") -> None:
         if isinstance(target, (str, os.PathLike)):
             self._handle: IO[str] = open(target, mode)
             self._owns_handle = True
@@ -159,7 +159,7 @@ class LoggingSink(TraceSink):
     """Bridges events into stdlib :mod:`logging`."""
 
     def __init__(self, logger: Optional[logging.Logger] = None,
-                 level: int = logging.DEBUG):
+                 level: int = logging.DEBUG) -> None:
         self.logger = logger or logging.getLogger("repro.telemetry")
         self.level = level
 
@@ -177,14 +177,41 @@ class Tracer:
     With no sinks attached, :attr:`enabled` is ``False`` and ``emit`` is
     never called by well-behaved instrumentation (and is a cheap early
     return if it is).
+
+    The event timestamp source is injectable: interactive traces default
+    to wall time, while deterministic contexts (the simulator, the
+    distributed runtime, trace-replay tests) install their virtual clock
+    via ``clock=``/:meth:`set_clock` so two identical runs produce
+    byte-identical trace files.
     """
 
-    def __init__(self, sinks: Iterable[TraceSink] = ()):
+    def __init__(self, sinks: Iterable[TraceSink] = (),
+                 clock: Optional[Callable[[], float]] = None) -> None:
         self._sinks: List[TraceSink] = list(sinks)
+        # Deterministic runs inject a virtual clock; interactive traces
+        # keep the documented wall-time default.
+        self._clock_injected = clock is not None
+        if clock is None:
+            clock = time.time  # statan: disable=REP002 -- wall default for interactive traces
+        self._clock: Callable[[], float] = clock
 
     @property
     def enabled(self) -> bool:
         return bool(self._sinks)
+
+    @property
+    def clock(self) -> Callable[[], float]:
+        return self._clock
+
+    @property
+    def clock_injected(self) -> bool:
+        """True once a caller has installed an explicit clock."""
+        return self._clock_injected
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        """Install the timestamp source for subsequently emitted events."""
+        self._clock = clock
+        self._clock_injected = True
 
     @property
     def sinks(self) -> List[TraceSink]:
@@ -201,7 +228,7 @@ class Tracer:
         """Build and dispatch one event; returns it (``None`` when off)."""
         if not self._sinks:
             return None
-        event = TraceEvent(kind=kind, ts=time.time(), data=data)
+        event = TraceEvent(kind=kind, ts=self._clock(), data=data)
         for sink in self._sinks:
             sink.emit(event)
         return event

@@ -46,6 +46,11 @@ class GeneratorConfig:
     variant: str = "path-weighted"
     utility_k: float = 2.0
 
+    def __post_init__(self) -> None:
+        """Validate at construction (REP008); :meth:`validate` stays public
+        for callers that mutate a config after building it."""
+        self.validate()
+
     def validate(self) -> None:
         if self.n_tasks < 1:
             raise ModelError("n_tasks must be >= 1")

@@ -1,6 +1,5 @@
 """Tests for report formatting."""
 
-import pytest
 
 from repro.analysis.reporting import (
     format_comparison,

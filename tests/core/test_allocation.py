@@ -6,10 +6,7 @@ import pytest
 
 from repro.core.allocation import LatencyAllocator, stationary_latency
 from repro.core.state import PathKey
-from repro.model.graph import SubtaskGraph
-from repro.model.resources import Resource
 from repro.model.share import CorrectedShare, HyperbolicShare, PowerLawShare
-from repro.model.task import Subtask, Task, TaskSet
 from repro.model.utility import LogUtility
 from tests.conftest import make_chain_taskset
 

@@ -6,7 +6,6 @@ from repro.core.state import PathKey
 from repro.distributed.agents import ResourceAgent, TaskControllerAgent
 from repro.distributed.messages import Envelope, LatencyMessage, PriceMessage
 from repro.distributed.network import MessageBus
-from repro.workloads.paper import base_workload
 
 
 def envelope(payload, receiver="x"):

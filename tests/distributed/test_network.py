@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.distributed.messages import LatencyMessage, PriceMessage
+from repro.distributed.messages import LatencyMessage
 from repro.distributed.network import MessageBus
 from repro.errors import DistributedError
 

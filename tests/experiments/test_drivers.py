@@ -5,7 +5,6 @@ verify the drivers' plumbing — result shapes, traces, derived metrics —
 at a fraction of the cost.
 """
 
-import pytest
 
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.fig6 import run_fig6

@@ -1,6 +1,5 @@
 """Property-based tests for LLA invariants on random workloads."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

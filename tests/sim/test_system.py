@@ -1,6 +1,5 @@
 """Integration tests for the simulated system (workload execution)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import SimulationError

@@ -1,0 +1,78 @@
+"""CLI behaviour of ``repro lint`` / ``python -m repro.statan.cli``."""
+
+import json
+import textwrap
+
+from repro.cli import main as repro_main
+from repro.statan.cli import main as lint_main
+
+BAD = textwrap.dedent("""\
+    import time
+
+    def stamp():
+        return time.time()
+    """)
+
+CLEAN = "def fine():\n    return 1\n"
+
+
+def write_module(tmp_path, source):
+    # Put the file under a `repro/sim/` segment so path-scoped rules fire.
+    pkg = tmp_path / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    path = pkg / "clock.py"
+    path.write_text(source)
+    return path
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = write_module(tmp_path, CLEAN)
+        assert lint_main([str(path)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        path = write_module(tmp_path, BAD)
+        assert lint_main([str(path)]) == 1
+        assert "REP002" in capsys.readouterr().out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path / "nope.py")]) == 2
+        assert "repro lint:" in capsys.readouterr().out
+
+
+class TestOptions:
+    def test_select_limits_rules(self, tmp_path, capsys):
+        path = write_module(tmp_path, BAD)
+        assert lint_main([str(path), "--select", "REP001"]) == 0
+        capsys.readouterr()
+
+    def test_json_report_to_file(self, tmp_path, capsys):
+        path = write_module(tmp_path, BAD)
+        out = tmp_path / "report.json"
+        code = lint_main([str(path), "--format", "json", "-o", str(out)])
+        assert code == 1
+        payload = json.loads(out.read_text())
+        assert payload["findings"][0]["rule"] == "REP002"
+        assert "lint report written" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "REP001" in out and "REP008" in out
+
+    def test_show_suppressed(self, tmp_path, capsys):
+        source = BAD.replace(
+            "time.time()",
+            "time.time()  # statan: disable=REP002 -- cli fixture",
+        )
+        path = write_module(tmp_path, source)
+        assert lint_main([str(path), "--show-suppressed"]) == 0
+        assert "suppressed:" in capsys.readouterr().out
+
+
+class TestReproSubcommand:
+    def test_lint_is_wired_into_repro_cli(self, tmp_path, capsys):
+        path = write_module(tmp_path, BAD)
+        assert repro_main(["lint", str(path)]) == 1
+        assert "REP002" in capsys.readouterr().out

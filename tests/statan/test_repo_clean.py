@@ -1,0 +1,37 @@
+"""The gate's integration contract: the shipped tree lints clean."""
+
+import os
+
+from repro.statan import ALL_RULES, lint_paths
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+
+
+class TestRepoIsClean:
+    def test_src_tree_has_no_findings(self):
+        result, files = lint_paths([os.path.join(REPO_ROOT, "src")])
+        assert result.ok, "\n".join(f.render() for f in result.findings)
+        assert result.files_checked == len(files) > 0
+
+    def test_every_suppression_in_tree_is_justified(self):
+        result, _ = lint_paths([os.path.join(REPO_ROOT, "src")])
+        assert not any(
+            f.rule_id in ("STA001", "STA002") for f in result.findings
+        )
+
+
+class TestCatalog:
+    def test_rule_ids_are_unique_and_sorted(self):
+        ids = [rule.rule_id for rule in ALL_RULES]
+        assert ids == sorted(ids)
+        assert len(ids) == len(set(ids))
+
+    def test_expected_rules_are_registered(self):
+        ids = {rule.rule_id for rule in ALL_RULES}
+        assert {f"REP00{i}" for i in range(1, 9)} <= ids
+
+    def test_every_rule_carries_rationale(self):
+        for rule in ALL_RULES:
+            assert rule.rule_id and rule.name and rule.rationale

@@ -1,0 +1,74 @@
+"""Reporter output: text, JSON, and SARIF 2.1.0."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.errors import StaticAnalysisError
+from repro.statan import ALL_RULES, lint_source
+from repro.statan.reporters import render, render_json, render_sarif, render_text
+
+FIXTURE = textwrap.dedent("""\
+    import time
+
+    def stamp():
+        return time.time()
+    """)
+
+
+@pytest.fixture()
+def result():
+    return lint_source(FIXTURE, "repro/sim/clock.py")
+
+
+class TestTextReport:
+    def test_lists_findings_and_summary(self, result):
+        text = render_text(result, ["repro/sim/clock.py"])
+        assert "REP002" in text
+        assert "1 finding(s) in 1 file(s); 0 suppressed" in text
+
+    def test_render_location_is_clickable(self, result):
+        line = result.findings[0].render()
+        # path:line:col prefix, 1-based column.
+        assert line.startswith("repro/sim/clock.py:4:")
+
+
+class TestJsonReport:
+    def test_payload_round_trips(self, result):
+        payload = json.loads(render_json(result, ["repro/sim/clock.py"]))
+        assert payload["tool"] == "repro.statan"
+        assert payload["files_checked"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "REP002"
+        assert finding["line"] == 4
+        assert finding["severity"] == "error"
+        assert payload["suppressed"] == []
+
+
+class TestSarifReport:
+    def test_sarif_2_1_0_shape(self, result):
+        sarif = json.loads(render_sarif(result, ["repro/sim/clock.py"]))
+        assert sarif["version"] == "2.1.0"
+        (run,) = sarif["runs"]
+        assert run["tool"]["driver"]["name"] == "repro.statan"
+        (sarif_result,) = run["results"]
+        assert sarif_result["ruleId"] == "REP002"
+        region = sarif_result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 4
+        assert region["startColumn"] >= 1
+
+    def test_full_rule_catalog_is_described(self, result):
+        sarif = json.loads(render_sarif(result, []))
+        described = {r["id"] for r in sarif["runs"][0]["tool"]["driver"]["rules"]}
+        assert described == {rule.rule_id for rule in ALL_RULES}
+        assert all(
+            r["fullDescription"]["text"]
+            for r in sarif["runs"][0]["tool"]["driver"]["rules"]
+        )
+
+
+class TestDispatch:
+    def test_unknown_format_raises(self, result):
+        with pytest.raises(StaticAnalysisError):
+            render(result, [], "xml")

@@ -1,0 +1,295 @@
+"""Fixture tests: one positive and one negative snippet per rule."""
+
+import textwrap
+
+from repro.statan import lint_source
+from repro.statan.rules import get_rules
+
+
+def run_rule(rule_id, source, relpath):
+    result = lint_source(
+        textwrap.dedent(source), relpath, rules=get_rules([rule_id])
+    )
+    return [f for f in result.findings if f.rule_id == rule_id]
+
+
+class TestUnseededRandomness:
+    def test_flags_stdlib_random(self):
+        findings = run_rule("REP001", """\
+            import random
+
+            def jitter():
+                return random.random()
+            """, "repro/distributed/network.py")
+        assert len(findings) == 1
+        assert findings[0].line == 4
+
+    def test_flags_numpy_global_random(self):
+        findings = run_rule("REP001", """\
+            import numpy as np
+
+            def noise(n):
+                return np.random.rand(n)
+            """, "repro/core/allocation.py")
+        assert len(findings) == 1
+
+    def test_allows_seeded_generator(self):
+        findings = run_rule("REP001", """\
+            import numpy as np
+
+            def draw(seed):
+                rng = np.random.default_rng(seed)
+                return rng.normal()
+            """, "repro/workloads/generator.py")
+        assert findings == []
+
+    def test_out_of_scope_path_is_ignored(self):
+        findings = run_rule("REP001", """\
+            import random
+
+            def jitter():
+                return random.random()
+            """, "repro/analysis/reporting.py")
+        assert findings == []
+
+
+class TestWallClock:
+    def test_flags_time_time(self):
+        findings = run_rule("REP002", """\
+            import time
+
+            def stamp():
+                return time.time()
+            """, "repro/sim/engine.py")
+        assert len(findings) == 1
+
+    def test_flags_datetime_now(self):
+        findings = run_rule("REP002", """\
+            import datetime
+
+            def today():
+                return datetime.datetime.now()
+            """, "repro/distributed/runtime.py")
+        assert len(findings) == 1
+
+    def test_allows_perf_counter_interval(self):
+        findings = run_rule("REP002", """\
+            import time
+
+            def measure():
+                start = time.perf_counter()
+                return time.perf_counter() - start
+            """, "repro/sim/engine.py")
+        assert findings == []
+
+
+class TestSwallowedException:
+    def test_flags_silent_broad_handler(self):
+        findings = run_rule("REP003", """\
+            def load(path):
+                try:
+                    return open(path).read()
+                except Exception:
+                    return None
+            """, "repro/sim/system.py")
+        assert len(findings) == 1
+
+    def test_allows_logged_and_reraised(self):
+        findings = run_rule("REP003", """\
+            import logging
+
+            logger = logging.getLogger(__name__)
+
+            def load(path):
+                try:
+                    return open(path).read()
+                except Exception:
+                    logger.exception("load failed")
+                    raise
+            """, "repro/sim/system.py")
+        assert findings == []
+
+    def test_narrow_handler_is_fine(self):
+        findings = run_rule("REP003", """\
+            def load(path):
+                try:
+                    return open(path).read()
+                except FileNotFoundError:
+                    return None
+            """, "repro/sim/system.py")
+        assert findings == []
+
+
+class TestCrossAgentAccess:
+    def test_flags_registry_lookup_attribute(self):
+        findings = run_rule("REP004", """\
+            class TaskAgent:
+                def handle(self, bus):
+                    other = bus.agents["r0"]
+                    return other.price
+            """, "repro/distributed/agents.py")
+        assert len(findings) == 1
+        assert "other" in findings[0].message
+
+    def test_flags_direct_chained_access(self):
+        findings = run_rule("REP004", """\
+            class ResourceAgent:
+                def poke(self):
+                    return self.bus.agents["t0"].latency
+            """, "repro/distributed/agents.py")
+        assert len(findings) == 1
+
+    def test_flags_write_through_foreign_param(self):
+        findings = run_rule("REP004", """\
+            class TaskAgent:
+                def push(self, neighbor):
+                    neighbor.price = 1.0
+            """, "repro/distributed/agents.py")
+        assert len(findings) == 1
+
+    def test_allows_self_state_and_payloads(self):
+        findings = run_rule("REP004", """\
+            class TaskAgent:
+                def handle(self, message):
+                    self.price = message.price
+                    self.round += 1
+            """, "repro/distributed/agents.py")
+        assert findings == []
+
+    def test_non_agent_class_is_ignored(self):
+        findings = run_rule("REP004", """\
+            class Router:
+                def handle(self, bus):
+                    return bus.agents["r0"].price
+            """, "repro/distributed/network.py")
+        assert findings == []
+
+
+class TestFloatEquality:
+    def test_flags_computed_comparison(self):
+        findings = run_rule("REP005", """\
+            def converged(a, b):
+                return (a - b) == 0.0
+            """, "repro/core/convergence.py")
+        assert len(findings) == 1
+
+    def test_allows_sentinel_and_tolerance(self):
+        findings = run_rule("REP005", """\
+            def check(err, a, b):
+                if err != 0.0:
+                    return abs(a - b) <= 1e-9
+                return True
+            """, "repro/core/convergence.py")
+        assert findings == []
+
+
+class TestMutableDefault:
+    def test_flags_list_literal_default(self):
+        findings = run_rule("REP006", """\
+            def collect(items=[]):
+                return items
+            """, "repro/analysis/reporting.py")
+        assert len(findings) == 1
+
+    def test_flags_dict_call_default(self):
+        findings = run_rule("REP006", """\
+            def collect(table=dict()):
+                return table
+            """, "repro/experiments/fig8.py")
+        assert len(findings) == 1
+
+    def test_allows_none_default(self):
+        findings = run_rule("REP006", """\
+            def collect(items=None):
+                return items or []
+            """, "repro/analysis/reporting.py")
+        assert findings == []
+
+
+class TestAdHocTelemetry:
+    def test_flags_direct_tracer_construction(self):
+        findings = run_rule("REP007", """\
+            from repro.telemetry.tracing import Tracer
+
+            def make():
+                return Tracer()
+            """, "repro/core/optimizer.py")
+        assert len(findings) == 1
+
+    def test_hub_itself_is_exempt(self):
+        findings = run_rule("REP007", """\
+            from repro.telemetry.tracing import Tracer
+
+            def make():
+                return Tracer()
+            """, "repro/telemetry/hub.py")
+        assert findings == []
+
+    def test_facade_usage_is_fine(self):
+        findings = run_rule("REP007", """\
+            from repro.telemetry import Telemetry
+
+            def make():
+                return Telemetry.in_memory()
+            """, "repro/core/optimizer.py")
+        assert findings == []
+
+    def test_local_class_of_same_name_is_fine(self):
+        findings = run_rule("REP007", """\
+            class Tracer:
+                pass
+
+            def make():
+                return Tracer()
+            """, "repro/sim/system.py")
+        assert findings == []
+
+
+class TestConfigValidation:
+    def test_flags_config_without_post_init(self):
+        findings = run_rule("REP008", """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class RunConfig:
+                rounds: int = 1
+            """, "repro/experiments/fig7.py")
+        assert len(findings) == 1
+        assert "RunConfig" in findings[0].message
+
+    def test_allows_validating_config(self):
+        findings = run_rule("REP008", """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class RunConfig:
+                rounds: int = 1
+
+                def __post_init__(self):
+                    if self.rounds < 1:
+                        raise ValueError("rounds must be >= 1")
+            """, "repro/experiments/fig7.py")
+        assert findings == []
+
+    def test_private_config_is_exempt(self):
+        findings = run_rule("REP008", """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class _ScratchConfig:
+                rounds: int = 1
+            """, "repro/experiments/fig7.py")
+        assert findings == []
+
+
+class TestEngineBasics:
+    def test_syntax_error_reports_sta000(self):
+        result = lint_source("def broken(:\n", "repro/core/x.py")
+        assert [f.rule_id for f in result.findings] == ["STA000"]
+
+    def test_clean_file_is_ok(self):
+        result = lint_source(
+            "def fine():\n    return 1\n", "repro/core/x.py"
+        )
+        assert result.ok
+        assert result.files_checked == 1

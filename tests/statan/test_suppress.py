@@ -1,0 +1,96 @@
+"""Suppression directive handling: justified, unjustified, malformed."""
+
+import textwrap
+
+import pytest
+
+from repro.errors import StaticAnalysisError
+from repro.statan import lint_source
+from repro.statan.rules import get_rules
+
+SCOPE = "repro/sim/clock.py"
+
+
+def lint(source):
+    return lint_source(textwrap.dedent(source), SCOPE)
+
+
+class TestJustifiedSuppression:
+    def test_same_line_directive_suppresses(self):
+        result = lint("""\
+            import time
+
+            def stamp():
+                return time.time()  # statan: disable=REP002 -- wall time wanted here
+            """)
+        assert result.ok
+        assert [f.rule_id for f in result.suppressed] == ["REP002"]
+
+    def test_multiple_ids_in_one_directive(self):
+        result = lint("""\
+            import time
+            import random
+
+            def sample():
+                return time.time() + random.random()  # statan: disable=REP001,REP002 -- demo fixture
+            """)
+        assert result.ok
+        assert sorted(f.rule_id for f in result.suppressed) == \
+            ["REP001", "REP002"]
+
+    def test_directive_on_other_line_does_not_apply(self):
+        result = lint("""\
+            import time
+
+            # statan: disable=REP002 -- wrong line, must not apply below
+            def stamp():
+                return time.time()
+            """)
+        assert [f.rule_id for f in result.findings] == ["REP002"]
+
+
+class TestBadDirectives:
+    def test_unjustified_suppression_is_reported(self):
+        result = lint("""\
+            import time
+
+            def stamp():
+                return time.time()  # statan: disable=REP002
+            """)
+        ids = sorted(f.rule_id for f in result.findings)
+        # The waiver is rejected AND the original finding stays live.
+        assert ids == ["REP002", "STA002"]
+        assert result.suppressed == []
+
+    def test_malformed_directive_is_reported(self):
+        result = lint("""\
+            def fine():
+                return 1  # statan: enable=REP002 -- no such verb
+            """)
+        assert [f.rule_id for f in result.findings] == ["STA001"]
+
+    def test_empty_id_list_is_malformed(self):
+        result = lint("""\
+            def fine():
+                return 1  # statan: disable= -- nothing named
+            """)
+        assert [f.rule_id for f in result.findings] == ["STA001"]
+
+    def test_directive_for_other_rule_does_not_hide(self):
+        result = lint("""\
+            import time
+
+            def stamp():
+                return time.time()  # statan: disable=REP001 -- wrong rule id
+            """)
+        assert [f.rule_id for f in result.findings] == ["REP002"]
+
+
+class TestRuleSelection:
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(StaticAnalysisError):
+            get_rules(["REP999"])
+
+    def test_selection_limits_catalog(self):
+        rules = get_rules(["REP002"])
+        assert [r.rule_id for r in rules] == ["REP002"]
