@@ -45,6 +45,48 @@ def record_value(name: str, metric: str, value: float) -> None:
     registry_for(name).gauge(metric).set(value)
 
 
+def run_spec(benchmark, name: str, overrides=None, **flags):
+    """Run a registered :class:`~repro.harness.ExperimentSpec` inside the
+    benchmark timer — the exact code path ``repro experiment NAME`` uses.
+
+    Every measured value the claim checks report is recorded into the
+    experiment's bench registry, so the BENCH_*.json artifacts carry the
+    same numbers as the RunResult envelope.
+    """
+    from repro import harness
+
+    harness.load_all()
+    run = benchmark.pedantic(
+        lambda: harness.execute(name, overrides, **flags),
+        rounds=1, iterations=1,
+    )
+    record_run(run)
+    return run
+
+
+def record_run(run) -> None:
+    """Record a RunResult's measured check values as gauges."""
+    registry = registry_for(run.experiment)
+    for check in run.checks:
+        for key, value in check.measured.items():
+            try:
+                registry.gauge(f"{check.name}.{key}").set(float(value))
+            except (TypeError, ValueError):
+                continue
+
+
+def assert_claims(run, *names) -> None:
+    """Assert the named claim checks passed (all evaluated checks when no
+    names are given); failures carry the measured values."""
+    checks = [run.check(n) for n in names] if names else run.checks
+    failed = [c for c in checks if c.status == "fail"]
+    assert not failed, (
+        f"{run.experiment}: failed claims: "
+        + "; ".join(f"{c.name} (measured {dict(c.measured)})"
+                    for c in failed)
+    )
+
+
 def results_dir() -> Path:
     return Path(os.environ.get("BENCH_RESULTS_DIR",
                                Path(__file__).resolve().parent))

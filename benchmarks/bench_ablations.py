@@ -1,136 +1,59 @@
 """Benchmarks for the ablation sweeps (design choices, not in the paper).
 
+Drives the registered ``ablations`` spec through the harness — the same
+code path as ``repro experiment ablations`` — and asserts its claim
+checks:
+
 * utility variant (sum vs path-weighted) — both must converge feasibly;
-* adaptive-γ cap — the stability/speed trade-off on the saturated workload;
+* adaptive-γ cap — a capped γ is stable at saturation, unbounded is not;
 * γ_p/γ_r ratio — steering the infeasible divergence ray;
 * LLA vs baselines — LLA must dominate every slicing heuristic and match
   the centralized oracle within 1%;
-* distributed message loss — convergence must survive 20% loss.
+* distributed message loss — convergence must survive 20% loss;
+* share exponent — LLA converges for any strictly convex power law;
+* correction percentile — lower percentiles correct more aggressively.
 """
 
 import pytest
 
-from repro.experiments.ablations import (
-    ablate_baselines,
-    ablate_gamma_ratio,
-    ablate_max_gamma,
-    ablate_message_loss,
-    ablate_utility_variant,
-)
+import _report
 
 
 @pytest.mark.benchmark(group="ablations")
-def test_utility_variant(benchmark):
-    outcomes = benchmark.pedantic(ablate_utility_variant, rounds=1, iterations=1)
-    by_label = {o.label: o for o in outcomes}
-    for label in ("sum", "path-weighted"):
-        assert by_label[label].feasible, f"{label} variant must converge"
+def test_ablation_sweeps(benchmark):
+    run = _report.run_spec(benchmark, "ablations")
+    _report.assert_claims(run)
+
+    payload = run.payload
     print()
-    for o in outcomes:
-        print(f"  {o.label:14s} utility={o.utility:9.2f} "
-              f"converged={o.converged}")
-
-
-@pytest.mark.benchmark(group="ablations")
-def test_max_gamma_sweep(benchmark):
-    outcomes = benchmark.pedantic(ablate_max_gamma, rounds=1, iterations=1)
-    by_label = {o.label: o for o in outcomes}
-    # Moderate caps are stable; unbounded doubling is not (on this topology).
-    assert by_label["max_gamma=8"].feasible
-    assert by_label["max_gamma=8"].extra["tail_oscillation"] < 0.1
-    assert by_label["max_gamma=1e+06"].extra["tail_oscillation"] > 10.0
-    print()
-    for o in outcomes:
-        print(f"  {o.label:16s} oscillation={o.extra['tail_oscillation']:8.3f} "
-              f"feasible={o.feasible}")
-
-
-@pytest.mark.benchmark(group="ablations")
-def test_gamma_ratio_ray(benchmark):
-    outcomes = benchmark.pedantic(ablate_gamma_ratio, rounds=1, iterations=1)
-    ratios = [o.extra["max_crit_path_ratio"] for o in outcomes]
-    loads = [o.extra["max_load"] for o in outcomes]
-    # Shrinking gamma_p moves violation from resources into paths.
-    assert ratios == sorted(ratios), "critical-path overrun should grow"
-    assert loads == sorted(loads, reverse=True), "overload should shrink"
-    assert ratios[-1] > 1.7, "smallest gamma_p should reach the paper's band"
-    print()
-    for o in outcomes:
-        print(f"  {o.label:24s} crit-ratio={o.extra['max_crit_path_ratio']:.2f} "
-              f"load={o.extra['max_load']:.2f}")
-
-
-@pytest.mark.benchmark(group="ablations")
-def test_baseline_comparison(benchmark):
-    scores = benchmark.pedantic(ablate_baselines, rounds=1, iterations=1)
-    lla = scores["lla"].utility
-    oracle = scores["centralized"].utility
-    assert abs(lla - oracle) <= 0.01 * max(abs(oracle), 1.0) + 0.5, (
-        f"LLA ({lla:.2f}) should match the centralized optimum ({oracle:.2f})"
-    )
-    for name in ("even-slicing", "proportional-slicing", "bst-slicing"):
-        assert scores[name].utility < lla, (
-            f"{name} should not beat LLA on the saturated workload"
-        )
-        assert not scores[name].feasible, (
-            f"{name} ignores capacity and should violate it here"
-        )
-    print()
-    for name, score in scores.items():
-        print(f"  {name:22s} utility={score.utility:9.2f} "
-              f"feasible={score.feasible} max_load={score.max_load:.3f}")
-
-
-@pytest.mark.benchmark(group="ablations")
-def test_message_loss(benchmark):
-    outcomes = benchmark.pedantic(ablate_message_loss, rounds=1, iterations=1)
-    for o in outcomes:
-        assert o.feasible, f"runtime should converge under {o.label}"
-    utilities = [o.utility for o in outcomes]
-    assert max(utilities) - min(utilities) < 1.0, (
-        "loss should not change the converged utility materially"
-    )
-    print()
-    for o in outcomes:
-        print(f"  {o.label:10s} utility={o.utility:9.2f} "
-              f"dropped={o.extra['messages_dropped']:.0f}")
-
-
-@pytest.mark.benchmark(group="ablations")
-def test_share_exponent(benchmark):
-    """LLA converges for any strictly convex power-law share model
-    (alpha = 1 is the paper's Eq. 10)."""
-    from repro.experiments.ablations import ablate_share_exponent
-
-    outcomes = benchmark.pedantic(ablate_share_exponent, rounds=1,
-                                  iterations=1)
-    for o in outcomes:
-        assert o.converged, o.label
-        assert o.feasible, o.label
-        assert o.extra["max_load"] == pytest.approx(1.0, abs=0.01)
-    print()
-    for o in outcomes:
-        print(f"  {o.label:12s} max_load={o.extra['max_load']:.3f}")
-
-
-@pytest.mark.benchmark(group="ablations")
-def test_correction_percentile(benchmark):
-    """Lower observation percentiles make the error correction more
-    aggressive (more negative error); the fast tasks' rate-share floor
-    holds at every percentile."""
-    from repro.experiments.ablations import ablate_correction_percentile
-    from repro.workloads.paper import PROTOTYPE_FAST_MIN_SHARE
-
-    outcomes = benchmark.pedantic(ablate_correction_percentile, rounds=1,
-                                  iterations=1)
-    errors = [o.extra["fast_error"] for o in outcomes]
-    assert errors[0] <= errors[-1] + 1e-6, (
-        "p50 should be at least as aggressive as p99"
-    )
-    for o in outcomes:
-        assert o.extra["fast_share"] >= PROTOTYPE_FAST_MIN_SHARE - 1e-6
-    print()
-    for o in outcomes:
-        print(f"  {o.label:16s} fast={o.extra['fast_share']:.3f} "
-              f"slow={o.extra['slow_share']:.3f} "
-              f"error={o.extra['fast_error']:+.1f} ms")
+    print("  utility variants:")
+    for o in payload["utility_variants"]:
+        print(f"    {o['label']:14s} utility={o['utility']:9.2f} "
+              f"converged={o['converged']}")
+    print("  gamma caps:")
+    for o in payload["gamma_caps"]:
+        print(f"    {o['label']:16s} "
+              f"oscillation={o['extra']['tail_oscillation']:8.3f} "
+              f"feasible={o['feasible']}")
+    print("  gamma rays:")
+    for o in payload["gamma_rays"]:
+        print(f"    {o['label']:24s} "
+              f"crit-ratio={o['extra']['max_crit_path_ratio']:.2f} "
+              f"load={o['extra']['max_load']:.2f}")
+    print("  baselines:")
+    for name, score in payload["baselines"].items():
+        print(f"    {name:22s} utility={score['utility']:9.2f} "
+              f"feasible={score['feasible']} "
+              f"max_load={score['max_load']:.3f}")
+    print("  message loss:")
+    for o in payload["message_loss"]:
+        print(f"    {o['label']:10s} utility={o['utility']:9.2f} "
+              f"dropped={o['extra']['messages_dropped']:.0f}")
+    print("  share exponents:")
+    for o in payload["share_exponents"]:
+        print(f"    {o['label']:12s} max_load={o['extra']['max_load']:.3f}")
+    print("  correction percentiles:")
+    for o in payload["correction_percentiles"]:
+        print(f"    {o['label']:16s} fast={o['extra']['fast_share']:.3f} "
+              f"slow={o['extra']['slow_share']:.3f} "
+              f"error={o['extra']['fast_error']:+.1f} ms")

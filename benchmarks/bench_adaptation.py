@@ -1,69 +1,51 @@
 """Benchmark + assertions for the adaptation experiments (ours).
 
-The paper's Section 1 claim — LLA "adjusts to both workload and resource
-variations" — as a measurable experiment:
+Drives the registered ``adaptation`` and ``interference`` specs through
+the harness — the same code path as ``repro experiment adaptation`` —
+and asserts their claim checks:
 
 * degrade one resource 30% mid-run → LLA re-converges feasibly at lower
   utility, and recovers the exact baseline utility when capacity returns;
 * add a task to the running system → the warm continuation reaches the
-  cold-start optimum.
+  cold-start optimum;
+* inject simulator-side interference the model cannot see → the error
+  correction reacts, and adaptive shares beat frozen shares on tail
+  latency.
 """
 
 import pytest
 
-from repro.experiments.adaptation import (
-    run_resource_variation,
-    run_workload_variation,
-)
+import _report
 
 
 @pytest.mark.benchmark(group="adaptation")
-def test_resource_variation(benchmark):
-    result = benchmark.pedantic(run_resource_variation, rounds=1, iterations=1)
-    assert result.baseline.feasible
-    assert result.degradation_absorbed(), (
-        f"degraded phase: feasible={result.degraded.feasible}, "
-        f"utility {result.degraded.utility:.2f} vs baseline "
-        f"{result.baseline.utility:.2f}"
-    )
-    assert result.recovery_complete(), (
-        f"recovered utility {result.recovered.utility:.2f} vs baseline "
-        f"{result.baseline.utility:.2f}"
-    )
-    print()
-    for phase in result.phases:
-        print(f"  {phase.label:10s} utility {phase.utility:8.2f} "
-              f"feasible {phase.feasible}")
+def test_adaptation_variations(benchmark):
+    run = _report.run_spec(benchmark, "adaptation")
+    _report.assert_claims(run)
 
-
-@pytest.mark.benchmark(group="adaptation")
-def test_workload_variation(benchmark):
-    result = benchmark.pedantic(run_workload_variation, rounds=1, iterations=1)
-    assert result.newcomer_absorbed()
-    assert result.matches_cold_start(), (
-        f"warm {result.after.utility:.2f} vs cold {result.cold_utility:.2f}"
-    )
+    payload = run.payload
     print()
-    print(f"  incumbent {result.before.utility:.2f} -> with newcomer "
-          f"{result.after.utility:.2f} (cold reference "
-          f"{result.cold_utility:.2f})")
+    for phase in payload["resource_phases"]:
+        print(f"  {phase['label']:10s} utility {phase['utility']:8.2f} "
+              f"feasible {phase['feasible']}")
+    workload = payload["workload"]
+    print(f"  incumbent {workload['incumbent_utility']:.2f} -> "
+          f"with newcomer {workload['warm_utility']:.2f} "
+          f"(cold reference {workload['cold_utility']:.2f})")
 
 
 @pytest.mark.benchmark(group="adaptation")
 def test_undetected_interference(benchmark):
     """Error correction detects interference the model cannot see, raises
     the threatened tasks' shares, and beats frozen shares on tail latency."""
-    from repro.experiments.adaptation import run_undetected_interference
+    run = _report.run_spec(benchmark, "interference")
+    _report.assert_claims(run)
 
-    result = benchmark.pedantic(run_undetected_interference,
-                                rounds=1, iterations=1)
-    assert result.correction_reacted()
-    assert result.adaptation_helps()
-    assert result.fast_p99_adaptive < 0.5 * result.fast_p99_frozen
+    payload = run.payload
     print()
-    print(f"  fast share {result.fast_share_before:.3f} -> "
-          f"{result.fast_share_during:.3f}; error "
-          f"{result.fast_error_before:+.1f} -> "
-          f"{result.fast_error_during:+.1f} ms")
-    print(f"  fast p99: adaptive {result.fast_p99_adaptive:.1f} ms vs "
-          f"frozen {result.fast_p99_frozen:.1f} ms")
+    print(f"  fast share {payload['fast_share_before']:.3f} -> "
+          f"{payload['fast_share_during']:.3f}; error "
+          f"{payload['fast_error_before']:+.1f} -> "
+          f"{payload['fast_error_during']:+.1f} ms")
+    print(f"  fast p99: adaptive {payload['fast_p99_adaptive']:.1f} ms vs "
+          f"frozen {payload['fast_p99_frozen']:.1f} ms")

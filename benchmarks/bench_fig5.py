@@ -1,7 +1,7 @@
 """Benchmark + reproduction assertions for Figure 5 (step sizes).
 
-Regenerates the four utility-vs-iteration series (γ = 0.1 / 1 / 10 and
-adaptive) and asserts the paper's qualitative shape:
+Drives the registered ``fig5`` spec through the harness — the same code
+path as ``repro experiment fig5`` — and asserts its claim checks:
 
 * γ = 10 oscillates with high amplitude;
 * γ = 0.1 is far slower than γ = 1 (the paper needs >1000 iterations);
@@ -12,37 +12,22 @@ adaptive) and asserts the paper's qualitative shape:
 import pytest
 
 import _report
-from repro.experiments.fig5 import run_fig5
 
 _BENCH = _report.bench_name(__file__)
 
 
 @pytest.mark.benchmark(group="fig5")
 def test_fig5_step_sizes(benchmark):
-    result = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
-
-    osc10 = result.series["gamma=10"].tail_oscillation()
-    osc1 = result.series["gamma=1"].tail_oscillation()
-    osc_adaptive = result.series["adaptive"].tail_oscillation()
-
-    assert osc10 > 5.0 * osc1, (
-        f"gamma=10 should oscillate much harder than gamma=1 "
-        f"({osc10:.2f} vs {osc1:.2f})"
-    )
-    assert result.distance_to_reference("gamma=0.1") > \
-        result.distance_to_reference("gamma=1"), \
-        "gamma=0.1 should lag behind gamma=1 at the end of the budget"
-    assert osc_adaptive <= osc1, \
-        "adaptive gamma should end at least as stable as gamma=1"
-    assert result.ordering_correct()
+    run = _report.run_spec(benchmark, "fig5")
+    _report.assert_claims(run)
 
     print()
-    for label, series in result.series.items():
+    for label, series in run.payload["series"].items():
         _report.record_value(
-            _BENCH, f"final_utility.{label}", series.utilities[-1]
+            _BENCH, f"final_utility.{label}", series["final_utility"]
         )
         _report.record_value(
-            _BENCH, f"oscillation.{label}", series.tail_oscillation()
+            _BENCH, f"oscillation.{label}", series["tail_oscillation"]
         )
-        print(f"  {label:>10s}: final {series.utilities[-1]:9.2f} "
-              f"oscillation {series.tail_oscillation():8.2f}")
+        print(f"  {label:>10s}: final {series['final_utility']:9.2f} "
+              f"oscillation {series['tail_oscillation']:8.2f}")

@@ -1,6 +1,7 @@
 """Benchmark + reproduction assertions for Figure 6 (task-count scaling).
 
-Regenerates the 3/6/12-task utility series and asserts the paper's claims:
+Drives the registered ``fig6`` spec through the harness — the same code
+path as ``repro experiment fig6`` — and asserts its claim checks:
 
 * all three workloads converge to feasible allocations;
 * the converged utility grows linearly with the task count (R² ≥ 0.99);
@@ -11,32 +12,18 @@ Regenerates the 3/6/12-task utility series and asserts the paper's claims:
 
 import pytest
 
-from repro.experiments.fig6 import run_fig6
+import _report
 
 
 @pytest.mark.benchmark(group="fig6")
 def test_fig6_scalability(benchmark):
-    result = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    run = _report.run_spec(benchmark, "fig6")
+    _report.assert_claims(run)
 
-    for n, point in result.points.items():
-        assert point.feasible, f"{n}-task workload should converge feasibly"
-
-    assert result.utility_linearity() >= 0.99, (
-        f"utility should scale linearly with task count "
-        f"(R^2={result.utility_linearity():.4f})"
-    )
-
-    settles = result.settling_iterations()
-    assert all(s is not None for s in settles.values()), \
-        f"every workload should settle within the budget: {settles}"
-    spread = max(settles.values()) - min(settles.values())
-    assert spread <= 50, (
-        f"convergence speed should not depend on task count "
-        f"(settling iterations {settles})"
-    )
-
+    payload = run.payload
     print()
-    for n, point in sorted(result.points.items()):
-        print(f"  {n:2d} tasks: final {point.final_utility:10.2f} "
-              f"settles at {point.settling_iteration()}")
-    print(f"  linearity R^2 = {result.utility_linearity():.4f}")
+    for n, point in sorted(payload["points"].items(),
+                           key=lambda kv: int(kv[0])):
+        print(f"  {int(n):2d} tasks: final {point['final_utility']:10.2f} "
+              f"settles at {point['settling_iteration']}")
+    print(f"  linearity R^2 = {payload['linearity_r2']:.4f}")

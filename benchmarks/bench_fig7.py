@@ -1,57 +1,56 @@
 """Benchmark + reproduction assertions for Figure 7 (schedulability test).
 
-Regenerates the 100-iteration run on the unschedulable six-task workload
-and asserts the paper's verdict: LLA does not converge to a feasible
-operating point and the constraints are grossly violated.
-
-The violation split between the two constraint families depends on the
-divergence ray (see the fig7 driver's docstring): under equal step sizes
-our topology overloads the resources ≈2.1×; under ``γ_p = γ_r/500`` the
-run lands in the paper's regime with critical paths up to ≈2.2× the
-critical times (paper: 1.75–2.41×).  Both configurations are asserted.
-The schedulable base workload is also run as the control: the same
-analyzer must classify it SCHEDULABLE.
+Drives the registered ``fig7`` spec through the harness — the same code
+path as ``repro experiment fig7`` — and asserts its claim checks on
+both divergence rays (see the fig7 driver's docstring): under equal step
+sizes our topology overloads the resources ≈2.1×; under ``γ_p = γ_r/500``
+the run lands in the paper's regime with critical paths up to ≈2.2× the
+critical times (paper: 1.75–2.41×).  The schedulable base workload is
+also run as the control: the same analyzer must classify it SCHEDULABLE.
 """
 
 import pytest
 
+import _report
 from repro.analysis.schedulability import SchedulabilityAnalyzer
-from repro.experiments.fig7 import run_fig7
 from repro.workloads.paper import base_workload
 
 
 @pytest.mark.benchmark(group="fig7")
 def test_fig7_unschedulable_equal_gamma(benchmark):
-    result = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    run = _report.run_spec(benchmark, "fig7")
+    _report.assert_claims(run)
 
-    assert not result.feasible, "the workload must not reach feasibility"
-    assert result.violates_constraints()
+    payload = run.payload
     # Equal-gamma ray on our topology: resources absorb the violation.
-    assert result.max_load_ratio > 1.5, (
-        f"expected gross resource overload, got {result.max_load_ratio:.2f}x"
+    assert payload["max_load_ratio"] > 1.5, (
+        f"expected gross resource overload, got "
+        f"{payload['max_load_ratio']:.2f}x"
     )
     print()
-    print(f"  equal-gamma ray: max load ratio {result.max_load_ratio:.2f}x, "
-          f"max critical-path ratio {result.max_critical_path_ratio:.2f}x")
+    print(f"  equal-gamma ray: max load ratio "
+          f"{payload['max_load_ratio']:.2f}x, max critical-path ratio "
+          f"{payload['max_critical_path_ratio']:.2f}x")
 
 
 @pytest.mark.benchmark(group="fig7")
 def test_fig7_unschedulable_paper_ray(benchmark):
-    result = benchmark.pedantic(
-        run_fig7, rounds=1, iterations=1,
-        kwargs={"iterations": 300, "path_gamma_divisor": 500.0},
+    run = _report.run_spec(
+        benchmark, "fig7",
+        {"iterations": 300, "path_gamma_divisor": 500.0},
     )
+    _report.assert_claims(run)
 
-    assert not result.feasible
+    payload = run.payload
     # The paper's regime: critical paths well above the critical times.
-    assert result.max_critical_path_ratio > 1.5, (
+    assert payload["max_critical_path_ratio"] > 1.5, (
         f"expected the paper's path-violated regime, got "
-        f"{result.max_critical_path_ratio:.2f}x (paper: 1.75-2.41x)"
+        f"{payload['max_critical_path_ratio']:.2f}x (paper: 1.75-2.41x)"
     )
     print()
     print("  paper ray: critical-path ratios "
           + ", ".join(f"{t}={r:.2f}x" for t, r in
-                      sorted(result.critical_path_ratios.items())))
+                      sorted(payload["critical_path_ratios"].items())))
 
 
 @pytest.mark.benchmark(group="fig7")

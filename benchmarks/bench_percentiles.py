@@ -1,28 +1,23 @@
 """Benchmark + assertions for the percentile-composition validation (ours).
 
-Section 2.1's formula q = p^(1/n) x 100^((n-1)/n) must yield per-stage
-budgets whose end-to-end compliance reaches the task-level target — on a
-simulated pipeline with variable demand and Poisson arrivals, for p in
-{50, 90, 99}.
+Drives the registered ``percentiles`` spec through the harness — the
+same code path as ``repro experiment percentiles``: Section 2.1's formula
+q = p^(1/n) x 100^((n-1)/n) must yield per-stage budgets whose end-to-end
+compliance reaches the task-level target — on a simulated pipeline with
+variable demand and Poisson arrivals, for p in {50, 90, 99}.
 """
 
 import pytest
 
-from repro.experiments.percentiles import run_percentiles
+import _report
 
 
 @pytest.mark.benchmark(group="percentiles")
 def test_percentile_composition_conservative(benchmark):
-    result = benchmark.pedantic(run_percentiles, rounds=1, iterations=1)
-    for point in result.points:
-        assert point.composition_conservative(), (
-            f"target p{point.target}: end-to-end compliance "
-            f"{point.path_compliance:.4f} below target"
-        )
-        # The per-stage percentile grows with the target.
-    per_stage = [p.per_subtask_percentile for p in result.points]
-    assert per_stage == sorted(per_stage)
+    run = _report.run_spec(benchmark, "percentiles")
+    _report.assert_claims(run)
+
     print()
-    for point in result.points:
-        print(f"  p{point.target:.0f}: end-to-end compliance "
-              f"{100 * point.path_compliance:.2f}%")
+    for point in run.payload["points"]:
+        print(f"  p{point['target']:.0f}: end-to-end compliance "
+              f"{100 * point['path_compliance']:.2f}%")

@@ -1,7 +1,8 @@
 """Benchmark + reproduction assertions for Table 1.
 
-Regenerates the paper's Table 1 rows (converged per-subtask latencies,
-critical paths) and asserts the paper's quantitative claims:
+Drives the registered ``table1`` :class:`~repro.harness.ExperimentSpec`
+through the harness — the same code path as ``repro experiment table1``
+— and asserts its claim checks:
 
 * convergence on the base workload;
 * every critical path within 1% below its critical time;
@@ -12,37 +13,19 @@ critical paths) and asserts the paper's quantitative claims:
 
 import pytest
 
-from repro.experiments.table1 import run_table1
-from repro.workloads.paper import TABLE1_LATENCIES
+import _report
 
 
 @pytest.mark.benchmark(group="table1")
 def test_table1_reproduction(benchmark):
-    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    run = _report.run_spec(benchmark, "table1")
+    _report.assert_claims(run)
 
-    assert result.converged, "LLA must converge on the base workload"
-
-    # Critical paths: within 1% below the critical time, never above.
-    for task, margin in result.critical_path_margins().items():
-        assert -1e-4 <= margin <= 0.01, (
-            f"task {task}: critical-path margin {margin:.4f} outside the "
-            "paper's <1% band"
-        )
-
-    # Resource saturation: the workload was built to be close to congestion.
-    for resource, load in result.resource_loads.items():
-        assert 0.99 <= load <= 1.01, (
-            f"resource {resource}: load {load:.4f} not near saturation"
-        )
-
-    # Latency scale: same range as the paper's Table 1 (min/max within 2x).
-    ours = result.latencies
-    for subtask, paper_lat in TABLE1_LATENCIES.items():
-        assert 0.4 * paper_lat <= ours[subtask] <= 2.5 * paper_lat, (
-            f"{subtask}: latency {ours[subtask]:.2f} far from the paper's "
-            f"{paper_lat:.2f}"
-        )
-
+    payload = run.payload
     print()
-    print(result.render())
-    print(f"utility={result.utility:.3f} iterations={result.iterations}")
+    print(run.summary())
+    for subtask, latency in sorted(payload["latencies"].items()):
+        paper = payload["paper_latencies"][subtask]
+        print(f"  {subtask}: {latency:6.2f} ms (paper {paper:5.2f})")
+    print(f"utility={payload['utility']:.3f} "
+          f"iterations={payload['iterations']}")

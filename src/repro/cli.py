@@ -2,8 +2,11 @@
 
 Commands:
 
-* ``experiment {table1,fig5,…,ablations,adaptation,percentiles}`` — run a
-  paper experiment driver and print its report;
+* ``experiment`` — run registered paper experiments against their claim
+  checks: ``--list`` shows the registry, ``NAME`` runs one spec (with
+  uniform ``--backend/--seed/--iterations/--set key=value`` overrides and
+  ``-o`` writing the RunResult artifact), ``--all`` runs every spec and
+  prints the reproduction scorecard (non-zero exit on any failed claim);
 * ``optimize <workload.json>`` — load a serialized workload, run LLA, and
   print the converged allocation (optionally write it as JSON); with
   ``--trace FILE`` the run also writes a JSONL telemetry trace;
@@ -36,25 +39,10 @@ from repro.errors import TelemetryError
 from repro.model.serialize import taskset_from_json, taskset_to_json
 from repro.statan.cli import add_lint_arguments, run_lint
 from repro.telemetry import Telemetry, event_counts, read_trace
-from repro.workloads.paper import (
-    base_workload,
-    prototype_workload,
-    scaled_workload,
-    unschedulable_workload,
-)
+from repro.workloads.paper import make_workload, workload_names
 
 __all__ = ["main", "build_parser"]
 
-_EXPERIMENTS = (
-    "table1", "fig5", "fig6", "fig7", "fig8", "ablations", "adaptation",
-    "percentiles", "resilience",
-)
-_WORKLOADS = {
-    "base": base_workload,
-    "scaled": lambda: scaled_workload(2),
-    "unschedulable": unschedulable_workload,
-    "prototype": prototype_workload,
-}
 _CHAOS_SCENARIOS = ("crash-restart", "crash-cold", "blackout", "all")
 
 
@@ -66,8 +54,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    exp = sub.add_parser("experiment", help="run a paper experiment")
-    exp.add_argument("name", choices=_EXPERIMENTS)
+    exp = sub.add_parser(
+        "experiment",
+        help="run registered paper experiments against their claim checks",
+    )
+    exp.add_argument("name", nargs="?",
+                     help="registered experiment (see --list)")
+    exp.add_argument("--list", action="store_true", dest="list_specs",
+                     help="list the experiment registry and exit")
+    exp.add_argument("--all", action="store_true", dest="all_specs",
+                     help="run every registered experiment and print the "
+                          "reproduction scorecard")
+    exp.add_argument("--quick", action="store_true",
+                     help="reduced budgets; full-budget-only claims are "
+                          "recorded as skipped")
+    exp.add_argument("--seed", type=int, default=None,
+                     help="seed recorded in the artifact and forwarded "
+                          "when the experiment takes one")
+    exp.add_argument("--backend", choices=("scalar", "vectorized"),
+                     default=None,
+                     help="LLA iteration kernel (experiments with a "
+                          "'backend' parameter only)")
+    exp.add_argument("--iterations", type=int, default=None,
+                     help="iteration budget override (experiments with an "
+                          "iteration-budget parameter only)")
+    exp.add_argument("--set", action="append", default=[],
+                     metavar="KEY=VALUE", dest="overrides",
+                     help="override one declared parameter (repeatable)")
+    exp.add_argument("--trace",
+                     help="write a JSONL telemetry trace to this file")
+    exp.add_argument("-o", "--output",
+                     help="write the RunResult artifact (or, with --all, "
+                          "the scorecard) as JSON to this file")
 
     opt = sub.add_parser("optimize", help="optimize a workload JSON file")
     opt.add_argument("workload", help="path to a serialized workload")
@@ -88,7 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     exp_w = sub.add_parser("export-workload",
                            help="serialize a built-in workload")
-    exp_w.add_argument("name", choices=sorted(_WORKLOADS))
+    exp_w.add_argument("name", choices=workload_names())
     exp_w.add_argument("-o", "--output", help="output file (default stdout)")
 
     trc = sub.add_parser("trace",
@@ -146,12 +164,88 @@ def _load_taskset(path: str):
         raise SystemExit(f"cannot read {path!r}: {exc}") from exc
 
 
-def _cmd_experiment(args: argparse.Namespace) -> int:
-    import importlib
+def _parse_overrides(pairs: List[str]) -> dict:
+    overrides = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(
+                f"bad --set {pair!r}: expected KEY=VALUE"
+            )
+        overrides[key] = value
+    return overrides
 
-    module = importlib.import_module(f"repro.experiments.{args.name}")
-    module.main()
-    return 0
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro import harness
+    from repro.errors import HarnessError
+
+    harness.load_all()
+
+    modes = sum((args.list_specs, args.all_specs, args.name is not None))
+    if modes != 1:
+        raise SystemExit(
+            "choose exactly one of: an experiment name, --list, --all"
+        )
+
+    if args.list_specs:
+        specs = harness.all_specs()
+        width = max(len(s.name) for s in specs)
+        print(f"{len(specs)} registered experiments:")
+        for spec in specs:
+            print(f"  {spec.name:<{width}}  {len(spec.checks)} claims  "
+                  f"[{spec.source}]  {spec.description}")
+        return 0
+
+    if (args.all_specs
+            and (args.overrides or args.backend or args.iterations)):
+        raise SystemExit(
+            "--set/--backend/--iterations apply to a single experiment, "
+            "not --all"
+        )
+
+    telemetry = Telemetry.to_file(args.trace) if args.trace else None
+    try:
+        if args.all_specs:
+            results = harness.run_all(
+                quick=args.quick, seed=args.seed, telemetry=telemetry,
+                progress=lambda run: print(run.summary()),
+            )
+            print()
+            print(harness.render_scorecard(results))
+            if args.output:
+                card = harness.scorecard_dict(results, quick=args.quick)
+                with open(args.output, "w") as handle:
+                    json.dump(card, handle, indent=2,
+                              default=harness.json_default)
+                print(f"scorecard written to {args.output}")
+            return 0 if all(r.passed for r in results) else 1
+
+        try:
+            run = harness.execute(
+                args.name, _parse_overrides(args.overrides),
+                seed=args.seed, backend=args.backend,
+                iterations=args.iterations, quick=args.quick,
+                telemetry=telemetry,
+            )
+        except HarnessError as exc:
+            raise SystemExit(str(exc)) from exc
+        print(run.summary())
+        for check in run.checks:
+            marker = {"pass": "PASS", "fail": "FAIL",
+                      "skipped": "skip"}[check.status]
+            print(f"  [{marker}] {check.name}")
+            for key, value in check.measured.items():
+                print(f"         {key} = {value:g}")
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(run.to_json() + "\n")
+            print(f"artifact written to {args.output}")
+        return 0 if run.passed else 1
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+            print(f"trace written to {args.trace}")
 
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
@@ -199,7 +293,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
-    text = taskset_to_json(_WORKLOADS[args.name]())
+    text = taskset_to_json(make_workload(args.name))
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(text + "\n")

@@ -62,3 +62,9 @@ class TelemetryError(ReproError):
 class StaticAnalysisError(ReproError):
     """The statan linter was misused (unknown rule id, unreadable target,
     malformed suppression directive)."""
+
+
+class HarnessError(ReproError):
+    """The experiment harness was misused (unknown experiment name,
+    duplicate registration, malformed parameter override, or a run
+    artifact that does not validate against the RunResult schema)."""

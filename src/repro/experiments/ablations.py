@@ -34,10 +34,13 @@ from repro.baselines import (
 from repro.core.optimizer import LLAConfig, LLAOptimizer
 from repro.core.stepsize import AdaptiveStepSize, FixedStepSize
 from repro.distributed import DistributedConfig, DistributedLLARuntime
+from repro.harness import Check, ExperimentSpec, Param, register
 from repro.workloads.paper import base_workload, unschedulable_workload
 
 __all__ = [
     "VariantOutcome",
+    "AblationsResult",
+    "run_ablations",
     "ablate_utility_variant",
     "ablate_max_gamma",
     "ablate_gamma_ratio",
@@ -45,6 +48,7 @@ __all__ = [
     "ablate_message_loss",
     "ablate_share_exponent",
     "ablate_correction_percentile",
+    "SPEC",
 ]
 
 
@@ -202,6 +206,46 @@ def ablate_message_loss(
     return outcomes
 
 
+@dataclass
+class AblationsResult:
+    """All design-choice sweeps, bundled for the harness."""
+
+    utility_variants: List[VariantOutcome]
+    gamma_caps: List[VariantOutcome]
+    gamma_rays: List[VariantOutcome]
+    baselines: Dict[str, object]
+    message_loss: List[VariantOutcome]
+    share_exponents: List[VariantOutcome]
+    correction_percentiles: List[VariantOutcome]
+
+
+def run_ablations(
+    variant_iterations: int = 3000,
+    cap_iterations: int = 1500,
+    ray_iterations: int = 300,
+    baseline_iterations: int = 1500,
+    loss_rounds: int = 1500,
+    exponent_iterations: int = 3000,
+    percentile_epochs: int = 12,
+    percentile_window: float = 1500.0,
+    seed: int = 42,
+) -> AblationsResult:
+    """Run every ablation sweep with one budget knob per sweep."""
+    return AblationsResult(
+        utility_variants=ablate_utility_variant(variant_iterations),
+        gamma_caps=ablate_max_gamma(max_iterations=cap_iterations),
+        gamma_rays=ablate_gamma_ratio(iterations=ray_iterations),
+        baselines=ablate_baselines(max_iterations=baseline_iterations),
+        message_loss=ablate_message_loss(rounds=loss_rounds, seed=seed),
+        share_exponents=ablate_share_exponent(
+            max_iterations=exponent_iterations
+        ),
+        correction_percentiles=ablate_correction_percentile(
+            epochs=percentile_epochs, window=percentile_window
+        ),
+    )
+
+
 def main() -> None:
     print("== utility variant ==")
     for o in ablate_utility_variant():
@@ -346,6 +390,190 @@ def ablate_correction_percentile(
             },
         ))
     return outcomes
+
+
+def _check_variants_feasible(result: AblationsResult):
+    by_label = {o.label: o for o in result.utility_variants}
+    passed = all(by_label[label].feasible
+                 for label in ("sum", "path-weighted"))
+    return passed, {f"utility.{o.label}": o.utility
+                    for o in result.utility_variants}
+
+
+def _check_cap_stability(result: AblationsResult):
+    by_label = {o.label: o for o in result.gamma_caps}
+    capped = by_label["max_gamma=8"]
+    unbounded = by_label["max_gamma=1e+06"]
+    passed = (
+        capped.feasible
+        and capped.extra["tail_oscillation"] < 0.1
+        and unbounded.extra["tail_oscillation"] > 10.0
+    )
+    return passed, {
+        "oscillation.cap8": capped.extra["tail_oscillation"],
+        "oscillation.unbounded": unbounded.extra["tail_oscillation"],
+    }
+
+
+def _check_ray_steerable(result: AblationsResult):
+    ratios = [o.extra["max_crit_path_ratio"] for o in result.gamma_rays]
+    loads = [o.extra["max_load"] for o in result.gamma_rays]
+    passed = (
+        ratios == sorted(ratios)
+        and loads == sorted(loads, reverse=True)
+        and ratios[-1] > 1.7
+    )
+    return passed, {"smallest_gamma_p_crit_ratio": ratios[-1],
+                    "equal_gamma_max_load": loads[0]}
+
+
+def _check_lla_vs_baselines(result: AblationsResult):
+    scores = result.baselines
+    lla = scores["lla"].utility
+    oracle = scores["centralized"].utility
+    slicing = ("even-slicing", "proportional-slicing", "bst-slicing")
+    passed = (
+        abs(lla - oracle) <= 0.01 * max(abs(oracle), 1.0) + 0.5
+        and all(scores[name].utility < lla for name in slicing)
+        and all(not scores[name].feasible for name in slicing)
+    )
+    return passed, {"lla_utility": lla, "oracle_utility": oracle}
+
+
+def _check_loss_robust(result: AblationsResult):
+    utilities = [o.utility for o in result.message_loss]
+    passed = (
+        all(o.feasible for o in result.message_loss)
+        and max(utilities) - min(utilities) < 1.0
+    )
+    return passed, {"utility_spread": max(utilities) - min(utilities)}
+
+
+def _check_exponents_converge(result: AblationsResult):
+    passed = all(
+        o.converged and o.feasible
+        and abs(o.extra["max_load"] - 1.0) <= 0.01
+        for o in result.share_exponents
+    )
+    return passed, {f"max_load.{o.label}": o.extra["max_load"]
+                    for o in result.share_exponents}
+
+
+def _check_percentile_ordering(result: AblationsResult):
+    from repro.workloads.paper import PROTOTYPE_FAST_MIN_SHARE
+
+    outcomes = result.correction_percentiles
+    errors = [o.extra["fast_error"] for o in outcomes]
+    passed = (
+        errors[0] <= errors[-1] + 1e-6
+        and all(o.extra["fast_share"] >= PROTOTYPE_FAST_MIN_SHARE - 1e-6
+                for o in outcomes)
+    )
+    return passed, {f"fast_error.{o.label}": o.extra["fast_error"]
+                    for o in outcomes}
+
+
+def _outcomes_payload(outcomes: List[VariantOutcome]):
+    return [
+        {
+            "label": o.label,
+            "utility": o.utility,
+            "converged": o.converged,
+            "feasible": o.feasible,
+            "iterations": o.iterations,
+            "extra": dict(o.extra),
+        }
+        for o in outcomes
+    ]
+
+
+def _payload(result: AblationsResult):
+    return {
+        "utility_variants": _outcomes_payload(result.utility_variants),
+        "gamma_caps": _outcomes_payload(result.gamma_caps),
+        "gamma_rays": _outcomes_payload(result.gamma_rays),
+        "baselines": {
+            name: {"utility": score.utility, "feasible": score.feasible,
+                   "max_load": score.max_load}
+            for name, score in result.baselines.items()
+        },
+        "message_loss": _outcomes_payload(result.message_loss),
+        "share_exponents": _outcomes_payload(result.share_exponents),
+        "correction_percentiles": _outcomes_payload(
+            result.correction_percentiles
+        ),
+    }
+
+
+SPEC = register(ExperimentSpec(
+    name="ablations",
+    description="Design-choice sweeps: utility variant, step-size cap, "
+                "divergence ray, baselines, message loss, share "
+                "exponent, correction percentile",
+    source="DESIGN.md (ours; probes knobs the paper leaves implicit)",
+    runner=run_ablations,
+    params=(
+        Param("variant_iterations", int, 3000,
+              "budget for the sum/path-weighted sweep"),
+        Param("cap_iterations", int, 1500,
+              "budget for the adaptive-cap sweep"),
+        Param("ray_iterations", int, 300,
+              "budget for the gamma-ratio ray sweep"),
+        Param("baseline_iterations", int, 1500,
+              "budget for the LLA-vs-baselines comparison"),
+        Param("loss_rounds", int, 1500,
+              "distributed rounds for the message-loss sweep"),
+        Param("exponent_iterations", int, 3000,
+              "budget for the share-exponent sweep"),
+        Param("percentile_epochs", int, 12,
+              "closed-loop epochs for the correction-percentile sweep"),
+        Param("percentile_window", float, 1500.0,
+              "sampling window (ms) for the correction-percentile sweep"),
+        Param("seed", int, 42, "seed for the message-loss runtime"),
+    ),
+    checks=(
+        Check("both_utility_variants_feasible",
+              "sum and path-weighted aggregation both converge feasibly "
+              "(paper 5.2: 'results were not different'); the sum "
+              "variant's feasibility settles late, so full budget only",
+              _check_variants_feasible, quick=False),
+        Check("adaptive_cap_stabilizes",
+              "a capped adaptive gamma (8) is stable at saturation while "
+              "unbounded doubling oscillates", _check_cap_stability,
+              quick=False),
+        Check("divergence_ray_steerable",
+              "shrinking gamma_p moves the infeasible violation from the "
+              "resource family into the path family (toward the paper's "
+              "1.75-2.41x band)", _check_ray_steerable),
+        Check("lla_matches_oracle_beats_slicing",
+              "LLA matches the centralized oracle within 1% and "
+              "dominates every capacity-blind slicing heuristic",
+              _check_lla_vs_baselines),
+        Check("converges_under_message_loss",
+              "the distributed runtime converges to the same utility "
+              "under 0/5/20% control-message loss", _check_loss_robust,
+              quick=False),
+        Check("any_convex_share_exponent_converges",
+              "LLA converges and saturates capacity for every strictly "
+              "convex power-law share exponent (Eq. 10's alpha=1 is not "
+              "special)", _check_exponents_converge),
+        Check("correction_percentile_ordering",
+              "lower observation percentiles correct more aggressively; "
+              "the rate-share floor holds at every percentile",
+              _check_percentile_ordering),
+    ),
+    payload=_payload,
+    quick_params={
+        "variant_iterations": 1200,
+        "cap_iterations": 800,
+        "ray_iterations": 150,
+        "baseline_iterations": 1200,
+        "loss_rounds": 800,
+        "exponent_iterations": 2000,
+        "percentile_epochs": 8,
+        "percentile_window": 1000.0,
+    },
+))
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.core.optimizer import LLAConfig, LLAOptimizer
+from repro.harness import Check, ExperimentSpec, Param, register
 from repro.model.events import PeriodicEvent
 from repro.model.graph import SubtaskGraph
 from repro.model.task import Subtask, Task, TaskSet
@@ -32,12 +33,16 @@ from repro.workloads.paper import scaled_workload
 
 __all__ = [
     "AdaptationPhase",
+    "AdaptationResult",
     "ResourceVariationResult",
     "WorkloadVariationResult",
     "InterferenceResult",
+    "run_adaptation",
     "run_resource_variation",
     "run_workload_variation",
     "run_undetected_interference",
+    "SPEC",
+    "INTERFERENCE_SPEC",
 ]
 
 
@@ -212,6 +217,105 @@ def run_workload_variation(
     )
 
 
+@dataclass
+class AdaptationResult:
+    """Both variation scenarios, run back to back."""
+
+    resource: ResourceVariationResult
+    workload: WorkloadVariationResult
+
+
+def run_adaptation(
+    iterations_per_phase: int = 2500,
+    degraded_availability: float = 0.7,
+) -> AdaptationResult:
+    """Run the resource-degradation and workload-change scenarios."""
+    return AdaptationResult(
+        resource=run_resource_variation(
+            degraded_availability=degraded_availability,
+            iterations_per_phase=iterations_per_phase,
+        ),
+        workload=run_workload_variation(
+            iterations_per_phase=iterations_per_phase,
+        ),
+    )
+
+
+def _check_degradation_absorbed(result: AdaptationResult):
+    res = result.resource
+    passed = res.baseline.feasible and res.degradation_absorbed()
+    return passed, {"baseline_utility": res.baseline.utility,
+                    "degraded_utility": res.degraded.utility}
+
+
+def _check_recovery_complete(result: AdaptationResult):
+    res = result.resource
+    return res.recovery_complete(), {
+        "baseline_utility": res.baseline.utility,
+        "recovered_utility": res.recovered.utility,
+    }
+
+
+def _check_newcomer_absorbed(result: AdaptationResult):
+    wl = result.workload
+    return wl.newcomer_absorbed(), {"warm_utility": wl.after.utility}
+
+
+def _check_matches_cold_start(result: AdaptationResult):
+    wl = result.workload
+    return wl.matches_cold_start(), {
+        "warm_utility": wl.after.utility,
+        "cold_utility": wl.cold_utility,
+    }
+
+
+def _adaptation_payload(result: AdaptationResult):
+    return {
+        "resource_phases": [
+            {"label": p.label, "utility": p.utility, "feasible": p.feasible,
+             "max_load": p.max_load, "iterations": p.iterations}
+            for p in result.resource.phases
+        ],
+        "workload": {
+            "incumbent_utility": result.workload.before.utility,
+            "warm_utility": result.workload.after.utility,
+            "warm_feasible": result.workload.after.feasible,
+            "cold_utility": result.workload.cold_utility,
+        },
+    }
+
+
+SPEC = register(ExperimentSpec(
+    name="adaptation",
+    description="Adaptation to resource degradation and a mid-flight "
+                "workload change",
+    source="Section 1 (the 'constantly running' claim; ours)",
+    runner=run_adaptation,
+    params=(
+        Param("iterations_per_phase", int, 2500,
+              "optimizer iterations per scenario phase"),
+        Param("degraded_availability", float, 0.7,
+              "availability of r4 during the degradation phase"),
+    ),
+    checks=(
+        Check("degradation_absorbed",
+              "after losing 30% of r4 the system re-converges feasibly "
+              "at lower utility", _check_degradation_absorbed),
+        Check("recovery_complete",
+              "utility returns to the baseline once capacity returns",
+              _check_recovery_complete),
+        Check("newcomer_absorbed",
+              "a task joining the running system lands on a feasible "
+              "allocation", _check_newcomer_absorbed),
+        Check("warm_start_matches_cold_start",
+              "the warm continuation reaches the cold-start optimum",
+              _check_matches_cold_start),
+    ),
+    payload=_adaptation_payload,
+    quick_params={"iterations_per_phase": 1500},
+))
+
+
 def main() -> None:
     print("Resource variation (r4 availability 1.0 -> 0.7 -> 1.0):")
     result = run_resource_variation()
@@ -335,6 +439,77 @@ def run_undetected_interference(
         fast_p99_adaptive=fast_p99_adaptive,
         critical_time=105.0,
     )
+
+
+def _check_correction_reacted(result: InterferenceResult):
+    return result.correction_reacted(), {
+        "fast_share_before": result.fast_share_before,
+        "fast_share_during": result.fast_share_during,
+        "fast_error_before": result.fast_error_before,
+        "fast_error_during": result.fast_error_during,
+    }
+
+
+def _check_adaptation_helps(result: InterferenceResult):
+    return result.adaptation_helps(), {
+        "fast_p99_adaptive": result.fast_p99_adaptive,
+        "fast_p99_frozen": result.fast_p99_frozen,
+    }
+
+
+def _check_tail_halved(result: InterferenceResult):
+    passed = result.fast_p99_adaptive < 0.5 * result.fast_p99_frozen
+    return passed, {
+        "p99_ratio": result.fast_p99_adaptive
+        / max(result.fast_p99_frozen, 1e-9),
+    }
+
+
+def _interference_payload(result: InterferenceResult):
+    return {
+        "fast_share_before": result.fast_share_before,
+        "fast_share_during": result.fast_share_during,
+        "fast_error_before": result.fast_error_before,
+        "fast_error_during": result.fast_error_during,
+        "fast_p99_frozen": result.fast_p99_frozen,
+        "fast_p99_adaptive": result.fast_p99_adaptive,
+        "critical_time": result.critical_time,
+    }
+
+
+INTERFERENCE_SPEC = register(ExperimentSpec(
+    name="interference",
+    description="Closed-loop reaction to interference the model cannot "
+                "see, vs a frozen-share control",
+    source="Section 6.3 machinery under an unmodeled disturbance (ours)",
+    runner=run_undetected_interference,
+    params=(
+        Param("warmup_epochs", int, 10,
+              "closed-loop epochs before the interference starts"),
+        Param("interference_epochs", int, 15,
+              "closed-loop epochs with the background consumers active"),
+        Param("extra_weight", float, 0.25,
+              "GPS weight of the unannounced consumer on every CPU"),
+        Param("window", float, 2000.0, "sampling window per epoch (ms)"),
+        Param("seed", int, 21, "simulator RNG seed"),
+    ),
+    checks=(
+        Check("correction_reacted",
+              "the smoothed error rises and the threatened fast share "
+              "is raised to defend the deadline",
+              _check_correction_reacted),
+        Check("adaptation_helps",
+              "adaptive shares beat frozen shares on p99 end-to-end "
+              "latency under the same interference",
+              _check_adaptation_helps),
+        Check("adaptive_tail_at_most_half_frozen",
+              "the adaptive p99 is less than half the frozen-share p99",
+              _check_tail_halved, quick=False),
+    ),
+    payload=_interference_payload,
+    quick_params={"warmup_epochs": 6, "interference_epochs": 8,
+                  "window": 1000.0},
+))
 
 
 if __name__ == "__main__":

@@ -24,9 +24,10 @@ import numpy as np
 
 from repro.core.optimizer import LLAConfig, LLAOptimizer
 from repro.core.stepsize import AdaptiveStepSize, FixedStepSize
+from repro.harness import Check, ExperimentSpec, Param, register
 from repro.workloads.paper import base_workload
 
-__all__ = ["Fig5Series", "Fig5Result", "run_fig5"]
+__all__ = ["Fig5Series", "Fig5Result", "run_fig5", "SPEC"]
 
 
 @dataclass
@@ -129,6 +130,79 @@ def run_fig5(iterations: int = 500,
         label="adaptive", utilities=result.utility_trace()
     )
     return Fig5Result(iterations=iterations, series=series)
+
+
+def _check_high_gamma_oscillates(result: Fig5Result):
+    osc10 = result.series["gamma=10"].tail_oscillation()
+    osc1 = result.series["gamma=1"].tail_oscillation()
+    return osc10 > 5.0 * max(osc1, 1e-9), {
+        "oscillation.gamma=10": osc10, "oscillation.gamma=1": osc1,
+    }
+
+
+def _check_slow_gamma_lags(result: Fig5Result):
+    slow = result.distance_to_reference("gamma=0.1")
+    mid = result.distance_to_reference("gamma=1")
+    return slow > mid, {"distance.gamma=0.1": slow, "distance.gamma=1": mid}
+
+
+def _check_adaptive_most_stable(result: Fig5Result):
+    osc_adaptive = result.series["adaptive"].tail_oscillation()
+    osc1 = result.series["gamma=1"].tail_oscillation()
+    return osc_adaptive <= osc1, {
+        "oscillation.adaptive": osc_adaptive, "oscillation.gamma=1": osc1,
+    }
+
+
+def _check_ordering(result: Fig5Result):
+    return result.ordering_correct()
+
+
+def _payload(result: Fig5Result):
+    return {
+        "iterations": result.iterations,
+        "series": {
+            label: {
+                "final_utility": series.utilities[-1],
+                "tail_oscillation": series.tail_oscillation(),
+                "settling_iteration": series.settling_iteration(),
+            }
+            for label, series in result.series.items()
+        },
+        "reference_utility": result.reference_utility,
+    }
+
+
+SPEC = register(ExperimentSpec(
+    name="fig5",
+    description="Figure 5: fixed vs adaptive step sizes "
+                "(utility vs iteration)",
+    source="Section 5.2, Figure 5",
+    runner=run_fig5,
+    params=(
+        Param("iterations", int, 500, "iteration budget per series"),
+        Param("variant", str, "path-weighted", "utility aggregation"),
+        Param("backend", str, "scalar",
+              "LLA iteration kernel: 'scalar' or 'vectorized'"),
+    ),
+    checks=(
+        Check("high_gamma_oscillates",
+              "gamma=10 oscillates with high amplitude and never "
+              "converges", _check_high_gamma_oscillates),
+        Check("slow_gamma_lags",
+              "gamma=0.1 is farther from the optimum than gamma=1 when "
+              "the budget runs out (the paper needs >1000 iterations)",
+              _check_slow_gamma_lags),
+        Check("adaptive_most_stable",
+              "adaptive gamma ends at least as stable as the best "
+              "fixed gamma", _check_adaptive_most_stable),
+        Check("qualitative_ordering_holds",
+              "the paper's full qualitative ordering of the four "
+              "configurations holds", _check_ordering),
+    ),
+    payload=_payload,
+    quick_params={"iterations": 300},
+))
 
 
 def main() -> None:

@@ -21,9 +21,16 @@ import numpy as np
 
 from repro.core.optimizer import LLAConfig, LLAOptimizer
 from repro.core.stepsize import AdaptiveStepSize
+from repro.harness import (
+    Check,
+    ExperimentSpec,
+    Param,
+    parse_int_list,
+    register,
+)
 from repro.workloads.paper import scaled_workload
 
-__all__ = ["Fig6Point", "Fig6Result", "run_fig6"]
+__all__ = ["Fig6Point", "Fig6Result", "run_fig6", "SPEC"]
 
 
 @dataclass
@@ -105,6 +112,74 @@ def run_fig6(copies: Sequence[int] = (1, 2, 4), iterations: int = 500,
             feasible=taskset.is_feasible(result.latencies, tol=1e-2),
         )
     return Fig6Result(points=points)
+
+
+def _check_all_feasible(result: Fig6Result):
+    passed = all(p.feasible for p in result.points.values())
+    return passed, {f"final_utility.{n}": p.final_utility
+                    for n, p in result.points.items()}
+
+
+def _check_linearity(result: Fig6Result):
+    r2 = result.utility_linearity()
+    return r2 >= 0.99, {"linearity_r2": r2}
+
+
+def _check_count_independent_speed(result: Fig6Result):
+    settles = result.settling_iterations()
+    if any(s is None for s in settles.values()):
+        return False, {}
+    spread = max(settles.values()) - min(settles.values())
+    measured = {f"settling.{n}": float(s) for n, s in settles.items()}
+    measured["settling_spread"] = float(spread)
+    return spread <= 50, measured
+
+
+def _payload(result: Fig6Result):
+    return {
+        "points": {
+            str(n): {
+                "final_utility": p.final_utility,
+                "feasible": p.feasible,
+                "settling_iteration": p.settling_iteration(),
+            }
+            for n, p in result.points.items()
+        },
+        "linearity_r2": result.utility_linearity(),
+    }
+
+
+SPEC = register(ExperimentSpec(
+    name="fig6",
+    description="Figure 6: convergence as the number of tasks scales",
+    source="Section 5.3, Figure 6",
+    runner=run_fig6,
+    params=(
+        Param("copies", parse_int_list, (1, 2, 4),
+              "workload clone factors (paper: 3/6/12 tasks)"),
+        Param("iterations", int, 500, "iteration budget per workload"),
+        Param("critical_time_factor", float, 20.0,
+              "overprovisioning factor keeping the clones schedulable"),
+        Param("max_gamma", float, 1e6,
+              "adaptive-doubling cap (paper: unbounded)"),
+        Param("backend", str, "scalar",
+              "LLA iteration kernel: 'scalar' or 'vectorized'"),
+    ),
+    checks=(
+        Check("all_workloads_feasible",
+              "the x1/x2/x4 workloads all converge to feasible "
+              "allocations", _check_all_feasible),
+        Check("utility_scales_linearly",
+              "converged utility grows linearly with the task count "
+              "(R^2 >= 0.99)", _check_linearity),
+        Check("convergence_speed_count_independent",
+              "convergence speed does not depend on the number of "
+              "tasks (settling spread <= 50 iterations)",
+              _check_count_independent_speed),
+    ),
+    payload=_payload,
+    quick_params={"iterations": 200},
+))
 
 
 def main() -> None:

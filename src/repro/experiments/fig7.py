@@ -31,9 +31,10 @@ import numpy as np
 
 from repro.core.optimizer import LLAConfig, LLAOptimizer
 from repro.core.stepsize import FixedStepSize
+from repro.harness import Check, ExperimentSpec, Param, register
 from repro.workloads.paper import unschedulable_workload
 
-__all__ = ["Fig7Result", "run_fig7"]
+__all__ = ["Fig7Result", "run_fig7", "SPEC"]
 
 
 @dataclass
@@ -106,6 +107,61 @@ def run_fig7(iterations: int = 100,
         load_ratios=load_ratios,
         feasible=taskset.is_feasible(result.latencies, tol=1e-2),
     )
+
+
+def _check_infeasible(result: Fig7Result):
+    return not result.feasible
+
+
+def _check_violates(result: Fig7Result):
+    return result.violates_constraints(), {
+        "max_critical_path_ratio": result.max_critical_path_ratio,
+        "max_load_ratio": result.max_load_ratio,
+    }
+
+
+def _check_gross_violation(result: Fig7Result):
+    worst = max(result.max_critical_path_ratio, result.max_load_ratio)
+    return worst > 1.5, {"worst_constraint_ratio": worst}
+
+
+def _payload(result: Fig7Result):
+    return {
+        "iterations": result.iterations,
+        "feasible": result.feasible,
+        "critical_path_ratios": result.critical_path_ratios,
+        "load_ratios": result.load_ratios,
+        "max_critical_path_ratio": result.max_critical_path_ratio,
+        "max_load_ratio": result.max_load_ratio,
+    }
+
+
+SPEC = register(ExperimentSpec(
+    name="fig7",
+    description="Figure 7: LLA as a schedulability test on the "
+                "unschedulable six-task workload",
+    source="Section 5.4, Figure 7",
+    runner=run_fig7,
+    params=(
+        Param("iterations", int, 100, "iteration budget"),
+        Param("path_gamma_divisor", float, None,
+              "None = the paper's equal-gamma default; a number steers "
+              "the divergence ray (gamma_p = gamma_r / divisor)"),
+    ),
+    checks=(
+        Check("does_not_converge",
+              "utility and shares do not converge to a feasible "
+              "operating point", _check_infeasible),
+        Check("constraints_violated",
+              "some constraint family is violated at the end of the "
+              "budget", _check_violates),
+        Check("violation_is_gross",
+              "the violation is gross (>1.5x in the dominant family; "
+              "paper: critical paths 1.75-2.41x on its ray)",
+              _check_gross_violation),
+    ),
+    payload=_payload,
+))
 
 
 def main() -> None:

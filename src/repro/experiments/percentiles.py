@@ -26,6 +26,13 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.core.optimizer import LLAConfig, LLAOptimizer
+from repro.harness import (
+    Check,
+    ExperimentSpec,
+    Param,
+    parse_float_list,
+    register,
+)
 from repro.model.events import PoissonEvent
 from repro.model.graph import SubtaskGraph
 from repro.model.percentile import subtask_percentile
@@ -34,7 +41,7 @@ from repro.model.task import Subtask, Task, TaskSet
 from repro.model.utility import LinearUtility
 from repro.sim.system import SimulatedSystem
 
-__all__ = ["PercentilePoint", "PercentileResult", "run_percentiles"]
+__all__ = ["PercentilePoint", "PercentileResult", "run_percentiles", "SPEC"]
 
 _N_STAGES = 4
 _CRITICAL_TIME = 120.0
@@ -127,6 +134,62 @@ def run_percentiles(
             budgets=budgets,
         ))
     return PercentileResult(points=points)
+
+
+def _check_all_conservative(result: PercentileResult):
+    measured = {f"path_compliance.p{p.target:g}": p.path_compliance
+                for p in result.points}
+    return result.all_conservative(), measured
+
+
+def _check_budgets_monotone(result: PercentileResult):
+    per_stage = [p.per_subtask_percentile for p in result.points]
+    return per_stage == sorted(per_stage), {
+        f"per_stage.p{p.target:g}": p.per_subtask_percentile
+        for p in result.points
+    }
+
+
+def _payload(result: PercentileResult):
+    return {
+        "points": [
+            {
+                "target": p.target,
+                "per_subtask_percentile": p.per_subtask_percentile,
+                "subtask_compliance": p.subtask_compliance,
+                "path_compliance": p.path_compliance,
+                "budgets": p.budgets,
+            }
+            for p in result.points
+        ],
+    }
+
+
+SPEC = register(ExperimentSpec(
+    name="percentiles",
+    description="Empirical validation of Section 2.1's percentile "
+                "composition on a simulated pipeline",
+    source="Section 2.1 (ours; the paper states the formula untested)",
+    runner=run_percentiles,
+    params=(
+        Param("targets", parse_float_list, (50.0, 90.0, 99.0),
+              "task-level percentile targets"),
+        Param("horizon", float, 120_000.0,
+              "simulated time per target (ms)"),
+        Param("seed", int, 5, "simulator RNG seed"),
+    ),
+    checks=(
+        Check("composition_conservative",
+              "end-to-end compliance reaches the task-level target for "
+              "every target (q = p^(1/n) is conservative)",
+              _check_all_conservative),
+        Check("per_stage_percentile_monotone",
+              "the composed per-stage percentile grows with the "
+              "task-level target", _check_budgets_monotone),
+    ),
+    payload=_payload,
+    quick_params={"horizon": 40_000.0},
+))
 
 
 def main() -> None:

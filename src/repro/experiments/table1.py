@@ -23,6 +23,7 @@ from typing import Dict
 
 from repro.analysis.reporting import format_table1
 from repro.core.optimizer import LLAConfig, LLAOptimizer
+from repro.harness import Check, ExperimentSpec, Param, register
 from repro.model.task import TaskSet
 from repro.workloads.paper import (
     TABLE1_CRITICAL_PATHS,
@@ -30,7 +31,7 @@ from repro.workloads.paper import (
     base_workload,
 )
 
-__all__ = ["Table1Result", "run_table1"]
+__all__ = ["Table1Result", "run_table1", "SPEC"]
 
 
 @dataclass
@@ -86,6 +87,78 @@ def run_table1(variant: str = "path-weighted",
         paper_latencies=dict(TABLE1_LATENCIES),
         paper_critical_paths=dict(TABLE1_CRITICAL_PATHS),
     )
+
+
+def _check_converges(result: Table1Result):
+    return result.converged, {"iterations": float(result.iterations)}
+
+
+def _check_critical_paths(result: Table1Result):
+    margins = result.critical_path_margins()
+    passed = all(-1e-4 <= m <= 0.01 for m in margins.values())
+    return passed, {f"margin.{name}": m for name, m in margins.items()}
+
+
+def _check_saturation(result: Table1Result):
+    passed = all(0.99 <= load <= 1.01
+                 for load in result.resource_loads.values())
+    return passed, {f"load.{name}": load
+                    for name, load in result.resource_loads.items()}
+
+
+def _check_latency_range(result: Table1Result):
+    ratios = {
+        name: result.latencies[name] / paper_lat
+        for name, paper_lat in result.paper_latencies.items()
+    }
+    passed = all(0.4 <= r <= 2.5 for r in ratios.values())
+    return passed, {"min_ratio_vs_paper": min(ratios.values()),
+                    "max_ratio_vs_paper": max(ratios.values())}
+
+
+def _payload(result: Table1Result):
+    return {
+        "converged": result.converged,
+        "iterations": result.iterations,
+        "utility": result.utility,
+        "latencies": result.latencies,
+        "critical_paths": result.critical_paths,
+        "critical_times": result.critical_times,
+        "resource_loads": result.resource_loads,
+        "paper_latencies": result.paper_latencies,
+        "paper_critical_paths": result.paper_critical_paths,
+    }
+
+
+SPEC = register(ExperimentSpec(
+    name="table1",
+    description="Table 1: converged latencies on the base workload",
+    source="Section 5.2, Table 1",
+    runner=run_table1,
+    params=(
+        Param("variant", str, "path-weighted",
+              "utility aggregation: 'sum' or 'path-weighted'"),
+        Param("max_iterations", int, 1500, "LLA iteration budget"),
+    ),
+    checks=(
+        Check("converges",
+              "LLA converges on the base workload with adaptive step "
+              "sizes", _check_converges),
+        Check("critical_paths_within_1pct",
+              "every critical path is less than 1% below its critical "
+              "time, never above", _check_critical_paths),
+        Check("resources_saturated",
+              "all resources are driven to (near) full availability — "
+              "the workload is built close to congestion",
+              _check_saturation),
+        Check("latencies_match_paper_range",
+              "per-subtask latencies are in the paper's Table 1 range "
+              "(topology is reconstructed, so within 0.4–2.5x)",
+              _check_latency_range),
+    ),
+    payload=_payload,
+    quick_params={"max_iterations": 1200},
+))
 
 
 def main() -> None:

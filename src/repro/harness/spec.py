@@ -1,0 +1,298 @@
+"""Experiment specifications: typed parameters, claim checks, registry.
+
+An :class:`ExperimentSpec` turns an experiment driver into declarative
+data: a name, a typed parameter schema with defaults, the runner
+callable, and a list of first-class :class:`Check` objects — one per
+paper claim the run must uphold.  Specs register themselves into a
+process-wide registry at import time (each driver module under
+:mod:`repro.experiments` calls :func:`register` at module level; the
+``statan`` rule REP009 enforces that no driver ships without one), and
+everything downstream — the ``repro experiment`` CLI, the benchmark
+suite, the reproduction scorecard — dispatches through the registry
+instead of hard-coding module names.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.errors import HarnessError
+
+__all__ = [
+    "Param",
+    "Check",
+    "CheckOutcome",
+    "ExperimentSpec",
+    "register",
+    "unregister",
+    "get_spec",
+    "spec_names",
+    "all_specs",
+    "load_all",
+]
+
+
+def parse_bool(text: Union[str, bool]) -> bool:
+    """``--set flag=true`` style coercion."""
+    if isinstance(text, bool):
+        return text
+    lowered = text.strip().lower()
+    if lowered in ("true", "yes", "1", "on"):
+        return True
+    if lowered in ("false", "no", "0", "off"):
+        return False
+    raise HarnessError(f"cannot parse boolean from {text!r}")
+
+
+def parse_int_list(text: Union[str, Iterable[int]]) -> Tuple[int, ...]:
+    """``--set copies=1,2,4`` style coercion."""
+    if not isinstance(text, str):
+        return tuple(int(v) for v in text)
+    try:
+        return tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError as exc:
+        raise HarnessError(
+            f"cannot parse integer list from {text!r}"
+        ) from exc
+
+
+def parse_float_list(text: Union[str, Iterable[float]]) -> Tuple[float, ...]:
+    """``--set targets=50,90,99`` style coercion."""
+    if not isinstance(text, str):
+        return tuple(float(v) for v in text)
+    try:
+        return tuple(float(part) for part in text.split(",") if part.strip())
+    except ValueError as exc:
+        raise HarnessError(f"cannot parse float list from {text!r}") from exc
+
+
+@dataclass(frozen=True)
+class Param:
+    """One typed experiment parameter.
+
+    ``type`` is a callable coercing a ``--set key=value`` string to the
+    runner's expected type (``int``, ``float``, ``str``,
+    :func:`parse_bool`, :func:`parse_int_list`, …).  ``default`` may be
+    ``None`` for optional parameters; the string ``"none"`` coerces back
+    to ``None`` for those.
+    """
+
+    name: str
+    type: Callable[[str], Any]
+    default: Any
+    help: str = ""
+
+    def coerce(self, raw: Any) -> Any:
+        if raw is None:
+            return None
+        if isinstance(raw, str) and raw.strip().lower() == "none":
+            return None
+        if not isinstance(raw, str):
+            return raw
+        try:
+            return self.type(raw)
+        except HarnessError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise HarnessError(
+                f"parameter {self.name!r}: cannot coerce {raw!r} "
+                f"({exc})"
+            ) from exc
+
+    def describe(self) -> str:
+        type_name = getattr(self.type, "__name__", str(self.type))
+        return f"{self.name}={self.default!r} ({type_name})"
+
+
+@dataclass(frozen=True)
+class CheckOutcome:
+    """What a check's function reports: the verdict plus the measured
+    quantities that back it (these land in the artifact)."""
+
+    passed: bool
+    measured: Dict[str, float] = field(default_factory=dict)
+
+
+#: What a check function may return: a bare verdict, a (verdict,
+#: measurements) pair, or a full :class:`CheckOutcome`.
+CheckReturn = Union[bool, Tuple[bool, Dict[str, float]], CheckOutcome]
+
+
+@dataclass(frozen=True)
+class Check:
+    """One paper claim, as an executable predicate over the run result.
+
+    ``fn`` receives the runner's return value and reports whether the
+    claim holds, optionally with the measured values that decided it.
+    ``quick=False`` marks claims that only hold at full iteration
+    budgets; the scorecard's ``--quick`` profile records them as
+    *skipped* rather than running them against an underpowered run.
+    """
+
+    name: str
+    description: str
+    fn: Callable[[Any], CheckReturn]
+    quick: bool = True
+
+    def evaluate(self, result: Any) -> CheckOutcome:
+        outcome = self.fn(result)
+        if isinstance(outcome, CheckOutcome):
+            return outcome
+        if isinstance(outcome, tuple):
+            passed, measured = outcome
+            return CheckOutcome(bool(passed), dict(measured))
+        return CheckOutcome(bool(outcome))
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A registered experiment: metadata + parameters + runner + claims.
+
+    ``runner`` is called with exactly the declared parameters (after
+    defaulting, quick-profile substitution and ``--set`` overrides), so
+    every :class:`Param` name must be a keyword the runner accepts.
+    ``payload`` converts the runner's domain result into the
+    JSON-serializable dictionary stored in the artifact; ``quick_params``
+    are the reduced-budget overrides applied by the ``--quick`` profile.
+    ``source`` names the paper section/figure the experiment reproduces.
+    """
+
+    name: str
+    description: str
+    runner: Callable[..., Any]
+    params: Tuple[Param, ...] = ()
+    checks: Tuple[Check, ...] = ()
+    payload: Optional[Callable[[Any], Dict[str, Any]]] = None
+    quick_params: Mapping[str, Any] = field(default_factory=dict)
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise HarnessError("experiment spec needs a name")
+        names = [p.name for p in self.params]
+        if len(names) != len(set(names)):
+            raise HarnessError(
+                f"spec {self.name!r}: duplicate parameter names in {names}"
+            )
+        check_names = [c.name for c in self.checks]
+        if len(check_names) != len(set(check_names)):
+            raise HarnessError(
+                f"spec {self.name!r}: duplicate check names in {check_names}"
+            )
+        unknown = set(self.quick_params) - set(names)
+        if unknown:
+            raise HarnessError(
+                f"spec {self.name!r}: quick_params {sorted(unknown)} are "
+                "not declared parameters"
+            )
+        try:
+            signature = inspect.signature(self.runner)
+        except (TypeError, ValueError):  # builtins without signatures
+            signature = None
+        if signature is not None:
+            accepts_kwargs = any(
+                p.kind is inspect.Parameter.VAR_KEYWORD
+                for p in signature.parameters.values()
+            )
+            if not accepts_kwargs:
+                missing = set(names) - set(signature.parameters)
+                if missing:
+                    raise HarnessError(
+                        f"spec {self.name!r}: runner "
+                        f"{self.runner.__name__} does not accept "
+                        f"parameter(s) {sorted(missing)}"
+                    )
+
+    # -- parameter handling -------------------------------------------------------
+
+    def param(self, name: str) -> Param:
+        for param in self.params:
+            if param.name == name:
+                return param
+        raise HarnessError(
+            f"experiment {self.name!r} has no parameter {name!r}; "
+            f"available: {sorted(p.name for p in self.params)}"
+        )
+
+    def has_param(self, name: str) -> bool:
+        return any(p.name == name for p in self.params)
+
+    def defaults(self) -> Dict[str, Any]:
+        return {p.name: p.default for p in self.params}
+
+    def resolve_params(
+        self,
+        overrides: Optional[Mapping[str, Any]] = None,
+        quick: bool = False,
+    ) -> Dict[str, Any]:
+        """Defaults → quick profile → explicit overrides, coercing
+        string values through each parameter's declared type."""
+        resolved = self.defaults()
+        if quick:
+            resolved.update(self.quick_params)
+        for key, raw in (overrides or {}).items():
+            resolved[key] = self.param(key).coerce(raw)
+        return resolved
+
+    def check_names(self) -> List[str]:
+        return [check.name for check in self.checks]
+
+
+# -- registry ---------------------------------------------------------------------
+
+_REGISTRY: Dict[str, ExperimentSpec] = {}
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    """Add a spec to the registry; returns it so modules can keep a
+    ``SPEC = register(ExperimentSpec(...))`` handle."""
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None and existing is not spec:
+        raise HarnessError(
+            f"experiment {spec.name!r} is already registered"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister(name: str) -> None:
+    """Remove a spec (tests register throwaway specs)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    load_all()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise HarnessError(
+            f"unknown experiment {name!r}; registered: {spec_names()}"
+        ) from None
+
+
+def spec_names() -> List[str]:
+    load_all()
+    return sorted(_REGISTRY)
+
+
+def all_specs() -> List[ExperimentSpec]:
+    load_all()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def load_all() -> None:
+    """Import every experiment driver so its module-level ``register``
+    call has run.  Idempotent; the import itself is the side effect."""
+    import repro.experiments  # noqa: F401  (registration side effect)

@@ -125,6 +125,7 @@ def _build_catalog() -> "List[Rule]":
     from repro.statan.rules.numerics import FloatEquality, MutableDefault
     from repro.statan.rules.telemetry import AdHocTelemetry
     from repro.statan.rules.configs import ConfigValidation
+    from repro.statan.rules.experiments import UnregisteredExperiment
 
     return [
         UnseededRandomness(),
@@ -135,6 +136,7 @@ def _build_catalog() -> "List[Rule]":
         MutableDefault(),
         AdHocTelemetry(),
         ConfigValidation(),
+        UnregisteredExperiment(),
     ]
 
 

@@ -1,0 +1,55 @@
+"""REP009 — experiment drivers must register an ExperimentSpec."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.statan.findings import Finding
+from repro.statan.rules import FileContext, Rule
+
+__all__ = ["UnregisteredExperiment"]
+
+#: Fully-qualified names a registration call may resolve to.
+_REGISTER_TARGETS = (
+    "repro.harness.register",
+    "repro.harness.spec.register",
+)
+
+
+class UnregisteredExperiment(Rule):
+    """REP009: a driver defining ``main()`` must call
+    ``repro.harness.register`` at module level."""
+
+    rule_id = "REP009"
+    name = "unregistered-experiment"
+    rationale = (
+        "Every surface — the `repro experiment` CLI, the benchmark "
+        "suite, the `--all` reproduction scorecard — dispatches through "
+        "the harness registry. A driver module that defines `main()` "
+        "without registering an ExperimentSpec is invisible to all of "
+        "them: its claims never land on the scorecard and silently stop "
+        "being checked."
+    )
+    scopes = ("repro/experiments/",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        mains = [
+            node for node in ctx.tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name == "main"
+        ]
+        if not mains:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                qualified = ctx.qualified_name(node.func)
+                if qualified in _REGISTER_TARGETS:
+                    return
+        yield self.finding(
+            ctx, mains[0],
+            "experiment driver defines `main()` but never registers an "
+            "ExperimentSpec via `repro.harness.register`; its claims "
+            "cannot appear on the reproduction scorecard",
+            function="main",
+        )

@@ -5,10 +5,13 @@ from repro.workloads.paper import (
     TABLE1_CRITICAL_TIMES,
     TABLE1_LATENCIES,
     TABLE1_SUBTASKS,
+    WORKLOAD_FACTORIES,
     base_workload,
+    make_workload,
     prototype_workload,
     scaled_workload,
     unschedulable_workload,
+    workload_names,
 )
 
 __all__ = [
@@ -16,6 +19,9 @@ __all__ = [
     "scaled_workload",
     "unschedulable_workload",
     "prototype_workload",
+    "WORKLOAD_FACTORIES",
+    "workload_names",
+    "make_workload",
     "TABLE1_SUBTASKS",
     "TABLE1_LATENCIES",
     "TABLE1_CRITICAL_TIMES",

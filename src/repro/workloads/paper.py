@@ -20,7 +20,7 @@ times are 45, 76 and 53 ms.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ModelError
 from repro.model.events import PeriodicEvent
@@ -40,6 +40,9 @@ __all__ = [
     "prototype_workload",
     "PROTOTYPE_FAST_MIN_SHARE",
     "PROTOTYPE_SLOW_MIN_SHARE",
+    "WORKLOAD_FACTORIES",
+    "workload_names",
+    "make_workload",
 ]
 
 #: Resource lag implied by Table 1 (ms).
@@ -286,3 +289,38 @@ def prototype_workload(variant: str = "sum") -> TaskSet:
             )
         )
     return TaskSet(tasks, cpus)
+
+
+# -- canonical workload registry --------------------------------------------
+
+def _scaled_default() -> TaskSet:
+    """The ``scaled`` CLI workload: the base workload cloned ×2."""
+    return scaled_workload(2)
+
+
+#: Canonical name → zero-argument factory for every built-in workload.
+#: Shared by ``repro export-workload`` and the experiment harness so the
+#: two never drift apart.
+WORKLOAD_FACTORIES: Dict[str, Callable[[], TaskSet]] = {
+    "base": base_workload,
+    "scaled": _scaled_default,
+    "unschedulable": unschedulable_workload,
+    "prototype": prototype_workload,
+}
+
+
+def workload_names() -> Tuple[str, ...]:
+    """All registered workload names, sorted."""
+    return tuple(sorted(WORKLOAD_FACTORIES))
+
+
+def make_workload(name: str) -> TaskSet:
+    """Build a registered workload by name."""
+    try:
+        factory = WORKLOAD_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(workload_names())
+        raise ModelError(
+            f"unknown workload {name!r} (known: {known})"
+        ) from None
+    return factory()

@@ -1,0 +1,213 @@
+"""Unit tests for the spec layer: Param coercion, Check evaluation,
+ExperimentSpec validation, and the process-wide registry."""
+
+import pytest
+
+from repro.errors import HarnessError
+from repro.harness import (
+    Check,
+    CheckOutcome,
+    ExperimentSpec,
+    Param,
+    get_spec,
+    parse_bool,
+    parse_float_list,
+    parse_int_list,
+    register,
+    spec_names,
+    unregister,
+)
+
+
+def runner(a=1, b=2.0):
+    return a + b
+
+
+class TestParamCoercion:
+    def test_string_goes_through_type(self):
+        assert Param("a", int, 1).coerce("42") == 42
+        assert Param("b", float, 0.0).coerce("2.5") == 2.5
+
+    def test_non_string_passes_through_untouched(self):
+        param = Param("a", int, 1)
+        assert param.coerce(7) == 7
+        assert param.coerce(2.5) == 2.5       # no silent int() truncation
+
+    def test_none_string_and_none_map_to_none(self):
+        param = Param("a", float, None)
+        assert param.coerce(None) is None
+        assert param.coerce("none") is None
+        assert param.coerce("None") is None
+
+    def test_bad_value_raises_harness_error(self):
+        with pytest.raises(HarnessError, match="'a'"):
+            Param("a", int, 1).coerce("forty-two")
+
+    def test_parse_bool(self):
+        assert parse_bool("true") and parse_bool("YES") and parse_bool("1")
+        assert not parse_bool("false") and not parse_bool("off")
+        assert parse_bool(True) is True
+        with pytest.raises(HarnessError):
+            parse_bool("maybe")
+
+    def test_parse_int_list(self):
+        assert parse_int_list("1,2,4") == (1, 2, 4)
+        assert parse_int_list([1, 2]) == (1, 2)
+        with pytest.raises(HarnessError):
+            parse_int_list("1,x")
+
+    def test_parse_float_list(self):
+        assert parse_float_list("50,90,99.9") == (50.0, 90.0, 99.9)
+        assert parse_float_list((1, 2)) == (1.0, 2.0)
+        with pytest.raises(HarnessError):
+            parse_float_list("1,banana")
+
+
+class TestCheckEvaluate:
+    def test_bare_bool(self):
+        outcome = Check("c", "", lambda r: r > 0).evaluate(5)
+        assert outcome == CheckOutcome(True)
+        assert outcome.measured == {}
+
+    def test_tuple_form(self):
+        check = Check("c", "", lambda r: (r > 0, {"r": float(r)}))
+        assert check.evaluate(5) == CheckOutcome(True, {"r": 5.0})
+
+    def test_full_outcome_form(self):
+        full = CheckOutcome(False, {"err": 0.1})
+        assert Check("c", "", lambda r: full).evaluate(None) is full
+
+    def test_truthy_return_is_normalized_to_bool(self):
+        outcome = Check("c", "", lambda r: r).evaluate([1])
+        assert outcome.passed is True
+
+
+class TestSpecValidation:
+    def test_needs_a_name(self):
+        with pytest.raises(HarnessError, match="needs a name"):
+            ExperimentSpec(name="", description="d", runner=runner)
+
+    def test_duplicate_param_names_rejected(self):
+        with pytest.raises(HarnessError, match="duplicate parameter"):
+            ExperimentSpec(
+                name="x", description="d", runner=runner,
+                params=(Param("a", int, 1), Param("a", int, 2)),
+            )
+
+    def test_duplicate_check_names_rejected(self):
+        with pytest.raises(HarnessError, match="duplicate check"):
+            ExperimentSpec(
+                name="x", description="d", runner=runner,
+                checks=(Check("c", "", bool), Check("c", "", bool)),
+            )
+
+    def test_quick_params_must_be_declared(self):
+        with pytest.raises(HarnessError, match="quick_params"):
+            ExperimentSpec(
+                name="x", description="d", runner=runner,
+                params=(Param("a", int, 1),),
+                quick_params={"budget": 5},
+            )
+
+    def test_runner_must_accept_every_param(self):
+        with pytest.raises(HarnessError, match="does not accept"):
+            ExperimentSpec(
+                name="x", description="d", runner=runner,
+                params=(Param("c", int, 1),),
+            )
+
+    def test_var_keyword_runner_accepts_anything(self):
+        def sink(**kwargs):
+            return kwargs
+
+        spec = ExperimentSpec(
+            name="x", description="d", runner=sink,
+            params=(Param("whatever", int, 1),),
+        )
+        assert spec.has_param("whatever")
+
+
+class TestResolveParams:
+    SPEC = ExperimentSpec(
+        name="resolve-me", description="d", runner=runner,
+        params=(Param("a", int, 1), Param("b", float, 2.0)),
+        quick_params={"a": 0},
+    )
+
+    def test_defaults(self):
+        assert self.SPEC.resolve_params() == {"a": 1, "b": 2.0}
+
+    def test_quick_profile_overlays_defaults(self):
+        assert self.SPEC.resolve_params(quick=True) == {"a": 0, "b": 2.0}
+
+    def test_overrides_beat_quick_and_coerce(self):
+        resolved = self.SPEC.resolve_params({"a": "9"}, quick=True)
+        assert resolved == {"a": 9, "b": 2.0}
+
+    def test_unknown_override_raises(self):
+        with pytest.raises(HarnessError, match="no parameter 'zz'"):
+            self.SPEC.resolve_params({"zz": "1"})
+
+    def test_param_lookup(self):
+        assert self.SPEC.param("a").default == 1
+        assert self.SPEC.has_param("b") and not self.SPEC.has_param("c")
+
+
+class TestRegistry:
+    def test_register_returns_spec_and_is_idempotent_for_same_object(self):
+        spec = ExperimentSpec(name="reg-test", description="d",
+                              runner=runner)
+        try:
+            assert register(spec) is spec
+            assert register(spec) is spec      # same object: fine
+            assert get_spec("reg-test") is spec
+            assert "reg-test" in spec_names()
+        finally:
+            unregister("reg-test")
+
+    def test_duplicate_name_different_object_rejected(self):
+        first = ExperimentSpec(name="reg-dup", description="d",
+                               runner=runner)
+        second = ExperimentSpec(name="reg-dup", description="other",
+                                runner=runner)
+        register(first)
+        try:
+            with pytest.raises(HarnessError, match="already registered"):
+                register(second)
+        finally:
+            unregister("reg-dup")
+
+    def test_unknown_name_lists_registry(self):
+        with pytest.raises(HarnessError, match="unknown experiment"):
+            get_spec("no-such-experiment")
+
+    def test_unregister_missing_name_is_a_noop(self):
+        unregister("never-registered")
+
+
+class TestShippedRegistry:
+    """The ten paper experiments all land in the registry on import."""
+
+    EXPECTED = {
+        "ablations", "adaptation", "fig5", "fig6", "fig7", "fig8",
+        "interference", "percentiles", "resilience", "table1",
+    }
+
+    def test_all_ten_experiments_registered(self):
+        assert self.EXPECTED <= set(spec_names())
+
+    def test_every_spec_carries_claims_and_source(self):
+        for name in self.EXPECTED:
+            spec = get_spec(name)
+            assert spec.checks, f"{name} has no claim checks"
+            assert spec.source, f"{name} cites no paper section"
+            assert spec.description
+
+    def test_quick_profiles_only_touch_declared_params(self):
+        # __post_init__ enforces this at construction; assert the
+        # shipped specs actually resolve both profiles.
+        for name in self.EXPECTED:
+            spec = get_spec(name)
+            default = spec.resolve_params()
+            quick = spec.resolve_params(quick=True)
+            assert set(default) == set(quick)

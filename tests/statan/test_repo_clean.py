@@ -30,7 +30,7 @@ class TestCatalog:
 
     def test_expected_rules_are_registered(self):
         ids = {rule.rule_id for rule in ALL_RULES}
-        assert {f"REP00{i}" for i in range(1, 9)} <= ids
+        assert {f"REP00{i}" for i in range(1, 10)} <= ids
 
     def test_every_rule_carries_rationale(self):
         for rule in ALL_RULES:

@@ -282,6 +282,49 @@ class TestConfigValidation:
         assert findings == []
 
 
+class TestUnregisteredExperiment:
+    def test_flags_main_without_register(self):
+        findings = run_rule("REP009", """\
+            def run_fig9():
+                return 42
+
+            def main():
+                print(run_fig9())
+            """, "repro/experiments/fig9.py")
+        assert len(findings) == 1
+        assert "ExperimentSpec" in findings[0].message
+
+    def test_allows_registered_driver(self):
+        findings = run_rule("REP009", """\
+            from repro.harness import ExperimentSpec, register
+
+            def run_fig9():
+                return 42
+
+            SPEC = register(ExperimentSpec(
+                name="fig9", description="x", runner=run_fig9,
+            ))
+
+            def main():
+                print(run_fig9())
+            """, "repro/experiments/fig9.py")
+        assert findings == []
+
+    def test_allows_helper_module_without_main(self):
+        findings = run_rule("REP009", """\
+            def shared_helper():
+                return 1
+            """, "repro/experiments/_common.py")
+        assert findings == []
+
+    def test_out_of_scope_path_is_ignored(self):
+        findings = run_rule("REP009", """\
+            def main():
+                return 1
+            """, "repro/analysis/reporting.py")
+        assert findings == []
+
+
 class TestEngineBasics:
     def test_syntax_error_reports_sta000(self):
         result = lint_source("def broken(:\n", "repro/core/x.py")

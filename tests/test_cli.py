@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro import harness
 from repro.cli import build_parser, main
 
 
@@ -12,11 +13,143 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    def test_experiment_choices(self):
+    def test_experiment_name_is_free_form(self):
+        # Validation happens against the registry at dispatch time, not
+        # in argparse: the parser accepts any name (and none at all).
         args = build_parser().parse_args(["experiment", "table1"])
         assert args.name == "table1"
+        args = build_parser().parse_args(["experiment", "--list"])
+        assert args.name is None and args.list_specs
+
+    def test_unknown_experiment_exits(self, capsys):
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["experiment", "fig99"])
+            main(["experiment", "fig99"])
+
+
+def _toy_runner(x=1):
+    return {"x": x}
+
+
+def _toy_spec(name, passes=True):
+    return harness.ExperimentSpec(
+        name=name,
+        description="synthetic spec for CLI tests",
+        source="tests",
+        runner=_toy_runner,
+        params=(harness.Param("x", int, 1, "value"),),
+        checks=(
+            harness.Check(
+                "holds", "x stays positive",
+                (lambda r: (r["x"] > 0, {"x": float(r["x"])})) if passes
+                else (lambda r: False),
+            ),
+        ),
+        payload=lambda r: dict(r),
+    )
+
+
+class TestExperiment:
+    def test_list_names_every_registered_spec(self, capsys):
+        assert main(["experiment", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "fig5", "fig6", "fig7", "fig8",
+                     "ablations", "adaptation", "interference",
+                     "percentiles", "resilience"):
+            assert name in out
+        assert "registered experiments" in out
+
+    def test_requires_exactly_one_mode(self):
+        with pytest.raises(SystemExit):
+            main(["experiment"])
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig7", "--list"])
+
+    def test_all_rejects_single_run_flags(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "--all", "--backend", "vectorized"])
+
+    def test_malformed_set_exits(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig7", "--set", "iterations"])
+
+    def test_backend_on_unsupported_spec_exits(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig7", "--backend", "vectorized"])
+
+    def test_single_run_writes_valid_artifact(self, tmp_path, capsys):
+        artifact = tmp_path / "fig7.json"
+        code = main(["experiment", "fig7", "--iterations", "120",
+                     "--seed", "7", "--set", "path_gamma_divisor=none",
+                     "-o", str(artifact)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fig7: PASS" in out
+        assert "[PASS]" in out
+
+        data = json.loads(artifact.read_text())
+        assert harness.validate_run_result(data) == []
+        run = harness.RunResult.from_dict(data)
+        assert run.experiment == "fig7"
+        assert run.params["iterations"] == 120
+        assert run.params["path_gamma_divisor"] is None
+        assert run.seed == 7          # recorded even without a seed param
+        assert run.profile == "default"
+        assert run.passed
+        assert {c.name for c in run.checks} == {
+            "does_not_converge", "constraints_violated",
+            "violation_is_gross",
+        }
+
+    def test_failing_check_exits_nonzero(self, capsys):
+        harness.register(_toy_spec("synthetic-always-fails", passes=False))
+        try:
+            code = main(["experiment", "synthetic-always-fails"])
+        finally:
+            harness.unregister("synthetic-always-fails")
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in out
+
+    def test_all_scorecard_shape(self, tmp_path, capsys, monkeypatch):
+        import repro.harness.spec as spec_module
+        monkeypatch.setattr(spec_module, "_REGISTRY", {})
+        harness.register(_toy_spec("alpha"))
+        harness.register(_toy_spec("beta"))
+
+        card_path = tmp_path / "scorecard.json"
+        code = main(["experiment", "--all", "-o", str(card_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "REPRODUCTION SCORECARD" in out
+        assert "2/2 claims pass" in out
+
+        card = json.loads(card_path.read_text())
+        assert harness.validate_scorecard(card) == []
+        assert card["passed"] is True
+        assert card["counts"] == {
+            "experiments": 2, "claims": 2, "passed": 2,
+            "failed": 0, "skipped": 0,
+        }
+        assert [row["experiment"] for row in card["claims"]] == \
+            ["alpha", "beta"]
+        assert all(row["status"] == "pass" for row in card["claims"])
+        assert len(card["runs"]) == 2
+
+    def test_all_exits_nonzero_on_failed_claim(self, tmp_path,
+                                               capsys, monkeypatch):
+        import repro.harness.spec as spec_module
+        monkeypatch.setattr(spec_module, "_REGISTRY", {})
+        harness.register(_toy_spec("good"))
+        harness.register(_toy_spec("bad", passes=False))
+
+        card_path = tmp_path / "scorecard.json"
+        code = main(["experiment", "--all", "-o", str(card_path)])
+        capsys.readouterr()
+        assert code == 1
+        card = json.loads(card_path.read_text())
+        assert harness.validate_scorecard(card) == []
+        assert card["passed"] is False
+        assert card["counts"]["failed"] == 1
 
 
 class TestExportAndRoundTrip:
