@@ -94,6 +94,10 @@ class TraceSummary:
     oscillation: float
     price_drift: float
     violated_iterations: int
+    #: Latency-recorder ring-buffer evictions during the run (0 when no
+    #: bounded recorder was attached); non-zero means tail percentile
+    #: estimates cover a truncated window.
+    dropped_samples: int = 0
 
     def converged_cleanly(self, oscillation_tol: float = 1.0,
                           drift_tol: float = 0.1) -> bool:
@@ -105,7 +109,8 @@ class TraceSummary:
 
 
 def summarize_trace(history: Sequence[IterationRecord],
-                    band: float = 0.5) -> TraceSummary:
+                    band: float = 0.5,
+                    dropped_samples: int = 0) -> TraceSummary:
     """Compute all diagnostics for an iteration history."""
     utilities = [rec.utility for rec in history]
     return TraceSummary(
@@ -115,4 +120,5 @@ def summarize_trace(history: Sequence[IterationRecord],
         oscillation=tail_oscillation(utilities),
         price_drift=price_movement(history),
         violated_iterations=violation_duration(history),
+        dropped_samples=int(dropped_samples),
     )

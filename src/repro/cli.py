@@ -16,7 +16,18 @@ Commands:
 * ``trace <run.jsonl>`` — replay a JSONL telemetry trace into the
   convergence diagnostics of :mod:`repro.analysis.trace`;
 * ``stats <run.jsonl>`` — event counts and the final metrics snapshot of
-  a JSONL telemetry trace;
+  a JSONL telemetry trace (``--prometheus`` renders the snapshot in the
+  Prometheus text exposition format);
+* ``diagnose <run.jsonl>`` — run the convergence health detectors
+  (oscillation, stall, feasibility churn, escalation audit, margins)
+  over a recorded trace and print structured findings; with spans in
+  the trace, also prints the causal critical path; non-zero exit on
+  critical findings;
+* ``top <workload.json>`` — drive a live distributed run and render a
+  terminal dashboard (prices, loads, bus health, diagnostics);
+* ``bench-diff <baseline.json> <current.json>`` — compare two benchmark
+  artifacts (BENCH reports or harness scorecards) and flag regressions
+  beyond a threshold; non-zero exit on regression;
 * ``chaos`` — run a scripted fault scenario (crash/restart, blackout)
   against its fault-free twin and report dip depth, recovery time and
   degraded-round safety; ``-o`` writes the report as a JSON artifact;
@@ -118,6 +129,56 @@ def build_parser() -> argparse.ArgumentParser:
     sts = sub.add_parser("stats",
                          help="event counts + metrics of a JSONL trace")
     sts.add_argument("tracefile", help="path to a JSONL trace")
+    sts.add_argument("--prometheus", action="store_true",
+                     help="render the final metrics snapshot in the "
+                          "Prometheus text exposition format")
+
+    dgn = sub.add_parser(
+        "diagnose",
+        help="convergence health findings from a recorded trace",
+    )
+    dgn.add_argument("tracefile", help="path to a JSONL trace")
+    dgn.add_argument("--window", type=int, default=100,
+                     help="tail window (iterations) the detectors inspect")
+    dgn.add_argument("--workload",
+                     help="serialized workload for exact feasibility "
+                          "margins (optional)")
+    dgn.add_argument("--json", action="store_true", dest="as_json",
+                     help="emit findings as JSON instead of text")
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a distributed run",
+    )
+    top.add_argument("workload", help="path to a serialized workload")
+    top.add_argument("--rounds", type=int, default=200,
+                     help="protocol rounds to run")
+    top.add_argument("--refresh", type=int, default=10,
+                     help="rounds between frame redraws")
+    top.add_argument("--plain", action="store_true",
+                     help="print frames without ANSI screen clearing "
+                          "(logs, tests)")
+    top.add_argument("--delay", type=int, default=0,
+                     help="bus delivery delay in rounds")
+    top.add_argument("--loss", type=float, default=0.0,
+                     help="bus message-loss probability")
+    top.add_argument("--seed", type=int, default=0)
+
+    bdf = sub.add_parser(
+        "bench-diff",
+        help="compare two benchmark artifacts for regressions",
+    )
+    bdf.add_argument("baseline", help="baseline BENCH report or scorecard")
+    bdf.add_argument("current", help="current BENCH report or scorecard")
+    bdf.add_argument("--threshold", type=float, default=0.25,
+                     help="relative change beyond which a directional "
+                          "metric counts as regressed (default 0.25)")
+    bdf.add_argument("--ignore-timing", action="store_true",
+                     help="never flag wall-time metrics (noisy runners)")
+    bdf.add_argument("--verbose", action="store_true",
+                     help="also list non-regressed deltas")
+    bdf.add_argument("-o", "--output",
+                     help="write the diff report as JSON to this file")
 
     cha = sub.add_parser(
         "chaos",
@@ -315,13 +376,21 @@ def _load_trace(path: str):
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.analysis.trace import summarize_trace
     from repro.telemetry import records_from_trace
+    from repro.telemetry.replay import (
+        recorder_drops_from_trace,
+        supported_events,
+    )
 
-    records = records_from_trace(_load_trace(args.tracefile))
+    events = supported_events(_load_trace(args.tracefile))
+    records = records_from_trace(events)
     if not records:
         raise SystemExit(
             f"no iteration events in {args.tracefile!r}; was the run traced?"
         )
-    summary = summarize_trace(records, band=args.band)
+    summary = summarize_trace(
+        records, band=args.band,
+        dropped_samples=recorder_drops_from_trace(events),
+    )
     settling = "-" if summary.settling is None else str(summary.settling)
     print(f"iterations:          {summary.iterations}")
     print(f"final utility:       {summary.final_utility:.6f}")
@@ -329,14 +398,28 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print(f"tail oscillation:    {summary.oscillation:.6f}")
     print(f"price drift:         {summary.price_drift:.6f}")
     print(f"violated iterations: {summary.violated_iterations}")
+    print(f"dropped samples:     {summary.dropped_samples}")
     print(f"converged cleanly:   {summary.converged_cleanly()}")
     return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.telemetry import render_prometheus_snapshot
+    from repro.telemetry.replay import recorder_drops_from_trace
+
     events = _load_trace(args.tracefile)
     if not events:
         raise SystemExit(f"empty trace {args.tracefile!r}")
+    snapshots = [ev for ev in events if ev.kind == "metrics_snapshot"]
+    if args.prometheus:
+        if not snapshots:
+            raise SystemExit(
+                f"no metrics_snapshot events in {args.tracefile!r}"
+            )
+        sys.stdout.write(
+            render_prometheus_snapshot(snapshots[-1].data["metrics"])
+        )
+        return 0
     print(f"{len(events)} events:")
     for kind, count in event_counts(events).items():
         print(f"  {kind:<20s} {count}")
@@ -347,7 +430,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
               f"converged={data.get('converged')} "
               f"iterations={data.get('iterations')} "
               f"utility={data.get('utility')}")
-    snapshots = [ev for ev in events if ev.kind == "metrics_snapshot"]
+    drops = recorder_drops_from_trace(events)
+    if drops:
+        print(f"recorder drops: {drops} samples lost to full ring buffers")
     if snapshots:
         print("metrics:")
         for name, snap in sorted(snapshots[-1].data["metrics"].items()):
@@ -356,6 +441,86 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             )
             print(f"  {name} ({snap['type']}): {fields}")
     return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from repro.diagnostics import diagnose_trace_file, findings_to_dicts
+    from repro.errors import DiagnosticsError
+    from repro.telemetry.replay import supported_events
+    from repro.telemetry.spans import (
+        critical_path,
+        format_critical_path,
+        spans_from_trace,
+    )
+
+    taskset = _load_taskset(args.workload) if args.workload else None
+    try:
+        findings = diagnose_trace_file(
+            args.tracefile, window=args.window, taskset=taskset,
+        )
+    except (DiagnosticsError, TelemetryError, OSError) as exc:
+        raise SystemExit(f"cannot diagnose {args.tracefile!r}: {exc}")
+    spans = spans_from_trace(supported_events(_load_trace(args.tracefile)))
+    path = critical_path(spans) if spans else []
+    if args.as_json:
+        print(json.dumps({
+            "trace": args.tracefile,
+            "window": args.window,
+            "findings": findings_to_dicts(findings),
+            "critical_path": [record.to_dict() for record in path],
+        }, indent=2))
+    else:
+        if findings:
+            for finding in findings:
+                print(f"[{finding.severity.upper():<8}] {finding.detector}: "
+                      f"{finding.summary}")
+        else:
+            print("no findings: trajectory looks healthy")
+        if path:
+            print()
+            print("critical path:")
+            print(format_critical_path(path))
+    return 1 if any(f.severity == "critical" for f in findings) else 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.console import live_top
+    from repro.diagnostics import DiagnosticsEngine
+    from repro.distributed.runtime import (
+        DistributedConfig,
+        DistributedLLARuntime,
+    )
+
+    taskset = _load_taskset(args.workload)
+    config = DistributedConfig(
+        delay=args.delay, loss_probability=args.loss, seed=args.seed,
+    )
+    runtime = DistributedLLARuntime(taskset, config=config)
+    engine = DiagnosticsEngine(taskset=taskset)
+    state = live_top(
+        runtime, rounds=args.rounds, refresh_every=args.refresh,
+        engine=engine, plain=args.plain,
+    )
+    return 0 if state.feasible else 1
+
+
+def _cmd_benchdiff(args: argparse.Namespace) -> int:
+    from repro.console import diff_files, format_diff
+    from repro.errors import DiagnosticsError
+
+    try:
+        diff = diff_files(
+            args.baseline, args.current,
+            threshold=args.threshold, ignore_timing=args.ignore_timing,
+        )
+    except DiagnosticsError as exc:
+        raise SystemExit(str(exc))
+    print(format_diff(diff, verbose=args.verbose))
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(diff.to_dict(), handle, indent=2)
+        print(f"diff report written to {args.output}")
+    return 0 if diff.ok else 1
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -417,6 +582,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "export-workload": _cmd_export,
         "trace": _cmd_trace,
         "stats": _cmd_stats,
+        "diagnose": _cmd_diagnose,
+        "top": _cmd_top,
+        "bench-diff": _cmd_benchdiff,
         "chaos": _cmd_chaos,
         "lint": run_lint,
     }

@@ -1,0 +1,34 @@
+"""Operator console: the live ``repro top`` view and bench diffing.
+
+Pure rendering (:func:`render_top`, :func:`format_diff`) is separated
+from terminal driving (:func:`live_top`) so every frame and report is
+unit-testable as a string.
+"""
+
+from repro.console.benchdiff import (
+    BenchDiff,
+    MetricDelta,
+    diff_artifacts,
+    diff_files,
+    format_diff,
+    load_artifact,
+)
+from repro.console.top import (
+    TopState,
+    collect_top_state,
+    live_top,
+    render_top,
+)
+
+__all__ = [
+    "TopState",
+    "collect_top_state",
+    "render_top",
+    "live_top",
+    "BenchDiff",
+    "MetricDelta",
+    "load_artifact",
+    "diff_artifacts",
+    "diff_files",
+    "format_diff",
+]

@@ -35,6 +35,7 @@ from repro.core.allocation import LatencyAllocator
 from repro.core.convergence import ConvergenceDetector
 from repro.core.prices import PathPriceUpdater, ResourcePriceUpdater
 from repro.core.state import IterationRecord, OptimizationResult, PathKey
+from repro.core.phases import PhaseTimers
 from repro.core.stepsize import AdaptiveStepSize, FixedStepSize, StepSizePolicy
 from repro.model.task import TaskSet
 from repro.model.utility import check_concavity
@@ -184,6 +185,7 @@ class LLAOptimizer:
         self.on_iteration = on_iteration
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._metrics: Optional[Dict[str, Any]] = None
+        self._phases: Optional[PhaseTimers] = None
         self._prev_congested: Optional[
             Tuple[FrozenSet[str], FrozenSet[PathKey]]
         ] = None
@@ -218,7 +220,8 @@ class LLAOptimizer:
         if self.config.backend == "vectorized":
             from repro.core.vectorized import VectorizedEngine
             self._engine = VectorizedEngine(taskset, self.config,
-                                            self.step_policy)
+                                            self.step_policy,
+                                            telemetry=self.telemetry)
         self.iteration = 0
         # Trace timestamps follow the iteration counter (the optimizer's
         # virtual clock) so identical runs write identical event streams,
@@ -317,19 +320,36 @@ class LLAOptimizer:
             critical_paths=out.critical_paths,
         )
 
+    def _phase_timers(self) -> Optional[PhaseTimers]:
+        """Phase timers while metrics are collected; ``None`` when off."""
+        if not self.telemetry.registry.enabled:
+            return None
+        if self._phases is None:
+            self._phases = PhaseTimers(self.telemetry)
+        return self._phases
+
     def _scalar_iteration(self) -> IterationRecord:
         """One iteration through the reference per-task/per-resource loops."""
         config = self.config
+        phases = self._phase_timers()
 
         # (1) Task controllers: update path prices from the previous
         # latencies, then allocate new latencies (the paper's Latency
-        # Allocation box, steps 1–4).
+        # Allocation box, steps 1–4).  The per-task loop interleaves the
+        # two phases, so their wall times are accumulated separately.
+        path_seconds = 0.0
+        allocate_seconds = 0.0
+        mark = time.perf_counter() if phases is not None else 0.0
         new_latencies: Dict[str, float] = {}
         all_path_prices: Dict[PathKey, float] = {}
         for task in self.taskset.tasks:
             updater = self.path_prices[task.name]
             updater.update(self.latencies, self.step_policy)
             all_path_prices.update(updater.prices)
+            if phases is not None:
+                now = time.perf_counter()
+                path_seconds += now - mark
+                mark = now
             new_latencies.update(
                 self.allocators[task.name].allocate(
                     self.resource_prices.prices,
@@ -337,11 +357,21 @@ class LLAOptimizer:
                     current=self.latencies,
                 )
             )
+            if phases is not None:
+                now = time.perf_counter()
+                allocate_seconds += now - mark
+                mark = now
         self.latencies = new_latencies
+        if phases is not None:
+            phases.observe("path_update", path_seconds)
+            phases.observe("allocate", allocate_seconds)
+            mark = time.perf_counter()
 
         # (2) Resources: update prices from the new latencies (the paper's
         # Resource Price Computation box).
         self.resource_prices.update(self.latencies, self.step_policy)
+        if phases is not None:
+            mark = phases.lap("price_update", mark)
 
         # (3) Congestion classification feeds the adaptive step-size
         # heuristic (Section 5.2).
@@ -355,6 +385,8 @@ class LLAOptimizer:
                 self.latencies, tol=config.congestion_tol
             )
         self.step_policy.observe(congested_resources, congested_paths)
+        if phases is not None:
+            phases.lap("classify", mark)
 
         utility = self.taskset.total_utility(self.latencies)
         self.detector.observe(utility, self.latencies)

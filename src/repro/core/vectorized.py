@@ -26,17 +26,20 @@ per-name interface, which preserves semantics at scalar-ish speed.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Mapping, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.errors import ShareError
 from repro.core.allocation import _PULL_FLOOR
+from repro.core.phases import PhaseTimers
 from repro.core.state import PathKey
 from repro.core.stepsize import AdaptiveStepSize, FixedStepSize, StepSizePolicy
 from repro.core.structure import TaskSetStructure, compile_structure
 from repro.model.task import TaskSet
+from repro.telemetry import Telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.core.optimizer import LLAConfig
@@ -179,16 +182,27 @@ class VectorizedEngine:
     """
 
     def __init__(self, taskset: TaskSet, config: "LLAConfig",
-                 policy: StepSizePolicy) -> None:
+                 policy: StepSizePolicy,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.structure = compile_structure(
             taskset, max_latency_factor=config.max_latency_factor
         )
         self.config = config
         self._gammas = _make_gammas(policy, self.structure)
+        self._telemetry = telemetry
+        self._phases: Optional[PhaseTimers] = None
         s = self.structure
         self._mu = np.full(s.n_resources, float(config.initial_resource_price))
         self._lam = np.full(s.n_paths, float(config.initial_path_price))
         self._lat = self._allocate()
+
+    def _phase_timers(self) -> Optional[PhaseTimers]:
+        """Phase timers while metrics are collected; ``None`` when off."""
+        if self._telemetry is None or not self._telemetry.registry.enabled:
+            return None
+        if self._phases is None:
+            self._phases = PhaseTimers(self._telemetry)
+        return self._phases
 
     # -- allocation (Eq. 7) -----------------------------------------------------
 
@@ -252,6 +266,8 @@ class VectorizedEngine:
         s = self.structure
         tol = self.config.congestion_tol
         gr, gp = self._gammas.gammas()
+        phases = self._phase_timers()
+        mark = time.perf_counter() if phases is not None else 0.0
 
         # (1) Path prices from the *previous* latencies (Eq. 9), then the
         # batched stationarity solve at old μ / new λ (Eq. 7).
@@ -262,12 +278,18 @@ class VectorizedEngine:
         self._lam = np.maximum(
             0.0, self._lam - gp * (1.0 - path_lat / s.path_crit)
         )
+        if phases is not None:
+            mark = phases.lap("path_update", mark)
         lat = self._allocate()
         self._lat = lat
+        if phases is not None:
+            mark = phases.lap("allocate", mark)
 
         # (2) Resource prices from the new latencies (Eq. 8).
         loads = self._loads(lat)
         self._mu = np.maximum(0.0, self._mu - gr * (s.availability - loads))
+        if phases is not None:
+            mark = phases.lap("price_update", mark)
 
         # (3) Congestion classification + step-size feedback.
         cong_r = loads > s.availability + tol
@@ -281,6 +303,8 @@ class VectorizedEngine:
         )
         cong_p_keys = tuple(s.path_keys[i] for i in np.flatnonzero(cong_p))
         self._gammas.observe(cong_r, cong_p, cong_r_names, cong_p_keys)
+        if phases is not None:
+            phases.lap("classify", mark)
 
         # Utility (Eq. 2): per-task aggregated latency through the task's
         # utility, summed in task order like TaskSet.total_utility.

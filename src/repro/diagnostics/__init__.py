@@ -1,0 +1,42 @@
+"""Convergence health diagnostics for LLA runs.
+
+Turns iteration histories (live callbacks or replayed traces) into
+structured :class:`Finding` objects: limit-cycle detection on price
+trajectories, stall detection with congestion attribution, feasibility
+churn, step-size escalation audits and feasibility-margin tracking.
+Surfaced on the command line as ``repro diagnose``.
+"""
+
+from repro.diagnostics.detectors import (
+    assess_feasibility_margin,
+    detect_escalation_streaks,
+    detect_infeasible_churn,
+    detect_oscillation,
+    detect_stall,
+)
+from repro.diagnostics.engine import (
+    DiagnosticsEngine,
+    diagnose_history,
+    diagnose_trace_file,
+)
+from repro.diagnostics.findings import (
+    SEVERITIES,
+    Finding,
+    findings_to_dicts,
+    worst_severity,
+)
+
+__all__ = [
+    "SEVERITIES",
+    "Finding",
+    "findings_to_dicts",
+    "worst_severity",
+    "DiagnosticsEngine",
+    "diagnose_history",
+    "diagnose_trace_file",
+    "detect_oscillation",
+    "detect_stall",
+    "detect_infeasible_churn",
+    "detect_escalation_streaks",
+    "assess_feasibility_margin",
+]

@@ -1,0 +1,368 @@
+"""Convergence-pathology detectors over LLA iteration histories.
+
+Each detector is a pure function from a ``Sequence[IterationRecord]``
+(live history or a replayed trace — the two are interchangeable by the
+replay==live invariant) to a list of
+:class:`~repro.diagnostics.findings.Finding` objects.  The pathologies
+are the ones the paper's protocol actually exhibits when mis-tuned:
+
+* **oscillation** — a price trajectory locked in a limit cycle: its
+  per-iteration deltas keep alternating sign and the cycle's amplitude
+  is not decaying.  The classic cause is a step size γ too large for
+  the share functions' curvature (Section 5.2).
+* **stall** — prices have stopped moving but the assignment is still
+  infeasible: the dual iteration reached a fixed point that does not
+  clear congestion (γ too small, or capacity genuinely insufficient).
+  Attribution names the resources congested through most of the tail.
+* **infeasible churn** — the global feasibility bit keeps flipping:
+  the system repeatedly enters and exits constraint violation instead
+  of settling on either side.
+* **escalation streak** — a resource has been congested for so many
+  consecutive iterations that the adaptive step-size heuristic must
+  have escalated γ to its cap without clearing the congestion — the
+  heuristic is saturated and no longer helping.
+* **feasibility margin** — how close the final assignment sits to its
+  constraints; a thin margin converges but has no headroom for load
+  error (Section 6.3's correction scenarios).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.state import IterationRecord
+from repro.diagnostics.findings import Finding
+from repro.model.task import TaskSet
+
+__all__ = [
+    "detect_oscillation",
+    "detect_stall",
+    "detect_infeasible_churn",
+    "detect_escalation_streaks",
+    "assess_feasibility_margin",
+]
+
+
+def _price_series(history: Sequence[IterationRecord]) -> Dict[str, np.ndarray]:
+    """Per-resource price trajectories over the history."""
+    if not history:
+        return {}
+    names = sorted(history[-1].resource_prices)
+    return {
+        name: np.asarray(
+            [rec.resource_prices.get(name, 0.0) for rec in history],
+            dtype=float,
+        )
+        for name in names
+    }
+
+
+def _sign_flip_rate(deltas: np.ndarray, scale: float) -> float:
+    """Fraction of consecutive delta pairs that alternate sign.
+
+    Deltas smaller than a scale-relative epsilon count as zero (no
+    direction), so numerical jitter on a settled trajectory does not
+    read as oscillation.
+    """
+    eps = max(scale, 1e-12) * 1e-6
+    signs = np.sign(np.where(np.abs(deltas) > eps, deltas, 0.0))
+    moving = signs[signs != 0.0]
+    if moving.size < 2:
+        return 0.0
+    flips = np.sum(moving[1:] * moving[:-1] < 0)
+    return float(flips) / float(moving.size - 1)
+
+
+def detect_oscillation(history: Sequence[IterationRecord],
+                       window: int = 50,
+                       flip_threshold: float = 0.6,
+                       decay_ratio: float = 0.5) -> List[Finding]:
+    """Limit-cycle detection on each resource-price trajectory.
+
+    A trajectory is oscillating when, over the tail ``window``: its
+    deltas alternate sign in at least ``flip_threshold`` of consecutive
+    pairs, and the second half's peak-to-peak amplitude is at least
+    ``decay_ratio`` of the first half's (i.e. the cycle is not dying
+    out).  Severity is critical — an un-damped limit cycle never
+    converges.
+    """
+    findings: List[Finding] = []
+    for name, series in _price_series(history).items():
+        tail = series[-window:]
+        if tail.size < 8:
+            continue
+        scale = float(np.max(np.abs(tail)))
+        deltas = np.diff(tail)
+        flip_rate = _sign_flip_rate(deltas, scale)
+        if flip_rate < flip_threshold:
+            continue
+        half = tail.size // 2
+        first_ptp = float(np.ptp(tail[:half]))
+        second_ptp = float(np.ptp(tail[half:]))
+        amplitude_floor = max(scale, 1e-12) * 1e-4
+        if second_ptp <= amplitude_floor:
+            continue  # flipping inside numerical noise: settled
+        if second_ptp < decay_ratio * first_ptp:
+            continue  # amplitude is decaying: damped, let it run
+        findings.append(Finding(
+            detector="oscillation",
+            severity="critical",
+            summary=(
+                f"resource {name!r} price is limit-cycling: "
+                f"{flip_rate:.0%} of steps reverse direction and the "
+                f"amplitude ({second_ptp:.4g}) is not decaying"
+            ),
+            details={
+                "resource": name,
+                "flip_rate": flip_rate,
+                "first_half_amplitude": first_ptp,
+                "second_half_amplitude": second_ptp,
+                "window": int(min(window, tail.size)),
+                "hint": "step size gamma likely too large; lower "
+                        "initial_gamma or max_gamma",
+            },
+        ))
+    return findings
+
+
+def _congestion_tally(
+    tail: Sequence[IterationRecord],
+) -> Tuple[Dict[str, int], int]:
+    """(per-resource congested-iteration counts, iterations violated)."""
+    counts: Dict[str, int] = {}
+    violated = 0
+    for rec in tail:
+        if rec.congested_resources or rec.congested_paths:
+            violated += 1
+        for name in rec.congested_resources:
+            counts[name] = counts.get(name, 0) + 1
+    return counts, violated
+
+
+def detect_stall(history: Sequence[IterationRecord],
+                 window: int = 50,
+                 movement_tol: float = 1e-4,
+                 violation_fraction: float = 0.8) -> List[Finding]:
+    """Stalled-while-infeasible detection with congestion attribution.
+
+    Fires when, over the tail ``window``, the mean absolute
+    per-iteration resource-price change is below ``movement_tol`` (the
+    dual iteration has effectively stopped) while at least
+    ``violation_fraction`` of those iterations still violate a
+    constraint.  Attribution lists the resources congested in at least
+    ``violation_fraction`` of the tail.
+    """
+    tail = list(history[-window:])
+    if len(tail) < 4:
+        return []
+    moves: List[float] = []
+    for prev, cur in zip(tail, tail[1:]):
+        for name, price in cur.resource_prices.items():
+            moves.append(abs(price - prev.resource_prices.get(name, 0.0)))
+    movement = float(np.mean(moves)) if moves else 0.0
+    if movement > movement_tol:
+        return []
+    counts, violated = _congestion_tally(tail)
+    if violated < violation_fraction * len(tail):
+        return []
+    cutoff = violation_fraction * len(tail)
+    culprits = sorted(
+        name for name, count in counts.items() if count >= cutoff
+    )
+    return [Finding(
+        detector="stall",
+        severity="critical",
+        summary=(
+            f"prices stalled (mean movement {movement:.3g}/iter) while "
+            f"{violated}/{len(tail)} tail iterations stay infeasible; "
+            f"persistent congestion on {culprits or '(paths only)'}"
+        ),
+        details={
+            "price_movement": movement,
+            "violated_iterations": violated,
+            "window": len(tail),
+            "congested_resources": culprits,
+            "congestion_counts": dict(sorted(counts.items())),
+            "hint": "gamma too small to clear congestion, or the "
+                    "workload is not schedulable on these resources",
+        },
+    )]
+
+
+def detect_infeasible_churn(history: Sequence[IterationRecord],
+                            window: int = 100,
+                            min_flips: int = 4) -> List[Finding]:
+    """Feasibility-bit churn: repeated entry/exit of constraint violation.
+
+    Counts transitions of the per-iteration feasibility bit over the
+    tail ``window``; at or above ``min_flips`` transitions the run is
+    churning rather than settling.  Severity is critical when the run
+    *ends* infeasible, warning when it happens to end feasible.
+    """
+    tail = list(history[-window:])
+    if len(tail) < 4:
+        return []
+    bits = [
+        not (rec.congested_resources or rec.congested_paths)
+        for rec in tail
+    ]
+    flips = sum(1 for a, b in zip(bits, bits[1:]) if a != b)
+    if flips < min_flips:
+        return []
+    ends_feasible = bits[-1]
+    return [Finding(
+        detector="infeasible_churn",
+        severity="warning" if ends_feasible else "critical",
+        summary=(
+            f"feasibility flipped {flips} times in the last {len(tail)} "
+            f"iterations (ends {'feasible' if ends_feasible else 'infeasible'})"
+        ),
+        details={
+            "flips": flips,
+            "window": len(tail),
+            "ends_feasible": ends_feasible,
+            "infeasible_iterations": int(len(bits) - sum(bits)),
+            "hint": "assignment keeps crossing its constraints; check "
+                    "oscillation findings and step-size settings",
+        },
+    )]
+
+
+def detect_escalation_streaks(history: Sequence[IterationRecord],
+                              window: int = 100,
+                              streak_threshold: int = 8) -> List[Finding]:
+    """Audit of the adaptive step-size heuristic's escalations.
+
+    The heuristic doubles a resource's γ every congested iteration (up
+    to its cap), so a congestion streak of ``streak_threshold``
+    iterations means γ has long since saturated without clearing the
+    congestion — escalation is no longer doing anything.  One warning
+    finding per saturated resource.
+    """
+    tail = list(history[-window:])
+    if not tail:
+        return []
+    streaks: Dict[str, int] = {}
+    current: Dict[str, int] = {}
+    for rec in tail:
+        congested = set(rec.congested_resources)
+        for name in congested:
+            current[name] = current.get(name, 0) + 1
+            if current[name] > streaks.get(name, 0):
+                streaks[name] = current[name]
+        for name in list(current):
+            if name not in congested:
+                current[name] = 0
+    findings: List[Finding] = []
+    for name in sorted(streaks):
+        streak = streaks[name]
+        if streak < streak_threshold:
+            continue
+        findings.append(Finding(
+            detector="escalation_streak",
+            severity="warning",
+            summary=(
+                f"resource {name!r} congested for {streak} consecutive "
+                f"iterations; adaptive gamma is saturated at its cap"
+            ),
+            details={
+                "resource": name,
+                "streak": streak,
+                "window": len(tail),
+                "hint": "raising max_gamma will not help a saturated "
+                        "streak; capacity or workload change needed",
+            },
+        ))
+    return findings
+
+
+def assess_feasibility_margin(history: Sequence[IterationRecord],
+                              taskset: Optional[TaskSet] = None,
+                              thin_fraction: float = 0.05,
+                              tol: float = 1e-2) -> List[Finding]:
+    """How much headroom the final assignment leaves.
+
+    With a ``taskset``, margins are exact: per-resource
+    ``availability − load`` and per-task ``critical_time − critical
+    path latency``, reported as one finding whose severity is critical
+    when any relative margin is below ``-tol`` (the repo's feasibility
+    tolerance — a converged run sits *at* the boundary, not clear of
+    it), warning when the tightest relative margin is under
+    ``thin_fraction``, info otherwise.  Without a taskset (a bare
+    trace), falls back to the recorded congestion bits: the margins
+    cannot be computed, only violated/not-violated.
+    """
+    if not history:
+        return []
+    final = history[-1]
+    if taskset is None:
+        # The congestion bit alone cannot tell a hard violation from the
+        # converged at-the-boundary state, so never escalate past warning
+        # here: persistent or flapping infeasibility is the stall and
+        # churn detectors' job.
+        violated = bool(final.congested_resources or final.congested_paths)
+        return [Finding(
+            detector="feasibility_margin",
+            severity="warning" if violated else "info",
+            summary=(
+                "final iteration shows congestion "
+                f"(resources {sorted(final.congested_resources)}, "
+                f"{len(final.congested_paths)} paths); pass the workload "
+                "for exact margins"
+                if violated else
+                "final assignment is feasible (margins unavailable "
+                "without the taskset)"
+            ),
+            details={
+                "exact": False,
+                "congested_resources": sorted(final.congested_resources),
+                "congested_paths": len(final.congested_paths),
+            },
+        )]
+    margins: Dict[str, float] = {}
+    relative: Dict[str, float] = {}
+    for name, load in final.resource_loads.items():
+        availability = taskset.resources[name].availability
+        margins[f"resource:{name}"] = availability - load
+        relative[f"resource:{name}"] = (
+            (availability - load) / availability if availability else 0.0
+        )
+    for task in taskset.tasks:
+        latency = final.critical_paths.get(task.name)
+        if latency is None:
+            continue
+        margins[f"task:{task.name}"] = task.critical_time - latency
+        relative[f"task:{task.name}"] = (
+            (task.critical_time - latency) / task.critical_time
+            if task.critical_time else 0.0
+        )
+    if not margins:
+        return []
+    tightest = min(margins, key=lambda k: relative[k])
+    worst_rel = relative[tightest]
+    if worst_rel < -tol:
+        severity = "critical"
+        verdict = "violated"
+    elif worst_rel < thin_fraction:
+        severity = "warning"
+        verdict = f"thin ({worst_rel:.1%} relative headroom)"
+    else:
+        severity = "info"
+        verdict = f"healthy ({worst_rel:.1%} relative headroom)"
+    return [Finding(
+        detector="feasibility_margin",
+        severity=severity,
+        summary=(
+            f"tightest constraint is {tightest} with margin "
+            f"{margins[tightest]:.4g}: {verdict}"
+        ),
+        details={
+            "exact": True,
+            "tightest": tightest,
+            "margin": margins[tightest],
+            "relative_margin": worst_rel,
+            "margins": dict(sorted(margins.items())),
+        },
+    )]

@@ -1,0 +1,114 @@
+"""The diagnostics engine: live observation or post-hoc trace replay.
+
+One :class:`DiagnosticsEngine` instance holds a bounded window of recent
+:class:`~repro.core.state.IterationRecord` observations and runs every
+detector over it on demand.  The same engine serves both modes:
+
+* **live** — pass ``engine.observe`` as the optimizer's/runtime's
+  ``on_iteration``/``on_round`` callback and call :meth:`report`
+  whenever a health readout is wanted;
+* **replay** — :func:`diagnose_history` / :func:`diagnose_trace_file`
+  run one report over a finished history or a JSONL trace (the
+  replay==live invariant makes the two equivalent).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Sequence
+
+from repro.core.state import IterationRecord
+from repro.diagnostics.detectors import (
+    assess_feasibility_margin,
+    detect_escalation_streaks,
+    detect_infeasible_churn,
+    detect_oscillation,
+    detect_stall,
+)
+from repro.diagnostics.findings import Finding, worst_severity
+from repro.errors import DiagnosticsError
+from repro.model.task import TaskSet
+
+__all__ = ["DiagnosticsEngine", "diagnose_history", "diagnose_trace_file"]
+
+
+class DiagnosticsEngine:
+    """Runs every convergence detector over a sliding window.
+
+    Parameters
+    ----------
+    window:
+        Iterations of history retained (and the tail length the
+        detectors inspect).  Must be at least 8 — below that no
+        detector can distinguish a pathology from startup transients.
+    taskset:
+        Optional model; with it the feasibility-margin assessment is
+        exact instead of congestion-bit based.
+    """
+
+    def __init__(self, window: int = 100,
+                 taskset: Optional[TaskSet] = None) -> None:
+        if window < 8:
+            raise DiagnosticsError(
+                f"diagnostics window must be >= 8, got {window!r}"
+            )
+        self.window = int(window)
+        self.taskset = taskset
+        self._records: Deque[IterationRecord] = deque(maxlen=self.window)
+
+    def observe(self, record: IterationRecord) -> None:
+        """Feed one iteration (usable as an ``on_iteration`` callback)."""
+        self._records.append(record)
+
+    def extend(self, history: Sequence[IterationRecord]) -> None:
+        """Feed a whole history (keeps only the last ``window``)."""
+        for record in history:
+            self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def report(self) -> List[Finding]:
+        """Run every detector over the current window, severe first."""
+        history = list(self._records)
+        findings: List[Finding] = []
+        findings.extend(detect_oscillation(history, window=self.window))
+        findings.extend(detect_stall(history, window=self.window))
+        findings.extend(detect_infeasible_churn(history, window=self.window))
+        findings.extend(
+            detect_escalation_streaks(history, window=self.window)
+        )
+        findings.extend(
+            assess_feasibility_margin(history, taskset=self.taskset)
+        )
+        return sorted(findings, key=lambda f: -f.rank)
+
+    def health(self) -> str:
+        """The worst severity currently present ("info" = healthy)."""
+        return worst_severity(self.report())
+
+
+def diagnose_history(history: Sequence[IterationRecord],
+                     window: int = 100,
+                     taskset: Optional[TaskSet] = None) -> List[Finding]:
+    """One-shot diagnosis of a finished iteration history."""
+    engine = DiagnosticsEngine(window=window, taskset=taskset)
+    engine.extend(history)
+    return engine.report()
+
+
+def diagnose_trace_file(path: str, window: int = 100,
+                        taskset: Optional[TaskSet] = None) -> List[Finding]:
+    """Diagnose a recorded JSONL trace (``repro diagnose`` backend).
+
+    Raises :class:`~repro.errors.DiagnosticsError` when the trace holds
+    no iteration events.
+    """
+    from repro.telemetry.replay import records_from_trace_file
+
+    records = records_from_trace_file(path)
+    if not records:
+        raise DiagnosticsError(
+            f"no iteration events in trace {path!r}; nothing to diagnose"
+        )
+    return diagnose_history(records, window=window, taskset=taskset)

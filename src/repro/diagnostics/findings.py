@@ -1,0 +1,63 @@
+"""Structured findings: what the convergence diagnostics conclude.
+
+A :class:`Finding` is one diagnosis — a named detector, a severity, a
+one-line human summary and a machine-readable detail payload — so the
+``repro diagnose`` CLI, tests and dashboards all consume the same
+objects instead of parsing log text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from repro.errors import DiagnosticsError
+
+__all__ = ["SEVERITIES", "Finding", "worst_severity", "findings_to_dicts"]
+
+#: Ordered mild → severe; comparisons use this index.
+SEVERITIES = ("info", "warning", "critical")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic conclusion about a run."""
+
+    detector: str
+    severity: str
+    summary: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise DiagnosticsError(
+                f"unknown severity {self.severity!r}; "
+                f"expected one of {SEVERITIES}"
+            )
+        if not self.detector:
+            raise DiagnosticsError("finding detector must be non-empty")
+
+    @property
+    def rank(self) -> int:
+        return SEVERITIES.index(self.severity)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "detector": self.detector,
+            "severity": self.severity,
+            "summary": self.summary,
+            "details": dict(self.details),
+        }
+
+
+def worst_severity(findings: Sequence[Finding]) -> str:
+    """The most severe level present (``"info"`` for an empty list)."""
+    if not findings:
+        return SEVERITIES[0]
+    return SEVERITIES[max(finding.rank for finding in findings)]
+
+
+def findings_to_dicts(findings: Sequence[Finding]) -> List[Dict[str, Any]]:
+    """JSON-safe encoding, most severe first (stable within a level)."""
+    ordered = sorted(findings, key=lambda f: -f.rank)
+    return [finding.to_dict() for finding in ordered]

@@ -29,6 +29,7 @@ from repro.core.state import PathKey
 from repro.distributed.messages import Envelope, LatencyMessage, PriceMessage
 from repro.distributed.network import MessageBus
 from repro.model.task import Task, TaskSet
+from repro.telemetry.spans import SpanContext
 
 __all__ = ["ResourceAgent", "TaskControllerAgent", "LocalGamma"]
 
@@ -85,6 +86,11 @@ class ResourceAgent:
         self._hosted_set = frozenset(self._hosted)
         self.latencies: Dict[str, float] = {}
         self.congested = False
+        # Causal-span plumbing (set by the runtime while tracing): the
+        # span of this agent's in-progress act, and the span of the last
+        # message whose payload changed local state.
+        self.act_context: Optional[SpanContext] = None
+        self.last_cause: Optional[SpanContext] = None
 
     # -- crash/recovery ----------------------------------------------------------
 
@@ -117,6 +123,8 @@ class ResourceAgent:
             if isinstance(payload, LatencyMessage):
                 if payload.subtask in self._hosted_set:
                     self.latencies[payload.subtask] = payload.latency
+                    if env.span is not None:
+                        self.last_cause = env.span
 
     def load(self) -> Optional[float]:
         """Share sum from the latest heard latencies (``None`` until every
@@ -149,6 +157,7 @@ class ResourceAgent:
                     congested=self.congested,
                     iteration=iteration,
                 ),
+                parent=self.act_context,
             )
 
 
@@ -223,6 +232,9 @@ class TaskControllerAgent:
         self.degraded_rounds = 0
         self.paused = False
         self.crashed = False
+        # Causal-span plumbing (set by the runtime while tracing).
+        self.act_context: Optional[SpanContext] = None
+        self.last_cause: Optional[SpanContext] = None
 
     def receive(self, envelopes: Iterable[Envelope]) -> None:
         for env in envelopes:
@@ -231,6 +243,8 @@ class TaskControllerAgent:
                 self.resource_prices[payload.resource] = payload.price
                 self._congested_resources[payload.resource] = payload.congested
                 self._price_heard_round[payload.resource] = env.send_round
+                if env.span is not None:
+                    self.last_cause = env.span
 
     # -- failure detection -------------------------------------------------------
 
@@ -351,4 +365,5 @@ class TaskControllerAgent:
                     latency=self.latencies[sub.name],
                     iteration=iteration,
                 ),
+                parent=self.act_context,
             )

@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Union
 
+from repro.telemetry.spans import SpanContext
+
 __all__ = ["PriceMessage", "LatencyMessage", "Envelope", "Payload"]
 
 
@@ -59,6 +61,11 @@ class Envelope:
     original's ``seq``), which is what delivery-time deduplication keys
     on.  ``ttl`` bounds the message's deliverable age in rounds (``None``
     = never expires).
+
+    ``span`` is the message's causal identity while in flight: the bus
+    opens it at ``send`` (parented on the sender's current act span) and
+    closes it at delivery/expiry, and receivers propagate it into the
+    spans of the work the message causes.  ``None`` when tracing is off.
     """
 
     sender: str
@@ -68,3 +75,4 @@ class Envelope:
     deliver_round: int
     seq: int = 0
     ttl: Optional[int] = None
+    span: Optional[SpanContext] = None

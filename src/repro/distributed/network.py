@@ -36,7 +36,7 @@ import numpy as np
 
 from repro.errors import DistributedError
 from repro.distributed.messages import Envelope, Payload
-from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.telemetry import NULL_TELEMETRY, SpanContext, Telemetry
 
 __all__ = ["MessageBus"]
 
@@ -111,6 +111,11 @@ class MessageBus:
         self._track_seen = False
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._per_agent_sent: Dict[str, object] = {}
+        # Span ids of message spans still awaiting their terminal event.
+        # A duplicated envelope shares its original's span, so the first
+        # terminal outcome (delivery, expiry, dedup, purge) closes the
+        # span and later copies are no-ops.
+        self._open_message_spans: Set[int] = set()
 
     @staticmethod
     def _check_probability(value: float) -> float:
@@ -189,17 +194,47 @@ class MessageBus:
 
     # -- transport ---------------------------------------------------------------
 
-    def send(self, sender: str, receiver: str, payload: Payload) -> Optional[Envelope]:
-        """Enqueue a message; returns the envelope, or ``None`` if dropped."""
+    def _open_span(self, sender: str, receiver: str, payload: Payload,
+                   parent: Optional[SpanContext]) -> Optional[SpanContext]:
+        """Open a message span (``None`` when tracing is off)."""
+        tel = self.telemetry
+        if not tel.tracer.enabled:
+            return None
+        span = tel.spans.open_span(
+            "message", parent=parent, sender=sender, receiver=receiver,
+            payload=type(payload).__name__, send_round=self.round,
+        )
+        self._open_message_spans.add(span.span_id)
+        return span
+
+    def _close_span(self, span: Optional[SpanContext], status: str,
+                    **attrs: object) -> None:
+        """Close a message span once; later terminal outcomes of shared
+        (duplicated) spans are ignored."""
+        if span is None or span.span_id not in self._open_message_spans:
+            return
+        self._open_message_spans.discard(span.span_id)
+        self.telemetry.spans.end_span(span, status=status, **attrs)
+
+    def send(self, sender: str, receiver: str, payload: Payload,
+             parent: Optional[SpanContext] = None) -> Optional[Envelope]:
+        """Enqueue a message; returns the envelope, or ``None`` if dropped.
+
+        ``parent`` is the causal span of the work that produced the
+        message (an agent's act span); the message's own span is opened
+        here and closed when the bus decides the message's fate.
+        """
         self.sent += 1
         tel = self.telemetry
         instrumented = tel.enabled
         if instrumented:
             self._count_send(sender)
+        span = self._open_span(sender, receiver, payload, parent)
         if self._is_partitioned(sender, receiver):
             self.dropped += 1
             if instrumented:
                 self._count_drop(sender, receiver, payload, "partition")
+            self._close_span(span, "dropped", reason="partition")
             return None
         if self.loss_probability > 0.0 and \
                 (self.loss_probability >= 1.0
@@ -207,6 +242,7 @@ class MessageBus:
             self.dropped += 1
             if instrumented:
                 self._count_drop(sender, receiver, payload, "loss")
+            self._close_span(span, "dropped", reason="loss")
             return None
         extra = int(self._rng.integers(0, self.jitter + 1)) if self.jitter else 0
         deliver_round = self.round + self.delay + extra
@@ -219,6 +255,7 @@ class MessageBus:
             deliver_round=deliver_round,
             seq=self._seq,
             ttl=self.message_ttl,
+            span=span,
         )
         self._queue[deliver_round].append(envelope)
         if self._duplication_probability > 0.0 and \
@@ -257,6 +294,7 @@ class MessageBus:
             deliver_round=deliver_round,
             seq=original.seq,
             ttl=original.ttl,
+            span=original.span,
         )
         self._queue[deliver_round].append(duplicate)
         self.duplicated += 1
@@ -318,15 +356,19 @@ class MessageBus:
             if self._is_expired(env):
                 self.expired += 1
                 self._count_expired(env)
+                self._close_span(env.span, "expired",
+                                 age=self.round - env.send_round)
                 continue
             if self.dedup and self._track_seen:
                 seen = self._seen.setdefault(receiver, set())
                 if env.seq in seen:
                     self.deduplicated += 1
                     self._count_dedup(env)
+                    self._close_span(env.span, "duplicate")
                     continue
                 seen.add(env.seq)
             fresh.append(env)
+            self._close_span(env.span, "ok", deliver_round=self.round)
         if self.reorder and len(fresh) > 1:
             order = self._rng.permutation(len(fresh))
             fresh = [fresh[i] for i in order]
@@ -378,6 +420,8 @@ class MessageBus:
         if self.telemetry.enabled:
             for env in mine:
                 self._count_drop(env.sender, receiver, env.payload, reason)
+        for env in mine:
+            self._close_span(env.span, "dropped", reason=reason)
         return len(mine)
 
     def advance(self) -> None:

@@ -38,7 +38,13 @@ from repro.distributed.messages import PriceMessage
 from repro.distributed.network import MessageBus
 from repro.errors import DistributedError
 from repro.model.task import TaskSet
-from repro.telemetry import NULL_TELEMETRY, Telemetry, encode_record
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    SpanContext,
+    SpanTracker,
+    Telemetry,
+    encode_record,
+)
 
 __all__ = ["DistributedConfig", "DistributedLLARuntime"]
 
@@ -190,6 +196,8 @@ class DistributedLLARuntime:
         self.round = 0
         self.history: List[IterationRecord] = []
         self.crash_dropped = 0
+        # Root causal span of the current run() (None outside a traced run).
+        self._run_span: Optional[SpanContext] = None
         # Price-staleness tracking: the round each controller last received
         # a price message, for the dist.price_staleness_max gauge.
         self._last_price_round: Dict[str, int] = {
@@ -350,6 +358,28 @@ class DistributedLLARuntime:
 
     # -- execution -------------------------------------------------------------
 
+    def _act_with_span(self, agent, spans: Optional[SpanTracker],
+                       round_ctx: Optional[SpanContext]) -> None:
+        """Run one agent's act, wrapped in a causal span while tracing.
+
+        The act span parents on the span of the last message that changed
+        the agent's state (so price → act → latency chains link up across
+        agents and rounds) and falls back to the round span before any
+        message has arrived.
+        """
+        if spans is None:
+            agent.act(self.round)
+            return
+        parent = agent.last_cause if agent.last_cause is not None \
+            else round_ctx
+        with spans.start_span("act", parent=parent, agent=agent.name,
+                              round=self.round) as span:
+            agent.act_context = span.context
+            try:
+                agent.act(self.round)
+            finally:
+                agent.act_context = None
+
     def step(self) -> IterationRecord:
         """One protocol round (controller phase, then resource phase).
 
@@ -360,6 +390,13 @@ class DistributedLLARuntime:
         if instrumented:
             started = time.perf_counter()
         self.round += 1
+        spans = (
+            self.telemetry.spans if self.telemetry.tracer.enabled else None
+        )
+        round_ctx = (
+            spans.open_span("round", parent=self._run_span, round=self.round)
+            if spans is not None else None
+        )
         if self.injector is not None:
             self.injector.apply(self.round)
         newly_degraded = []
@@ -375,7 +412,7 @@ class DistributedLLARuntime:
                     for env in messages):
                 self._last_price_round[controller.name] = self.round
             if self.activation.is_active(controller.name, self.round):
-                controller.act(self.round)
+                self._act_with_span(controller, spans, round_ctx)
             if controller.degraded and not was_degraded:
                 newly_degraded.append(controller)
         for agent in self.resources.values():
@@ -384,12 +421,14 @@ class DistributedLLARuntime:
                 continue
             agent.receive(self.bus.deliver(agent.name))
             if self.activation.is_active(agent.name, self.round):
-                agent.act(self.round)
+                self._act_with_span(agent, spans, round_ctx)
         self.bus.advance()
         if self.config.checkpoint_interval > 0 and \
                 self.round % self.config.checkpoint_interval == 0:
             self._checkpoint_all()
         record = self._snapshot()
+        if spans is not None and round_ctx is not None:
+            spans.end_span(round_ctx, utility=float(record.utility))
         if instrumented:
             self._observe_round(record, time.perf_counter() - started)
             self._observe_degradation(newly_degraded)
@@ -463,6 +502,9 @@ class DistributedLLARuntime:
                 fault_plan=self.injector is not None,
                 staleness_limit=self.config.staleness_limit,
             )
+            self._run_span = self.telemetry.spans.open_span(
+                "run", runtime="distributed", budget=budget,
+            )
         debug = logger.isEnabledFor(logging.DEBUG)
         for _ in range(budget):
             record = self.step()
@@ -483,6 +525,11 @@ class DistributedLLARuntime:
                 "(utility %.6f, %d messages dropped)",
                 self.round, utility, self.bus.dropped,
             )
+        if self._run_span is not None:
+            self.telemetry.spans.end_span(
+                self._run_span, converged=bool(converged),
+            )
+            self._run_span = None
         if tracer.enabled:
             tracer.emit(
                 "run_finished", runtime="distributed", converged=converged,

@@ -64,6 +64,11 @@ class StaticAnalysisError(ReproError):
     malformed suppression directive)."""
 
 
+class DiagnosticsError(ReproError):
+    """The convergence-diagnostics engine was misconfigured (invalid
+    severity, non-positive window, or a detector fed malformed input)."""
+
+
 class HarnessError(ReproError):
     """The experiment harness was misused (unknown experiment name,
     duplicate registration, malformed parameter override, or a run

@@ -126,6 +126,7 @@ def _build_catalog() -> "List[Rule]":
     from repro.statan.rules.telemetry import AdHocTelemetry
     from repro.statan.rules.configs import ConfigValidation
     from repro.statan.rules.experiments import UnregisteredExperiment
+    from repro.statan.rules.spans import SpanMisuse
 
     return [
         UnseededRandomness(),
@@ -137,6 +138,7 @@ def _build_catalog() -> "List[Rule]":
         AdHocTelemetry(),
         ConfigValidation(),
         UnregisteredExperiment(),
+        SpanMisuse(),
     ]
 
 

@@ -1,0 +1,75 @@
+"""REP010 — span lifetimes are scoped and trace event kinds are static."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.statan.findings import Finding
+from repro.statan.rules import FileContext, Rule
+
+__all__ = ["SpanMisuse"]
+
+
+def _receiver_root(node: ast.expr) -> str:
+    """Last attribute component before the method name (``tracer`` for
+    ``self.telemetry.tracer.emit``), or the bare name for ``tracer.emit``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+class SpanMisuse(Rule):
+    """REP010: ``start_span`` is with-only; ``emit`` kinds are literals."""
+
+    rule_id = "REP010"
+    name = "span-misuse"
+    rationale = (
+        "`start_span` returns a scoped span: if it is not the context "
+        "expression of a `with`, nothing guarantees the matching "
+        "`span_end`, and the trace reassembles with dangling spans that "
+        "break critical-path extraction. Split lifetimes (a message in "
+        "flight) must use the explicit `open_span`/`end_span` pair, which "
+        "makes the hand-off auditable. Separately, `tracer.emit` with a "
+        "computed event kind defeats schema versioning and the replay "
+        "filters — every consumer (`repro stats`, `repro diagnose`, "
+        "`records_from_trace`) dispatches on literal kinds."
+    )
+    scopes = ()  # everywhere, including the telemetry hub's own callers
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        with_contexts: Set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    with_contexts.add(id(item.context_expr))
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr == "start_span" and id(node) not in with_contexts:
+                yield self.finding(
+                    ctx, node,
+                    "`start_span(...)` used outside a `with` statement; "
+                    "scoped spans must be context-managed so the "
+                    "`span_end` is guaranteed — for split lifetimes use "
+                    "`open_span`/`end_span`",
+                    symbol="start_span",
+                )
+            elif func.attr == "emit" and \
+                    _receiver_root(func.value) == "tracer" and node.args:
+                kind = node.args[0]
+                if not (isinstance(kind, ast.Constant) and
+                        isinstance(kind.value, str)):
+                    yield self.finding(
+                        ctx, node,
+                        "`tracer.emit(...)` with a non-literal event "
+                        "kind; trace consumers dispatch on literal kinds, "
+                        "so computed kinds silently vanish from replay "
+                        "and diagnostics",
+                        symbol="emit",
+                    )

@@ -31,6 +31,10 @@ from repro.telemetry.metrics import (
     default_registry,
     set_default_registry,
 )
+from repro.telemetry.prometheus import (
+    render_prometheus,
+    render_prometheus_snapshot,
+)
 from repro.telemetry.replay import (
     decode_record,
     encode_record,
@@ -39,7 +43,17 @@ from repro.telemetry.replay import (
     records_from_trace_file,
     summarize_trace_file,
 )
+from repro.telemetry.spans import (
+    Span,
+    SpanContext,
+    SpanRecord,
+    SpanTracker,
+    critical_path,
+    format_critical_path,
+    spans_from_trace,
+)
 from repro.telemetry.tracing import (
+    SCHEMA_VERSION,
     InMemorySink,
     JsonlFileSink,
     LoggingSink,
@@ -65,6 +79,7 @@ __all__ = [
     "default_registry",
     "set_default_registry",
     # tracing
+    "SCHEMA_VERSION",
     "TraceEvent",
     "TraceSink",
     "InMemorySink",
@@ -73,6 +88,17 @@ __all__ = [
     "Tracer",
     "read_trace",
     "iter_trace",
+    # spans
+    "Span",
+    "SpanContext",
+    "SpanRecord",
+    "SpanTracker",
+    "spans_from_trace",
+    "critical_path",
+    "format_critical_path",
+    # prometheus exposition
+    "render_prometheus",
+    "render_prometheus_snapshot",
     # replay
     "encode_record",
     "decode_record",

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.telemetry.metrics import MetricsRegistry, default_registry
+from repro.telemetry.spans import SpanTracker
 from repro.telemetry.tracing import JsonlFileSink, Tracer, TraceSink
 
 __all__ = ["Telemetry", "NULL_TELEMETRY", "get_telemetry", "set_telemetry"]
@@ -29,12 +30,21 @@ __all__ = ["Telemetry", "NULL_TELEMETRY", "get_telemetry", "set_telemetry"]
 class Telemetry:
     """A metrics registry and an event tracer traveling together."""
 
-    __slots__ = ("registry", "tracer")
+    __slots__ = ("registry", "tracer", "_spans")
 
     def __init__(self, registry: Optional[MetricsRegistry] = None,
                  tracer: Optional[Tracer] = None) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
+        self._spans: Optional[SpanTracker] = None
+
+    @property
+    def spans(self) -> SpanTracker:
+        """The span tracker bound to this context's tracer (lazy; one
+        per telemetry so span ids stay process-deterministic)."""
+        if self._spans is None:
+            self._spans = SpanTracker(self.tracer)
+        return self._spans
 
     @property
     def enabled(self) -> bool:

@@ -1,0 +1,124 @@
+"""Prometheus text exposition for a :class:`MetricsRegistry`.
+
+Renders the registry (or a previously captured ``snapshot()`` dict, e.g.
+the ``metrics_snapshot`` event at the end of a trace) in the Prometheus
+text format, so the ops console and ``repro stats --prometheus`` can feed
+standard scrapers and dashboards without a client-library dependency.
+
+Mapping rules:
+
+* metric names are sanitized (``.``/``-`` → ``_``; any other
+  non-alphanumeric also ``_``);
+* counters get a ``_total``-free pass-through (repo names already end in
+  ``_total`` where appropriate) with ``# TYPE ... counter``;
+* gauges expose their value with ``# TYPE ... gauge``;
+* histograms and timers become a summary: ``_count``, ``_sum``,
+  ``_min``/``_max``/``_mean`` gauges and ``{quantile="..."}`` sample
+  lines for p50/p90/p99 (omitted while empty), plus ``_dropped`` when
+  the retained window evicted samples.
+
+Output is sorted by metric name and ends with a newline, matching the
+exposition-format grammar.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = ["render_prometheus", "render_prometheus_snapshot"]
+
+#: snapshot ``type`` values rendered as summaries (quantile lines).
+_SUMMARY_TYPES = frozenset({"histogram", "timer"})
+
+_QUANTILES = (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99"))
+
+
+def _sanitize(name: str) -> str:
+    """A metric name legal in the exposition format."""
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    text = "".join(out)
+    if text and text[0].isdigit():
+        text = "_" + text
+    return text
+
+
+def _format_value(value: Any) -> Optional[str]:
+    """Prometheus float rendering; ``None`` for absent/non-numeric."""
+    if value is None or isinstance(value, bool):
+        return None
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        return None
+    if math.isnan(number):
+        return "NaN"
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    return f"{number:g}"
+
+
+def _render_scalar(lines: List[str], name: str, kind: str,
+                   snap: Mapping[str, Any]) -> None:
+    value = _format_value(snap.get("value"))
+    if value is None:
+        return
+    lines.append(f"# TYPE {name} {kind}")
+    lines.append(f"{name} {value}")
+
+
+def _render_summary(lines: List[str], name: str,
+                    snap: Mapping[str, Any]) -> None:
+    lines.append(f"# TYPE {name} summary")
+    for quantile, key in _QUANTILES:
+        value = _format_value(snap.get(key))
+        if value is not None:
+            lines.append(f'{name}{{quantile="{quantile}"}} {value}')
+    count = _format_value(snap.get("count"))
+    total = _format_value(snap.get("sum"))
+    lines.append(f"{name}_count {count if count is not None else 0}")
+    lines.append(f"{name}_sum {total if total is not None else 0}")
+    for stat in ("min", "max", "mean"):
+        value = _format_value(snap.get(stat))
+        if value is not None:
+            lines.append(f"{name}_{stat} {value}")
+    dropped = snap.get("dropped")
+    if isinstance(dropped, (int, float)) and dropped:
+        lines.append(f"{name}_dropped {_format_value(dropped)}")
+
+
+def render_prometheus_snapshot(
+    snapshot: Mapping[str, Mapping[str, Any]],
+) -> str:
+    """Exposition text from a ``MetricsRegistry.snapshot()``-shaped dict.
+
+    Unknown metric ``type`` values fall back to gauge rendering when they
+    carry a numeric ``value`` and are skipped otherwise, so traces from
+    newer writers degrade gracefully instead of failing the render.
+    """
+    lines: List[str] = []
+    for raw_name in sorted(snapshot):
+        snap = snapshot[raw_name]
+        if not isinstance(snap, Mapping):
+            continue
+        name = _sanitize(raw_name)
+        kind = str(snap.get("type", "gauge"))
+        if kind in _SUMMARY_TYPES:
+            _render_summary(lines, name, snap)
+        elif kind == "counter":
+            _render_scalar(lines, name, "counter", snap)
+        else:
+            _render_scalar(lines, name, "gauge", snap)
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Exposition text for every metric currently in ``registry``."""
+    snapshot: Dict[str, Dict[str, object]] = registry.snapshot()
+    return render_prometheus_snapshot(snapshot)

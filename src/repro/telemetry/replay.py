@@ -15,23 +15,60 @@ Encoding notes: :class:`~repro.core.state.PathKey` tuples become
 
 from __future__ import annotations
 
+import logging
 from typing import Any, Dict, Iterable, List, Sequence, TYPE_CHECKING
 
 from repro.core.state import IterationRecord, PathKey
 from repro.errors import TelemetryError
-from repro.telemetry.tracing import TraceEvent, read_trace
+from repro.telemetry.tracing import SCHEMA_VERSION, TraceEvent, read_trace
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.analysis.trace import TraceSummary
 
 __all__ = [
+    "SUPPORTED_SCHEMAS",
     "encode_record",
     "decode_record",
+    "supported_events",
     "records_from_trace",
     "records_from_trace_file",
+    "recorder_drops_from_trace",
     "summarize_trace_file",
     "event_counts",
 ]
+
+logger = logging.getLogger(__name__)
+
+#: Schema versions this reader understands: 0 is the PR 1 format (no
+#: ``schema`` key on disk), the current version adds spans.
+SUPPORTED_SCHEMAS = frozenset({0, SCHEMA_VERSION})
+
+
+def supported_events(events: Iterable[TraceEvent]) -> List[TraceEvent]:
+    """Drop events with an unknown schema version — loudly.
+
+    A future (or corrupt) schema version must not silently misparse into
+    wrong diagnostics; unknown-version events are skipped and counted in
+    one warning so truncation is visible in logs and CLI output.
+    """
+    kept: List[TraceEvent] = []
+    skipped: Dict[int, int] = {}
+    for event in events:
+        if event.schema in SUPPORTED_SCHEMAS:
+            kept.append(event)
+        else:
+            skipped[event.schema] = skipped.get(event.schema, 0) + 1
+    if skipped:
+        detail = ", ".join(
+            f"{count} events of schema {version}"
+            for version, count in sorted(skipped.items())
+        )
+        logger.warning(
+            "skipping %d trace events with unsupported schema versions "
+            "(%s); this reader supports %s",
+            sum(skipped.values()), detail, sorted(SUPPORTED_SCHEMAS),
+        )
+    return kept
 
 
 def encode_record(record: IterationRecord) -> Dict[str, Any]:
@@ -87,10 +124,14 @@ def decode_record(data: Dict[str, Any]) -> IterationRecord:
 def records_from_trace(
     events: Iterable[TraceEvent],
 ) -> List[IterationRecord]:
-    """Rebuild the iteration history carried by a stream of events."""
+    """Rebuild the iteration history carried by a stream of events.
+
+    Events with an unsupported schema version are skipped (with a
+    counted warning) rather than misparsed.
+    """
     return [
         decode_record(event.data)
-        for event in events
+        for event in supported_events(events)
         if event.kind == "iteration"
     ]
 
@@ -99,20 +140,50 @@ def records_from_trace_file(path: str) -> List[IterationRecord]:
     return records_from_trace(read_trace(path))
 
 
+#: Metric names that count samples evicted from a bounded recorder
+#: window — evictions mean percentile estimates cover a truncated tail.
+_RECORDER_DROP_METRICS = (
+    "sim.recorder.jobs_dropped_total",
+    "sim.recorder.jobsets_dropped_total",
+)
+
+
+def recorder_drops_from_trace(events: Sequence[TraceEvent]) -> int:
+    """Total latency-recorder ring-buffer evictions recorded in the
+    trace's final ``metrics_snapshot`` (0 when the run had none)."""
+    snapshots = [ev for ev in events if ev.kind == "metrics_snapshot"]
+    if not snapshots:
+        return 0
+    metrics = snapshots[-1].data.get("metrics") or {}
+    total = 0
+    for name in _RECORDER_DROP_METRICS:
+        snap = metrics.get(name)
+        if isinstance(snap, dict):
+            try:
+                total += int(float(snap.get("value", 0)))
+            except (TypeError, ValueError):
+                continue
+    return total
+
+
 def summarize_trace_file(path: str, band: float = 0.5) -> "TraceSummary":
     """Replay a JSONL trace file into a :class:`TraceSummary`.
 
     Raises :class:`~repro.errors.TelemetryError` when the file holds no
-    ``iteration`` events (nothing to summarize).
+    ``iteration`` events (nothing to summarize).  Recorder ring-buffer
+    evictions found in the final metrics snapshot are surfaced on the
+    summary so truncated percentile estimates are flagged.
     """
     # Imported lazily: repro.analysis pulls in the optimizer, which itself
     # imports repro.telemetry (instrumentation) — eager import would cycle.
     from repro.analysis.trace import summarize_trace
 
-    records = records_from_trace_file(path)
+    events = supported_events(read_trace(path))
+    records = records_from_trace(events)
     if not records:
         raise TelemetryError(f"no iteration events in trace {path!r}")
-    return summarize_trace(records, band=band)
+    return summarize_trace(records, band=band,
+                           dropped_samples=recorder_drops_from_trace(events))
 
 
 def event_counts(events: Sequence[TraceEvent]) -> Dict[str, int]:

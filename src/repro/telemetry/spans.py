@@ -1,0 +1,334 @@
+"""Causal spans: follow one decision across agents, the bus and rounds.
+
+PR 1's flat events record *that* things happened; spans record *why* and
+*downstream of what*.  A :class:`SpanContext` is three identifiers —
+``trace_id`` (one causal tree, usually one run), ``span_id`` (this
+operation) and ``parent_id`` (the operation that caused it) — threaded
+through :class:`~repro.distributed.messages.Envelope` so a price update
+can be followed resource agent → bus → task controller → assignment
+change.
+
+Identifiers are allocated from plain counters (never random), and span
+timestamps come from the tracer's injected clock, so two identical runs
+emit byte-identical span streams and a replayed trace reconstructs the
+exact spans the live run produced (asserted by tests).
+
+Two lifetime APIs, policed by statan rule REP010:
+
+* :meth:`SpanTracker.start_span` returns a :class:`Span` context manager
+  — the default for operations that open and close in one scope
+  (``with tracker.start_span("act") as span: ...``);
+* :meth:`SpanTracker.open_span` / :meth:`SpanTracker.end_span` manage
+  explicitly split lifetimes (a message span opens at ``send`` and closes
+  rounds later at delivery) — the caller owns the close.
+
+On-trace encoding: ``span_start`` events carry ``trace_id``/``span_id``/
+``parent_id``/``name`` plus caller attributes; ``span_end`` events carry
+``span_id``/``trace_id``/``status`` plus end attributes.
+:func:`spans_from_trace` reassembles them and :func:`critical_path`
+extracts the causal chain that finished last.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import TelemetryError
+from repro.telemetry.tracing import TraceEvent, Tracer
+
+__all__ = [
+    "SpanContext",
+    "Span",
+    "SpanTracker",
+    "SpanRecord",
+    "spans_from_trace",
+    "critical_path",
+    "format_critical_path",
+]
+
+#: Keys the span encoding reserves in event data; caller attributes may
+#: not shadow them.
+_RESERVED = frozenset({"trace_id", "span_id", "parent_id", "name", "status"})
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The propagatable identity of one span (immutable, JSON-safe)."""
+
+    trace_id: int
+    span_id: int
+    parent_id: Optional[int] = None
+
+    def child_of(self) -> "SpanContext":
+        """Alias clarity helper: a context to be used as a parent."""
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+        }
+
+
+class Span:
+    """A live span handle: ``with`` support plus an explicit :meth:`end`.
+
+    Ending twice raises — a double close means two owners believe they
+    control the span's lifetime, which corrupts the trace tree.
+    """
+
+    __slots__ = ("context", "name", "_tracker", "_ended")
+
+    def __init__(self, context: SpanContext, name: str,
+                 tracker: "SpanTracker") -> None:
+        self.context = context
+        self.name = name
+        self._tracker = tracker
+        self._ended = False
+
+    @property
+    def ended(self) -> bool:
+        return self._ended
+
+    def end(self, status: str = "ok", **attrs: Any) -> None:
+        if self._ended:
+            raise TelemetryError(
+                f"span {self.name!r} (id {self.context.span_id}) ended twice"
+            )
+        self._ended = True
+        self._tracker.end_span(self.context, status=status, **attrs)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if not self._ended:
+            self.end(status="error" if exc_type is not None else "ok")
+
+
+class SpanTracker:
+    """Allocates span identities and emits their start/end events.
+
+    One tracker travels with one :class:`~repro.telemetry.Telemetry`
+    (via ``telemetry.spans``).  With the tracer disabled the tracker
+    still hands out contexts — propagation code stays unconditional —
+    but emits nothing; well-behaved hot paths gate on
+    ``tracer.enabled`` before opening spans at all.
+    """
+
+    __slots__ = ("_tracer", "_next_trace", "_next_span")
+
+    def __init__(self, tracer: Tracer) -> None:
+        self._tracer = tracer
+        self._next_trace = 0
+        self._next_span = 0
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer
+
+    @property
+    def enabled(self) -> bool:
+        return self._tracer.enabled
+
+    def _allocate(self, parent: Optional[SpanContext]) -> SpanContext:
+        self._next_span += 1
+        if parent is None:
+            self._next_trace += 1
+            return SpanContext(trace_id=self._next_trace,
+                               span_id=self._next_span, parent_id=None)
+        return SpanContext(trace_id=parent.trace_id,
+                           span_id=self._next_span,
+                           parent_id=parent.span_id)
+
+    # -- explicit lifetime (split open/close, e.g. a message in flight) ----------
+
+    def open_span(self, name: str, parent: Optional[SpanContext] = None,
+                  **attrs: Any) -> SpanContext:
+        """Open a span whose close happens elsewhere (``end_span``)."""
+        if _RESERVED & attrs.keys():
+            raise TelemetryError(
+                f"span attrs may not shadow {sorted(_RESERVED & attrs.keys())}"
+            )
+        context = self._allocate(parent)
+        self._tracer.emit(
+            "span_start", trace_id=context.trace_id,
+            span_id=context.span_id, parent_id=context.parent_id,
+            name=name, **attrs,
+        )
+        return context
+
+    def end_span(self, context: SpanContext, status: str = "ok",
+                 **attrs: Any) -> None:
+        """Close a span previously opened with :meth:`open_span`."""
+        if _RESERVED & attrs.keys():
+            raise TelemetryError(
+                f"span attrs may not shadow {sorted(_RESERVED & attrs.keys())}"
+            )
+        self._tracer.emit(
+            "span_end", trace_id=context.trace_id,
+            span_id=context.span_id, status=status, **attrs,
+        )
+
+    # -- scoped lifetime (the REP010-checked default) ----------------------------
+
+    def start_span(self, name: str, parent: Optional[SpanContext] = None,
+                   **attrs: Any) -> Span:
+        """Open a span intended to close in the same scope.
+
+        Use as a context manager (``with tracker.start_span(...)``) or
+        call :meth:`Span.end` explicitly; statan rule REP010 flags call
+        sites that do neither.
+        """
+        return Span(self.open_span(name, parent=parent, **attrs), name, self)
+
+
+@dataclass
+class SpanRecord:
+    """One reassembled span from a recorded trace."""
+
+    context: SpanContext
+    name: str
+    start_ts: float
+    end_ts: Optional[float] = None
+    status: Optional[str] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return self.end_ts is not None
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.end_ts is None:
+            return None
+        return self.end_ts - self.start_ts
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (CLI reports, diff artifacts)."""
+        return {
+            "trace_id": self.context.trace_id,
+            "span_id": self.context.span_id,
+            "parent_id": self.context.parent_id,
+            "name": self.name,
+            "start_ts": self.start_ts,
+            "end_ts": self.end_ts,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+
+
+def spans_from_trace(events: Iterable[TraceEvent]) -> List[SpanRecord]:
+    """Reassemble spans from a stream of trace events.
+
+    Returns every started span in start order; spans whose ``span_end``
+    never arrived (a message still in flight at run end) come back with
+    ``end_ts=None``.  A ``span_end`` without a matching start raises —
+    that trace is corrupt, not merely truncated.
+    """
+    by_id: Dict[int, SpanRecord] = {}
+    order: List[SpanRecord] = []
+    for event in events:
+        if event.kind == "span_start":
+            data = dict(event.data)
+            try:
+                context = SpanContext(
+                    trace_id=int(data.pop("trace_id")),
+                    span_id=int(data.pop("span_id")),
+                    parent_id=(
+                        None if data.get("parent_id") is None
+                        else int(data.pop("parent_id"))
+                    ),
+                )
+                name = str(data.pop("name"))
+            except KeyError as exc:
+                raise TelemetryError(
+                    f"span_start missing field {exc}"
+                ) from exc
+            data.pop("parent_id", None)
+            record = SpanRecord(context=context, name=name,
+                                start_ts=event.ts, attrs=data)
+            if context.span_id in by_id:
+                raise TelemetryError(
+                    f"duplicate span_start for span {context.span_id}"
+                )
+            by_id[context.span_id] = record
+            order.append(record)
+        elif event.kind == "span_end":
+            data = dict(event.data)
+            span_id = int(data.pop("span_id", -1))
+            record_or_none = by_id.get(span_id)
+            if record_or_none is None:
+                raise TelemetryError(
+                    f"span_end for unknown span {span_id}"
+                )
+            if record_or_none.end_ts is not None:
+                raise TelemetryError(
+                    f"span {span_id} ended twice in trace"
+                )
+            record_or_none.end_ts = event.ts
+            record_or_none.status = str(data.pop("status", "ok"))
+            data.pop("trace_id", None)
+            record_or_none.attrs.update(data)
+    return order
+
+
+def critical_path(spans: Sequence[SpanRecord]) -> List[SpanRecord]:
+    """The causal chain ending at the last-finishing completed span.
+
+    Picks the completed span with the greatest ``end_ts`` (ties broken
+    by allocation order, i.e. span id) and walks its parent links to the
+    root; the result is root-first.  Under the runtimes' virtual clocks
+    many spans share timestamps, so the tie-break selects the most
+    recently *created* causal chain — the longest price→message→act
+    dependency path still live at the end of the run.
+    """
+    completed = [s for s in spans if s.complete]
+    if not completed:
+        return []
+    def _order(span: SpanRecord) -> "tuple[float, int]":
+        return (span.end_ts if span.end_ts is not None else 0.0,
+                span.context.span_id)
+
+    leaf = max(completed, key=_order)
+    by_id = {s.context.span_id: s for s in spans}
+    chain: List[SpanRecord] = []
+    cursor: Optional[SpanRecord] = leaf
+    seen = set()
+    while cursor is not None:
+        if cursor.context.span_id in seen:
+            raise TelemetryError(
+                f"span parent cycle at span {cursor.context.span_id}"
+            )
+        seen.add(cursor.context.span_id)
+        chain.append(cursor)
+        parent_id = cursor.context.parent_id
+        cursor = by_id.get(parent_id) if parent_id is not None else None
+    chain.reverse()
+    return chain
+
+
+def format_critical_path(chain: Sequence[SpanRecord]) -> str:
+    """Human-readable one-line-per-hop rendering of a critical path.
+
+    Flat (depth as a numbered column, not indentation): causal chains in
+    a distributed run grow one hop per message per round, so a nested
+    layout would walk off the right edge of any terminal within a few
+    dozen rounds.
+    """
+    if not chain:
+        return "(no completed spans)"
+    lines = []
+    for depth, span in enumerate(chain):
+        label = span.name
+        agent = span.attrs.get("agent") or span.attrs.get("payload")
+        if agent:
+            label = f"{label}[{agent}]"
+        duration = span.duration
+        stamp = "" if duration is None else f"  ({duration:g})"
+        end = "open" if span.end_ts is None else f"{span.end_ts:g}"
+        lines.append(f"{depth:>4}  {label}  "
+                     f"@{span.start_ts:g}..{end}{stamp}")
+    return "\n".join(lines)

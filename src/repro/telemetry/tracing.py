@@ -43,6 +43,7 @@ from typing import Any, Callable, Dict, IO, Iterable, List, Optional, Union
 from repro.errors import TelemetryError
 
 __all__ = [
+    "SCHEMA_VERSION",
     "TraceEvent",
     "TraceSink",
     "InMemorySink",
@@ -53,6 +54,12 @@ __all__ = [
     "iter_trace",
 ]
 
+#: Current on-disk trace-event schema.  Version 1 added the explicit
+#: ``schema`` field and the ``span_start``/``span_end`` causal-span
+#: encoding; events without a ``schema`` key parse as version 0 (the
+#: PR 1 format, which version-1 readers still understand).
+SCHEMA_VERSION = 1
+
 
 @dataclass
 class TraceEvent:
@@ -61,10 +68,12 @@ class TraceEvent:
     kind: str
     ts: float
     data: Dict[str, Any] = field(default_factory=dict)
+    schema: int = SCHEMA_VERSION
 
     def to_json(self) -> str:
         return json.dumps(
-            {"kind": self.kind, "ts": self.ts, "data": self.data},
+            {"kind": self.kind, "ts": self.ts, "schema": self.schema,
+             "data": self.data},
             default=_jsonable,
         )
 
@@ -76,10 +85,17 @@ class TraceEvent:
             raise TelemetryError(f"malformed trace line: {exc}") from exc
         if not isinstance(raw, dict) or "kind" not in raw:
             raise TelemetryError(f"not a trace event: {line[:80]!r}")
+        try:
+            schema = int(raw.get("schema", 0))
+        except (TypeError, ValueError) as exc:
+            raise TelemetryError(
+                f"non-integer trace schema {raw.get('schema')!r}"
+            ) from exc
         return cls(
             kind=str(raw["kind"]),
             ts=float(raw.get("ts", 0.0)),
             data=dict(raw.get("data") or {}),
+            schema=schema,
         )
 
 

@@ -1,0 +1,107 @@
+"""The ops console: pure frame rendering and the live driver."""
+
+from repro.console import TopState, collect_top_state, live_top, render_top
+from repro.console.top import CLEAR
+from repro.diagnostics import DiagnosticsEngine
+from repro.diagnostics.findings import Finding
+from repro.distributed import DistributedConfig, DistributedLLARuntime
+from repro.workloads.paper import base_workload
+
+
+def make_state(**overrides):
+    state = dict(
+        round=7,
+        utility=-12.5,
+        feasible=True,
+        resources=(
+            ("r0", 1.25, 0.5, 1.0, False),
+            ("r1", 9.0, 1.2, 1.0, True),
+        ),
+        bus={"sent": 10, "delivered": 8, "dropped": 1, "expired": 0,
+             "deduplicated": 1, "pending": 1},
+        degraded=(),
+        crashed=(),
+        findings=(),
+    )
+    state.update(overrides)
+    return TopState(**state)
+
+
+class TestRenderTop:
+    def test_header_and_resource_rows(self):
+        frame = render_top(make_state())
+        assert "round 7" in frame
+        assert "[FEASIBLE]" in frame
+        assert "r0" in frame and "r1" in frame
+        assert "CONGESTED" in frame  # r1 is over its availability
+
+    def test_congestion_marks_only_violators(self):
+        lines = render_top(make_state()).splitlines()
+        r0 = next(line for line in lines if line.startswith("r0"))
+        r1 = next(line for line in lines if line.startswith("r1"))
+        assert "CONGESTED" not in r0
+        assert "CONGESTED" in r1
+
+    def test_bus_and_fault_lines(self):
+        frame = render_top(make_state(
+            crashed=("resource:r0",), degraded=("controller:c0",),
+        ))
+        assert "bus: sent 10" in frame
+        assert "crashed: resource:r0" in frame
+        assert "degraded: controller:c0" in frame
+
+    def test_findings_section(self):
+        finding = Finding(
+            detector="stall", severity="critical",
+            summary="prices frozen while infeasible",
+        )
+        frame = render_top(make_state(findings=(finding,)))
+        assert "[CRITICAL]" in frame
+        assert "prices frozen while infeasible" in frame
+        assert "no findings" not in frame
+
+    def test_no_findings_line(self):
+        assert "health: no findings" in render_top(make_state())
+
+    def test_rendering_is_deterministic(self):
+        assert render_top(make_state()) == render_top(make_state())
+
+
+class TestLiveTop:
+    def run_live(self, rounds=20, refresh=10, plain=True):
+        runtime = DistributedLLARuntime(
+            base_workload(), config=DistributedConfig(rounds=rounds),
+        )
+        engine = DiagnosticsEngine(taskset=runtime.taskset)
+        frames = []
+        state = live_top(
+            runtime, rounds=rounds, refresh_every=refresh,
+            engine=engine, emit=frames.append, plain=plain,
+        )
+        return runtime, frames, state
+
+    def test_emits_one_frame_per_refresh(self):
+        runtime, frames, state = self.run_live(rounds=20, refresh=10)
+        assert len(frames) == 2
+        assert runtime.round == 20
+        assert state.round == 20
+
+    def test_plain_frames_have_no_ansi(self):
+        _, frames, _ = self.run_live(plain=True)
+        assert all(CLEAR not in frame for frame in frames)
+
+    def test_interactive_frames_clear_screen(self):
+        _, frames, _ = self.run_live(plain=False)
+        assert all(frame.startswith(CLEAR) for frame in frames)
+
+    def test_final_partial_batch_still_renders(self):
+        _, frames, state = self.run_live(rounds=25, refresh=10)
+        assert len(frames) == 3
+        assert state.round == 25
+
+    def test_state_reflects_runtime(self):
+        runtime, _, state = self.run_live(rounds=15, refresh=5)
+        direct = collect_top_state(runtime)
+        assert direct.round == state.round
+        assert direct.utility == state.utility
+        assert direct.resources == state.resources

@@ -1,0 +1,202 @@
+"""Detector unit tests on seeded synthetic trajectories.
+
+The acceptance bar: ``repro diagnose`` must correctly classify three
+seeded pathologies — oscillation, stall, infeasible churn — and stay
+quiet on a healthy decaying trajectory.
+"""
+
+import math
+
+import pytest
+
+from repro.core.state import IterationRecord
+from repro.diagnostics import (
+    DiagnosticsEngine,
+    assess_feasibility_margin,
+    detect_escalation_streaks,
+    detect_infeasible_churn,
+    detect_oscillation,
+    detect_stall,
+    diagnose_history,
+    worst_severity,
+)
+from repro.errors import DiagnosticsError
+
+
+def record(i, price, congested=False, feasible=None, load=0.9):
+    """One synthetic iteration with a single resource ``r0``."""
+    if feasible is None:
+        feasible = not congested
+    return IterationRecord(
+        iteration=i,
+        utility=-1.0,
+        latencies={"t0.s0": 1.0},
+        resource_prices={"r0": price},
+        path_prices={},
+        resource_loads={"r0": load},
+        congested_resources=() if feasible else ("r0",),
+        congested_paths=(),
+        critical_paths={"t0": 1.0},
+    )
+
+
+def oscillating_history(n=120, lo=1.0, hi=3.0):
+    """A price locked in a two-cycle: the classic too-large-gamma cycle."""
+    return [record(i, lo if i % 2 == 0 else hi) for i in range(n)]
+
+
+def stalled_history(n=120, price=5.0):
+    """Prices frozen while the resource stays congested."""
+    return [record(i, price, congested=True) for i in range(n)]
+
+
+def churning_history(n=120, period=10):
+    """The feasibility bit flips every ``period`` iterations."""
+    return [
+        record(i, 2.0 + 0.001 * i, feasible=(i // period) % 2 == 0)
+        for i in range(n)
+    ]
+
+
+def healthy_history(n=120):
+    """A decaying approach to a fixed point, always feasible."""
+    return [record(i, 2.0 + math.exp(-0.1 * i)) for i in range(n)]
+
+
+class TestOscillation:
+    def test_flags_limit_cycle(self):
+        findings = detect_oscillation(oscillating_history())
+        assert len(findings) == 1
+        assert findings[0].severity == "critical"
+        assert findings[0].details["resource"] == "r0"
+        assert findings[0].details["flip_rate"] > 0.9
+
+    def test_ignores_decaying_oscillation(self):
+        # Alternating but shrinking: converging, not limit-cycling.
+        history = [
+            record(i, 2.0 + ((-1) ** i) * math.exp(-0.1 * i))
+            for i in range(120)
+        ]
+        assert detect_oscillation(history) == []
+
+    def test_ignores_healthy_trajectory(self):
+        assert detect_oscillation(healthy_history()) == []
+
+
+class TestStall:
+    def test_flags_frozen_infeasible_prices(self):
+        findings = detect_stall(stalled_history())
+        assert len(findings) == 1
+        assert findings[0].severity == "critical"
+        assert "r0" in findings[0].details["congested_resources"]
+
+    def test_frozen_but_feasible_is_fine(self):
+        history = [record(i, 5.0) for i in range(120)]
+        assert detect_stall(history) == []
+
+    def test_moving_prices_are_not_a_stall(self):
+        history = [record(i, 5.0 + 0.1 * i, congested=True)
+                   for i in range(120)]
+        assert detect_stall(history) == []
+
+
+class TestInfeasibleChurn:
+    def test_flags_flapping_feasibility(self):
+        findings = detect_infeasible_churn(churning_history())
+        assert len(findings) == 1
+        assert findings[0].details["flips"] >= 4
+
+    def test_single_crossing_is_fine(self):
+        history = [record(i, 2.0, feasible=i > 30) for i in range(120)]
+        assert detect_infeasible_churn(history) == []
+
+    def test_severity_critical_when_ending_infeasible(self):
+        # 120/10 windows end on an infeasible stretch when the count of
+        # periods is even at the tail; build one explicitly.
+        history = churning_history(n=115)
+        finding = detect_infeasible_churn(history)[0]
+        assert finding.severity in ("warning", "critical")
+        ends_feasible = not history[-1].congested_resources
+        expected = "warning" if ends_feasible else "critical"
+        assert finding.severity == expected
+
+
+class TestEscalationStreaks:
+    def test_flags_saturated_heuristic(self):
+        findings = detect_escalation_streaks(stalled_history())
+        assert len(findings) == 1
+        assert findings[0].severity == "warning"
+        assert findings[0].details["streak"] >= 8
+
+    def test_short_streaks_pass(self):
+        history = [
+            record(i, 2.0, congested=(i % 5 == 0)) for i in range(120)
+        ]
+        assert detect_escalation_streaks(history) == []
+
+
+class TestFeasibilityMargin:
+    def test_fallback_warns_on_final_congestion(self):
+        findings = assess_feasibility_margin(stalled_history())
+        assert len(findings) == 1
+        assert findings[0].severity == "warning"
+        assert findings[0].details["exact"] is False
+
+    def test_fallback_info_when_feasible(self):
+        findings = assess_feasibility_margin(healthy_history())
+        assert findings[0].severity == "info"
+
+
+class TestEngine:
+    def test_three_seeded_pathologies_classify_correctly(self):
+        cases = {
+            "oscillation": oscillating_history(),
+            "stall": stalled_history(),
+            "infeasible_churn": churning_history(),
+        }
+        for expected, history in cases.items():
+            findings = diagnose_history(history)
+            detectors = {f.detector for f in findings}
+            assert expected in detectors, (
+                f"{expected} not detected; got {sorted(detectors)}"
+            )
+            # No cross-talk: oscillation must not read as a stall etc.
+            others = set(cases) - {expected}
+            assert not (others & detectors), (
+                f"{expected} misclassified as {others & detectors}"
+            )
+
+    def test_healthy_history_yields_no_warnings(self):
+        findings = diagnose_history(healthy_history())
+        assert worst_severity(findings) in (None, "info")
+
+    def test_report_is_sorted_severe_first(self):
+        findings = diagnose_history(stalled_history())
+        ranks = [f.rank for f in findings]
+        assert ranks == sorted(ranks, reverse=True)
+
+    def test_streaming_observe_matches_batch(self):
+        history = oscillating_history()
+        engine = DiagnosticsEngine(window=100)
+        for rec in history:
+            engine.observe(rec)
+        assert [
+            (f.detector, f.severity) for f in engine.report()
+        ] == [
+            (f.detector, f.severity)
+            for f in diagnose_history(history, window=100)
+        ]
+
+    def test_window_bounds_memory(self):
+        engine = DiagnosticsEngine(window=16)
+        engine.extend(healthy_history(200))
+        assert len(engine) == 16
+
+    def test_tiny_window_rejected(self):
+        with pytest.raises(DiagnosticsError):
+            DiagnosticsEngine(window=4)
+
+    def test_health_is_worst_severity(self):
+        engine = DiagnosticsEngine()
+        engine.extend(stalled_history())
+        assert engine.health() == "critical"

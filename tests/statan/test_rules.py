@@ -336,3 +336,52 @@ class TestEngineBasics:
         )
         assert result.ok
         assert result.files_checked == 1
+
+
+class TestSpanMisuse:
+    def test_flags_unscoped_start_span(self):
+        findings = run_rule("REP010", """\
+            def work(telemetry):
+                span = telemetry.spans.start_span("act", agent="r0")
+                return span
+            """, "repro/distributed/runtime.py")
+        assert len(findings) == 1
+        assert findings[0].line == 2
+
+    def test_flags_non_literal_emit_kind(self):
+        findings = run_rule("REP010", """\
+            def emit_all(tracer, kind):
+                tracer.emit(kind, value=1)
+            """, "repro/sim/closedloop.py")
+        assert len(findings) == 1
+
+    def test_flags_computed_emit_kind_on_facade(self):
+        findings = run_rule("REP010", """\
+            def emit(telemetry, ok):
+                telemetry.tracer.emit("good" if ok else "bad", value=1)
+            """, "repro/core/optimizer.py")
+        assert len(findings) == 1
+
+    def test_allows_with_scoped_start_span(self):
+        findings = run_rule("REP010", """\
+            def work(telemetry):
+                with telemetry.spans.start_span("act", agent="r0") as span:
+                    return span.context
+            """, "repro/distributed/runtime.py")
+        assert findings == []
+
+    def test_allows_open_end_pair_and_literal_emit(self):
+        findings = run_rule("REP010", """\
+            def send(telemetry, parent):
+                ctx = telemetry.spans.open_span("message", parent=parent)
+                telemetry.tracer.emit("send", round=1)
+                telemetry.spans.end_span(ctx, status="ok")
+            """, "repro/distributed/network.py")
+        assert findings == []
+
+    def test_ignores_non_tracer_emit(self):
+        findings = run_rule("REP010", """\
+            def fanout(sink, event):
+                sink.emit(event)
+            """, "repro/telemetry/tracing.py")
+        assert findings == []

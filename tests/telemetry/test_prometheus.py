@@ -1,0 +1,75 @@
+"""Prometheus text exposition of MetricsRegistry snapshots."""
+
+import math
+
+from repro.telemetry import (
+    MetricsRegistry,
+    render_prometheus,
+    render_prometheus_snapshot,
+)
+
+
+def make_registry():
+    registry = MetricsRegistry()
+    registry.counter("lla.iterations_total", "iterations run").inc(3)
+    registry.gauge("lla.utility", "current utility").set(-79.5)
+    hist = registry.histogram("lla.iteration_seconds", "per-iteration wall")
+    for value in (0.001, 0.002, 0.003):
+        hist.observe(value)
+    return registry
+
+
+class TestRendering:
+    def test_counter_and_gauge_lines(self):
+        text = render_prometheus(make_registry())
+        assert "# TYPE lla_iterations_total counter\n" in text
+        assert "lla_iterations_total 3\n" in text
+        assert "# TYPE lla_utility gauge\n" in text
+        assert "lla_utility -79.5\n" in text
+
+    def test_distribution_renders_quantiles_count_sum(self):
+        text = render_prometheus(make_registry())
+        assert '# TYPE lla_iteration_seconds summary' in text
+        assert 'lla_iteration_seconds{quantile="0.5"} 0.002' in text
+        assert "lla_iteration_seconds_count 3" in text
+        assert "lla_iteration_seconds_sum 0.006" in text
+
+    def test_names_are_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("bus.messages-sent.total", "x").inc(1)
+        text = render_prometheus(registry)
+        assert "bus_messages_sent_total 1\n" in text
+
+    def test_output_ends_with_newline_and_sorts(self):
+        text = render_prometheus(make_registry())
+        assert text.endswith("\n")
+        names = [
+            line.split()[2] for line in text.splitlines()
+            if line.startswith("# TYPE")
+        ]
+        assert names == sorted(names)
+
+    def test_renders_from_raw_snapshot_dict(self):
+        # The trace-replay path: stats --prometheus renders the last
+        # metrics_snapshot event without a live registry.
+        snapshot = make_registry().snapshot()
+        assert render_prometheus_snapshot(snapshot) == \
+            render_prometheus(make_registry())
+
+    def test_non_finite_values_render_prometheus_style(self):
+        text = render_prometheus_snapshot({
+            "x": {"type": "gauge", "value": math.inf},
+            "y": {"type": "gauge", "value": math.nan},
+        })
+        assert "x +Inf\n" in text
+        assert "y NaN\n" in text
+
+    def test_unknown_type_falls_back_to_gauge(self):
+        text = render_prometheus_snapshot({
+            "z": {"type": "exotic", "value": 2.0},
+        })
+        assert "# TYPE z gauge\n" in text
+        assert "z 2\n" in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus_snapshot({}) == ""

@@ -1,0 +1,105 @@
+"""Trace schema versioning and recorder drop-count surfacing.
+
+Version history: schema 0 is the pre-versioning JSONL format (no
+``schema`` key on the line), schema 1 added the explicit field.  Readers
+accept both, skip anything newer with one counted warning, and never
+misparse unknown versions into diagnostics.
+"""
+
+import json
+import logging
+
+from repro.analysis.trace import TraceSummary, summarize_trace
+from repro.telemetry import SCHEMA_VERSION, TraceEvent, read_trace
+from repro.telemetry.replay import (
+    SUPPORTED_SCHEMAS,
+    recorder_drops_from_trace,
+    records_from_trace,
+    summarize_trace_file,
+    supported_events,
+)
+
+
+def event(kind, schema=SCHEMA_VERSION, **data):
+    return TraceEvent(kind=kind, ts=0.0, data=data, schema=schema)
+
+
+def iteration_event(i, schema=SCHEMA_VERSION):
+    return event(
+        "iteration", schema=schema,
+        iteration=i, utility=-1.0, latencies={"t.s": 1.0},
+        resource_prices={"r": 1.0}, path_prices={}, resource_loads={"r": 0.5},
+        congested_resources=[], congested_paths=[], critical_paths={"t": 1.0},
+        duration_s=0.0,
+    )
+
+
+class TestSchemaVersioning:
+    def test_current_version_is_supported(self):
+        assert SCHEMA_VERSION in SUPPORTED_SCHEMAS
+        assert 0 in SUPPORTED_SCHEMAS  # the pre-versioning format
+
+    def test_written_events_carry_the_version(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(event("x").to_json() + "\n")
+        line = json.loads(path.read_text())
+        assert line["schema"] == SCHEMA_VERSION
+        assert read_trace(path)[0].schema == SCHEMA_VERSION
+
+    def test_versionless_lines_parse_as_schema_zero(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind": "x", "ts": 0.0, "data": {}}\n')
+        events = read_trace(path)
+        assert events[0].schema == 0
+        assert supported_events(events) == events
+
+    def test_unknown_versions_are_skipped_with_counted_warning(self, caplog):
+        events = [
+            iteration_event(1),
+            iteration_event(2, schema=99),
+            iteration_event(3, schema=99),
+            iteration_event(4),
+        ]
+        with caplog.at_level(logging.WARNING, logger="repro.telemetry.replay"):
+            kept = supported_events(events)
+        assert [e.data["iteration"] for e in kept] == [1, 4]
+        assert len(caplog.records) == 1
+        message = caplog.records[0].getMessage()
+        assert "2 events" in message and "99" in message
+
+    def test_replay_filters_unknown_versions(self):
+        records = records_from_trace([
+            iteration_event(1),
+            iteration_event(2, schema=99),
+        ])
+        assert [r.iteration for r in records] == [1]
+
+
+class TestRecorderDrops:
+    def snapshot_event(self, jobs=3, jobsets=2):
+        return event("metrics_snapshot", metrics={
+            "sim.recorder.jobs_dropped_total":
+                {"type": "counter", "value": float(jobs)},
+            "sim.recorder.jobsets_dropped_total":
+                {"type": "counter", "value": float(jobsets)},
+        })
+
+    def test_sums_both_drop_counters(self):
+        assert recorder_drops_from_trace([self.snapshot_event()]) == 5
+
+    def test_zero_without_snapshot(self):
+        assert recorder_drops_from_trace([iteration_event(1)]) == 0
+
+    def test_summary_carries_drop_count(self):
+        summary = summarize_trace(
+            records_from_trace([iteration_event(1)]), dropped_samples=5,
+        )
+        assert summary.dropped_samples == 5
+        assert TraceSummary.__dataclass_fields__["dropped_samples"]
+
+    def test_summarize_trace_file_picks_up_drops(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        lines = [iteration_event(1).to_json(),
+                 self.snapshot_event().to_json()]
+        path.write_text("\n".join(lines) + "\n")
+        assert summarize_trace_file(path).dropped_samples == 5

@@ -291,3 +291,89 @@ class TestCheck:
         main(["export-workload", "unschedulable", "-o", str(wl)])
         assert main(["check", str(wl), "--iterations", "400"]) == 1
         assert "UNSCHEDULABLE" in capsys.readouterr().out
+
+
+class TestObservabilityCommands:
+    @pytest.fixture
+    def workload(self, tmp_path, capsys):
+        wl = tmp_path / "wl.json"
+        main(["export-workload", "base", "-o", str(wl)])
+        capsys.readouterr()
+        return wl
+
+    @pytest.fixture
+    def trace_file(self, workload, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        assert main(["optimize", str(workload), "--warm-start",
+                     "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        return trace
+
+    def test_trace_reports_dropped_samples(self, trace_file, capsys):
+        assert main(["trace", str(trace_file)]) == 0
+        assert "dropped samples:     0" in capsys.readouterr().out
+
+    def test_stats_prometheus_exposition(self, trace_file, capsys):
+        assert main(["stats", str(trace_file), "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE lla_iterations_total counter" in out
+        assert "lla_iteration_seconds_count" in out
+
+    def test_diagnose_healthy_trace_exits_zero(self, trace_file, workload,
+                                               capsys):
+        assert main(["diagnose", str(trace_file),
+                     "--workload", str(workload)]) == 0
+        out = capsys.readouterr().out
+        assert "feasibility_margin" in out
+
+    def test_diagnose_json_payload(self, trace_file, capsys):
+        assert main(["diagnose", str(trace_file), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "findings" in payload and "critical_path" in payload
+        assert all("severity" in f for f in payload["findings"])
+
+    def test_diagnose_missing_trace_exits(self):
+        with pytest.raises(SystemExit):
+            main(["diagnose", "/nonexistent/run.jsonl"])
+
+    def test_top_plain_renders_frames(self, workload, capsys):
+        code = main(["top", str(workload), "--rounds", "20",
+                     "--refresh", "10", "--plain"])
+        out = capsys.readouterr().out
+        assert "repro top — round 20" in out
+        assert "utilization" in out
+        assert "\x1b[2J" not in out
+        assert code in (0, 1)  # feasibility decides the exit code
+
+    def test_bench_diff_flags_regression(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        base.write_text(json.dumps(
+            {"bench": "x", "metrics":
+             {"n.ops_per_sec": {"type": "gauge", "value": 100.0}}}
+        ))
+        cur.write_text(json.dumps(
+            {"bench": "x", "metrics":
+             {"n.ops_per_sec": {"type": "gauge", "value": 10.0}}}
+        ))
+        report = tmp_path / "report.json"
+        assert main(["bench-diff", str(base), str(cur),
+                     "-o", str(report)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED n.ops_per_sec" in out
+        assert json.loads(report.read_text())["ok"] is False
+
+    def test_bench_diff_identical_artifacts_pass(self, tmp_path, capsys):
+        art = tmp_path / "a.json"
+        art.write_text(json.dumps(
+            {"bench": "x", "metrics":
+             {"n.ops_per_sec": {"type": "gauge", "value": 100.0}}}
+        ))
+        assert main(["bench-diff", str(art), str(art)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_bench_diff_bad_artifact_exits(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"nope": 1}')
+        with pytest.raises(SystemExit):
+            main(["bench-diff", str(bad), str(bad)])
