@@ -1,0 +1,80 @@
+"""Benchmark: the always-on allocation service (ours).
+
+Two claims the service exists to make true:
+
+* **query decoupling** — allocation queries answer from the current
+  iterate in microseconds, independent of convergence (the optimizer can
+  keep iterating underneath);
+* **warm churn restarts** — after a churn burst, re-convergence from
+  surviving live prices takes at most half the rounds of a cold restart
+  (measured exactly as the churn experiment measures it: settling into
+  ±1% of the epoch-final utility).
+"""
+
+import time
+
+import pytest
+
+import _report
+from repro.experiments.churn import run_churn
+from repro.service import AllocationService, ServiceConfig
+from repro.workloads.paper import scaled_workload
+
+_BENCH = _report.bench_name(__file__)
+
+
+@pytest.mark.benchmark(group="service")
+def test_steady_state_query_latency(benchmark):
+    taskset = scaled_workload(4)
+    service = AllocationService(
+        list(taskset.resources.values()), config=ServiceConfig()
+    )
+    tasks = list(taskset.tasks)
+    for task in tasks:
+        assert service.register(task).admitted
+    service.run_to_convergence()
+    assert service.converged
+
+    queries = 2000
+
+    def run():
+        for i in range(queries):
+            service.query(tasks[i % len(tasks)].name)
+
+    started = time.perf_counter()
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - started
+
+    qps = queries / elapsed
+    _report.record_value(_BENCH, "query.per_second", qps)
+    _report.record_value(_BENCH, "query.mean_micros",
+                         elapsed / queries * 1e6)
+    # The iterate answered every query feasibly.
+    view = service.query(tasks[0].name)
+    assert view.meets_critical_time
+    print()
+    print(f"  {qps:,.0f} queries/s "
+          f"({elapsed / queries * 1e6:.1f} us mean)")
+
+
+@pytest.mark.benchmark(group="service")
+def test_warm_reconvergence_halves_cold(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_churn(cycles=1), rounds=1, iterations=1
+    )
+    _report.record_value(_BENCH, "reconvergence.warm_mean_rounds",
+                         report.warm_mean)
+    _report.record_value(_BENCH, "reconvergence.cold_mean_rounds",
+                         report.cold_mean)
+    _report.record_value(_BENCH, "reconvergence.ratio",
+                         report.reconvergence_ratio)
+    _report.record_value(_BENCH, "cache.hits", report.cache_hits)
+    _report.record_value(_BENCH, "cache.hit_rate", report.cache_hit_rate)
+    # The acceptance bar: warm re-convergence after a churn burst in at
+    # most 50% of the cold-restart rounds.
+    assert report.reconvergence_ratio <= 0.5
+    assert report.feasibility_violations == 0
+    assert report.probe_rejected
+    print()
+    print(f"  warm {report.warm_mean:.0f} vs cold {report.cold_mean:.0f} "
+          f"rounds (ratio {report.reconvergence_ratio:.2f})")

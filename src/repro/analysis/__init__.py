@@ -1,6 +1,10 @@
 """Analysis utilities: schedulability, admission control, traces, reports."""
 
-from repro.analysis.admission import AdmissionController, AdmissionDecision
+from repro.analysis.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    certify_infeasible,
+)
 from repro.analysis.comparison import (
     AlgorithmStats,
     ComparisonReport,
@@ -30,6 +34,7 @@ from repro.analysis.schedulability import (
 __all__ = [
     "AdmissionController",
     "AdmissionDecision",
+    "certify_infeasible",
     "compare_algorithms",
     "sweep_random_workloads",
     "ComparisonReport",

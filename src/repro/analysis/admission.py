@@ -17,10 +17,17 @@ Two admission modes:
   ``max_utility_loss`` (protects important running tasks from dilution
   by low-value arrivals, using the same utility currency the optimizer
   maximizes).
+
+:func:`certify_infeasible` is the cheap complement: a sound,
+optimizer-free infeasibility certificate the always-on service runs on
+every churn event before touching the live solve.  It can prove some
+task sets unschedulable from closed-form bounds alone; it never
+condemns a feasible one.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -33,7 +40,79 @@ from repro.errors import ModelError
 from repro.model.resources import Resource
 from repro.model.task import Task, TaskSet
 
-__all__ = ["AdmissionDecision", "AdmissionController"]
+__all__ = ["AdmissionDecision", "AdmissionController", "certify_infeasible"]
+
+
+def certify_infeasible(taskset: TaskSet, tol: float = 1e-9) -> Optional[str]:
+    """A cheap, sound infeasibility certificate for ``taskset``.
+
+    Returns a human-readable reason when the task set *provably* cannot
+    satisfy the capacity (Eq. 3) and critical-time (Eq. 4) constraints,
+    ``None`` when no certificate is found (the workload may still turn
+    out unschedulable — run the full LLA oracle for a definitive answer).
+    Two closed-form checks, each valid for every admissible assignment:
+
+    1. **Path floor.**  No subtask can beat
+       ``min_latency(B_r)`` — a lower latency would need a share
+       exceeding the resource's entire availability, violating Eq. 3 even
+       with the subtask alone on the resource.  If one path's summed
+       floors already exceed the task's critical time, Eq. 4 cannot hold.
+    2. **Load floor.**  On any path through subtask ``s``, Eq. 4 caps
+       ``lat_s`` at ``C_i`` minus the other path members' floors.  Shares
+       decrease in latency, so each subtask needs at least
+       ``share(cap_s)``; if those minimum shares sum above ``B_r`` on
+       some resource, Eq. 3 cannot hold.
+
+    Both checks are monotone in the bounds used, so the certificate is
+    conservative: it never rejects a feasible task set.
+    """
+    if not taskset.tasks:
+        return None
+    floors: Dict[str, float] = {}
+    for task in taskset.tasks:
+        for sub in task.subtasks:
+            availability = taskset.resources[sub.resource].availability
+            floors[sub.name] = \
+                taskset.share_function(sub.name).min_latency(availability)
+
+    # (1) per-path latency floor vs the critical time
+    for task in taskset.tasks:
+        for path in task.graph.paths:
+            floor = sum(floors[name] for name in path)
+            if floor > task.critical_time + tol:
+                return (
+                    f"task {task.name!r}: path {'->'.join(path)} needs "
+                    f"latency >= {floor:.6g} even at full availability, "
+                    f"above its critical time {task.critical_time:.6g}"
+                )
+
+    # (2) per-resource load floor at the per-subtask latency caps
+    caps: Dict[str, float] = {}
+    for task in taskset.tasks:
+        for path in task.graph.paths:
+            floor = sum(floors[name] for name in path)
+            for name in path:
+                cap = task.critical_time - (floor - floors[name])
+                caps[name] = min(caps.get(name, math.inf), cap)
+    for rname, resource in taskset.resources.items():
+        load = 0.0
+        for _task, sub in taskset.subtasks_on(rname):
+            cap = caps[sub.name]
+            if not math.isfinite(cap):
+                continue
+            if cap <= 0.0:
+                return (
+                    f"subtask {sub.name!r}: the rest of its path already "
+                    "exhausts the critical time at full availability"
+                )
+            load += taskset.share_function(sub.name).share(cap)
+        if load > resource.availability + tol:
+            return (
+                f"resource {rname!r}: hosted subtasks need load >= "
+                f"{load:.6g} at their critical-time latency caps, above "
+                f"availability {resource.availability:.6g}"
+            )
+    return None
 
 
 @dataclass

@@ -50,7 +50,11 @@ from repro.errors import TelemetryError
 from repro.model.serialize import taskset_from_json, taskset_to_json
 from repro.statan.cli import add_lint_arguments, run_lint
 from repro.telemetry import Telemetry, event_counts, read_trace
-from repro.workloads.paper import make_workload, workload_names
+from repro.workloads.paper import (
+    make_workload,
+    scaled_workload,
+    workload_names,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -207,6 +211,36 @@ def build_parser() -> argparse.ArgumentParser:
                           "report")
     cha.add_argument("-o", "--output",
                      help="write the chaos report as JSON to this file")
+
+    srv = sub.add_parser(
+        "serve",
+        help="drive the always-on allocation service through a scripted "
+             "churn scenario",
+    )
+    srv.add_argument("workload", nargs="?",
+                     help="serialized workload JSON (default: the scaled "
+                          "paper workload)")
+    srv.add_argument("--copies", type=int, default=4,
+                     help="base-workload clones when no workload file is "
+                          "given (default 4 = 12 tasks)")
+    srv.add_argument("--epoch-iterations", type=int, default=1500,
+                     help="optimizer iterations per churn epoch")
+    srv.add_argument("--cycles", type=int, default=2,
+                     help="deregister/re-register churn cycles")
+    srv.add_argument("--queries", type=int, default=1000,
+                     help="allocation queries timed after the last epoch")
+    srv.add_argument("--backend", choices=("scalar", "vectorized"),
+                     default="vectorized",
+                     help="optimizer backend for the live solve")
+    srv.add_argument("--cold", action="store_true",
+                     help="disable churn warm starts (baseline mode)")
+    srv.add_argument("--smoke", action="store_true",
+                     help="small-budget smoke configuration (2 clones, "
+                          "1 cycle, 400-iteration epochs)")
+    srv.add_argument("--trace",
+                     help="write a JSONL telemetry trace to this file")
+    srv.add_argument("-o", "--output",
+                     help="write the service report as JSON to this file")
 
     lnt = sub.add_parser(
         "lint",
@@ -573,6 +607,95 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if healthy else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import time
+
+    from repro.service import AllocationService, ServiceConfig
+
+    if args.smoke:
+        copies, cycles, epoch_iters = 2, 1, 400
+    else:
+        copies, cycles, epoch_iters = (args.copies, args.cycles,
+                                       args.epoch_iterations)
+    if args.workload:
+        taskset = _load_taskset(args.workload)
+    else:
+        taskset = scaled_workload(copies)
+
+    telemetry = Telemetry.to_file(args.trace) if args.trace else None
+    service = AllocationService(
+        list(taskset.resources.values()),
+        config=ServiceConfig(backend=args.backend,
+                             warm_start_churn=not args.cold),
+        telemetry=telemetry,
+    )
+    tasks = list(taskset.tasks)
+    for task in tasks:
+        decision = service.register(task)
+        if not decision.admitted:
+            raise SystemExit(
+                f"task {task.name!r} rejected: {decision.reason}"
+            )
+
+    async def scenario() -> None:
+        await service.run(iterations=epoch_iters)
+        for cycle in range(cycles):
+            victim = tasks[(cycle * 5) % len(tasks)]
+            service.deregister(victim.name)
+            await service.run(iterations=epoch_iters)
+            service.register(victim)
+            await service.run(iterations=epoch_iters)
+
+    asyncio.run(scenario())
+
+    started = time.perf_counter()
+    infeasible_queries = 0
+    for i in range(args.queries):
+        view = service.query(tasks[i % len(tasks)].name)
+        if not view.meets_critical_time:
+            infeasible_queries += 1
+    elapsed = time.perf_counter() - started
+    qps = args.queries / elapsed if elapsed > 0.0 else 0.0
+
+    stats = service.stats()
+    mode = "cold" if args.cold else "warm"
+    print(f"always-on service ({mode} churn restarts, "
+          f"{args.backend} backend)")
+    print(f"  tasks {stats.tasks}, epochs {stats.epoch}, "
+          f"iterations {stats.iterations}")
+    print(f"  re-convergence rounds per epoch: "
+          f"{list(stats.reconvergence_rounds)}")
+    print(f"  structure cache: {stats.cache_hits} hits / "
+          f"{stats.cache_misses} misses "
+          f"(hit rate {stats.cache_hit_rate:.2f})")
+    print(f"  queries: {args.queries} in {elapsed * 1e3:.1f} ms "
+          f"({qps:,.0f}/s), {infeasible_queries} infeasible")
+    print(f"  converged: {stats.converged}")
+    if telemetry is not None:
+        telemetry.close()
+        print(f"trace written to {args.trace}")
+
+    healthy = stats.converged and infeasible_queries == 0
+    if args.output:
+        payload = {
+            "command": "serve",
+            "mode": mode,
+            "backend": args.backend,
+            "epoch_iterations": epoch_iters,
+            "cycles": cycles,
+            "healthy": healthy,
+            "query_count": args.queries,
+            "queries_per_second": qps,
+            "infeasible_queries": infeasible_queries,
+            "stats": stats.to_dict(),
+        }
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"service report written to {args.output}")
+    return 0 if healthy else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -586,6 +709,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "top": _cmd_top,
         "bench-diff": _cmd_benchdiff,
         "chaos": _cmd_chaos,
+        "serve": _cmd_serve,
         "lint": run_lint,
     }
     return handlers[args.command](args)

@@ -24,10 +24,11 @@ import logging
 import time
 from dataclasses import dataclass
 from typing import (
-    TYPE_CHECKING, Any, Callable, Dict, FrozenSet, Optional, Tuple,
+    TYPE_CHECKING, Any, Callable, Dict, FrozenSet, Mapping, Optional, Tuple,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.core.structure import TaskSetStructure
     from repro.core.vectorized import VectorizedEngine
 
 from repro.errors import OptimizationError
@@ -175,11 +176,18 @@ class LLAOptimizer:
     :meth:`step` executes one, so callers that interleave optimization with
     a running system (the Section 6 prototype pattern) can drive it
     manually.
+
+    ``structure`` optionally supplies a precompiled
+    :class:`~repro.core.structure.TaskSetStructure` for the vectorized
+    backend (it must describe ``taskset`` at the configured
+    ``max_latency_factor``); the always-on service uses this to skip
+    recompilation across churn events.  Ignored by the scalar backend.
     """
 
     def __init__(self, taskset: TaskSet, config: Optional[LLAConfig] = None,
                  on_iteration: Optional[Callable[[IterationRecord], None]] = None,
-                 telemetry: Optional[Telemetry] = None) -> None:
+                 telemetry: Optional[Telemetry] = None,
+                 structure: Optional["TaskSetStructure"] = None) -> None:
         self.taskset = taskset
         self.config = config or LLAConfig()
         self.on_iteration = on_iteration
@@ -221,7 +229,8 @@ class LLAOptimizer:
             from repro.core.vectorized import VectorizedEngine
             self._engine = VectorizedEngine(taskset, self.config,
                                             self.step_policy,
-                                            telemetry=self.telemetry)
+                                            telemetry=self.telemetry,
+                                            structure=structure)
         self.iteration = 0
         # Trace timestamps follow the iteration counter (the optimizer's
         # virtual clock) so identical runs write identical event streams,
@@ -272,6 +281,36 @@ class LLAOptimizer:
             allocator.refresh_bounds()
         if self._engine is not None:
             self._engine.refresh_model()
+
+    def adopt_prices(self, resource_prices: Mapping[str, float]) -> None:
+        """Adopt ``resource_prices`` as the dual iterate, consistently.
+
+        Installs the given μ map, resets every path price λ to the
+        configured initial value (both backends), snaps step-size
+        escalation back to the initial γ, clears the convergence window,
+        and refreshes the primal iterate — afterwards the optimizer state
+        is exactly that of a fresh instance constructed at these resource
+        prices.  This is the single entry point for warm starts and the
+        service's churn path; updating ``resource_prices.prices`` alone
+        would leak stale λ and escalated γ from a previous run into the
+        next solve.
+        """
+        unknown = sorted(set(resource_prices) - set(self.taskset.resources))
+        if unknown:
+            raise OptimizationError(
+                f"adopt_prices got prices for unknown resources {unknown!r}"
+            )
+        self.resource_prices.prices.update(
+            {rname: float(price) for rname, price in resource_prices.items()}
+        )
+        for updater in self.path_prices.values():
+            updater.reset()
+        self.step_policy.reset()
+        self.detector.reset()
+        if self._engine is not None:
+            self._engine.reset_path_prices()
+            self._engine.reset_step_sizes()
+        self.latencies = self._initial_latencies()
 
     # -- iteration ---------------------------------------------------------------
 

@@ -32,7 +32,7 @@ from typing import TYPE_CHECKING, Dict, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.errors import ShareError
+from repro.errors import OptimizationError, ShareError
 from repro.core.allocation import _PULL_FLOOR
 from repro.core.phases import PhaseTimers
 from repro.core.state import PathKey
@@ -183,10 +183,27 @@ class VectorizedEngine:
 
     def __init__(self, taskset: TaskSet, config: "LLAConfig",
                  policy: StepSizePolicy,
-                 telemetry: Optional[Telemetry] = None) -> None:
-        self.structure = compile_structure(
-            taskset, max_latency_factor=config.max_latency_factor
-        )
+                 telemetry: Optional[Telemetry] = None,
+                 structure: Optional[TaskSetStructure] = None) -> None:
+        if structure is not None:
+            # A precompiled structure (e.g. from the service's churn
+            # cache) must describe this very task set at this clamp
+            # factor; the cache guarantees it via fingerprint equality.
+            if structure.taskset is not taskset:
+                raise OptimizationError(
+                    "precompiled structure is bound to a different task set"
+                )
+            if structure.max_latency_factor != float(config.max_latency_factor):
+                raise OptimizationError(
+                    "precompiled structure was built at "
+                    f"max_latency_factor={structure.max_latency_factor!r}, "
+                    f"config wants {config.max_latency_factor!r}"
+                )
+            self.structure = structure
+        else:
+            self.structure = compile_structure(
+                taskset, max_latency_factor=config.max_latency_factor
+            )
         self.config = config
         self._gammas = _make_gammas(policy, self.structure)
         self._telemetry = telemetry
@@ -352,6 +369,18 @@ class VectorizedEngine:
 
     def path_prices_dict(self) -> Dict[PathKey, float]:
         return dict(zip(self.structure.path_keys, self._lam.tolist()))
+
+    def reset_step_sizes(self) -> None:
+        """Snap every γ escalation back to the initial step size."""
+        self._gammas.reset()
+
+    def reset_path_prices(self) -> None:
+        """λ back to the configured initial value (μ and γ untouched).
+
+        Used by :meth:`LLAOptimizer.adopt_prices`: adopting external
+        resource prices must not carry a previous run's path prices into
+        the next primal solve."""
+        self._lam.fill(float(self.config.initial_path_price))
 
     def reset(self) -> None:
         """Back to initial duals and step sizes (primal follows via

@@ -41,7 +41,9 @@ def warm_start_resource_prices(taskset: TaskSet,
     """Per-resource equilibrium price estimates.
 
     Resources hosting any subtask whose share/utility model falls outside
-    the closed form get the ``default`` price.
+    the closed form get the ``default`` price, as does any resource whose
+    availability is zero or non-finite (a blacked-out resource has no
+    equilibrium price — the estimate would divide by zero mid-recovery).
     """
     prices: Dict[str, float] = {}
     for rname, resource in taskset.resources.items():
@@ -58,8 +60,10 @@ def warm_start_resource_prices(taskset: TaskSet,
                 break
             weight = task.weight(sub.name) * utility.slope
             total += math.sqrt(share_fn.cost * weight)
-        if estimable and total > 0.0:
-            prices[rname] = (total / resource.availability) ** 2
+        availability = resource.availability
+        if estimable and total > 0.0 and availability > 0.0 \
+                and math.isfinite(availability):
+            prices[rname] = (total / availability) ** 2
         else:
             prices[rname] = float(default)
     return prices
@@ -68,12 +72,15 @@ def warm_start_resource_prices(taskset: TaskSet,
 def apply_warm_start(optimizer: "LLAOptimizer") -> Dict[str, float]:
     """Install warm-start prices into an :class:`LLAOptimizer` in place.
 
-    Returns the applied price map.  Also refreshes the primal iterate so
-    the first iteration's path prices see warm-start-consistent latencies.
+    Returns the applied price map.  Delegates to
+    :meth:`~repro.core.optimizer.LLAOptimizer.adopt_prices`, which resets
+    path prices to their initial value and refreshes the primal iterate —
+    on an already-run optimizer (the service's churn path) the resulting
+    state is identical to a fresh optimizer constructed at these prices,
+    with no stale λ leaking into the next solve.
     """
     prices = warm_start_resource_prices(
         optimizer.taskset, default=optimizer.config.initial_resource_price
     )
-    optimizer.resource_prices.prices.update(prices)
-    optimizer.latencies = optimizer._initial_latencies()
+    optimizer.adopt_prices(prices)
     return prices

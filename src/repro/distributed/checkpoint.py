@@ -10,6 +10,15 @@ meets fault tolerance):
 * **cold restart** — fall back to the configured initial prices, exactly
   as if the agent had just been deployed.
 
+Warm restarts are only sound for the *same problem*: prices saved for a
+different task set (a task arrived or left, a critical time moved, a
+share model was retuned) are not a head start, they are garbage dressed
+as state.  Each save is therefore stamped with the canonical task-set
+fingerprint (:func:`~repro.model.fingerprint.taskset_fingerprint`) and
+:meth:`CheckpointStore.load` rejects snapshots whose stamp does not match
+the fingerprint the caller expects — the caller then falls back to a cold
+restart and the mismatch is counted for telemetry.
+
 The store is deliberately simple: a versioned in-memory snapshot per
 agent.  Snapshots are deep-copied on both save and load so a restored
 agent can never alias live state, and each save records the round it was
@@ -29,11 +38,14 @@ __all__ = ["Checkpoint", "CheckpointStore"]
 
 @dataclass(frozen=True)
 class Checkpoint:
-    """One agent snapshot: the round it was taken at plus opaque state."""
+    """One agent snapshot: the round it was taken at, opaque state, and
+    the fingerprint of the task set the state was computed for (``None``
+    only for callers that opted out of stamping)."""
 
     agent: str
     round: int
     state: Dict[str, Any]
+    fingerprint: Optional[str] = None
 
 
 class CheckpointStore:
@@ -43,32 +55,50 @@ class CheckpointStore:
         self._checkpoints: Dict[str, Checkpoint] = {}
         self.saves = 0
         self.loads = 0
+        self.mismatches = 0
 
-    def save(self, agent: str, round_number: int,
-             state: Dict[str, Any]) -> Checkpoint:
-        """Snapshot ``state`` for ``agent`` (replaces any older snapshot)."""
+    def save(self, agent: str, round_number: int, state: Dict[str, Any],
+             fingerprint: Optional[str] = None) -> Checkpoint:
+        """Snapshot ``state`` for ``agent`` (replaces any older snapshot).
+
+        ``fingerprint`` should be the task-set fingerprint the state was
+        computed under; unstamped snapshots can never satisfy a stamped
+        load."""
         if round_number < 0:
             raise DistributedError(
                 f"checkpoint round must be >= 0, got {round_number!r}"
             )
         checkpoint = Checkpoint(
-            agent=agent, round=round_number, state=copy.deepcopy(state)
+            agent=agent, round=round_number, state=copy.deepcopy(state),
+            fingerprint=fingerprint,
         )
         self._checkpoints[agent] = checkpoint
         self.saves += 1
         return checkpoint
 
-    def load(self, agent: str) -> Optional[Checkpoint]:
+    def load(self, agent: str,
+             fingerprint: Optional[str] = None) -> Optional[Checkpoint]:
         """The latest snapshot for ``agent`` (state deep-copied), or
-        ``None`` when the agent has never been checkpointed."""
+        ``None`` when the agent has never been checkpointed.
+
+        When ``fingerprint`` is given, a snapshot stamped with a
+        *different* fingerprint — including an unstamped one, which cannot
+        be proven compatible — is rejected: the method returns ``None``
+        and increments :attr:`mismatches`, and the caller should restart
+        cold.  ``fingerprint=None`` skips the check (legacy callers that
+        manage problem identity themselves)."""
         checkpoint = self._checkpoints.get(agent)
         if checkpoint is None:
+            return None
+        if fingerprint is not None and checkpoint.fingerprint != fingerprint:
+            self.mismatches += 1
             return None
         self.loads += 1
         return Checkpoint(
             agent=checkpoint.agent,
             round=checkpoint.round,
             state=copy.deepcopy(checkpoint.state),
+            fingerprint=checkpoint.fingerprint,
         )
 
     def has(self, agent: str) -> bool:

@@ -156,7 +156,7 @@ class ReorderWindow:
 class CapacityShock:
     """Scale ``resource``'s availability by ``factor`` at round ``at``;
     restore the original availability at ``restore_at`` (``None`` =
-    permanent)."""
+    permanent).  ``factor == 0.0`` is a full blackout of the resource."""
 
     resource: str
     at: int
@@ -166,9 +166,9 @@ class CapacityShock:
     def __post_init__(self):
         _require_window(self.at, self.restore_at,
                         f"capacity shock({self.resource})")
-        if not 0.0 < self.factor or not math.isfinite(self.factor):
+        if self.factor < 0.0 or not math.isfinite(self.factor):
             raise DistributedError(
-                f"capacity shock factor must be positive and finite, "
+                f"capacity shock factor must be non-negative and finite, "
                 f"got {self.factor!r}"
             )
 

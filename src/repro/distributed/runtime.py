@@ -37,6 +37,7 @@ from repro.distributed.faults import FaultInjector, FaultPlan
 from repro.distributed.messages import PriceMessage
 from repro.distributed.network import MessageBus
 from repro.errors import DistributedError
+from repro.model.fingerprint import taskset_fingerprint
 from repro.model.task import TaskSet
 from repro.telemetry import (
     NULL_TELEMETRY,
@@ -253,7 +254,32 @@ class DistributedLLARuntime:
         agent = self.agent(name)
         if not agent.crashed:
             raise DistributedError(f"agent {name!r} is not crashed")
-        checkpoint = self.checkpoints.load(name) if warm else None
+        checkpoint = None
+        if warm:
+            # A checkpoint stamped for a different task set (capacity
+            # shocks, churn) is not a head start — demand the current
+            # fingerprint and fall back to a cold restart on mismatch.
+            mismatches_before = self.checkpoints.mismatches
+            checkpoint = self.checkpoints.load(
+                name, fingerprint=taskset_fingerprint(self.taskset)
+            )
+            if checkpoint is None and \
+                    self.checkpoints.mismatches > mismatches_before:
+                logger.warning(
+                    "agent %s: checkpoint is for a different task set; "
+                    "restarting cold (round %d)", name, self.round,
+                )
+                if self.telemetry.enabled:
+                    self.telemetry.registry.counter(
+                        "dist.checkpoint_mismatches_total",
+                        "warm restarts demoted to cold by a task-set "
+                        "fingerprint mismatch",
+                    ).inc()
+                    if self.telemetry.tracer.enabled:
+                        self.telemetry.tracer.emit(
+                            "checkpoint_mismatch", agent=name,
+                            round=self.round,
+                        )
         if checkpoint is not None:
             agent.restore_checkpoint(checkpoint.state)
         else:
@@ -308,11 +334,13 @@ class DistributedLLARuntime:
         ]
 
     def _checkpoint_all(self) -> None:
+        fingerprint = taskset_fingerprint(self.taskset)
         for name in self.agent_names():
             agent = self.agent(name)
             if not agent.crashed:
                 self.checkpoints.save(name, self.round,
-                                      agent.to_checkpoint())
+                                      agent.to_checkpoint(),
+                                      fingerprint=fingerprint)
 
     # -- observation ----------------------------------------------------------
 

@@ -69,6 +69,12 @@ class DiagnosticsError(ReproError):
     severity, non-positive window, or a detector fed malformed input)."""
 
 
+class ServiceError(ReproError):
+    """The always-on allocation service was driven into an invalid state
+    (unknown task or resource, query against an empty service, or a
+    lifecycle violation such as starting a running service)."""
+
+
 class HarnessError(ReproError):
     """The experiment harness was misused (unknown experiment name,
     duplicate registration, malformed parameter override, or a run

@@ -16,7 +16,9 @@ time (``repro.harness.load_all()`` imports this package to populate it):
 * :mod:`repro.experiments.percentiles` — §2.1 percentile composition
   validation (ours);
 * :mod:`repro.experiments.resilience` — control-plane fault recovery
-  (ours).
+  (ours);
+* :mod:`repro.experiments.churn` — the always-on service under task
+  churn: warm re-convergence vs cold restarts (ours).
 """
 
 from repro.experiments.adaptation import (
@@ -37,6 +39,7 @@ from repro.experiments.ablations import (
     ablate_utility_variant,
     run_ablations,
 )
+from repro.experiments.churn import ChurnReport, run_churn
 from repro.experiments.fig5 import Fig5Result, Fig5Series, run_fig5
 from repro.experiments.percentiles import (
     PercentilePoint,
@@ -86,6 +89,8 @@ __all__ = [
     "run_percentiles",
     "PercentileResult",
     "PercentilePoint",
+    "run_churn",
+    "ChurnReport",
     "run_resilience",
     "run_crash_recovery",
     "run_blackout_recovery",

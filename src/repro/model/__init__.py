@@ -19,6 +19,7 @@ from repro.model.events import (
     PoissonEvent,
     TriggeringEvent,
 )
+from repro.model.fingerprint import taskset_fingerprint
 from repro.model.graph import SubtaskGraph
 from repro.model.percentile import (
     compose_percentiles,
@@ -61,6 +62,7 @@ __all__ = [
     "taskset_from_dict",
     "taskset_to_json",
     "taskset_from_json",
+    "taskset_fingerprint",
     "SubtaskGraph",
     "Resource",
     "ResourceKind",

@@ -1,0 +1,57 @@
+"""Canonical task-set fingerprints.
+
+Several subsystems need to decide cheaply whether two :class:`TaskSet`
+instances describe *the same optimization problem*:
+
+* the distributed checkpoint store must refuse to warm-restore dual state
+  saved for a different problem (prices for a vanished task are garbage);
+* the always-on allocation service caches compiled
+  :class:`~repro.core.structure.TaskSetStructure` objects across churn and
+  may only reuse one when the workload shape and coefficients match
+  exactly.
+
+The fingerprint is a SHA-256 digest over the canonical JSON serialization
+of the task set (:func:`~repro.model.serialize.taskset_to_dict` with
+sorted keys) *plus* the ``repr`` of every subtask's share function.  The
+reprs matter: custom share functions are deliberately not serialized, and
+online error correction retunes :class:`CorrectedShare` parameters in
+place — both must change the fingerprint, because both change the problem
+the dual iterates were converging on.
+
+Two task sets with equal fingerprints therefore have identical resources
+(names, kinds, availabilities, lags), identical task structure (subtask
+graphs, WCETs, percentiles, critical times, utilities, triggers, variants)
+and identical share-function parameters, in the same declaration order —
+exactly the conditions under which dual state and compiled structure are
+interchangeable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.model.task import TaskSet
+
+__all__ = ["taskset_fingerprint"]
+
+
+def taskset_fingerprint(taskset: TaskSet) -> str:
+    """Hex SHA-256 fingerprint of ``taskset``'s optimization problem."""
+    payload = {
+        "taskset": _canonical_dict(taskset),
+        "share_functions": [
+            repr(taskset.share_function(name))
+            for name in taskset.subtask_names
+        ],
+    }
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def _canonical_dict(taskset: TaskSet) -> object:
+    # Imported lazily: serialize imports the whole model surface and this
+    # module is imported from low-level consumers (checkpoint store).
+    from repro.model.serialize import taskset_to_dict
+
+    return taskset_to_dict(taskset)

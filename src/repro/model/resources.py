@@ -44,6 +44,10 @@ class Resource:
         :class:`ResourceKind` — CPU or network link.
     availability:
         ``B_r``: fraction of the resource available to the optimized tasks.
+        ``0.0`` is legal and means the resource is currently blacked out
+        (e.g. a full capacity shock): no share can be granted, so every
+        subtask hosted on it has an infinite minimum latency until the
+        capacity is restored.
     lag:
         ``l_r``: scheduling lag in the same time unit as WCETs (ms in the
         paper).  Captures PS quantization: a job may wait up to the lag
@@ -61,9 +65,9 @@ class Resource:
     def __post_init__(self) -> None:
         if not self.name:
             raise ModelError("resource name must be non-empty")
-        if not 0.0 < self.availability <= 1.0:
+        if not 0.0 <= self.availability <= 1.0:
             raise ModelError(
-                f"availability must be in (0, 1], got {self.availability!r} "
+                f"availability must be in [0, 1], got {self.availability!r} "
                 f"for resource {self.name!r}"
             )
         if self.lag < 0.0:

@@ -17,6 +17,7 @@ optimizer never special-cases a particular shape.
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 
 from repro.errors import ShareError
@@ -54,7 +55,11 @@ class ShareFunction(ABC):
 
     @abstractmethod
     def min_latency(self, availability: float) -> float:
-        """Smallest achievable latency given resource ``availability``."""
+        """Smallest achievable latency given resource ``availability``.
+
+        ``availability == 0.0`` (a blacked-out resource) yields ``inf``:
+        no share can be granted, so no finite latency is achievable.
+        """
 
     def _require_positive_latency(self, latency: float) -> None:
         if latency <= 0.0:
@@ -91,10 +96,12 @@ class HyperbolicShare(ShareFunction):
         return self.cost / share
 
     def min_latency(self, availability: float) -> float:
-        if availability <= 0.0:
+        if availability < 0.0:
             raise ShareError(
-                f"availability must be positive, got {availability!r}"
+                f"availability must be non-negative, got {availability!r}"
             )
+        if availability == 0.0:
+            return math.inf
         return self.cost / availability
 
     def __repr__(self) -> str:
@@ -132,10 +139,12 @@ class PowerLawShare(ShareFunction):
         return (self.cost / share) ** (1.0 / self.alpha)
 
     def min_latency(self, availability: float) -> float:
-        if availability <= 0.0:
+        if availability < 0.0:
             raise ShareError(
-                f"availability must be positive, got {availability!r}"
+                f"availability must be non-negative, got {availability!r}"
             )
+        if availability == 0.0:
+            return math.inf
         return (self.cost / availability) ** (1.0 / self.alpha)
 
     def __repr__(self) -> str:

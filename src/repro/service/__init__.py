@@ -1,0 +1,22 @@
+"""Always-on allocation service: a live LLA solve behind a churn/query API.
+
+See :mod:`repro.service.service` for the service itself and
+:mod:`repro.service.cache` for the fingerprint-keyed structure cache it
+rebuilds through on churn.
+"""
+
+from repro.service.cache import StructureCache
+from repro.service.service import (
+    AllocationService,
+    AllocationView,
+    ServiceConfig,
+    ServiceStats,
+)
+
+__all__ = [
+    "AllocationService",
+    "AllocationView",
+    "ServiceConfig",
+    "ServiceStats",
+    "StructureCache",
+]

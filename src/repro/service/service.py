@@ -1,0 +1,667 @@
+"""The always-on allocation service (§4.4's "running continuously" mode).
+
+The paper frames LLA as an offline solve, but its deployment story is a
+long-running control loop: tasks arrive and leave while prices keep
+iterating, and the current primal iterate *is* the allocation the system
+enforces.  :class:`AllocationService` is that loop:
+
+* **churn API** — :meth:`register` / :meth:`deregister` /
+  :meth:`update_task` / :meth:`set_availability` mutate the live workload.
+  Every churn event recompiles the task set through a fingerprint-keyed
+  :class:`~repro.service.cache.StructureCache` and builds a fresh
+  optimizer **warm-started from the surviving resources' live prices**
+  (new resources fall back to the
+  :func:`~repro.core.warmstart.warm_start_resource_prices` estimate) —
+  re-convergence after churn costs a fraction of a cold restart;
+* **query API** — :meth:`query` answers allocation lookups from the
+  current iterate without touching the optimization, so query throughput
+  is decoupled from convergence;
+* **admission control** — arriving tasks are screened with the sound
+  closed-form certificate
+  (:func:`~repro.analysis.admission.certify_infeasible`); a provably
+  infeasible task set is rejected before it can poison the live solve;
+* **snapshots** — :meth:`snapshot` / :meth:`restore` reuse the
+  distributed :class:`~repro.distributed.checkpoint.CheckpointStore`,
+  stamped with the task-set fingerprint so a snapshot taken for a
+  different problem demotes to a cold reset instead of restoring garbage.
+
+Drive it synchronously with :meth:`step` (deterministic — experiments and
+benchmarks do this) or asynchronously with :meth:`run`, which iterates in
+batches and yields to the event loop between them so registrations and
+queries interleave with the optimization.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.analysis.admission import AdmissionDecision, certify_infeasible
+from repro.core.optimizer import LLAConfig, LLAOptimizer
+from repro.core.structure import TaskSetStructure
+from repro.core.warmstart import warm_start_resource_prices
+from repro.distributed.checkpoint import CheckpointStore
+from repro.errors import ModelError, ServiceError
+from repro.model.fingerprint import taskset_fingerprint
+from repro.model.resources import Resource
+from repro.model.task import Task, TaskSet
+from repro.model.utility import (
+    ExponentialUtility,
+    InelasticUtility,
+    LinearUtility,
+    LogUtility,
+    QuadraticUtility,
+    UtilityFunction,
+)
+from repro.service.cache import StructureCache
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+
+__all__ = ["ServiceConfig", "AllocationService", "AllocationView",
+           "ServiceStats"]
+
+#: CheckpointStore agent key for service snapshots.
+_SNAPSHOT_AGENT = "service"
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of an :class:`AllocationService`.
+
+    Attributes
+    ----------
+    backend:
+        Optimizer backend for the live solve (``"vectorized"`` by
+        default — the service exists to run continuously, so the batched
+        kernel's per-iteration cost matters).
+    admission_control:
+        Screen arriving tasks with the closed-form infeasibility
+        certificate before rebuilding.
+    warm_start_churn:
+        Warm-start rebuilt optimizers from the previous optimizer's live
+        resource prices (the service's whole point; ``False`` exists so
+        benchmarks can measure the cold alternative).
+    cache_capacity:
+        Entries in the compiled-structure LRU.
+    batch_size:
+        Optimizer iterations per :meth:`run` slice between event-loop
+        yields.
+    lla:
+        Optimizer configuration; ``None`` builds the paper defaults on
+        the configured backend.  When given, its ``backend`` must match
+        and its ``step_policy`` must be ``None`` (a shared policy object
+        would leak step-size escalation across churn epochs).
+    """
+
+    backend: str = "vectorized"
+    admission_control: bool = True
+    warm_start_churn: bool = True
+    cache_capacity: int = 64
+    batch_size: int = 32
+    lla: Optional[LLAConfig] = None
+
+    def __post_init__(self) -> None:
+        """Reject inconsistent knobs at construction (REP008)."""
+        if self.backend not in ("scalar", "vectorized"):
+            raise ServiceError(
+                f"unknown backend {self.backend!r}; "
+                "expected 'scalar' or 'vectorized'"
+            )
+        if self.cache_capacity < 1:
+            raise ServiceError(
+                f"cache_capacity must be >= 1, got {self.cache_capacity!r}"
+            )
+        if self.batch_size < 1:
+            raise ServiceError(
+                f"batch_size must be >= 1, got {self.batch_size!r}"
+            )
+        if self.lla is not None:
+            if self.lla.backend != self.backend:
+                raise ServiceError(
+                    f"lla.backend {self.lla.backend!r} contradicts service "
+                    f"backend {self.backend!r}"
+                )
+            if self.lla.step_policy is not None:
+                raise ServiceError(
+                    "lla.step_policy must be None for the service: a shared "
+                    "policy object would carry step-size escalation across "
+                    "churn epochs"
+                )
+
+    def optimizer_config(self) -> LLAConfig:
+        """The effective per-epoch optimizer configuration."""
+        if self.lla is not None:
+            return self.lla
+        return LLAConfig(backend=self.backend)
+
+
+@dataclass(frozen=True)
+class AllocationView:
+    """One task's allocation as of the current iterate."""
+
+    task: str
+    latencies: Dict[str, float]
+    aggregated_latency: float
+    utility: float
+    meets_critical_time: bool
+    iteration: int
+    epoch: int
+    converged: bool
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Aggregate service health, as exposed by :meth:`stats`."""
+
+    tasks: int
+    resources: int
+    iterations: int
+    epoch: int
+    churn_events: int
+    queries: int
+    admission_rejections: int
+    cache_hits: int
+    cache_misses: int
+    cache_hit_rate: float
+    converged: bool
+    last_reconvergence_rounds: Optional[int]
+    reconvergence_rounds: Tuple[int, ...]
+    snapshot_fallbacks: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "tasks": self.tasks,
+            "resources": self.resources,
+            "iterations": self.iterations,
+            "epoch": self.epoch,
+            "churn_events": self.churn_events,
+            "queries": self.queries,
+            "admission_rejections": self.admission_rejections,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "converged": self.converged,
+            "last_reconvergence_rounds": self.last_reconvergence_rounds,
+            "reconvergence_rounds": list(self.reconvergence_rounds),
+            "snapshot_fallbacks": self.snapshot_fallbacks,
+        }
+
+
+def _retarget_utility(utility: UtilityFunction,
+                      critical_time: float) -> UtilityFunction:
+    """The same utility family re-anchored at a new critical time."""
+    if isinstance(utility, LinearUtility):
+        return LinearUtility(critical_time, k=utility.k, slope=utility.slope)
+    if isinstance(utility, LogUtility):
+        return LogUtility(critical_time, scale=utility.scale,
+                          softness=utility.softness)
+    if isinstance(utility, QuadraticUtility):
+        return QuadraticUtility(critical_time, u_max=utility.u_max,
+                                a=utility.a)
+    if isinstance(utility, ExponentialUtility):
+        return ExponentialUtility(critical_time, u_max=utility.u_max,
+                                  tau=utility.tau)
+    if isinstance(utility, InelasticUtility):
+        return InelasticUtility(critical_time, u_max=utility.u_max)
+    raise ServiceError(
+        f"cannot retarget utility of type {type(utility).__name__}; "
+        "pass an explicit utility to update_task"
+    )
+
+
+class AllocationService:
+    """A live LLA optimizer behind a churn/query/admission API."""
+
+    def __init__(self, resources: List[Resource],
+                 tasks: Optional[List[Task]] = None,
+                 config: Optional[ServiceConfig] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
+        if not resources:
+            raise ServiceError("service needs at least one resource")
+        self.config = config or ServiceConfig()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._resources: Dict[str, Resource] = {}
+        for resource in resources:
+            if resource.name in self._resources:
+                raise ServiceError(f"duplicate resource {resource.name!r}")
+            self._resources[resource.name] = resource
+        self._tasks: Dict[str, Task] = {}
+        self._cache = StructureCache(capacity=self.config.cache_capacity)
+        self._snapshots = CheckpointStore()
+        self._optimizer: Optional[LLAOptimizer] = None
+        self._taskset: Optional[TaskSet] = None
+        self._fingerprint: Optional[str] = None
+        self._running = False
+        self._metrics: Optional[Dict[str, Any]] = None
+        # Epoch bookkeeping: an epoch spans one workload generation.
+        self._epoch = 0
+        self._epoch_iterations = 0
+        self._reconverged = False
+        self._total_iterations = 0
+        self._churn_events = 0
+        self._queries = 0
+        self._admission_rejections = 0
+        self._snapshot_fallbacks = 0
+        self._reconvergence_rounds: List[int] = []
+        # The service outlives any single optimizer, so it owns the trace
+        # clock: one monotone iteration count across churn epochs.
+        tracer = self.telemetry.tracer
+        if tracer.enabled and not tracer.clock_injected:
+            tracer.set_clock(lambda: float(self._total_iterations))
+        for task in tasks or ():
+            decision = self.register(task)
+            if not decision.admitted:
+                raise ServiceError(
+                    f"initial task {task.name!r} rejected: {decision.reason}"
+                )
+
+    # -- telemetry ---------------------------------------------------------------
+
+    def _metric(self, name: str) -> Any:
+        if self._metrics is None:
+            registry = self.telemetry.registry
+            self._metrics = {
+                "queries": registry.counter(
+                    "service.queries_total", "allocation queries answered"),
+                "churn": registry.counter(
+                    "service.churn_total", "workload churn events applied"),
+                "rejections": registry.counter(
+                    "service.admission_rejections_total",
+                    "tasks rejected by admission control"),
+                "fallbacks": registry.counter(
+                    "service.snapshot_fallbacks_total",
+                    "snapshot restores demoted to cold resets by a "
+                    "fingerprint mismatch"),
+                "tasks": registry.gauge(
+                    "service.tasks", "tasks currently registered"),
+                "reconv": registry.gauge(
+                    "service.reconvergence_rounds",
+                    "iterations the last churn epoch took to re-converge"),
+                "hit_rate": registry.gauge(
+                    "service.cache_hit_rate",
+                    "structure-cache hit rate since service start"),
+                "converged": registry.gauge(
+                    "service.converged",
+                    "whether the current epoch has re-converged (0/1)"),
+                "qps": registry.gauge(
+                    "service.qps",
+                    "queries per second over the last run() slice"),
+            }
+        return self._metrics[name]
+
+    # -- churn API ---------------------------------------------------------------
+
+    def register(self, task: Task) -> AdmissionDecision:
+        """Admit and install a task; rejection leaves the service as-is."""
+        reason = self._admission_reason(task)
+        if reason is not None:
+            self._admission_rejections += 1
+            if self.telemetry.enabled:
+                self._metric("rejections").inc()
+                if self.telemetry.tracer.enabled:
+                    self.telemetry.tracer.emit(
+                        "admission_rejected", task=task.name, reason=reason,
+                    )
+            return AdmissionDecision(task=task.name, admitted=False,
+                                     reason=reason)
+        self._tasks[task.name] = task
+        self._rebuild()
+        return AdmissionDecision(
+            task=task.name, admitted=True,
+            reason="no infeasibility certificate",
+        )
+
+    def deregister(self, name: str) -> Task:
+        """Remove a task; the survivors keep their live prices."""
+        task = self._tasks.pop(name, None)
+        if task is None:
+            raise ServiceError(f"no task named {name!r} is registered")
+        self._rebuild()
+        return task
+
+    def update_task(self, name: str,
+                    critical_time: Optional[float] = None,
+                    utility: Optional[UtilityFunction] = None,
+                    ) -> AdmissionDecision:
+        """Mutate a registered task's critical time and/or utility.
+
+        When only ``critical_time`` is given, the utility is re-anchored
+        at the new critical time within its family.  The mutated task
+        passes through admission control like an arrival; on rejection
+        the old task stays registered and live.
+        """
+        old = self._tasks.get(name)
+        if old is None:
+            raise ServiceError(f"no task named {name!r} is registered")
+        if critical_time is None and utility is None:
+            raise ServiceError(
+                "update_task needs a critical_time and/or a utility"
+            )
+        new_crit = old.critical_time if critical_time is None \
+            else float(critical_time)
+        new_utility = utility
+        if new_utility is None:
+            new_utility = old.utility if critical_time is None \
+                else _retarget_utility(old.utility, new_crit)
+        replacement = Task(
+            name=old.name,
+            subtasks=list(old.subtasks),
+            graph=old.graph,
+            critical_time=new_crit,
+            utility=new_utility,
+            variant=old.variant,
+            trigger=old.trigger,
+        )
+        del self._tasks[name]
+        reason = self._admission_reason(replacement)
+        if reason is not None:
+            self._tasks[name] = old  # restore; nothing changed
+            self._admission_rejections += 1
+            if self.telemetry.enabled:
+                self._metric("rejections").inc()
+                if self.telemetry.tracer.enabled:
+                    self.telemetry.tracer.emit(
+                        "admission_rejected", task=name, reason=reason,
+                    )
+            return AdmissionDecision(task=name, admitted=False, reason=reason)
+        self._tasks[name] = replacement
+        self._rebuild()
+        return AdmissionDecision(
+            task=name, admitted=True, reason="no infeasibility certificate",
+        )
+
+    def set_availability(self, resource: str, availability: float) -> None:
+        """Apply a capacity change (e.g. a shock) to a live resource."""
+        old = self._resources.get(resource)
+        if old is None:
+            raise ServiceError(f"no resource named {resource!r}")
+        self._resources[resource] = Resource(
+            name=old.name, kind=old.kind, availability=availability,
+            lag=old.lag, metadata=dict(old.metadata),
+        )
+        if self._tasks:
+            self._rebuild()
+
+    def _admission_reason(self, task: Task) -> Optional[str]:
+        """Why ``task`` cannot be admitted; ``None`` when it can."""
+        if task.name in self._tasks:
+            return f"a task named {task.name!r} is already registered"
+        for sub in task.subtasks:
+            if sub.resource not in self._resources:
+                return (
+                    f"subtask {sub.name!r} references unknown resource "
+                    f"{sub.resource!r}"
+                )
+        candidate = dict(self._tasks)
+        candidate[task.name] = task
+        try:
+            taskset = self._make_taskset(candidate)
+        except ModelError as exc:
+            return str(exc)
+        if self.config.admission_control:
+            certificate = certify_infeasible(taskset)
+            if certificate is not None:
+                return f"provably infeasible: {certificate}"
+        return None
+
+    def _make_taskset(self, tasks: Mapping[str, Task]) -> TaskSet:
+        # Canonical (name-sorted) order: the task set a churn sequence
+        # produces depends only on its membership, never on arrival
+        # order, so oscillatory churn reproduces fingerprints exactly
+        # and the structure cache can hit.
+        return TaskSet(sorted(tasks.values(), key=lambda t: t.name),
+                       sorted(self._resources.values(),
+                              key=lambda r: r.name),
+                       allow_shared_resources=True)
+
+    # -- rebuild (the churn path) ------------------------------------------------
+
+    def _rebuild(self) -> None:
+        """Recompile the workload and swap in a warm-started optimizer."""
+        live_prices: Dict[str, float] = {}
+        if self._optimizer is not None:
+            live_prices = dict(self._optimizer.resource_prices.prices)
+        had_optimizer = self._optimizer is not None
+        if not self._tasks:
+            self._optimizer = None
+            self._taskset = None
+            self._fingerprint = None
+        else:
+            taskset = self._make_taskset(self._tasks)
+            fingerprint = taskset_fingerprint(taskset)
+            lla = self.config.optimizer_config()
+            structure: Optional[TaskSetStructure] = None
+            if lla.backend == "vectorized":
+                structure = self._cache.get(
+                    taskset, max_latency_factor=lla.max_latency_factor,
+                    fingerprint=fingerprint,
+                )
+            optimizer = LLAOptimizer(
+                taskset, lla, telemetry=self.telemetry, structure=structure,
+            )
+            if self.config.warm_start_churn and live_prices:
+                fallback = warm_start_resource_prices(
+                    taskset, default=lla.initial_resource_price,
+                )
+                optimizer.adopt_prices({
+                    rname: live_prices.get(rname, fallback[rname])
+                    for rname in taskset.resources
+                })
+            self._optimizer = optimizer
+            self._taskset = taskset
+            self._fingerprint = fingerprint
+        if had_optimizer or self._optimizer is not None:
+            self._churn_events += 1
+        self._epoch += 1
+        self._epoch_iterations = 0
+        self._reconverged = False
+        if self.telemetry.enabled:
+            self._metric("churn").inc()
+            self._metric("tasks").set(len(self._tasks))
+            self._metric("hit_rate").set(self._cache.hit_rate)
+            self._metric("converged").set(0.0)
+            if self.telemetry.tracer.enabled:
+                self.telemetry.tracer.emit(
+                    "churn", epoch=self._epoch, tasks=len(self._tasks),
+                    warm=bool(self.config.warm_start_churn and live_prices),
+                    cache_hits=self._cache.hits,
+                    cache_misses=self._cache.misses,
+                )
+
+    # -- driving -----------------------------------------------------------------
+
+    def step(self, iterations: int = 1) -> int:
+        """Advance the live solve; returns iterations actually run (0 when
+        no tasks are registered)."""
+        if iterations < 1:
+            raise ServiceError(f"iterations must be >= 1, got {iterations!r}")
+        optimizer = self._optimizer
+        if optimizer is None:
+            return 0
+        for _ in range(iterations):
+            optimizer.step()
+            self._total_iterations += 1
+            self._epoch_iterations += 1
+            if not self._reconverged and optimizer.detector.converged():
+                self._reconverged = True
+                self._reconvergence_rounds.append(self._epoch_iterations)
+                if self.telemetry.enabled:
+                    self._metric("reconv").set(self._epoch_iterations)
+                    self._metric("converged").set(1.0)
+                    if self.telemetry.tracer.enabled:
+                        self.telemetry.tracer.emit(
+                            "service_reconverged", epoch=self._epoch,
+                            rounds=self._epoch_iterations,
+                        )
+        return iterations
+
+    def run_to_convergence(self, budget: int = 5000) -> Optional[int]:
+        """Step until the current epoch re-converges; rounds taken, or
+        ``None`` when the budget runs out (or no tasks are registered)."""
+        if self._optimizer is None:
+            return None
+        while not self._reconverged and budget > 0:
+            chunk = min(self.config.batch_size, budget)
+            self.step(chunk)
+            budget -= chunk
+        return self._reconvergence_rounds[-1] if self._reconverged else None
+
+    async def run(self, iterations: Optional[int] = None) -> int:
+        """Drive the optimizer cooperatively on the running event loop.
+
+        Runs ``iterations`` optimizer steps (``None`` = until
+        :meth:`stop`), yielding to the event loop after every
+        ``batch_size`` so churn and queries interleave with the solve.
+        Returns the number of iterations executed.
+        """
+        if self._running:
+            raise ServiceError("service is already running")
+        self._running = True
+        executed = 0
+        queries_before = self._queries
+        slice_started = time.perf_counter()
+        try:
+            while self._running and \
+                    (iterations is None or executed < iterations):
+                batch = self.config.batch_size
+                if iterations is not None:
+                    batch = min(batch, iterations - executed)
+                ran = self.step(batch) if self._tasks else 0
+                executed += ran if ran else batch
+                if self.telemetry.enabled:
+                    elapsed = time.perf_counter() - slice_started
+                    if elapsed > 0.0:
+                        self._metric("qps").set(
+                            (self._queries - queries_before) / elapsed
+                        )
+                    queries_before = self._queries
+                    slice_started = time.perf_counter()
+                await asyncio.sleep(0)
+        finally:
+            self._running = False
+        return executed
+
+    def stop(self) -> None:
+        """Ask a concurrent :meth:`run` loop to exit after its batch."""
+        self._running = False
+
+    # -- queries -----------------------------------------------------------------
+
+    def query(self, task_name: str) -> AllocationView:
+        """The task's allocation under the current iterate."""
+        task = self._tasks.get(task_name)
+        optimizer = self._optimizer
+        if task is None or optimizer is None:
+            raise ServiceError(f"no task named {task_name!r} is registered")
+        self._queries += 1
+        if self.telemetry.enabled:
+            self._metric("queries").inc()
+        latencies = {
+            name: optimizer.latencies[name] for name in task.subtask_names
+        }
+        return AllocationView(
+            task=task_name,
+            latencies=latencies,
+            aggregated_latency=task.aggregated_latency(latencies),
+            utility=task.utility_value(latencies),
+            meets_critical_time=task.meets_critical_time(latencies),
+            iteration=optimizer.iteration,
+            epoch=self._epoch,
+            converged=self._reconverged,
+        )
+
+    def allocations(self) -> Dict[str, float]:
+        """Every subtask's latency under the current iterate."""
+        if self._optimizer is None:
+            return {}
+        return dict(self._optimizer.latencies)
+
+    @property
+    def tasks(self) -> Tuple[str, ...]:
+        return tuple(self._tasks)
+
+    @property
+    def taskset(self) -> Optional[TaskSet]:
+        return self._taskset
+
+    @property
+    def fingerprint(self) -> Optional[str]:
+        return self._fingerprint
+
+    @property
+    def converged(self) -> bool:
+        return self._reconverged
+
+    @property
+    def cache(self) -> StructureCache:
+        return self._cache
+
+    # -- snapshots ---------------------------------------------------------------
+
+    def snapshot(self) -> None:
+        """Checkpoint the live dual state, stamped with the fingerprint."""
+        optimizer = self._optimizer
+        if optimizer is None:
+            raise ServiceError("nothing to snapshot: no tasks registered")
+        self._snapshots.save(
+            _SNAPSHOT_AGENT, self._total_iterations,
+            {"resource_prices": dict(optimizer.resource_prices.prices)},
+            fingerprint=self._fingerprint,
+        )
+
+    def restore(self) -> bool:
+        """Warm-restore the last snapshot into the live optimizer.
+
+        Returns ``True`` on a warm restore.  A snapshot stamped for a
+        different task set (the workload churned since :meth:`snapshot`)
+        demotes to a cold reset — restoring its prices would resume a
+        different problem's dual state — and the fallback is counted.
+        """
+        optimizer = self._optimizer
+        if optimizer is None:
+            raise ServiceError("nothing to restore into: no tasks registered")
+        checkpoint = self._snapshots.load(
+            _SNAPSHOT_AGENT, fingerprint=self._fingerprint,
+        )
+        self._epoch_iterations = 0
+        self._reconverged = False
+        optimizer.detector.reset()
+        if checkpoint is None:
+            optimizer.reset()
+            self._snapshot_fallbacks += 1
+            if self.telemetry.enabled:
+                self._metric("fallbacks").inc()
+                self._metric("converged").set(0.0)
+                if self.telemetry.tracer.enabled:
+                    self.telemetry.tracer.emit(
+                        "snapshot_fallback", epoch=self._epoch,
+                    )
+            return False
+        optimizer.adopt_prices(checkpoint.state["resource_prices"])
+        if self.telemetry.enabled:
+            self._metric("converged").set(0.0)
+        return True
+
+    # -- stats -------------------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        return ServiceStats(
+            tasks=len(self._tasks),
+            resources=len(self._resources),
+            iterations=self._total_iterations,
+            epoch=self._epoch,
+            churn_events=self._churn_events,
+            queries=self._queries,
+            admission_rejections=self._admission_rejections,
+            cache_hits=self._cache.hits,
+            cache_misses=self._cache.misses,
+            cache_hit_rate=self._cache.hit_rate,
+            converged=self._reconverged,
+            last_reconvergence_rounds=(
+                self._reconvergence_rounds[-1]
+                if self._reconvergence_rounds else None
+            ),
+            reconvergence_rounds=tuple(self._reconvergence_rounds),
+            snapshot_fallbacks=self._snapshot_fallbacks,
+        )

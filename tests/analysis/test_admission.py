@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.admission import AdmissionController
+from repro.analysis.admission import AdmissionController, certify_infeasible
 from repro.analysis.schedulability import SchedulabilityAnalyzer
 from repro.errors import ModelError
 from repro.model.events import PeriodicEvent
@@ -108,3 +108,55 @@ class TestUtilityMode:
         ctrl = controller(mode="utility", max_utility_loss=1000.0)
         assert ctrl.offer(chain_task("vip", 2.0, 40.0, slope=3.0)).admitted
         assert ctrl.offer(chain_task("bulk", 4.0, 40.0, slope=1.0)).admitted
+
+
+class TestCertifyInfeasible:
+    """The closed-form certificate used by the always-on service: sound
+    (never rejects a feasible set) but incomplete."""
+
+    def make_taskset(self, *tasks):
+        from repro.model.task import TaskSet
+        return TaskSet(list(tasks), RESOURCES, allow_shared_resources=True)
+
+    def test_feasible_set_has_no_certificate(self):
+        ts = self.make_taskset(chain_task("ok", 2.0, 40.0))
+        assert certify_infeasible(ts) is None
+
+    def test_path_floor_certificate(self):
+        """Three subtasks whose summed latency floors exceed the critical
+        time can never meet it, even alone on their resources."""
+        ts = self.make_taskset(chain_task("doomed", 2.0, 1.0))
+        reason = certify_infeasible(ts)
+        assert reason is not None
+        assert "path" in reason
+        assert "doomed" in reason
+
+    def test_load_floor_certificate(self):
+        """Each task is individually schedulable, but their combined
+        minimum shares overload a resource."""
+        competitors = [
+            Task(
+                name=f"solo{i}",
+                subtasks=[Subtask(f"solo{i}_0", "r0", 2.0)],
+                graph=SubtaskGraph.chain([f"solo{i}_0"]),
+                critical_time=4.0,
+                utility=LinearUtility(4.0, k=2.0),
+                trigger=PeriodicEvent(100.0),
+            )
+            for i in range(2)
+        ]
+        for task in competitors:
+            assert certify_infeasible(self.make_taskset(task)) is None
+        reason = certify_infeasible(self.make_taskset(*competitors))
+        assert reason is not None
+        assert "'r0'" in reason
+
+    def test_certificate_is_conservative(self):
+        """A tight-but-feasible workload must not be rejected: the
+        certificate may only fire on provable infeasibility."""
+        ts = self.make_taskset(chain_task("tight", 2.0, 40.0),
+                               chain_task("tight2", 2.0, 40.0))
+        from repro.core.optimizer import LLAConfig, LLAOptimizer
+        result = LLAOptimizer(ts, LLAConfig(max_iterations=2000)).run()
+        if ts.is_feasible(result.latencies, tol=1e-2):
+            assert certify_infeasible(ts) is None

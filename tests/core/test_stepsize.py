@@ -152,3 +152,42 @@ class TestDirectPathCongestion:
         assert policy.path_gamma(key) == 1.0
         policy.observe([], [key])
         assert policy.path_gamma(key) == 2.0
+
+
+class TestChurnRobustness:
+    """Regression tests for task-set churn: congestion feedback can
+    mention resources and paths the policy was not built for (the
+    optimizer was just rebuilt for a different membership, or a stale
+    agent reports against an old task set)."""
+
+    def test_observe_ignores_unknown_resource(self, base_ts):
+        policy = AdaptiveStepSize(base_ts, initial_gamma=1.0)
+        # Must not raise, and must not disturb known state.
+        policy.observe(["r0", "no-such-resource"], [])
+        assert policy.resource_gamma("r0") == 2.0
+        assert policy.resource_gamma("no-such-resource") == 1.0
+
+    def test_observe_ignores_unknown_path(self, base_ts):
+        policy = AdaptiveStepSize(base_ts, initial_gamma=1.0)
+        ghost = PathKey("departed-task", 3)
+        policy.observe([], [ghost])
+        assert policy.path_gamma(ghost) == 1.0
+
+    def test_unknown_keys_report_initial_gamma(self, base_ts):
+        policy = AdaptiveStepSize(base_ts, initial_gamma=0.5)
+        assert policy.resource_gamma("never-registered") == 0.5
+        assert policy.path_gamma(PathKey("never-registered", 0)) == 0.5
+
+    def test_rebuilt_policy_does_not_inherit_escalation(self, base_ts):
+        """Rebuilding the policy for a churned task set (what the service
+        does on every epoch) must start every γ back at the initial
+        value, even for names shared with the escalated predecessor."""
+        old = AdaptiveStepSize(base_ts, initial_gamma=1.0)
+        for _ in range(3):
+            old.observe(list(base_ts.resources), [])
+        assert old.resource_gamma("r0") == 8.0
+        new = AdaptiveStepSize(base_ts, initial_gamma=1.0)
+        for rname in base_ts.resources:
+            assert new.resource_gamma(rname) == 1.0
+        for key, gamma in new._path_gamma.items():
+            assert gamma == 1.0

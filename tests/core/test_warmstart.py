@@ -57,6 +57,19 @@ class TestEstimate:
         # The correction offset does not change the equilibrium estimate.
         assert prices["r0"] == pytest.approx(3.0)
 
+    def test_blacked_out_resource_falls_back_to_default(self):
+        """Regression: a full capacity shock (availability 0) used to
+        crash the estimate with a ZeroDivisionError; it must fall back
+        to the default price for the shocked resource and keep the
+        closed-form estimate everywhere else."""
+        ts = make_chain_taskset(n_subtasks=3, exec_time=2.0, lag=1.0)
+        ts.set_availability("r1", 0.0)
+        prices = warm_start_resource_prices(ts, default=5.0)
+        assert prices["r1"] == 5.0
+        assert prices["r0"] == pytest.approx(3.0)
+        assert prices["r2"] == pytest.approx(3.0)
+        assert all(math.isfinite(v) for v in prices.values())
+
 
 class TestIntegration:
     def test_apply_updates_optimizer(self, base_ts):
@@ -97,3 +110,33 @@ class TestIntegration:
         opt.run(20)
         opt.reset()
         assert opt.resource_prices.prices == pytest.approx(initial)
+
+    @pytest.mark.parametrize("backend", ["scalar", "vectorized"])
+    def test_apply_after_iterating_matches_fresh_optimizer(self, backend):
+        """Regression: applying a warm start to an optimizer that already
+        iterated used to leave the previous run's path prices (and
+        step-size escalation) in place, so its state diverged from a
+        fresh warm-started optimizer.  After ``apply_warm_start`` the two
+        must hold identical duals and then walk identical trajectories.
+        """
+        config = LLAConfig(backend=backend, max_iterations=500,
+                           stop_on_convergence=False)
+        stale = LLAOptimizer(base_workload(), config)
+        stale.run(40)
+        apply_warm_start(stale)
+        fresh = LLAOptimizer(
+            base_workload(),
+            LLAConfig(backend=backend, max_iterations=500,
+                      stop_on_convergence=False, warm_start=True),
+        )
+        assert stale.resource_prices.prices == pytest.approx(
+            fresh.resource_prices.prices)
+        assert stale._collect_path_prices() == pytest.approx(
+            fresh._collect_path_prices())
+        assert stale.latencies == pytest.approx(fresh.latencies)
+        for _ in range(30):
+            stale.step()
+            fresh.step()
+        assert stale.latencies == pytest.approx(fresh.latencies)
+        assert stale.resource_prices.prices == pytest.approx(
+            fresh.resource_prices.prices)

@@ -49,7 +49,13 @@ class TestFaultPlanValidation:
         with pytest.raises(DistributedError):
             DuplicationWindow(start=1, end=5, probability=0.0)
         with pytest.raises(DistributedError):
-            CapacityShock("r0", at=1, factor=0.0)
+            CapacityShock("r0", at=1, factor=-0.5)
+        with pytest.raises(DistributedError):
+            CapacityShock("r0", at=1, factor=float("inf"))
+
+    def test_zero_factor_shock_is_a_blackout(self):
+        shock = CapacityShock("r0", at=1, factor=0.0)
+        assert shock.factor == 0.0
 
     def test_blackout_burst_is_legal(self):
         burst = LossBurst(start=10, end=20, probability=1.0)
@@ -114,6 +120,61 @@ class TestCheckpointStore:
     def test_rejects_negative_round(self):
         with pytest.raises(DistributedError):
             CheckpointStore().save("a", -1, {})
+
+    def test_fingerprint_mismatch_returns_none(self):
+        """Regression: checkpoints used to record only agent and round,
+        so a checkpoint taken for one task set would happily warm-restore
+        an agent solving a *different* one.  A stamped load must reject a
+        checkpoint carrying another fingerprint."""
+        store = CheckpointStore()
+        store.save("a", 10, {"price": 3.0}, fingerprint="fp-old")
+        assert store.load("a", fingerprint="fp-new") is None
+        assert store.mismatches == 1
+        # The checkpoint itself survives; a matching load still works.
+        loaded = store.load("a", fingerprint="fp-old")
+        assert loaded is not None and loaded.state == {"price": 3.0}
+
+    def test_unstamped_checkpoint_cannot_satisfy_stamped_load(self):
+        store = CheckpointStore()
+        store.save("a", 10, {"price": 3.0})
+        assert store.load("a", fingerprint="fp") is None
+        assert store.mismatches == 1
+
+    def test_unstamped_load_skips_the_check(self):
+        store = CheckpointStore()
+        store.save("a", 10, {"price": 3.0}, fingerprint="fp")
+        assert store.load("a").fingerprint == "fp"
+        assert store.mismatches == 0
+
+
+class TestCheckpointFingerprintInRuntime:
+    def test_taskset_mutation_demotes_warm_restart_to_cold(self):
+        """Save checkpoints, shock a resource (changing the task-set
+        fingerprint), then warm-restart: the stale checkpoint must be
+        rejected and the agent restarted cold."""
+        runtime = make_runtime()
+        interval = runtime.config.checkpoint_interval
+        for _ in range(interval + 1):
+            runtime.step()
+        assert runtime.checkpoints.saves > 0
+        runtime.crash_agent("resource:r0")
+        runtime.set_resource_availability("r0", 0.5)
+        mismatches_before = runtime.checkpoints.mismatches
+        runtime.restart_agent("resource:r0", warm=True)
+        assert runtime.checkpoints.mismatches == mismatches_before + 1
+        # Cold restart: the resource price is back at its initial value.
+        assert runtime.resources["r0"].price == pytest.approx(
+            runtime.config.initial_resource_price)
+
+    def test_unchanged_taskset_still_restores_warm(self):
+        runtime = make_runtime()
+        interval = runtime.config.checkpoint_interval
+        for _ in range(interval + 1):
+            runtime.step()
+        runtime.crash_agent("resource:r0")
+        mismatches_before = runtime.checkpoints.mismatches
+        runtime.restart_agent("resource:r0", warm=True)
+        assert runtime.checkpoints.mismatches == mismatches_before
 
 
 class TestCrashRestart:

@@ -1,0 +1,63 @@
+"""Tests for the churn experiment (warm re-convergence vs cold restart)."""
+
+import pytest
+
+from repro.experiments.churn import SPEC, run_churn
+from repro.harness import get_spec
+
+
+@pytest.fixture(scope="module")
+def report():
+    # One reduced run shared by the whole module; parameters mirror the
+    # spec's quick profile (the 1500-iteration horizon is load-bearing:
+    # shorter cuts the cold baseline off before its loads drop under
+    # capacity).
+    return run_churn(cycles=1)
+
+
+class TestRegistration:
+    def test_spec_registered(self):
+        assert get_spec("churn") is SPEC
+
+    def test_quick_profile_keeps_horizon(self):
+        assert SPEC.quick_params == {"cycles": 1}
+
+
+class TestReport:
+    def test_event_log_covers_the_cycle(self, report):
+        kinds = [kind for kind, _ in report.events]
+        assert "deregister" in kinds
+        assert "register" in kinds
+        assert "update" in kinds
+        assert len(report.warm_rounds) == len(report.events)
+        assert len(report.cold_rounds) == len(report.events)
+
+    def test_warm_beats_cold(self, report):
+        assert report.reconvergence_ratio <= 0.5
+        assert report.warm_mean < report.cold_mean
+
+    def test_same_optimum(self, report):
+        assert report.final_utility_warm == pytest.approx(
+            report.final_utility_cold,
+            rel=0.01,
+        )
+
+    def test_epochs_stay_feasible(self, report):
+        assert report.feasibility_violations == 0
+
+    def test_cache_hits_on_oscillatory_churn(self, report):
+        assert report.cache_hits >= 1
+
+    def test_admission_probe_rejected(self, report):
+        assert report.probe_rejected
+        assert "infeasible" in report.probe_reason
+
+    def test_to_dict_round_trips(self, report):
+        payload = report.to_dict()
+        assert payload["reconvergence_ratio"] == report.reconvergence_ratio
+        assert payload["events"] == [list(e) for e in report.events]
+
+    def test_checks_pass(self, report):
+        for check in SPEC.checks:
+            passed, measured = check.fn(report)
+            assert passed, f"{check.name} failed (measured {measured!r})"

@@ -1,0 +1,60 @@
+"""Tests for canonical task-set fingerprints."""
+
+from repro.model.fingerprint import taskset_fingerprint
+from repro.model.share import CorrectedShare
+from repro.workloads.paper import base_workload
+from tests.conftest import make_chain_taskset
+
+
+class TestDeterminism:
+    def test_equal_construction_equal_fingerprint(self):
+        assert taskset_fingerprint(make_chain_taskset()) == \
+            taskset_fingerprint(make_chain_taskset())
+
+    def test_stable_across_calls(self):
+        ts = base_workload()
+        assert taskset_fingerprint(ts) == taskset_fingerprint(ts)
+
+    def test_is_hex_sha256(self):
+        fp = taskset_fingerprint(make_chain_taskset())
+        assert len(fp) == 64
+        int(fp, 16)
+
+
+class TestSensitivity:
+    """Anything that changes the optimization problem must change the
+    fingerprint — checkpoints and cached structures keyed on it are only
+    interchangeable under exact problem equality."""
+
+    def test_availability(self):
+        shocked = make_chain_taskset()
+        shocked.set_availability("r0", 0.5)
+        assert taskset_fingerprint(shocked) != \
+            taskset_fingerprint(make_chain_taskset())
+
+    def test_critical_time(self):
+        assert taskset_fingerprint(make_chain_taskset(critical_time=31.0)) \
+            != taskset_fingerprint(make_chain_taskset())
+
+    def test_exec_time(self):
+        assert taskset_fingerprint(make_chain_taskset(exec_time=2.5)) != \
+            taskset_fingerprint(make_chain_taskset())
+
+    def test_utility_parameters(self):
+        assert taskset_fingerprint(make_chain_taskset(k=3.0)) != \
+            taskset_fingerprint(make_chain_taskset())
+
+    def test_membership(self):
+        assert taskset_fingerprint(make_chain_taskset(n_subtasks=2)) != \
+            taskset_fingerprint(make_chain_taskset(n_subtasks=3))
+
+    def test_share_function_retuning(self):
+        """Online error correction retunes CorrectedShare in place; the
+        retuned problem must not reuse the old problem's dual state."""
+        ts = make_chain_taskset()
+        base = ts.share_function("s0")
+        corrected = CorrectedShare(base, error=0.0)
+        ts.set_share_function("s0", corrected)
+        before = taskset_fingerprint(ts)
+        corrected.set_error(-0.25)
+        assert taskset_fingerprint(ts) != before

@@ -25,10 +25,15 @@ class TestResource:
         with pytest.raises(ModelError):
             Resource(name="")
 
-    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.5])
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
     def test_rejects_bad_availability(self, bad):
         with pytest.raises(ModelError):
             Resource(name="r", availability=bad)
+
+    def test_zero_availability_is_a_blackout(self):
+        # Legal since capacity shocks may zero a resource out entirely.
+        r = Resource(name="r", availability=0.0)
+        assert r.availability == 0.0
 
     def test_rejects_negative_lag(self):
         with pytest.raises(ModelError):

@@ -1,5 +1,7 @@
 """Unit tests for share functions (Eq. 10 and generalizations)."""
 
+import math
+
 import pytest
 
 from repro.errors import ShareError
@@ -48,7 +50,14 @@ class TestHyperbolicShare:
         with pytest.raises(ShareError):
             fn.latency_for_share(0.0)
         with pytest.raises(ShareError):
-            fn.min_latency(0.0)
+            fn.min_latency(-0.1)
+
+    def test_min_latency_infinite_on_blackout(self):
+        # Zero availability (a blacked-out resource) achieves no finite
+        # latency rather than raising: shocks to zero are legal.
+        fn = HyperbolicShare(exec_time=1.0, lag=1.0)
+        assert fn.min_latency(0.0) == math.inf
+        assert PowerLawShare(cost=2.0, alpha=1.5).min_latency(0.0) == math.inf
 
 
 class TestPowerLawShare:

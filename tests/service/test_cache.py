@@ -1,0 +1,95 @@
+"""Unit tests for the compiled-structure LRU cache."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.cache import StructureCache
+from tests.conftest import make_chain_taskset
+
+
+class TestValidation:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ServiceError):
+            StructureCache(capacity=0)
+        with pytest.raises(ServiceError):
+            StructureCache(capacity=-3)
+
+
+class TestLookup:
+    def test_first_lookup_misses_and_compiles(self):
+        cache = StructureCache()
+        ts = make_chain_taskset()
+        structure = cache.get(ts)
+        assert structure.taskset is ts
+        assert (cache.hits, cache.misses) == (0, 1)
+        assert cache.hit_rate == 0.0
+
+    def test_equal_taskset_hits_and_rebinds(self):
+        """Two separately built but identical task sets share one compiled
+        structure; the hit rebinds it to the caller's task-set object."""
+        cache = StructureCache()
+        first = make_chain_taskset()
+        second = make_chain_taskset()
+        cache.get(first)
+        structure = cache.get(second)
+        assert structure.taskset is second
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_hit_refreshes_model_after_availability_change(self):
+        """Fingerprints cover availabilities, so a shocked task set maps
+        to a different key — the stale compiled model is never reused."""
+        cache = StructureCache()
+        cache.get(make_chain_taskset())
+        shocked = make_chain_taskset()
+        shocked.set_availability("r0", 0.5)
+        cache.get(shocked)
+        assert cache.misses == 2
+
+    def test_latency_clamp_is_part_of_the_key(self):
+        cache = StructureCache()
+        ts = make_chain_taskset()
+        cache.get(ts, max_latency_factor=1.0)
+        cache.get(ts, max_latency_factor=2.0)
+        assert cache.misses == 2
+        cache.get(ts, max_latency_factor=2.0)
+        assert cache.hits == 1
+
+    def test_precomputed_fingerprint_short_circuits(self):
+        from repro.model.fingerprint import taskset_fingerprint
+        cache = StructureCache()
+        ts = make_chain_taskset()
+        fp = taskset_fingerprint(ts)
+        cache.get(ts, fingerprint=fp)
+        structure = cache.get(ts, fingerprint=fp)
+        assert structure.taskset is ts
+        assert cache.hits == 1
+
+
+class TestEviction:
+    def test_lru_evicts_oldest(self):
+        cache = StructureCache(capacity=1)
+        cache.get(make_chain_taskset(n_subtasks=2))
+        cache.get(make_chain_taskset(n_subtasks=3))
+        assert cache.evictions == 1
+        assert len(cache) == 1
+        # The first shape was evicted: looking it up again recompiles.
+        cache.get(make_chain_taskset(n_subtasks=2))
+        assert cache.misses == 3
+
+    def test_recent_use_protects_an_entry(self):
+        cache = StructureCache(capacity=2)
+        small = make_chain_taskset(n_subtasks=2)
+        big = make_chain_taskset(n_subtasks=3)
+        cache.get(small)
+        cache.get(big)
+        cache.get(small)                       # refresh small's recency
+        cache.get(make_chain_taskset(n_subtasks=4))   # evicts big
+        assert cache.get(small) is not None
+        assert cache.hits == 2                 # small hit twice, big gone
+
+    def test_clear(self):
+        cache = StructureCache()
+        cache.get(make_chain_taskset())
+        cache.clear()
+        assert len(cache) == 0

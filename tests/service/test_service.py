@@ -1,0 +1,362 @@
+"""Tests for the always-on allocation service (churn, queries, admission,
+snapshots, the async loop)."""
+
+import asyncio
+
+import pytest
+
+from repro.core.optimizer import LLAConfig
+from repro.core.stepsize import FixedStepSize
+from repro.errors import ServiceError
+from repro.model.events import PeriodicEvent
+from repro.model.graph import SubtaskGraph
+from repro.model.resources import Resource
+from repro.model.task import Subtask, Task
+from repro.model.utility import LinearUtility, LogUtility
+from repro.service import AllocationService, ServiceConfig
+from repro.telemetry import Telemetry
+
+
+def make_resources(n=3, availability=1.0):
+    return [Resource(name=f"r{i}", availability=availability, lag=1.0)
+            for i in range(n)]
+
+
+def make_task(name, n_subtasks=2, exec_time=2.0, critical_time=40.0,
+              k=2.0):
+    """A chain task whose subtask ``i`` runs on shared resource ``r{i}``."""
+    names = [f"{name}.s{i}" for i in range(n_subtasks)]
+    subtasks = [
+        Subtask(name=names[i], resource=f"r{i}", exec_time=exec_time)
+        for i in range(n_subtasks)
+    ]
+    return Task(
+        name=name,
+        subtasks=subtasks,
+        graph=SubtaskGraph.chain(names),
+        critical_time=critical_time,
+        utility=LinearUtility(critical_time, k=k),
+        trigger=PeriodicEvent(50.0),
+    )
+
+
+def make_service(n_tasks=2, **config_kwargs):
+    config = ServiceConfig(**config_kwargs)
+    tasks = [make_task(f"t{i}") for i in range(n_tasks)]
+    return AllocationService(make_resources(), tasks, config=config)
+
+
+class TestServiceConfig:
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ServiceError):
+            ServiceConfig(backend="gpu")
+
+    def test_rejects_bad_capacity_and_batch(self):
+        with pytest.raises(ServiceError):
+            ServiceConfig(cache_capacity=0)
+        with pytest.raises(ServiceError):
+            ServiceConfig(batch_size=0)
+
+    def test_rejects_contradictory_lla_backend(self):
+        with pytest.raises(ServiceError):
+            ServiceConfig(backend="vectorized",
+                          lla=LLAConfig(backend="scalar"))
+
+    def test_rejects_shared_step_policy(self):
+        """A shared policy object would carry step-size escalation across
+        churn epochs — the service demands per-epoch policies."""
+        with pytest.raises(ServiceError):
+            ServiceConfig(
+                backend="scalar",
+                lla=LLAConfig(backend="scalar",
+                              step_policy=FixedStepSize(1.0)),
+            )
+
+    def test_optimizer_config_follows_backend(self):
+        assert ServiceConfig(backend="scalar").optimizer_config() \
+            .backend == "scalar"
+
+
+class TestConstruction:
+    def test_needs_resources(self):
+        with pytest.raises(ServiceError):
+            AllocationService([])
+
+    def test_rejects_duplicate_resources(self):
+        with pytest.raises(ServiceError):
+            AllocationService(make_resources() + make_resources(1))
+
+    def test_rejected_initial_task_raises(self):
+        doomed = make_task("doomed", critical_time=1e-3)
+        with pytest.raises(ServiceError, match="rejected"):
+            AllocationService(make_resources(), [doomed])
+
+    def test_starts_empty_without_tasks(self):
+        service = AllocationService(make_resources())
+        assert service.tasks == ()
+        assert service.taskset is None
+        assert service.step(10) == 0
+
+
+class TestChurn:
+    def test_register_and_query(self):
+        service = make_service(n_tasks=0)
+        decision = service.register(make_task("t0"))
+        assert decision.admitted
+        service.step(50)
+        view = service.query("t0")
+        assert view.task == "t0"
+        assert set(view.latencies) == {"t0.s0", "t0.s1"}
+        assert view.aggregated_latency > 0.0
+
+    def test_duplicate_name_rejected(self):
+        service = make_service()
+        decision = service.register(make_task("t0"))
+        assert not decision.admitted
+        assert "already registered" in decision.reason
+
+    def test_unknown_resource_rejected(self):
+        service = make_service()
+        stray = Task(
+            name="stray",
+            subtasks=[Subtask(name="stray.s0", resource="elsewhere",
+                              exec_time=1.0)],
+            graph=SubtaskGraph.chain(["stray.s0"]),
+            critical_time=30.0,
+            utility=LinearUtility(30.0),
+            trigger=PeriodicEvent(50.0),
+        )
+        decision = service.register(stray)
+        assert not decision.admitted
+        assert "unknown resource" in decision.reason
+
+    def test_deregister_unknown_raises(self):
+        with pytest.raises(ServiceError):
+            make_service().deregister("ghost")
+
+    def test_fingerprint_ignores_arrival_order(self):
+        """Membership, not arrival order, determines the fingerprint —
+        the property that lets oscillatory churn hit the cache."""
+        forward = make_service(n_tasks=0)
+        forward.register(make_task("a"))
+        forward.register(make_task("b"))
+        backward = make_service(n_tasks=0)
+        backward.register(make_task("b"))
+        backward.register(make_task("a"))
+        assert forward.fingerprint == backward.fingerprint
+
+    def test_oscillatory_churn_hits_structure_cache(self):
+        service = make_service(n_tasks=2)
+        fingerprint = service.fingerprint
+        departed = service.deregister("t1")
+        service.register(departed)
+        assert service.fingerprint == fingerprint
+        assert service.cache.hits >= 1
+
+    def test_churn_warm_starts_from_live_prices(self):
+        service = make_service(n_tasks=2)
+        service.step(200)
+        live = dict(service._optimizer.resource_prices.prices)
+        service.deregister("t1")
+        rebuilt = service._optimizer.resource_prices.prices
+        for rname, price in rebuilt.items():
+            assert price == pytest.approx(live[rname])
+
+    def test_cold_config_restarts_from_estimate(self):
+        service = make_service(n_tasks=2, warm_start_churn=False)
+        service.step(200)
+        live = dict(service._optimizer.resource_prices.prices)
+        service.deregister("t1")
+        rebuilt = service._optimizer.resource_prices.prices
+        assert rebuilt != pytest.approx(live)
+
+    def test_admission_blocks_provably_infeasible_arrival(self):
+        service = make_service(n_tasks=2)
+        fingerprint = service.fingerprint
+        probe = make_task("probe", critical_time=1e-3)
+        decision = service.register(probe)
+        assert not decision.admitted
+        assert "provably infeasible" in decision.reason
+        # The rejection left the live problem untouched.
+        assert service.fingerprint == fingerprint
+        assert "probe" not in service.tasks
+        assert service.stats().admission_rejections == 1
+
+    def test_update_task_retargets_utility(self):
+        service = make_service(n_tasks=1)
+        decision = service.update_task("t0", critical_time=50.0)
+        assert decision.admitted
+        task = service.taskset.task("t0")
+        assert task.critical_time == 50.0
+        assert isinstance(task.utility, LinearUtility)
+        assert task.utility.k == 2.0
+
+    def test_update_task_accepts_new_utility(self):
+        # LogUtility needs the numeric per-task solver → scalar backend.
+        service = make_service(n_tasks=1, backend="scalar")
+        service.update_task("t0", utility=LogUtility(40.0))
+        assert isinstance(service.taskset.task("t0").utility, LogUtility)
+
+    def test_update_task_rejection_restores_old_task(self):
+        service = make_service(n_tasks=1)
+        fingerprint = service.fingerprint
+        decision = service.update_task("t0", critical_time=1e-3)
+        assert not decision.admitted
+        assert service.fingerprint == fingerprint
+        assert service.taskset.task("t0").critical_time == 40.0
+
+    def test_update_task_validates_arguments(self):
+        service = make_service(n_tasks=1)
+        with pytest.raises(ServiceError):
+            service.update_task("ghost", critical_time=50.0)
+        with pytest.raises(ServiceError):
+            service.update_task("t0")
+
+    def test_set_availability_rebuilds(self):
+        service = make_service(n_tasks=1)
+        fingerprint = service.fingerprint
+        service.set_availability("r0", 0.5)
+        assert service.fingerprint != fingerprint
+        assert service.taskset.resources["r0"].availability == 0.5
+
+    def test_set_availability_unknown_resource(self):
+        with pytest.raises(ServiceError):
+            make_service().set_availability("ghost", 0.5)
+
+    def test_deregistering_everything_idles_the_service(self):
+        service = make_service(n_tasks=1)
+        service.deregister("t0")
+        assert service.taskset is None
+        assert service.fingerprint is None
+        assert service.step(5) == 0
+        assert service.allocations() == {}
+
+
+class TestQueries:
+    def test_unknown_task_raises(self):
+        with pytest.raises(ServiceError):
+            make_service().query("ghost")
+
+    def test_query_counts(self):
+        service = make_service()
+        service.step(10)
+        service.query("t0")
+        service.query("t1")
+        assert service.stats().queries == 2
+
+    def test_converged_view_meets_critical_time(self):
+        service = make_service()
+        rounds = service.run_to_convergence()
+        assert rounds is not None
+        view = service.query("t0")
+        assert view.converged
+        assert view.meets_critical_time
+
+    def test_reconvergence_recorded_per_epoch(self):
+        service = make_service()
+        assert service.run_to_convergence() is not None
+        service.deregister("t1")
+        assert service.run_to_convergence() is not None
+        assert len(service.stats().reconvergence_rounds) == 2
+
+
+class TestSnapshots:
+    def test_snapshot_restore_roundtrip(self):
+        service = make_service()
+        service.step(100)
+        prices = dict(service._optimizer.resource_prices.prices)
+        service.snapshot()
+        service.step(100)
+        assert service.restore() is True
+        assert service._optimizer.resource_prices.prices == \
+            pytest.approx(prices)
+
+    def test_stale_snapshot_demotes_to_cold_reset(self):
+        service = make_service()
+        service.step(100)
+        service.snapshot()
+        service.deregister("t1")          # fingerprint changes
+        assert service.restore() is False
+        assert service.stats().snapshot_fallbacks == 1
+
+    def test_snapshot_needs_tasks(self):
+        empty = AllocationService(make_resources())
+        with pytest.raises(ServiceError):
+            empty.snapshot()
+        with pytest.raises(ServiceError):
+            empty.restore()
+
+
+class TestAsyncRun:
+    def test_run_executes_requested_iterations(self):
+        service = make_service()
+        executed = asyncio.run(service.run(iterations=70))
+        assert executed == 70
+        assert service.stats().iterations == 70
+
+    def test_stop_ends_an_unbounded_run(self):
+        service = make_service()
+
+        async def scenario():
+            runner = asyncio.create_task(service.run())
+            await asyncio.sleep(0)
+            service.stop()
+            return await runner
+
+        executed = asyncio.run(scenario())
+        assert executed >= 0
+        assert service._running is False
+
+    def test_concurrent_run_rejected(self):
+        service = make_service()
+
+        async def scenario():
+            runner = asyncio.create_task(service.run())
+            await asyncio.sleep(0)
+            try:
+                with pytest.raises(ServiceError):
+                    await service.run(iterations=1)
+            finally:
+                service.stop()
+                await runner
+
+        asyncio.run(scenario())
+
+    def test_churn_between_batches(self):
+        """Queries and churn interleave with a bounded run on one loop."""
+        service = make_service(batch_size=8)
+
+        async def scenario():
+            runner = asyncio.create_task(service.run(iterations=64))
+            await asyncio.sleep(0)
+            service.deregister("t1")
+            view = service.query("t0")
+            await runner
+            return view
+
+        view = asyncio.run(scenario())
+        assert view.task == "t0"
+        assert service.tasks == ("t0",)
+
+
+class TestTelemetryAndStats:
+    def test_counters_flow_into_registry(self):
+        telemetry = Telemetry()
+        service = AllocationService(
+            make_resources(), [make_task("t0")], telemetry=telemetry,
+        )
+        service.step(5)
+        service.query("t0")
+        service.register(make_task("t0"))      # duplicate → rejected
+        registry = telemetry.registry
+        assert registry.get("service.queries_total").value == 1
+        assert registry.get("service.admission_rejections_total").value == 1
+        assert registry.get("service.tasks").value == 1
+
+    def test_stats_to_dict_is_json_shaped(self):
+        service = make_service()
+        service.step(10)
+        payload = service.stats().to_dict()
+        assert payload["tasks"] == 2
+        assert payload["iterations"] == 10
+        assert isinstance(payload["reconvergence_rounds"], list)
