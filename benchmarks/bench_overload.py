@@ -1,0 +1,36 @@
+"""Benchmark: the hardened service under the scripted overload schedule.
+
+Runs the registered ``overload`` experiment (quick budget) inside the
+benchmark timer — the exact code path ``repro experiment overload``
+uses — and asserts its claims: availability through storm + stall +
+outage, brownout hysteresis, bounded churn backpressure, visible
+supervision telemetry, and deterministic replay.  The measured values
+land in ``BENCH_overload.json`` so ``repro bench-diff`` can gate
+regressions against the committed baseline.
+"""
+
+import pytest
+
+import _report
+
+_BENCH = "overload"
+
+
+@pytest.mark.benchmark(group="service")
+def test_overload_chaos_claims(benchmark):
+    run = _report.run_spec(benchmark, "overload", quick=True)
+    _report.assert_claims(run)
+
+    availability = run.check("availability_under_chaos").measured
+    queue = run.check("queue_bounded").measured
+    supervision = run.check("supervision_visible").measured
+    _report.record_value(_BENCH, "scenario.availability",
+                         availability["availability"])
+    _report.record_value(_BENCH, "scenario.queue_max_depth",
+                         queue["queue_max_depth"])
+    _report.record_value(_BENCH, "scenario.supervisor_restarts",
+                         supervision["supervisor_restarts"])
+    print()
+    print(f"  availability {availability['availability']:.4f}, "
+          f"queue depth <= {queue['queue_max_depth']:.0f}, "
+          f"{supervision['supervisor_restarts']:.0f} supervisor restarts")

@@ -42,7 +42,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import TYPE_CHECKING, Any, Coroutine, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.model.task import TaskSet
 
 from repro.analysis.schedulability import SchedulabilityAnalyzer
 from repro.core.optimizer import LLAConfig, LLAOptimizer
@@ -237,6 +240,19 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--smoke", action="store_true",
                      help="small-budget smoke configuration (2 clones, "
                           "1 cycle, 400-iteration epochs)")
+    srv.add_argument("--deadline", type=float, default=None,
+                     help="overall wall-clock deadline in seconds for the "
+                          "scripted scenario; exceeding it exits non-zero "
+                          "(default: 120 with --smoke, unlimited "
+                          "otherwise)")
+    srv.add_argument("--harden", action="store_true",
+                     help="wrap the service in the supervised hardening "
+                          "layer and drive it through the scripted "
+                          "overload fault schedule (storm, stall, "
+                          "snapshot corruption, checkpoint outage)")
+    srv.add_argument("--ticks", type=int, default=120,
+                     help="supervisor ticks for --harden (>= 105 so the "
+                          "fault schedule completes; default 120)")
     srv.add_argument("--trace",
                      help="write a JSONL telemetry trace to this file")
     srv.add_argument("-o", "--output",
@@ -607,8 +623,125 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if healthy else 1
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
+def _run_with_deadline(coro: "Coroutine[Any, Any, None]",
+                       deadline: Optional[float]) -> bool:
+    """Run ``coro`` to completion, bounded by ``deadline`` seconds.
+
+    Returns True on completion, False when the deadline fired (the
+    scenario is cancelled).  A ``None`` deadline means unbounded.
+    """
     import asyncio
+
+    if deadline is None:
+        asyncio.run(coro)
+        return True
+    try:
+        asyncio.run(asyncio.wait_for(coro, timeout=deadline))
+    except asyncio.TimeoutError:
+        return False
+    return True
+
+
+def _serve_hardened(args: argparse.Namespace, taskset: "TaskSet",
+                    telemetry: Optional[Telemetry],
+                    deadline: Optional[float]) -> int:
+    """The --harden serve mode: a supervised service driven through the
+    scripted overload fault schedule."""
+    import tempfile
+
+    from repro.distributed.faults import (
+        CheckpointCorruption,
+        CheckpointOutage,
+        ChurnStorm,
+        FaultPlan,
+        LoopStall,
+    )
+    from repro.service import (
+        BrownoutConfig,
+        HardeningConfig,
+        SupervisedService,
+    )
+
+    if args.ticks < 105:
+        print("--ticks must be >= 105 so the fault schedule completes "
+              "(checkpoint outage ends at tick 96, breaker recloses at "
+              "100)", file=sys.stderr)
+        return 2
+    plan = FaultPlan(
+        churn_storms=(ChurnStorm(at=30, events=36, kind="oscillate"),
+                      ChurnStorm(at=64, events=6, kind="arrivals")),
+        loop_stalls=(LoopStall(at=60, ticks=8),),
+        checkpoint_corruptions=(CheckpointCorruption(at=62),),
+        checkpoint_outages=(CheckpointOutage(start=90, end=96),),
+    )
+    tasks = list(taskset.tasks)
+    with tempfile.TemporaryDirectory(prefix="serve-harden-") as snapdir:
+        config = HardeningConfig(
+            queue_capacity=8,
+            stall_deadline=3,
+            snapshot_interval=10,
+            snapshot_dir=snapdir,
+            brownout=BrownoutConfig(enter_after=2, exit_after=5),
+            reconverge_patience=max(200, args.ticks),
+            seed=0,
+        )
+        service = SupervisedService(
+            list(taskset.resources.values()), tasks,
+            config=config, telemetry=telemetry, fault_plan=plan,
+        )
+        if not _run_with_deadline(service.run(args.ticks), deadline):
+            print(f"hardened serve scenario exceeded the "
+                  f"{deadline:.0f}s deadline", file=sys.stderr)
+            return 2
+        answered = degraded_answers = 0
+        for task in tasks:
+            view = service.query(task.name)
+            answered += 1
+            if view.degraded:
+                degraded_answers += 1
+        stats = service.stats()
+    print(f"hardened service survived the scripted fault schedule "
+          f"({args.ticks} ticks)")
+    print(f"  supervisor restarts {stats.supervisor_restarts} "
+          f"(watchdog fires {stats.watchdog_fires}, "
+          f"stalled ticks {stats.stall_ticks})")
+    print(f"  churn queue: depth <= {stats.queue_max_depth}, "
+          f"shed {stats.queue_shed}, coalesced {stats.queue_coalesced}, "
+          f"degraded-shed {stats.degraded_shed}")
+    print(f"  brownout: {stats.brownout_entries} entries / "
+          f"{stats.brownout_exits} exits "
+          f"(now {'degraded' if stats.degraded else 'healthy'})")
+    print(f"  checkpoints: {stats.snapshots_taken} taken, "
+          f"{stats.snapshot_corruptions} corrupt, "
+          f"{stats.retries} retries, breaker {stats.breaker_state} "
+          f"after {stats.breaker_opens} opens")
+    print(f"  queries: {stats.live_served + stats.degraded_served + stats.stale_served} served "
+          f"({stats.degraded_served + stats.stale_served} from the "
+          f"last-good allocation), {stats.failed_queries} failed")
+    healthy = (not stats.degraded
+               and stats.failed_queries == 0
+               and stats.breaker_state == "closed"
+               and answered == len(tasks))
+    if telemetry is not None:
+        telemetry.close()
+        print(f"trace written to {args.trace}")
+    if args.output:
+        payload = {
+            "command": "serve",
+            "mode": "hardened",
+            "backend": args.backend,
+            "ticks": args.ticks,
+            "healthy": healthy,
+            "degraded_answers": degraded_answers,
+            "stats": stats.to_dict(),
+        }
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"service report written to {args.output}")
+    return 0 if healthy else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
     import time
 
     from repro.service import AllocationService, ServiceConfig
@@ -618,12 +751,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     else:
         copies, cycles, epoch_iters = (args.copies, args.cycles,
                                        args.epoch_iterations)
+    deadline = args.deadline
+    if deadline is None and args.smoke:
+        deadline = 120.0
     if args.workload:
         taskset = _load_taskset(args.workload)
     else:
         taskset = scaled_workload(copies)
 
     telemetry = Telemetry.to_file(args.trace) if args.trace else None
+    if args.harden:
+        return _serve_hardened(args, taskset, telemetry, deadline)
     service = AllocationService(
         list(taskset.resources.values()),
         config=ServiceConfig(backend=args.backend,
@@ -647,7 +785,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             service.register(victim)
             await service.run(iterations=epoch_iters)
 
-    asyncio.run(scenario())
+    if not _run_with_deadline(scenario(), deadline):
+        print(f"serve scenario exceeded the {deadline:.0f}s deadline",
+              file=sys.stderr)
+        return 2
 
     started = time.perf_counter()
     infeasible_queries = 0

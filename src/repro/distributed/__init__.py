@@ -17,10 +17,14 @@ from repro.distributed.activation import (
 from repro.distributed.checkpoint import Checkpoint, CheckpointStore
 from repro.distributed.faults import (
     CapacityShock,
+    CheckpointCorruption,
+    CheckpointOutage,
+    ChurnStorm,
     CrashWindow,
     DuplicationWindow,
     FaultInjector,
     FaultPlan,
+    LoopStall,
     LossBurst,
     PartitionWindow,
     ReorderWindow,
@@ -55,6 +59,10 @@ __all__ = [
     "DistributedClosedLoop",
     "DistributedEpochRecord",
     "FaultPlan",
+    "CheckpointCorruption",
+    "CheckpointOutage",
+    "ChurnStorm",
+    "LoopStall",
     "FaultInjector",
     "CrashWindow",
     "PartitionWindow",

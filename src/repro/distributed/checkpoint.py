@@ -23,11 +23,24 @@ The store is deliberately simple: a versioned in-memory snapshot per
 agent.  Snapshots are deep-copied on both save and load so a restored
 agent can never alias live state, and each save records the round it was
 taken at so restart telemetry can report checkpoint age.
+
+Pass ``directory`` to additionally persist each agent's latest snapshot
+as a JSON file (written atomically: temp file + rename), surviving
+process restarts.  Durability cuts both ways — a file on disk can be
+truncated by a crash mid-write elsewhere, corrupted by the storage
+layer, or hand-edited — so :meth:`CheckpointStore.load` treats an
+unreadable or malformed file exactly like a fingerprint mismatch: it
+counts the event in :attr:`corruptions` and returns ``None``, demoting
+the caller to a cold restart.  A corrupt checkpoint must never be able
+to crash the recovery path whose job is to survive corruption.
 """
 
 from __future__ import annotations
 
 import copy
+import json
+import os
+import tempfile
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
@@ -49,13 +62,27 @@ class Checkpoint:
 
 
 class CheckpointStore:
-    """Keeps the most recent :class:`Checkpoint` per agent."""
+    """Keeps the most recent :class:`Checkpoint` per agent, optionally
+    mirrored to JSON files under ``directory``."""
 
-    def __init__(self) -> None:
+    def __init__(self, directory: Optional[str] = None) -> None:
         self._checkpoints: Dict[str, Checkpoint] = {}
+        self.directory = directory
         self.saves = 0
         self.loads = 0
         self.mismatches = 0
+        self.corruptions = 0
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+
+    def path_for(self, agent: str) -> Optional[str]:
+        """The on-disk path for ``agent``'s snapshot (``None`` when the
+        store is memory-only)."""
+        if self.directory is None:
+            return None
+        safe = "".join(c if c.isalnum() or c in "-_." else "_"
+                       for c in agent)
+        return os.path.join(self.directory, f"{safe}.ckpt.json")
 
     def save(self, agent: str, round_number: int, state: Dict[str, Any],
              fingerprint: Optional[str] = None) -> Checkpoint:
@@ -72,14 +99,81 @@ class CheckpointStore:
             agent=agent, round=round_number, state=copy.deepcopy(state),
             fingerprint=fingerprint,
         )
+        path = self.path_for(agent)
+        if path is not None:
+            self._write_file(path, checkpoint)
         self._checkpoints[agent] = checkpoint
         self.saves += 1
         return checkpoint
 
+    def _write_file(self, path: str, checkpoint: Checkpoint) -> None:
+        """Atomically persist ``checkpoint`` (serialize-then-rename, so a
+        crash mid-write leaves the previous file intact)."""
+        try:
+            payload = json.dumps({
+                "agent": checkpoint.agent,
+                "round": checkpoint.round,
+                "state": checkpoint.state,
+                "fingerprint": checkpoint.fingerprint,
+            })
+        except (TypeError, ValueError) as exc:
+            raise DistributedError(
+                f"checkpoint state for {checkpoint.agent!r} is not "
+                f"JSON-serializable: {exc}"
+            ) from exc
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   prefix=".ckpt-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except OSError as exc:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                # statan: disable=REP003 -- best-effort temp cleanup on a
+                # failed write; the original error is re-raised below.
+                pass
+            raise DistributedError(
+                f"cannot persist checkpoint for {checkpoint.agent!r} "
+                f"to {path!r}: {exc}"
+            ) from exc
+
+    def _read_file(self, agent: str) -> Optional[Checkpoint]:
+        """Read ``agent``'s snapshot from disk; a corrupted, truncated,
+        or malformed file is *counted* and demoted to ``None`` (cold
+        restart), never raised."""
+        path = self.path_for(agent)
+        if path is None:
+            return None
+        try:
+            with open(path, encoding="utf-8") as handle:
+                raw = json.load(handle)
+            state = raw["state"]
+            fingerprint = raw["fingerprint"]
+            if not isinstance(state, dict) or \
+                    not isinstance(fingerprint, (str, type(None))):
+                raise ValueError("malformed checkpoint payload")
+            return Checkpoint(
+                agent=str(raw["agent"]), round=int(raw["round"]),
+                state=state, fingerprint=fingerprint,
+            )
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # statan: disable=REP003 -- the whole point of the recovery
+            # path: a corrupt checkpoint demotes to a counted cold
+            # restart instead of crashing the restart it should enable.
+            self.corruptions += 1
+            return None
+
     def load(self, agent: str,
              fingerprint: Optional[str] = None) -> Optional[Checkpoint]:
         """The latest snapshot for ``agent`` (state deep-copied), or
-        ``None`` when the agent has never been checkpointed.
+        ``None`` when the agent has never been checkpointed.  A store
+        with a ``directory`` falls back to the on-disk file when memory
+        misses (e.g. after a process restart); a corrupted or truncated
+        file is counted in :attr:`corruptions` and demotes to ``None``.
 
         When ``fingerprint`` is given, a snapshot stamped with a
         *different* fingerprint — including an unstamped one, which cannot
@@ -88,6 +182,8 @@ class CheckpointStore:
         cold.  ``fingerprint=None`` skips the check (legacy callers that
         manage problem identity themselves)."""
         checkpoint = self._checkpoints.get(agent)
+        if checkpoint is None:
+            checkpoint = self._read_file(agent)
         if checkpoint is None:
             return None
         if fingerprint is not None and checkpoint.fingerprint != fingerprint:
@@ -106,8 +202,18 @@ class CheckpointStore:
 
     def drop(self, agent: str) -> None:
         self._checkpoints.pop(agent, None)
+        path = self.path_for(agent)
+        if path is not None:
+            try:
+                os.unlink(path)
+            except OSError:
+                # statan: disable=REP003 -- dropping an agent that was
+                # never persisted (or whose file is already gone) is fine.
+                pass
 
     def clear(self) -> None:
+        for agent in list(self._checkpoints):
+            self.drop(agent)
         self._checkpoints.clear()
 
     def __len__(self) -> int:

@@ -37,6 +37,10 @@ __all__ = [
     "DuplicationWindow",
     "ReorderWindow",
     "CapacityShock",
+    "LoopStall",
+    "ChurnStorm",
+    "CheckpointCorruption",
+    "CheckpointOutage",
     "FaultPlan",
     "FaultInjector",
 ]
@@ -173,6 +177,78 @@ class CapacityShock:
             )
 
 
+@dataclass(frozen=True)
+class LoopStall:
+    """Service-layer fault: the control loop's optimizer makes no
+    progress during ticks ``[at, at + ticks)`` — a wedged solve, a GC
+    pause, a deadlocked worker.  The supervised loop's watchdog is
+    expected to notice and restart from the last valid snapshot."""
+
+    at: int
+    ticks: int = 1
+
+    def __post_init__(self):
+        _require_round(self.at, "loop stall.at")
+        if not isinstance(self.ticks, int) or isinstance(self.ticks, bool) \
+                or self.ticks < 1:
+            raise DistributedError(
+                f"loop stall ticks must be an int >= 1, got {self.ticks!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ChurnStorm:
+    """Service-layer fault: ``events`` churn events land in one tick.
+
+    ``kind="oscillate"`` deregisters/re-registers existing tasks (net
+    membership unchanged — pure coalescing pressure);
+    ``kind="arrivals"`` registers fresh synthetic tasks (admission and
+    shed pressure)."""
+
+    at: int
+    events: int = 16
+    kind: str = "oscillate"
+
+    def __post_init__(self):
+        _require_round(self.at, "churn storm.at")
+        if not isinstance(self.events, int) or \
+                isinstance(self.events, bool) or self.events < 1:
+            raise DistributedError(
+                f"churn storm events must be an int >= 1, "
+                f"got {self.events!r}"
+            )
+        if self.kind not in ("oscillate", "arrivals"):
+            raise DistributedError(
+                f"churn storm kind must be 'oscillate' or 'arrivals', "
+                f"got {self.kind!r}"
+            )
+
+
+@dataclass(frozen=True)
+class CheckpointCorruption:
+    """Service-layer fault: at tick ``at`` the stored snapshot is
+    replaced with garbage (bit rot, a torn write elsewhere).  The next
+    restore must demote to a cold reset, not crash."""
+
+    at: int
+
+    def __post_init__(self):
+        _require_round(self.at, "checkpoint corruption.at")
+
+
+@dataclass(frozen=True)
+class CheckpointOutage:
+    """Service-layer fault: checkpoint I/O fails during ``[start, end)``
+    (disk full, volume detached).  Saves are expected to retry with
+    backoff and eventually trip the circuit breaker."""
+
+    start: int
+    end: int
+
+    def __post_init__(self):
+        _require_window(self.start, self.end, "checkpoint outage")
+
+
 def _no_overlap(spans, label: str) -> None:
     """``spans`` is an iterable of (start, end-or-None) round pairs."""
     ordered = sorted(
@@ -201,6 +277,13 @@ class FaultPlan:
     duplications: Tuple[DuplicationWindow, ...] = ()
     reorders: Tuple[ReorderWindow, ...] = ()
     capacity_shocks: Tuple[CapacityShock, ...] = ()
+    # Service-layer faults (applied by repro.service.faults.
+    # ServiceFaultInjector against a SupervisedService tick loop; the
+    # distributed FaultInjector rejects plans that carry them).
+    loop_stalls: Tuple[LoopStall, ...] = ()
+    churn_storms: Tuple[ChurnStorm, ...] = ()
+    checkpoint_corruptions: Tuple[CheckpointCorruption, ...] = ()
+    checkpoint_outages: Tuple[CheckpointOutage, ...] = ()
 
     def __post_init__(self):
         for f in fields(self):
@@ -224,9 +307,26 @@ class FaultPlan:
             )
         for resource, spans in by_resource.items():
             _no_overlap(spans, f"capacity shock({resource})")
+        _no_overlap([(s.at, s.at + s.ticks) for s in self.loop_stalls],
+                    "loop stall")
+        _no_overlap([(w.start, w.end) for w in self.checkpoint_outages],
+                    "checkpoint outage")
 
     def is_empty(self) -> bool:
         return not any(getattr(self, f.name) for f in fields(self))
+
+    def has_service_faults(self) -> bool:
+        """Whether the plan targets the service control loop (loop
+        stalls, churn storms, checkpoint corruption/outages)."""
+        return bool(self.loop_stalls or self.churn_storms
+                    or self.checkpoint_corruptions
+                    or self.checkpoint_outages)
+
+    def has_distributed_faults(self) -> bool:
+        """Whether the plan targets the distributed runtime or bus."""
+        return bool(self.crashes or self.partitions or self.loss_bursts
+                    or self.duplications or self.reorders
+                    or self.capacity_shocks)
 
     def agents(self) -> Tuple[str, ...]:
         """Every agent name the plan references."""
@@ -250,6 +350,14 @@ class FaultPlan:
             latest = max(latest, window.end)
         for shock in self.capacity_shocks:
             latest = max(latest, shock.restore_at or shock.at)
+        for stall in self.loop_stalls:
+            latest = max(latest, stall.at + stall.ticks)
+        for storm in self.churn_storms:
+            latest = max(latest, storm.at)
+        for corruption in self.checkpoint_corruptions:
+            latest = max(latest, corruption.at)
+        for outage in self.checkpoint_outages:
+            latest = max(latest, outage.end)
         return latest
 
 
@@ -280,6 +388,13 @@ class FaultInjector:
     """
 
     def __init__(self, plan: FaultPlan, runtime) -> None:
+        if plan.has_service_faults():
+            raise DistributedError(
+                "fault plan contains service-layer faults (loop stalls, "
+                "churn storms, checkpoint corruption/outages); apply those "
+                "with repro.service.faults.ServiceFaultInjector against a "
+                "SupervisedService, not the distributed FaultInjector"
+            )
         self.plan = plan
         self.runtime = runtime
         known_agents = set(runtime.agent_names())

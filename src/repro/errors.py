@@ -75,6 +75,11 @@ class ServiceError(ReproError):
     lifecycle violation such as starting a running service)."""
 
 
+class BreakerOpenError(ServiceError):
+    """A circuit breaker is open: the guarded call was short-circuited
+    without being attempted (retry after the cooldown)."""
+
+
 class HarnessError(ReproError):
     """The experiment harness was misused (unknown experiment name,
     duplicate registration, malformed parameter override, or a run

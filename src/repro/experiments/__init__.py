@@ -18,7 +18,9 @@ time (``repro.harness.load_all()`` imports this package to populate it):
 * :mod:`repro.experiments.resilience` — control-plane fault recovery
   (ours);
 * :mod:`repro.experiments.churn` — the always-on service under task
-  churn: warm re-convergence vs cold restarts (ours).
+  churn: warm re-convergence vs cold restarts (ours);
+* :mod:`repro.experiments.overload` — the hardened service under churn
+  storms, loop stalls, and checkpoint faults (ours).
 """
 
 from repro.experiments.adaptation import (
@@ -49,6 +51,7 @@ from repro.experiments.percentiles import (
 from repro.experiments.fig6 import Fig6Point, Fig6Result, run_fig6
 from repro.experiments.fig7 import Fig7Result, run_fig7
 from repro.experiments.fig8 import Fig8Result, run_fig8, run_fig8_distributed
+from repro.experiments.overload import OverloadReport, run_overload
 from repro.experiments.resilience import (
     ResilienceReport,
     ResilienceResult,
@@ -91,6 +94,8 @@ __all__ = [
     "PercentilePoint",
     "run_churn",
     "ChurnReport",
+    "run_overload",
+    "OverloadReport",
     "run_resilience",
     "run_crash_recovery",
     "run_blackout_recovery",

@@ -1,0 +1,463 @@
+"""Experiment: the hardened service under overload and injected faults.
+
+The paper's premise is that the allocation loop runs *continuously*
+(§4.4) while the system misbehaves underneath it (§6).  PR 7's `churn`
+experiment measured the polite version of that claim — one churn event
+at a time, a loop that never wedges.  This driver scripts the impolite
+version against :class:`~repro.service.supervisor.SupervisedService`:
+
+* a **churn storm** (every task deregistered/re-registered in one tick,
+  more subjects than the queue admits) must coalesce to a single batched
+  rebuild, bounded queue depth, and counted sheds;
+* an **injected loop stall** must trip the watchdog into
+  snapshot-restores while brownout hysteresis enters degraded mode,
+  answers every query from the last critical-time-feasible allocation,
+  and sheds a storm of synthetic arrivals;
+* a **corrupted snapshot** must demote the watchdog's restore to a
+  counted cold reset, never an exception;
+* a **checkpoint outage** must drive the snapshot path through seeded
+  retries into an open circuit breaker, which recloses after cooldown.
+
+The scenario runs twice with fresh in-memory telemetry; the two traces
+(modulo the documented wall-duration fields) must be identical — chaos
+runs are worthless as evidence unless they replay bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.distributed.faults import (
+    CheckpointCorruption,
+    CheckpointOutage,
+    ChurnStorm,
+    FaultPlan,
+    LoopStall,
+)
+from repro.errors import ServiceError
+from repro.harness import Check, ExperimentSpec, Param, register
+from repro.service import BrownoutConfig, HardeningConfig, SupervisedService
+from repro.telemetry import Telemetry
+from repro.workloads.paper import scaled_workload
+
+__all__ = ["OverloadReport", "run_overload", "SPEC"]
+
+# The fault schedule, in supervisor ticks.  Fixed rather than
+# parameterized: the claims below reason about this exact choreography
+# (storm while healthy, arrivals while degraded, corruption mid-stall,
+# outage spanning one snapshot interval).
+_STORM_AT = 30
+_STALL_AT = 60
+_CORRUPT_AT = 62
+_ARRIVALS_AT = 64
+_ARRIVAL_EVENTS = 6
+_OUTAGE_START = 90
+_OUTAGE_END = 96
+#: Snapshot cadence; the breaker recloses at the first post-outage save.
+_SNAPSHOT_INTERVAL = 10
+#: Minimum run length: the outage must end, the breaker must get its
+#: post-cooldown half-open trial (tick 100), and hysteresis must settle.
+_MIN_TICKS = 105
+
+
+@dataclass
+class OverloadReport:
+    """Everything the overload scenario measured."""
+
+    ticks: int
+    tasks: int
+    queue_capacity: int
+    attempted_queries: int
+    answered_queries: int
+    availability: float
+    degraded_answers: int
+    degraded_entries: int
+    degraded_exits: int
+    ends_degraded: bool
+    transitions: List[Tuple[int, str]] = field(default_factory=list)
+    queue_max_depth: int = 0
+    queue_shed: int = 0
+    queue_coalesced: int = 0
+    degraded_shed: int = 0
+    storm_rebuilds: int = 0
+    supervisor_restarts: int = 0
+    watchdog_fires: int = 0
+    stall_ticks: int = 0
+    retries: int = 0
+    breaker_opens: int = 0
+    breaker_state: str = "closed"
+    checkpoint_failures: int = 0
+    snapshot_corruptions: int = 0
+    snapshots_taken: int = 0
+    final_tasks: int = 0
+    final_feasible: bool = False
+    trace_events: Dict[str, int] = field(default_factory=dict)
+    deterministic: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ticks": self.ticks,
+            "tasks": self.tasks,
+            "queue_capacity": self.queue_capacity,
+            "attempted_queries": self.attempted_queries,
+            "answered_queries": self.answered_queries,
+            "availability": self.availability,
+            "degraded_answers": self.degraded_answers,
+            "degraded_entries": self.degraded_entries,
+            "degraded_exits": self.degraded_exits,
+            "ends_degraded": self.ends_degraded,
+            "transitions": [list(t) for t in self.transitions],
+            "queue_max_depth": self.queue_max_depth,
+            "queue_shed": self.queue_shed,
+            "queue_coalesced": self.queue_coalesced,
+            "degraded_shed": self.degraded_shed,
+            "storm_rebuilds": self.storm_rebuilds,
+            "supervisor_restarts": self.supervisor_restarts,
+            "watchdog_fires": self.watchdog_fires,
+            "stall_ticks": self.stall_ticks,
+            "retries": self.retries,
+            "breaker_opens": self.breaker_opens,
+            "breaker_state": self.breaker_state,
+            "checkpoint_failures": self.checkpoint_failures,
+            "snapshot_corruptions": self.snapshot_corruptions,
+            "snapshots_taken": self.snapshots_taken,
+            "final_tasks": self.final_tasks,
+            "final_feasible": self.final_feasible,
+            "trace_events": dict(self.trace_events),
+            "deterministic": self.deterministic,
+        }
+
+    def summary(self) -> str:
+        return (
+            f"availability {self.availability:.4f} over "
+            f"{self.attempted_queries} queries "
+            f"({self.degraded_answers} degraded); "
+            f"degraded {self.degraded_entries}x in / "
+            f"{self.degraded_exits}x out; "
+            f"queue depth <= {self.queue_max_depth}/{self.queue_capacity}, "
+            f"shed {self.queue_shed}+{self.degraded_shed}; "
+            f"{self.supervisor_restarts} supervisor restarts, "
+            f"{self.retries} retries, {self.breaker_opens} breaker opens; "
+            f"deterministic: {self.deterministic}"
+        )
+
+
+def _trace_tuples(telemetry: Telemetry) -> List[Tuple[Any, ...]]:
+    """The determinism-comparable view of an in-memory trace: every
+    event's (kind, ts, data), with ``duration_s`` and the
+    ``metrics_snapshot`` payload stripped — the only fields documented
+    to differ between otherwise identical runs (measured wall
+    durations)."""
+    sink = telemetry.tracer.sinks[0]
+    return [
+        (ev.kind, ev.ts,
+         tuple(sorted((k, repr(v)) for k, v in ev.data.items()
+                      if k != "duration_s"))
+         if ev.kind != "metrics_snapshot" else ())
+        for ev in sink.events  # type: ignore[attr-defined]
+    ]
+
+
+def _fault_plan(storm_events: int, stall_ticks: int) -> FaultPlan:
+    return FaultPlan(
+        churn_storms=(
+            ChurnStorm(at=_STORM_AT, events=storm_events, kind="oscillate"),
+            ChurnStorm(at=_ARRIVALS_AT, events=_ARRIVAL_EVENTS,
+                       kind="arrivals"),
+        ),
+        loop_stalls=(LoopStall(at=_STALL_AT, ticks=stall_ticks),),
+        checkpoint_corruptions=(CheckpointCorruption(at=_CORRUPT_AT),),
+        checkpoint_outages=(
+            CheckpointOutage(start=_OUTAGE_START, end=_OUTAGE_END),
+        ),
+    )
+
+
+def _run_once(copies: int, critical_time_factor: float, ticks: int,
+              queue_capacity: int, storm_events: int, stall_ticks: int,
+              seed: int, telemetry: Telemetry) -> Dict[str, Any]:
+    taskset = scaled_workload(copies,
+                              critical_time_factor=critical_time_factor)
+    tasks = list(taskset.tasks)
+    names = [task.name for task in tasks]
+    plan = _fault_plan(storm_events, stall_ticks)
+    with tempfile.TemporaryDirectory(prefix="overload-ckpt-") as snapdir:
+        config = HardeningConfig(
+            queue_capacity=queue_capacity,
+            stall_deadline=3,
+            snapshot_interval=_SNAPSHOT_INTERVAL,
+            snapshot_dir=snapdir,
+            brownout=BrownoutConfig(enter_after=2, exit_after=5),
+            # A corrupted snapshot demotes a mid-stall restore to a cold
+            # reset; give the fresh solve room to re-converge without
+            # the unconverged run itself re-triggering brownout.
+            reconverge_patience=max(200, ticks),
+            seed=seed,
+        )
+        service = SupervisedService(
+            list(taskset.resources.values()), tasks,
+            config=config, telemetry=telemetry, fault_plan=plan,
+        )
+        attempted = answered = degraded_answers = 0
+        storm_rebuilds = 0
+        for tick in range(1, ticks + 1):
+            epoch_before = service.service.stats().epoch
+            service.tick()
+            if tick == _STORM_AT:
+                storm_rebuilds = service.service.stats().epoch - epoch_before
+            for name in names:
+                attempted += 1
+                try:
+                    view = service.query(name)
+                except ServiceError:
+                    continue  # counted: answered not incremented
+                answered += 1
+                if view.degraded:
+                    degraded_answers += 1
+        stats = service.stats()
+        final_ts = service.service.taskset
+        final_feasible = bool(
+            final_ts is not None
+            and final_ts.is_feasible(service.service.allocations(),
+                                     tol=1e-2)
+        )
+    return {
+        "stats": stats,
+        "attempted": attempted,
+        "answered": answered,
+        "degraded_answers": degraded_answers,
+        "storm_rebuilds": storm_rebuilds,
+        "final_tasks": len(service.service.tasks),
+        "final_feasible": final_feasible,
+        "task_count": len(tasks),
+    }
+
+
+def run_overload(
+    copies: int = 4,
+    critical_time_factor: float = 20.0,
+    ticks: int = 120,
+    queue_capacity: int = 8,
+    storm_events: int = 36,
+    stall_ticks: int = 8,
+    seed: int = 0,
+) -> OverloadReport:
+    """Drive the hardened service through the scripted fault schedule.
+
+    The scenario executes **twice** with fresh in-memory telemetry; the
+    report's ``deterministic`` flag records whether the two traces match
+    event-for-event (the reproducibility claim chaos results rest on).
+    """
+    if ticks < _MIN_TICKS:
+        raise ServiceError(
+            f"ticks must be >= {_MIN_TICKS} to cover the fault schedule "
+            f"(outage ends at {_OUTAGE_END}, breaker recloses at "
+            f"{_OUTAGE_START + _SNAPSHOT_INTERVAL}), got {ticks!r}"
+        )
+    runs = []
+    traces = []
+    for _ in range(2):
+        telemetry = Telemetry.in_memory()
+        runs.append(_run_once(copies, critical_time_factor, ticks,
+                              queue_capacity, storm_events, stall_ticks,
+                              seed, telemetry))
+        traces.append(_trace_tuples(telemetry))
+        kinds: Dict[str, int] = {}
+        for kind, _ts, _data in traces[-1]:
+            kinds[kind] = kinds.get(kind, 0) + 1
+        runs[-1]["trace_kinds"] = kinds
+    first = runs[0]
+    stats = first["stats"]
+    attempted = first["attempted"]
+    answered = first["answered"]
+    return OverloadReport(
+        ticks=ticks,
+        tasks=first["task_count"],
+        queue_capacity=queue_capacity,
+        attempted_queries=attempted,
+        answered_queries=answered,
+        availability=answered / attempted if attempted else 0.0,
+        degraded_answers=first["degraded_answers"],
+        degraded_entries=stats.brownout_entries,
+        degraded_exits=stats.brownout_exits,
+        ends_degraded=stats.degraded,
+        transitions=list(stats.transitions),
+        queue_max_depth=stats.queue_max_depth,
+        queue_shed=stats.queue_shed,
+        queue_coalesced=stats.queue_coalesced,
+        degraded_shed=stats.degraded_shed,
+        storm_rebuilds=first["storm_rebuilds"],
+        supervisor_restarts=stats.supervisor_restarts,
+        watchdog_fires=stats.watchdog_fires,
+        stall_ticks=stats.stall_ticks,
+        retries=stats.retries,
+        breaker_opens=stats.breaker_opens,
+        breaker_state=stats.breaker_state,
+        checkpoint_failures=stats.checkpoint_failures,
+        snapshot_corruptions=stats.snapshot_corruptions,
+        snapshots_taken=stats.snapshots_taken,
+        final_tasks=first["final_tasks"],
+        final_feasible=first["final_feasible"],
+        trace_events=first["trace_kinds"],
+        deterministic=traces[0] == traces[1],
+    )
+
+
+# -- claims -----------------------------------------------------------------------
+
+
+def _check_availability(report: OverloadReport):
+    """≥99% of queries answer through storm + stall + outage."""
+    measured = {
+        "availability": report.availability,
+        "attempted_queries": float(report.attempted_queries),
+        "degraded_answers": float(report.degraded_answers),
+    }
+    ok = report.attempted_queries > 0 and report.availability >= 0.99
+    return ok, measured
+
+
+def _check_degraded_hysteresis(report: OverloadReport):
+    """Degraded mode is entered under stress, answers from the last-good
+    allocation, and exits via hysteresis before the run ends."""
+    measured = {
+        "degraded_entries": float(report.degraded_entries),
+        "degraded_exits": float(report.degraded_exits),
+        "ends_degraded": 1.0 if report.ends_degraded else 0.0,
+        "degraded_answers": float(report.degraded_answers),
+    }
+    ok = (report.degraded_entries >= 1 and report.degraded_exits >= 1
+          and not report.ends_degraded and report.degraded_answers >= 1)
+    return ok, measured
+
+
+def _check_queue_bounded(report: OverloadReport):
+    """The storm coalesces to one rebuild, depth stays under the cap,
+    and overflow is shed rather than buffered."""
+    measured = {
+        "queue_max_depth": float(report.queue_max_depth),
+        "queue_capacity": float(report.queue_capacity),
+        "queue_shed": float(report.queue_shed),
+        "queue_coalesced": float(report.queue_coalesced),
+        "storm_rebuilds": float(report.storm_rebuilds),
+    }
+    ok = (report.queue_max_depth <= report.queue_capacity
+          and report.queue_shed >= 1
+          and report.queue_coalesced >= 1
+          and report.storm_rebuilds == 1)
+    return ok, measured
+
+
+def _check_supervision_visible(report: OverloadReport):
+    """Supervisor restarts, checkpoint retries, breaker trips, and the
+    corrupted-snapshot demotion all land in telemetry."""
+    events = report.trace_events
+    measured = {
+        "supervisor_restarts": float(report.supervisor_restarts),
+        "retries": float(report.retries),
+        "breaker_opens": float(report.breaker_opens),
+        "snapshot_corruptions": float(report.snapshot_corruptions),
+        "restart_events": float(events.get("supervisor_restart", 0)),
+        "retry_events": float(events.get("retry", 0)),
+        "breaker_open_events": float(events.get("breaker_open", 0)),
+    }
+    ok = (report.supervisor_restarts >= 1
+          and events.get("supervisor_restart", 0) >= 1
+          and report.retries >= 1 and events.get("retry", 0) >= 1
+          and report.breaker_opens >= 1
+          and events.get("breaker_open", 0) >= 1
+          and report.snapshot_corruptions >= 1)
+    return ok, measured
+
+
+def _check_brownout_sheds_arrivals(report: OverloadReport):
+    """The mid-stall arrivals storm is shed by degraded mode: membership
+    ends unchanged and critical-time feasible."""
+    measured = {
+        "degraded_shed": float(report.degraded_shed),
+        "final_tasks": float(report.final_tasks),
+        "tasks": float(report.tasks),
+        "final_feasible": 1.0 if report.final_feasible else 0.0,
+    }
+    ok = (report.degraded_shed >= 1
+          and report.final_tasks == report.tasks
+          and report.final_feasible)
+    return ok, measured
+
+
+def _check_deterministic(report: OverloadReport):
+    """Two runs of the scenario produce identical traces."""
+    return report.deterministic, {
+        "deterministic": 1.0 if report.deterministic else 0.0,
+    }
+
+
+def _payload(report: OverloadReport):
+    return report.to_dict()
+
+
+SPEC = register(ExperimentSpec(
+    name="overload",
+    description="Hardened service under churn storms, loop stalls, "
+                "checkpoint corruption and outages: availability, "
+                "brownout hysteresis, bounded backpressure, supervision "
+                "telemetry, deterministic replay",
+    source="§4.4/§6 continuous-operation-under-stress claim (ours)",
+    runner=run_overload,
+    params=(
+        Param("copies", int, 4,
+              "clones of the 3-task base workload (12 tasks by default)"),
+        Param("critical_time_factor", float, 20.0,
+              "critical-time scaling (the schedulable regime)"),
+        Param("ticks", int, 120,
+              "supervisor ticks to run (>= 105: the fault schedule ends "
+              "with the breaker reclosing at tick 100)"),
+        Param("queue_capacity", int, 8,
+              "churn-queue hard cap (below the 12 storm subjects, so "
+              "sheds are exercised)"),
+        Param("storm_events", int, 36,
+              "raw events in the oscillating churn storm"),
+        Param("stall_ticks", int, 8,
+              "length of the injected loop stall"),
+        Param("seed", int, 0, "retry-jitter RNG seed"),
+    ),
+    checks=(
+        Check("availability_under_chaos",
+              "queries keep answering (availability >= 99%) through the "
+              "storm, the stall, and the checkpoint outage",
+              _check_availability),
+        Check("degraded_hysteresis",
+              "brownout enters under stress, serves the last critical-"
+              "time-feasible allocation, and exits via hysteresis",
+              _check_degraded_hysteresis),
+        Check("queue_bounded",
+              "the churn storm coalesces to one batched rebuild with "
+              "queue depth under the cap and overflow shed",
+              _check_queue_bounded),
+        Check("supervision_visible",
+              "supervisor restarts, checkpoint retries, breaker trips "
+              "and the corrupted-snapshot demotion appear in telemetry",
+              _check_supervision_visible),
+        Check("brownout_sheds_arrivals",
+              "a synthetic-arrivals storm during degraded mode is shed; "
+              "membership ends unchanged and feasible",
+              _check_brownout_sheds_arrivals),
+        Check("deterministic_replay",
+              "two runs of the chaos scenario produce identical traces",
+              _check_deterministic),
+    ),
+    payload=_payload,
+    quick_params={"ticks": 110},
+))
+
+
+def main() -> OverloadReport:
+    report = run_overload()
+    print(report.summary())
+    return report
+
+
+if __name__ == "__main__":
+    main()

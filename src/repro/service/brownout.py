@@ -1,0 +1,77 @@
+"""Brownout hysteresis: when to degrade, and when to trust the calm.
+
+The degraded-mode decision is a classic flapping hazard: overload signals
+are noisy tick to tick, and a controller that enters/exits degraded mode
+on every blip thrashes between the live iterate and the stale-but-safe
+allocation.  :class:`BrownoutController` is the standard cure — a
+two-threshold hysteresis loop: ``enter_after`` *consecutive* stressed
+ticks are required to enter degraded mode, and ``exit_after`` consecutive
+calm ticks to leave it.  A single contrary tick resets the opposing run.
+
+The controller is pure bookkeeping — the caller decides what "stressed"
+means (queue near capacity, sheds, an active stall, re-convergence
+overdue) and what degraded mode does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ServiceError
+
+__all__ = ["BrownoutConfig", "BrownoutController"]
+
+
+@dataclass(frozen=True)
+class BrownoutConfig:
+    """Hysteresis widths, in consecutive control-loop ticks."""
+
+    enter_after: int = 3
+    exit_after: int = 5
+
+    def __post_init__(self) -> None:
+        if self.enter_after < 1:
+            raise ServiceError(
+                f"enter_after must be >= 1, got {self.enter_after!r}"
+            )
+        if self.exit_after < 1:
+            raise ServiceError(
+                f"exit_after must be >= 1, got {self.exit_after!r}"
+            )
+
+
+class BrownoutController:
+    """Tracks stress runs and flips the degraded flag with hysteresis."""
+
+    def __init__(self, config: Optional[BrownoutConfig] = None) -> None:
+        self.config = config or BrownoutConfig()
+        self.degraded = False
+        self.entries = 0
+        self.exits = 0
+        #: ``(tick, "degraded" | "healthy")`` state-transition log.
+        self.transitions: List[Tuple[int, str]] = []
+        self._stress_run = 0
+        self._calm_run = 0
+
+    def observe(self, tick: int, stressed: bool) -> Optional[str]:
+        """Feed one tick's stress verdict; returns ``"enter"`` / ``"exit"``
+        on a state transition, ``None`` otherwise."""
+        if stressed:
+            self._stress_run += 1
+            self._calm_run = 0
+        else:
+            self._calm_run += 1
+            self._stress_run = 0
+        if not self.degraded and \
+                self._stress_run >= self.config.enter_after:
+            self.degraded = True
+            self.entries += 1
+            self.transitions.append((tick, "degraded"))
+            return "enter"
+        if self.degraded and self._calm_run >= self.config.exit_after:
+            self.degraded = False
+            self.exits += 1
+            self.transitions.append((tick, "healthy"))
+            return "exit"
+        return None

@@ -1,0 +1,98 @@
+"""Service-layer fault injection: binding a FaultPlan to the supervisor.
+
+PR 3's :class:`~repro.distributed.faults.FaultPlan` scripts transport and
+agent faults against the distributed runtime; this module applies the
+plan's *service-layer* windows — :class:`~repro.distributed.faults.
+LoopStall`, :class:`~repro.distributed.faults.ChurnStorm`,
+:class:`~repro.distributed.faults.CheckpointCorruption`,
+:class:`~repro.distributed.faults.CheckpointOutage` — against a
+:class:`~repro.service.supervisor.SupervisedService` tick loop.  The
+round convention matches PR 3: 1-based ticks, actions fire at the start
+of their tick (the supervisor calls :meth:`ServiceFaultInjector.apply`
+before draining churn), and window ends clear before new faults fire.
+
+The split is deliberate and enforced in both directions: the distributed
+:class:`~repro.distributed.faults.FaultInjector` rejects plans carrying
+service faults, and this injector rejects plans carrying distributed
+faults, so a plan can never be silently half-applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.distributed.faults import (
+    CheckpointCorruption,
+    CheckpointOutage,
+    ChurnStorm,
+    FaultPlan,
+    LoopStall,
+)
+from repro.errors import ServiceError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.service.supervisor import SupervisedService
+
+__all__ = ["ServiceFaultInjector"]
+
+
+@dataclass
+class _TickActions:
+    """Everything a single tick triggers, precomputed."""
+
+    stalls: List[LoopStall] = field(default_factory=list)
+    storms: List[ChurnStorm] = field(default_factory=list)
+    corruptions: List[CheckpointCorruption] = field(default_factory=list)
+    outage_starts: List[CheckpointOutage] = field(default_factory=list)
+    outage_ends: List[CheckpointOutage] = field(default_factory=list)
+
+
+class ServiceFaultInjector:
+    """Applies a plan's service-layer faults to a supervised loop."""
+
+    def __init__(self, plan: FaultPlan,
+                 supervised: "SupervisedService") -> None:
+        if plan.has_distributed_faults():
+            raise ServiceError(
+                "fault plan contains distributed faults (crashes, "
+                "partitions, loss, duplication, reorder, capacity "
+                "shocks); apply those with the distributed FaultInjector "
+                "against a DistributedLLARuntime, not the service "
+                "injector"
+            )
+        self.plan = plan
+        self.supervised = supervised
+        self._by_tick: Dict[int, _TickActions] = {}
+        for stall in plan.loop_stalls:
+            self._at(stall.at).stalls.append(stall)
+        for storm in plan.churn_storms:
+            self._at(storm.at).storms.append(storm)
+        for corruption in plan.checkpoint_corruptions:
+            self._at(corruption.at).corruptions.append(corruption)
+        for outage in plan.checkpoint_outages:
+            self._at(outage.start).outage_starts.append(outage)
+            self._at(outage.end).outage_ends.append(outage)
+
+    def _at(self, tick: int) -> _TickActions:
+        actions = self._by_tick.get(tick)
+        if actions is None:
+            actions = self._by_tick[tick] = _TickActions()
+        return actions
+
+    def apply(self, tick: int) -> None:
+        """Fire every action scheduled for ``tick``."""
+        actions = self._by_tick.get(tick)
+        if actions is None:
+            return
+        # Ends first so back-to-back windows hand over cleanly.
+        for _outage in actions.outage_ends:
+            self.supervised.set_checkpoint_outage(False)
+        for _outage in actions.outage_starts:
+            self.supervised.set_checkpoint_outage(True)
+        for stall in actions.stalls:
+            self.supervised.inject_stall(stall.ticks)
+        for _corruption in actions.corruptions:
+            self.supervised.corrupt_snapshot()
+        for storm in actions.storms:
+            self.supervised.inject_storm(storm)

@@ -1,0 +1,270 @@
+"""Deterministic retry and circuit-breaker primitives for the service layer.
+
+Transient faults around the always-on service — a checkpoint write hitting
+a flaky disk, a bus delivery timing out — deserve a bounded number of
+retries with exponential backoff, not an immediate crash and not an
+unbounded hot loop.  Two twists keep chaos runs reproducible:
+
+* **seeded jitter** — the backoff jitter is drawn from a
+  ``numpy.random.default_rng(seed)`` stream, so two runs of the same
+  scenario retry with *identical* delays and the trace diff is empty;
+* **virtual delays** — by default the computed backoff is recorded (and
+  traced) but not slept: the supervised control loop is tick-driven, so
+  sleeping wall-clock time inside a tick would couple the trajectory to
+  the host scheduler.  Callers that genuinely want to wait inject a
+  ``sleep`` callable.
+
+The :class:`CircuitBreaker` wraps each *attempt*: enough consecutive
+failures open the circuit, short-circuiting further attempts (raising
+:class:`~repro.errors.BreakerOpenError`) until a cooldown — measured on an
+injected tick clock, never the wall clock — admits a half-open trial.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, TypeVar
+
+import numpy as np
+
+from repro.errors import BreakerOpenError, ServiceError
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+
+__all__ = ["RetryPolicy", "Retrier", "CircuitBreaker"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try: attempt count, backoff shape, jitter fraction.
+
+    ``delay(attempt)`` grows geometrically from ``base_delay`` by
+    ``multiplier``, is capped at ``max_delay``, and is stretched by up to
+    ``jitter``·100% drawn from the caller's seeded RNG.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ServiceError(
+                f"max_attempts must be >= 1, got {self.max_attempts!r}"
+            )
+        if not math.isfinite(self.base_delay) or self.base_delay < 0.0:
+            raise ServiceError(
+                f"base_delay must be finite and >= 0, got {self.base_delay!r}"
+            )
+        if not math.isfinite(self.multiplier) or self.multiplier < 1.0:
+            raise ServiceError(
+                f"multiplier must be finite and >= 1, got {self.multiplier!r}"
+            )
+        if not math.isfinite(self.max_delay) or \
+                self.max_delay < self.base_delay:
+            raise ServiceError(
+                f"max_delay must be finite and >= base_delay, "
+                f"got {self.max_delay!r}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ServiceError(
+                f"jitter must be in [0, 1], got {self.jitter!r}"
+            )
+
+    def delay(self, attempt: int, rng: np.random.Generator) -> float:
+        """Backoff before retrying after failed attempt ``attempt``
+        (1-based), jittered deterministically from ``rng``."""
+        if attempt < 1:
+            raise ServiceError(f"attempt must be >= 1, got {attempt!r}")
+        backoff = min(self.max_delay,
+                      self.base_delay * self.multiplier ** (attempt - 1))
+        if self.jitter > 0.0:
+            backoff *= 1.0 + self.jitter * float(rng.random())
+        return backoff
+
+
+class Retrier:
+    """Calls a function with bounded retries and deterministic backoff.
+
+    A :class:`BreakerOpenError` escaping the callable is terminal — the
+    circuit is open, retrying inside the cooldown can only fail — so it
+    propagates immediately instead of burning the remaining attempts.
+    """
+
+    def __init__(self, policy: Optional[RetryPolicy] = None, *,
+                 seed: int = 0,
+                 sleep: Optional[Callable[[float], None]] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
+        self.policy = policy or RetryPolicy()
+        self._rng = np.random.default_rng(seed)
+        self._sleep = sleep
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._metrics: Optional[dict] = None
+        self.attempts = 0
+        self.retries = 0
+        self.exhausted = 0
+        self.total_backoff = 0.0
+
+    def _metric(self, name: str) -> Any:
+        if self._metrics is None:
+            registry = self.telemetry.registry
+            self._metrics = {
+                "retries": registry.counter(
+                    "service.retries_total",
+                    "retried attempts after a transient failure"),
+                "exhausted": registry.counter(
+                    "service.retries_exhausted_total",
+                    "calls that failed every allowed attempt"),
+            }
+        return self._metrics[name]
+
+    def call(self, fn: Callable[[], T], *, label: str = "call") -> T:
+        """Run ``fn`` with up to ``policy.max_attempts`` tries; re-raises
+        the last failure once the attempts are exhausted."""
+        last: Optional[BaseException] = None
+        for attempt in range(1, self.policy.max_attempts + 1):
+            self.attempts += 1
+            try:
+                return fn()
+            except BreakerOpenError:
+                raise
+            except Exception as exc:  # statan: disable=REP003 -- retryable; re-raised on exhaustion
+                last = exc
+            if attempt == self.policy.max_attempts:
+                break
+            delay = self.policy.delay(attempt, self._rng)
+            self.retries += 1
+            self.total_backoff += delay
+            if self.telemetry.enabled:
+                self._metric("retries").inc()
+                if self.telemetry.tracer.enabled:
+                    self.telemetry.tracer.emit(
+                        "retry", label=label, attempt=attempt,
+                        backoff_s=delay, error=str(last),
+                    )
+            if self._sleep is not None:
+                self._sleep(delay)
+        self.exhausted += 1
+        if self.telemetry.enabled:
+            self._metric("exhausted").inc()
+        assert last is not None
+        raise last
+
+
+class CircuitBreaker:
+    """Trips after consecutive failures; recloses via a half-open trial.
+
+    States: ``closed`` (normal), ``open`` (calls short-circuit with
+    :class:`~repro.errors.BreakerOpenError` until ``cooldown`` ticks
+    elapse), ``half_open`` (one probationary call decides: success →
+    closed, failure → open again).  Time is whatever the injected
+    ``clock`` returns — the supervised loop passes its tick counter, so
+    the breaker's trajectory is deterministic.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, failure_threshold: int = 3, cooldown: float = 5.0, *,
+                 clock: Callable[[], float],
+                 telemetry: Optional[Telemetry] = None,
+                 name: str = "breaker") -> None:
+        if failure_threshold < 1:
+            raise ServiceError(
+                f"failure_threshold must be >= 1, got {failure_threshold!r}"
+            )
+        if not math.isfinite(cooldown) or cooldown <= 0.0:
+            raise ServiceError(
+                f"cooldown must be finite and > 0, got {cooldown!r}"
+            )
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.name = name
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: Optional[float] = None
+        self.opens = 0
+        self.short_circuits = 0
+        self._metrics: Optional[dict] = None
+
+    def _metric(self, key: str) -> Any:
+        if self._metrics is None:
+            registry = self.telemetry.registry
+            self._metrics = {
+                "opens": registry.counter(
+                    "service.breaker_opens_total",
+                    "circuit-breaker trips (closed/half-open -> open)"),
+                "shorted": registry.counter(
+                    "service.breaker_short_circuits_total",
+                    "calls rejected while the circuit was open"),
+            }
+        return self._metrics[key]
+
+    def allow(self) -> bool:
+        """Whether a call may proceed now (transitions open → half-open
+        when the cooldown has elapsed)."""
+        if self.state == self.OPEN:
+            assert self.opened_at is not None
+            if self._clock() - self.opened_at >= self.cooldown:
+                self.state = self.HALF_OPEN
+                if self.telemetry.enabled and self.telemetry.tracer.enabled:
+                    self.telemetry.tracer.emit(
+                        "breaker_half_open", breaker=self.name,
+                    )
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        if self.state != self.CLOSED:
+            self.state = self.CLOSED
+            self.opened_at = None
+            if self.telemetry.enabled and self.telemetry.tracer.enabled:
+                self.telemetry.tracer.emit(
+                    "breaker_closed", breaker=self.name,
+                )
+        self.consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        tripped = self.state == self.HALF_OPEN or (
+            self.state == self.CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        )
+        if tripped:
+            self.state = self.OPEN
+            self.opened_at = self._clock()
+            self.opens += 1
+            if self.telemetry.enabled:
+                self._metric("opens").inc()
+                if self.telemetry.tracer.enabled:
+                    self.telemetry.tracer.emit(
+                        "breaker_open", breaker=self.name,
+                        failures=self.consecutive_failures,
+                    )
+
+    def guard(self, fn: Callable[[], T]) -> T:
+        """Run ``fn`` under the breaker: short-circuit when open, record
+        the outcome otherwise."""
+        if not self.allow():
+            self.short_circuits += 1
+            if self.telemetry.enabled:
+                self._metric("shorted").inc()
+            raise BreakerOpenError(
+                f"circuit {self.name!r} is open "
+                f"({self.consecutive_failures} consecutive failures)"
+            )
+        try:
+            result = fn()
+        except BaseException:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result

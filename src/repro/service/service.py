@@ -56,6 +56,7 @@ from repro.model.utility import (
     UtilityFunction,
 )
 from repro.service.cache import StructureCache
+from repro.service.churnqueue import ChurnEvent
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["ServiceConfig", "AllocationService", "AllocationView",
@@ -148,6 +149,10 @@ class AllocationView:
     iteration: int
     epoch: int
     converged: bool
+    #: True when the view was answered from the last known-good
+    #: allocation by a degraded (browned-out) supervised service rather
+    #: than the live iterate.
+    degraded: bool = False
 
 
 @dataclass(frozen=True)
@@ -210,13 +215,35 @@ def _retarget_utility(utility: UtilityFunction,
     )
 
 
+def _mutated_task(old: Task, critical_time: Optional[float],
+                  utility: Optional[UtilityFunction]) -> Task:
+    """``old`` with its critical time and/or utility replaced (the
+    utility re-anchored within its family when only the time moves)."""
+    new_crit = old.critical_time if critical_time is None \
+        else float(critical_time)
+    new_utility = utility
+    if new_utility is None:
+        new_utility = old.utility if critical_time is None \
+            else _retarget_utility(old.utility, new_crit)
+    return Task(
+        name=old.name,
+        subtasks=list(old.subtasks),
+        graph=old.graph,
+        critical_time=new_crit,
+        utility=new_utility,
+        variant=old.variant,
+        trigger=old.trigger,
+    )
+
+
 class AllocationService:
     """A live LLA optimizer behind a churn/query/admission API."""
 
     def __init__(self, resources: List[Resource],
                  tasks: Optional[List[Task]] = None,
                  config: Optional[ServiceConfig] = None,
-                 telemetry: Optional[Telemetry] = None) -> None:
+                 telemetry: Optional[Telemetry] = None,
+                 snapshots: Optional[CheckpointStore] = None) -> None:
         if not resources:
             raise ServiceError("service needs at least one resource")
         self.config = config or ServiceConfig()
@@ -228,7 +255,10 @@ class AllocationService:
             self._resources[resource.name] = resource
         self._tasks: Dict[str, Task] = {}
         self._cache = StructureCache(capacity=self.config.cache_capacity)
-        self._snapshots = CheckpointStore()
+        # Injectable so the hardened layer can supply a file-backed store
+        # whose snapshots survive a process restart.
+        self._snapshots = snapshots if snapshots is not None \
+            else CheckpointStore()
         self._optimizer: Optional[LLAOptimizer] = None
         self._taskset: Optional[TaskSet] = None
         self._fingerprint: Optional[str] = None
@@ -292,19 +322,22 @@ class AllocationService:
 
     # -- churn API ---------------------------------------------------------------
 
+    def _reject(self, name: str, reason: str) -> AdmissionDecision:
+        """Count and trace an admission rejection."""
+        self._admission_rejections += 1
+        if self.telemetry.enabled:
+            self._metric("rejections").inc()
+            if self.telemetry.tracer.enabled:
+                self.telemetry.tracer.emit(
+                    "admission_rejected", task=name, reason=reason,
+                )
+        return AdmissionDecision(task=name, admitted=False, reason=reason)
+
     def register(self, task: Task) -> AdmissionDecision:
         """Admit and install a task; rejection leaves the service as-is."""
         reason = self._admission_reason(task)
         if reason is not None:
-            self._admission_rejections += 1
-            if self.telemetry.enabled:
-                self._metric("rejections").inc()
-                if self.telemetry.tracer.enabled:
-                    self.telemetry.tracer.emit(
-                        "admission_rejected", task=task.name, reason=reason,
-                    )
-            return AdmissionDecision(task=task.name, admitted=False,
-                                     reason=reason)
+            return self._reject(task.name, reason)
         self._tasks[task.name] = task
         self._rebuild()
         return AdmissionDecision(
@@ -338,33 +371,12 @@ class AllocationService:
             raise ServiceError(
                 "update_task needs a critical_time and/or a utility"
             )
-        new_crit = old.critical_time if critical_time is None \
-            else float(critical_time)
-        new_utility = utility
-        if new_utility is None:
-            new_utility = old.utility if critical_time is None \
-                else _retarget_utility(old.utility, new_crit)
-        replacement = Task(
-            name=old.name,
-            subtasks=list(old.subtasks),
-            graph=old.graph,
-            critical_time=new_crit,
-            utility=new_utility,
-            variant=old.variant,
-            trigger=old.trigger,
-        )
+        replacement = _mutated_task(old, critical_time, utility)
         del self._tasks[name]
         reason = self._admission_reason(replacement)
         if reason is not None:
             self._tasks[name] = old  # restore; nothing changed
-            self._admission_rejections += 1
-            if self.telemetry.enabled:
-                self._metric("rejections").inc()
-                if self.telemetry.tracer.enabled:
-                    self.telemetry.tracer.emit(
-                        "admission_rejected", task=name, reason=reason,
-                    )
-            return AdmissionDecision(task=name, admitted=False, reason=reason)
+            return self._reject(name, reason)
         self._tasks[name] = replacement
         self._rebuild()
         return AdmissionDecision(
@@ -382,6 +394,87 @@ class AllocationService:
         )
         if self._tasks:
             self._rebuild()
+
+    def apply_batch(self,
+                    events: List[ChurnEvent]) -> List[AdmissionDecision]:
+        """Apply a drained (coalesced) churn batch through **one**
+        recompile.
+
+        This is the storm-coalescing payoff: N raw events collapse to at
+        most one slot per subject in the
+        :class:`~repro.service.churnqueue.ChurnQueue`, and the whole
+        batch is applied against the task map before a single
+        :meth:`_rebuild`.  Each task-shaped event yields an
+        :class:`AdmissionDecision`; a rejection restores that subject
+        and the batch continues.  A ``replace`` (deregister+register
+        coalesced) that fails admission keeps the previously live task.
+        """
+        decisions: List[AdmissionDecision] = []
+        mutated = False
+        for event in events:
+            if event.kind == "deregister":
+                # Tolerant of already-gone tasks: a storm batch may
+                # carry a departure the producer lost the race on.
+                if self._tasks.pop(event.key, None) is not None:
+                    mutated = True
+            elif event.kind == "availability":
+                old_res = self._resources.get(event.key)
+                if old_res is None:
+                    raise ServiceError(f"no resource named {event.key!r}")
+                assert event.availability is not None
+                self._resources[event.key] = Resource(
+                    name=old_res.name, kind=old_res.kind,
+                    availability=float(event.availability),
+                    lag=old_res.lag, metadata=dict(old_res.metadata),
+                )
+                mutated = True
+            elif event.kind in ("register", "replace"):
+                assert event.task is not None
+                candidate = event.task
+                if event.critical_time is not None or \
+                        event.utility is not None:
+                    candidate = _mutated_task(
+                        candidate, event.critical_time, event.utility,
+                    )
+                old = self._tasks.pop(event.key, None)
+                reason = self._admission_reason(candidate)
+                if reason is not None:
+                    if old is not None:
+                        self._tasks[event.key] = old  # keep the live body
+                    decisions.append(self._reject(event.key, reason))
+                    continue
+                self._tasks[event.key] = candidate
+                mutated = True
+                decisions.append(AdmissionDecision(
+                    task=event.key, admitted=True,
+                    reason="no infeasibility certificate",
+                ))
+            else:  # update
+                old = self._tasks.get(event.key)
+                if old is None:
+                    decisions.append(self._reject(
+                        event.key,
+                        f"no task named {event.key!r} is registered",
+                    ))
+                    continue
+                replacement = _mutated_task(
+                    old, event.critical_time, event.utility,
+                )
+                del self._tasks[event.key]
+                reason = self._admission_reason(replacement)
+                if reason is not None:
+                    self._tasks[event.key] = old
+                    decisions.append(self._reject(event.key, reason))
+                    continue
+                self._tasks[event.key] = replacement
+                mutated = True
+                decisions.append(AdmissionDecision(
+                    task=event.key, admitted=True,
+                    reason="no infeasibility certificate",
+                ))
+        if mutated:
+            self._rebuild()
+        return decisions
 
     def _admission_reason(self, task: Task) -> Optional[str]:
         """Why ``task`` cannot be admitted; ``None`` when it can."""
@@ -581,6 +674,13 @@ class AllocationService:
     def tasks(self) -> Tuple[str, ...]:
         return tuple(self._tasks)
 
+    def task(self, name: str) -> Task:
+        """The registered task object named ``name``."""
+        task = self._tasks.get(name)
+        if task is None:
+            raise ServiceError(f"no task named {name!r} is registered")
+        return task
+
     @property
     def taskset(self) -> Optional[TaskSet]:
         return self._taskset
@@ -596,6 +696,10 @@ class AllocationService:
     @property
     def cache(self) -> StructureCache:
         return self._cache
+
+    @property
+    def snapshots(self) -> CheckpointStore:
+        return self._snapshots
 
     # -- snapshots ---------------------------------------------------------------
 

@@ -160,3 +160,65 @@ class TestCertifyInfeasible:
         result = LLAOptimizer(ts, LLAConfig(max_iterations=2000)).run()
         if ts.is_feasible(result.latencies, tol=1e-2):
             assert certify_infeasible(ts) is None
+
+
+class TestCertificateSoundnessRandomized:
+    """Soundness sweep: across randomized task sets, the closed-form
+    certificate may only fire on sets the LLA oracle also fails on —
+    it must never reject a set the optimizer solves feasibly."""
+
+    N_CASES = 50
+
+    @staticmethod
+    def random_taskset(rng):
+        import numpy as np
+
+        from repro.model.task import TaskSet
+
+        n_tasks = int(rng.integers(1, 4))
+        tasks = []
+        for t in range(n_tasks):
+            length = int(rng.integers(1, 4))
+            start = int(rng.integers(0, 3 - length + 1)) if length < 3 else 0
+            names = [f"rt{t}.s{i}" for i in range(length)]
+            subtasks = [
+                Subtask(names[i], f"r{start + i}",
+                        float(np.round(rng.uniform(0.5, 6.0), 3)))
+                for i in range(length)
+            ]
+            critical = float(np.round(rng.uniform(2.0, 60.0), 3))
+            tasks.append(Task(
+                name=f"rt{t}",
+                subtasks=subtasks,
+                graph=SubtaskGraph.chain(names),
+                critical_time=critical,
+                utility=LinearUtility(critical, k=2.0),
+                trigger=PeriodicEvent(100.0),
+            ))
+        return TaskSet(tasks, RESOURCES, allow_shared_resources=True)
+
+    def test_certificate_never_rejects_an_optimizer_feasible_set(self):
+        import numpy as np
+
+        from repro.core.optimizer import LLAConfig, LLAOptimizer
+
+        certified = solved = 0
+        for seed in range(self.N_CASES):
+            rng = np.random.default_rng(seed)
+            ts = self.random_taskset(rng)
+            certificate = certify_infeasible(ts)
+            result = LLAOptimizer(
+                ts, LLAConfig(max_iterations=800)).run()
+            feasible = ts.is_feasible(result.latencies)
+            if feasible:
+                solved += 1
+                assert certificate is None, (
+                    f"seed {seed}: certificate {certificate!r} fired on a "
+                    f"set the optimizer solved feasibly"
+                )
+            if certificate is not None:
+                certified += 1
+        # The sweep must exercise both sides of the boundary to mean
+        # anything: some sets solved feasibly, some certified infeasible.
+        assert solved >= 10
+        assert certified >= 5

@@ -5,12 +5,16 @@ import pytest
 
 from repro.distributed import (
     CapacityShock,
+    CheckpointCorruption,
+    CheckpointOutage,
     CheckpointStore,
+    ChurnStorm,
     CrashWindow,
     DistributedConfig,
     DistributedLLARuntime,
     DuplicationWindow,
     FaultPlan,
+    LoopStall,
     LossBurst,
     PartitionWindow,
     ReorderWindow,
@@ -455,3 +459,142 @@ class TestFaultDeterminism:
                                staleness_limit=15, checkpoint_interval=20)
         result = runtime.run()
         assert runtime.taskset.is_feasible(result.latencies, tol=1e-2)
+
+
+class TestCheckpointFilePersistence:
+    def test_roundtrip_survives_a_process_restart(self, tmp_path):
+        store = CheckpointStore(directory=str(tmp_path))
+        store.save("agent:a", 12, {"price": 3.5}, fingerprint="fp")
+        # A fresh store over the same directory = a restarted process.
+        reborn = CheckpointStore(directory=str(tmp_path))
+        loaded = reborn.load("agent:a", fingerprint="fp")
+        assert loaded is not None
+        assert loaded.round == 12
+        assert loaded.state == {"price": 3.5}
+
+    def test_corrupted_file_demotes_to_cold_not_raise(self, tmp_path):
+        """Regression: a truncated or corrupted checkpoint file used to
+        escape as a raw ``json.JSONDecodeError`` out of ``load()``,
+        crashing the very restart path whose job is to survive exactly
+        this.  It must be *counted* and demoted to ``None``."""
+        store = CheckpointStore(directory=str(tmp_path))
+        store.save("agent:a", 12, {"price": 3.5}, fingerprint="fp")
+        path = store.path_for("agent:a")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"agent": "agent:a", "round": 12, "sta')
+        reborn = CheckpointStore(directory=str(tmp_path))
+        assert reborn.load("agent:a", fingerprint="fp") is None
+        assert reborn.corruptions == 1
+
+    @pytest.mark.parametrize("payload", [
+        "",                                          # empty file
+        "not json at all",
+        '[1, 2, 3]',                                 # wrong shape
+        '{"agent": "a", "round": 1}',                # missing keys
+        '{"agent": "a", "round": 1, "state": 7, "fingerprint": null}',
+        '{"agent": "a", "round": 1, "state": {}, "fingerprint": 9}',
+    ])
+    def test_malformed_payloads_are_counted_never_raised(self, tmp_path,
+                                                         payload):
+        store = CheckpointStore(directory=str(tmp_path))
+        with open(store.path_for("a"), "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        assert store.load("a") is None
+        assert store.corruptions == 1
+
+    def test_missing_file_is_not_a_corruption(self, tmp_path):
+        store = CheckpointStore(directory=str(tmp_path))
+        assert store.load("nobody") is None
+        assert store.corruptions == 0
+
+    def test_stale_file_fingerprint_still_mismatches(self, tmp_path):
+        store = CheckpointStore(directory=str(tmp_path))
+        store.save("a", 5, {"x": 1}, fingerprint="fp-old")
+        reborn = CheckpointStore(directory=str(tmp_path))
+        assert reborn.load("a", fingerprint="fp-new") is None
+        assert reborn.mismatches == 1
+        assert reborn.corruptions == 0
+
+    def test_drop_removes_the_file(self, tmp_path):
+        import os
+
+        store = CheckpointStore(directory=str(tmp_path))
+        store.save("a", 5, {"x": 1})
+        path = store.path_for("a")
+        assert os.path.exists(path)
+        store.drop("a")
+        assert not os.path.exists(path)
+        assert CheckpointStore(directory=str(tmp_path)).load("a") is None
+
+    def test_unserializable_state_raises_and_keeps_old_file(self, tmp_path):
+        store = CheckpointStore(directory=str(tmp_path))
+        store.save("a", 5, {"x": 1}, fingerprint="fp")
+        with pytest.raises(DistributedError):
+            store.save("a", 6, {"x": object()}, fingerprint="fp")
+        reborn = CheckpointStore(directory=str(tmp_path))
+        loaded = reborn.load("a", fingerprint="fp")
+        assert loaded is not None and loaded.round == 5
+
+    def test_agent_names_are_sanitized_for_paths(self, tmp_path):
+        store = CheckpointStore(directory=str(tmp_path))
+        store.save("resource:r/0", 1, {"x": 1})
+        path = store.path_for("resource:r/0")
+        assert "/" not in path[len(str(tmp_path)) + 1:]
+        assert CheckpointStore(
+            directory=str(tmp_path)).load("resource:r/0") is not None
+
+
+class TestServiceFaultWindows:
+    def test_loop_stall_validation(self):
+        LoopStall(at=1, ticks=3)
+        with pytest.raises(DistributedError):
+            LoopStall(at=0)
+        with pytest.raises(DistributedError):
+            LoopStall(at=1, ticks=0)
+
+    def test_churn_storm_validation(self):
+        ChurnStorm(at=2, events=8, kind="arrivals")
+        with pytest.raises(DistributedError):
+            ChurnStorm(at=2, events=0)
+        with pytest.raises(DistributedError):
+            ChurnStorm(at=2, kind="tsunami")
+
+    def test_checkpoint_window_validation(self):
+        CheckpointCorruption(at=3)
+        CheckpointOutage(start=5, end=9)
+        with pytest.raises(DistributedError):
+            CheckpointCorruption(at=0)
+        with pytest.raises(DistributedError):
+            CheckpointOutage(start=9, end=5)
+
+    def test_plan_rejects_overlapping_stalls_and_outages(self):
+        with pytest.raises(DistributedError):
+            FaultPlan(loop_stalls=(LoopStall(at=5, ticks=4),
+                                   LoopStall(at=7, ticks=2)))
+        with pytest.raises(DistributedError):
+            FaultPlan(checkpoint_outages=(CheckpointOutage(start=5, end=9),
+                                          CheckpointOutage(start=8, end=12)))
+
+    def test_plan_classifies_fault_layers(self):
+        service_plan = FaultPlan(loop_stalls=(LoopStall(at=5),))
+        distributed_plan = FaultPlan(
+            loss_bursts=(LossBurst(start=1, end=5, probability=0.5),))
+        assert service_plan.has_service_faults()
+        assert not service_plan.has_distributed_faults()
+        assert distributed_plan.has_distributed_faults()
+        assert not distributed_plan.has_service_faults()
+        assert not service_plan.is_empty()
+
+    def test_last_round_covers_service_windows(self):
+        plan = FaultPlan(
+            loop_stalls=(LoopStall(at=5, ticks=4),),
+            churn_storms=(ChurnStorm(at=30),),
+            checkpoint_corruptions=(CheckpointCorruption(at=12),),
+            checkpoint_outages=(CheckpointOutage(start=40, end=46),),
+        )
+        assert plan.last_round() == 46
+
+    def test_distributed_injector_rejects_service_faults(self):
+        plan = FaultPlan(loop_stalls=(LoopStall(at=5),))
+        with pytest.raises(DistributedError):
+            make_runtime(plan)

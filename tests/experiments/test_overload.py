@@ -1,0 +1,79 @@
+"""Tests for the overload experiment (the hardened service under the
+scripted storm/stall/corruption/outage schedule)."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.experiments.overload import SPEC, run_overload
+from repro.harness import get_spec
+
+
+@pytest.fixture(scope="module")
+def report():
+    # One quick-budget run shared by the whole module (the scenario
+    # already executes twice internally for the determinism claim).
+    return run_overload(ticks=110)
+
+
+class TestRegistration:
+    def test_spec_registered(self):
+        assert get_spec("overload") is SPEC
+
+    def test_quick_profile_still_covers_the_schedule(self):
+        assert SPEC.quick_params["ticks"] >= 105
+
+    def test_too_short_a_run_is_rejected(self):
+        with pytest.raises(ServiceError):
+            run_overload(ticks=50)
+
+
+class TestReport:
+    def test_availability_through_chaos(self, report):
+        assert report.attempted_queries == report.tasks * report.ticks
+        assert report.availability >= 0.99
+        assert report.degraded_answers >= 1
+
+    def test_degraded_entered_and_exited(self, report):
+        assert report.degraded_entries >= 1
+        assert report.degraded_exits >= 1
+        assert not report.ends_degraded
+        states = [state for _, state in report.transitions]
+        assert states[0] == "degraded"
+        assert states[-1] == "healthy"
+
+    def test_queue_stays_bounded_with_sheds(self, report):
+        assert report.queue_max_depth <= report.queue_capacity
+        assert report.queue_shed >= 1
+        assert report.queue_coalesced >= 1
+        assert report.storm_rebuilds == 1
+
+    def test_supervision_is_visible(self, report):
+        assert report.supervisor_restarts >= 1
+        assert report.retries >= 1
+        assert report.breaker_opens >= 1
+        assert report.breaker_state == "closed"
+        assert report.snapshot_corruptions >= 1
+        for kind in ("supervisor_restart", "retry", "breaker_open",
+                     "service_degraded", "churn_storm", "loop_stall",
+                     "snapshot_corrupt"):
+            assert report.trace_events.get(kind, 0) >= 1, kind
+
+    def test_arrivals_storm_shed_membership_unchanged(self, report):
+        assert report.degraded_shed >= 1
+        assert report.final_tasks == report.tasks
+        assert report.final_feasible
+
+    def test_deterministic_replay(self, report):
+        assert report.deterministic
+
+    def test_to_dict_round_trips(self, report):
+        payload = report.to_dict()
+        assert payload["availability"] == report.availability
+        assert payload["transitions"] == [list(t)
+                                          for t in report.transitions]
+        assert payload["deterministic"] is True
+
+    def test_checks_pass(self, report):
+        for check in SPEC.checks:
+            ok, measured = check.fn(report)
+            assert ok, (check.name, measured)

@@ -1,0 +1,71 @@
+"""Tests for the brownout hysteresis controller."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import BrownoutConfig, BrownoutController
+
+
+def feed(controller, verdicts, start=1):
+    out = []
+    for i, stressed in enumerate(verdicts):
+        out.append(controller.observe(start + i, stressed))
+    return out
+
+
+class TestBrownoutConfig:
+    def test_rejects_bad_widths(self):
+        with pytest.raises(ServiceError):
+            BrownoutConfig(enter_after=0)
+        with pytest.raises(ServiceError):
+            BrownoutConfig(exit_after=0)
+
+
+class TestHysteresis:
+    def test_enters_only_after_consecutive_stress(self):
+        c = BrownoutController(BrownoutConfig(enter_after=3, exit_after=2))
+        assert feed(c, [True, True]) == [None, None]
+        assert not c.degraded
+        assert c.observe(3, True) == "enter"
+        assert c.degraded
+        assert c.entries == 1
+
+    def test_single_calm_tick_resets_the_stress_run(self):
+        c = BrownoutController(BrownoutConfig(enter_after=3, exit_after=2))
+        feed(c, [True, True, False, True, True])
+        assert not c.degraded          # run was broken at tick 3
+        assert c.observe(6, True) == "enter"
+
+    def test_exits_only_after_consecutive_calm(self):
+        c = BrownoutController(BrownoutConfig(enter_after=1, exit_after=3))
+        c.observe(1, True)
+        assert c.degraded
+        assert feed(c, [False, False], start=2) == [None, None]
+        assert c.degraded
+        assert c.observe(4, False) == "exit"
+        assert not c.degraded
+        assert c.exits == 1
+
+    def test_stress_blip_resets_the_calm_run(self):
+        c = BrownoutController(BrownoutConfig(enter_after=1, exit_after=2))
+        c.observe(1, True)
+        feed(c, [False, True, False], start=2)
+        assert c.degraded              # calm run restarted at tick 3
+        assert c.observe(5, False) == "exit"
+
+    def test_transition_log_records_ticks_and_states(self):
+        c = BrownoutController(BrownoutConfig(enter_after=2, exit_after=2))
+        feed(c, [True, True, False, False, True, True])
+        assert c.transitions == [(2, "degraded"), (4, "healthy"),
+                                 (6, "degraded")]
+        assert c.entries == 2
+        assert c.exits == 1
+
+    def test_no_flapping_on_alternating_stress(self):
+        """Alternating stress/calm never satisfies either threshold, so
+        the controller holds its state — the point of hysteresis."""
+        c = BrownoutController(BrownoutConfig(enter_after=2, exit_after=2))
+        out = feed(c, [True, False] * 10)
+        assert out == [None] * 20
+        assert not c.degraded
+        assert c.transitions == []

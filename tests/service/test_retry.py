@@ -1,0 +1,226 @@
+"""Tests for the deterministic retry / circuit-breaker primitives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BreakerOpenError, ServiceError
+from repro.service import CircuitBreaker, Retrier, RetryPolicy
+from repro.telemetry import Telemetry
+
+
+class TestRetryPolicy:
+    def test_defaults_valid(self):
+        RetryPolicy()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"base_delay": -0.1},
+        {"base_delay": float("nan")},
+        {"multiplier": 0.5},
+        {"max_delay": 0.01},          # < base_delay
+        {"jitter": 1.5},
+        {"jitter": -0.1},
+    ])
+    def test_rejects_bad_shapes(self, kwargs):
+        with pytest.raises(ServiceError):
+            RetryPolicy(**kwargs)
+
+    def test_exponential_growth_and_cap(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=2.0,
+                             max_delay=5.0, jitter=0.0)
+        rng = np.random.default_rng(0)
+        assert policy.delay(1, rng) == 1.0
+        assert policy.delay(2, rng) == 2.0
+        assert policy.delay(3, rng) == 4.0
+        assert policy.delay(4, rng) == 5.0    # capped
+
+    def test_jitter_is_seed_deterministic(self):
+        policy = RetryPolicy(base_delay=1.0, jitter=0.5)
+        a = [policy.delay(i, np.random.default_rng(7)) for i in (1, 2, 3)]
+        b = [policy.delay(i, np.random.default_rng(7)) for i in (1, 2, 3)]
+        assert a == b
+        # Jitter stretches, never shrinks, and is bounded.
+        assert 1.0 <= a[0] <= 1.5
+
+    def test_rejects_bad_attempt(self):
+        with pytest.raises(ServiceError):
+            RetryPolicy().delay(0, np.random.default_rng(0))
+
+
+class TestRetrier:
+    def test_success_first_try(self):
+        retrier = Retrier()
+        assert retrier.call(lambda: 42) == 42
+        assert retrier.retries == 0
+
+    def test_retries_then_succeeds(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("disk hiccup")
+            return "ok"
+
+        retrier = Retrier(RetryPolicy(max_attempts=3))
+        assert retrier.call(flaky) == "ok"
+        assert retrier.retries == 2
+        assert retrier.exhausted == 0
+
+    def test_exhaustion_reraises_last_error(self):
+        retrier = Retrier(RetryPolicy(max_attempts=2))
+
+        def always():
+            raise OSError("still dead")
+
+        with pytest.raises(OSError, match="still dead"):
+            retrier.call(always)
+        assert retrier.retries == 1          # one backoff between 2 tries
+        assert retrier.exhausted == 1
+
+    def test_breaker_open_is_not_retried(self):
+        calls = []
+
+        def shorted():
+            calls.append(1)
+            raise BreakerOpenError("open")
+
+        retrier = Retrier(RetryPolicy(max_attempts=5))
+        with pytest.raises(BreakerOpenError):
+            retrier.call(shorted)
+        assert len(calls) == 1
+        assert retrier.retries == 0
+
+    def test_backoff_sequence_is_seed_deterministic(self):
+        def total(seed):
+            retrier = Retrier(RetryPolicy(max_attempts=4, jitter=0.5),
+                              seed=seed)
+            with pytest.raises(ValueError):
+                retrier.call(lambda: (_ for _ in ()).throw(ValueError()))
+            return retrier.total_backoff
+
+        assert total(3) == total(3)
+        assert total(3) != total(4)
+
+    def test_injected_sleep_receives_backoffs(self):
+        slept = []
+        retrier = Retrier(RetryPolicy(max_attempts=3, jitter=0.0,
+                                      base_delay=0.5, multiplier=2.0),
+                          sleep=slept.append)
+        with pytest.raises(KeyError):
+            retrier.call(lambda: {}[0])
+        assert slept == [0.5, 1.0]
+
+    def test_retry_telemetry(self):
+        telemetry = Telemetry.in_memory()
+        retrier = Retrier(RetryPolicy(max_attempts=2),
+                          telemetry=telemetry)
+        with pytest.raises(OSError):
+            retrier.call(lambda: (_ for _ in ()).throw(OSError("x")),
+                         label="snapshot")
+        registry = telemetry.registry
+        assert registry.counter("service.retries_total").value == 1.0
+        assert registry.counter(
+            "service.retries_exhausted_total").value == 1.0
+        kinds = [e.kind for e in telemetry.tracer.sinks[0].events]
+        assert kinds.count("retry") == 1
+
+
+def make_breaker(clock, **kwargs):
+    return CircuitBreaker(failure_threshold=kwargs.pop("threshold", 2),
+                          cooldown=kwargs.pop("cooldown", 3.0),
+                          clock=clock, **kwargs)
+
+
+class TestCircuitBreaker:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ServiceError):
+            CircuitBreaker(failure_threshold=0, clock=lambda: 0.0)
+        with pytest.raises(ServiceError):
+            CircuitBreaker(cooldown=0.0, clock=lambda: 0.0)
+
+    def test_trips_after_threshold_consecutive_failures(self):
+        breaker = make_breaker(lambda: 0.0)
+        with pytest.raises(OSError):
+            breaker.guard(lambda: (_ for _ in ()).throw(OSError()))
+        assert breaker.state == CircuitBreaker.CLOSED
+        with pytest.raises(OSError):
+            breaker.guard(lambda: (_ for _ in ()).throw(OSError()))
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.opens == 1
+
+    def test_success_resets_the_failure_run(self):
+        breaker = make_breaker(lambda: 0.0)
+        with pytest.raises(OSError):
+            breaker.guard(lambda: (_ for _ in ()).throw(OSError()))
+        breaker.guard(lambda: "fine")
+        with pytest.raises(OSError):
+            breaker.guard(lambda: (_ for _ in ()).throw(OSError()))
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_open_short_circuits_until_cooldown(self):
+        now = [0.0]
+        breaker = make_breaker(lambda: now[0])
+        for _ in range(2):
+            with pytest.raises(OSError):
+                breaker.guard(lambda: (_ for _ in ()).throw(OSError()))
+        with pytest.raises(BreakerOpenError):
+            breaker.guard(lambda: "never runs")
+        assert breaker.short_circuits == 1
+        # Cooldown elapses on the injected clock: half-open trial runs.
+        now[0] = 3.0
+        assert breaker.guard(lambda: "probe") == "probe"
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_failure_reopens_immediately(self):
+        now = [0.0]
+        breaker = make_breaker(lambda: now[0])
+        for _ in range(2):
+            with pytest.raises(OSError):
+                breaker.guard(lambda: (_ for _ in ()).throw(OSError()))
+        now[0] = 3.0
+        with pytest.raises(OSError):
+            breaker.guard(lambda: (_ for _ in ()).throw(OSError()))
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.opens == 2
+
+    def test_breaker_telemetry(self):
+        telemetry = Telemetry.in_memory()
+        now = [0.0]
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=2.0,
+                                 clock=lambda: now[0],
+                                 telemetry=telemetry, name="ckpt")
+        with pytest.raises(OSError):
+            breaker.guard(lambda: (_ for _ in ()).throw(OSError()))
+        with pytest.raises(BreakerOpenError):
+            breaker.guard(lambda: None)
+        now[0] = 2.0
+        breaker.guard(lambda: None)
+        registry = telemetry.registry
+        assert registry.counter("service.breaker_opens_total").value == 1.0
+        assert registry.counter(
+            "service.breaker_short_circuits_total").value == 1.0
+        kinds = [e.kind for e in telemetry.tracer.sinks[0].events]
+        assert kinds == ["breaker_open", "breaker_half_open",
+                         "breaker_closed"]
+
+
+class TestComposition:
+    def test_each_retry_attempt_feeds_the_breaker(self):
+        """The supervisor composes breaker *inside* retrier so one
+        exhausted call can trip the circuit."""
+        now = [0.0]
+        breaker = CircuitBreaker(failure_threshold=3, cooldown=5.0,
+                                 clock=lambda: now[0])
+        retrier = Retrier(RetryPolicy(max_attempts=3))
+
+        def dead():
+            raise OSError("volume gone")
+
+        with pytest.raises(OSError):
+            retrier.call(lambda: breaker.guard(dead))
+        assert breaker.state == CircuitBreaker.OPEN
+        # The next call short-circuits without retrying.
+        with pytest.raises(BreakerOpenError):
+            retrier.call(lambda: breaker.guard(dead))
+        assert retrier.attempts == 4

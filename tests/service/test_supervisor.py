@@ -1,0 +1,302 @@
+"""Tests for the hardened (supervised) service: watchdog restarts,
+batched churn backpressure, checkpoint retry/breaker, and brownout."""
+
+import pytest
+
+from repro.distributed.faults import ChurnStorm, FaultPlan, LossBurst, LoopStall
+from repro.errors import ServiceError
+from repro.service import (
+    BrownoutConfig,
+    ChurnEvent,
+    HardeningConfig,
+    RetryPolicy,
+    ServiceFaultInjector,
+    SupervisedService,
+    Watchdog,
+)
+from repro.telemetry import Telemetry
+
+from tests.service.test_service import make_resources, make_task
+
+
+def make_supervised(n_tasks=2, telemetry=None, fault_plan=None, **kwargs):
+    config = HardeningConfig(**kwargs)
+    tasks = [make_task(f"t{i}") for i in range(n_tasks)]
+    return SupervisedService(make_resources(), tasks, config=config,
+                             telemetry=telemetry, fault_plan=fault_plan)
+
+
+class TestHardeningConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"queue_capacity": 0},
+        {"stall_deadline": 0},
+        {"snapshot_interval": -1},
+        {"failure_threshold": 0},
+        {"breaker_cooldown": 0},
+        {"queue_high_watermark": 0.0},
+        {"queue_high_watermark": 1.5},
+        {"reconverge_patience": 0},
+    ])
+    def test_rejects_bad_shapes(self, kwargs):
+        with pytest.raises(ServiceError):
+            HardeningConfig(**kwargs)
+
+
+class TestWatchdog:
+    def test_rejects_bad_deadline(self):
+        with pytest.raises(ServiceError):
+            Watchdog(0)
+
+    def test_fires_after_deadline_no_progress_beats(self):
+        dog = Watchdog(3)
+        assert not dog.beat(10)            # baseline
+        assert not dog.beat(10)
+        assert not dog.beat(10)
+        assert dog.beat(10)                # 3rd stalled beat
+        assert dog.fires == 1
+
+    def test_progress_resets_the_count(self):
+        dog = Watchdog(2)
+        dog.beat(1)
+        dog.beat(1)
+        assert not dog.beat(2)             # progress
+        assert not dog.beat(2)
+        assert dog.beat(2)
+
+    def test_refires_through_a_long_stall(self):
+        dog = Watchdog(2)
+        dog.beat(5)
+        fires = sum(1 for _ in range(8) if dog.beat(5))
+        assert fires == 4                  # every `deadline` beats
+
+
+class TestBatchedChurn:
+    def test_storm_of_events_is_one_rebuild(self):
+        svc = make_supervised(n_tasks=4)
+        epoch_before = svc.service.stats().epoch
+        # Ten flaps of the same task plus one real departure: two slots.
+        for _ in range(10):
+            svc.deregister("t0")
+            svc.register(make_task("t0"))
+        svc.deregister("t1")
+        svc.tick()
+        assert svc.service.stats().epoch == epoch_before + 1
+        assert set(svc.service.tasks) == {"t0", "t2", "t3"}
+        assert svc.queue.coalesced >= 10
+
+    def test_cancelled_churn_is_no_rebuild(self):
+        svc = make_supervised()
+        svc.tick()
+        epoch_before = svc.service.stats().epoch
+        svc.register(make_task("t9"))
+        svc.deregister("t9")               # cancels in the queue
+        svc.tick()
+        assert svc.service.stats().epoch == epoch_before
+
+    def test_capacity_shed_is_counted_and_reported(self):
+        svc = make_supervised(queue_capacity=2)
+        assert svc.deregister("t0")
+        assert svc.register(make_task("t8"))
+        assert not svc.register(make_task("t9"))   # third subject
+        assert svc.stats().queue_shed == 1
+
+    def test_availability_and_update_round_trip(self):
+        svc = make_supervised()
+        svc.run_ticks(3)
+        assert svc.update_task("t0", critical_time=60.0)
+        assert svc.set_availability("r0", 0.8)
+        svc.tick()
+        assert svc.service.task("t0").critical_time == 60.0
+
+    def test_oscillation_storm_preserves_membership(self):
+        svc = make_supervised(n_tasks=3)
+        accepted = svc.inject_storm(
+            ChurnStorm(at=1, events=12, kind="oscillate"))
+        assert accepted == 12              # all coalesce, none shed
+        svc.tick()
+        assert set(svc.service.tasks) == {"t0", "t1", "t2"}
+
+
+class TestSupervisorRestart:
+    def test_watchdog_restart_restores_from_snapshot(self):
+        telemetry = Telemetry.in_memory()
+        svc = make_supervised(telemetry=telemetry, stall_deadline=2,
+                              snapshot_interval=5)
+        svc.run_ticks(10)                  # converging + snapshots
+        svc.inject_stall(4)
+        svc.run_ticks(4)
+        stats = svc.stats()
+        assert stats.watchdog_fires >= 1
+        assert stats.supervisor_restarts >= 1
+        assert stats.stall_ticks == 4
+        registry = telemetry.registry
+        assert registry.counter(
+            "service.supervisor_restarts_total").value >= 1.0
+        kinds = [e.kind for e in telemetry.tracer.sinks[0].events]
+        assert "supervisor_restart" in kinds
+        # The loop resumes making progress after the stall.
+        iterations = svc.service.stats().iterations
+        svc.tick()
+        assert svc.service.stats().iterations > iterations
+
+    def test_corrupted_snapshot_demotes_to_cold_and_counts(self, tmp_path):
+        svc = make_supervised(stall_deadline=2, snapshot_interval=5,
+                              snapshot_dir=str(tmp_path))
+        svc.run_ticks(5)
+        svc.corrupt_snapshot()
+        svc.inject_stall(3)
+        svc.run_ticks(3)                   # watchdog fires into the rot
+        stats = svc.stats()
+        assert stats.supervisor_restarts >= 1
+        assert stats.snapshot_corruptions >= 1
+        # Never raised; the loop keeps running.
+        svc.run_ticks(2)
+
+    def test_snapshots_disabled_still_survives_stall(self):
+        svc = make_supervised(snapshot_interval=0, stall_deadline=2)
+        svc.run_ticks(3)
+        svc.inject_stall(3)
+        svc.run_ticks(5)
+        assert svc.stats().supervisor_restarts >= 1
+
+
+class TestCheckpointOutage:
+    def test_outage_retries_then_opens_breaker(self):
+        telemetry = Telemetry.in_memory()
+        svc = make_supervised(
+            telemetry=telemetry, snapshot_interval=2,
+            retry=RetryPolicy(max_attempts=3), failure_threshold=3,
+            breaker_cooldown=2,
+        )
+        svc.set_checkpoint_outage(True)
+        svc.run_ticks(2)                   # snapshot at tick 2 fails out
+        stats = svc.stats()
+        assert stats.retries >= 2
+        assert stats.breaker_opens >= 1
+        assert stats.checkpoint_failures >= 1
+        registry = telemetry.registry
+        assert registry.counter("service.retries_total").value >= 2.0
+        assert registry.counter(
+            "service.breaker_opens_total").value >= 1.0
+
+    def test_breaker_recloses_after_outage_and_cooldown(self):
+        svc = make_supervised(
+            snapshot_interval=2, retry=RetryPolicy(max_attempts=3),
+            failure_threshold=3, breaker_cooldown=2,
+        )
+        svc.set_checkpoint_outage(True)
+        svc.run_ticks(2)
+        assert svc.breaker.state != "closed"
+        svc.set_checkpoint_outage(False)
+        svc.run_ticks(6)                   # next snapshots reclose it
+        assert svc.breaker.state == "closed"
+        assert svc.stats().snapshots_taken >= 1
+
+
+class TestBrownout:
+    def make_degraded(self, telemetry=None):
+        svc = make_supervised(
+            telemetry=telemetry, stall_deadline=10,
+            brownout=BrownoutConfig(enter_after=2, exit_after=3),
+        )
+        svc.run_ticks(10)                  # capture a last-good answer
+        svc.inject_stall(6)
+        svc.run_ticks(4)                   # stressed ticks -> degraded
+        assert svc.degraded
+        return svc
+
+    def test_degraded_serves_last_good_allocation(self):
+        svc = self.make_degraded()
+        view = svc.query("t0")
+        assert view.degraded
+        assert view.meets_critical_time
+        assert svc.stats().degraded_served >= 1
+
+    def test_degraded_sheds_new_registrations(self):
+        svc = self.make_degraded()
+        assert not svc.register(make_task("t9"))
+        assert svc.stats().degraded_shed == 1
+        # Existing-task churn still queues.
+        assert svc.deregister("t1")
+
+    def test_exits_via_hysteresis_and_traces_transitions(self):
+        telemetry = Telemetry.in_memory()
+        svc = self.make_degraded(telemetry=telemetry)
+        svc.run_ticks(8)                   # stall drains, calm run builds
+        assert not svc.degraded
+        stats = svc.stats()
+        assert stats.brownout_entries == 1
+        assert stats.brownout_exits == 1
+        states = [e.data["state"]
+                  for e in telemetry.tracer.sinks[0].events
+                  if e.kind == "service_degraded"]
+        assert states == ["degraded", "healthy"]
+        assert telemetry.registry.counter(
+            "service.degraded_transitions_total").value == 2.0
+
+    def test_healthy_query_is_live(self):
+        svc = make_supervised()
+        svc.run_ticks(2)
+        view = svc.query("t0")
+        assert not view.degraded
+        assert svc.stats().live_served == 1
+
+    def test_unknown_query_raises_and_counts(self):
+        svc = make_supervised()
+        svc.run_ticks(1)
+        with pytest.raises(ServiceError):
+            svc.query("ghost")
+        assert svc.stats().failed_queries == 1
+
+
+class TestFaultInjection:
+    def test_service_injector_rejects_distributed_plans(self):
+        svc = make_supervised()
+        plan = FaultPlan(loss_bursts=(LossBurst(start=1, end=5,
+                                                probability=0.5),))
+        with pytest.raises(ServiceError):
+            ServiceFaultInjector(plan, svc)
+
+    def test_plan_drives_the_supervised_loop(self):
+        plan = FaultPlan(
+            loop_stalls=(LoopStall(at=3, ticks=2),),
+            churn_storms=(ChurnStorm(at=5, events=4, kind="arrivals"),),
+        )
+        svc = make_supervised(fault_plan=plan, stall_deadline=2)
+        svc.run_ticks(6)
+        stats = svc.stats()
+        assert stats.stall_ticks == 2
+        assert stats.storms == 1
+        assert any(name.startswith("storm") for name in svc.service.tasks)
+
+
+def trace_tuples(telemetry):
+    sink = telemetry.tracer.sinks[0]
+    return [
+        (ev.kind, ev.ts,
+         tuple(sorted((k, repr(v)) for k, v in ev.data.items()
+                      if k != "duration_s"))
+         if ev.kind != "metrics_snapshot" else ())
+        for ev in sink.events
+    ]
+
+
+class TestDeterminism:
+    def test_identical_chaos_runs_produce_identical_traces(self):
+        plan = FaultPlan(
+            loop_stalls=(LoopStall(at=4, ticks=3),),
+            churn_storms=(ChurnStorm(at=2, events=6, kind="oscillate"),),
+        )
+
+        def run():
+            telemetry = Telemetry.in_memory()
+            svc = make_supervised(n_tasks=3, telemetry=telemetry,
+                                  fault_plan=plan, stall_deadline=2,
+                                  snapshot_interval=3)
+            svc.run_ticks(12)
+            return trace_tuples(telemetry), svc.stats().to_dict()
+
+        first_trace, first_stats = run()
+        second_trace, second_stats = run()
+        assert first_trace == second_trace
+        assert first_stats == second_stats

@@ -377,3 +377,26 @@ class TestObservabilityCommands:
         bad.write_text('{"nope": 1}')
         with pytest.raises(SystemExit):
             main(["bench-diff", str(bad), str(bad)])
+
+
+class TestServe:
+    def test_smoke_deadline_times_out_with_exit_2(self, capsys):
+        # A deadline far below any real solve forces the wait_for to
+        # fire; the command must exit 2 (distinct from "unhealthy" = 1)
+        # rather than hang CI.
+        code = main(["serve", "--smoke", "--deadline", "0.01"])
+        assert code == 2
+        assert "deadline" in capsys.readouterr().err
+
+    def test_harden_rejects_short_fault_schedules(self, capsys):
+        code = main(["serve", "--smoke", "--harden", "--ticks", "50"])
+        assert code == 2
+        assert "105" in capsys.readouterr().err
+
+    def test_parser_accepts_hardening_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--smoke", "--harden", "--ticks", "110",
+             "--deadline", "300"])
+        assert args.harden
+        assert args.ticks == 110
+        assert args.deadline == 300.0
