@@ -130,6 +130,18 @@ class LLAConfig:
             raise OptimizationError(
                 f"initial_gamma must be positive, got {self.initial_gamma!r}"
             )
+        if self.initial_resource_price <= 0.0:
+            # A zero dual price makes the first latency assignment
+            # degenerate (shares divide by the price).
+            raise OptimizationError(
+                f"initial_resource_price must be positive, "
+                f"got {self.initial_resource_price!r}"
+            )
+        if self.initial_path_price < 0.0:
+            raise OptimizationError(
+                f"initial_path_price must be >= 0, "
+                f"got {self.initial_path_price!r}"
+            )
         if self.utility_tol <= 0.0:
             raise OptimizationError(
                 f"utility_tol must be positive, got {self.utility_tol!r}"

@@ -131,8 +131,8 @@ class CheckpointStore:
             try:
                 os.unlink(tmp)
             except OSError:
-                # statan: disable=REP003 -- best-effort temp cleanup on a
-                # failed write; the original error is re-raised below.
+                # Best-effort temp cleanup on a failed write; the
+                # original error is re-raised below.
                 pass
             raise DistributedError(
                 f"cannot persist checkpoint for {checkpoint.agent!r} "
@@ -161,9 +161,9 @@ class CheckpointStore:
         except FileNotFoundError:
             return None
         except (OSError, ValueError, KeyError, TypeError):
-            # statan: disable=REP003 -- the whole point of the recovery
-            # path: a corrupt checkpoint demotes to a counted cold
-            # restart instead of crashing the restart it should enable.
+            # The whole point of the recovery path: a corrupt checkpoint
+            # demotes to a counted cold restart instead of crashing the
+            # restart it should enable.
             self.corruptions += 1
             return None
 
@@ -207,8 +207,8 @@ class CheckpointStore:
             try:
                 os.unlink(path)
             except OSError:
-                # statan: disable=REP003 -- dropping an agent that was
-                # never persisted (or whose file is already gone) is fine.
+                # Dropping an agent that was never persisted (or whose
+                # file is already gone) is fine.
                 pass
 
     def clear(self) -> None:

@@ -100,6 +100,20 @@ class DistributedConfig:
                 f"loss_probability must be in [0, 1], "
                 f"got {self.loss_probability!r}"
             )
+        if self.seed < 0:
+            # default_rng rejects negative seeds, but only when the bus
+            # first draws — mid-run, not at construction.
+            raise DistributedError(f"seed must be >= 0, got {self.seed!r}")
+        if self.initial_resource_price <= 0.0:
+            raise DistributedError(
+                f"initial_resource_price must be positive, "
+                f"got {self.initial_resource_price!r}"
+            )
+        if self.initial_path_price < 0.0:
+            raise DistributedError(
+                f"initial_path_price must be >= 0, "
+                f"got {self.initial_path_price!r}"
+            )
         if self.initial_gamma <= 0.0:
             raise DistributedError(
                 f"initial_gamma must be positive, got {self.initial_gamma!r}"

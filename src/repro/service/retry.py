@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Callable, Optional, TypeVar
+from typing import Any, Callable, Dict, Optional, TypeVar
 
 import numpy as np
 
@@ -103,7 +103,7 @@ class Retrier:
         self._rng = np.random.default_rng(seed)
         self._sleep = sleep
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
-        self._metrics: Optional[dict] = None
+        self._metrics: Optional[Dict[str, Any]] = None
         self.attempts = 0
         self.retries = 0
         self.exhausted = 0
@@ -192,7 +192,7 @@ class CircuitBreaker:
         self.opened_at: Optional[float] = None
         self.opens = 0
         self.short_circuits = 0
-        self._metrics: Optional[dict] = None
+        self._metrics: Optional[Dict[str, Any]] = None
 
     def _metric(self, key: str) -> Any:
         if self._metrics is None:

@@ -143,6 +143,10 @@ class HardeningConfig:
                 f"reconverge_patience must be >= 1, "
                 f"got {self.reconverge_patience!r}"
             )
+        if self.seed < 0:
+            # default_rng rejects negative seeds, but only at first use —
+            # hundreds of ticks after construction on a quiet service.
+            raise ServiceError(f"seed must be >= 0, got {self.seed!r}")
 
 
 class Watchdog:
@@ -394,19 +398,50 @@ class SupervisedService:
         """One control-loop turn: inject due faults, drain churn as one
         batch, advance the solve, feed the watchdog, snapshot, capture
         the last-good allocation, and update the brownout state."""
+        restart_due, snapshot_due = self._tick_begin()
+        if restart_due:
+            self._supervisor_restart()
+        if snapshot_due:
+            self._guarded_snapshot()
+        self._tick_end()
+
+    async def tick_async(self) -> None:
+        """:meth:`tick` for an event loop: the synchronous body — fault
+        injection, churn drain, the optimizer slice, and above all the
+        checkpoint file I/O behind restarts and snapshots — runs in a
+        worker thread via :func:`asyncio.to_thread`, so a slow disk (or
+        an injected checkpoint outage) never stalls the loop that
+        concurrent :meth:`query` callers and churn producers share.
+        Only the in-memory telemetry capture runs on the loop thread."""
+        restart_due, snapshot_due = await asyncio.to_thread(self._tick_begin)
+        if restart_due:
+            await asyncio.to_thread(self._supervisor_restart)
+        if snapshot_due:
+            await asyncio.to_thread(self._guarded_snapshot)
+        self._tick_end()
+
+    def _tick_begin(self) -> Tuple[bool, bool]:
+        """Everything up to (but not including) the restart/snapshot
+        I/O; returns ``(restart_due, snapshot_due)``."""
         self._tick += 1
         self._shed_this_tick = 0
         if self.injector is not None:
             self.injector.apply(self._tick)
         self._drain_churn()
         self._advance()
-        if self.service.taskset is not None and \
-                self.watchdog.beat(self.service.stats().iterations):
-            self._supervisor_restart()
+        restart_due = (
+            self.service.taskset is not None
+            and self.watchdog.beat(self.service.stats().iterations)
+        )
         interval = self.config.snapshot_interval
-        if interval and self.service.taskset is not None \
-                and self._tick % interval == 0:
-            self._guarded_snapshot()
+        snapshot_due = bool(
+            interval and self.service.taskset is not None
+            and self._tick % interval == 0
+        )
+        return restart_due, snapshot_due
+
+    def _tick_end(self) -> None:
+        """Post-I/O bookkeeping: last-good capture, brownout, gauges."""
         self._capture_last_good()
         self._observe_brownout()
         if self.telemetry.enabled:
@@ -420,12 +455,13 @@ class SupervisedService:
             self.tick()
 
     async def run(self, ticks: int) -> None:
-        """Drive the loop cooperatively, yielding between ticks so
-        producers and queries interleave."""
+        """Drive the loop cooperatively via :meth:`tick_async`, yielding
+        between ticks so producers and queries interleave — and keeping
+        checkpoint I/O off the event-loop thread."""
         if ticks < 1:
             raise ServiceError(f"ticks must be >= 1, got {ticks!r}")
         for _ in range(ticks):
-            self.tick()
+            await self.tick_async()
             await asyncio.sleep(0)
 
     def _drain_churn(self) -> List[AdmissionDecision]:

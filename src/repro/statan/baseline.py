@@ -1,0 +1,170 @@
+"""Adopt-new-rules baselines: old findings don't gate, new ones do.
+
+Turning on a new rule over a 150-file tree surfaces pre-existing
+findings that are real but not this PR's problem.  The baseline records
+their fingerprints; a run with ``--baseline`` exits clean when every
+finding is either inline-suppressed or already in the file, and fails
+the moment a *new* finding appears.  Shrinking the file (fixing old
+findings and re-seeding) is progress; growing it requires an explicit
+``--write-baseline`` that shows up in the diff.
+
+Fingerprints must survive unrelated edits, so they hash the finding's
+rule id, file, and the *stripped text of the offending line* — not the
+line number.  Two identical lines in one file disambiguate by ordinal.
+The same fingerprint feeds SARIF ``partialFingerprints``, so GitHub
+code scanning dedups across runs with the same key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import StaticAnalysisError
+from repro.statan.findings import Finding
+
+__all__ = [
+    "FINGERPRINT_KEY",
+    "assign_fingerprints",
+    "finding_fingerprints",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+#: ``Finding.data`` key the assigned fingerprint is stored under.
+FINGERPRINT_KEY = "fingerprint"
+
+_BASELINE_VERSION = 1
+
+
+def _line_text(lines: Sequence[str], lineno: int) -> str:
+    if 1 <= lineno <= len(lines):
+        return lines[lineno - 1].strip()
+    return ""
+
+
+def _digest(rule_id: str, relpath: str, text: str, ordinal: int) -> str:
+    payload = "\x00".join((rule_id, relpath, text, str(ordinal)))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+def finding_fingerprints(
+    findings: Sequence[Finding],
+    lines_by_path: Dict[str, Sequence[str]],
+) -> List[str]:
+    """Stable fingerprints, position-matched to ``findings``.
+
+    ``lines_by_path`` maps each finding's ``path`` to its source lines;
+    findings in unknown files hash an empty line text (still stable).
+    """
+    keyed: List[Tuple[str, Finding]] = []
+    for finding in findings:
+        lines = lines_by_path.get(finding.path, ())
+        keyed.append((_line_text(lines, finding.line), finding))
+    # Ordinal among findings with an identical (rule, file, line-text)
+    # triple, in source order, so duplicated lines stay distinct.
+    order = sorted(
+        range(len(keyed)),
+        key=lambda i: (keyed[i][1].relpath, keyed[i][1].line,
+                       keyed[i][1].col, keyed[i][1].rule_id),
+    )
+    counters: Dict[Tuple[str, str, str], int] = {}
+    prints: List[str] = [""] * len(keyed)
+    for i in order:
+        text, finding = keyed[i]
+        key = (finding.rule_id, finding.relpath, text)
+        ordinal = counters.get(key, 0)
+        counters[key] = ordinal + 1
+        prints[i] = _digest(finding.rule_id, finding.relpath, text,
+                            ordinal)
+    return prints
+
+
+def assign_fingerprints(
+    findings: Sequence[Finding],
+    lines_by_path: Dict[str, Sequence[str]],
+) -> None:
+    """Stamp each finding's fingerprint into ``finding.data``."""
+    for finding, fingerprint in zip(
+            findings, finding_fingerprints(findings, lines_by_path)):
+        finding.data[FINGERPRINT_KEY] = fingerprint
+
+
+def load_baseline(path: str) -> Dict[str, Dict[str, Any]]:
+    """The baseline file → ``{fingerprint: descriptor}``."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise StaticAnalysisError(
+            f"cannot read baseline {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise StaticAnalysisError(
+            f"baseline {path!r} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise StaticAnalysisError(
+            f"baseline {path!r} has no `entries` table")
+    entries = payload["entries"]
+    if not isinstance(entries, dict):
+        raise StaticAnalysisError(
+            f"baseline {path!r} `entries` must be an object")
+    return dict(entries)
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Write the baseline for ``findings`` (already fingerprinted);
+    returns how many entries were recorded."""
+    entries: Dict[str, Dict[str, Any]] = {}
+    for finding in findings:
+        fingerprint = finding.data.get(FINGERPRINT_KEY)
+        if not isinstance(fingerprint, str):
+            raise StaticAnalysisError(
+                "finding has no fingerprint; baselines can only be "
+                "written from a full lint_paths run"
+            )
+        entries[fingerprint] = {
+            "rule": finding.rule_id,
+            "relpath": finding.relpath,
+            "line": finding.line,
+            "message": finding.message,
+        }
+    payload = {
+        "version": _BASELINE_VERSION,
+        "tool": "repro.statan",
+        "entries": dict(sorted(entries.items())),
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".baseline-",
+                               suffix=".json")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        raise
+    return len(entries)
+
+
+def apply_baseline(
+    findings: Sequence[Finding],
+    baseline: Dict[str, Dict[str, Any]],
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split fingerprinted findings into (fresh, baselined)."""
+    fresh: List[Finding] = []
+    known: List[Finding] = []
+    for finding in findings:
+        fingerprint = finding.data.get(FINGERPRINT_KEY)
+        if isinstance(fingerprint, str) and fingerprint in baseline:
+            known.append(finding)
+        else:
+            fresh.append(finding)
+    return fresh, known

@@ -1,0 +1,162 @@
+"""Content-hash incremental analysis cache.
+
+Two-pass analysis re-reads every file anyway (pass 2 needs every
+module's index), so the cache skips the expensive part only: parsing and
+pass-1 rule execution.  Each entry is keyed by the file's content digest
+and stores the pass-1 findings, the suppression table, and the
+serialized :class:`~repro.statan.project.ModuleIndex`; pass 2 always
+runs fresh over the (mostly cached) indexes, because cross-module
+conclusions cannot be cached per file.
+
+A salt derived from the rule catalog's *source code* invalidates the
+whole cache when any rule changes, so editing a rule never serves stale
+verdicts.  The cache file is advisory: unreadable or version-skewed
+caches are ignored, never fatal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import os
+import tempfile
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.statan.findings import Finding
+from repro.statan.project import ModuleIndex
+from repro.statan.suppress import Suppression
+
+__all__ = ["AnalysisCache", "CacheEntry", "rules_salt", "source_digest"]
+
+_CACHE_VERSION = 3
+
+
+def source_digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def rules_salt(rules: Sequence[object]) -> str:
+    """A digest of the active rules' implementation source."""
+    hasher = hashlib.sha256()
+    for rule in rules:
+        hasher.update(type(rule).__name__.encode("utf-8"))
+        try:
+            hasher.update(inspect.getsource(type(rule)).encode("utf-8"))
+        except (OSError, TypeError):  # pragma: no cover - frozen envs
+            hasher.update(getattr(rule, "rule_id", "?").encode("utf-8"))
+    return hasher.hexdigest()[:20]
+
+
+class CacheEntry:
+    """One file's cached pass-1 outcome plus its module index."""
+
+    def __init__(self, digest: str, findings: List[Finding],
+                 suppressed: List[Finding],
+                 suppressions: Dict[int, Suppression],
+                 index: ModuleIndex) -> None:
+        self.digest = digest
+        self.findings = findings
+        self.suppressed = suppressed
+        self.suppressions = suppressions
+        self.index = index
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "digest": self.digest,
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "suppressions": [
+                {"line": s.line, "rule_ids": list(s.rule_ids),
+                 "justification": s.justification}
+                for s in self.suppressions.values()
+            ],
+            "index": self.index.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CacheEntry":
+        suppressions = {
+            int(s["line"]): Suppression(
+                line=int(s["line"]),
+                rule_ids=tuple(s["rule_ids"]),
+                justification=s["justification"],
+            )
+            for s in payload["suppressions"]
+        }
+        return cls(
+            digest=payload["digest"],
+            findings=[Finding.from_dict(f) for f in payload["findings"]],
+            suppressed=[Finding.from_dict(f)
+                        for f in payload["suppressed"]],
+            suppressions=suppressions,
+            index=ModuleIndex.from_dict(payload["index"]),
+        )
+
+
+class AnalysisCache:
+    """The on-disk cache: load leniently, save atomically."""
+
+    def __init__(self, path: str, salt: str) -> None:
+        self.path = path
+        self.salt = salt
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return
+        if not isinstance(payload, dict):
+            return
+        if payload.get("version") != _CACHE_VERSION or \
+                payload.get("salt") != self.salt:
+            return  # rule code or format changed: start over
+        entries = payload.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def lookup(self, file_path: str, digest: str) -> Optional[CacheEntry]:
+        raw = self._entries.get(file_path)
+        if raw is None or raw.get("digest") != digest:
+            self.misses += 1
+            return None
+        try:
+            entry = CacheEntry.from_dict(raw)
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def store(self, file_path: str, entry: CacheEntry) -> None:
+        self._entries[file_path] = entry.to_dict()
+        self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        payload = {
+            "version": _CACHE_VERSION,
+            "salt": self.salt,
+            "entries": self._entries,
+        }
+        directory = os.path.dirname(os.path.abspath(self.path)) or "."
+        try:
+            fd, tmp = tempfile.mkstemp(dir=directory, prefix=".statan-",
+                                       suffix=".cache")
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, self.path)
+        except OSError:  # pragma: no cover - cache is advisory
+            return
+        self._dirty = False
+
+    @property
+    def stats(self) -> Tuple[int, int]:
+        return self.hits, self.misses

@@ -2,7 +2,9 @@
 
 Exit codes: 0 clean, 1 findings, 2 usage error.  Suppression growth is
 visible in diffs by construction: every waiver must carry an inline
-justification, so there is no side-channel allowlist to audit.
+justification, so there is no side-channel allowlist to audit.  Baseline
+growth is likewise diff-visible: adding entries requires an explicit
+``--write-baseline`` commit.
 """
 
 from __future__ import annotations
@@ -11,6 +13,7 @@ import argparse
 from typing import List, Optional
 
 from repro.errors import StaticAnalysisError
+from repro.statan.baseline import load_baseline, write_baseline
 from repro.statan.engine import lint_paths
 from repro.statan.reporters import FORMATS, render
 from repro.statan.rules import ALL_RULES
@@ -36,6 +39,22 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="write the report to this file instead of stdout",
     )
     parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="known-findings file; matched findings don't gate",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="record current findings into --baseline and exit clean",
+    )
+    parser.add_argument(
+        "--cache", metavar="FILE", dest="cache_path",
+        help="incremental analysis cache file (content-hash keyed)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print pass timings and cache hit rates",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
     )
@@ -49,7 +68,8 @@ def _list_rules() -> str:
     lines: List[str] = []
     for rule in ALL_RULES:
         scopes = ", ".join(rule.scopes) if rule.scopes else "all linted paths"
-        lines.append(f"{rule.rule_id}  {rule.name}")
+        kind = "project" if rule.is_project_rule else "file"
+        lines.append(f"{rule.rule_id}  {rule.name}  [{kind}]")
         lines.append(f"    scope: {scopes}")
         lines.append(f"    {rule.rationale}")
     return "\n".join(lines)
@@ -60,8 +80,24 @@ def run_lint(args: argparse.Namespace) -> int:
         print(_list_rules())
         return 0
     select = args.select.split(",") if args.select else None
+    if args.write_baseline and not args.baseline:
+        print("repro lint: --write-baseline requires --baseline FILE")
+        return 2
     try:
-        result, files = lint_paths(args.paths, select=select)
+        baseline = None
+        if args.baseline and not args.write_baseline:
+            baseline = load_baseline(args.baseline)
+        result, files = lint_paths(
+            args.paths, select=select, baseline=baseline,
+            cache_path=args.cache_path,
+        )
+        if args.write_baseline:
+            count = write_baseline(args.baseline, result.findings)
+            print(f"baseline written to {args.baseline} "
+                  f"({count} finding(s) recorded)")
+            if args.stats:
+                print(result.stats.render())
+            return 0
     except StaticAnalysisError as exc:
         print(f"repro lint: {exc}")
         return 2
@@ -80,6 +116,8 @@ def run_lint(args: argparse.Namespace) -> int:
         print("suppressed:")
         for finding in result.suppressed:
             print(f"  {finding.render()}")
+    if args.stats:
+        print(result.stats.render())
     return 0 if result.ok else 1
 
 

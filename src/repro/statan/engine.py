@@ -1,31 +1,88 @@
-"""The linting engine: discovery, parsing, rule dispatch, suppression.
+"""The linting engine: discovery, two-pass analysis, suppression.
 
 The engine is deliberately dependency-free (stdlib ``ast`` + the rule
 catalog) so the gate can run in any environment the library itself runs
 in — including CI containers without third-party linters installed.
+
+Analysis is two-pass:
+
+* **pass 1** runs the per-file rules over each parsed module (optionally
+  served from the content-hash :mod:`~repro.statan.cache`), and extracts
+  a :class:`~repro.statan.project.ModuleIndex` as a side effect;
+* **pass 2** assembles the indexes into a
+  :class:`~repro.statan.project.ProjectIndex` and runs the
+  whole-program rules (REP011, REP014, REP015) over it.  Pass-2 findings
+  anchor at real source lines, so the same inline suppression machinery
+  applies.
+
+:func:`lint_source` stays pass-1-only: a single in-memory module has no
+project to index.  Whole-program verdicts come from :func:`lint_paths`.
 """
 
 from __future__ import annotations
 
 import ast
 import os
+import time
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import StaticAnalysisError
+from repro.statan.baseline import apply_baseline, assign_fingerprints
+from repro.statan.cache import (
+    AnalysisCache,
+    CacheEntry,
+    rules_salt,
+    source_digest,
+)
 from repro.statan.findings import Finding, Severity
-from repro.statan.rules import FileContext, Rule, get_rules
-from repro.statan.suppress import apply_suppressions, parse_suppressions
+from repro.statan.project import ModuleIndex, ProjectIndex, \
+    build_module_index
+from repro.statan.rules import FileContext, ProjectRule, Rule, get_rules
+from repro.statan.suppress import (
+    Suppression,
+    apply_suppressions,
+    parse_suppressions,
+)
 
-__all__ = ["LintResult", "lint_source", "lint_file", "lint_paths",
-           "PARSE_ERROR"]
+__all__ = ["LintResult", "LintStats", "lint_source", "lint_file",
+           "lint_paths", "PARSE_ERROR", "STA_STALE"]
 
 #: Rule id reported for files the parser rejects.
 PARSE_ERROR = "STA000"
+#: Rule id for suppressions that no longer suppress anything.
+STA_STALE = "STA003"
 
 
 def _order(finding: Finding) -> Tuple[str, int, int, str]:
     return (finding.relpath, finding.line, finding.col, finding.rule_id)
+
+
+@dataclass
+class LintStats:
+    """Run accounting for ``repro lint --stats`` and CI timing lines."""
+
+    files: int = 0
+    pass1_seconds: float = 0.0
+    pass2_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    baselined: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.pass1_seconds + self.pass2_seconds
+
+    def render(self) -> str:
+        cache = "off"
+        if self.cache_hits or self.cache_misses:
+            cache = f"{self.cache_hits} hit / {self.cache_misses} miss"
+        return (
+            f"statan: {self.files} file(s) in {self.total_seconds:.2f}s "
+            f"(pass1 {self.pass1_seconds:.2f}s, "
+            f"pass2 {self.pass2_seconds:.2f}s; cache {cache}; "
+            f"{self.baselined} baselined)"
+        )
 
 
 @dataclass
@@ -34,7 +91,10 @@ class LintResult:
 
     findings: List[Finding] = field(default_factory=list)
     suppressed: List[Finding] = field(default_factory=list)
+    #: Findings matched by the adopt-new-rules baseline (don't gate).
+    baselined: List[Finding] = field(default_factory=list)
     files_checked: int = 0
+    stats: LintStats = field(default_factory=LintStats)
 
     @property
     def ok(self) -> bool:
@@ -43,21 +103,41 @@ class LintResult:
     def extend(self, other: "LintResult") -> None:
         self.findings.extend(other.findings)
         self.suppressed.extend(other.suppressed)
+        self.baselined.extend(other.baselined)
         self.files_checked += other.files_checked
 
     def sort(self) -> None:
         self.findings.sort(key=_order)
         self.suppressed.sort(key=_order)
+        self.baselined.sort(key=_order)
+
+
+_RELPATH_ROOTS = ("repro", "tests", "benchmarks")
 
 
 def package_relpath(path: str) -> str:
     """Normalize a filesystem path to the package-rooted posix form used
-    for rule scoping: ``src/repro/core/x.py`` → ``repro/core/x.py``.
-    Paths without a ``repro`` segment are kept as given (posix-ified)."""
+    for rule scoping and baseline stability: ``src/repro/core/x.py`` →
+    ``repro/core/x.py``, ``/repo/tests/t.py`` → ``tests/t.py``.  Paths
+    without a known root segment are kept as given (posix-ified)."""
     parts = os.path.normpath(path).replace(os.sep, "/").split("/")
-    if "repro" in parts:
-        parts = parts[parts.index("repro"):]
+    for i, part in enumerate(parts[:-1] if len(parts) > 1 else parts):
+        if part in _RELPATH_ROOTS:
+            return "/".join(parts[i:])
     return "/".join(parts)
+
+
+@dataclass
+class _FileOutcome:
+    """Everything pass 1 learned about one file."""
+
+    path: str
+    relpath: str
+    lines: Sequence[str]
+    findings: List[Finding]
+    suppressed: List[Finding]
+    suppressions: Dict[int, Suppression]
+    index: Optional[ModuleIndex]
 
 
 def lint_source(
@@ -67,37 +147,51 @@ def lint_source(
     path: Optional[str] = None,
     rules: Optional[Sequence[Rule]] = None,
 ) -> LintResult:
-    """Lint one in-memory module; ``relpath`` drives rule scoping."""
+    """Lint one in-memory module (pass 1 only); ``relpath`` drives rule
+    scoping.  Project rules need :func:`lint_paths`."""
     path = path if path is not None else relpath
     active = list(rules) if rules is not None else get_rules()
     result = LintResult(files_checked=1)
+    outcome = _lint_one(source, path, relpath, active)
+    result.findings.extend(outcome.findings)
+    result.suppressed.extend(outcome.suppressed)
+    result.sort()
+    return result
+
+
+def _lint_one(source: str, path: str, relpath: str,
+              rules: Sequence[Rule],
+              want_index: bool = False) -> _FileOutcome:
+    lines = source.splitlines()
     try:
         tree = ast.parse(source, filename=path)
     except (SyntaxError, ValueError) as exc:
-        result.findings.append(Finding(
+        finding = Finding(
             rule_id=PARSE_ERROR,
             message=f"cannot parse: {exc}",
             path=path, relpath=relpath,
             line=getattr(exc, "lineno", None) or 1,
             severity=Severity.ERROR,
-        ))
-        return result
+        )
+        return _FileOutcome(path=path, relpath=relpath, lines=lines,
+                            findings=[finding], suppressed=[],
+                            suppressions={}, index=None)
 
     ctx = FileContext(path=path, relpath=relpath, source=source, tree=tree)
     raw: List[Finding] = []
-    for rule in active:
-        if rule.applies_to(relpath):
+    for rule in rules:
+        if not rule.is_project_rule and rule.applies_to(relpath):
             raw.extend(rule.check(ctx))
 
     suppressions, directive_problems = parse_suppressions(
         source, path, relpath
     )
     kept, suppressed = apply_suppressions(raw, suppressions)
-    result.findings.extend(directive_problems)
-    result.findings.extend(kept)
-    result.suppressed.extend(suppressed)
-    result.sort()
-    return result
+    findings = directive_problems + kept
+    index = build_module_index(tree, path, relpath) if want_index else None
+    return _FileOutcome(path=path, relpath=relpath, lines=lines,
+                        findings=findings, suppressed=suppressed,
+                        suppressions=suppressions, index=index)
 
 
 def lint_file(
@@ -136,20 +230,151 @@ def discover(paths: Iterable[str]) -> List[str]:
     return found
 
 
+def _stale_suppression_findings(
+    outcomes: Sequence[_FileOutcome],
+    used_lines: Dict[str, set],
+) -> List[Finding]:
+    """STA003 for directives that suppressed nothing in either pass."""
+    stale: List[Finding] = []
+    for outcome in outcomes:
+        used = used_lines.get(outcome.path, set())
+        for line, directive in sorted(outcome.suppressions.items()):
+            if line in used:
+                continue
+            ids = ", ".join(directive.rule_ids)
+            stale.append(Finding(
+                rule_id=STA_STALE,
+                message=(
+                    f"stale suppression: {ids} did not fire on this "
+                    "line; remove the directive (or fix the rule id) "
+                    "so dead waivers don't mask future findings"
+                ),
+                path=outcome.path, relpath=outcome.relpath, line=line,
+                severity=Severity.ERROR,
+            ))
+    return stale
+
+
 def lint_paths(
     paths: Iterable[str],
     *,
     select: Optional[Iterable[str]] = None,
     rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional[Dict[str, Dict[str, object]]] = None,
+    cache_path: Optional[str] = None,
 ) -> Tuple[LintResult, List[str]]:
-    """Lint files and directories; returns (result, files-checked)."""
+    """Two-pass lint over files and directories.
+
+    Returns ``(result, files-checked)``.  ``baseline`` (from
+    :func:`repro.statan.baseline.load_baseline`) reclassifies known
+    findings into ``result.baselined``; ``cache_path`` enables the
+    content-hash incremental cache.  Stale-suppression findings
+    (``STA003``) are only emitted when the full catalog runs — a
+    narrowed run cannot tell stale from out-of-scope.
+    """
+    full_catalog = rules is None and select is None
     if rules is None:
         rules = get_rules(select)
     elif select is not None:
         raise StaticAnalysisError("pass either `rules` or `select`, not both")
     files = discover(paths)
+
+    cache: Optional[AnalysisCache] = None
+    if cache_path is not None:
+        cache = AnalysisCache(cache_path, rules_salt(rules))
+
     result = LintResult()
+    outcomes: List[_FileOutcome] = []
+    started = time.perf_counter()
     for file_path in files:
-        result.extend(lint_file(file_path, rules=rules))
+        try:
+            with open(file_path, encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            raise StaticAnalysisError(
+                f"cannot read {file_path!r}: {exc}") from exc
+        relpath = package_relpath(file_path)
+        entry: Optional[CacheEntry] = None
+        digest = ""
+        if cache is not None:
+            digest = source_digest(source)
+            entry = cache.lookup(file_path, digest)
+        if entry is not None:
+            outcome = _FileOutcome(
+                path=file_path, relpath=relpath,
+                lines=source.splitlines(),
+                findings=list(entry.findings),
+                suppressed=list(entry.suppressed),
+                suppressions=dict(entry.suppressions),
+                index=entry.index,
+            )
+        else:
+            outcome = _lint_one(source, file_path, relpath, rules,
+                                want_index=True)
+            if cache is not None and outcome.index is not None:
+                cache.store(file_path, CacheEntry(
+                    digest=digest or source_digest(source),
+                    findings=list(outcome.findings),
+                    suppressed=list(outcome.suppressed),
+                    suppressions=dict(outcome.suppressions),
+                    index=outcome.index,
+                ))
+        outcomes.append(outcome)
+        result.files_checked += 1
+    pass1_seconds = time.perf_counter() - started
+
+    # -- pass 2: whole-program rules over the assembled index ------------
+    started = time.perf_counter()
+    project_rules = [r for r in rules
+                     if isinstance(r, ProjectRule) and r.is_project_rule]
+    indexes = [o.index for o in outcomes if o.index is not None]
+    suppressions_by_path = {o.path: o.suppressions for o in outcomes}
+    project_findings: List[Finding] = []
+    project_suppressed: List[Finding] = []
+    if project_rules and indexes:
+        index = ProjectIndex(indexes)
+        for rule in project_rules:
+            for finding in rule.check_project(index):
+                directives = suppressions_by_path.get(finding.path, {})
+                directive = directives.get(finding.line)
+                if directive is not None and \
+                        finding.rule_id in directive.rule_ids:
+                    project_suppressed.append(finding)
+                else:
+                    project_findings.append(finding)
+    pass2_seconds = time.perf_counter() - started
+
+    for outcome in outcomes:
+        result.findings.extend(outcome.findings)
+        result.suppressed.extend(outcome.suppressed)
+    result.findings.extend(project_findings)
+    result.suppressed.extend(project_suppressed)
+
+    if full_catalog:
+        used_lines: Dict[str, set] = {}
+        for finding in result.suppressed:
+            used_lines.setdefault(finding.path, set()).add(finding.line)
+        result.findings.extend(
+            _stale_suppression_findings(outcomes, used_lines))
+
+    # -- fingerprints + baseline ------------------------------------------
+    lines_by_path: Dict[str, Sequence[str]] = {
+        o.path: o.lines for o in outcomes
+    }
+    assign_fingerprints(result.findings, lines_by_path)
+    assign_fingerprints(result.suppressed, lines_by_path)
+    if baseline is not None:
+        fresh, known = apply_baseline(result.findings, baseline)
+        result.findings = fresh
+        result.baselined = known
+
+    if cache is not None:
+        cache.save()
+        result.stats.cache_hits = cache.hits
+        result.stats.cache_misses = cache.misses
+    result.stats.files = result.files_checked
+    result.stats.pass1_seconds = pass1_seconds
+    result.stats.pass2_seconds = pass2_seconds
+    result.stats.baselined = len(result.baselined)
     result.sort()
     return result, files

@@ -64,3 +64,17 @@ class Finding:
         if self.data:
             payload["data"] = dict(self.data)
         return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Finding":
+        """Inverse of :meth:`to_dict` (used by the incremental cache)."""
+        return cls(
+            rule_id=payload["rule"],
+            message=payload["message"],
+            path=payload["path"],
+            relpath=payload["relpath"],
+            line=payload["line"],
+            col=payload.get("col", 0),
+            severity=Severity(payload.get("severity", "error")),
+            data=dict(payload.get("data", {})),
+        )

@@ -1,0 +1,888 @@
+"""Pass 2: the whole-program index cross-module rules run over.
+
+Pass 1 rules see one file at a time; the properties PR 7–8's always-on
+service made load-bearing are *cross-module*: "no call chain from an
+``async def`` reaches blocking I/O", "every metric a dashboard reads is
+actually registered somewhere", "every ``*Config`` knob is validated".
+This module extracts a compact, JSON-serializable :class:`ModuleIndex`
+per file (so the incremental cache can store it) and assembles them into
+a :class:`ProjectIndex` with resolved symbols and a name-based call
+graph.
+
+The call graph is deliberately modest — Python's dynamism makes a sound
+one impossible without types — but tuned to this codebase's idioms:
+
+* ``self.method()`` edges within a class;
+* ``self.attr.method()`` one-hop edges through inferred attribute types
+  (constructor assignments ``self.x = ClassName(...)``, annotated
+  assignments, ``__init__`` parameter annotations with ``Optional``
+  stripped, and either branch of a guarding ``IfExp``);
+* module-level ``function()`` calls and imported names resolved through
+  the file's import table;
+* function *references* passed as arguments count as edges too — that is
+  how ``Retrier.call(lambda: ...)`` / ``CircuitBreaker.guard(fn)``
+  chains stay visible — except references handed to a recognized
+  offloading API (``asyncio.to_thread``, ``run_in_executor``), which is
+  precisely the sanctioned fix for blocking work in async context.
+
+Lambda bodies are folded into their enclosing function, so
+``retrier.call(lambda: self.breaker.guard(self._snapshot_once))``
+contributes edges from the enclosing method directly.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+__all__ = [
+    "BLOCKING_CALLS",
+    "OFFLOAD_CALLS",
+    "BlockingSite",
+    "CallEdge",
+    "ClassInfo",
+    "ConfigField",
+    "ConfigInfo",
+    "FunctionInfo",
+    "MetricDef",
+    "MetricRead",
+    "EventEmit",
+    "EventRead",
+    "ModuleIndex",
+    "ProjectIndex",
+    "build_module_index",
+    "module_name_for",
+]
+
+#: Dotted names whose call blocks the running thread.  Kept tight on
+#: purpose: the point is event-loop stalls (REP011), not a general I/O
+#: audit, and a fuzzy list would drown the signal in noise.
+BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "os.system",
+    "os.fdopen",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+})
+
+#: Builtin callables that block (flagged unless shadowed by an import).
+_BLOCKING_BUILTINS = frozenset({"open"})
+
+#: APIs that move a callable off the event loop: a function reference
+#: passed to one of these is *not* a call edge from async context.
+OFFLOAD_CALLS = frozenset({
+    "asyncio.to_thread",
+    "run_in_executor",
+})
+
+_METRIC_FACTORIES = frozenset({"counter", "gauge", "histogram", "timer"})
+
+
+@dataclass
+class CallEdge:
+    """One potential call (or callable reference) out of a function.
+
+    ``kind`` is how the target was written: ``"self"`` (``self.m()``),
+    ``"selfattr"`` (``self.a.m()`` — resolved through attribute types),
+    ``"name"`` (bare or imported name, stored fully resolved through the
+    file's imports).  ``is_ref`` marks a reference passed as an argument
+    rather than a direct call.
+    """
+
+    kind: str
+    target: str
+    lineno: int
+    is_ref: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "target": self.target,
+                "lineno": self.lineno, "is_ref": self.is_ref}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CallEdge":
+        return cls(kind=payload["kind"], target=payload["target"],
+                   lineno=payload["lineno"], is_ref=payload["is_ref"])
+
+
+@dataclass
+class BlockingSite:
+    """A direct call to a blocking primitive inside one function."""
+
+    symbol: str
+    lineno: int
+    col: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"symbol": self.symbol, "lineno": self.lineno,
+                "col": self.col}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "BlockingSite":
+        return cls(symbol=payload["symbol"], lineno=payload["lineno"],
+                   col=payload["col"])
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method and its outgoing edges."""
+
+    name: str
+    cls: Optional[str]
+    lineno: int
+    is_async: bool
+    calls: List[CallEdge] = field(default_factory=list)
+    blocking: List[BlockingSite] = field(default_factory=list)
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.cls}.{self.name}" if self.cls else self.name
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name, "cls": self.cls, "lineno": self.lineno,
+            "is_async": self.is_async,
+            "calls": [c.to_dict() for c in self.calls],
+            "blocking": [b.to_dict() for b in self.blocking],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FunctionInfo":
+        return cls(
+            name=payload["name"], cls=payload["cls"],
+            lineno=payload["lineno"], is_async=payload["is_async"],
+            calls=[CallEdge.from_dict(c) for c in payload["calls"]],
+            blocking=[BlockingSite.from_dict(b)
+                      for b in payload["blocking"]],
+        )
+
+
+@dataclass
+class ConfigField:
+    """One dataclass field of a ``*Config`` class."""
+
+    name: str
+    annotation: str
+    lineno: int
+    optional: bool
+    has_default: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "annotation": self.annotation,
+                "lineno": self.lineno, "optional": self.optional,
+                "has_default": self.has_default}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ConfigField":
+        return cls(name=payload["name"], annotation=payload["annotation"],
+                   lineno=payload["lineno"], optional=payload["optional"],
+                   has_default=payload["has_default"])
+
+
+@dataclass
+class ConfigInfo:
+    """A ``@dataclass ... class *Config`` and what its validator touches."""
+
+    cls: str
+    lineno: int
+    fields: List[ConfigField] = field(default_factory=list)
+    has_post_init: bool = False
+    post_init_refs: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cls": self.cls, "lineno": self.lineno,
+            "fields": [f.to_dict() for f in self.fields],
+            "has_post_init": self.has_post_init,
+            "post_init_refs": list(self.post_init_refs),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ConfigInfo":
+        return cls(
+            cls=payload["cls"], lineno=payload["lineno"],
+            fields=[ConfigField.from_dict(f) for f in payload["fields"]],
+            has_post_init=payload["has_post_init"],
+            post_init_refs=list(payload["post_init_refs"]),
+        )
+
+
+@dataclass
+class ClassInfo:
+    """One class: attribute-type candidates and method names."""
+
+    name: str
+    lineno: int
+    #: attr name → candidate type names (dotted, resolved through the
+    #: file's imports where possible; bare names resolved project-wide).
+    attr_types: Dict[str, List[str]] = field(default_factory=dict)
+    methods: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "lineno": self.lineno,
+                "attr_types": {k: list(v)
+                               for k, v in self.attr_types.items()},
+                "methods": list(self.methods)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ClassInfo":
+        return cls(name=payload["name"], lineno=payload["lineno"],
+                   attr_types={k: list(v)
+                               for k, v in payload["attr_types"].items()},
+                   methods=list(payload["methods"]))
+
+
+@dataclass
+class MetricDef:
+    name: str
+    kind: str
+    lineno: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "kind": self.kind, "lineno": self.lineno}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "MetricDef":
+        return cls(**payload)
+
+
+@dataclass
+class MetricRead:
+    name: str
+    lineno: int
+    col: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "lineno": self.lineno, "col": self.col}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "MetricRead":
+        return cls(**payload)
+
+
+@dataclass
+class EventEmit:
+    kind: str
+    lineno: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "lineno": self.lineno}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "EventEmit":
+        return cls(**payload)
+
+
+@dataclass
+class EventRead:
+    kind: str
+    lineno: int
+    col: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "lineno": self.lineno, "col": self.col}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "EventRead":
+        return cls(**payload)
+
+
+@dataclass
+class ModuleIndex:
+    """Everything pass 2 needs to know about one file."""
+
+    module: str
+    path: str
+    relpath: str
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    configs: List[ConfigInfo] = field(default_factory=list)
+    metric_defs: List[MetricDef] = field(default_factory=list)
+    metric_reads: List[MetricRead] = field(default_factory=list)
+    event_emits: List[EventEmit] = field(default_factory=list)
+    event_reads: List[EventRead] = field(default_factory=list)
+    #: local/imported name → dotted target, for project-wide resolution.
+    imports: Dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "module": self.module, "path": self.path,
+            "relpath": self.relpath,
+            "classes": {k: v.to_dict() for k, v in self.classes.items()},
+            "functions": {k: v.to_dict()
+                          for k, v in self.functions.items()},
+            "configs": [c.to_dict() for c in self.configs],
+            "metric_defs": [m.to_dict() for m in self.metric_defs],
+            "metric_reads": [m.to_dict() for m in self.metric_reads],
+            "event_emits": [e.to_dict() for e in self.event_emits],
+            "event_reads": [e.to_dict() for e in self.event_reads],
+            "imports": dict(self.imports),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ModuleIndex":
+        return cls(
+            module=payload["module"], path=payload["path"],
+            relpath=payload["relpath"],
+            classes={k: ClassInfo.from_dict(v)
+                     for k, v in payload["classes"].items()},
+            functions={k: FunctionInfo.from_dict(v)
+                       for k, v in payload["functions"].items()},
+            configs=[ConfigInfo.from_dict(c) for c in payload["configs"]],
+            metric_defs=[MetricDef.from_dict(m)
+                         for m in payload["metric_defs"]],
+            metric_reads=[MetricRead.from_dict(m)
+                          for m in payload["metric_reads"]],
+            event_emits=[EventEmit.from_dict(e)
+                         for e in payload["event_emits"]],
+            event_reads=[EventRead.from_dict(e)
+                         for e in payload["event_reads"]],
+            imports=dict(payload["imports"]),
+        )
+
+
+def module_name_for(relpath: str) -> str:
+    """``repro/service/supervisor.py`` → ``repro.service.supervisor``."""
+    name = relpath[:-3] if relpath.endswith(".py") else relpath
+    name = name.replace("/", ".")
+    if name.endswith(".__init__"):
+        name = name[: -len(".__init__")]
+    return name
+
+
+def _annotation_text(node: Optional[ast.AST]) -> str:
+    if node is None:
+        return ""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    try:
+        return ast.unparse(node)
+    except (ValueError, RecursionError):  # pragma: no cover - best-effort
+        return ""
+
+
+def _strip_optional(text: str) -> Tuple[str, bool]:
+    """``Optional[CheckpointStore]`` → (``CheckpointStore``, True)."""
+    text = text.strip().strip('"').strip("'")
+    for prefix in ("Optional[", "typing.Optional["):
+        if text.startswith(prefix) and text.endswith("]"):
+            return text[len(prefix):-1].strip(), True
+    return text, False
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` expression → ``"a.b.c"``; None for anything fancier."""
+    parts: List[str] = []
+    cursor = node
+    while isinstance(cursor, ast.Attribute):
+        parts.append(cursor.attr)
+        cursor = cursor.value
+    if not isinstance(cursor, ast.Name):
+        return None
+    parts.append(cursor.id)
+    return ".".join(reversed(parts))
+
+
+class _Imports:
+    """The file's import table; resolves local names to dotted targets."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.table: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.table[alias.asname or alias.name] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.table[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def resolve(self, dotted: str) -> str:
+        root, _, rest = dotted.partition(".")
+        if root in self.table:
+            resolved = self.table[root]
+            return f"{resolved}.{rest}" if rest else resolved
+        return dotted
+
+
+class _AttrTyper:
+    """Infers candidate types for ``self.<attr>`` within one class."""
+
+    def __init__(self, cls: ast.ClassDef, imports: _Imports,
+                 local_classes: Set[str]) -> None:
+        self.types: Dict[str, List[str]] = {}
+        self._imports = imports
+        self._local_classes = local_classes
+        for item in cls.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._scan_method(item)
+
+    def _add(self, attr: str, type_name: Optional[str]) -> None:
+        if not type_name:
+            return
+        bucket = self.types.setdefault(attr, [])
+        if type_name not in bucket:
+            bucket.append(type_name)
+
+    def _scan_method(self, fn: ast.AST) -> None:
+        assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+        params: Dict[str, str] = {}
+        for arg in list(fn.args.args) + list(fn.args.kwonlyargs):
+            text, _ = _strip_optional(_annotation_text(arg.annotation))
+            if text:
+                params[arg.arg] = text
+        for node in ast.walk(fn):
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+                ann, _ = _strip_optional(_annotation_text(node.annotation))
+                for target in targets:
+                    if self._is_self_attr(target):
+                        assert isinstance(target, ast.Attribute)
+                        self._add(target.attr, self._qualify(ann))
+                value = node.value
+            if value is None:
+                continue
+            for target in targets:
+                if not self._is_self_attr(target):
+                    continue
+                assert isinstance(target, ast.Attribute)
+                for inferred in self._infer(value, params):
+                    self._add(target.attr, inferred)
+
+    @staticmethod
+    def _is_self_attr(node: ast.AST) -> bool:
+        return (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self")
+
+    def _qualify(self, name: str) -> Optional[str]:
+        if not name or not name[:1].isalpha():
+            return None
+        head = name.split("[")[0]
+        return self._imports.resolve(head)
+
+    def _infer(self, value: ast.expr, params: Dict[str, str]) -> Iterator[str]:
+        """Candidate types of an assigned expression."""
+        if isinstance(value, ast.Call):
+            dotted = _dotted_name(value.func)
+            if dotted is not None:
+                tail = dotted.rsplit(".", 1)[-1]
+                if tail[:1].isupper():  # constructor call by convention
+                    resolved = self._imports.resolve(dotted)
+                    yield resolved
+        elif isinstance(value, ast.Name):
+            if value.id in params:
+                qualified = self._qualify(params[value.id])
+                if qualified:
+                    yield qualified
+        elif isinstance(value, ast.IfExp):
+            for branch in (value.body, value.orelse):
+                yield from self._infer(branch, params)
+
+
+def _extract_calls(fn: ast.AST, imports: _Imports,
+                   shadowed: Set[str]) -> Tuple[List[CallEdge],
+                                                List[BlockingSite]]:
+    """Outgoing edges + direct blocking sites of one function body
+    (lambda bodies folded in, nested ``def``s excluded)."""
+    calls: List[CallEdge] = []
+    blocking: List[BlockingSite] = []
+
+    # A local rebinding (`open = self.cache_get`) or parameter shadows
+    # the blocking builtin for the whole function body.
+    shadowed = set(shadowed)
+    args = fn.args
+    for arg in (args.posonlyargs + args.args + args.kwonlyargs
+                + [a for a in (args.vararg, args.kwarg) if a]):
+        shadowed.add(arg.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            shadowed.add(node.id)
+
+    def resolve_callee(func: ast.expr) -> Optional[Tuple[str, str]]:
+        """(kind, target) for a callable expression, or None."""
+        if isinstance(func, ast.Name):
+            return "name", imports.resolve(func.id)
+        if isinstance(func, ast.Attribute):
+            dotted = _dotted_name(func)
+            if dotted is None:
+                return None
+            parts = dotted.split(".")
+            if parts[0] == "self":
+                if len(parts) == 2:
+                    return "self", parts[1]
+                if len(parts) == 3:
+                    return "selfattr", f"{parts[1]}.{parts[2]}"
+                return None
+            return "name", imports.resolve(dotted)
+        return None
+
+    def is_offload(target: str) -> bool:
+        return (target in OFFLOAD_CALLS
+                or target.rsplit(".", 1)[-1] == "run_in_executor")
+
+    def note_blocking(node: ast.Call, target: str) -> None:
+        display = target
+        if target in BLOCKING_CALLS or (
+                target in _BLOCKING_BUILTINS and target not in shadowed):
+            blocking.append(BlockingSite(
+                symbol=display, lineno=node.lineno, col=node.col_offset))
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested defs own their bodies
+            if isinstance(child, ast.Call):
+                resolved = resolve_callee(child.func)
+                offloading = False
+                if resolved is not None:
+                    kind, target = resolved
+                    if kind == "name":
+                        note_blocking(child, target)
+                        offloading = is_offload(target)
+                    calls.append(CallEdge(kind=kind, target=target,
+                                          lineno=child.lineno))
+                # References passed as arguments count as edges unless
+                # the callee offloads them to a worker thread.
+                if not offloading:
+                    for arg in list(child.args) + [
+                            kw.value for kw in child.keywords]:
+                        ref = resolve_callee(arg) if isinstance(
+                            arg, (ast.Name, ast.Attribute)) else None
+                        if ref is not None:
+                            kind, target = ref
+                            if kind == "name" and "." not in target:
+                                # A bare local name is almost always a
+                                # variable, not a function reference.
+                                if target not in imports.table:
+                                    continue
+                            calls.append(CallEdge(
+                                kind=kind, target=target,
+                                lineno=getattr(arg, "lineno", child.lineno),
+                                is_ref=True))
+            visit(child)
+
+    visit(fn)
+    return calls, blocking
+
+
+def _scan_telemetry(tree: ast.Module) -> Tuple[List[MetricDef],
+                                               List[MetricRead],
+                                               List[EventEmit],
+                                               List[EventRead]]:
+    """Literal metric registrations/reads and event emits/reads."""
+    defs: List[MetricDef] = []
+    reads: List[MetricRead] = []
+    emits: List[EventEmit] = []
+    event_reads: List[EventRead] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        first = node.args[0] if node.args else None
+        literal = (first.value if isinstance(first, ast.Constant)
+                   and isinstance(first.value, str) else None)
+        if func.attr in _METRIC_FACTORIES and literal is not None:
+            defs.append(MetricDef(name=literal, kind=func.attr,
+                                  lineno=node.lineno))
+        elif func.attr == "get" and literal is not None:
+            # Only `registry.get("dotted.name")` shapes count: require a
+            # receiver named `registry` (or `.registry`) and a dotted
+            # literal, so plain dict lookups never match.
+            receiver = _dotted_name(func.value)
+            if receiver is not None and \
+                    receiver.split(".")[-1] == "registry" and \
+                    "." in literal:
+                reads.append(MetricRead(name=literal, lineno=node.lineno,
+                                        col=node.col_offset))
+        elif func.attr == "emit" and literal is not None:
+            receiver = _dotted_name(func.value)
+            if receiver is not None and \
+                    receiver.split(".")[-1] in ("tracer", "self"):
+                emits.append(EventEmit(kind=literal, lineno=node.lineno))
+        elif func.attr == "of_kind" and literal is not None:
+            event_reads.append(EventRead(kind=literal, lineno=node.lineno,
+                                         col=node.col_offset))
+    return defs, reads, emits, event_reads
+
+
+def _scan_configs(tree: ast.Module) -> List[ConfigInfo]:
+    configs: List[ConfigInfo] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not node.name.endswith("Config") or node.name.startswith("_"):
+            continue
+        decorated = any(
+            (isinstance(d, ast.Name) and d.id == "dataclass")
+            or (isinstance(d, ast.Attribute) and d.attr == "dataclass")
+            or (isinstance(d, ast.Call) and (
+                (isinstance(d.func, ast.Name) and d.func.id == "dataclass")
+                or (isinstance(d.func, ast.Attribute)
+                    and d.func.attr == "dataclass")))
+            for d in node.decorator_list
+        )
+        if not decorated:
+            continue
+        info = ConfigInfo(cls=node.name, lineno=node.lineno)
+        for item in node.body:
+            if isinstance(item, ast.AnnAssign) and \
+                    isinstance(item.target, ast.Name):
+                ann = _annotation_text(item.annotation)
+                if ann.split("[")[0].rsplit(".", 1)[-1] == "ClassVar":
+                    continue
+                stripped, optional = _strip_optional(ann)
+                has_none_default = (isinstance(item.value, ast.Constant)
+                                    and item.value.value is None)
+                info.fields.append(ConfigField(
+                    name=item.target.id, annotation=stripped,
+                    lineno=item.lineno,
+                    optional=optional or has_none_default,
+                    has_default=item.value is not None,
+                ))
+            elif isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and item.name == "__post_init__":
+                info.has_post_init = True
+                refs: Set[str] = set()
+                for sub in ast.walk(item):
+                    if isinstance(sub, ast.Attribute) and \
+                            isinstance(sub.value, ast.Name) and \
+                            sub.value.id == "self":
+                        refs.add(sub.attr)
+                    elif isinstance(sub, ast.Name):
+                        refs.add(sub.id)
+                info.post_init_refs = sorted(refs)
+        configs.append(info)
+    return configs
+
+
+def build_module_index(tree: ast.Module, path: str,
+                       relpath: str) -> ModuleIndex:
+    """Extract one file's :class:`ModuleIndex` from its parsed tree."""
+    imports = _Imports(tree)
+    index = ModuleIndex(
+        module=module_name_for(relpath), path=path, relpath=relpath,
+        imports=dict(imports.table),
+    )
+    shadowed = set(imports.table)
+
+    local_classes = {
+        node.name for node in tree.body if isinstance(node, ast.ClassDef)
+    }
+
+    def record_function(fn: ast.AST, cls: Optional[str]) -> None:
+        assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+        calls, blocking = _extract_calls(fn, imports, shadowed)
+        info = FunctionInfo(
+            name=fn.name, cls=cls, lineno=fn.lineno,
+            is_async=isinstance(fn, ast.AsyncFunctionDef),
+            calls=calls, blocking=blocking,
+        )
+        index.functions[info.qualname] = info
+
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            record_function(node, None)
+        elif isinstance(node, ast.ClassDef):
+            typer = _AttrTyper(node, imports, local_classes)
+            cls_info = ClassInfo(
+                name=node.name, lineno=node.lineno,
+                attr_types=typer.types,
+                methods=[item.name for item in node.body
+                         if isinstance(item, (ast.FunctionDef,
+                                              ast.AsyncFunctionDef))],
+            )
+            index.classes[node.name] = cls_info
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    record_function(item, node.name)
+
+    (index.metric_defs, index.metric_reads,
+     index.event_emits, index.event_reads) = _scan_telemetry(tree)
+    index.configs = _scan_configs(tree)
+    return index
+
+
+@dataclass(frozen=True)
+class _FuncKey:
+    """Identity of one function in the project graph."""
+
+    module: str
+    qualname: str
+
+
+class ProjectIndex:
+    """All module indexes stitched together with resolved symbols."""
+
+    def __init__(self, modules: List[ModuleIndex]) -> None:
+        self.modules: Dict[str, ModuleIndex] = {
+            m.module: m for m in modules
+        }
+        #: class name (bare) → [(module, ClassInfo)]
+        self._classes_by_name: Dict[str, List[Tuple[str, ClassInfo]]] = {}
+        for mod in self.modules.values():
+            for cls in mod.classes.values():
+                self._classes_by_name.setdefault(cls.name, []).append(
+                    (mod.module, cls))
+        self._reach_cache: Dict[_FuncKey,
+                                Dict[str, Tuple[BlockingSite, str,
+                                                Tuple[str, ...]]]] = {}
+
+    # -- symbol resolution -------------------------------------------------------
+
+    def resolve_class(self, name: str,
+                      module: str) -> Optional[Tuple[str, ClassInfo]]:
+        """A (possibly dotted) class name → (defining module, info)."""
+        bare = name.rsplit(".", 1)[-1]
+        if "." in name:
+            mod_part = name.rsplit(".", 1)[0]
+            owner = self.modules.get(mod_part)
+            if owner is not None and bare in owner.classes:
+                return mod_part, owner.classes[bare]
+            # One level of package re-export: repro.service.ChurnQueue
+            # actually lives in repro.service.churnqueue.
+            for candidate_mod, info in self._classes_by_name.get(bare, []):
+                if candidate_mod.startswith(mod_part):
+                    return candidate_mod, info
+        local = self.modules.get(module)
+        if local is not None and bare in local.classes:
+            return module, local.classes[bare]
+        candidates = self._classes_by_name.get(bare, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def _function(self, module: str,
+                  qualname: str) -> Optional[FunctionInfo]:
+        mod = self.modules.get(module)
+        if mod is None:
+            return None
+        return mod.functions.get(qualname)
+
+    def _resolve_edge(self, key: _FuncKey,
+                      edge: CallEdge) -> List[_FuncKey]:
+        """All project functions an edge may land on."""
+        mod = self.modules[key.module]
+        cls_name = key.qualname.split(".")[0] if "." in key.qualname \
+            else None
+        out: List[_FuncKey] = []
+        if edge.kind == "self" and cls_name is not None:
+            qual = f"{cls_name}.{edge.target}"
+            if qual in mod.functions:
+                out.append(_FuncKey(key.module, qual))
+        elif edge.kind == "selfattr" and cls_name is not None:
+            attr, _, method = edge.target.partition(".")
+            cls_info = mod.classes.get(cls_name)
+            if cls_info is None:
+                return out
+            for type_name in cls_info.attr_types.get(attr, []):
+                resolved = self.resolve_class(type_name, key.module)
+                if resolved is None:
+                    continue
+                owner_mod, owner_cls = resolved
+                qual = f"{owner_cls.name}.{method}"
+                if self._function(owner_mod, qual) is not None:
+                    out.append(_FuncKey(owner_mod, qual))
+        elif edge.kind == "name":
+            target = edge.target
+            if "." not in target:
+                if target in mod.functions:
+                    out.append(_FuncKey(key.module, target))
+                elif target in mod.classes:
+                    qual = f"{target}.__init__"
+                    if qual in mod.functions:
+                        out.append(_FuncKey(key.module, qual))
+                return out
+            owner, _, fname = target.rpartition(".")
+            # module-level function in a known module
+            if owner in self.modules and \
+                    fname in self.modules[owner].functions:
+                out.append(_FuncKey(owner, fname))
+                return out
+            # class constructor (dotted class name)
+            resolved = self.resolve_class(target, key.module)
+            if resolved is not None:
+                owner_mod, owner_cls = resolved
+                qual = f"{owner_cls.name}.__init__"
+                if self._function(owner_mod, qual) is not None:
+                    out.append(_FuncKey(owner_mod, qual))
+        return out
+
+    # -- blocking reachability ---------------------------------------------------
+
+    def blocking_reachable(
+        self, module: str, qualname: str,
+    ) -> Dict[str, Tuple[BlockingSite, str, Tuple[str, ...]]]:
+        """Blocking sites reachable from one function.
+
+        Returns ``{site_id: (site, owning_module, call_chain)}`` where
+        ``call_chain`` is the sequence of ``module:qualname`` hops from
+        the origin (exclusive) to the function containing the site
+        (inclusive).  BFS order makes each chain a shortest witness.
+        """
+        origin = _FuncKey(module, qualname)
+        cached = self._reach_cache.get(origin)
+        if cached is not None:
+            return cached
+        found: Dict[str, Tuple[BlockingSite, str, Tuple[str, ...]]] = {}
+        seen: Set[_FuncKey] = {origin}
+        frontier: List[Tuple[_FuncKey, Tuple[str, ...]]] = [(origin, ())]
+        while frontier:
+            next_frontier: List[Tuple[_FuncKey, Tuple[str, ...]]] = []
+            for key, chain in frontier:
+                info = self._function(key.module, key.qualname)
+                if info is None:
+                    continue
+                for site in info.blocking:
+                    site_id = f"{key.module}:{site.lineno}:{site.symbol}"
+                    if site_id not in found:
+                        found[site_id] = (site, key.module, chain)
+                for edge in info.calls:
+                    for target in self._resolve_edge(key, edge):
+                        if target in seen:
+                            continue
+                        seen.add(target)
+                        next_frontier.append(
+                            (target,
+                             chain + (f"{target.module.rsplit('.', 1)[-1]}"
+                                      f".{target.qualname}",)))
+            frontier = next_frontier
+        self._reach_cache[origin] = found
+        return found
+
+    # -- aggregate views ---------------------------------------------------------
+
+    def async_functions(self) -> Iterator[Tuple[ModuleIndex, FunctionInfo]]:
+        for mod in self.modules.values():
+            for info in mod.functions.values():
+                if info.is_async:
+                    yield mod, info
+
+    def metric_names(self) -> Dict[str, List[Tuple[str, MetricDef]]]:
+        """Every registered metric name → [(module, def)]."""
+        out: Dict[str, List[Tuple[str, MetricDef]]] = {}
+        for mod in self.modules.values():
+            for definition in mod.metric_defs:
+                out.setdefault(definition.name, []).append(
+                    (mod.module, definition))
+        return out
+
+    def event_kinds(self) -> Set[str]:
+        """Every trace-event kind emitted anywhere in the project."""
+        kinds: Set[str] = set()
+        for mod in self.modules.values():
+            for emit in mod.event_emits:
+                kinds.add(emit.kind)
+        return kinds

@@ -11,6 +11,7 @@ import json
 from typing import Any, Dict, List, Sequence
 
 from repro.errors import StaticAnalysisError
+from repro.statan.baseline import FINGERPRINT_KEY
 from repro.statan.engine import LintResult
 from repro.statan.rules import ALL_RULES
 
@@ -32,6 +33,8 @@ def render_text(result: LintResult, files: Sequence[str]) -> str:
         f"{len(result.findings)} finding(s) in {result.files_checked} "
         f"file(s); {len(result.suppressed)} suppressed"
     )
+    if result.baselined:
+        summary += f"; {len(result.baselined)} baselined"
     lines.append(summary)
     return "\n".join(lines)
 
@@ -42,8 +45,12 @@ def render_json(result: LintResult, files: Sequence[str]) -> str:
         "files_checked": result.files_checked,
         "findings": [finding.to_dict() for finding in result.findings],
         "suppressed": [finding.to_dict() for finding in result.suppressed],
+        "baselined": [finding.to_dict() for finding in result.baselined],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+_DOCS_URI = "https://example.invalid/docs/STATIC_ANALYSIS.md"
 
 
 def render_sarif(result: LintResult, files: Sequence[str]) -> str:
@@ -53,12 +60,14 @@ def render_sarif(result: LintResult, files: Sequence[str]) -> str:
             "name": rule.name,
             "shortDescription": {"text": rule.name},
             "fullDescription": {"text": rule.rationale},
+            "helpUri": f"{_DOCS_URI}#{rule.rule_id.lower()}",
             "defaultConfiguration": {"level": "error"},
         }
         for rule in ALL_RULES
     ]
-    results = [
-        {
+    results = []
+    for finding in result.findings:
+        entry: Dict[str, Any] = {
             "ruleId": finding.rule_id,
             "level": str(finding.severity),
             "message": {"text": finding.message},
@@ -72,8 +81,14 @@ def render_sarif(result: LintResult, files: Sequence[str]) -> str:
                 },
             }],
         }
-        for finding in result.findings
-    ]
+        fingerprint = finding.data.get(FINGERPRINT_KEY)
+        if isinstance(fingerprint, str):
+            # Stable across line shifts: GitHub code scanning uses this
+            # to dedup alerts between runs.
+            entry["partialFingerprints"] = {
+                "primaryLocationLineHash": fingerprint,
+            }
+        results.append(entry)
     sarif = {
         "$schema": _SARIF_SCHEMA,
         "version": _SARIF_VERSION,
@@ -81,8 +96,7 @@ def render_sarif(result: LintResult, files: Sequence[str]) -> str:
             "tool": {
                 "driver": {
                     "name": "repro.statan",
-                    "informationUri":
-                        "https://example.invalid/docs/STATIC_ANALYSIS.md",
+                    "informationUri": _DOCS_URI,
                     "rules": rule_meta,
                 },
             },

@@ -15,14 +15,27 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import StaticAnalysisError
 from repro.statan.findings import Finding, Severity
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.statan.project import ProjectIndex
+
 __all__ = [
     "FileContext",
     "Rule",
+    "ProjectRule",
     "ALL_RULES",
     "get_rules",
     "rule_ids",
@@ -95,6 +108,8 @@ class Rule:
     #: Package-rooted path prefixes the rule applies to; empty = all.
     scopes: Tuple[str, ...] = ()
     severity: Severity = Severity.ERROR
+    #: Whether the rule runs in pass 2 over the whole-program index.
+    is_project_rule: bool = False
 
     def applies_to(self, relpath: str) -> bool:
         if not self.scopes:
@@ -118,6 +133,40 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """A pass-2 rule: runs once over the assembled
+    :class:`~repro.statan.project.ProjectIndex`, not per file.
+
+    ``check`` is a pass-1 no-op; subclasses implement
+    :meth:`check_project`.  Findings anchor wherever the evidence lives
+    (the blocking call site, the unresolved read), so inline
+    suppressions on that line apply exactly as they do for pass-1
+    findings.
+    """
+
+    is_project_rule = True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, index: "ProjectIndex") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def project_finding(self, *, path: str, relpath: str, line: int,
+                        col: int, message: str,
+                        **data: object) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            message=message,
+            path=path,
+            relpath=relpath,
+            line=line,
+            col=col,
+            severity=self.severity,
+            data=dict(data),
+        )
+
+
 def _build_catalog() -> "List[Rule]":
     from repro.statan.rules.determinism import UnseededRandomness, WallClock
     from repro.statan.rules.exceptions import SwallowedException
@@ -127,6 +176,15 @@ def _build_catalog() -> "List[Rule]":
     from repro.statan.rules.configs import ConfigValidation
     from repro.statan.rules.experiments import UnregisteredExperiment
     from repro.statan.rules.spans import SpanMisuse
+    from repro.statan.rules.asyncsafety import (
+        AwaitStraddledMutation,
+        BlockingInAsync,
+        UnawaitedCoroutine,
+    )
+    from repro.statan.rules.contracts import (
+        ConfigFieldUnchecked,
+        UnresolvedTelemetryName,
+    )
 
     return [
         UnseededRandomness(),
@@ -139,6 +197,11 @@ def _build_catalog() -> "List[Rule]":
         ConfigValidation(),
         UnregisteredExperiment(),
         SpanMisuse(),
+        BlockingInAsync(),
+        AwaitStraddledMutation(),
+        UnawaitedCoroutine(),
+        UnresolvedTelemetryName(),
+        ConfigFieldUnchecked(),
     ]
 
 

@@ -1,0 +1,362 @@
+"""REP011–REP013 — async-safety for the always-on service loop.
+
+PR 7–8 made the reproduction an asyncio service: the tick loop, churn
+producers, and queries cooperate on one event loop.  That buys cheap
+concurrency and three new ways to be subtly wrong, one rule each:
+
+* **REP011** — a blocking call (file I/O, ``time.sleep``, subprocess)
+  reachable from an ``async def`` stalls *every* coroutine sharing the
+  loop: a checkpoint write on a slow disk freezes query serving for the
+  duration.  This is the whole-program rule: it follows the project call
+  graph (``run → tick → _guarded_snapshot → CheckpointStore.save →
+  os.fdopen``), not just the async body's own statements.
+* **REP012** — a ``self.attr`` read-modify-write split across an
+  ``await`` is the classic cooperative-concurrency race: the value was
+  computed from state another coroutine may have changed during the
+  suspension, and the store silently clobbers the interleaved update.
+* **REP013** — a coroutine called but never awaited silently does
+  nothing; a ``create_task`` whose handle is dropped loses its exception
+  to the void (asyncio only reports it at GC time, if ever).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.statan.findings import Finding
+from repro.statan.rules import FileContext, ProjectRule, Rule
+from repro.statan.project import ProjectIndex
+
+__all__ = ["BlockingInAsync", "AwaitStraddledMutation",
+           "UnawaitedCoroutine"]
+
+
+class BlockingInAsync(ProjectRule):
+    """REP011: no blocking call reachable from an ``async def``."""
+
+    rule_id = "REP011"
+    name = "blocking-in-async"
+    rationale = (
+        "A blocking call on the event loop suspends every coroutine "
+        "sharing it: one checkpoint write to a slow disk freezes churn "
+        "intake, queries, and the watchdog for the full syscall. The "
+        "rule follows the project call graph from each `async def` to "
+        "`open`/`os.fdopen`/`time.sleep`/subprocess, so indirection "
+        "through retry wrappers or stores does not hide the stall. "
+        "Offload via `await asyncio.to_thread(...)` (recognized and "
+        "exempt) or restructure the I/O out of the loop."
+    )
+    scopes = ()  # whole-program; anchored at the blocking site
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        for mod, fn in sorted(
+            index.async_functions(),
+            key=lambda pair: (pair[0].relpath, pair[1].lineno),
+        ):
+            reachable = index.blocking_reachable(mod.module, fn.qualname)
+            for site_id in sorted(reachable):
+                site, owner_module, chain = reachable[site_id]
+                owner = index.modules[owner_module]
+                if chain:
+                    route = " -> ".join(chain)
+                    via = f" via {route}"
+                else:
+                    via = ""
+                yield self.project_finding(
+                    path=owner.path, relpath=owner.relpath,
+                    line=site.lineno, col=site.col,
+                    message=(
+                        f"blocking call `{site.symbol}` is reachable from "
+                        f"`async def {fn.qualname}` "
+                        f"({mod.relpath}:{fn.lineno}){via}; it stalls the "
+                        "event loop — offload with `await "
+                        "asyncio.to_thread(...)`"
+                    ),
+                    symbol=site.symbol,
+                    origin=f"{mod.module}:{fn.qualname}",
+                    chain=list(chain),
+                )
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute) and \
+            isinstance(node.value, ast.Name) and node.value.id == "self":
+        return node.attr
+    return None
+
+
+def _attr_loads(expr: ast.AST) -> Dict[str, int]:
+    """``self.X`` loads in an expression → {attr: first lineno}."""
+    loads: Dict[str, int] = {}
+    for node in ast.walk(expr):
+        attr = _self_attr(node)
+        if attr is not None and isinstance(node.ctx, ast.Load):
+            loads.setdefault(attr, node.lineno)
+    return loads
+
+
+def _name_loads(expr: ast.AST) -> Set[str]:
+    return {
+        node.id for node in ast.walk(expr)
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)
+    }
+
+
+def _count_awaits(stmt: ast.AST) -> int:
+    return sum(1 for node in ast.walk(stmt) if isinstance(node, ast.Await))
+
+
+class _RaceScanner:
+    """Linear walk of one async body flagging await-straddled RMWs.
+
+    Taint model: a local assigned from ``self.X`` remembers ``X`` and the
+    await-epoch of the read.  A store to ``self.X`` whose value uses a
+    local tainted at an *earlier* epoch (an await happened in between),
+    or whose value itself awaits after reading ``self.X``, is flagged.
+    Loop bodies run twice so a read-at-bottom / write-at-top pair that
+    straddles the loop's own await is caught on the second pass.
+    """
+
+    def __init__(self, rule: "AwaitStraddledMutation",
+                 ctx: FileContext, fn: ast.AsyncFunctionDef) -> None:
+        self.rule = rule
+        self.ctx = ctx
+        self.fn = fn
+        self.epoch = 0
+        #: local name → {attr: (epoch, lineno of the read)}
+        self.taint: Dict[str, Dict[str, Tuple[int, int]]] = {}
+        self.findings: List[Finding] = []
+        self._flagged: Set[Tuple[str, int]] = set()
+
+    def scan(self) -> List[Finding]:
+        self._run(self.fn.body)
+        return self.findings
+
+    # -- statement walk ----------------------------------------------------------
+
+    def _run(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            self._statement(stmt)
+
+    def _statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested defs own their own race analysis
+        if isinstance(stmt, ast.Assign):
+            self._assign(stmt.targets, stmt.value, stmt)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._assign([stmt.target], stmt.value, stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            self._aug_assign(stmt)
+        elif isinstance(stmt, (ast.If,)):
+            self.epoch += _count_awaits(stmt.test)
+            self._run(stmt.body)
+            self._run(stmt.orelse)
+        elif isinstance(stmt, (ast.While,)):
+            self.epoch += _count_awaits(stmt.test)
+            self._run(stmt.body)
+            self.epoch += _count_awaits(stmt.test)
+            self._run(stmt.body)  # second pass catches wrap-around RMWs
+            self._run(stmt.orelse)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.epoch += _count_awaits(stmt.iter)
+            if isinstance(stmt, ast.AsyncFor):
+                self.epoch += 1  # each iteration suspends at the iterator
+            self._run(stmt.body)
+            self._run(stmt.body)
+            self._run(stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            self._run(stmt.body)
+            for handler in stmt.handlers:
+                self._run(handler.body)
+            self._run(stmt.orelse)
+            self._run(stmt.finalbody)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self.epoch += _count_awaits(item.context_expr)
+            if isinstance(stmt, ast.AsyncWith):
+                self.epoch += 1
+            self._run(stmt.body)
+        else:
+            self.epoch += _count_awaits(stmt)
+
+    # -- assignments -------------------------------------------------------------
+
+    def _assign(self, targets: List[ast.expr], value: ast.expr,
+                stmt: ast.stmt) -> None:
+        epoch_before = self.epoch
+        value_awaits = _count_awaits(value)
+        loads = _attr_loads(value)
+        names = _name_loads(value)
+        for target in targets:
+            for node in ast.walk(target):
+                attr = _self_attr(node)
+                if attr is None or not isinstance(node.ctx, ast.Store):
+                    continue
+                self._check_store(attr, stmt, value_awaits > 0,
+                                  loads, names, epoch_before)
+        self.epoch += value_awaits
+        # Taint propagation to plain local targets.
+        new_taint: Dict[str, Tuple[int, int]] = {}
+        for attr, lineno in loads.items():
+            new_taint[attr] = (epoch_before, lineno)
+        for name in names:
+            for attr, (epoch, lineno) in self.taint.get(name, {}).items():
+                if attr not in new_taint or epoch < new_taint[attr][0]:
+                    new_taint[attr] = (epoch, lineno)
+        for target in targets:
+            for node in ast.walk(target):
+                if isinstance(node, ast.Name) and \
+                        isinstance(node.ctx, ast.Store):
+                    self.taint[node.id] = dict(new_taint)
+
+    def _aug_assign(self, stmt: ast.AugAssign) -> None:
+        epoch_before = self.epoch
+        value_awaits = _count_awaits(stmt.value)
+        attr = _self_attr(stmt.target)
+        if attr is not None:
+            # `self.x += await f()` loads self.x, suspends, then stores.
+            loads = dict(_attr_loads(stmt.value))
+            loads.setdefault(attr, stmt.lineno)
+            self._check_store(attr, stmt, value_awaits > 0, loads,
+                              _name_loads(stmt.value), epoch_before)
+        self.epoch += value_awaits
+
+    def _check_store(self, attr: str, stmt: ast.stmt, value_awaits: bool,
+                     loads: Dict[str, int], names: Set[str],
+                     epoch_before: int) -> None:
+        read_line: Optional[int] = None
+        if value_awaits and attr in loads:
+            read_line = loads[attr]
+        else:
+            for name in names:
+                tainted = self.taint.get(name, {})
+                if attr in tainted and tainted[attr][0] < epoch_before:
+                    read_line = tainted[attr][1]
+                    break
+        if read_line is None:
+            return
+        key = (attr, stmt.lineno)
+        if key in self._flagged:
+            return
+        self._flagged.add(key)
+        self.findings.append(self.rule.finding(
+            self.ctx, stmt,
+            f"read-modify-write of `self.{attr}` straddles an await: the "
+            f"stored value derives from a read at line {read_line}, and "
+            "another coroutine may have mutated the attribute during the "
+            "suspension — recompute after the await or guard with a lock",
+            attr=attr, read_line=read_line,
+        ))
+
+
+class AwaitStraddledMutation(Rule):
+    """REP012: no ``self.attr`` RMW split across an ``await``."""
+
+    rule_id = "REP012"
+    name = "await-straddled-mutation"
+    rationale = (
+        "Cooperative concurrency means every `await` is a preemption "
+        "point. Reading `self.attr`, suspending, then storing a value "
+        "computed from the stale read silently clobbers whatever a "
+        "churn producer or query wrote in between — the exact "
+        "interleaving race the always-on service loop must not have. "
+        "Recompute from fresh state after the await, or make the "
+        "read-modify-write atomic between suspension points."
+    )
+    scopes = ()  # everywhere: async bodies are rare and all load-bearing
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from _RaceScanner(self, ctx, node).scan()
+
+
+_TASK_SPAWNERS = ("create_task", "ensure_future")
+
+
+class UnawaitedCoroutine(Rule):
+    """REP013: coroutines are awaited; task handles are retained."""
+
+    rule_id = "REP013"
+    name = "unawaited-coroutine"
+    rationale = (
+        "A coroutine called without `await` is never scheduled: the "
+        "call silently does nothing and returns an object that warns "
+        "only at GC time. A `create_task` whose handle is dropped is "
+        "fire-and-forget: its exception is lost to the void and "
+        "cancellation can reap it mid-write. Await the coroutine, or "
+        "retain the task handle somewhere that observes its result."
+    )
+    scopes = ()
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        async_module_fns = {
+            node.name for node in ctx.tree.body
+            if isinstance(node, ast.AsyncFunctionDef)
+        }
+        async_methods: Dict[str, Set[str]] = {}
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef):
+                async_methods[node.name] = {
+                    item.name for item in node.body
+                    if isinstance(item, ast.AsyncFunctionDef)
+                }
+        for cls_name, fn in self._functions(ctx.tree):
+            for stmt in ast.walk(fn):
+                if not isinstance(stmt, ast.Expr) or \
+                        not isinstance(stmt.value, ast.Call):
+                    continue
+                call = stmt.value
+                spawner = self._spawner_name(call.func)
+                if spawner is not None:
+                    yield self.finding(
+                        ctx, stmt,
+                        f"`{spawner}` result is dropped: the task is "
+                        "fire-and-forget — retain the handle and consume "
+                        "its exception (or await it)",
+                        spawner=spawner,
+                    )
+                    continue
+                target = self._async_callee(
+                    call.func, cls_name, async_module_fns, async_methods)
+                if target is not None:
+                    yield self.finding(
+                        ctx, stmt,
+                        f"coroutine `{target}` is called but never "
+                        "awaited; the call does nothing",
+                        coroutine=target,
+                    )
+
+    @staticmethod
+    def _functions(tree: ast.Module) -> Iterator[
+            Tuple[Optional[str], ast.AST]]:
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield None, node
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        yield node.name, item
+
+    @staticmethod
+    def _spawner_name(func: ast.expr) -> Optional[str]:
+        if isinstance(func, ast.Attribute) and func.attr in _TASK_SPAWNERS:
+            return func.attr
+        if isinstance(func, ast.Name) and func.id in _TASK_SPAWNERS:
+            return func.id
+        return None
+
+    @staticmethod
+    def _async_callee(func: ast.expr, cls_name: Optional[str],
+                      module_fns: Set[str],
+                      methods: Dict[str, Set[str]]) -> Optional[str]:
+        if isinstance(func, ast.Name) and func.id in module_fns:
+            return func.id
+        if cls_name is not None and isinstance(func, ast.Attribute) and \
+                isinstance(func.value, ast.Name) and \
+                func.value.id == "self" and \
+                func.attr in methods.get(cls_name, set()):
+            return f"self.{func.attr}"
+        return None

@@ -120,6 +120,17 @@ class TestConfig:
         with pytest.raises(OptimizationError):
             LLAOptimizer(base_ts, LLAConfig(max_iterations=0))
 
+    @pytest.mark.parametrize("kwargs", [
+        {"initial_resource_price": 0.0},
+        {"initial_resource_price": -1.0},
+        {"initial_path_price": -0.5},
+    ])
+    def test_rejects_bad_initial_prices(self, kwargs):
+        # Regression (REP015): these knobs used to sail through
+        # construction unvalidated.
+        with pytest.raises(OptimizationError):
+            LLAConfig(**kwargs)
+
     def test_fixed_factory(self):
         config = LLAConfig.fixed(0.5, max_iterations=10)
         assert isinstance(config.step_policy, FixedStepSize)

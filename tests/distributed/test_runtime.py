@@ -9,7 +9,22 @@ from repro.distributed import (
     DistributedLLARuntime,
     LocalGamma,
 )
+from repro.errors import DistributedError
 from repro.workloads.paper import base_workload
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"seed": -1},
+        {"initial_resource_price": 0.0},
+        {"initial_resource_price": -1.0},
+        {"initial_path_price": -0.5},
+    ])
+    def test_rejects_unvalidated_knobs(self, kwargs):
+        # Regression (REP015): these knobs used to sail through
+        # construction unvalidated.
+        with pytest.raises(DistributedError):
+            DistributedConfig(**kwargs)
 
 
 class TestEquivalence:

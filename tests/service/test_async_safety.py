@@ -1,0 +1,81 @@
+"""Async-safety regressions for the supervised service (REP011).
+
+``SupervisedService.run`` used to drive the synchronous :meth:`tick`
+directly on the event-loop thread, which put checkpoint file I/O — the
+periodic snapshot write and the watchdog's restore read — on the loop.
+A slow disk (or an injected outage plus retries) would stall every
+concurrent ``query`` and churn producer sharing that loop.  These tests
+pin the fix: during an async run, the snapshot and restore units execute
+on a worker thread, never the loop thread; the synchronous drivers keep
+running everything on the calling thread.
+"""
+
+import asyncio
+import threading
+
+from tests.service.test_supervisor import make_supervised
+
+
+def _record_thread(supervised, method_name, idents):
+    """Wrap a bound supervisor method so calls log their thread id."""
+    original = getattr(supervised, method_name)
+
+    def wrapper(*args, **kwargs):
+        idents.append(threading.get_ident())
+        return original(*args, **kwargs)
+
+    setattr(supervised, method_name, wrapper)
+
+
+class TestAsyncRunOffloadsCheckpointIO:
+    def test_snapshot_runs_off_the_event_loop_thread(self):
+        supervised = make_supervised(snapshot_interval=2)
+        idents = []
+        _record_thread(supervised, "_snapshot_once", idents)
+
+        async def scenario():
+            await supervised.run(ticks=6)
+            return threading.get_ident()
+
+        loop_ident = asyncio.run(scenario())
+        assert idents, "expected periodic snapshots during the run"
+        assert all(ident != loop_ident for ident in idents), (
+            "checkpoint snapshot I/O executed on the event-loop thread"
+        )
+
+    def test_watchdog_restore_runs_off_the_event_loop_thread(self):
+        supervised = make_supervised(stall_deadline=2, snapshot_interval=2)
+        supervised.run_ticks(4)  # persist a warm snapshot to restore from
+        supervised.inject_stall(10)
+        idents = []
+        _record_thread(supervised, "_restore_once", idents)
+
+        async def scenario():
+            await supervised.run(ticks=8)
+            return threading.get_ident()
+
+        loop_ident = asyncio.run(scenario())
+        assert idents, "expected the watchdog to trigger a restore"
+        assert all(ident != loop_ident for ident in idents), (
+            "checkpoint restore I/O executed on the event-loop thread"
+        )
+
+    def test_async_and_sync_drivers_agree_on_bookkeeping(self):
+        sync_service = make_supervised(snapshot_interval=2)
+        async_service = make_supervised(snapshot_interval=2)
+        sync_service.run_ticks(6)
+        asyncio.run(async_service.run(ticks=6))
+        assert (
+            async_service.snapshots_taken == sync_service.snapshots_taken
+        )
+        assert async_service.stats().tick == sync_service.stats().tick
+
+
+class TestSyncDriversStayOnCallingThread:
+    def test_run_ticks_never_spawns_threads(self):
+        supervised = make_supervised(snapshot_interval=2)
+        idents = []
+        _record_thread(supervised, "_snapshot_once", idents)
+        supervised.run_ticks(4)
+        assert idents == [threading.get_ident()] * len(idents)
+        assert idents, "sync driver should still snapshot"

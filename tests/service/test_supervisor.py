@@ -36,6 +36,7 @@ class TestHardeningConfig:
         {"queue_high_watermark": 0.0},
         {"queue_high_watermark": 1.5},
         {"reconverge_patience": 0},
+        {"seed": -1},
     ])
     def test_rejects_bad_shapes(self, kwargs):
         with pytest.raises(ServiceError):

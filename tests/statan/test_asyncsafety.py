@@ -1,0 +1,221 @@
+"""REP011–REP013: blocking-in-async, await-straddled RMW, unawaited
+coroutines."""
+
+import textwrap
+
+from repro.statan import lint_paths, lint_source
+
+
+def write_project(tmp_path, files):
+    root = tmp_path / "repro"
+    for relpath, source in files.items():
+        target = root / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    return str(root)
+
+
+def findings_for(tmp_path, files, select):
+    root = write_project(tmp_path, files)
+    result, _ = lint_paths([root], select=select)
+    return result
+
+
+class TestBlockingInAsync:
+    def test_cross_module_chain_is_reported_at_the_blocking_site(
+            self, tmp_path):
+        result = findings_for(tmp_path, {
+            "distributed/store.py": """
+                class Store:
+                    def save(self):
+                        with open("f", "w") as fh:
+                            fh.write("x")
+                """,
+            "service/loop.py": """
+                from repro.distributed.store import Store
+
+                class Loop:
+                    def __init__(self):
+                        self.store = Store()
+
+                    async def run(self):
+                        self.snapshot()
+
+                    def snapshot(self):
+                        self.store.save()
+                """,
+        }, ["REP011"])
+        (finding,) = result.findings
+        assert finding.rule_id == "REP011"
+        assert finding.relpath.endswith("distributed/store.py")
+        assert "async def Loop.run" in finding.message
+        assert "Store.save" in finding.message
+
+    def test_to_thread_offload_is_clean(self, tmp_path):
+        result = findings_for(tmp_path, {
+            "service/loop.py": """
+                import asyncio
+
+                class Loop:
+                    async def run(self):
+                        await asyncio.to_thread(self.snapshot)
+
+                    def snapshot(self):
+                        with open("f", "w") as fh:
+                            fh.write("x")
+                """,
+        }, ["REP011"])
+        assert result.ok
+
+    def test_inline_suppression_applies_to_project_findings(
+            self, tmp_path):
+        result = findings_for(tmp_path, {
+            "service/loop.py": """
+                import time
+
+                class Loop:
+                    async def run(self):
+                        time.sleep(1)  # statan: disable=REP011 -- test rig
+                """,
+        }, ["REP011"])
+        assert result.ok
+        (suppressed,) = result.suppressed
+        assert suppressed.rule_id == "REP011"
+
+    def test_sync_only_callers_are_clean(self, tmp_path):
+        result = findings_for(tmp_path, {
+            "service/loop.py": """
+                class Loop:
+                    def run(self):
+                        with open("f") as fh:
+                            return fh.read()
+                """,
+        }, ["REP011"])
+        assert result.ok
+
+
+class TestAwaitStraddledMutation:
+    def check(self, source):
+        return lint_source(textwrap.dedent(source),
+                           "repro/service/x.py").findings
+
+    def test_flags_rmw_across_await(self):
+        findings = self.check("""
+            class S:
+                async def bump(self):
+                    count = self.count
+                    await self.flush()
+                    self.count = count + 1
+            """)
+        (finding,) = [f for f in findings if f.rule_id == "REP012"]
+        assert "self.count" in finding.message
+
+    def test_flags_augassign_with_await_on_rhs(self):
+        findings = self.check("""
+            class S:
+                async def bump(self):
+                    self.total += await self.fetch()
+            """)
+        assert [f.rule_id for f in findings] == ["REP012"]
+
+    def test_rmw_without_await_is_clean(self):
+        findings = self.check("""
+            class S:
+                async def bump(self):
+                    count = self.count
+                    self.count = count + 1
+                    await self.flush()
+            """)
+        assert [f.rule_id for f in findings if f.rule_id == "REP012"] == []
+
+    def test_flag_check_and_set_without_await_is_clean(self):
+        # The AllocationService._running pattern: read and set with no
+        # suspension in between is atomic under cooperative scheduling.
+        findings = self.check("""
+            class S:
+                async def run(self):
+                    if self.running:
+                        return
+                    self.running = True
+                    try:
+                        await self.loop()
+                    finally:
+                        self.running = False
+            """)
+        assert [f.rule_id for f in findings if f.rule_id == "REP012"] == []
+
+    def test_fresh_read_after_await_is_clean(self):
+        findings = self.check("""
+            class S:
+                async def bump(self):
+                    await self.flush()
+                    count = self.count
+                    self.count = count + 1
+            """)
+        assert [f.rule_id for f in findings if f.rule_id == "REP012"] == []
+
+    def test_loop_wraparound_rmw_is_flagged(self):
+        findings = self.check("""
+            class S:
+                async def pump(self):
+                    while True:
+                        staged = self.pending
+                        await self.send(staged)
+                        self.pending = staged[1:]
+            """)
+        assert [f.rule_id for f in findings] == ["REP012"]
+
+
+class TestUnawaitedCoroutine:
+    def check(self, source):
+        return lint_source(textwrap.dedent(source),
+                           "repro/service/x.py").findings
+
+    def test_bare_create_task_is_flagged(self):
+        findings = self.check("""
+            import asyncio
+
+            class S:
+                async def start(self):
+                    asyncio.create_task(self.pump())
+
+                async def pump(self):
+                    pass
+            """)
+        assert [f.rule_id for f in findings] == ["REP013"]
+
+    def test_retained_task_handle_is_clean(self):
+        findings = self.check("""
+            import asyncio
+
+            class S:
+                async def start(self):
+                    self._task = asyncio.create_task(self.pump())
+
+                async def pump(self):
+                    pass
+            """)
+        assert [f.rule_id for f in findings if f.rule_id == "REP013"] == []
+
+    def test_unawaited_self_coroutine_is_flagged(self):
+        findings = self.check("""
+            class S:
+                async def start(self):
+                    self.pump()
+
+                async def pump(self):
+                    pass
+            """)
+        (finding,) = [f for f in findings if f.rule_id == "REP013"]
+        assert "self.pump" in finding.message
+
+    def test_awaited_coroutine_is_clean(self):
+        findings = self.check("""
+            class S:
+                async def start(self):
+                    await self.pump()
+
+                async def pump(self):
+                    pass
+            """)
+        assert [f.rule_id for f in findings if f.rule_id == "REP013"] == []

@@ -1,0 +1,119 @@
+"""Baseline fingerprints: stability across edits, split semantics, and
+file round-trips."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.errors import StaticAnalysisError
+from repro.statan import lint_paths
+from repro.statan.baseline import (
+    FINGERPRINT_KEY,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+
+from tests.statan.test_asyncsafety import write_project
+
+SOURCE = """
+    import time
+
+    def stamp():
+        return time.time()
+    """
+
+
+def lint_one(tmp_path, source=SOURCE, name="clock.py"):
+    root = write_project(tmp_path, {f"sim/{name}": source})
+    result, _ = lint_paths([root])
+    return result
+
+
+class TestFingerprints:
+    def test_every_finding_is_fingerprinted(self, tmp_path):
+        result = lint_one(tmp_path)
+        assert result.findings
+        for finding in result.findings:
+            assert isinstance(finding.data[FINGERPRINT_KEY], str)
+
+    def test_fingerprint_survives_line_shifts(self, tmp_path):
+        before = lint_one(tmp_path)
+        shifted = "\n\n# a comment\n" + textwrap.dedent(SOURCE)
+        after = lint_one(tmp_path, source=shifted)
+        assert before.findings[0].line != after.findings[0].line
+        assert before.findings[0].data[FINGERPRINT_KEY] == \
+            after.findings[0].data[FINGERPRINT_KEY]
+
+    def test_identical_lines_get_distinct_ordinals(self, tmp_path):
+        twice = """
+            import time
+
+            def a():
+                return time.time()
+
+            def b():
+                return time.time()
+            """
+        result = lint_one(tmp_path, source=twice)
+        prints = [f.data[FINGERPRINT_KEY] for f in result.findings]
+        assert len(prints) == 2
+        assert len(set(prints)) == 2
+
+
+class TestBaselineFile:
+    def test_write_then_apply_reclassifies(self, tmp_path):
+        result = lint_one(tmp_path)
+        path = tmp_path / "baseline.json"
+        count = write_baseline(str(path), result.findings)
+        assert count == len(result.findings)
+        baseline = load_baseline(str(path))
+        fresh, known = apply_baseline(result.findings, baseline)
+        assert fresh == []
+        assert known == result.findings
+
+    def test_lint_paths_baseline_kwarg(self, tmp_path):
+        result = lint_one(tmp_path)
+        path = tmp_path / "baseline.json"
+        write_baseline(str(path), result.findings)
+        root = str(tmp_path / "repro")
+        gated, _ = lint_paths([root], baseline=load_baseline(str(path)))
+        assert gated.ok
+        assert len(gated.baselined) == len(result.findings)
+
+    def test_new_findings_still_gate(self, tmp_path):
+        result = lint_one(tmp_path)
+        path = tmp_path / "baseline.json"
+        write_baseline(str(path), result.findings)
+        grown = textwrap.dedent(SOURCE) + textwrap.dedent("""
+            def extra():
+                return time.time()
+            """)
+        root = write_project(tmp_path, {"sim/clock.py": grown})
+        gated, _ = lint_paths([root], baseline=load_baseline(str(path)))
+        assert not gated.ok
+        assert len(gated.findings) == 1
+        assert len(gated.baselined) == len(result.findings)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(StaticAnalysisError):
+            load_baseline(str(tmp_path / "nope.json"))
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(StaticAnalysisError):
+            load_baseline(str(path))
+
+    def test_missing_entries_table_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 1}))
+        with pytest.raises(StaticAnalysisError):
+            load_baseline(str(path))
+
+    def test_unfingerprinted_findings_cannot_seed(self, tmp_path):
+        from repro.statan import lint_source
+        result = lint_source(textwrap.dedent(SOURCE), "repro/sim/clock.py")
+        with pytest.raises(StaticAnalysisError):
+            write_baseline(str(tmp_path / "b.json"), result.findings)

@@ -1,0 +1,88 @@
+"""The incremental cache: hits, invalidation, and advisory failure."""
+
+from repro.statan import lint_paths
+from repro.statan.cache import AnalysisCache, rules_salt, source_digest
+from repro.statan.rules import ALL_RULES
+
+from tests.statan.test_asyncsafety import write_project
+
+SOURCE = """
+    import time
+
+    def stamp():
+        return time.time()
+    """
+
+
+class TestEngineIntegration:
+    def test_second_run_hits_and_agrees(self, tmp_path):
+        root = write_project(tmp_path, {"sim/clock.py": SOURCE})
+        cache_path = str(tmp_path / "cache.json")
+        cold, _ = lint_paths([root], cache_path=cache_path)
+        warm, _ = lint_paths([root], cache_path=cache_path)
+        assert cold.stats.cache_hits == 0
+        assert cold.stats.cache_misses == 1
+        assert warm.stats.cache_hits == 1
+        assert warm.stats.cache_misses == 0
+        assert [f.render() for f in warm.findings] == \
+            [f.render() for f in cold.findings]
+
+    def test_edited_file_misses(self, tmp_path):
+        root = write_project(tmp_path, {"sim/clock.py": SOURCE})
+        cache_path = str(tmp_path / "cache.json")
+        lint_paths([root], cache_path=cache_path)
+        write_project(tmp_path, {"sim/clock.py": SOURCE + "\nX = 1\n"})
+        warm, _ = lint_paths([root], cache_path=cache_path)
+        assert warm.stats.cache_misses == 1
+
+    def test_cached_run_preserves_suppressions_and_pass2(self, tmp_path):
+        files = {
+            "service/loop.py": """
+                import time
+
+                class Loop:
+                    async def run(self):
+                        time.sleep(1)  # statan: disable=REP011 -- rig
+                """,
+        }
+        root = write_project(tmp_path, files)
+        cache_path = str(tmp_path / "cache.json")
+        cold, _ = lint_paths([root], cache_path=cache_path)
+        warm, _ = lint_paths([root], cache_path=cache_path)
+        assert warm.stats.cache_hits == 1
+        # Pass 2 re-runs fresh from the cached module index, and the
+        # cached suppression table still applies to its findings.
+        assert [f.rule_id for f in warm.suppressed] == \
+            [f.rule_id for f in cold.suppressed]
+        assert any(f.rule_id == "REP011" for f in warm.suppressed)
+
+    def test_corrupt_cache_file_is_ignored(self, tmp_path):
+        root = write_project(tmp_path, {"sim/clock.py": SOURCE})
+        cache_path = tmp_path / "cache.json"
+        cache_path.write_text("{definitely not json")
+        result, _ = lint_paths([root], cache_path=str(cache_path))
+        assert result.stats.cache_misses == 1
+        assert result.findings  # analysis still ran
+
+
+class TestCachePrimitives:
+    def test_salt_changes_invalidate(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = AnalysisCache(path, "salt-a")
+        digest = source_digest("x = 1\n")
+        from repro.statan.cache import CacheEntry
+        from repro.statan.project import ModuleIndex
+        entry = CacheEntry(digest=digest, findings=[], suppressed=[],
+                           suppressions={},
+                           index=ModuleIndex(module="m", path="p",
+                                             relpath="r"))
+        cache.store("file.py", entry)
+        cache.save()
+        assert AnalysisCache(path, "salt-a").lookup(
+            "file.py", digest) is not None
+        assert AnalysisCache(path, "salt-b").lookup(
+            "file.py", digest) is None
+
+    def test_rules_salt_is_deterministic(self):
+        assert rules_salt(ALL_RULES) == rules_salt(ALL_RULES)
+        assert rules_salt(ALL_RULES[:3]) != rules_salt(ALL_RULES)

@@ -71,6 +71,49 @@ class TestOptions:
         assert "suppressed:" in capsys.readouterr().out
 
 
+class TestBaselineFlags:
+    def test_write_then_gate_with_baseline(self, tmp_path, capsys):
+        path = write_module(tmp_path, BAD)
+        baseline = tmp_path / "baseline.json"
+        code = lint_main([str(path), "--baseline", str(baseline),
+                          "--write-baseline"])
+        assert code == 0
+        assert "baseline written" in capsys.readouterr().out
+        code = lint_main([str(path), "--baseline", str(baseline)])
+        assert code == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_write_baseline_requires_baseline_path(self, tmp_path, capsys):
+        path = write_module(tmp_path, BAD)
+        assert lint_main([str(path), "--write-baseline"]) == 2
+        assert "--write-baseline requires" in capsys.readouterr().out
+
+    def test_unreadable_baseline_exits_two(self, tmp_path, capsys):
+        path = write_module(tmp_path, BAD)
+        assert lint_main(
+            [str(path), "--baseline", str(tmp_path / "nope.json")]) == 2
+        assert "repro lint:" in capsys.readouterr().out
+
+
+class TestCacheAndStats:
+    def test_cache_flag_round_trip(self, tmp_path, capsys):
+        path = write_module(tmp_path, BAD)
+        cache = tmp_path / "cache.json"
+        lint_main([str(path), "--cache", str(cache), "--stats"])
+        first = capsys.readouterr().out
+        assert "0 hit / 1 miss" in first
+        lint_main([str(path), "--cache", str(cache), "--stats"])
+        second = capsys.readouterr().out
+        assert "1 hit / 0 miss" in second
+
+    def test_stats_line_without_cache(self, tmp_path, capsys):
+        path = write_module(tmp_path, CLEAN)
+        assert lint_main([str(path), "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "statan: 1 file(s)" in out
+        assert "cache off" in out
+
+
 class TestReproSubcommand:
     def test_lint_is_wired_into_repro_cli(self, tmp_path, capsys):
         path = write_module(tmp_path, BAD)

@@ -1,0 +1,141 @@
+"""REP014–REP015: cross-module telemetry name resolution and config
+field validation coverage."""
+
+from repro.statan import lint_paths
+
+from tests.statan.test_asyncsafety import write_project
+
+
+def findings_for(tmp_path, files, select):
+    root = write_project(tmp_path, files)
+    result, _ = lint_paths([root], select=select)
+    return result
+
+
+class TestUnresolvedTelemetryName:
+    def test_resolved_metric_read_is_clean(self, tmp_path):
+        result = findings_for(tmp_path, {
+            "service/emit.py": """
+                def setup(telemetry):
+                    return telemetry.registry.counter(
+                        "service.queries_total")
+                """,
+            "analysis/read.py": """
+                def read(registry):
+                    return registry.get("service.queries_total")
+                """,
+        }, ["REP014"])
+        assert result.ok
+
+    def test_typo_read_gets_did_you_mean_hint(self, tmp_path):
+        result = findings_for(tmp_path, {
+            "service/emit.py": """
+                def setup(telemetry):
+                    return telemetry.registry.counter(
+                        "service.queries_total")
+                """,
+            "analysis/read.py": """
+                def read(registry):
+                    return registry.get("service.query_total")
+                """,
+        }, ["REP014"])
+        (finding,) = result.findings
+        assert finding.rule_id == "REP014"
+        assert finding.relpath.endswith("analysis/read.py")
+        assert "did you mean `service.queries_total`" in finding.message
+
+    def test_unemitted_trace_kind_is_flagged(self, tmp_path):
+        result = findings_for(tmp_path, {
+            "service/emit.py": """
+                def setup(telemetry):
+                    telemetry.tracer.emit("tick", n=1)
+                """,
+            "analysis/read.py": """
+                def read(sink):
+                    return sink.of_kind("tock")
+                """,
+        }, ["REP014"])
+        (finding,) = result.findings
+        assert "`tock`" in finding.message
+
+    def test_kind_conflict_between_modules_is_flagged(self, tmp_path):
+        result = findings_for(tmp_path, {
+            "service/a.py": """
+                def setup(telemetry):
+                    return telemetry.registry.counter("service.depth")
+                """,
+            "service/b.py": """
+                def setup(telemetry):
+                    return telemetry.registry.gauge("service.depth")
+                """,
+        }, ["REP014"])
+        (finding,) = result.findings
+        assert "counter" in finding.message
+        assert "gauge" in finding.message
+
+
+class TestConfigFieldUnchecked:
+    def test_unreferenced_scalar_field_is_flagged(self, tmp_path):
+        result = findings_for(tmp_path, {
+            "service/cfg.py": """
+                from dataclasses import dataclass
+
+                @dataclass
+                class TickConfig:
+                    interval: int = 10
+                    seed: int = 0
+
+                    def __post_init__(self):
+                        if self.interval < 1:
+                            raise ValueError("bad interval")
+                """,
+        }, ["REP015"])
+        (finding,) = result.findings
+        assert finding.rule_id == "REP015"
+        assert "`seed`" in finding.message
+
+    def test_optional_and_bool_fields_are_exempt(self, tmp_path):
+        result = findings_for(tmp_path, {
+            "service/cfg.py": """
+                from dataclasses import dataclass
+                from typing import Optional
+
+                @dataclass
+                class TickConfig:
+                    interval: int = 10
+                    label: Optional[str] = None
+                    strict: bool = False
+
+                    def __post_init__(self):
+                        if self.interval < 1:
+                            raise ValueError("bad interval")
+                """,
+        }, ["REP015"])
+        assert result.ok
+
+    def test_config_without_post_init_is_rep008s_problem(self, tmp_path):
+        result = findings_for(tmp_path, {
+            "service/cfg.py": """
+                from dataclasses import dataclass
+
+                @dataclass
+                class TickConfig:
+                    interval: int = 10
+                """,
+        }, ["REP015"])
+        assert result.ok
+
+    def test_out_of_scope_configs_are_ignored(self, tmp_path):
+        result = findings_for(tmp_path, {
+            "workloads/cfg.py": """
+                from dataclasses import dataclass
+
+                @dataclass
+                class SweepConfig:
+                    points: int = 5
+
+                    def __post_init__(self):
+                        pass
+                """,
+        }, ["REP015"])
+        assert result.ok

@@ -1,0 +1,241 @@
+"""The whole-program index (pass 2): call graph, blocking reachability,
+telemetry inventory, config-field extraction."""
+
+import ast
+import textwrap
+
+from repro.statan.project import (
+    ModuleIndex,
+    ProjectIndex,
+    build_module_index,
+    module_name_for,
+)
+
+
+def index_of(source, relpath):
+    tree = ast.parse(textwrap.dedent(source))
+    return build_module_index(tree, relpath, relpath)
+
+
+def project(*modules):
+    return ProjectIndex([index_of(src, rel) for rel, src in modules])
+
+
+class TestModuleNames:
+    def test_plain_module(self):
+        assert module_name_for("repro/service/supervisor.py") == \
+            "repro.service.supervisor"
+
+    def test_package_init_collapses(self):
+        assert module_name_for("repro/service/__init__.py") == \
+            "repro.service"
+
+
+class TestModuleIndex:
+    def test_collects_functions_methods_and_blocking_sites(self):
+        mod = index_of(
+            """
+            import time
+
+            def helper():
+                time.sleep(1)
+
+            class Loop:
+                async def run(self):
+                    self.tick()
+
+                def tick(self):
+                    helper()
+            """,
+            "repro/service/loop.py",
+        )
+        assert set(mod.functions) == {"helper", "Loop.run", "Loop.tick"}
+        helper = mod.functions["helper"]
+        assert [site.symbol for site in helper.blocking] == ["time.sleep"]
+        assert mod.functions["Loop.run"].is_async
+
+    def test_round_trips_through_dict(self):
+        mod = index_of(
+            """
+            class C:
+                def __init__(self):
+                    self.x = 1
+
+                def m(self):
+                    return open("f")
+            """,
+            "repro/service/c.py",
+        )
+        clone = ModuleIndex.from_dict(mod.to_dict())
+        assert clone.module == mod.module
+        assert set(clone.functions) == set(mod.functions)
+        blocking = [s.symbol for f in clone.functions.values()
+                    for s in f.blocking]
+        assert blocking == ["open"]
+
+
+class TestBlockingReachability:
+    def test_direct_blocking_in_async(self):
+        idx = project((
+            "repro/service/a.py",
+            """
+            import time
+
+            class S:
+                async def run(self):
+                    time.sleep(5)
+            """,
+        ))
+        ((mod, fn),) = idx.async_functions()
+        reachable = idx.blocking_reachable(mod.module, fn.qualname)
+        assert [entry[0].symbol for entry in reachable.values()] == \
+            ["time.sleep"]
+
+    def test_chain_through_attribute_type_across_modules(self):
+        idx = project(
+            (
+                "repro/distributed/store.py",
+                """
+                class Store:
+                    def save(self):
+                        with open("f", "w") as fh:
+                            fh.write("x")
+                """,
+            ),
+            (
+                "repro/service/loop.py",
+                """
+                from repro.distributed.store import Store
+
+                class Loop:
+                    def __init__(self):
+                        self.store = Store()
+
+                    async def run(self):
+                        self.snapshot()
+
+                    def snapshot(self):
+                        self.store.save()
+                """,
+            ),
+        )
+        ((mod, fn),) = idx.async_functions()
+        reachable = idx.blocking_reachable(mod.module, fn.qualname)
+        ((site, owner, chain),) = reachable.values()
+        assert site.symbol == "open"
+        assert owner == "repro.distributed.store"
+        assert chain[-1] == "store.Store.save"
+
+    def test_to_thread_reference_is_exempt(self):
+        idx = project((
+            "repro/service/a.py",
+            """
+            import asyncio
+
+            class S:
+                async def run(self):
+                    await asyncio.to_thread(self._snapshot)
+
+                def _snapshot(self):
+                    with open("f", "w") as fh:
+                        fh.write("x")
+            """,
+        ))
+        ((mod, fn),) = idx.async_functions()
+        assert idx.blocking_reachable(mod.module, fn.qualname) == {}
+
+    def test_shadowed_open_is_not_blocking(self):
+        idx = project((
+            "repro/service/a.py",
+            """
+            class S:
+                async def run(self):
+                    open = self.cache_get
+                    open("key")
+
+                def cache_get(self, key):
+                    return key
+            """,
+        ))
+        ((mod, fn),) = idx.async_functions()
+        assert idx.blocking_reachable(mod.module, fn.qualname) == {}
+
+
+class TestTelemetryInventory:
+    def test_metric_defs_and_reads_collected(self):
+        idx = project(
+            (
+                "repro/service/emit.py",
+                """
+                class S:
+                    def setup(self, telemetry):
+                        self.queries = telemetry.registry.counter(
+                            "service.queries_total")
+                        telemetry.tracer.emit("tick", n=1)
+                """,
+            ),
+            (
+                "repro/analysis/read.py",
+                """
+                def read(registry, sink):
+                    registry.get("service.queries_total")
+                    sink.of_kind("tick")
+                """,
+            ),
+        )
+        assert "service.queries_total" in idx.metric_names()
+        assert "tick" in idx.event_kinds()
+        reads = [r.name
+                 for m in idx.modules.values() for r in m.metric_reads]
+        assert reads == ["service.queries_total"]
+
+    def test_dict_get_on_non_registry_is_ignored(self):
+        mod = index_of(
+            """
+            def f(mapping):
+                return mapping.get("some.key")
+            """,
+            "repro/analysis/m.py",
+        )
+        assert mod.metric_reads == []
+
+
+class TestConfigExtraction:
+    def test_post_init_refs_and_optionals(self):
+        mod = index_of(
+            """
+            from dataclasses import dataclass
+            from typing import Optional
+
+            @dataclass
+            class TickConfig:
+                interval: int = 10
+                label: str = "x"
+                retry: Optional[int] = None
+
+                def __post_init__(self):
+                    if self.interval < 1:
+                        raise ValueError("bad interval")
+            """,
+            "repro/service/cfg.py",
+        )
+        (config,) = mod.configs
+        assert config.cls == "TickConfig"
+        assert config.has_post_init
+        assert "interval" in config.post_init_refs
+        by_name = {f.name: f for f in config.fields}
+        assert not by_name["interval"].optional
+        assert by_name["retry"].optional
+
+    def test_non_config_dataclass_is_ignored(self):
+        mod = index_of(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Point:
+                x: int = 0
+            """,
+            "repro/model/p.py",
+        )
+        assert mod.configs == []

@@ -3,6 +3,7 @@
 import os
 
 from repro.statan import ALL_RULES, lint_paths
+from repro.statan.baseline import load_baseline
 
 REPO_ROOT = os.path.dirname(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -21,6 +22,22 @@ class TestRepoIsClean:
             f.rule_id in ("STA001", "STA002") for f in result.findings
         )
 
+    def test_full_tree_is_clean_modulo_committed_baseline(self):
+        """The CI gate contract: src + tests + benchmarks exit clean with
+        the committed baseline — every finding is either inline-suppressed
+        or a baselined pre-existing one, and none live under src/."""
+        baseline = load_baseline(
+            os.path.join(REPO_ROOT, "statan-baseline.json"))
+        result, _ = lint_paths(
+            [os.path.join(REPO_ROOT, p)
+             for p in ("src", "tests", "benchmarks")],
+            baseline=baseline,
+        )
+        assert result.ok, "\n".join(f.render() for f in result.findings)
+        assert not any(
+            f.relpath.startswith("repro/") for f in result.baselined
+        ), "baselined findings must not hide src/ regressions"
+
 
 class TestCatalog:
     def test_rule_ids_are_unique_and_sorted(self):
@@ -30,7 +47,17 @@ class TestCatalog:
 
     def test_expected_rules_are_registered(self):
         ids = {rule.rule_id for rule in ALL_RULES}
-        assert {f"REP00{i}" for i in range(1, 10)} <= ids
+        expected = {f"REP00{i}" for i in range(1, 10)}
+        expected |= {"REP010", "REP011", "REP012", "REP013", "REP014",
+                     "REP015"}
+        assert expected <= ids
+
+    def test_project_rules_are_flagged_as_such(self):
+        by_id = {rule.rule_id: rule for rule in ALL_RULES}
+        for rule_id in ("REP011", "REP014", "REP015"):
+            assert by_id[rule_id].is_project_rule
+        for rule_id in ("REP001", "REP008", "REP012", "REP013"):
+            assert not by_id[rule_id].is_project_rule
 
     def test_every_rule_carries_rationale(self):
         for rule in ALL_RULES:

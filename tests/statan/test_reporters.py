@@ -67,6 +67,27 @@ class TestSarifReport:
             for r in sarif["runs"][0]["tool"]["driver"]["rules"]
         )
 
+    def test_rules_carry_help_uri_and_short_description(self, result):
+        sarif = json.loads(render_sarif(result, []))
+        for rule in sarif["runs"][0]["tool"]["driver"]["rules"]:
+            assert rule["helpUri"].endswith(f"#{rule['id'].lower()}")
+            assert rule["shortDescription"]["text"]
+
+    def test_results_carry_partial_fingerprints(self, tmp_path):
+        # Fingerprints are assigned by lint_paths (the whole-file pass);
+        # SARIF then exposes them for alert dedup across runs.
+        from repro.statan import lint_paths
+
+        target = tmp_path / "repro" / "sim" / "clock.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(FIXTURE)
+        result, files = lint_paths([str(tmp_path / "repro")])
+        sarif = json.loads(render_sarif(result, files))
+        (sarif_result,) = sarif["runs"][0]["results"]
+        fingerprint = sarif_result["partialFingerprints"][
+            "primaryLocationLineHash"]
+        assert fingerprint == result.findings[0].data["fingerprint"]
+
 
 class TestDispatch:
     def test_unknown_format_raises(self, result):

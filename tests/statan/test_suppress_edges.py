@@ -1,0 +1,117 @@
+"""Suppression edge cases: stale-waiver detection (STA003), multi-rule
+directives spanning both passes, and baseline interaction."""
+
+from repro.statan import lint_paths
+from repro.statan.baseline import load_baseline, write_baseline
+
+from tests.statan.test_asyncsafety import write_project
+
+
+class TestStaleSuppressions:
+    def test_stale_directive_is_flagged_in_full_runs(self, tmp_path):
+        root = write_project(tmp_path, {
+            "sim/clock.py": """
+                def fine():
+                    return 1  # statan: disable=REP002 -- nothing fires here
+                """,
+        })
+        result, _ = lint_paths([root])
+        (finding,) = result.findings
+        assert finding.rule_id == "STA003"
+        assert "stale suppression" in finding.message
+
+    def test_live_directive_is_not_stale(self, tmp_path):
+        root = write_project(tmp_path, {
+            "sim/clock.py": """
+                import time
+
+                def stamp():
+                    return time.time()  # statan: disable=REP002 -- wanted
+                """,
+        })
+        result, _ = lint_paths([root])
+        assert result.ok
+        assert [f.rule_id for f in result.suppressed] == ["REP002"]
+
+    def test_narrowed_runs_skip_stale_detection(self, tmp_path):
+        # With --select the directive's rule may simply not be running;
+        # staleness is only decidable against the full catalog.
+        root = write_project(tmp_path, {
+            "sim/clock.py": """
+                def fine():
+                    return 1  # statan: disable=REP002 -- out of scope
+                """,
+        })
+        result, _ = lint_paths([root], select=["REP001"])
+        assert result.ok
+
+    def test_directive_suppressing_only_pass2_is_live(self, tmp_path):
+        root = write_project(tmp_path, {
+            "service/loop.py": """
+                import time
+
+                class Loop:
+                    async def run(self):
+                        time.sleep(1)  # statan: disable=REP011 -- rig
+                """,
+        })
+        result, _ = lint_paths([root])
+        # The only thing this directive waives is a pass-2 finding;
+        # stale detection must still count it as live.
+        assert result.ok
+        assert [f.rule_id for f in result.suppressed] == ["REP011"]
+
+
+class TestMultiRuleDirectives:
+    def test_partially_stale_multirule_directive_is_not_stale(
+            self, tmp_path):
+        # One of the listed rules fired, so the directive is live; the
+        # unused id is tolerated (common when a fix removes one finding).
+        root = write_project(tmp_path, {
+            "sim/clock.py": """
+                import time
+
+                def stamp():
+                    return time.time()  # statan: disable=REP001,REP002 -- demo
+                """,
+        })
+        result, _ = lint_paths([root])
+        assert result.ok
+        assert [f.rule_id for f in result.suppressed] == ["REP002"]
+
+
+class TestBaselineInteraction:
+    def test_suppressed_findings_never_enter_the_baseline(self, tmp_path):
+        root = write_project(tmp_path, {
+            "sim/clock.py": """
+                import time
+
+                def stamp():
+                    return time.time()  # statan: disable=REP002 -- wanted
+                """,
+        })
+        result, _ = lint_paths([root])
+        path = tmp_path / "baseline.json"
+        count = write_baseline(str(path), result.findings)
+        assert count == 0  # only live findings are recorded
+
+    def test_removing_a_suppression_surfaces_a_gating_finding(
+            self, tmp_path):
+        suppressed = """
+            import time
+
+            def stamp():
+                return time.time()  # statan: disable=REP002 -- wanted
+            """
+        root = write_project(tmp_path, {"sim/clock.py": suppressed})
+        result, _ = lint_paths([root])
+        path = tmp_path / "baseline.json"
+        write_baseline(str(path), result.findings)  # empty baseline
+
+        bare = suppressed.replace(
+            "  # statan: disable=REP002 -- wanted", "")
+        root = write_project(tmp_path, {"sim/clock.py": bare})
+        gated, _ = lint_paths([root], baseline=load_baseline(str(path)))
+        # The finding is new relative to the baseline: it gates.
+        assert [f.rule_id for f in gated.findings] == ["REP002"]
+        assert gated.baselined == []
