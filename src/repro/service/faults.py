@@ -93,6 +93,9 @@ class ServiceFaultInjector:
         for stall in actions.stalls:
             self.supervised.inject_stall(stall.ticks)
         for _corruption in actions.corruptions:
-            self.supervised.corrupt_snapshot()
+            # Scheduled, not fired: the corrupting file write happens in
+            # the tick's I/O stage (off the loop thread in async runs),
+            # before any same-tick restore reads the store.
+            self.supervised.schedule_snapshot_corruption()
         for storm in actions.storms:
             self.supervised.inject_storm(storm)

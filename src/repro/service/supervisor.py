@@ -281,6 +281,7 @@ class SupervisedService:
         # Fault state.
         self._stall_remaining = 0
         self._checkpoint_outage = False
+        self._pending_corruptions = 0
         # Last known-good (critical-time-feasible) allocation.
         self._last_good_latencies: Dict[str, float] = {}
         self._last_good_tasks: Dict[str, Task] = {}
@@ -399,6 +400,7 @@ class SupervisedService:
         batch, advance the solve, feed the watchdog, snapshot, capture
         the last-good allocation, and update the brownout state."""
         restart_due, snapshot_due = self._tick_begin()
+        self._apply_pending_corruptions()
         if restart_due:
             self._supervisor_restart()
         if snapshot_due:
@@ -406,14 +408,22 @@ class SupervisedService:
         self._tick_end()
 
     async def tick_async(self) -> None:
-        """:meth:`tick` for an event loop: the synchronous body — fault
-        injection, churn drain, the optimizer slice, and above all the
-        checkpoint file I/O behind restarts and snapshots — runs in a
-        worker thread via :func:`asyncio.to_thread`, so a slow disk (or
-        an injected checkpoint outage) never stalls the loop that
-        concurrent :meth:`query` callers and churn producers share.
-        Only the in-memory telemetry capture runs on the loop thread."""
-        restart_due, snapshot_due = await asyncio.to_thread(self._tick_begin)
+        """:meth:`tick` for an event loop.  The state-mutating tick body
+        — fault injection, the churn drain, the optimizer slice — runs
+        **on the loop thread**: it shares the :class:`ChurnQueue`, the
+        optimizer iterate, and the shed counter with the concurrent
+        :meth:`submit` and :meth:`query` callers on that loop, and
+        cooperative scheduling is the only synchronization they have.
+        (Offloading it to a worker thread would race ``drain`` against
+        ``offer`` and let queries observe a half-advanced optimizer.)
+        Only the checkpoint file I/O behind restarts and snapshots — the
+        part that can actually stall on a slow disk or an injected
+        outage — is offloaded via :func:`asyncio.to_thread`; the tick is
+        suspended while it runs, so the retrier, breaker, and checkpoint
+        state it mutates have no other writer."""
+        restart_due, snapshot_due = self._tick_begin()
+        if self._pending_corruptions:
+            await asyncio.to_thread(self._apply_pending_corruptions)
         if restart_due:
             await asyncio.to_thread(self._supervisor_restart)
         if snapshot_due:
@@ -421,8 +431,12 @@ class SupervisedService:
         self._tick_end()
 
     def _tick_begin(self) -> Tuple[bool, bool]:
-        """Everything up to (but not including) the restart/snapshot
-        I/O; returns ``(restart_due, snapshot_due)``."""
+        """Everything up to (but not including) the tick's I/O stage —
+        injected corruptions, restart, snapshot; returns
+        ``(restart_due, snapshot_due)``.  Runs on the event-loop thread
+        under :meth:`tick_async`: it mutates state shared with
+        concurrent :meth:`submit`/:meth:`query` callers, so it must
+        never execute blocking I/O (REP011 enforces this)."""
         self._tick += 1
         self._shed_this_tick = 0
         if self.injector is not None:
@@ -745,6 +759,22 @@ class SupervisedService:
             )
         if self.telemetry.enabled and self.telemetry.tracer.enabled:
             self.telemetry.tracer.emit("snapshot_corrupted_injected")
+
+    def schedule_snapshot_corruption(self) -> None:
+        """Queue a :meth:`corrupt_snapshot` for this tick's I/O stage.
+
+        The fault injector runs inside :meth:`_tick_begin`, which the
+        async driver keeps on the event-loop thread — so the corrupting
+        file write cannot happen there.  Scheduling defers it to the
+        same stage as the restart/snapshot I/O (offloaded to a worker
+        thread under :meth:`tick_async`), still before any restore in
+        the same tick observes the store."""
+        self._pending_corruptions += 1
+
+    def _apply_pending_corruptions(self) -> None:
+        while self._pending_corruptions > 0:
+            self._pending_corruptions -= 1
+            self.corrupt_snapshot()
 
     def set_checkpoint_outage(self, active: bool) -> None:
         """Start/stop an injected checkpoint-I/O outage."""

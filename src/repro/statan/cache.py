@@ -147,13 +147,21 @@ class AnalysisCache:
             "entries": self._entries,
         }
         directory = os.path.dirname(os.path.abspath(self.path)) or "."
+        tmp: Optional[str] = None
         try:
             fd, tmp = tempfile.mkstemp(dir=directory, prefix=".statan-",
                                        suffix=".cache")
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle)
             os.replace(tmp, self.path)
-        except OSError:  # pragma: no cover - cache is advisory
+        except OSError:
+            # Cache is advisory — a failed save is not an error, but it
+            # must not litter the directory with orphaned temp files.
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:  # pragma: no cover - already gone
+                    pass
             return
         self._dirty = False
 

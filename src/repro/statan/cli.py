@@ -14,7 +14,7 @@ from typing import List, Optional
 
 from repro.errors import StaticAnalysisError
 from repro.statan.baseline import load_baseline, write_baseline
-from repro.statan.engine import lint_paths
+from repro.statan.engine import PARSE_ERROR, lint_paths
 from repro.statan.reporters import FORMATS, render
 from repro.statan.rules import ALL_RULES
 
@@ -44,7 +44,8 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--write-baseline", action="store_true",
-        help="record current findings into --baseline and exit clean",
+        help="record current findings into --baseline and exit clean "
+             "(STA000 parse errors are never baselined and fail the run)",
     )
     parser.add_argument(
         "--cache", metavar="FILE", dest="cache_path",
@@ -92,12 +93,26 @@ def run_lint(args: argparse.Namespace) -> int:
             cache_path=args.cache_path,
         )
         if args.write_baseline:
-            count = write_baseline(args.baseline, result.findings)
+            # A parse error is not a "known finding" to adopt: baselining
+            # STA000 would permanently exempt a syntax-broken file from
+            # every future gate.  Record everything else, keep the parse
+            # errors visible, and fail so they cannot ride along.
+            parse_errors = [f for f in result.findings
+                            if f.rule_id == PARSE_ERROR]
+            recordable = [f for f in result.findings
+                          if f.rule_id != PARSE_ERROR]
+            count = write_baseline(args.baseline, recordable)
             print(f"baseline written to {args.baseline} "
                   f"({count} finding(s) recorded)")
+            if parse_errors:
+                print(f"repro lint: {len(parse_errors)} {PARSE_ERROR} "
+                      "parse-error finding(s) NOT baselined — fix the "
+                      "syntax errors instead:")
+                for finding in parse_errors:
+                    print(f"  {finding.render()}")
             if args.stats:
                 print(result.stats.render())
-            return 0
+            return 1 if parse_errors else 0
     except StaticAnalysisError as exc:
         print(f"repro lint: {exc}")
         return 2

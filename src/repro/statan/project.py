@@ -549,7 +549,11 @@ def _extract_calls(fn: ast.AST, imports: _Imports,
                     kind, target = resolved
                     if kind == "name":
                         note_blocking(child, target)
-                        offloading = is_offload(target)
+                    # Any callee kind can offload: `asyncio.to_thread`
+                    # resolves as "name", but `self.loop.run_in_executor`
+                    # is "selfattr" and a `run_in_executor` method on
+                    # self is "self" — all exempt their argument refs.
+                    offloading = is_offload(target)
                     calls.append(CallEdge(kind=kind, target=target,
                                           lineno=child.lineno))
                 # References passed as arguments count as edges unless

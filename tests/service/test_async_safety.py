@@ -5,9 +5,11 @@ directly on the event-loop thread, which put checkpoint file I/O — the
 periodic snapshot write and the watchdog's restore read — on the loop.
 A slow disk (or an injected outage plus retries) would stall every
 concurrent ``query`` and churn producer sharing that loop.  These tests
-pin the fix: during an async run, the snapshot and restore units execute
-on a worker thread, never the loop thread; the synchronous drivers keep
-running everything on the calling thread.
+pin the fix — and its boundary: during an async run, the snapshot and
+restore units execute on a worker thread, never the loop thread, while
+the state-mutating tick body (churn drain, optimizer slice) stays *on*
+the loop thread where it cannot race ``submit``/``query``; the
+synchronous drivers keep running everything on the calling thread.
 """
 
 import asyncio
@@ -69,6 +71,73 @@ class TestAsyncRunOffloadsCheckpointIO:
             async_service.snapshots_taken == sync_service.snapshots_taken
         )
         assert async_service.stats().tick == sync_service.stats().tick
+
+
+class TestTickBodyStaysOnTheLoopThread:
+    """Regression for a supervisor race: ``tick_async`` once ran the
+    whole ``_tick_begin`` body (``ChurnQueue.drain``, the optimizer
+    slice, the shed-counter reset) in a worker thread.  Those structures
+    are shared with :meth:`submit` and :meth:`query` on the event loop,
+    and cooperative scheduling is their *only* synchronization — a
+    worker-thread ``drain`` can race a concurrent ``offer`` into
+    "dictionary changed size during iteration", and a query can observe
+    a half-advanced optimizer.  Only the checkpoint I/O units may leave
+    the loop thread."""
+
+    def test_tick_body_runs_on_the_event_loop_thread(self):
+        supervised = make_supervised(snapshot_interval=2)
+        begin_idents = []
+        end_idents = []
+        _record_thread(supervised, "_tick_begin", begin_idents)
+        _record_thread(supervised, "_tick_end", end_idents)
+
+        async def scenario():
+            await supervised.run(ticks=6)
+            return threading.get_ident()
+
+        loop_ident = asyncio.run(scenario())
+        assert begin_idents == [loop_ident] * 6, (
+            "the state-mutating tick body left the event-loop thread"
+        )
+        assert end_idents == [loop_ident] * 6
+
+    def test_churn_drain_runs_on_the_event_loop_thread(self):
+        supervised = make_supervised(snapshot_interval=2)
+        idents = []
+        _record_thread(supervised, "_drain_churn", idents)
+
+        async def scenario():
+            await supervised.run(ticks=4)
+            return threading.get_ident()
+
+        loop_ident = asyncio.run(scenario())
+        assert idents == [loop_ident] * len(idents)
+        assert idents, "expected a drain attempt every tick"
+
+    def test_concurrent_producers_interleave_without_loss(self):
+        """Producers submitting between ticks (including while the
+        offloaded snapshot write is in flight) never corrupt the queue:
+        every accepted event is drained into the service."""
+        supervised = make_supervised(snapshot_interval=2)
+        accepted = []
+
+        async def producer():
+            for i in range(12):
+                event = supervised.update_task(
+                    "t0", critical_time=50.0 + i)
+                accepted.append(event)
+                await asyncio.sleep(0)
+
+        async def scenario():
+            task = asyncio.get_running_loop().create_task(producer())
+            await supervised.run(ticks=8)
+            await task
+            supervised.tick()  # drain any tail submissions
+
+        asyncio.run(scenario())
+        assert all(accepted), "no event should be shed on an idle queue"
+        assert supervised.queue.depth == 0
+        assert supervised.stats().queue_shed == 0
 
 
 class TestSyncDriversStayOnCallingThread:

@@ -83,6 +83,31 @@ class TestCachePrimitives:
         assert AnalysisCache(path, "salt-b").lookup(
             "file.py", digest) is None
 
+    def test_failed_save_cleans_up_temp_file(self, tmp_path, monkeypatch):
+        # A failed advisory save must not litter the directory with the
+        # mkstemp temp file — _dirty stays set, so every later save (one
+        # per lint run) would add another orphan.
+        from repro.statan.cache import CacheEntry
+        from repro.statan.project import ModuleIndex
+        import repro.statan.cache as cache_module
+
+        path = str(tmp_path / "cache.json")
+        cache = AnalysisCache(path, "salt-a")
+        entry = CacheEntry(digest=source_digest("x = 1\n"), findings=[],
+                           suppressed=[], suppressions={},
+                           index=ModuleIndex(module="m", path="p",
+                                             relpath="r"))
+        cache.store("file.py", entry)
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(cache_module.os, "replace", boom)
+        cache.save()  # advisory: must not raise
+        leftovers = [p.name for p in tmp_path.iterdir()
+                     if p.name.startswith(".statan-")]
+        assert leftovers == []
+
     def test_rules_salt_is_deterministic(self):
         assert rules_salt(ALL_RULES) == rules_salt(ALL_RULES)
         assert rules_salt(ALL_RULES[:3]) != rules_salt(ALL_RULES)

@@ -83,6 +83,28 @@ class TestBaselineFlags:
         assert code == 0
         assert "1 baselined" in capsys.readouterr().out
 
+    def test_write_baseline_refuses_parse_errors(self, tmp_path, capsys):
+        # Baselining STA000 would permanently exempt a syntax-broken
+        # file from the gate; the seed must exclude it and fail loudly.
+        pkg = tmp_path / "repro" / "sim"
+        pkg.mkdir(parents=True)
+        (pkg / "clock.py").write_text(BAD)
+        (pkg / "broken.py").write_text("def broken(:\n")
+        baseline = tmp_path / "baseline.json"
+        code = lint_main([str(pkg), "--baseline", str(baseline),
+                          "--write-baseline"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "NOT baselined" in out and "STA000" in out
+        payload = json.loads(baseline.read_text())
+        rules = {entry["rule"] for entry in payload["entries"].values()}
+        assert "STA000" not in rules
+        assert "REP002" in rules  # real findings are still recorded
+        # The gated run keeps failing on the un-baselined parse error.
+        code = lint_main([str(pkg), "--baseline", str(baseline)])
+        assert code == 1
+        assert "STA000" in capsys.readouterr().out
+
     def test_write_baseline_requires_baseline_path(self, tmp_path, capsys):
         path = write_module(tmp_path, BAD)
         assert lint_main([str(path), "--write-baseline"]) == 2

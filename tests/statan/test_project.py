@@ -144,6 +144,28 @@ class TestBlockingReachability:
         ((mod, fn),) = idx.async_functions()
         assert idx.blocking_reachable(mod.module, fn.qualname) == {}
 
+    def test_run_in_executor_selfattr_reference_is_exempt(self):
+        # `self.loop.run_in_executor(...)` resolves with callee kind
+        # "selfattr", not "name" — the offload exemption must apply to
+        # it too, or the offloaded callable produces a false REP011.
+        idx = project((
+            "repro/service/a.py",
+            """
+            class S:
+                def __init__(self):
+                    self.loop = None
+
+                async def run(self):
+                    await self.loop.run_in_executor(None, self._snapshot)
+
+                def _snapshot(self):
+                    with open("f", "w") as fh:
+                        fh.write("x")
+            """,
+        ))
+        ((mod, fn),) = idx.async_functions()
+        assert idx.blocking_reachable(mod.module, fn.qualname) == {}
+
     def test_shadowed_open_is_not_blocking(self):
         idx = project((
             "repro/service/a.py",
