@@ -113,6 +113,14 @@ def build_parser() -> argparse.ArgumentParser:
                      default="scalar",
                      help="LLA iteration kernel (identical iterates; "
                           "'vectorized' is faster on large workloads)")
+    opt.add_argument("--shards", type=int, default=1,
+                     help="partition the vectorized kernel by resource-"
+                          "connectivity components (bitwise-identical "
+                          "iterates; implies --backend vectorized)")
+    opt.add_argument("--shard-mode", choices=("serial", "processes"),
+                     default="serial",
+                     help="run shards in-process or one worker process "
+                          "per shard (default serial)")
     opt.add_argument("-o", "--output",
                      help="write the allocation as JSON to this file")
     opt.add_argument("--trace",
@@ -235,6 +243,14 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--backend", choices=("scalar", "vectorized"),
                      default="vectorized",
                      help="optimizer backend for the live solve")
+    srv.add_argument("--shards", type=int, default=1,
+                     help="shard the vectorized live solve by resource-"
+                          "connectivity components (bitwise-identical "
+                          "iterates; default 1 = unsharded)")
+    srv.add_argument("--shard-mode", choices=("serial", "processes"),
+                     default="serial",
+                     help="run shards in-process or one worker process "
+                          "per shard (default serial)")
     srv.add_argument("--cold", action="store_true",
                      help="disable churn warm starts (baseline mode)")
     srv.add_argument("--smoke", action="store_true",
@@ -361,9 +377,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
     taskset = _load_taskset(args.workload)
+    backend = "vectorized" if args.shards > 1 else args.backend
     config = LLAConfig(max_iterations=args.iterations,
                        warm_start=args.warm_start,
-                       backend=args.backend)
+                       backend=backend,
+                       shards=args.shards,
+                       shard_mode=args.shard_mode)
     telemetry = Telemetry.to_file(args.trace) if args.trace else None
     try:
         result = LLAOptimizer(taskset, config, telemetry=telemetry).run()
@@ -765,7 +784,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     service = AllocationService(
         list(taskset.resources.values()),
         config=ServiceConfig(backend=args.backend,
-                             warm_start_churn=not args.cold),
+                             warm_start_churn=not args.cold,
+                             shards=args.shards,
+                             shard_mode=args.shard_mode),
         telemetry=telemetry,
     )
     tasks = list(taskset.tasks)

@@ -31,8 +31,15 @@ from repro.core.prices import (
     update_path_price,
     update_resource_price,
 )
+from repro.core.sharding import ShardedEngine, ShardPlan, plan_shards
 from repro.core.state import IterationRecord, OptimizationResult, PathKey
 from repro.core.stepsize import AdaptiveStepSize, FixedStepSize, StepSizePolicy
+from repro.core.structure import (
+    TaskSetStructure,
+    compile_structure,
+    structure_from_dict,
+    structure_to_dict,
+)
 from repro.core.warmstart import apply_warm_start, warm_start_resource_prices
 
 __all__ = [
@@ -62,4 +69,11 @@ __all__ = [
     "PeriodicEnactment",
     "warm_start_resource_prices",
     "apply_warm_start",
+    "TaskSetStructure",
+    "compile_structure",
+    "structure_to_dict",
+    "structure_from_dict",
+    "ShardedEngine",
+    "ShardPlan",
+    "plan_shards",
 ]

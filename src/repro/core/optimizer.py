@@ -28,8 +28,13 @@ from typing import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from typing import Union
+
+    from repro.core.sharding import ShardedEngine
     from repro.core.structure import TaskSetStructure
     from repro.core.vectorized import VectorizedEngine
+
+    Engine = Union["VectorizedEngine", "ShardedEngine"]
 
 from repro.errors import OptimizationError
 from repro.core.allocation import LatencyAllocator
@@ -93,6 +98,20 @@ class LLAConfig:
         the same :class:`~repro.core.state.IterationRecord` stream; the
         vectorized backend requires the paper's closed-form model family
         (power-law shares, linear or inelastic utilities).
+    shards:
+        Maximum number of shards for the vectorized backend (see
+        :mod:`repro.core.sharding`).  The compiled structure is partitioned
+        by resource-connectivity components — never splitting one — so a
+        sharded run is bitwise-identical to an unsharded one; the effective
+        count is capped by the number of components.  ``1`` (the default)
+        runs the plain unsharded kernel.  Requires ``backend="vectorized"``
+        and a ``FixedStepSize``/``AdaptiveStepSize`` step policy.
+    shard_mode:
+        ``"serial"`` runs every shard engine in-process (deterministic,
+        no IPC; still wins on separable workloads because per-shard work
+        is block-diagonal), ``"processes"`` runs one worker process per
+        shard with shared-memory result arrays (multi-core speedup for
+        batched iteration).
     """
 
     max_iterations: int = 500
@@ -112,6 +131,8 @@ class LLAConfig:
     stop_on_convergence: bool = True
     warm_start: bool = False
     backend: str = "scalar"
+    shards: int = 1
+    shard_mode: str = "serial"
 
     def __post_init__(self) -> None:
         """Reject inconsistent knobs at construction (REP008): a bad
@@ -167,6 +188,20 @@ class LLAConfig:
             raise OptimizationError(
                 f"max_latency_factor must be >= 1, "
                 f"got {self.max_latency_factor!r}"
+            )
+        if self.shards < 1:
+            raise OptimizationError(
+                f"shards must be >= 1, got {self.shards!r}"
+            )
+        if self.shards > 1 and self.backend != "vectorized":
+            raise OptimizationError(
+                "shards > 1 requires backend='vectorized', "
+                f"got backend={self.backend!r}"
+            )
+        if self.shard_mode not in ("serial", "processes"):
+            raise OptimizationError(
+                f"unknown shard_mode {self.shard_mode!r}; "
+                "expected 'serial' or 'processes'"
             )
 
     def build_step_policy(self, taskset: TaskSet) -> StepSizePolicy:
@@ -236,13 +271,20 @@ class LLAOptimizer:
             require_feasible=self.config.require_feasible,
             utility_floor=self.config.utility_floor,
         )
-        self._engine: Optional["VectorizedEngine"] = None
+        self._engine: Optional["Engine"] = None
         if self.config.backend == "vectorized":
-            from repro.core.vectorized import VectorizedEngine
-            self._engine = VectorizedEngine(taskset, self.config,
-                                            self.step_policy,
-                                            telemetry=self.telemetry,
-                                            structure=structure)
+            if self.config.shards > 1:
+                from repro.core.sharding import ShardedEngine
+                self._engine = ShardedEngine(taskset, self.config,
+                                             self.step_policy,
+                                             telemetry=self.telemetry,
+                                             structure=structure)
+            else:
+                from repro.core.vectorized import VectorizedEngine
+                self._engine = VectorizedEngine(taskset, self.config,
+                                                self.step_policy,
+                                                telemetry=self.telemetry,
+                                                structure=structure)
         self.iteration = 0
         # Trace timestamps follow the iteration counter (the optimizer's
         # virtual clock) so identical runs write identical event streams,
@@ -254,6 +296,16 @@ class LLAOptimizer:
         if self.config.warm_start:
             from repro.core.warmstart import apply_warm_start
             apply_warm_start(self)
+
+    @property
+    def structure(self) -> Optional["TaskSetStructure"]:
+        """The compiled structure behind the vectorized backend (``None``
+        on the scalar backend).  Consumers that can read allocation facts
+        from the structure's arrays should prefer it over re-traversing
+        the :class:`~repro.model.task.TaskSet` object graph (REP016)."""
+        if self._engine is None:
+            return None
+        return self._engine.structure
 
     def _check_utilities(self) -> None:
         for task in self.taskset.tasks:
@@ -426,7 +478,7 @@ class LLAOptimizer:
 
         # (3) Congestion classification feeds the adaptive step-size
         # heuristic (Section 5.2).
-        loads = self.taskset.resource_loads(self.latencies)
+        loads = self.taskset.resource_loads(self.latencies)  # statan: disable=REP016 -- scalar-backend iteration record
         congested_resources = self.resource_prices.congested(
             loads, tol=config.congestion_tol
         )
@@ -439,7 +491,7 @@ class LLAOptimizer:
         if phases is not None:
             phases.lap("classify", mark)
 
-        utility = self.taskset.total_utility(self.latencies)
+        utility = self.taskset.total_utility(self.latencies)  # statan: disable=REP016 -- scalar-backend iteration record
         self.detector.observe(utility, self.latencies)
         self.iteration += 1
 
@@ -453,7 +505,7 @@ class LLAOptimizer:
             congested_resources=congested_resources,
             congested_paths=congested_paths,
             critical_paths={
-                task.name: task.critical_path(self.latencies)[1]
+                task.name: task.critical_path(self.latencies)[1]  # statan: disable=REP016 -- scalar-backend iteration record
                 for task in self.taskset.tasks
             },
         )
@@ -551,7 +603,7 @@ class LLAOptimizer:
                 break
         if not converged and self.detector.converged():
             converged = True
-        final_utility = self.taskset.total_utility(self.latencies)
+        final_utility = self.taskset.total_utility(self.latencies)  # statan: disable=REP016 -- one end-of-run summary; also serves the scalar backend
         if converged:
             if tracer.enabled:
                 tracer.emit("convergence", iteration=self.iteration,

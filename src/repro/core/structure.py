@@ -1,21 +1,28 @@
 """Precompiled array structure of a :class:`~repro.model.task.TaskSet`.
 
-The vectorized LLA backend (:mod:`repro.core.vectorized`) needs the
-workload's *shape* — which subtask runs on which resource, which paths
-contain which subtasks, per-subtask model coefficients and latency bounds —
-as flat numpy arrays instead of the dict-of-dicts form the scalar code
-walks.  Compiling that shape once per run (and once more after every model
-mutation) is what turns the per-iteration cost from thousands of dict
-lookups and method dispatches into a handful of array operations.
+The compiled :class:`TaskSetStructure` is the system's **canonical**
+representation of a task set: the vectorized LLA backend iterates over it,
+the sharded engine partitions it, the always-on service caches and
+snapshots it, and the distributed runtime derives its per-round
+observations from it.  Compiling the workload's *shape* — which subtask
+runs on which resource, which paths contain which subtasks, per-subtask
+model coefficients and latency bounds — once per run (and once more after
+every model mutation) is what turns the per-iteration cost from thousands
+of dict lookups and method dispatches into a handful of array operations.
 
 Layout conventions, chosen so that every batched reduction visits its
 operands in **exactly the same order as the scalar loops** (bitwise-equal
 partial sums, so the two backends produce identical iterates, not merely
 close ones):
 
-* subtasks are numbered globally in task order, then per-task declaration
-  order — the same order as :attr:`TaskSet.all_subtasks`;
-* resources are numbered in :attr:`TaskSet.resources` insertion order;
+* tasks are numbered in **name-sorted order** and resources in
+  **name-sorted order** — the canonical compile order, so equal task sets
+  compile to byte-identical arrays regardless of declaration order (the
+  in-repo workload factories all declare tasks name-sorted, which keeps
+  the canonical order equal to the scalar backend's declaration-order
+  loops and preserves bitwise backend parity);
+* subtasks are numbered globally in (canonical) task order, then per-task
+  declaration order;
 * paths are numbered task-by-task in :attr:`SubtaskGraph.paths` order, so
   each task's paths occupy one contiguous index range;
 * every float segment sum goes through ``np.bincount(ids, weights=...)``,
@@ -23,6 +30,14 @@ close ones):
   ``np.add.reduceat`` is deliberately avoided for floats: its inner
   reduce uses unrolled/pairwise partial sums, which reassociate and drift
   from the scalar loops by an ulp — enough to flip a congestion branch.
+
+A structure is serializable (:func:`structure_to_dict` /
+:func:`structure_from_dict`, mirroring :mod:`repro.model.serialize`) and
+fingerprinted (:attr:`TaskSetStructure.fingerprint`, a SHA-256 over the
+canonical payload via :func:`repro.model.fingerprint.structure_fingerprint`).
+Because compilation is canonical, permuted-but-equal task sets produce the
+same structure fingerprint; checkpoints and snapshots stamped with it can
+be validated on restore, and corrupt payloads are detected by the hash.
 
 Only the paper's closed-form model family compiles: power-law share
 functions (:class:`HyperbolicShare`, :class:`PowerLawShare`, optionally
@@ -34,21 +49,42 @@ compile time — run those workloads on the scalar backend.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import OptimizationError
+from repro.errors import ModelError, OptimizationError
 from repro.core.state import PathKey
+from repro.model.fingerprint import structure_fingerprint
 from repro.model.share import CorrectedShare, HyperbolicShare, PowerLawShare
-from repro.model.task import TaskSet
+from repro.model.task import Task, TaskSet
 from repro.model.utility import InelasticUtility, LinearUtility
 
-__all__ = ["TaskSetStructure", "compile_structure"]
+__all__ = [
+    "TaskSetStructure",
+    "compile_structure",
+    "structure_to_dict",
+    "structure_from_dict",
+]
 
 #: Utility-kind codes in the per-task arrays.
 UTILITY_LINEAR = 0
 UTILITY_INELASTIC = 1
+
+#: Serialization format version (bumped on incompatible layout changes).
+_STRUCTURE_FORMAT_VERSION = 1
+
+#: Integer index arrays and their serialization order.
+_INDEX_ARRAYS = (
+    "sub_resource", "sub_task_ids", "path_sub_flat", "path_ids_flat",
+    "sub_path_flat", "sub_ids_flat", "task_path_starts", "task_sub_starts",
+)
+#: Float64 model/shape arrays and their serialization order.
+_FLOAT_ARRAYS = (
+    "sub_exec", "weights", "pull_base", "alpha", "cost", "err", "inv_exp",
+    "lo", "hi", "availability", "path_crit", "ut_kc", "ut_slope", "ut_umax",
+    "ut_crit",
+)
 
 
 @dataclass
@@ -59,9 +95,14 @@ class TaskSetStructure:
     compilation; model coefficients that can change at run time — share
     parameters, latency bounds, availabilities — live in arrays refreshed
     in place by :meth:`refresh_model`.
+
+    ``taskset`` is the bound source task set, or ``None`` for structures
+    rebuilt from a serialized payload (:func:`structure_from_dict`) — an
+    unbound structure can drive an engine but cannot
+    :meth:`refresh_model`.
     """
 
-    taskset: TaskSet
+    taskset: Optional[TaskSet]
     max_latency_factor: float
 
     # -- orderings (static) -----------------------------------------------------
@@ -85,8 +126,13 @@ class TaskSetStructure:
     sub_ids_flat: np.ndarray = field(default=None)
     #: start offset of each task's path segment, shape (T,)
     task_path_starts: np.ndarray = field(default=None)
+    #: start offset of each task's subtask segment, shape (T+1,) — the
+    #: trailing sentinel makes ``starts[t]:starts[t+1]`` a valid slice.
+    task_sub_starts: np.ndarray = field(default=None)
     #: whether path p traverses resource r, shape (P, R) bool
     path_res_inc: np.ndarray = field(default=None)
+    #: WCET of each subtask, shape (S,)
+    sub_exec: np.ndarray = field(default=None)
 
     # -- per-subtask model (refreshable) ----------------------------------------
     #: aggregation weight w_s, shape (S,)
@@ -123,6 +169,9 @@ class TaskSetStructure:
     #: inelastic step edge (the utility's own critical time), shape (T,)
     ut_crit: np.ndarray = field(default=None)
 
+    #: cached canonical fingerprint; invalidated by :meth:`refresh_model`.
+    _fingerprint: Optional[str] = field(default=None, repr=False)
+
     @property
     def n_subtasks(self) -> int:
         return len(self.subtask_names)
@@ -135,6 +184,47 @@ class TaskSetStructure:
     def n_paths(self) -> int:
         return len(self.path_keys)
 
+    @property
+    def fingerprint(self) -> str:
+        """SHA-256 fingerprint of the compiled arrays (lazily computed).
+
+        Canonical compilation makes this order-insensitive: equal task
+        sets — regardless of task/resource declaration order — compile to
+        identical arrays and therefore identical fingerprints.  The hash
+        covers the refreshable model arrays too, so a model mutation
+        (after :meth:`refresh_model`) changes the fingerprint exactly as
+        it changes the optimization problem.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = structure_fingerprint(_payload_dict(self))
+        return self._fingerprint
+
+    def task_index(self, task_name: str) -> int:
+        """Canonical index of ``task_name`` (binary search, names sorted)."""
+        names = self.task_names
+        lo, hi = 0, len(names)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if names[mid] < task_name:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(names) and names[lo] == task_name:
+            return lo
+        raise ModelError(f"unknown task {task_name!r} in compiled structure")
+
+    def task_subtask_slice(self, task_idx: int) -> slice:
+        """Global subtask index range of task ``task_idx``."""
+        starts = self.task_sub_starts
+        return slice(int(starts[task_idx]), int(starts[task_idx + 1]))
+
+    def task_path_slice(self, task_idx: int) -> slice:
+        """Global path index range of task ``task_idx``."""
+        starts = self.task_path_starts
+        end = int(starts[task_idx + 1]) if task_idx + 1 < len(starts) \
+            else self.n_paths
+        return slice(int(starts[task_idx]), end)
+
     def refresh_model(self) -> None:
         """Re-read the mutable model state from the task set.
 
@@ -142,8 +232,15 @@ class TaskSetStructure:
         error correction swaps/retunes share functions and
         :meth:`TaskSet.set_availability` replaces resources, so share
         coefficients, latency clamps and B_r must all be recomputed.
+        Invalidates the cached :attr:`fingerprint`.
         """
+        if self.taskset is None:
+            raise ModelError(
+                "cannot refresh_model on an unbound structure "
+                "(deserialized without a task set)"
+            )
         _fill_model_arrays(self, self.taskset, self.max_latency_factor)
+        self._fingerprint = None
 
 
 def _unsupported(what: str) -> OptimizationError:
@@ -175,6 +272,11 @@ def _share_params(taskset: TaskSet,
     )
 
 
+def _canonical_tasks(taskset: TaskSet) -> List[Task]:
+    """The canonical (name-sorted) compile order of ``taskset``'s tasks."""
+    return sorted(taskset.tasks, key=lambda t: t.name)
+
+
 def _fill_model_arrays(s: TaskSetStructure, taskset: TaskSet,
                        max_latency_factor: float) -> None:
     """(Re)compute the refreshable per-subtask/per-resource arrays."""
@@ -186,7 +288,7 @@ def _fill_model_arrays(s: TaskSetStructure, taskset: TaskSet,
     lo = np.empty(n)
     hi = np.empty(n)
     i = 0
-    for task in taskset.tasks:
+    for task in _canonical_tasks(taskset):
         for sub in task.subtasks:
             alpha[i], cost[i], err[i], hyper[i] = _share_params(
                 taskset, sub.name
@@ -217,18 +319,23 @@ def _fill_model_arrays(s: TaskSetStructure, taskset: TaskSet,
 
 def compile_structure(taskset: TaskSet,
                       max_latency_factor: float = 1.0) -> TaskSetStructure:
-    """Compile ``taskset`` for the vectorized kernel.
+    """Compile ``taskset`` into its canonical structure.
 
-    Raises :class:`~repro.errors.OptimizationError` when the workload falls
-    outside the closed-form model family (see module docstring).
+    Tasks and resources are visited in name-sorted order, so two task sets
+    describing the same problem compile to byte-identical arrays (and the
+    same :attr:`~TaskSetStructure.fingerprint`) regardless of declaration
+    order.  Raises :class:`~repro.errors.OptimizationError` when the
+    workload falls outside the closed-form model family (see module
+    docstring).
     """
-    tasks = taskset.tasks
-    resource_names = tuple(taskset.resources)
+    tasks = _canonical_tasks(taskset)
+    resource_names = tuple(sorted(taskset.resources))
     resource_index = {r: i for i, r in enumerate(resource_names)}
 
     subtask_names = []
     sub_resource = []
     sub_task_ids = []
+    sub_exec = []
     weights = []
     pull_base = []
     path_keys = []
@@ -236,6 +343,7 @@ def compile_structure(taskset: TaskSet,
     path_sub_flat = []
     path_ids_flat = []
     task_path_starts = []
+    task_sub_starts = [0]
     sub_paths = []  # per-subtask list of global path indices, global order
     ut_kind = []
     ut_kc = []
@@ -274,10 +382,12 @@ def compile_structure(taskset: TaskSet,
             subtask_names.append(sub.name)
             sub_resource.append(resource_index[sub.resource])
             sub_task_ids.append(task_idx)
+            sub_exec.append(float(sub.exec_time))
             w = task.weight(sub.name)
             weights.append(w)
             pull_base.append(w * slope)
             sub_paths.append([])
+        task_sub_starts.append(len(subtask_names))
 
         task_path_starts.append(len(path_keys))
         for p_idx, path in enumerate(task.graph.paths):
@@ -314,6 +424,8 @@ def compile_structure(taskset: TaskSet,
     structure.path_sub_flat = np.asarray(path_sub_flat, dtype=np.intp)
     structure.path_ids_flat = np.asarray(path_ids_flat, dtype=np.intp)
     structure.task_path_starts = np.asarray(task_path_starts, dtype=np.intp)
+    structure.task_sub_starts = np.asarray(task_sub_starts, dtype=np.intp)
+    structure.sub_exec = np.asarray(sub_exec)
     structure.weights = np.asarray(weights)
     structure.pull_base = np.asarray(pull_base)
     structure.path_crit = np.asarray(path_crit)
@@ -339,3 +451,136 @@ def compile_structure(taskset: TaskSet,
 
     _fill_model_arrays(structure, taskset, structure.max_latency_factor)
     return structure
+
+
+# -- serialization -----------------------------------------------------------
+
+
+def _payload_dict(s: TaskSetStructure) -> Dict[str, Any]:
+    """The canonical JSON-safe payload (everything but the fingerprint)."""
+    payload: Dict[str, Any] = {
+        "format": _STRUCTURE_FORMAT_VERSION,
+        "max_latency_factor": float(s.max_latency_factor),
+        "subtask_names": list(s.subtask_names),
+        "resource_names": list(s.resource_names),
+        "task_names": list(s.task_names),
+        "path_keys": [[k.task, int(k.index)] for k in s.path_keys],
+        "ut_kind": [int(v) for v in s.ut_kind.tolist()],
+        "hyper_mask": [bool(v) for v in s.hyper_mask.tolist()],
+        "path_res_inc": [
+            [bool(v) for v in row] for row in s.path_res_inc.tolist()
+        ],
+    }
+    for name in _INDEX_ARRAYS:
+        payload[name] = [int(v) for v in getattr(s, name).tolist()]
+    for name in _FLOAT_ARRAYS:
+        # float64 → repr → float64 round-trips exactly, so JSON transport
+        # preserves the arrays bit-for-bit.
+        payload[name] = [float(v) for v in getattr(s, name).tolist()]
+    return payload
+
+
+def structure_to_dict(structure: TaskSetStructure) -> Dict[str, Any]:
+    """A JSON-serializable dict capturing ``structure`` bit-exactly.
+
+    The payload embeds the structure's canonical fingerprint;
+    :func:`structure_from_dict` recomputes and verifies it, so truncated
+    or corrupted payloads are detected rather than silently deserialized.
+    """
+    payload = _payload_dict(structure)
+    payload["fingerprint"] = structure.fingerprint
+    return payload
+
+
+def structure_from_dict(
+    data: Mapping[str, Any],
+    taskset: Optional[TaskSet] = None,
+) -> TaskSetStructure:
+    """Rebuild a :class:`TaskSetStructure` from :func:`structure_to_dict`.
+
+    Verifies the embedded fingerprint against a recomputation over the
+    payload: any mutation — a truncated array, a flipped coefficient, a
+    renamed subtask — raises :class:`~repro.errors.ModelError`, which
+    restore paths demote to a cold reset.  ``taskset`` optionally rebinds
+    the structure to a live task set (required for later
+    :meth:`~TaskSetStructure.refresh_model` calls); the caller is
+    responsible for the binding being the problem the payload describes
+    (e.g. via task-set fingerprint equality).
+    """
+    try:
+        version = int(data["format"])
+        if version != _STRUCTURE_FORMAT_VERSION:
+            raise ModelError(
+                f"unsupported structure format {version!r} "
+                f"(expected {_STRUCTURE_FORMAT_VERSION})"
+            )
+        stamp = data["fingerprint"]
+        if not isinstance(stamp, str):
+            raise ModelError("structure payload has a non-string fingerprint")
+        structure = TaskSetStructure(
+            taskset=taskset,
+            max_latency_factor=float(data["max_latency_factor"]),
+            subtask_names=tuple(str(n) for n in data["subtask_names"]),
+            resource_names=tuple(str(n) for n in data["resource_names"]),
+            task_names=tuple(str(n) for n in data["task_names"]),
+            path_keys=tuple(
+                PathKey(str(t), int(i)) for t, i in data["path_keys"]
+            ),
+        )
+        for name in _INDEX_ARRAYS:
+            setattr(structure, name, np.asarray(data[name], dtype=np.intp))
+        for name in _FLOAT_ARRAYS:
+            setattr(
+                structure, name, np.asarray(data[name], dtype=np.float64)
+            )
+        structure.ut_kind = np.asarray(data["ut_kind"], dtype=np.int8)
+        structure.hyper_mask = np.asarray(data["hyper_mask"], dtype=bool)
+        structure.path_res_inc = np.asarray(
+            data["path_res_inc"], dtype=bool
+        ).reshape(structure.n_paths, structure.n_resources)
+    except ModelError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ModelError(f"malformed structure payload: {exc}") from exc
+    _check_shapes(structure)
+    recomputed = structure_fingerprint(_payload_dict(structure))
+    if recomputed != stamp:
+        raise ModelError(
+            "structure payload failed fingerprint verification "
+            "(corrupted or hand-edited)"
+        )
+    structure._fingerprint = recomputed
+    return structure
+
+
+def _check_shapes(s: TaskSetStructure) -> None:
+    """Internal consistency of a deserialized structure's array shapes."""
+    n_sub, n_res = s.n_subtasks, s.n_resources
+    n_task, n_path = len(s.task_names), s.n_paths
+    expected = {
+        "sub_resource": n_sub, "sub_task_ids": n_sub, "sub_exec": n_sub,
+        "weights": n_sub, "pull_base": n_sub, "alpha": n_sub, "cost": n_sub,
+        "err": n_sub, "hyper_mask": n_sub, "inv_exp": n_sub, "lo": n_sub,
+        "hi": n_sub, "availability": n_res, "path_crit": n_path,
+        "task_path_starts": n_task, "task_sub_starts": n_task + 1,
+        "ut_kind": n_task, "ut_kc": n_task, "ut_slope": n_task,
+        "ut_umax": n_task, "ut_crit": n_task,
+    }
+    for name, size in expected.items():
+        actual = len(getattr(s, name))
+        if actual != size:
+            raise ModelError(
+                f"structure payload array {name!r} has length {actual}, "
+                f"expected {size}"
+            )
+    if len(s.path_sub_flat) != len(s.path_ids_flat):
+        raise ModelError("structure payload path flattening is inconsistent")
+    if len(s.sub_path_flat) != len(s.sub_ids_flat):
+        raise ModelError(
+            "structure payload subtask flattening is inconsistent"
+        )
+    if s.path_res_inc.shape != (n_path, n_res):
+        raise ModelError(
+            f"structure payload path_res_inc has shape "
+            f"{s.path_res_inc.shape}, expected {(n_path, n_res)}"
+        )

@@ -44,10 +44,24 @@ from repro.telemetry import Telemetry
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.core.optimizer import LLAConfig
 
-__all__ = ["VectorizedEngine", "EngineStep"]
+__all__ = [
+    "VectorizedEngine",
+    "EngineStep",
+    "StepArrays",
+    "ObservedAssignment",
+    "compute_loads",
+    "observe_assignment",
+    "gamma_spec",
+    "make_gamma_supplier",
+]
 
 #: γ suppliers return either two scalars (fixed policy) or two arrays.
 GammaPair = Tuple[Union[float, np.ndarray], Union[float, np.ndarray]]
+
+#: A picklable description of a fixed/adaptive γ supplier (see
+#: :func:`gamma_spec`) — what shard worker processes receive instead of a
+#: policy object, which can drag a whole ``TaskSet`` through pickle.
+GammaSpec = Tuple[Union[str, float], ...]
 
 
 @dataclass
@@ -64,12 +78,34 @@ class EngineStep:
     critical_paths: Dict[str, float]
 
 
+@dataclass
+class StepArrays:
+    """One iteration's outputs in array form (no dict materialization).
+
+    ``mu``/``lam`` alias the engine's live dual state; the rest are fresh
+    arrays.  This is what batched iteration (:meth:`VectorizedEngine.iterate`)
+    and the sharded engine's merge path consume — materializing the
+    :class:`EngineStep` dicts costs more than the arithmetic at 10k+
+    subtasks.
+    """
+
+    lat: np.ndarray          #: per-subtask latencies, shape (S,)
+    mu: np.ndarray           #: resource prices, shape (R,)
+    lam: np.ndarray          #: path prices, shape (P,)
+    loads: np.ndarray        #: per-resource loads, shape (R,)
+    path_lat: np.ndarray     #: per-path latency sums, shape (P,)
+    cong_r: np.ndarray       #: congested-resource mask, shape (R,) bool
+    cong_p: np.ndarray       #: congested-path mask, shape (P,) bool
+    per_task: np.ndarray     #: per-task utilities, shape (T,)
+    crit: np.ndarray         #: per-task critical-path latencies, shape (T,)
+
+
 class _FixedGammas:
     """γ supplier for an exact :class:`FixedStepSize` (two constants)."""
 
-    def __init__(self, policy: FixedStepSize, structure: TaskSetStructure) -> None:
-        self._gr = policy.resource_gamma(structure.resource_names[0])
-        self._gp = policy.path_gamma(structure.path_keys[0])
+    def __init__(self, resource_gamma: float, path_gamma: float) -> None:
+        self._gr = float(resource_gamma)
+        self._gp = float(path_gamma)
 
     def gammas(self) -> GammaPair:
         return self._gr, self._gp
@@ -86,14 +122,15 @@ class _FixedGammas:
 class _AdaptiveGammas:
     """Array form of :meth:`AdaptiveStepSize.observe`.
 
-    Owns the γ vectors itself; the wrapped policy object is not consulted
-    per iteration (its dict state stays at the initial γ).
+    Owns the γ vectors itself; the policy object is not consulted per
+    iteration (its dict state stays at the initial γ).
     """
 
-    def __init__(self, policy: AdaptiveStepSize, structure: TaskSetStructure) -> None:
-        self._initial = policy.initial_gamma
-        self._growth = policy.growth
-        self._max = policy.max_gamma
+    def __init__(self, initial_gamma: float, growth: float, max_gamma: float,
+                 structure: TaskSetStructure) -> None:
+        self._initial = float(initial_gamma)
+        self._growth = float(growth)
+        self._max = float(max_gamma)
         self._inc = structure.path_res_inc
         self._gr = np.full(structure.n_resources, self._initial)
         self._gp = np.full(structure.n_paths, self._initial)
@@ -158,16 +195,57 @@ class _GenericGammas:
         pass
 
 
+#: The union of γ supplier implementations.
+GammaSupplier = Union["_FixedGammas", "_AdaptiveGammas", "_GenericGammas"]
+
+
 def _make_gammas(
     policy: StepSizePolicy, structure: TaskSetStructure,
-) -> Union["_FixedGammas", "_AdaptiveGammas", "_GenericGammas"]:
+) -> GammaSupplier:
     # Exact types only: subclasses may override behaviour, so they take the
     # generic (public-interface) route.
     if type(policy) is FixedStepSize:
-        return _FixedGammas(policy, structure)
+        return _FixedGammas(
+            policy.resource_gamma(structure.resource_names[0]),
+            policy.path_gamma(structure.path_keys[0]),
+        )
     if type(policy) is AdaptiveStepSize:
-        return _AdaptiveGammas(policy, structure)
+        return _AdaptiveGammas(
+            policy.initial_gamma, policy.growth, policy.max_gamma, structure
+        )
     return _GenericGammas(policy, structure)
+
+
+def gamma_spec(policy: StepSizePolicy) -> GammaSpec:
+    """A picklable spec of ``policy`` for taskset-free reconstruction.
+
+    Only the exact :class:`FixedStepSize` and :class:`AdaptiveStepSize`
+    types fold to parameter tuples; custom policies keep per-name state the
+    sharded engine cannot partition, so they raise.
+    """
+    if type(policy) is FixedStepSize:
+        probe = PathKey("", 0)
+        return ("fixed", policy.resource_gamma(""), policy.path_gamma(probe))
+    if type(policy) is AdaptiveStepSize:
+        return ("adaptive", policy.initial_gamma, policy.growth,
+                policy.max_gamma)
+    raise OptimizationError(
+        f"shards > 1 supports only FixedStepSize/AdaptiveStepSize step "
+        f"policies, got {type(policy).__name__}"
+    )
+
+
+def make_gamma_supplier(spec: GammaSpec,
+                        structure: TaskSetStructure) -> GammaSupplier:
+    """Rebuild the γ supplier described by :func:`gamma_spec` over
+    ``structure`` (used by shard workers, which have no policy object)."""
+    if spec[0] == "fixed":
+        return _FixedGammas(float(spec[1]), float(spec[2]))
+    if spec[0] == "adaptive":
+        return _AdaptiveGammas(
+            float(spec[1]), float(spec[2]), float(spec[3]), structure
+        )
+    raise OptimizationError(f"unknown gamma spec {spec!r}")
 
 
 class VectorizedEngine:
@@ -213,6 +291,37 @@ class VectorizedEngine:
         self._lam = np.full(s.n_paths, float(config.initial_path_price))
         self._lat = self._allocate()
 
+    @classmethod
+    def from_structure(cls, structure: TaskSetStructure, config: "LLAConfig",
+                       gammas: GammaSupplier,
+                       telemetry: Optional[Telemetry] = None,
+                       ) -> "VectorizedEngine":
+        """An engine over ``structure`` alone — no bound task set.
+
+        The sharded engine and its worker processes drive shard
+        sub-structures (often deserialized, ``structure.taskset is None``)
+        that never see the model objects; they supply a prebuilt γ
+        supplier instead of a policy.
+        """
+        engine = cls.__new__(cls)
+        engine.structure = structure
+        engine.config = config
+        engine._gammas = gammas
+        engine._telemetry = telemetry
+        engine._phases = None
+        engine._mu = np.full(
+            structure.n_resources, float(config.initial_resource_price)
+        )
+        engine._lam = np.full(
+            structure.n_paths, float(config.initial_path_price)
+        )
+        engine._lat = engine._allocate()
+        return engine
+
+    def state_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The live ``(latencies, μ, λ)`` arrays (not copies)."""
+        return self._lat, self._mu, self._lam
+
     def _phase_timers(self) -> Optional[PhaseTimers]:
         """Phase timers while metrics are collected; ``None`` when off."""
         if self._telemetry is None or not self._telemetry.registry.enabled:
@@ -255,31 +364,14 @@ class VectorizedEngine:
 
     def _loads(self, lat: np.ndarray) -> np.ndarray:
         """Per-resource share sums at the given latencies."""
-        s = self.structure
-        model_lat = lat - s.err
-        if np.any(s.err != 0.0) and np.any(model_lat <= 0.0):
-            idx = int(np.argmax(model_lat <= 0.0))
-            raise ShareError(
-                f"corrected latency {lat[idx]!r} of subtask "
-                f"{s.subtask_names[idx]!r} with error {s.err[idx]!r} maps "
-                "to a non-positive model latency"
-            )
-        if s.hyper_mask.all():
-            shares = s.cost / model_lat
-        else:
-            shares = np.where(
-                s.hyper_mask,
-                s.cost / model_lat,
-                s.cost / model_lat ** s.alpha,
-            )
-        return np.bincount(
-            s.sub_resource, weights=shares, minlength=s.n_resources
-        )
+        return compute_loads(self.structure, lat)
 
     # -- one iteration ----------------------------------------------------------
 
-    def step(self) -> EngineStep:
-        """One LLA iteration; mirrors ``_scalar_iteration`` phase by phase."""
+    def step_arrays(self) -> StepArrays:
+        """One LLA iteration in array form; mirrors ``_scalar_iteration``
+        phase by phase.  :meth:`step` materializes the dict facade on top;
+        batched callers (:meth:`iterate`, the sharded engine) stay here."""
         s = self.structure
         tol = self.config.congestion_tol
         gr, gp = self._gammas.gammas()
@@ -308,23 +400,32 @@ class VectorizedEngine:
         if phases is not None:
             mark = phases.lap("price_update", mark)
 
-        # (3) Congestion classification + step-size feedback.
+        # (3) Congestion classification + step-size feedback.  Only a
+        # generic (custom) policy consumes the *name* tuples; the fixed and
+        # adaptive suppliers work on the masks, so batched iteration skips
+        # materializing names.
         cong_r = loads > s.availability + tol
         path_lat_new = np.bincount(
             s.path_ids_flat, weights=lat[s.path_sub_flat],
             minlength=s.n_paths,
         )
         cong_p = path_lat_new > s.path_crit + tol
-        cong_r_names = tuple(
-            s.resource_names[i] for i in np.flatnonzero(cong_r)
-        )
-        cong_p_keys = tuple(s.path_keys[i] for i in np.flatnonzero(cong_p))
+        if isinstance(self._gammas, _GenericGammas):
+            cong_r_names = tuple(
+                s.resource_names[i] for i in np.flatnonzero(cong_r)
+            )
+            cong_p_keys = tuple(
+                s.path_keys[i] for i in np.flatnonzero(cong_p)
+            )
+        else:
+            cong_r_names = ()
+            cong_p_keys = ()
         self._gammas.observe(cong_r, cong_p, cong_r_names, cong_p_keys)
         if phases is not None:
             phases.lap("classify", mark)
 
         # Utility (Eq. 2): per-task aggregated latency through the task's
-        # utility, summed in task order like TaskSet.total_utility.
+        # utility; summed in task order by the consumer (see step()).
         agg = np.bincount(
             s.sub_task_ids, weights=s.weights * lat,
             minlength=len(s.task_names),
@@ -334,21 +435,50 @@ class VectorizedEngine:
             s.ut_kc - s.ut_slope * agg,
             np.where(agg <= s.ut_crit, s.ut_umax, 0.0),
         )
-        utility = float(sum(per_task.tolist()))
 
         # Critical-path latencies are observational (they feed records, not
         # the iteration), computed as the max over the task's path sums.
         crit = np.maximum.reduceat(path_lat_new, s.task_path_starts)
 
+        return StepArrays(
+            lat=lat, mu=self._mu, lam=self._lam, loads=loads,
+            path_lat=path_lat_new, cong_r=cong_r, cong_p=cong_p,
+            per_task=per_task, crit=crit,
+        )
+
+    def iterate(self, n: int) -> Optional[StepArrays]:
+        """Run ``n`` iterations without materializing dicts.
+
+        Returns the last iteration's :class:`StepArrays` (``None`` when
+        ``n == 0``).  The trajectory is identical to ``n`` calls of
+        :meth:`step` — the dict facade is pure observation."""
+        out: Optional[StepArrays] = None
+        for _ in range(n):
+            out = self.step_arrays()
+        return out
+
+    def step(self) -> EngineStep:
+        """One LLA iteration, materialized for the optimizer facade."""
+        s = self.structure
+        out = self.step_arrays()
+        cong_r_names = tuple(
+            s.resource_names[i] for i in np.flatnonzero(out.cong_r)
+        )
+        cong_p_keys = tuple(
+            s.path_keys[i] for i in np.flatnonzero(out.cong_p)
+        )
+        # Summed in task order like TaskSet.total_utility (sequential
+        # Python float adds, not a pairwise numpy reduction).
+        utility = float(sum(out.per_task.tolist()))
         return EngineStep(
             utility=utility,
-            latencies=dict(zip(s.subtask_names, lat.tolist())),
-            resource_prices=dict(zip(s.resource_names, self._mu.tolist())),
-            path_prices=dict(zip(s.path_keys, self._lam.tolist())),
-            resource_loads=dict(zip(s.resource_names, loads.tolist())),
+            latencies=dict(zip(s.subtask_names, out.lat.tolist())),
+            resource_prices=dict(zip(s.resource_names, out.mu.tolist())),
+            path_prices=dict(zip(s.path_keys, out.lam.tolist())),
+            resource_loads=dict(zip(s.resource_names, out.loads.tolist())),
             congested_resources=cong_r_names,
             congested_paths=cong_p_keys,
-            critical_paths=dict(zip(s.task_names, crit.tolist())),
+            critical_paths=dict(zip(s.task_names, out.crit.tolist())),
         )
 
     # -- facade support ---------------------------------------------------------
@@ -393,3 +523,95 @@ class VectorizedEngine:
     def refresh_model(self) -> None:
         """Re-read mutable model state (share functions, availabilities)."""
         self.structure.refresh_model()
+
+
+# -- structure-level observation ------------------------------------------------
+#
+# Everything below reads a compiled TaskSetStructure plus a latency
+# assignment and computes the global quantities the scalar TaskSet API
+# derives by traversing the object graph (resource_loads, total_utility,
+# critical_path, is_feasible).  Observers that already hold a structure —
+# the distributed runtime's omniscient snapshot, the service's query path —
+# use these instead of re-walking tasks per round (REP016).
+
+
+def compute_loads(structure: TaskSetStructure, lat: np.ndarray) -> np.ndarray:
+    """Per-resource share sums at the given latencies (Eq. 3 LHS).
+
+    Bitwise-equal to summing ``TaskSet.resource_load`` per resource when
+    the task set is declared in canonical (name-sorted) order: the
+    ``bincount`` accumulates shares in subtask order, which is exactly the
+    scalar loop's visit order.
+    """
+    s = structure
+    model_lat = lat - s.err
+    if np.any(s.err != 0.0) and np.any(model_lat <= 0.0):
+        idx = int(np.argmax(model_lat <= 0.0))
+        raise ShareError(
+            f"corrected latency {lat[idx]!r} of subtask "
+            f"{s.subtask_names[idx]!r} with error {s.err[idx]!r} maps "
+            "to a non-positive model latency"
+        )
+    if s.hyper_mask.all():
+        shares = s.cost / model_lat
+    else:
+        shares = np.where(
+            s.hyper_mask,
+            s.cost / model_lat,
+            s.cost / model_lat ** s.alpha,
+        )
+    return np.bincount(
+        s.sub_resource, weights=shares, minlength=s.n_resources
+    )
+
+
+@dataclass
+class ObservedAssignment:
+    """Global facts about one latency assignment, in array form."""
+
+    lat: np.ndarray          #: per-subtask latencies, shape (S,)
+    loads: np.ndarray        #: per-resource loads, shape (R,)
+    path_lat: np.ndarray     #: per-path latency sums, shape (P,)
+    cong_r: np.ndarray       #: congested-resource mask, shape (R,) bool
+    cong_p: np.ndarray       #: congested-path mask, shape (P,) bool
+    per_task: np.ndarray     #: per-task utilities, shape (T,)
+    crit: np.ndarray         #: per-task critical-path latencies, shape (T,)
+    utility: float           #: Σ_i U_i, summed in task order
+
+    def feasible(self) -> bool:
+        """Whether the assignment satisfies Eqs. 3–4 at the mask tol."""
+        return not (bool(self.cong_r.any()) or bool(self.cong_p.any()))
+
+
+def observe_assignment(structure: TaskSetStructure,
+                       latencies: Mapping[str, float],
+                       tol: float = 1e-9) -> ObservedAssignment:
+    """Measure a latency assignment against the compiled model.
+
+    ``tol`` is the slack used for the congestion/feasibility masks (the
+    distributed observer uses 1e-9 per round and 1e-2 for the final
+    feasibility verdict, like ``TaskSet.is_feasible``).
+    """
+    s = structure
+    lat = np.array([latencies[name] for name in s.subtask_names])
+    loads = compute_loads(s, lat)
+    cong_r = loads > s.availability + tol
+    path_lat = np.bincount(
+        s.path_ids_flat, weights=lat[s.path_sub_flat], minlength=s.n_paths,
+    )
+    cong_p = path_lat > s.path_crit + tol
+    agg = np.bincount(
+        s.sub_task_ids, weights=s.weights * lat,
+        minlength=len(s.task_names),
+    )
+    per_task = np.where(
+        s.ut_kind == 0,
+        s.ut_kc - s.ut_slope * agg,
+        np.where(agg <= s.ut_crit, s.ut_umax, 0.0),
+    )
+    crit = np.maximum.reduceat(path_lat, s.task_path_starts)
+    return ObservedAssignment(
+        lat=lat, loads=loads, path_lat=path_lat, cong_r=cong_r,
+        cong_p=cong_p, per_task=per_task, crit=crit,
+        utility=float(sum(per_task.tolist())),
+    )

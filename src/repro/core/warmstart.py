@@ -49,7 +49,7 @@ def warm_start_resource_prices(taskset: TaskSet,
     for rname, resource in taskset.resources.items():
         total = 0.0
         estimable = True
-        for task, sub in taskset.subtasks_on(rname):
+        for task, sub in taskset.subtasks_on(rname):  # statan: disable=REP016 -- one-time warm-start seeding, not per-iteration
             share_fn = taskset.share_function(sub.name)
             if isinstance(share_fn, CorrectedShare):
                 share_fn = share_fn.base

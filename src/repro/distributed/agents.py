@@ -20,7 +20,7 @@ congestion bit in its last price message.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Optional
+from typing import Any, Dict, Iterable, Optional, Sequence
 
 from repro.errors import DistributedError
 from repro.core.allocation import LatencyAllocator
@@ -68,7 +68,9 @@ class ResourceAgent:
 
     def __init__(self, taskset: TaskSet, resource_name: str, bus: MessageBus,
                  initial_price: float = 1.0,
-                 gamma: Optional[LocalGamma] = None):
+                 gamma: Optional[LocalGamma] = None,
+                 hosted: Optional[Sequence[str]] = None,
+                 controllers: Optional[Sequence[str]] = None):
         self.taskset = taskset
         self.resource = taskset.resources[resource_name]
         self.name = f"resource:{resource_name}"
@@ -79,10 +81,21 @@ class ResourceAgent:
         self.paused = False
         self.crashed = False
         # Which controllers to notify: tasks with subtasks executing here.
-        self._controllers = sorted({
-            task.name for task, _sub in taskset.subtasks_on(resource_name)
-        })
-        self._hosted = [sub.name for _t, sub in taskset.subtasks_on(resource_name)]
+        # The runtime hands both views down from the compiled structure
+        # (one O(S) pass total); standalone construction derives them by
+        # walking the object graph for this one resource.
+        if controllers is not None:
+            self._controllers = list(controllers)
+        else:
+            self._controllers = sorted({
+                task.name for task, _sub in taskset.subtasks_on(resource_name)  # statan: disable=REP016 -- standalone-construction fallback; the runtime passes structure views
+            })
+        if hosted is not None:
+            self._hosted = list(hosted)
+        else:
+            self._hosted = [
+                sub.name for _t, sub in taskset.subtasks_on(resource_name)  # statan: disable=REP016 -- standalone-construction fallback; the runtime passes structure views
+            ]
         self._hosted_set = frozenset(self._hosted)
         self.latencies: Dict[str, float] = {}
         self.congested = False
@@ -265,7 +278,7 @@ class TaskControllerAgent:
         graph = self.task.graph
         budget = self.task.critical_time + 1e-9
         return all(
-            graph.path_latency(path, latencies) <= budget
+            graph.path_latency(path, latencies) <= budget  # statan: disable=REP016 -- agent-local walk of its own task graph
             for path in graph.paths
         )
 
@@ -345,7 +358,7 @@ class TaskControllerAgent:
                     for r in self._path_resources[key]
                 )
                 gamma = self._path_gammas[key].observe(path_congested)
-                lat = self.task.graph.path_latency(path, self.latencies)
+                lat = self.task.graph.path_latency(path, self.latencies)  # statan: disable=REP016 -- agent-local walk of its own task graph
                 self.path_prices[key] = update_path_price(
                     self.path_prices[key], gamma, lat, self.task.critical_time
                 )

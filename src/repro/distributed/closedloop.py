@@ -83,7 +83,8 @@ class DistributedClosedLoop:
             for name in taskset.subtask_names
         }
         self.system = SimulatedSystem(
-            taskset, self._current_shares(), model=model, seed=seed
+            taskset, self._current_shares(), model=model, seed=seed,
+            structure=self.runtime.structure,
         )
         self.epoch = 0
         self.history: List[DistributedEpochRecord] = []
@@ -124,10 +125,11 @@ class DistributedClosedLoop:
                 predicted = self._base_prediction(name)
                 self.corrector.observe_batch(name, predicted, samples)
             self.corrector.apply_all()
-            # Each controller refreshes the latency bounds its allocator
-            # derives from the (now corrected) share model.
-            for controller in self.runtime.controllers.values():
-                controller.allocator.refresh_bounds()
+            # Propagate the corrected share model everywhere it is cached:
+            # each controller's allocation bounds and the runtime's
+            # compiled structure (its omniscient observer would otherwise
+            # keep scoring against the stale error terms).
+            self.runtime.refresh_model()
         else:
             for name in self.taskset.subtask_names:
                 self.system.recorder.drain_jobs(name)
@@ -150,7 +152,7 @@ class DistributedClosedLoop:
             rounds_completed=self.runtime.round,
             messages_sent=self.runtime.bus.sent - sent_before,
             messages_dropped=self.runtime.bus.dropped - dropped_before,
-            utility=self.taskset.total_utility(latencies),
+            utility=self.taskset.total_utility(latencies),  # statan: disable=REP016 -- per-epoch summary, not per-round
         )
         self.history.append(record)
         return record

@@ -23,9 +23,13 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.state import IterationRecord, OptimizationResult, PathKey
+from repro.core.structure import TaskSetStructure, compile_structure
+from repro.core.vectorized import observe_assignment
 from repro.distributed.activation import ActivationSchedule, EveryRound
 from repro.distributed.agents import (
     LocalGamma,
@@ -36,7 +40,7 @@ from repro.distributed.checkpoint import CheckpointStore
 from repro.distributed.faults import FaultInjector, FaultPlan
 from repro.distributed.messages import PriceMessage
 from repro.distributed.network import MessageBus
-from repro.errors import DistributedError
+from repro.errors import DistributedError, ModelError, OptimizationError
 from repro.model.fingerprint import taskset_fingerprint
 from repro.model.task import TaskSet
 from repro.telemetry import (
@@ -154,6 +158,20 @@ class DistributedLLARuntime:
         self.config = config or DistributedConfig()
         self.on_round = on_round
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        # Compile the task set once; the omniscient observer and the
+        # per-resource agent views read the arrays instead of re-walking
+        # the object graph every round.  Non-closed-form models (exotic
+        # share functions or utilities) fall back to traversal.
+        self.structure: Optional[TaskSetStructure]
+        try:
+            self.structure = compile_structure(
+                taskset, max_latency_factor=self.config.max_latency_factor
+            )
+        except (OptimizationError, ModelError):
+            self.structure = None
+        # The fingerprint only changes when the model does (capacity
+        # shocks); cache it instead of re-hashing at every checkpoint.
+        self._fingerprint = taskset_fingerprint(taskset)
         # Trace timestamps follow the protocol round so identical runs
         # write identical traces (unless the caller injected a clock).
         tracer = self.telemetry.tracer
@@ -190,6 +208,7 @@ class DistributedLLARuntime:
             )
             for task in taskset.tasks
         }
+        agent_views = self._resource_agent_views()
         self.resources: Dict[str, ResourceAgent] = {
             rname: ResourceAgent(
                 taskset,
@@ -197,6 +216,8 @@ class DistributedLLARuntime:
                 self.bus,
                 initial_price=cfg.initial_resource_price,
                 gamma=gamma_factory(),
+                hosted=agent_views[rname][0] if agent_views else None,
+                controllers=agent_views[rname][1] if agent_views else None,
             )
             for rname in taskset.resources
         }
@@ -217,6 +238,27 @@ class DistributedLLARuntime:
         # a price message, for the dist.price_staleness_max gauge.
         self._last_price_round: Dict[str, int] = {
             agent.name: 0 for agent in self.controllers.values()
+        }
+
+    def _resource_agent_views(
+        self,
+    ) -> Dict[str, Tuple[List[str], List[str]]]:
+        """Per-resource (hosted subtasks, controller names) from the
+        compiled structure in one pass over the subtask arrays — replaces
+        the O(R x S) per-agent object-graph scans.  Empty when the task
+        set did not compile (agents then derive their own views)."""
+        if self.structure is None:
+            return {}
+        s = self.structure
+        hosted: Dict[str, List[str]] = {r: [] for r in s.resource_names}
+        owners: Dict[str, set] = {r: set() for r in s.resource_names}
+        for i, sub_name in enumerate(s.subtask_names):
+            rname = s.resource_names[int(s.sub_resource[i])]
+            hosted[rname].append(sub_name)
+            owners[rname].add(s.task_names[int(s.sub_task_ids[i])])
+        return {
+            rname: (hosted[rname], sorted(owners[rname]))
+            for rname in s.resource_names
         }
 
     # -- agent directory --------------------------------------------------------
@@ -275,7 +317,7 @@ class DistributedLLARuntime:
             # fingerprint and fall back to a cold restart on mismatch.
             mismatches_before = self.checkpoints.mismatches
             checkpoint = self.checkpoints.load(
-                name, fingerprint=taskset_fingerprint(self.taskset)
+                name, fingerprint=self._fingerprint
             )
             if checkpoint is None and \
                     self.checkpoints.mismatches > mismatches_before:
@@ -324,8 +366,7 @@ class DistributedLLARuntime:
         """Apply a capacity shock: change ``B_r`` live and refresh every
         controller's allocation bounds to the new model."""
         self.taskset.set_availability(resource, value)
-        for controller in self.controllers.values():
-            controller.allocator.refresh_bounds()
+        self.refresh_model()
         logger.warning("capacity shock: %s availability -> %.6g (round %d)",
                        resource, value, self.round)
         if self.telemetry.tracer.enabled:
@@ -333,6 +374,17 @@ class DistributedLLARuntime:
                 "capacity_shock", resource=resource,
                 availability=float(value), round=self.round,
             )
+
+    def refresh_model(self) -> None:
+        """Re-read mutable model state (availabilities, corrected share
+        functions) into every controller's allocation bounds, the compiled
+        structure the omniscient observer reads, and the cached checkpoint
+        fingerprint."""
+        for controller in self.controllers.values():
+            controller.allocator.refresh_bounds()
+        if self.structure is not None:
+            self.structure.refresh_model()
+        self._fingerprint = taskset_fingerprint(self.taskset)
 
     def crashed_agents(self):
         """Names of agents currently down."""
@@ -348,7 +400,7 @@ class DistributedLLARuntime:
         ]
 
     def _checkpoint_all(self) -> None:
-        fingerprint = taskset_fingerprint(self.taskset)
+        fingerprint = self._fingerprint
         for name in self.agent_names():
             agent = self.agent(name)
             if not agent.crashed:
@@ -367,33 +419,59 @@ class DistributedLLARuntime:
 
     def _snapshot(self) -> IterationRecord:
         latencies = self.global_latencies()
-        loads = self.taskset.resource_loads(latencies)
+        path_prices_all: Dict[PathKey, float] = {}
+        for controller in self.controllers.values():
+            path_prices_all.update(controller.path_prices)
+        if self.structure is not None:
+            s = self.structure
+            obs = observe_assignment(s, latencies, tol=1e-9)
+            return IterationRecord(
+                iteration=self.round,
+                utility=obs.utility,
+                latencies=latencies,
+                resource_prices={
+                    r: agent.price for r, agent in self.resources.items()
+                },
+                path_prices=path_prices_all,
+                resource_loads=dict(
+                    zip(s.resource_names, obs.loads.tolist())
+                ),
+                congested_resources=tuple(
+                    s.resource_names[i]
+                    for i in np.flatnonzero(obs.cong_r)
+                ),
+                congested_paths=tuple(
+                    s.path_keys[i] for i in np.flatnonzero(obs.cong_p)
+                ),
+                critical_paths=dict(zip(s.task_names, obs.crit.tolist())),
+            )
+        # Fallback for task sets the vectorized compiler rejects (exotic
+        # share functions / utilities): walk the object graph.
+        loads = self.taskset.resource_loads(latencies)  # statan: disable=REP016 -- object-graph fallback when the task set does not compile
         congested_resources = tuple(
             r for r, load in loads.items()
             if load > self.taskset.resources[r].availability + 1e-9
         )
         congested_paths: tuple = ()
-        path_prices: Dict[PathKey, float] = {}
         for controller in self.controllers.values():
-            path_prices.update(controller.path_prices)
             task = controller.task
             for i, path in enumerate(task.graph.paths):
-                if task.graph.path_latency(path, latencies) > \
-                        task.critical_time + 1e-9:
+                if (task.graph.path_latency(path, latencies)  # statan: disable=REP016 -- object-graph fallback when the task set does not compile
+                        > task.critical_time + 1e-9):
                     congested_paths += (PathKey(task.name, i),)
         return IterationRecord(
             iteration=self.round,
-            utility=self.taskset.total_utility(latencies),
+            utility=self.taskset.total_utility(latencies),  # statan: disable=REP016 -- object-graph fallback when the task set does not compile
             latencies=latencies,
             resource_prices={
                 r: agent.price for r, agent in self.resources.items()
             },
-            path_prices=path_prices,
+            path_prices=path_prices_all,
             resource_loads=loads,
             congested_resources=congested_resources,
             congested_paths=congested_paths,
             critical_paths={
-                task.name: task.critical_path(latencies)[1]
+                task.name: task.critical_path(latencies)[1]  # statan: disable=REP016 -- object-graph fallback when the task set does not compile
                 for task in self.taskset.tasks
             },
         )
@@ -559,8 +637,13 @@ class DistributedLLARuntime:
             if self.config.record_history:
                 self.history.append(record)
         latencies = self.global_latencies()
-        converged = self.taskset.is_feasible(latencies, tol=1e-2)
-        utility = self.taskset.total_utility(latencies)
+        if self.structure is not None:
+            final = observe_assignment(self.structure, latencies, tol=1e-2)
+            converged = final.feasible()
+            utility = final.utility
+        else:
+            converged = self.taskset.is_feasible(latencies, tol=1e-2)  # statan: disable=REP016 -- object-graph fallback when the task set does not compile
+            utility = self.taskset.total_utility(latencies)  # statan: disable=REP016 -- object-graph fallback when the task set does not compile
         if not converged:
             logger.warning(
                 "distributed run ended infeasible after %d rounds "

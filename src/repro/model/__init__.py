@@ -19,7 +19,7 @@ from repro.model.events import (
     PoissonEvent,
     TriggeringEvent,
 )
-from repro.model.fingerprint import taskset_fingerprint
+from repro.model.fingerprint import structure_fingerprint, taskset_fingerprint
 from repro.model.graph import SubtaskGraph
 from repro.model.percentile import (
     compose_percentiles,
@@ -63,6 +63,7 @@ __all__ = [
     "taskset_to_json",
     "taskset_from_json",
     "taskset_fingerprint",
+    "structure_fingerprint",
     "SubtaskGraph",
     "Resource",
     "ResourceKind",

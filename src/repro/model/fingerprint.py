@@ -30,10 +30,11 @@ from __future__ import annotations
 
 import hashlib
 import json
+from typing import Any, Mapping
 
 from repro.model.task import TaskSet
 
-__all__ = ["taskset_fingerprint"]
+__all__ = ["taskset_fingerprint", "structure_fingerprint"]
 
 
 def taskset_fingerprint(taskset: TaskSet) -> str:
@@ -46,6 +47,24 @@ def taskset_fingerprint(taskset: TaskSet) -> str:
         ],
     }
     encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def structure_fingerprint(payload: Mapping[str, Any]) -> str:
+    """Hex SHA-256 fingerprint of a compiled-structure payload.
+
+    ``payload`` is the JSON-safe dict produced by
+    :func:`repro.core.structure.structure_to_dict` (taking the dict rather
+    than the structure keeps this module free of a model→core import
+    cycle).  Any embedded ``"fingerprint"`` key is excluded so the digest
+    can both stamp a payload and verify one.  Because compilation is
+    canonical (name-sorted tasks and resources), equal task sets yield
+    equal structure fingerprints regardless of declaration order — unlike
+    :func:`taskset_fingerprint`, which is declaration-order-sensitive by
+    design (dual state is exchanged in declaration order).
+    """
+    body = {k: v for k, v in payload.items() if k != "fingerprint"}
+    encoded = json.dumps(body, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
 
 

@@ -38,9 +38,15 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+import numpy as np
+
 from repro.analysis.admission import AdmissionDecision, certify_infeasible
 from repro.core.optimizer import LLAConfig, LLAOptimizer
-from repro.core.structure import TaskSetStructure
+from repro.core.structure import (
+    TaskSetStructure,
+    structure_from_dict,
+    structure_to_dict,
+)
 from repro.core.warmstart import warm_start_resource_prices
 from repro.distributed.checkpoint import CheckpointStore
 from repro.errors import ModelError, ServiceError
@@ -88,11 +94,21 @@ class ServiceConfig:
     batch_size:
         Optimizer iterations per :meth:`run` slice between event-loop
         yields.
+    shards:
+        Maximum shard count for the live solve (vectorized backend only;
+        see :mod:`repro.core.sharding`).  Sharding partitions the compiled
+        structure by resource-connectivity components, so iterates are
+        bitwise-identical to the unsharded solve; ``1`` (default) runs the
+        plain kernel.
+    shard_mode:
+        ``"serial"`` or ``"processes"`` — forwarded to
+        :attr:`~repro.core.optimizer.LLAConfig.shard_mode`.
     lla:
         Optimizer configuration; ``None`` builds the paper defaults on
-        the configured backend.  When given, its ``backend`` must match
-        and its ``step_policy`` must be ``None`` (a shared policy object
-        would leak step-size escalation across churn epochs).
+        the configured backend.  When given, its ``backend``/``shards``/
+        ``shard_mode`` must match the service's, and its ``step_policy``
+        must be ``None`` (a shared policy object would leak step-size
+        escalation across churn epochs).
     """
 
     backend: str = "vectorized"
@@ -100,6 +116,8 @@ class ServiceConfig:
     warm_start_churn: bool = True
     cache_capacity: int = 64
     batch_size: int = 32
+    shards: int = 1
+    shard_mode: str = "serial"
     lla: Optional[LLAConfig] = None
 
     def __post_init__(self) -> None:
@@ -117,11 +135,32 @@ class ServiceConfig:
             raise ServiceError(
                 f"batch_size must be >= 1, got {self.batch_size!r}"
             )
+        if self.shards < 1:
+            raise ServiceError(
+                f"shards must be >= 1, got {self.shards!r}"
+            )
+        if self.shards > 1 and self.backend != "vectorized":
+            raise ServiceError(
+                "shards > 1 requires the vectorized backend, "
+                f"got backend={self.backend!r}"
+            )
+        if self.shard_mode not in ("serial", "processes"):
+            raise ServiceError(
+                f"unknown shard_mode {self.shard_mode!r}; "
+                "expected 'serial' or 'processes'"
+            )
         if self.lla is not None:
             if self.lla.backend != self.backend:
                 raise ServiceError(
                     f"lla.backend {self.lla.backend!r} contradicts service "
                     f"backend {self.backend!r}"
+                )
+            if self.lla.shards != self.shards or \
+                    self.lla.shard_mode != self.shard_mode:
+                raise ServiceError(
+                    f"lla sharding ({self.lla.shards!r}, "
+                    f"{self.lla.shard_mode!r}) contradicts service sharding "
+                    f"({self.shards!r}, {self.shard_mode!r})"
                 )
             if self.lla.step_policy is not None:
                 raise ServiceError(
@@ -134,7 +173,8 @@ class ServiceConfig:
         """The effective per-epoch optimizer configuration."""
         if self.lla is not None:
             return self.lla
-        return LLAConfig(backend=self.backend)
+        return LLAConfig(backend=self.backend, shards=self.shards,
+                         shard_mode=self.shard_mode)
 
 
 @dataclass(frozen=True)
@@ -642,7 +682,13 @@ class AllocationService:
     # -- queries -----------------------------------------------------------------
 
     def query(self, task_name: str) -> AllocationView:
-        """The task's allocation under the current iterate."""
+        """The task's allocation under the current iterate.
+
+        On the vectorized backend the answer is read from the compiled
+        :class:`~repro.core.structure.TaskSetStructure` ("compile once,
+        share everywhere"); the scalar backend falls back to the task
+        object graph.
+        """
         task = self._tasks.get(task_name)
         optimizer = self._optimizer
         if task is None or optimizer is None:
@@ -650,15 +696,64 @@ class AllocationService:
         self._queries += 1
         if self.telemetry.enabled:
             self._metric("queries").inc()
+        structure = optimizer.structure
+        if structure is not None:
+            return self._query_from_structure(structure, task_name, optimizer)
         latencies = {
             name: optimizer.latencies[name] for name in task.subtask_names
         }
         return AllocationView(
             task=task_name,
             latencies=latencies,
-            aggregated_latency=task.aggregated_latency(latencies),
-            utility=task.utility_value(latencies),
+            aggregated_latency=task.aggregated_latency(latencies),  # statan: disable=REP016 -- scalar query fallback when no structure is bound
+            utility=task.utility_value(latencies),  # statan: disable=REP016 -- scalar query fallback when no structure is bound
             meets_critical_time=task.meets_critical_time(latencies),
+            iteration=optimizer.iteration,
+            epoch=self._epoch,
+            converged=self._reconverged,
+        )
+
+    def _query_from_structure(self, structure: TaskSetStructure,
+                              task_name: str,
+                              optimizer: LLAOptimizer) -> AllocationView:
+        """Answer a query from the compiled arrays, no object traversal.
+
+        Matches the scalar path value-for-value: the weighted aggregate
+        and per-path sums run as sequential Python float additions in the
+        same operand order :meth:`Task.aggregated_latency` and the graph's
+        critical-path walk use.
+        """
+        s = structure
+        t = s.task_index(task_name)
+        ssl = s.task_subtask_slice(t)
+        names = s.subtask_names[ssl.start:ssl.stop]
+        local = [optimizer.latencies[name] for name in names]
+        latencies = dict(zip(names, local))
+        agg = 0.0
+        for w, lat in zip(s.weights[ssl.start:ssl.stop].tolist(), local):
+            agg += w * lat
+        if int(s.ut_kind[t]) == 0:  # linear
+            utility = float(s.ut_kc[t]) - float(s.ut_slope[t]) * agg
+        else:  # inelastic
+            utility = float(s.ut_umax[t]) \
+                if agg <= float(s.ut_crit[t]) else 0.0
+        psl = s.task_path_slice(t)
+        # The flattened path membership is grouped by ascending path id,
+        # so the task's entries form one contiguous run.
+        lo = int(np.searchsorted(s.path_ids_flat, psl.start, side="left"))
+        hi = int(np.searchsorted(s.path_ids_flat, psl.stop, side="left"))
+        sums = [0.0] * (psl.stop - psl.start)
+        for flat in range(lo, hi):
+            path = int(s.path_ids_flat[flat]) - psl.start
+            sums[path] += local[int(s.path_sub_flat[flat]) - ssl.start]
+        worst = max(sums)
+        critical_time = float(s.path_crit[psl.start])
+        return AllocationView(
+            task=task_name,
+            latencies=latencies,
+            aggregated_latency=agg,
+            utility=utility,
+            meets_critical_time=worst <= critical_time,
             iteration=optimizer.iteration,
             epoch=self._epoch,
             converged=self._reconverged,
@@ -704,13 +799,25 @@ class AllocationService:
     # -- snapshots ---------------------------------------------------------------
 
     def snapshot(self) -> None:
-        """Checkpoint the live dual state, stamped with the fingerprint."""
+        """Checkpoint the live dual state, stamped with the fingerprint.
+
+        On the vectorized backend the snapshot also embeds the compiled
+        structure's serialized payload (:func:`structure_to_dict`) — the
+        payload carries its own content fingerprint, so :meth:`restore`
+        can detect a corrupted or hand-edited compiled artifact and
+        demote to a cold reset instead of resuming on garbage arrays.
+        """
         optimizer = self._optimizer
         if optimizer is None:
             raise ServiceError("nothing to snapshot: no tasks registered")
+        state: Dict[str, Any] = {
+            "resource_prices": dict(optimizer.resource_prices.prices),
+        }
+        structure = optimizer.structure
+        if structure is not None:
+            state["structure"] = structure_to_dict(structure)
         self._snapshots.save(
-            _SNAPSHOT_AGENT, self._total_iterations,
-            {"resource_prices": dict(optimizer.resource_prices.prices)},
+            _SNAPSHOT_AGENT, self._total_iterations, state,
             fingerprint=self._fingerprint,
         )
 
@@ -731,6 +838,15 @@ class AllocationService:
         self._epoch_iterations = 0
         self._reconverged = False
         optimizer.detector.reset()
+        if checkpoint is not None and "structure" in checkpoint.state:
+            # The embedded compiled artifact carries a content
+            # fingerprint; a payload that fails verification means the
+            # snapshot bytes were damaged after the store's own integrity
+            # check passed — treat the whole snapshot as untrustworthy.
+            try:
+                structure_from_dict(checkpoint.state["structure"])
+            except ModelError:
+                checkpoint = None
         if checkpoint is None:
             optimizer.reset()
             self._snapshot_fallbacks += 1

@@ -104,6 +104,7 @@ class ClosedLoopRuntime:
             exec_time_factor=exec_time_factor,
             recorder_max_samples=recorder_max_samples,
             telemetry=telemetry,
+            structure=self.optimizer.structure,
         )
         self.epoch = 0
         self.history: List[EpochRecord] = []
@@ -190,7 +191,7 @@ class ClosedLoopRuntime:
             },
             raw_errors=raw_errors,
             observed_p95=observed_p95,
-            utility=self.taskset.total_utility(self.latencies),
+            utility=self.taskset.total_utility(self.latencies),  # statan: disable=REP016 -- per-epoch summary, not per-iteration
         )
         self.history.append(record)
         logger.debug(

@@ -17,6 +17,7 @@ from typing import Callable, Dict, Mapping, Optional
 
 import numpy as np
 
+from repro.core.structure import TaskSetStructure
 from repro.errors import SimulationError
 from repro.model.task import Task, TaskSet
 from repro.sim.engine import SimulationEngine
@@ -59,6 +60,11 @@ class SimulatedSystem:
         Optional :class:`~repro.telemetry.Telemetry`: job/job-set latency
         histograms, deadline-miss counters, per-resource queue-depth
         gauges and event counts.
+    structure:
+        Optional compiled :class:`~repro.core.structure.TaskSetStructure`
+        of ``taskset`` (e.g. from the optimizer driving this system).
+        When given, the static subtask→exec-time/resource maps are read
+        from its arrays instead of re-traversing the object graph.
     """
 
     def __init__(
@@ -71,16 +77,26 @@ class SimulatedSystem:
         seed: int = 0,
         recorder_max_samples: Optional[int] = None,
         telemetry: Optional[Telemetry] = None,
+        structure: Optional[TaskSetStructure] = None,
     ):
         self.taskset = taskset
+        self.structure = structure
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.engine = SimulationEngine(telemetry=telemetry)
         self.recorder = LatencyRecorder(
             max_samples=recorder_max_samples, telemetry=telemetry
         )
-        self._critical_times = {
-            task.name: task.critical_time for task in taskset.tasks
-        }
+        if structure is not None:
+            # The compiled arrays already hold every static map the
+            # simulator needs — read them instead of walking the graph.
+            self._critical_times = {
+                name: float(structure.path_crit[structure.task_path_starts[t]])
+                for t, name in enumerate(structure.task_names)
+            }
+        else:
+            self._critical_times = {
+                task.name: task.critical_time for task in taskset.tasks
+            }
         self.rng = np.random.default_rng(seed)
         self.exec_time_factor = exec_time_factor
         self.resources: Dict[str, _BaseResource] = {}
@@ -121,14 +137,25 @@ class SimulatedSystem:
                     sub.name, shares[sub.name]
                 )
 
-        self._subtask_exec = {
-            sub.name: sub.exec_time
-            for task in taskset.tasks for sub in task.subtasks
-        }
-        self._subtask_resource = {
-            sub.name: sub.resource
-            for task in taskset.tasks for sub in task.subtasks
-        }
+        if structure is not None:
+            self._subtask_exec = dict(
+                zip(structure.subtask_names, structure.sub_exec.tolist())
+            )
+            self._subtask_resource = {
+                name: structure.resource_names[int(r)]
+                for name, r in zip(
+                    structure.subtask_names, structure.sub_resource
+                )
+            }
+        else:
+            self._subtask_exec = {
+                sub.name: sub.exec_time
+                for task in taskset.tasks for sub in task.subtasks
+            }
+            self._subtask_resource = {
+                sub.name: sub.resource
+                for task in taskset.tasks for sub in task.subtasks
+            }
 
     # -- share enactment ------------------------------------------------------------
 

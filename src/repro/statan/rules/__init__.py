@@ -185,6 +185,7 @@ def _build_catalog() -> "List[Rule]":
         ConfigFieldUnchecked,
         UnresolvedTelemetryName,
     )
+    from repro.statan.rules.structure import StructureBypass
 
     return [
         UnseededRandomness(),
@@ -202,6 +203,7 @@ def _build_catalog() -> "List[Rule]":
         UnawaitedCoroutine(),
         UnresolvedTelemetryName(),
         ConfigFieldUnchecked(),
+        StructureBypass(),
     ]
 
 

@@ -45,6 +45,12 @@ class GeneratorConfig:
     shapes: Sequence[str] = _SHAPES
     variant: str = "path-weighted"
     utility_k: float = 2.0
+    #: When set, the resource pool is split into this many disjoint groups
+    #: and each task draws all its resources from one group (round-robin
+    #: by task index).  The task↔resource incidence graph then has exactly
+    #: ``partitions`` connected components — the separable regime the
+    #: sharded engine (:mod:`repro.core.sharding`) exploits.
+    partitions: Optional[int] = None
 
     def __post_init__(self) -> None:
         """Validate at construction (REP008); :meth:`validate` stays public
@@ -71,6 +77,15 @@ class GeneratorConfig:
         unknown = set(self.shapes) - set(_SHAPES)
         if unknown:
             raise ModelError(f"unknown graph shapes {sorted(unknown)!r}")
+        if self.partitions is not None:
+            if self.partitions < 1:
+                raise ModelError("partitions must be >= 1")
+            if self.n_resources // self.partitions < self.max_subtasks:
+                raise ModelError(
+                    "each partition needs at least max_subtasks resources "
+                    f"({self.n_resources} resources / {self.partitions} "
+                    f"partitions < {self.max_subtasks})"
+                )
 
 
 def random_graph(names: Sequence[str], shape: str,
@@ -130,9 +145,17 @@ def random_workload(config: Optional[GeneratorConfig] = None,
     config.validate()
     rng = np.random.default_rng(seed)
 
+    # Names are zero-padded to the pool width so lexicographic order equals
+    # numeric order: compile_structure's canonical (name-sorted) ordering
+    # then matches the declaration order, keeping the scalar and vectorized
+    # backends' iteration orders — and therefore their float trajectories —
+    # identical.  Small configs (< 11 tasks/resources) keep their old names.
+    t_width = len(str(config.n_tasks - 1))
+    r_width = len(str(config.n_resources - 1))
+    s_width = len(str(config.max_subtasks - 1))
     resources = [
         Resource(
-            name=f"r{i}",
+            name=f"r{i:0{r_width}d}",
             kind=ResourceKind.CPU if i % 2 == 0 else ResourceKind.LINK,
             availability=config.availability,
             lag=config.lag,
@@ -146,23 +169,28 @@ def random_workload(config: Optional[GeneratorConfig] = None,
         n_subtasks = int(
             rng.integers(config.min_subtasks, config.max_subtasks + 1)
         )
-        names = [f"G{t}_{j}" for j in range(n_subtasks)]
+        names = [f"G{t:0{t_width}d}_{j:0{s_width}d}" for j in range(n_subtasks)]
         shape = str(rng.choice(list(config.shapes)))
         graph = random_graph(names, shape, rng)
-        resource_ids = rng.choice(
-            config.n_resources, size=n_subtasks, replace=False
-        )
+        if config.partitions is None:
+            pool = np.arange(config.n_resources)
+        else:
+            # Confine the task to its round-robin partition's resources.
+            group = config.n_resources // config.partitions
+            start = (t % config.partitions) * group
+            pool = np.arange(start, start + group)
+        resource_ids = rng.choice(pool, size=n_subtasks, replace=False)
         lo, hi = config.exec_time_range
         exec_times = rng.uniform(lo, hi, size=n_subtasks)
         subtasks = [
             Subtask(
                 name=names[j],
-                resource=f"r{int(resource_ids[j])}",
+                resource=f"r{int(resource_ids[j]):0{r_width}d}",
                 exec_time=float(exec_times[j]),
             )
             for j in range(n_subtasks)
         ]
-        drafts.append((f"G{t}", subtasks, graph))
+        drafts.append((f"G{t:0{t_width}d}", subtasks, graph))
 
     # Second pass: critical times from the provisioning target.  Under even
     # slicing, subtask s of task i gets C_i / depth_s; its share is

@@ -190,6 +190,11 @@ def scaled_workload(copies: int, critical_time_factor: float = 20.0,
     claim degrades.)
 
     ``copies = 1/2/4`` gives the paper's 3/6/12-task workloads.
+
+    Tasks are declared in name-sorted order (T1, T1c1, …, T2, …) — the
+    canonical order :func:`repro.core.structure.compile_structure` uses —
+    so the scalar and vectorized backends iterate the clones identically
+    and their trajectories stay bitwise-equal.
     """
     if copies < 1:
         raise ModelError(f"copies must be >= 1, got {copies!r}")
@@ -213,6 +218,7 @@ def scaled_workload(copies: int, critical_time_factor: float = 20.0,
                     rename=rename,
                 )
             )
+    tasks.sort(key=lambda t: t.name)
     return TaskSet(tasks, _resources())
 
 

@@ -279,6 +279,37 @@ class TestSnapshots:
         assert service.restore() is False
         assert service.stats().snapshot_fallbacks == 1
 
+    def test_corrupted_structure_payload_demotes_to_cold_reset(self):
+        """A snapshot whose embedded compiled-structure payload fails its
+        own fingerprint verification is untrustworthy end to end: the
+        restore must demote to a cold reset (same counter and trace event
+        as a fingerprint mismatch), never adopt the prices."""
+        service = make_service()
+        service.step(100)
+        service.snapshot()
+        stored = service.snapshots._checkpoints["service"]
+        stored.state["structure"]["cost"][0] += 1.0
+        assert service.restore() is False
+        assert service.stats().snapshot_fallbacks == 1
+
+    def test_truncated_structure_payload_demotes_to_cold_reset(self):
+        service = make_service()
+        service.step(100)
+        service.snapshot()
+        stored = service.snapshots._checkpoints["service"]
+        stored.state["structure"]["sub_exec"].pop()
+        assert service.restore() is False
+        assert service.stats().snapshot_fallbacks == 1
+
+    def test_intact_structure_payload_still_warm_restores(self):
+        service = make_service()
+        service.step(100)
+        service.snapshot()
+        assert "structure" in \
+            service.snapshots._checkpoints["service"].state
+        assert service.restore() is True
+        assert service.stats().snapshot_fallbacks == 0
+
     def test_snapshot_needs_tasks(self):
         empty = AllocationService(make_resources())
         with pytest.raises(ServiceError):

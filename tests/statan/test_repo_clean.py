@@ -49,14 +49,14 @@ class TestCatalog:
         ids = {rule.rule_id for rule in ALL_RULES}
         expected = {f"REP00{i}" for i in range(1, 10)}
         expected |= {"REP010", "REP011", "REP012", "REP013", "REP014",
-                     "REP015"}
+                     "REP015", "REP016"}
         assert expected <= ids
 
     def test_project_rules_are_flagged_as_such(self):
         by_id = {rule.rule_id: rule for rule in ALL_RULES}
         for rule_id in ("REP011", "REP014", "REP015"):
             assert by_id[rule_id].is_project_rule
-        for rule_id in ("REP001", "REP008", "REP012", "REP013"):
+        for rule_id in ("REP001", "REP008", "REP012", "REP013", "REP016"):
             assert not by_id[rule_id].is_project_rule
 
     def test_every_rule_carries_rationale(self):

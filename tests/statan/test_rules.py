@@ -385,3 +385,56 @@ class TestSpanMisuse:
                 sink.emit(event)
             """, "repro/telemetry/tracing.py")
         assert findings == []
+
+
+class TestStructureBypass:
+    def test_flags_taskset_traversal_in_core(self):
+        findings = run_rule("REP016", """\
+            def observe(taskset, latencies):
+                return taskset.resource_loads(latencies)
+            """, "repro/core/observers.py")
+        assert len(findings) == 1
+        assert findings[0].data["api"] == "resource_loads"
+
+    def test_flags_task_level_traversal_in_service(self):
+        findings = run_rule("REP016", """\
+            def describe(task, latencies):
+                agg = task.aggregated_latency(latencies)
+                return agg, task.utility_value(latencies)
+            """, "repro/service/service.py")
+        assert len(findings) == 2
+
+    def test_flags_graph_walk_in_distributed(self):
+        findings = run_rule("REP016", """\
+            def worst(task, latencies):
+                return task.graph.path_latency(task.graph.paths[0], latencies)
+            """, "repro/distributed/runtime.py")
+        assert len(findings) == 1
+
+    def test_allows_structure_observers(self):
+        findings = run_rule("REP016", """\
+            from repro.core.vectorized import compute_loads, observe_assignment
+
+            def observe(structure, latencies):
+                obs = observe_assignment(structure, latencies)
+                return obs.utility, compute_loads(structure, obs.lat)
+            """, "repro/core/observers.py")
+        assert findings == []
+
+    def test_out_of_scope_path_is_ignored(self):
+        findings = run_rule("REP016", """\
+            def summarize(taskset, latencies):
+                return taskset.total_utility(latencies)
+            """, "repro/experiments/fig5.py")
+        assert findings == []
+
+    def test_suppression_with_reason_is_honored(self):
+        result = lint_source(
+            "def check(taskset, lat):\n"
+            "    return taskset.is_feasible(lat)"
+            "  # statan: disable=REP016 -- scalar fallback\n",
+            "repro/core/convergence.py",
+            rules=get_rules(["REP016"]),
+        )
+        assert [f for f in result.findings if f.rule_id == "REP016"] == []
+        assert len(result.suppressed) == 1
